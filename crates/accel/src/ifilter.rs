@@ -1,0 +1,208 @@
+//! Idempotent Filters (IF) — §2, §4.1.
+//!
+//! Many lifeguard checks are *idempotent*: if the metadata a check depends on
+//! has not changed since an identical earlier check, re-running it is
+//! redundant. IF caches recently seen check events and filters repeats.
+//! ADDRCHECK is the canonical client: two checks of the same address are
+//! idempotent unless a `malloc`/`free` intervened — so the filter is
+//! invalidated by allocation-library ConflictAlerts (and, in general, by
+//! configurable local events).
+
+use paralog_events::{AccessKind, AddrRange, MemRef};
+
+/// IF statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IfStats {
+    /// Checks filtered out (cache hits).
+    pub hits: u64,
+    /// Checks that missed and were delivered.
+    pub misses: u64,
+    /// Full-cache invalidations.
+    pub invalidations: u64,
+    /// Entries dropped by range-selective invalidation.
+    pub range_invalidated: u64,
+}
+
+impl IfStats {
+    /// Fraction of checks filtered.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IfKey {
+    addr: u64,
+    size: u8,
+    writes: bool,
+}
+
+/// The Idempotent Filter cache for one lifeguard thread.
+#[derive(Debug)]
+pub struct IdempotentFilter {
+    entries: Vec<(IfKey, u64)>,
+    capacity: usize,
+    tick: u64,
+    stats: IfStats,
+    /// Whether read and write checks are interchangeable (true for
+    /// ADDRCHECK, whose check is identical for loads and stores).
+    unify_kinds: bool,
+}
+
+impl IdempotentFilter {
+    /// Creates a filter caching up to `capacity` distinct checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, unify_kinds: bool) -> Self {
+        assert!(capacity > 0, "filter capacity must be non-zero");
+        IdempotentFilter {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            stats: IfStats::default(),
+            unify_kinds,
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> IfStats {
+        self.stats
+    }
+
+    /// Live entries (diagnostic).
+    pub fn live(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn key(&self, mem: MemRef, kind: AccessKind) -> IfKey {
+        IfKey {
+            addr: mem.addr,
+            size: mem.size,
+            writes: if self.unify_kinds { false } else { kind.writes() },
+        }
+    }
+
+    /// Processes a check event. Returns `true` if the check is redundant
+    /// (filtered); `false` if it must be delivered (and is now cached).
+    pub fn filter(&mut self, mem: MemRef, kind: AccessKind) -> bool {
+        self.tick += 1;
+        let key = self.key(mem, kind);
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            entry.1 = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push((key, self.tick));
+        false
+    }
+
+    /// Drops every cached check (ConflictAlert or local conflicting event).
+    pub fn invalidate_all(&mut self) {
+        self.entries.clear();
+        self.stats.invalidations += 1;
+    }
+
+    /// Drops cached checks overlapping `range` (range-selective CA, §5.4).
+    pub fn invalidate_range(&mut self, range: AddrRange) {
+        let before = self.entries.len();
+        self.entries
+            .retain(|(k, _)| !range.overlaps(&AddrRange::new(k.addr, k.size as u64)));
+        self.stats.range_invalidated += (before - self.entries.len()) as u64;
+    }
+}
+
+impl Default for IdempotentFilter {
+    fn default() -> Self {
+        IdempotentFilter::new(64, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(addr: u64) -> MemRef {
+        MemRef::new(addr, 4)
+    }
+
+    #[test]
+    fn repeat_checks_are_filtered() {
+        let mut f = IdempotentFilter::new(8, true);
+        assert!(!f.filter(m(0x100), AccessKind::Read), "first check delivered");
+        assert!(f.filter(m(0x100), AccessKind::Read), "repeat filtered");
+        assert!(f.filter(m(0x100), AccessKind::Write), "unified kinds filter too");
+        assert_eq!(f.stats().hits, 2);
+        assert!((f.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_kinds_when_not_unified() {
+        let mut f = IdempotentFilter::new(8, false);
+        assert!(!f.filter(m(0x100), AccessKind::Read));
+        assert!(!f.filter(m(0x100), AccessKind::Write), "write check is distinct");
+        assert!(f.filter(m(0x100), AccessKind::Write));
+    }
+
+    #[test]
+    fn different_sizes_are_distinct_checks() {
+        let mut f = IdempotentFilter::new(8, true);
+        assert!(!f.filter(MemRef::new(0x100, 4), AccessKind::Read));
+        assert!(!f.filter(MemRef::new(0x100, 8), AccessKind::Read));
+    }
+
+    #[test]
+    fn lru_capacity_eviction() {
+        let mut f = IdempotentFilter::new(2, true);
+        f.filter(m(0x100), AccessKind::Read);
+        f.filter(m(0x200), AccessKind::Read);
+        f.filter(m(0x100), AccessKind::Read); // touch 0x100
+        f.filter(m(0x300), AccessKind::Read); // evicts 0x200
+        assert!(f.filter(m(0x100), AccessKind::Read));
+        assert!(!f.filter(m(0x200), AccessKind::Read), "0x200 was evicted");
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut f = IdempotentFilter::new(8, true);
+        f.filter(m(0x100), AccessKind::Read);
+        f.invalidate_all();
+        assert_eq!(f.live(), 0);
+        assert!(!f.filter(m(0x100), AccessKind::Read), "must re-deliver after CA");
+        assert_eq!(f.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidate_range_is_selective() {
+        let mut f = IdempotentFilter::new(8, true);
+        f.filter(m(0x100), AccessKind::Read);
+        f.filter(m(0x200), AccessKind::Read);
+        f.invalidate_range(AddrRange::new(0x100, 0x10));
+        assert!(!f.filter(m(0x100), AccessKind::Read), "in-range entry dropped");
+        assert!(f.filter(m(0x200), AccessKind::Read), "out-of-range entry kept");
+        assert_eq!(f.stats().range_invalidated, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = IdempotentFilter::new(0, true);
+    }
+}

@@ -1,0 +1,188 @@
+//! Metadata TLB (M-TLB) — §2, §4.1.
+//!
+//! Almost every handler computes a metadata address from an application
+//! address; through the two-level shadow structure that walk can cost more
+//! than half the handler's instructions. The M-TLB caches the most frequent
+//! application-page → metadata-page mappings.
+//!
+//! Lifeguards that de-allocate metadata pages (to save space after `free`)
+//! make M-TLB entries stale — a *high-level remote conflict* — so the M-TLB
+//! subscribes to allocation-library ConflictAlerts and flushes affected
+//! entries (§4.4).
+
+use paralog_events::{Addr, AddrRange};
+
+/// Application page size assumed by the mapping cache.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// M-TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MtlbStats {
+    /// Lookups that hit the mapping cache.
+    pub hits: u64,
+    /// Lookups that required the two-level walk.
+    pub misses: u64,
+    /// Entries dropped by flushes.
+    pub flushed: u64,
+}
+
+impl MtlbStats {
+    /// Fraction of lookups served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The Metadata TLB for one lifeguard thread.
+#[derive(Debug)]
+pub struct MetadataTlb {
+    /// `(app_page, lru)` pairs; the mapped metadata page is recomputable, so
+    /// only presence matters for the timing model.
+    entries: Vec<(u64, u64)>,
+    capacity: usize,
+    tick: u64,
+    stats: MtlbStats,
+}
+
+impl MetadataTlb {
+    /// Creates an M-TLB with `capacity` page entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "M-TLB capacity must be non-zero");
+        MetadataTlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            stats: MtlbStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MtlbStats {
+        self.stats
+    }
+
+    /// Live entries (diagnostic).
+    pub fn live(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up the mapping for `app_addr`'s page. Returns `true` on a hit
+    /// (fast metadata address computation); on a miss the entry is installed
+    /// and the caller charges the two-level-walk cost.
+    pub fn lookup(&mut self, app_addr: Addr) -> bool {
+        self.tick += 1;
+        let page = app_addr / PAGE_BYTES;
+        if let Some(entry) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            entry.1 = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push((page, self.tick));
+        false
+    }
+
+    /// Drops every mapping.
+    pub fn flush_all(&mut self) {
+        self.stats.flushed += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    /// Drops mappings for pages overlapping `range` (a freed allocation).
+    pub fn flush_range(&mut self, range: AddrRange) {
+        let first = range.start / PAGE_BYTES;
+        let last = if range.is_empty() { first } else { (range.end() - 1) / PAGE_BYTES };
+        let before = self.entries.len();
+        self.entries.retain(|(p, _)| *p < first || *p > last);
+        self.stats.flushed += (before - self.entries.len()) as u64;
+    }
+}
+
+impl Default for MetadataTlb {
+    fn default() -> Self {
+        MetadataTlb::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_within_page() {
+        let mut t = MetadataTlb::new(4);
+        assert!(!t.lookup(0x1000));
+        assert!(t.lookup(0x1ffc), "same page hits");
+        assert!(!t.lookup(0x2000), "next page misses");
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 2);
+        assert!((t.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = MetadataTlb::new(2);
+        t.lookup(0x1000); // page 1
+        t.lookup(0x2000); // page 2
+        t.lookup(0x1000); // touch page 1
+        t.lookup(0x3000); // evicts page 2
+        assert!(t.lookup(0x1000));
+        assert!(!t.lookup(0x2000), "page 2 was evicted");
+    }
+
+    #[test]
+    fn flush_range_drops_covered_pages() {
+        let mut t = MetadataTlb::new(8);
+        t.lookup(0x1000);
+        t.lookup(0x2000);
+        t.lookup(0x5000);
+        // A freed allocation spanning pages 1-2.
+        t.flush_range(AddrRange::new(0x1800, 0x1000));
+        assert!(!t.lookup(0x1000));
+        assert!(!t.lookup(0x2000));
+        assert!(t.lookup(0x5000), "unrelated page survives");
+        assert_eq!(t.stats().flushed, 2);
+    }
+
+    #[test]
+    fn flush_all_clears() {
+        let mut t = MetadataTlb::new(8);
+        t.lookup(0x1000);
+        t.flush_all();
+        assert_eq!(t.live(), 0);
+        assert!(!t.lookup(0x1000));
+    }
+
+    #[test]
+    fn empty_range_flush_is_noop_for_other_pages() {
+        let mut t = MetadataTlb::new(8);
+        t.lookup(0x5000);
+        t.flush_range(AddrRange::new(0x1000, 0));
+        assert!(t.lookup(0x5000));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = MetadataTlb::new(0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Microbenchmarks of the three accelerators: the Figure 3 IT chain,
+//! IF filtering and M-TLB lookup — the per-event fast paths whose costs the
+//! platform's cost model abstracts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paralog_accel::{IdempotentFilter, InheritanceTracker, MetadataTlb};
+use paralog_events::{AccessKind, Instr, MemRef, Reg, Rid};
+use std::hint::black_box;
+
+fn bench_it(c: &mut Criterion) {
+    c.bench_function("it/figure3-chain", |b| {
+        let mut it = InheritanceTracker::new(None);
+        let a = MemRef::new(0x100, 4);
+        let out = MemRef::new(0x200, 4);
+        let mut rid = 0u64;
+        b.iter(|| {
+            rid += 3;
+            let mut n = 0;
+            n += it.process(&Instr::Load { dst: Reg(0), src: a }, Rid(rid)).len();
+            n += it
+                .process(&Instr::MovRR { dst: Reg(1), src: Reg(0) }, Rid(rid + 1))
+                .len();
+            n += it
+                .process(&Instr::Store { dst: out, src: Reg(1) }, Rid(rid + 2))
+                .len();
+            black_box(n)
+        })
+    });
+    c.bench_function("it/progress-computation", |b| {
+        let mut it = InheritanceTracker::new(None);
+        for i in 0..8u64 {
+            it.process(
+                &Instr::Load { dst: Reg(i as u8), src: MemRef::new(0x100 + i * 64, 4) },
+                Rid(i + 1),
+            );
+        }
+        b.iter(|| black_box(it.advertisable_progress()))
+    });
+}
+
+fn bench_if(c: &mut Criterion) {
+    c.bench_function("if/hit", |b| {
+        let mut f = IdempotentFilter::new(64, true);
+        let m = MemRef::new(0x100, 4);
+        f.filter(m, AccessKind::Read);
+        b.iter(|| black_box(f.filter(m, AccessKind::Read)))
+    });
+    c.bench_function("if/miss-insert", |b| {
+        let mut f = IdempotentFilter::new(64, true);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr += 64;
+            black_box(f.filter(MemRef::new(addr, 4), AccessKind::Read))
+        })
+    });
+}
+
+fn bench_mtlb(c: &mut Criterion) {
+    c.bench_function("mtlb/hit", |b| {
+        let mut t = MetadataTlb::new(32);
+        t.lookup(0x1000);
+        b.iter(|| black_box(t.lookup(0x1040)))
+    });
+}
+
+criterion_group!(benches, bench_it, bench_if, bench_mtlb);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Log-compression codec throughput and the bytes-per-record claim (§2:
+//! compressed records average under ~1 byte; our codec's measured rate on
+//! real workload streams is printed for EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use paralog_events::codec::{decode, encode, Encoder};
+use paralog_events::{dataflow_view, EventRecord, Op, Rid};
+use paralog_workloads::{Benchmark, WorkloadSpec};
+use std::hint::black_box;
+
+fn records_of(bench: Benchmark) -> Vec<EventRecord> {
+    let w = WorkloadSpec::benchmark(bench, 1).scale(0.3).build();
+    let mut rid = 0u64;
+    w.threads[0]
+        .iter()
+        .filter_map(|op| match op {
+            Op::Instr(i) => {
+                rid += 1;
+                let _ = dataflow_view(i);
+                Some(EventRecord::instr(Rid(rid), *i))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    for bench in [Benchmark::Lu, Benchmark::Barnes] {
+        let records = records_of(bench);
+        let mut enc = Encoder::new();
+        for r in &records {
+            enc.push(r);
+        }
+        println!(
+            "codec: {} stream averages {:.2} bytes/record over {} records",
+            bench,
+            enc.bytes_per_record(),
+            enc.records()
+        );
+        let bytes = encode(&records);
+        let mut g = c.benchmark_group(format!("codec/{bench}"));
+        g.throughput(Throughput::Elements(records.len() as u64));
+        g.bench_function("encode", |b| b.iter(|| black_box(encode(&records).len())));
+        g.bench_function("decode", |b| b.iter(|| black_box(decode(&bytes).unwrap().len())));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! The §7 SWAPTIONS ConflictAlert study: malloc/free churn under the
+//! conservative CA barrier vs the flush-only ablation the paper sketches
+//! ("induce dependence arcs by touching the allocated/freed cache blocks").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paralog_bench::BENCH_SCALE;
+use paralog_core::{CaMode, MonitorConfig, MonitoringMode, Platform};
+use paralog_lifeguards::LifeguardKind;
+use paralog_workloads::{Benchmark, WorkloadSpec};
+
+fn bench_ca(c: &mut Criterion) {
+    let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 4).scale(BENCH_SCALE * 4.0).build();
+    // Print the ablation numbers once.
+    for (name, mode) in [("barrier", CaMode::Barrier), ("flush-only", CaMode::FlushOnly)] {
+        let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::AddrCheck);
+        cfg.ca_mode = mode;
+        let m = Platform::run(&w, &cfg).metrics;
+        println!(
+            "swaptions AddrCheck CA {name}: {} cycles, {} broadcasts, wait-dep {}",
+            m.execution_cycles(),
+            m.ca_broadcasts,
+            m.lifeguard_totals().wait_dependence
+        );
+    }
+    let mut g = c.benchmark_group("conflict-alert");
+    g.sample_size(10);
+    for (name, mode) in [("barrier", CaMode::Barrier), ("flush-only", CaMode::FlushOnly)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::AddrCheck);
+            cfg.ca_mode = mode;
+            b.iter(|| Platform::run(&w, &cfg).metrics.execution_cycles())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ca);
+criterion_main!(benches);

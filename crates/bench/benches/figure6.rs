@@ -1,0 +1,37 @@
+//! Criterion bench over the Figure 6 pipeline (reduced scale): measures the
+//! three monitoring schemes end-to-end on one representative benchmark per
+//! class, and prints the full reduced-scale table once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paralog_bench::BENCH_SCALE;
+use paralog_core::experiment::{figure6, render_figure6};
+use paralog_core::{MonitorConfig, MonitoringMode, Platform};
+use paralog_lifeguards::LifeguardKind;
+use paralog_workloads::{Benchmark, WorkloadSpec};
+
+fn bench_modes(c: &mut Criterion) {
+    // Print the full (reduced-scale) Figure 6 once for inspection.
+    for lifeguard in [LifeguardKind::TaintCheck, LifeguardKind::AddrCheck] {
+        let cells = figure6(lifeguard, &Benchmark::all(), BENCH_SCALE);
+        println!("{}", render_figure6(lifeguard, &cells));
+    }
+    let mut g = c.benchmark_group("figure6");
+    g.sample_size(10);
+    for (bench, k) in [(Benchmark::Lu, 4), (Benchmark::Barnes, 4), (Benchmark::Swaptions, 4)] {
+        let w = WorkloadSpec::benchmark(bench, k).scale(BENCH_SCALE).build();
+        for mode in [MonitoringMode::None, MonitoringMode::Timesliced, MonitoringMode::Parallel] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{bench}-{k}t"), format!("{mode}")),
+                &w,
+                |b, w| {
+                    let cfg = MonitorConfig::new(mode, LifeguardKind::TaintCheck);
+                    b.iter(|| Platform::run(w, &cfg).metrics.execution_cycles())
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

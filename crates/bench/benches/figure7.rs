@@ -1,0 +1,32 @@
+//! Criterion bench over the Figure 7 pipeline (reduced scale): the parallel
+//! monitoring run whose lifeguard-time decomposition the figure reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paralog_bench::BENCH_SCALE;
+use paralog_core::experiment::{figure7, render_figure7};
+use paralog_core::{MonitorConfig, MonitoringMode, Platform};
+use paralog_lifeguards::LifeguardKind;
+use paralog_workloads::{Benchmark, WorkloadSpec};
+
+fn bench_breakdown(c: &mut Criterion) {
+    for lifeguard in [LifeguardKind::TaintCheck, LifeguardKind::AddrCheck] {
+        let bars = figure7(lifeguard, &Benchmark::all(), BENCH_SCALE);
+        println!("{}", render_figure7(lifeguard, &bars));
+    }
+    let mut g = c.benchmark_group("figure7");
+    g.sample_size(10);
+    for bench in [Benchmark::Swaptions, Benchmark::Barnes] {
+        let w = WorkloadSpec::benchmark(bench, 4).scale(BENCH_SCALE).build();
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{bench}")), &w, |b, w| {
+            let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
+            b.iter(|| {
+                let m = Platform::run(w, &cfg).metrics;
+                (m.lifeguard_totals().wait_dependence, m.execution_cycles())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

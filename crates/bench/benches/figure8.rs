@@ -1,0 +1,42 @@
+//! Criterion bench over the Figure 8 pipeline (reduced scale): accelerated
+//! vs non-accelerated monitoring, and the capture-policy variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paralog_bench::BENCH_SCALE;
+use paralog_core::experiment::{figure8, render_figure8};
+use paralog_core::{MonitorConfig, MonitoringMode, Platform};
+use paralog_lifeguards::LifeguardKind;
+use paralog_order::{CapturePolicy, Reduction};
+use paralog_workloads::{Benchmark, WorkloadSpec};
+
+fn bench_accelerators(c: &mut Criterion) {
+    for lifeguard in [LifeguardKind::TaintCheck, LifeguardKind::AddrCheck] {
+        let groups = figure8(lifeguard, &Benchmark::all(), BENCH_SCALE);
+        println!("{}", render_figure8(lifeguard, &groups));
+    }
+    let mut g = c.benchmark_group("figure8");
+    g.sample_size(10);
+    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(BENCH_SCALE).build();
+    let configs = [
+        ("accel-aggressive", MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)),
+        (
+            "accel-limited",
+            MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+                .with_capture(CapturePolicy::PerCore, Reduction::Direct),
+        ),
+        (
+            "no-accel",
+            MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+                .without_accelerators(),
+        ),
+    ];
+    for (name, cfg) in configs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| Platform::run(&w, cfg).metrics.execution_cycles())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_accelerators);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Substrate microbenchmarks: coherence access, order capture and the log
+//! ring — the per-event costs of the simulated hardware itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paralog_events::{AccessKind, EventRecord, Instr, LogRing, Rid, ThreadId};
+use paralog_order::{CapturePolicy, OrderCapture, Reduction};
+use paralog_sim::{MachineConfig, MemorySystem};
+use std::hint::black_box;
+
+fn bench_coherence(c: &mut Criterion) {
+    c.bench_function("substrate/coherence-l1-hit", |b| {
+        let mut m = MemorySystem::new(&MachineConfig::paper(4));
+        m.access(0, Rid(1), 0x1000, 4, AccessKind::Read);
+        let mut rid = 1u64;
+        b.iter(|| {
+            rid += 1;
+            black_box(m.access(0, Rid(rid), 0x1000, 4, AccessKind::Read).latency)
+        })
+    });
+    c.bench_function("substrate/coherence-ping-pong", |b| {
+        let mut m = MemorySystem::new(&MachineConfig::paper(4));
+        let mut rid = 0u64;
+        b.iter(|| {
+            rid += 2;
+            m.access(0, Rid(rid), 0x2000, 4, AccessKind::Write);
+            black_box(m.access(1, Rid(rid + 1), 0x2000, 4, AccessKind::Write).touches.len())
+        })
+    });
+}
+
+fn bench_capture(c: &mut Criterion) {
+    c.bench_function("substrate/capture-transitive", |b| {
+        let mut cap = OrderCapture::new(8, CapturePolicy::PerBlock, Reduction::Transitive);
+        let mut rid = 0u64;
+        b.iter(|| {
+            rid += 1;
+            black_box(cap.on_conflict(
+                ThreadId((rid % 7 + 1) as u16),
+                Rid(rid),
+                ThreadId(0),
+                Rid(rid),
+                paralog_events::ArcKind::Raw,
+            ))
+        })
+    });
+}
+
+fn bench_ring(c: &mut Criterion) {
+    c.bench_function("substrate/ring-push-pop", |b| {
+        let mut ring = LogRing::new(1024);
+        let mut rid = 0u64;
+        b.iter(|| {
+            rid += 1;
+            ring.push(EventRecord::instr(Rid(rid), Instr::Nop)).unwrap();
+            black_box(ring.pop().is_some())
+        })
+    });
+}
+
+criterion_group!(benches, bench_coherence, bench_capture, bench_ring);
+criterion_main!(benches);

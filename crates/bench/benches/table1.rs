@@ -1,0 +1,19 @@
+//! Prints Table 1 and measures workload generation (the "input" of every
+//! other experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paralog_workloads::{Benchmark, WorkloadSpec};
+
+fn bench_generation(c: &mut Criterion) {
+    println!("{}", paralog_core::experiment::table1());
+    let mut g = c.benchmark_group("table1-workload-gen");
+    for bench in [Benchmark::Lu, Benchmark::Swaptions] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{bench}")), &bench, |b, &bench| {
+            b.iter(|| WorkloadSpec::benchmark(bench, 8).scale(0.2).build().total_ops())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Prints Table 1: the simulated machine parameters and benchmark inputs.
+//!
+//! Usage: `cargo run --release -p paralog-bench --bin table1`
+
+fn main() {
+    println!("{}", paralog_core::experiment::table1());
+}

@@ -1,0 +1,50 @@
+//! The ParaLog platform: online parallel monitoring of multithreaded
+//! applications (Vlachos et al., ASPLOS 2010).
+//!
+//! This crate assembles the whole system of Figure 2:
+//!
+//! * [`Platform::run`] simulates a workload under one of three
+//!   [`MonitoringMode`]s — no monitoring, the timesliced state of the art,
+//!   or ParaLog's parallel monitoring — on the paper's CMP model;
+//! * [`MonitorConfig`] exposes every design knob evaluated in the paper
+//!   (accelerators on/off, per-block vs. per-core capture, arc reduction,
+//!   ConflictAlert barrier vs. flush-only, SC vs. TSO, damage containment);
+//! * [`RunMetrics`] reports the Figure 6/7/8 quantities (execution time,
+//!   useful / waiting-for-dependence / waiting-for-application breakdowns,
+//!   accelerator and capture statistics);
+//! * [`experiment`] regenerates every table and figure of the evaluation.
+//!
+//! # Example
+//!
+//! ```rust
+//! use paralog_core::{MonitorConfig, MonitoringMode, Platform};
+//! use paralog_lifeguards::LifeguardKind;
+//! use paralog_workloads::{Benchmark, WorkloadSpec};
+//!
+//! let workload = WorkloadSpec::benchmark(Benchmark::Lu, 2).scale(0.02).build();
+//! let base = Platform::run(
+//!     &workload,
+//!     &MonitorConfig::new(MonitoringMode::None, LifeguardKind::TaintCheck),
+//! );
+//! let monitored = Platform::run(
+//!     &workload,
+//!     &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
+//! );
+//! let slowdown = monitored.metrics.slowdown_vs(base.metrics.execution_cycles());
+//! assert!(slowdown >= 1.0);
+//! ```
+
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod exec_threaded;
+pub mod experiment;
+pub mod metrics;
+pub mod platform;
+pub mod reference;
+
+pub use config::{CaMode, MonitorConfig, MonitoringMode};
+pub use metrics::{AppBuckets, LgBuckets, RunMetrics};
+pub use platform::{Platform, RunOutcome};
+pub use exec_threaded::{run_threaded_taintcheck, AtomicShadow, ThreadedOutcome};
+pub use reference::Reference;

@@ -1,0 +1,184 @@
+//! Run metrics: everything Figures 6–8 are built from.
+//!
+//! Figure 7 decomposes lifeguard time into *useful work*, *waiting for
+//! dependence* and *waiting for application*; the application side
+//! symmetrically splits into execution, log-full stalls, synchronization and
+//! syscall-containment stalls. All counters are simulated cycles.
+
+use paralog_accel::{IfStats, ItStats, MtlbStats};
+use paralog_lifeguards::Violation;
+use paralog_order::CaptureStats;
+
+/// Cycle buckets of one application thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppBuckets {
+    /// Executing instructions (incl. memory latency).
+    pub exec: u64,
+    /// Stalled because the log buffer was full.
+    pub log_stall: u64,
+    /// Stalled on application synchronization (locks, barriers).
+    pub sync_stall: u64,
+    /// Stalled at a system call waiting for the lifeguard (damage
+    /// containment).
+    pub syscall_stall: u64,
+    /// Stalled on a full store buffer (TSO).
+    pub sb_stall: u64,
+}
+
+impl AppBuckets {
+    /// Total accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.exec + self.log_stall + self.sync_stall + self.syscall_stall + self.sb_stall
+    }
+}
+
+/// Cycle buckets of one lifeguard thread (Figure 7's decomposition).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LgBuckets {
+    /// Processing delivered events (handler + metadata accesses).
+    pub useful: u64,
+    /// Stalled on unmet dependence arcs, CA barriers or pending versions.
+    pub wait_dependence: u64,
+    /// Stalled on an empty log buffer (application not producing).
+    pub wait_application: u64,
+}
+
+impl LgBuckets {
+    /// Total accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.useful + self.wait_dependence + self.wait_application
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Application thread count.
+    pub app_threads: usize,
+    /// Completion time of the application side (cycles).
+    pub app_finish: u64,
+    /// Completion time of the lifeguard side (cycles; 0 when unmonitored).
+    pub lg_finish: u64,
+    /// Per-application-thread buckets.
+    pub app: Vec<AppBuckets>,
+    /// Per-lifeguard-thread buckets.
+    pub lifeguard: Vec<LgBuckets>,
+    /// Event records produced across all threads.
+    pub records: u64,
+    /// Metadata ops delivered to handlers.
+    pub delivered_ops: u64,
+    /// Order-capture statistics (arcs observed/recorded/reduced).
+    pub capture: CaptureStats,
+    /// Dependence-stall episodes at lifeguards.
+    pub dependence_stalls: u64,
+    /// Aggregated Inheritance Tracking statistics.
+    pub it: ItStats,
+    /// Aggregated Idempotent Filter statistics.
+    pub ifilter: IfStats,
+    /// Aggregated Metadata-TLB statistics.
+    pub mtlb: MtlbStats,
+    /// ConflictAlert broadcasts issued.
+    pub ca_broadcasts: u64,
+    /// TSO metadata versions produced.
+    pub versions_produced: u64,
+    /// TSO metadata versions consumed.
+    pub versions_consumed: u64,
+    /// Violations reported by the lifeguards.
+    pub violations: Vec<Violation>,
+    /// Final metadata fingerprint (equivalence testing).
+    pub fingerprint: u64,
+    /// Fingerprint of the in-line sequential reference, when enabled.
+    pub reference_fingerprint: Option<u64>,
+    /// Debug dump of non-clean shadow bytes `(addr, value)` (sorted), when
+    /// [`MonitorConfig::dump_shadows`](crate::MonitorConfig) is set.
+    pub shadow_dump: Option<Vec<(u64, u8)>>,
+    /// Debug dump of the reference's non-clean shadow bytes.
+    pub reference_dump: Option<Vec<(u64, u8)>>,
+    /// Fully annotated per-thread event streams, when
+    /// [`MonitorConfig::collect_streams`](crate::MonitorConfig) is set.
+    pub streams: Option<Vec<Vec<paralog_events::EventRecord>>>,
+}
+
+impl RunMetrics {
+    /// End-to-end execution time: the application stalls when the log is
+    /// full, so application and lifeguard finish together up to buffering
+    /// (§2); the run ends when the *last* entity finishes.
+    pub fn execution_cycles(&self) -> u64 {
+        self.app_finish.max(self.lg_finish)
+    }
+
+    /// This run's slowdown relative to `baseline` execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline_cycles` is zero.
+    pub fn slowdown_vs(&self, baseline_cycles: u64) -> f64 {
+        assert!(baseline_cycles > 0, "baseline must have run");
+        self.execution_cycles() as f64 / baseline_cycles as f64
+    }
+
+    /// Sum of lifeguard buckets across threads.
+    pub fn lifeguard_totals(&self) -> LgBuckets {
+        let mut out = LgBuckets::default();
+        for b in &self.lifeguard {
+            out.useful += b.useful;
+            out.wait_dependence += b.wait_dependence;
+            out.wait_application += b.wait_application;
+        }
+        out
+    }
+
+    /// Whether the parallel run's final metadata matches the sequential
+    /// reference (always true when the check was disabled).
+    pub fn matches_reference(&self) -> bool {
+        match self.reference_fingerprint {
+            Some(r) => r == self.fingerprint,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_is_max_of_sides() {
+        let m = RunMetrics { app_finish: 100, lg_finish: 140, ..Default::default() };
+        assert_eq!(m.execution_cycles(), 140);
+        assert!((m.slowdown_vs(70) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_sum_buckets() {
+        let m = RunMetrics {
+            lifeguard: vec![
+                LgBuckets { useful: 10, wait_dependence: 5, wait_application: 1 },
+                LgBuckets { useful: 20, wait_dependence: 0, wait_application: 4 },
+            ],
+            ..Default::default()
+        };
+        let t = m.lifeguard_totals();
+        assert_eq!(t.useful, 30);
+        assert_eq!(t.wait_dependence, 5);
+        assert_eq!(t.wait_application, 5);
+        assert_eq!(t.total(), 40);
+    }
+
+    #[test]
+    fn reference_match_semantics() {
+        let mut m = RunMetrics { fingerprint: 7, ..Default::default() };
+        assert!(m.matches_reference(), "no reference = vacuously true");
+        m.reference_fingerprint = Some(7);
+        assert!(m.matches_reference());
+        m.reference_fingerprint = Some(8);
+        assert!(!m.matches_reference());
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn zero_baseline_panics() {
+        let m = RunMetrics::default();
+        let _ = m.slowdown_vs(0);
+    }
+}

@@ -1,0 +1,552 @@
+//! Lifeguard-side stepping: order enforcement, accelerators, event delivery,
+//! ConflictAlert handling and progress advertising.
+
+use super::{LgThread, Sim};
+use crate::config::{CaMode, MonitoringMode};
+use paralog_accel::FlushReason;
+use paralog_events::{
+    check_view, dataflow_view, AddrRange, CaPhase, CaRecord, EventPayload, EventRecord, MetaOp,
+    Rid, ThreadId,
+};
+use paralog_lifeguards::{CostModel, EventView, HandlerCtx, Violation};
+use paralog_order::Gate;
+use paralog_sim::MemorySystem;
+
+impl<'w> Sim<'w> {
+    /// One step of lifeguard engine `li` (parallel: lifeguard thread `li`
+    /// paired with application thread `li`; timesliced: the single engine).
+    pub(super) fn step_lg(&mut self, li: usize) {
+        let entity = match self.config.mode {
+            MonitoringMode::Timesliced => 1,
+            _ => self.k + li,
+        };
+        if self.lgs[li].finished {
+            self.sched.finish(entity);
+            return;
+        }
+        let ring_idx = if self.config.mode == MonitoringMode::Timesliced { 0 } else { li };
+
+        // Is there a record to look at?
+        let Some(head) = self.rings[ring_idx].peek() else {
+            if self.rings[ring_idx].is_closed() {
+                self.finish_lg(li, entity);
+            } else {
+                // The lifeguard has caught up with its application thread.
+                // Holding IT rows now only suppresses our advertised
+                // progress (and can deadlock a remote lifeguard whose arc
+                // targets a held record while our thread is blocked on it
+                // transitively): flush and publish accurate progress — the
+                // idle-time analogue of §4.2's stall-flush rule.
+                let mut flush_cycles = 0;
+                if self.config.accelerators && self.lgs[li].it.live_mem_rows() > 0 {
+                    let tag = self.lgs[li].last_tag.unwrap_or(li);
+                    let ops = self.lgs[li].it.flush_all(FlushReason::DependenceStall);
+                    for op in &ops {
+                        flush_cycles += deliver_op(
+                            &mut self.lgs[li],
+                            tag,
+                            &mut self.mem,
+                            &self.config.cost,
+                            true,
+                            op,
+                            self.progress.get(ThreadId(li as u16)),
+                            &None,
+                            &mut self.metrics.violations,
+                        );
+                    }
+                }
+                if self.config.mode == MonitoringMode::Parallel {
+                    let accurate = self.lgs[li].it.advertisable_progress();
+                    let cur = self.progress.get(ThreadId(li as u16));
+                    if accurate > cur {
+                        self.progress.advertise(ThreadId(li as u16), accurate);
+                    }
+                }
+                let q = self.machine.poll_quantum;
+                self.lgs[li].buckets.useful += flush_cycles;
+                self.lgs[li].buckets.wait_application += q;
+                self.sched.advance(entity, q + flush_cycles);
+            }
+            return;
+        };
+
+        // --- gating (parallel mode only; a timesliced stream is already a
+        // total order) -----------------------------------------------------
+        if self.config.mode == MonitoringMode::Parallel {
+            // ConflictAlert barrier (§5.4).
+            if let EventPayload::Ca(ca) = &head.payload {
+                let ca = *ca;
+                if ca.seq != u64::MAX
+                    && self.config.ca_mode == CaMode::Barrier
+                    && self.ca_policy.actions(ca.what, ca.phase).barrier
+                {
+                    self.ca_barrier.arrive(ca.seq, ThreadId(li as u16));
+                    if !self.ca_barrier.may_pass(ca.seq, ThreadId(li as u16), ca.issuer) {
+                        self.dependence_stall(li, entity);
+                        return;
+                    }
+                }
+            }
+            // Dependence arcs (§5.2).
+            let head = self.rings[ring_idx].peek().expect("still buffered");
+            let gate = {
+                let rec_ref: &EventRecord = head;
+                self.lgs[li].enforcer.regate(rec_ref, &self.progress)
+            };
+            if let Gate::Blocked { .. } = gate {
+                self.dependence_stall(li, entity);
+                return;
+            }
+            // TSO versioned metadata (§5.5) never blocks: if the producer
+            // has not yet produced, it also has not applied its store, and
+            // every later write to the range is gated behind its progress —
+            // the live shadow is still the correct pre-store state. The
+            // consume below simply prefers the snapshot when it exists.
+        }
+
+        // --- deliverable: pop and process ----------------------------------
+        let rec = self.rings[ring_idx].pop().expect("peeked");
+        let tag = match self.config.mode {
+            MonitoringMode::Timesliced => {
+                let t = self.ring_tags.pop_front().expect("tag per record");
+                self.ts_outstanding[t] -= 1;
+                t
+            }
+            _ => li,
+        };
+        let cycles = self.process_record(li, tag, rec);
+        self.lgs[li].buckets.useful += cycles;
+        self.sched.advance(entity, cycles);
+    }
+
+    /// §4.2's no-deadlock rule: on a dependence stall, flush the IT table
+    /// (delivering pending rows) and publish accurate progress, then wait.
+    fn dependence_stall(&mut self, li: usize, entity: usize) {
+        // §5.2: the consumer spins re-reading the progress counter — a
+        // cached location — far faster than the application-side poll.
+        let q = self.config.cost.stall_poll.max(1);
+        let accel = self.config.accelerators;
+        let mut flush_cycles = 0;
+        if accel && self.lgs[li].it.live_mem_rows() > 0 {
+            let tag = self.lgs[li].last_tag.unwrap_or(li);
+            let ops = self.lgs[li].it.flush_all(FlushReason::DependenceStall);
+            for op in &ops {
+                flush_cycles += deliver_op(
+                    &mut self.lgs[li],
+                    tag,
+                    &mut self.mem,
+                    &self.config.cost,
+                    accel,
+                    op,
+                    self.progress.get(ThreadId(li as u16)),
+                    &None,
+                    &mut self.metrics.violations,
+                );
+            }
+        }
+        if self.config.mode == MonitoringMode::Parallel {
+            let accurate = self.lgs[li].it.advertisable_progress();
+            let cur = self.progress.get(ThreadId(li as u16));
+            if accurate > cur {
+                self.progress.advertise(ThreadId(li as u16), accurate);
+            }
+        }
+        self.lgs[li].enforcer.record_stall(q);
+        self.lgs[li].buckets.useful += flush_cycles;
+        self.lgs[li].buckets.wait_dependence += q;
+        self.sched.advance(entity, q + flush_cycles);
+    }
+
+    fn finish_lg(&mut self, li: usize, entity: usize) {
+        let accel = self.config.accelerators;
+        let mut cycles = 0;
+        if accel && self.lgs[li].it.live_mem_rows() > 0 {
+            let tag = self.lgs[li].last_tag.unwrap_or(li);
+            let ops = self.lgs[li].it.flush_all(FlushReason::DependenceStall);
+            for op in &ops {
+                cycles += deliver_op(
+                    &mut self.lgs[li],
+                    tag,
+                    &mut self.mem,
+                    &self.config.cost,
+                    accel,
+                    op,
+                    self.progress.get(ThreadId(li as u16)),
+                    &None,
+                    &mut self.metrics.violations,
+                );
+            }
+        }
+        if self.config.mode == MonitoringMode::Parallel {
+            let final_progress = self.app[li].rid.max(self.lgs[li].it.advertisable_progress());
+            let cur = self.progress.get(ThreadId(li as u16));
+            if final_progress > cur {
+                self.progress.advertise(ThreadId(li as u16), final_progress);
+            }
+        }
+        self.lgs[li].buckets.useful += cycles;
+        self.sched.advance(entity, cycles.max(1));
+        self.lgs[li].finished = true;
+        self.sched.finish(entity);
+    }
+
+    /// Processes one popped record; returns the cycles it cost.
+    ///
+    /// Records that deliver nothing (IT-absorbed, IF-filtered, or simply not
+    /// subscribed by the lifeguard's event view) are near-free: the event
+    /// mux in hardware retires several per cycle, modeled by batching
+    /// [`LgThread::skip_credit`].
+    fn process_record(&mut self, li: usize, tag: usize, rec: EventRecord) -> u64 {
+        let cost = self.config.cost;
+        let accel = self.config.accelerators;
+        let mut cycles = 0;
+        let rid = rec.rid;
+
+        // Timesliced context switch: IT rows describe the previous thread's
+        // registers; materialize them into that thread's lifeguard first.
+        if self.config.mode == MonitoringMode::Timesliced {
+            if let Some(prev) = self.lgs[li].last_tag {
+                if prev != tag && accel && self.lgs[li].it.live_rows() > 0 {
+                    let ops = self.lgs[li].it.flush_all(FlushReason::ContextSwitch);
+                    for op in &ops {
+                        cycles += deliver_op(
+                            &mut self.lgs[li],
+                            prev,
+                            &mut self.mem,
+                            &cost,
+                            accel,
+                            op,
+                            rid,
+                            &None,
+                            &mut self.metrics.violations,
+                        );
+                    }
+                }
+            }
+        }
+        self.lgs[li].last_tag = Some(tag);
+
+        // TSO: produce versions before the record's own effect (§5.5).
+        for (vid, mem, consumers) in &rec.produce_versions {
+            if accel {
+                let flushed = self.lgs[li].it.flush_overlapping_public(*mem);
+                for op in &flushed {
+                    cycles += deliver_op(
+                        &mut self.lgs[li],
+                        tag,
+                        &mut self.mem,
+                        &cost,
+                        accel,
+                        op,
+                        rid,
+                        &None,
+                        &mut self.metrics.violations,
+                    );
+                }
+            }
+            let range = mem.range();
+            let snapshot = self.lgs[li].lg(tag).snapshot_meta(range);
+            self.versions.produce(*vid, range, snapshot, *consumers);
+            cycles += cost.propagation_handler;
+        }
+
+        // The versioned snapshot this record consumes, if any. An absent
+        // version means the producer has not reached its store yet: the live
+        // shadow is still pre-store, so reading it directly is correct (the
+        // bypass is recorded so the eventual snapshot retires properly).
+        let versioned: Option<(AddrRange, Vec<u8>)> = rec.consume_version.and_then(|(vid, _)| {
+            let got = self.versions.consume(vid);
+            if got.is_none() {
+                self.versions.bypass(vid);
+            }
+            got
+        });
+
+        match rec.payload {
+            EventPayload::Instr(instr) => {
+                // Syscall race detection against the range table (§5.4).
+                if let Some((mem, _)) = instr.mem_access() {
+                    let hit = self.lgs[li].range_table.check(ThreadId(tag as u16), mem.range());
+                    if let Some(entry) = hit {
+                        let mut ctx = HandlerCtx::new();
+                        self.lgs[li].lg(tag).on_syscall_race(mem.range(), &entry, rid, &mut ctx);
+                        cycles += charge_ctx(
+                            &mut self.lgs[li],
+                            &mut self.mem,
+                            &cost,
+                            rid,
+                            ctx,
+                            &mut self.metrics.violations,
+                        );
+                    }
+                }
+                let view = self.lgs[li].lg_ref(tag).spec().view;
+                let uses_it = self.lgs[li].lg_ref(tag).spec().uses_it;
+                let uses_if = self.lgs[li].lg_ref(tag).spec().uses_if;
+                let mut ops: Vec<MetaOp> = Vec::new();
+                match view {
+                    EventView::Dataflow => {
+                        if accel && uses_it {
+                            if let Some((_, mem)) = rec.consume_version {
+                                // §5.5: deliver versioned accesses directly,
+                                // materializing same-address rows first. The
+                                // delivery bypasses the IT table, so (i)
+                                // rows of the instruction's *source*
+                                // registers must be materialized (their
+                                // lifeguard-side state is stale while held)
+                                // and (ii) the destination's stale row must
+                                // be dropped — the direct delivery updates
+                                // the lifeguard's register state.
+                                ops.extend(self.lgs[li].it.flush_overlapping_public(mem));
+                                for src in instr.src_regs().into_iter().flatten() {
+                                    ops.extend(self.lgs[li].it.flush_reg_public(src));
+                                }
+                                ops.extend(dataflow_view(&instr));
+                                if let Some(dst) = instr.dst_reg() {
+                                    self.lgs[li].it.clear_reg(dst);
+                                }
+                                self.lgs[li].it.note_processed(rid);
+                            } else {
+                                ops = self.lgs[li].it.process(&instr, rid);
+                                if ops.is_empty() {
+                                    cycles += cost.it_absorb;
+                                }
+                            }
+                        } else {
+                            ops.extend(dataflow_view(&instr));
+                        }
+                    }
+                    EventView::Check => {
+                        if let Some(op) = check_view(&instr) {
+                            let filtered = if accel && uses_if && rec.consume_version.is_none() {
+                                if let MetaOp::CheckAccess { mem, kind } = op {
+                                    self.lgs[li].ifilter.filter(mem, kind)
+                                } else {
+                                    false
+                                }
+                            } else {
+                                false
+                            };
+                            if filtered {
+                                cycles += cost.if_hit;
+                            } else {
+                                ops.push(op);
+                            }
+                        }
+                        if accel && uses_it {
+                            self.lgs[li].it.note_processed(rid);
+                        }
+                    }
+                }
+                for op in &ops {
+                    cycles += deliver_op(
+                        &mut self.lgs[li],
+                        tag,
+                        &mut self.mem,
+                        &cost,
+                        accel,
+                        op,
+                        rid,
+                        &versioned,
+                        &mut self.metrics.violations,
+                    );
+                }
+            }
+            EventPayload::Ca(ca) => {
+                cycles += self.process_ca(li, tag, rid, ca);
+            }
+        }
+
+        if cycles == 0 {
+            // Skipped record: batch four skips per cycle.
+            self.lgs[li].skip_credit += 1;
+            if self.lgs[li].skip_credit >= 4 {
+                self.lgs[li].skip_credit = 0;
+                cycles = 1;
+            }
+        } else {
+            cycles += cost.record_drain;
+        }
+
+        // Advertise progress — delayed by IT-held state (§4.2).
+        if self.config.mode == MonitoringMode::Parallel {
+            let uses_it = self.lgs[li].lg_ref(tag).spec().uses_it;
+            let adv = if accel && uses_it {
+                self.lgs[li].it.note_processed(rid);
+                if self.config.delayed_advertising {
+                    self.lgs[li].it.advertisable_progress()
+                } else {
+                    // Unsound ablation: ignore IT-held state (Figure 3's
+                    // remote conflict becomes reachable).
+                    rid
+                }
+            } else {
+                rid
+            };
+            let cur = self.progress.get(ThreadId(li as u16));
+            if adv > cur {
+                self.progress.advertise(ThreadId(li as u16), adv);
+            }
+        }
+        cycles
+    }
+
+    fn process_ca(&mut self, li: usize, tag: usize, rid: Rid, ca: CaRecord) -> u64 {
+        let cost = self.config.cost;
+        let accel = self.config.accelerators;
+        let mut cycles = cost.ca_handler;
+        let actions = self.ca_policy.actions(ca.what, ca.phase);
+
+        if accel && actions.flush_it && self.lgs[li].it.live_mem_rows() > 0 {
+            let ops = self.lgs[li].it.flush_all(FlushReason::ConflictAlert);
+            for op in &ops {
+                cycles += deliver_op(
+                    &mut self.lgs[li],
+                    tag,
+                    &mut self.mem,
+                    &cost,
+                    accel,
+                    op,
+                    rid,
+                    &None,
+                    &mut self.metrics.violations,
+                );
+            }
+        }
+        if accel && actions.flush_if {
+            match ca.range {
+                Some(range) => self.lgs[li].ifilter.invalidate_range(range),
+                None => self.lgs[li].ifilter.invalidate_all(),
+            }
+        }
+        if accel && actions.flush_mtlb {
+            match ca.range {
+                Some(range) => self.lgs[li].mtlb.flush_range(range),
+                None => self.lgs[li].mtlb.flush_all(),
+            }
+        }
+        if actions.track_range {
+            match (ca.phase, ca.range) {
+                (CaPhase::Begin, Some(range)) => {
+                    self.lgs[li].range_table.insert(ca.issuer, ca.what, range);
+                }
+                (CaPhase::End, _) => self.lgs[li].range_table.remove(ca.issuer),
+                _ => {}
+            }
+        }
+
+        let own = ca.issuer.index() == tag;
+        let mut ctx = HandlerCtx::new();
+        self.lgs[li].lg(tag).handle_ca(&ca, own, rid, &mut ctx);
+        if own {
+            if let Some(range) = ca.range {
+                cycles += cost.ca_per_16_bytes * range.len.div_ceil(16);
+            }
+        }
+        cycles += charge_ctx(
+            &mut self.lgs[li],
+            &mut self.mem,
+            &cost,
+            rid,
+            ctx,
+            &mut self.metrics.violations,
+        );
+        if own
+            && ca.seq != u64::MAX
+            && self.config.mode == MonitoringMode::Parallel
+            && self.config.ca_mode == CaMode::Barrier
+            && actions.barrier
+        {
+            self.ca_barrier.mark_applied(ca.seq);
+        }
+        if accel {
+            self.lgs[li].it.note_processed(rid);
+        }
+        cycles
+    }
+}
+
+/// Delivers one metadata op to the lifeguard: dispatch + handler cost,
+/// metadata address computation (M-TLB or two-level walk), handler
+/// execution, metadata cache accesses and slow-path synchronization.
+fn deliver_op(
+    lgt: &mut LgThread,
+    tag: usize,
+    mem: &mut MemorySystem,
+    cost: &CostModel,
+    accel: bool,
+    op: &MetaOp,
+    rid: Rid,
+    versioned: &Option<(AddrRange, Vec<u8>)>,
+    violations: &mut Vec<Violation>,
+) -> u64 {
+    let mut cycles = cost.op_cost(op);
+    let uses_mtlb = lgt.lg_ref(tag).spec().uses_mtlb;
+    let mut ctx = HandlerCtx::new();
+    if let Some((range, bytes)) = versioned {
+        // Only the op reading the versioned location uses the snapshot.
+        if op.mem_src().map(|m| range.overlaps(&m.range())).unwrap_or(false) {
+            ctx.versioned = Some((*range, bytes.clone()));
+        }
+    }
+    lgt.lg(tag).handle(op, rid, &mut ctx);
+    // Metadata address computation: charged per operand when the handler
+    // reached metadata; a NULL first-level entry (address outside tracked
+    // space) is a one-cycle early exit regardless of the M-TLB.
+    let operands = usize::from(op.mem_src().is_some()) + usize::from(op.mem_dst().is_some());
+    if ctx.meta_touches.is_empty() {
+        cycles += operands.min(1) as u64;
+    } else {
+        for operand in [op.mem_src(), op.mem_dst()].into_iter().flatten() {
+            if accel && uses_mtlb {
+                if lgt.mtlb.lookup(operand.addr) {
+                    cycles += cost.mtlb_hit;
+                } else {
+                    cycles += cost.meta_addr_walk;
+                }
+            } else {
+                cycles += cost.meta_addr_walk;
+            }
+        }
+    }
+    lgt.delivered_ops += 1;
+    cycles + charge_ctx_inner(lgt, mem, cost, rid, ctx, violations)
+}
+
+/// Charges a handler context's side effects: metadata cache traffic,
+/// slow-path synchronization, and collects violations.
+fn charge_ctx(
+    lgt: &mut LgThread,
+    mem: &mut MemorySystem,
+    cost: &CostModel,
+    rid: Rid,
+    ctx: HandlerCtx,
+    violations: &mut Vec<Violation>,
+) -> u64 {
+    charge_ctx_inner(lgt, mem, cost, rid, ctx, violations)
+}
+
+fn charge_ctx_inner(
+    lgt: &mut LgThread,
+    mem: &mut MemorySystem,
+    cost: &CostModel,
+    rid: Rid,
+    ctx: HandlerCtx,
+    violations: &mut Vec<Violation>,
+) -> u64 {
+    let mut cycles = 0;
+    for (range, is_write) in &ctx.meta_touches {
+        let kind = if *is_write {
+            paralog_events::AccessKind::Write
+        } else {
+            paralog_events::AccessKind::Read
+        };
+        let res = mem.access(lgt.core, rid, range.start, range.len.max(1), kind);
+        cycles += res.latency;
+    }
+    if ctx.slow_path {
+        cycles += cost.slow_path_sync;
+    }
+    violations.extend(ctx.violations);
+    cycles
+}

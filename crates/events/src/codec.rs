@@ -1,0 +1,636 @@
+//! Log compression codec.
+//!
+//! LBA reports that compression reduces the average event record to under one
+//! byte (§2); the 64 KB log buffer therefore holds ~64 K records. This module
+//! implements a real codec — opcode nibble packing, delta-encoded addresses
+//! against a rolling reference, LEB128 varints — so that the record-size claim
+//! is *measured* on our streams rather than assumed (see the `codec` bench).
+//!
+//! The codec is lossless for the fields the lifeguard needs: payload, arcs and
+//! TSO annotations; `rid`s are reconstructed from stream position plus an
+//! explicit base.
+
+use crate::arc::{ArcKind, DependenceArc};
+use crate::isa::{Instr, MemRef, Reg, SyscallKind};
+use crate::record::{CaPhase, CaRecord, EventPayload, EventRecord, HighLevelKind, VersionId};
+use crate::types::{AddrRange, Rid, ThreadId};
+use std::fmt;
+
+/// Error produced when decoding a corrupt or truncated stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    at: usize,
+    what: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid log stream at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_LOAD: u8 = 0;
+const OP_STORE: u8 = 1;
+const OP_MOV_RR: u8 = 2;
+const OP_MOV_RI: u8 = 3;
+const OP_ALU1: u8 = 4;
+const OP_ALU2: u8 = 5;
+const OP_ALU_MEM: u8 = 6;
+const OP_JMP: u8 = 7;
+const OP_RMW: u8 = 8;
+const OP_NOP: u8 = 9;
+const OP_CA: u8 = 10;
+
+/// Flag bits stored alongside the opcode.
+const FLAG_ARCS: u8 = 0x10;
+const FLAG_PRODUCE: u8 = 0x20;
+const FLAG_CONSUME: u8 = 0x40;
+const FLAG_FORWARDED: u8 = 0x80;
+
+/// Streaming encoder holding the delta-compression context.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    out: Vec<u8>,
+    last_addr: u64,
+    records: u64,
+    started: bool,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Number of records encoded so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Encoded bytes so far.
+    pub fn bytes(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Average encoded bytes per record (the paper's headline metric).
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.out.len() as f64 / self.records as f64
+        }
+    }
+
+    /// Appends one record to the stream.
+    pub fn push(&mut self, rec: &EventRecord) {
+        if !self.started {
+            self.started = true;
+            write_uvarint(&mut self.out, rec.rid.0);
+        }
+        self.records += 1;
+        let mut flags = 0u8;
+        if !rec.arcs.is_empty() {
+            flags |= FLAG_ARCS;
+        }
+        if !rec.produce_versions.is_empty() {
+            flags |= FLAG_PRODUCE;
+        }
+        if rec.consume_version.is_some() {
+            flags |= FLAG_CONSUME;
+        }
+        if rec.forwarded {
+            flags |= FLAG_FORWARDED;
+        }
+        match &rec.payload {
+            EventPayload::Instr(i) => self.encode_instr(i, flags),
+            EventPayload::Ca(ca) => self.encode_ca(ca, flags),
+        }
+        if flags & FLAG_ARCS != 0 {
+            write_uvarint(&mut self.out, rec.arcs.len() as u64);
+            for a in &rec.arcs {
+                self.out.push(arc_kind_code(a.kind));
+                write_uvarint(&mut self.out, a.src.0 as u64);
+                write_uvarint(&mut self.out, a.src_rid.0);
+            }
+        }
+        if flags & FLAG_PRODUCE != 0 {
+            write_uvarint(&mut self.out, rec.produce_versions.len() as u64);
+            for (v, m, consumers) in &rec.produce_versions {
+                write_uvarint(&mut self.out, v.consumer.0 as u64);
+                write_uvarint(&mut self.out, v.consumer_rid.0);
+                self.encode_memref(*m);
+                write_uvarint(&mut self.out, u64::from(*consumers));
+            }
+        }
+        if let Some((v, m)) = rec.consume_version {
+            write_uvarint(&mut self.out, v.consumer.0 as u64);
+            write_uvarint(&mut self.out, v.consumer_rid.0);
+            self.encode_memref(m);
+        }
+    }
+
+    /// Finishes the stream and returns the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+
+    fn encode_instr(&mut self, i: &Instr, flags: u8) {
+        match *i {
+            Instr::Load { dst, src } => {
+                self.out.push(OP_LOAD | flags);
+                self.out.push(pack_reg_size(dst, src.size));
+                self.encode_addr(src.addr);
+            }
+            Instr::Store { dst, src } => {
+                self.out.push(OP_STORE | flags);
+                self.out.push(pack_reg_size(src, dst.size));
+                self.encode_addr(dst.addr);
+            }
+            Instr::MovRR { dst, src } => {
+                self.out.push(OP_MOV_RR | flags);
+                self.out.push(pack_regs(dst, src));
+            }
+            Instr::MovRI { dst } => {
+                self.out.push(OP_MOV_RI | flags);
+                self.out.push(dst.0);
+            }
+            Instr::Alu1 { dst, a } => {
+                self.out.push(OP_ALU1 | flags);
+                self.out.push(pack_regs(dst, a));
+            }
+            Instr::Alu2 { dst, a, b } => {
+                self.out.push(OP_ALU2 | flags);
+                self.out.push(pack_regs(dst, a));
+                self.out.push(b.0);
+            }
+            Instr::AluMem { dst, a, src } => {
+                self.out.push(OP_ALU_MEM | flags);
+                self.out.push(pack_regs(dst, a));
+                self.out.push(size_code(src.size));
+                self.encode_addr(src.addr);
+            }
+            Instr::JmpReg { target } => {
+                self.out.push(OP_JMP | flags);
+                self.out.push(target.0);
+            }
+            Instr::Rmw { mem, reg } => {
+                self.out.push(OP_RMW | flags);
+                self.out.push(pack_reg_size(reg, mem.size));
+                self.encode_addr(mem.addr);
+            }
+            Instr::Nop => {
+                self.out.push(OP_NOP | flags);
+            }
+        }
+    }
+
+    fn encode_ca(&mut self, ca: &CaRecord, flags: u8) {
+        self.out.push(OP_CA | flags);
+        let (code, payload) = high_level_code(ca.what);
+        let mut tag = code << 2;
+        if ca.phase == CaPhase::End {
+            tag |= 0b01;
+        }
+        if ca.range.is_some() {
+            tag |= 0b10;
+        }
+        self.out.push(tag);
+        if let Some(p) = payload {
+            write_uvarint(&mut self.out, p);
+        }
+        write_uvarint(&mut self.out, ca.issuer.0 as u64);
+        write_uvarint(&mut self.out, ca.issuer_rid.0);
+        write_uvarint(&mut self.out, ca.seq);
+        if let Some(r) = ca.range {
+            self.encode_addr(r.start);
+            write_uvarint(&mut self.out, r.len);
+        }
+    }
+
+    fn encode_memref(&mut self, m: MemRef) {
+        self.out.push(size_code(m.size));
+        self.encode_addr(m.addr);
+    }
+
+    fn encode_addr(&mut self, addr: u64) {
+        let delta = addr as i64 - self.last_addr as i64;
+        write_ivarint(&mut self.out, delta);
+        self.last_addr = addr;
+    }
+}
+
+/// Encodes a whole slice of records (convenience wrapper over [`Encoder`]).
+pub fn encode(records: &[EventRecord]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    for r in records {
+        enc.push(r);
+    }
+    enc.finish()
+}
+
+/// Decodes a stream produced by [`encode`] / [`Encoder`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncated or corrupt input.
+pub fn decode(bytes: &[u8]) -> Result<Vec<EventRecord>, DecodeError> {
+    let mut d = Decoder { bytes, pos: 0, last_addr: 0 };
+    let mut out = Vec::new();
+    if bytes.is_empty() {
+        return Ok(out);
+    }
+    let mut rid = Rid(d.read_uvarint("rid base")?);
+    while d.pos < d.bytes.len() {
+        let rec = d.read_record(rid)?;
+        rid = rec.rid.next();
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    last_addr: u64,
+}
+
+impl<'a> Decoder<'a> {
+    fn err(&self, what: &'static str) -> DecodeError {
+        DecodeError { at: self.pos, what }
+    }
+
+    fn read_byte(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError { at: self.pos, what })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn read_uvarint(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        let mut shift = 0u32;
+        let mut acc = 0u64;
+        loop {
+            let b = self.read_byte(what)?;
+            acc |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(acc);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(self.err("varint overflow"));
+            }
+        }
+    }
+
+    fn read_ivarint(&mut self, what: &'static str) -> Result<i64, DecodeError> {
+        let raw = self.read_uvarint(what)?;
+        Ok(zigzag_decode(raw))
+    }
+
+    fn read_addr(&mut self) -> Result<u64, DecodeError> {
+        let delta = self.read_ivarint("addr delta")?;
+        let addr = (self.last_addr as i64 + delta) as u64;
+        self.last_addr = addr;
+        Ok(addr)
+    }
+
+    fn read_memref(&mut self) -> Result<MemRef, DecodeError> {
+        let size = decode_size(self.read_byte("memref size")?).ok_or(self.err("bad size"))?;
+        let addr = self.read_addr()?;
+        Ok(MemRef::new(addr, size))
+    }
+
+    fn read_record(&mut self, rid: Rid) -> Result<EventRecord, DecodeError> {
+        let head = self.read_byte("opcode")?;
+        let opcode = head & 0x0f;
+        let flags = head & 0xf0;
+        let payload = if opcode == OP_CA {
+            EventPayload::Ca(self.read_ca()?)
+        } else {
+            EventPayload::Instr(self.read_instr(opcode)?)
+        };
+        let mut rec = EventRecord {
+            rid,
+            payload,
+            arcs: Vec::new(),
+            produce_versions: Vec::new(),
+            consume_version: None,
+            forwarded: flags & FLAG_FORWARDED != 0,
+        };
+        if flags & FLAG_ARCS != 0 {
+            let n = self.read_uvarint("arc count")?;
+            for _ in 0..n {
+                let kind = decode_arc_kind(self.read_byte("arc kind")?).ok_or(self.err("bad arc"))?;
+                let src = ThreadId(self.read_uvarint("arc src")? as u16);
+                let src_rid = Rid(self.read_uvarint("arc rid")?);
+                rec.arcs.push(DependenceArc::new(src, src_rid, kind));
+            }
+        }
+        if flags & FLAG_PRODUCE != 0 {
+            let n = self.read_uvarint("produce count")?;
+            for _ in 0..n {
+                let v = self.read_version()?;
+                let m = self.read_memref()?;
+                let consumers = self.read_uvarint("consumer count")? as u32;
+                rec.produce_versions.push((v, m, consumers));
+            }
+        }
+        if flags & FLAG_CONSUME != 0 {
+            let v = self.read_version()?;
+            let m = self.read_memref()?;
+            rec.consume_version = Some((v, m));
+        }
+        Ok(rec)
+    }
+
+    fn read_version(&mut self) -> Result<VersionId, DecodeError> {
+        let consumer = ThreadId(self.read_uvarint("version tid")? as u16);
+        let consumer_rid = Rid(self.read_uvarint("version rid")?);
+        Ok(VersionId { consumer, consumer_rid })
+    }
+
+    fn read_instr(&mut self, opcode: u8) -> Result<Instr, DecodeError> {
+        Ok(match opcode {
+            OP_LOAD => {
+                let (reg, size) = unpack_reg_size(self.read_byte("reg")?).ok_or(self.err("bad reg"))?;
+                Instr::Load { dst: reg, src: MemRef::new(self.read_addr()?, size) }
+            }
+            OP_STORE => {
+                let (reg, size) = unpack_reg_size(self.read_byte("reg")?).ok_or(self.err("bad reg"))?;
+                Instr::Store { dst: MemRef::new(self.read_addr()?, size), src: reg }
+            }
+            OP_MOV_RR => {
+                let (dst, src) = unpack_regs(self.read_byte("regs")?);
+                Instr::MovRR { dst, src }
+            }
+            OP_MOV_RI => Instr::MovRI { dst: Reg(self.read_byte("reg")?) },
+            OP_ALU1 => {
+                let (dst, a) = unpack_regs(self.read_byte("regs")?);
+                Instr::Alu1 { dst, a }
+            }
+            OP_ALU2 => {
+                let (dst, a) = unpack_regs(self.read_byte("regs")?);
+                let b = Reg(self.read_byte("reg b")?);
+                Instr::Alu2 { dst, a, b }
+            }
+            OP_ALU_MEM => {
+                let (dst, a) = unpack_regs(self.read_byte("regs")?);
+                let size = decode_size(self.read_byte("size")?).ok_or(self.err("bad size"))?;
+                Instr::AluMem { dst, a, src: MemRef::new(self.read_addr()?, size) }
+            }
+            OP_JMP => Instr::JmpReg { target: Reg(self.read_byte("reg")?) },
+            OP_RMW => {
+                let (reg, size) = unpack_reg_size(self.read_byte("reg")?).ok_or(self.err("bad reg"))?;
+                Instr::Rmw { mem: MemRef::new(self.read_addr()?, size), reg }
+            }
+            OP_NOP => Instr::Nop,
+            _ => return Err(self.err("unknown opcode")),
+        })
+    }
+
+    fn read_ca(&mut self) -> Result<CaRecord, DecodeError> {
+        let tag = self.read_byte("ca tag")?;
+        let code = tag >> 2;
+        let needs_payload = matches!(code, 5 | 6 | 7);
+        let payload = if needs_payload { Some(self.read_uvarint("ca payload")?) } else { None };
+        let err = self.err("bad CA kind");
+        let what = decode_high_level(code, move || Ok(payload.unwrap_or(0)))?.ok_or(err)?;
+        let phase = if tag & 0b01 != 0 { CaPhase::End } else { CaPhase::Begin };
+        let has_range = tag & 0b10 != 0;
+        let issuer = ThreadId(self.read_uvarint("ca issuer")? as u16);
+        let issuer_rid = Rid(self.read_uvarint("ca issuer rid")?);
+        let seq = self.read_uvarint("ca seq")?;
+        let range = if has_range {
+            let start = self.read_addr()?;
+            let len = self.read_uvarint("ca len")?;
+            Some(AddrRange::new(start, len))
+        } else {
+            None
+        };
+        Ok(CaRecord { what, phase, range, issuer, issuer_rid, seq })
+    }
+}
+
+fn pack_regs(a: Reg, b: Reg) -> u8 {
+    (a.0 << 4) | (b.0 & 0x0f)
+}
+
+fn unpack_regs(b: u8) -> (Reg, Reg) {
+    (Reg(b >> 4), Reg(b & 0x0f))
+}
+
+fn size_code(size: u8) -> u8 {
+    match size {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        _ => 3,
+    }
+}
+
+fn decode_size(code: u8) -> Option<u8> {
+    match code {
+        0 => Some(1),
+        1 => Some(2),
+        2 => Some(4),
+        3 => Some(8),
+        _ => None,
+    }
+}
+
+fn pack_reg_size(reg: Reg, size: u8) -> u8 {
+    (reg.0 << 4) | size_code(size)
+}
+
+fn unpack_reg_size(b: u8) -> Option<(Reg, u8)> {
+    Some((Reg(b >> 4), decode_size(b & 0x03)?))
+}
+
+fn arc_kind_code(k: ArcKind) -> u8 {
+    match k {
+        ArcKind::Raw => 0,
+        ArcKind::War => 1,
+        ArcKind::Waw => 2,
+        ArcKind::Sync => 3,
+    }
+}
+
+fn decode_arc_kind(b: u8) -> Option<ArcKind> {
+    match b {
+        0 => Some(ArcKind::Raw),
+        1 => Some(ArcKind::War),
+        2 => Some(ArcKind::Waw),
+        3 => Some(ArcKind::Sync),
+        _ => None,
+    }
+}
+
+fn high_level_code(h: HighLevelKind) -> (u8, Option<u64>) {
+    match h {
+        HighLevelKind::Malloc => (0, None),
+        HighLevelKind::Free => (1, None),
+        HighLevelKind::Syscall(SyscallKind::ReadInput) => (2, None),
+        HighLevelKind::Syscall(SyscallKind::WriteOutput) => (3, None),
+        HighLevelKind::Syscall(SyscallKind::Other) => (4, None),
+        HighLevelKind::Lock(l) => (5, Some(u64::from(l.0))),
+        HighLevelKind::Unlock(l) => (6, Some(u64::from(l.0))),
+        HighLevelKind::Barrier(b) => (7, Some(u64::from(b.0))),
+    }
+}
+
+fn decode_high_level(b: u8, payload: impl FnOnce() -> Result<u64, DecodeError>) -> Result<Option<HighLevelKind>, DecodeError> {
+    Ok(match b {
+        0 => Some(HighLevelKind::Malloc),
+        1 => Some(HighLevelKind::Free),
+        2 => Some(HighLevelKind::Syscall(SyscallKind::ReadInput)),
+        3 => Some(HighLevelKind::Syscall(SyscallKind::WriteOutput)),
+        4 => Some(HighLevelKind::Syscall(SyscallKind::Other)),
+        5 => Some(HighLevelKind::Lock(crate::isa::LockId(payload()? as u32))),
+        6 => Some(HighLevelKind::Unlock(crate::isa::LockId(payload()? as u32))),
+        7 => Some(HighLevelKind::Barrier(crate::isa::BarrierId(payload()? as u32))),
+        _ => None,
+    })
+}
+
+fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn write_ivarint(out: &mut Vec<u8>, v: i64) {
+    write_uvarint(out, zigzag_encode(v));
+}
+
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX / 2, i64::MIN / 2] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut out = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            out.clear();
+            write_uvarint(&mut out, v);
+            let mut d = Decoder { bytes: &out, pos: 0, last_addr: 0 };
+            assert_eq!(d.read_uvarint("t").unwrap(), v);
+        }
+    }
+
+    fn sample_records() -> Vec<EventRecord> {
+        let m = MemRef::new(0x1000, 4);
+        let n = MemRef::new(0x1004, 4);
+        let mut recs = vec![
+            EventRecord::instr(Rid(1), Instr::Load { dst: r(0), src: m }),
+            EventRecord::instr(Rid(2), Instr::Alu2 { dst: r(1), a: r(0), b: r(2) }),
+            EventRecord::instr(Rid(3), Instr::Store { dst: n, src: r(1) }),
+            EventRecord::instr(Rid(4), Instr::JmpReg { target: r(1) }),
+            EventRecord::ca(
+                Rid(5),
+                CaRecord {
+                    what: HighLevelKind::Malloc,
+                    phase: CaPhase::End,
+                    range: Some(AddrRange::new(0x2000, 128)),
+                    issuer: ThreadId(1),
+                    issuer_rid: Rid(77),
+                    seq: 3,
+                },
+            ),
+        ];
+        recs[2].arcs.push(DependenceArc::new(ThreadId(1), Rid(9), ArcKind::Raw));
+        recs[2].arcs.push(DependenceArc::new(ThreadId(2), Rid(4), ArcKind::War));
+        recs[0].consume_version = Some((
+            VersionId { consumer: ThreadId(0), consumer_rid: Rid(1) },
+            m,
+        ));
+        recs[3].produce_versions.push((
+            VersionId { consumer: ThreadId(2), consumer_rid: Rid(42) },
+            n,
+            2,
+        ));
+        recs
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let recs = sample_records();
+        let bytes = encode(&recs);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(recs, back);
+    }
+
+    #[test]
+    fn empty_stream() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn sequential_stream_is_compact() {
+        // A stride-4 load loop — the common case — should approach ~2 bytes
+        // per record with delta encoding (opcode byte + 1-byte delta).
+        let mut recs = Vec::new();
+        for i in 0..1000u64 {
+            recs.push(EventRecord::instr(
+                Rid(i + 1),
+                Instr::Load { dst: r(0), src: MemRef::new(0x10000 + i * 4, 4) },
+            ));
+        }
+        let bytes = encode(&recs);
+        let per_record = bytes.len() as f64 / recs.len() as f64;
+        assert!(per_record < 3.5, "expected compact encoding, got {per_record}");
+        assert_eq!(decode(&bytes).unwrap(), recs);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let recs = sample_records();
+        let bytes = encode(&recs);
+        let err = decode(&bytes[..bytes.len() - 2]);
+        assert!(err.is_err());
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("invalid log stream"));
+    }
+
+    #[test]
+    fn corrupt_opcode_errors() {
+        let bytes = vec![0x00, 0x0f]; // rid base 0, opcode 0x0f = unknown
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn encoder_reports_rate() {
+        let mut enc = Encoder::new();
+        assert_eq!(enc.bytes_per_record(), 0.0);
+        for rec in sample_records() {
+            enc.push(&rec);
+        }
+        assert_eq!(enc.records(), 5);
+        assert!(enc.bytes_per_record() > 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Fundamental identifier and address types shared across the ParaLog stack.
+//!
+//! These are deliberate newtypes ([C-NEWTYPE]): a `ThreadId` is not a core
+//! index, a [`Rid`] is not a cycle count, and confusing them is a class of bug
+//! the paper's mechanisms are particularly sensitive to (dependence arcs are
+//! `(thread, record-id)` tuples).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+/// A virtual address in the monitored application's address space.
+pub type Addr = u64;
+
+/// Identifier of an application thread (and of its paired lifeguard thread).
+///
+/// ParaLog pairs application thread *k* with lifeguard thread *k*; both are
+/// named by the same `ThreadId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u16);
+
+impl ThreadId {
+    /// Returns the thread id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<u16> for ThreadId {
+    fn from(v: u16) -> Self {
+        ThreadId(v)
+    }
+}
+
+/// A *record id*: the per-thread retirement counter value of an event.
+///
+/// The paper increments a per-core counter by one for every retired
+/// instruction/µop and uses it as the record id of the corresponding event
+/// (§5.1). Record ids start at 1 so that `Rid(0)` can mean "before any
+/// event", which makes progress comparisons total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rid(pub u64);
+
+impl Rid {
+    /// The value strictly before the first event of any thread.
+    pub const ZERO: Rid = Rid(0);
+
+    /// The next record id in program order.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> Rid {
+        Rid(self.0 + 1)
+    }
+
+    /// The previous record id, saturating at [`Rid::ZERO`].
+    #[inline]
+    #[must_use]
+    pub fn prev(self) -> Rid {
+        Rid(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for Rid {
+    fn from(v: u64) -> Self {
+        Rid(v)
+    }
+}
+
+/// A contiguous, half-open range `[start, start + len)` of application
+/// addresses.
+///
+/// Used for malloc/free extents and the memory-range parameters carried by
+/// ConflictAlert messages (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AddrRange {
+    /// First address of the range.
+    pub start: Addr,
+    /// Number of bytes in the range.
+    pub len: u64,
+}
+
+impl AddrRange {
+    /// Creates a range from its first address and length in bytes.
+    pub fn new(start: Addr, len: u64) -> Self {
+        AddrRange { start, len }
+    }
+
+    /// The first address past the end of the range.
+    #[inline]
+    pub fn end(&self) -> Addr {
+        self.start + self.len
+    }
+
+    /// Whether `addr` falls inside the range.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+
+    /// Whether the two ranges share at least one byte.
+    #[inline]
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Whether the range is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.start, self.end())
+    }
+}
+
+/// Number of bytes in a cache line throughout the simulated machine (Table 1).
+pub const LINE_BYTES: u64 = 64;
+
+/// Identifier of a cache-line-sized block of the application address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+impl BlockId {
+    /// The block containing `addr`.
+    #[inline]
+    pub fn containing(addr: Addr) -> BlockId {
+        BlockId(addr / LINE_BYTES)
+    }
+
+    /// First address of the block.
+    #[inline]
+    pub fn base(self) -> Addr {
+        self.0 * LINE_BYTES
+    }
+
+    /// The block as an address range.
+    #[inline]
+    pub fn range(self) -> AddrRange {
+        AddrRange::new(self.base(), LINE_BYTES)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{:#x}", self.0)
+    }
+}
+
+/// Blocks covered by an access of `size` bytes at `addr` (at most two for the
+/// aligned, ≤8-byte accesses produced by the ISA).
+pub fn blocks_of(addr: Addr, size: u64) -> impl Iterator<Item = BlockId> {
+    let first = addr / LINE_BYTES;
+    let last = if size == 0 { first } else { (addr + size - 1) / LINE_BYTES };
+    (first..=last).map(BlockId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rid_ordering_and_stepping() {
+        assert!(Rid(3) > Rid(2));
+        assert_eq!(Rid(2).next(), Rid(3));
+        assert_eq!(Rid(2).prev(), Rid(1));
+        assert_eq!(Rid::ZERO.prev(), Rid::ZERO);
+    }
+
+    #[test]
+    fn range_contains_and_overlaps() {
+        let r = AddrRange::new(0x100, 0x10);
+        assert!(r.contains(0x100));
+        assert!(r.contains(0x10f));
+        assert!(!r.contains(0x110));
+        assert!(r.overlaps(&AddrRange::new(0x10f, 1)));
+        assert!(!r.overlaps(&AddrRange::new(0x110, 16)));
+        assert!(!r.overlaps(&AddrRange::new(0x0, 0x100)));
+        assert!(AddrRange::new(0, 0).is_empty());
+    }
+
+    #[test]
+    fn block_math() {
+        assert_eq!(BlockId::containing(0), BlockId(0));
+        assert_eq!(BlockId::containing(63), BlockId(0));
+        assert_eq!(BlockId::containing(64), BlockId(1));
+        assert_eq!(BlockId(2).base(), 128);
+        assert_eq!(BlockId(2).range(), AddrRange::new(128, 64));
+    }
+
+    #[test]
+    fn blocks_of_spanning_access() {
+        let one: Vec<_> = blocks_of(0x40, 8).collect();
+        assert_eq!(one, vec![BlockId(1)]);
+        let two: Vec<_> = blocks_of(0x7c, 8).collect();
+        assert_eq!(two, vec![BlockId(1), BlockId(2)]);
+        let zero_sized: Vec<_> = blocks_of(0x40, 0).collect();
+        assert_eq!(zero_sized, vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(ThreadId(3).to_string(), "T3");
+        assert_eq!(Rid(7).to_string(), "#7");
+        assert!(!BlockId(1).to_string().is_empty());
+        assert!(!AddrRange::new(0, 4).to_string().is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! ADDRCHECK: memory-allocation checking (Nethercote), the paper's second
+//! lifeguard.
+//!
+//! Maintains 1 metadata bit per application byte — "is this byte inside a
+//! live heap allocation?" — and checks it on every heap load and store (§6).
+//! Metadata changes *only* on `malloc`/`free`, so the only ordering
+//! ADDRCHECK needs is allocation-library ConflictAlerts; application reads
+//! and writes both map to metadata *reads* (§5.3 conditions hold trivially:
+//! [`AtomicityClass::SyncFree`]).
+//!
+//! ADDRCHECK is the canonical Idempotent Filter client: repeated checks of an
+//! address are redundant until the next malloc/free invalidates the filter.
+
+use crate::lifeguard::{
+    AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
+    ViolationKind,
+};
+use paralog_events::{AddrRange, CaPhase, CaRecord, HighLevelKind, MetaOp, Rid, ThreadId};
+use paralog_meta::ShadowMemory;
+use paralog_order::CaPolicy;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Metadata value for "allocated".
+pub const ALLOCATED: u8 = 1;
+
+/// Analysis-wide shared state: the allocation bitmap.
+#[derive(Debug)]
+pub struct AddrShared {
+    /// 1-bit-per-byte allocation shadow.
+    pub alloc: ShadowMemory,
+    /// The heap region; accesses outside it (stack/globals) are not checked.
+    pub heap: AddrRange,
+}
+
+impl AddrShared {
+    /// Fresh state for a heap at `heap`.
+    pub fn new(heap: AddrRange) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(AddrShared { alloc: ShadowMemory::new(1), heap }))
+    }
+}
+
+/// One lifeguard thread of the parallel ADDRCHECK.
+#[derive(Debug)]
+pub struct AddrCheck {
+    shared: Rc<RefCell<AddrShared>>,
+    tid: ThreadId,
+    spec: LifeguardSpec,
+}
+
+impl AddrCheck {
+    /// Creates the lifeguard thread monitoring application thread `tid`.
+    pub fn new(shared: Rc<RefCell<AddrShared>>, tid: ThreadId) -> Self {
+        AddrCheck {
+            shared,
+            tid,
+            spec: LifeguardSpec {
+                name: "AddrCheck",
+                view: EventView::Check,
+                uses_it: false,
+                uses_if: true,
+                uses_mtlb: true,
+                ca_policy: CaPolicy::addrcheck(),
+                bits_per_byte: 1,
+                atomicity: AtomicityClass::SyncFree,
+            },
+        }
+    }
+}
+
+impl Lifeguard for AddrCheck {
+    fn spec(&self) -> &LifeguardSpec {
+        &self.spec
+    }
+
+    fn handle(&mut self, op: &MetaOp, rid: Rid, ctx: &mut HandlerCtx) {
+        let mem = match *op {
+            MetaOp::CheckAccess { mem, .. } | MetaOp::RmwOp { mem, .. } => mem,
+            // ADDRCHECK consumes the check view only.
+            _ => return,
+        };
+        let shared = self.shared.borrow();
+        if !shared.heap.overlaps(&mem.range()) {
+            return;
+        }
+        ctx.touch_read(shared.alloc.meta_footprint(mem.addr, mem.size as u64));
+        // Every byte of the access must be inside a live allocation.
+        let all_allocated = (mem.addr..mem.addr + mem.size as u64)
+            .all(|a| shared.alloc.get(a) == ALLOCATED);
+        if !all_allocated {
+            ctx.report(Violation {
+                tid: self.tid,
+                rid,
+                kind: ViolationKind::UnallocatedAccess,
+                addr: Some(mem.addr),
+            });
+        }
+    }
+
+    fn handle_ca(&mut self, ca: &CaRecord, own: bool, _rid: Rid, ctx: &mut HandlerCtx) {
+        if !own {
+            return;
+        }
+        match (ca.what, ca.phase) {
+            (HighLevelKind::Malloc, CaPhase::End) => {
+                if let Some(range) = ca.range {
+                    let mut shared = self.shared.borrow_mut();
+                    ctx.touch_write(shared.alloc.meta_footprint(range.start, range.len));
+                    shared.alloc.set_range(range, ALLOCATED);
+                }
+            }
+            (HighLevelKind::Free, CaPhase::Begin) => {
+                if let Some(range) = ca.range {
+                    let mut shared = self.shared.borrow_mut();
+                    ctx.touch_write(shared.alloc.meta_footprint(range.start, range.len));
+                    shared.alloc.set_range(range, 0);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8> {
+        self.shared.borrow().alloc.snapshot(range)
+    }
+
+    fn dump_shadow(&self) -> Vec<(u64, u8)> {
+        let shared = self.shared.borrow();
+        let mut v: Vec<(u64, u8)> = shared.alloc.iter_nonzero().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let shared = self.shared.borrow();
+        let mut fp = Fingerprint::new();
+        for (addr, v) in shared.alloc.iter_nonzero() {
+            fp.mix(addr, u64::from(v));
+        }
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paralog_events::{AccessKind, MemRef};
+
+    const HEAP: AddrRange = AddrRange { start: 0x1000_0000, len: 0x1000_0000 };
+
+    fn setup() -> (Rc<RefCell<AddrShared>>, AddrCheck) {
+        let shared = AddrShared::new(HEAP);
+        let lg = AddrCheck::new(Rc::clone(&shared), ThreadId(0));
+        (shared, lg)
+    }
+
+    fn malloc_ca(range: AddrRange) -> CaRecord {
+        CaRecord {
+            what: HighLevelKind::Malloc,
+            phase: CaPhase::End,
+            range: Some(range),
+            issuer: ThreadId(0),
+            issuer_rid: Rid(1),
+            seq: 0,
+        }
+    }
+
+    fn free_ca(range: AddrRange) -> CaRecord {
+        CaRecord {
+            what: HighLevelKind::Free,
+            phase: CaPhase::Begin,
+            range: Some(range),
+            issuer: ThreadId(0),
+            issuer_rid: Rid(2),
+            seq: 1,
+        }
+    }
+
+    fn check(addr: u64) -> MetaOp {
+        MetaOp::CheckAccess { mem: MemRef::new(addr, 4), kind: AccessKind::Read }
+    }
+
+    #[test]
+    fn access_before_malloc_violates() {
+        let (_shared, mut lg) = setup();
+        let mut ctx = HandlerCtx::new();
+        lg.handle(&check(HEAP.start + 0x10), Rid(1), &mut ctx);
+        assert_eq!(ctx.violations[0].kind, ViolationKind::UnallocatedAccess);
+    }
+
+    #[test]
+    fn access_inside_allocation_passes() {
+        let (_shared, mut lg) = setup();
+        let range = AddrRange::new(HEAP.start + 0x10, 64);
+        lg.handle_ca(&malloc_ca(range), true, Rid(1), &mut HandlerCtx::new());
+        let mut ctx = HandlerCtx::new();
+        lg.handle(&check(HEAP.start + 0x10), Rid(2), &mut ctx);
+        assert!(ctx.violations.is_empty());
+    }
+
+    #[test]
+    fn use_after_free_violates() {
+        let (_shared, mut lg) = setup();
+        let range = AddrRange::new(HEAP.start + 0x10, 64);
+        lg.handle_ca(&malloc_ca(range), true, Rid(1), &mut HandlerCtx::new());
+        lg.handle_ca(&free_ca(range), true, Rid(2), &mut HandlerCtx::new());
+        let mut ctx = HandlerCtx::new();
+        lg.handle(&check(HEAP.start + 0x10), Rid(3), &mut ctx);
+        assert_eq!(ctx.violations[0].kind, ViolationKind::UnallocatedAccess);
+    }
+
+    #[test]
+    fn partially_out_of_bounds_access_violates() {
+        let (_shared, mut lg) = setup();
+        let range = AddrRange::new(HEAP.start, 4);
+        lg.handle_ca(&malloc_ca(range), true, Rid(1), &mut HandlerCtx::new());
+        let mut ctx = HandlerCtx::new();
+        // 4-byte access at +2 straddles the allocation end.
+        lg.handle(&check(HEAP.start + 2), Rid(2), &mut ctx);
+        assert_eq!(ctx.violations.len(), 1);
+    }
+
+    #[test]
+    fn non_heap_accesses_ignored() {
+        let (_shared, mut lg) = setup();
+        let mut ctx = HandlerCtx::new();
+        lg.handle(&check(0x1000), Rid(1), &mut ctx); // stack/global space
+        assert!(ctx.violations.is_empty());
+        assert!(ctx.meta_touches.is_empty(), "no metadata touched off-heap");
+    }
+
+    #[test]
+    fn remote_ca_does_not_update_metadata() {
+        let (shared, mut lg) = setup();
+        let range = AddrRange::new(HEAP.start, 64);
+        lg.handle_ca(&malloc_ca(range), false, Rid(1), &mut HandlerCtx::new());
+        assert_eq!(shared.borrow().alloc.get(HEAP.start), 0);
+    }
+
+    #[test]
+    fn dataflow_ops_are_ignored() {
+        let (_shared, mut lg) = setup();
+        let mut ctx = HandlerCtx::new();
+        lg.handle(
+            &MetaOp::ImmToReg { dst: paralog_events::Reg::new(0) },
+            Rid(1),
+            &mut ctx,
+        );
+        assert!(ctx.violations.is_empty() && ctx.meta_touches.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_tracks_allocation_map() {
+        let (_shared, mut lg) = setup();
+        let before = lg.fingerprint();
+        let range = AddrRange::new(HEAP.start, 16);
+        lg.handle_ca(&malloc_ca(range), true, Rid(1), &mut HandlerCtx::new());
+        let allocated = lg.fingerprint();
+        assert_ne!(allocated, before);
+        lg.handle_ca(&free_ca(range), true, Rid(2), &mut HandlerCtx::new());
+        assert_eq!(lg.fingerprint(), before);
+    }
+}

@@ -1,0 +1,154 @@
+//! Construction of lifeguard families.
+//!
+//! A *family* owns the analysis-wide shared metadata (Figure 2's global
+//! metadata) and hands out one [`Lifeguard`] instance per monitored thread.
+//! The platform is generic over [`Lifeguard`] trait objects, so adding a new
+//! analysis means implementing the trait and (optionally) extending
+//! [`LifeguardKind`] for the bundled experiment harness.
+
+use crate::addrcheck::{AddrCheck, AddrShared};
+use crate::lifeguard::Lifeguard;
+use crate::lockset::{LockSet, LockSetShared};
+use crate::memcheck::{MemCheck, MemShared};
+use crate::taintcheck::{TaintCheck, TaintShared};
+use paralog_events::{AddrRange, ThreadId};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The bundled lifeguards, as named in the paper's evaluation (§6) plus the
+/// two discussed qualitatively (§4.1, §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LifeguardKind {
+    /// Dynamic taint analysis (2 bits/byte, IT + M-TLB).
+    TaintCheck,
+    /// Allocation checking (1 bit/byte, IF + M-TLB).
+    AddrCheck,
+    /// Initialized-ness tracking (IT + M-TLB, IT flushed on malloc/free).
+    MemCheck,
+    /// Eraser-style data-race detection (fast/slow path atomicity).
+    LockSet,
+}
+
+impl fmt::Display for LifeguardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LifeguardKind::TaintCheck => "TaintCheck",
+            LifeguardKind::AddrCheck => "AddrCheck",
+            LifeguardKind::MemCheck => "MemCheck",
+            LifeguardKind::LockSet => "LockSet",
+        };
+        f.write_str(s)
+    }
+}
+
+enum SharedState {
+    Taint(Rc<RefCell<TaintShared>>),
+    Addr(Rc<RefCell<AddrShared>>),
+    Mem(Rc<RefCell<MemShared>>),
+    Lock(Rc<RefCell<LockSetShared>>),
+}
+
+impl fmt::Debug for SharedState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SharedState::Taint(_) => "Taint",
+            SharedState::Addr(_) => "Addr",
+            SharedState::Mem(_) => "Mem",
+            SharedState::Lock(_) => "Lock",
+        };
+        write!(f, "SharedState::{name}")
+    }
+}
+
+/// Owns one analysis' shared metadata and builds per-thread lifeguards.
+#[derive(Debug)]
+pub struct LifeguardFamily {
+    kind: LifeguardKind,
+    shared: SharedState,
+}
+
+impl LifeguardFamily {
+    /// Creates the family. `heap` is the monitored application's heap region
+    /// (AddrCheck restricts its checks to it).
+    pub fn new(kind: LifeguardKind, heap: AddrRange) -> Self {
+        let shared = match kind {
+            LifeguardKind::TaintCheck => SharedState::Taint(TaintShared::new()),
+            LifeguardKind::AddrCheck => SharedState::Addr(AddrShared::new(heap)),
+            LifeguardKind::MemCheck => SharedState::Mem(MemShared::new()),
+            LifeguardKind::LockSet => SharedState::Lock(LockSetShared::new()),
+        };
+        LifeguardFamily { kind, shared }
+    }
+
+    /// Which analysis this family runs.
+    pub fn kind(&self) -> LifeguardKind {
+        self.kind
+    }
+
+    /// Builds the lifeguard thread paired with application thread `tid`.
+    pub fn thread(&self, tid: ThreadId) -> Box<dyn Lifeguard> {
+        match &self.shared {
+            SharedState::Taint(s) => Box::new(TaintCheck::new(Rc::clone(s), tid)),
+            SharedState::Addr(s) => Box::new(AddrCheck::new(Rc::clone(s), tid)),
+            SharedState::Mem(s) => Box::new(MemCheck::new(Rc::clone(s), tid)),
+            SharedState::Lock(s) => Box::new(LockSet::new(Rc::clone(s), tid)),
+        }
+    }
+
+    /// Fingerprint of the shared metadata (order-insensitive; identical for
+    /// every thread of the family).
+    pub fn fingerprint(&self) -> u64 {
+        self.thread(ThreadId(0)).fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEAP: AddrRange = AddrRange { start: 0x1000_0000, len: 0x1000_0000 };
+
+    #[test]
+    fn all_kinds_construct_threads() {
+        for kind in [
+            LifeguardKind::TaintCheck,
+            LifeguardKind::AddrCheck,
+            LifeguardKind::MemCheck,
+            LifeguardKind::LockSet,
+        ] {
+            let fam = LifeguardFamily::new(kind, HEAP);
+            let lg = fam.thread(ThreadId(0));
+            assert_eq!(lg.spec().name, kind.to_string());
+            assert_eq!(fam.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn threads_share_state() {
+        use crate::lifeguard::HandlerCtx;
+        use paralog_events::{MemRef, MetaOp, Reg, Rid};
+
+        let fam = LifeguardFamily::new(LifeguardKind::TaintCheck, HEAP);
+        let mut a = fam.thread(ThreadId(0));
+        let b = fam.thread(ThreadId(1));
+        let before = b.fingerprint();
+        // Thread 0 writes tainted register state to memory.
+        let mut ctx = HandlerCtx::new();
+        a.handle(
+            &MetaOp::RmwOp { mem: MemRef::new(0x100, 4), reg: Reg::new(0) },
+            Rid(1),
+            &mut ctx,
+        );
+        // RMW with clean reg leaves memory clean; make it dirty instead:
+        a.handle(&MetaOp::MemToReg { dst: Reg::new(0), src: MemRef::new(0x100, 4) }, Rid(2), &mut ctx);
+        assert_eq!(b.fingerprint(), before, "clean ops leave shared state untouched");
+        assert_eq!(a.fingerprint(), b.fingerprint(), "both views agree");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LifeguardKind::TaintCheck.to_string(), "TaintCheck");
+        assert_eq!(LifeguardKind::LockSet.to_string(), "LockSet");
+    }
+}

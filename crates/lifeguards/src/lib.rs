@@ -1,0 +1,58 @@
+//! Instruction-grain lifeguards for the ParaLog platform.
+//!
+//! A *lifeguard* (§2) maintains metadata (shadow state) for every application
+//! memory location and register, updates it on application events, and checks
+//! invariants against it. This crate bundles:
+//!
+//! * [`TaintCheck`] — dynamic taint analysis (the paper's primary lifeguard);
+//! * [`AddrCheck`] — memory-allocation checking (the second evaluated
+//!   lifeguard);
+//! * [`MemCheck`] — initialized-ness tracking (the §4.1 example of high-level
+//!   IT conflicts);
+//! * [`LockSet`] — Eraser-style race detection (the §5.3 example of a
+//!   lifeguard needing the fast-path/slow-path atomicity split);
+//!
+//! plus the [`Lifeguard`] trait they implement, the declarative
+//! [`LifeguardSpec`] the platform wires accelerators from, and the calibrated
+//! [`CostModel`].
+//!
+//! # Example
+//!
+//! ```rust
+//! use paralog_lifeguards::{HandlerCtx, LifeguardFamily, LifeguardKind};
+//! use paralog_events::{AddrRange, MemRef, MetaOp, Reg, Rid, ThreadId};
+//!
+//! let family = LifeguardFamily::new(
+//!     LifeguardKind::TaintCheck,
+//!     AddrRange::new(0x1000_0000, 0x1000_0000),
+//! );
+//! let mut lifeguard = family.thread(ThreadId(0));
+//! let mut ctx = HandlerCtx::new();
+//! lifeguard.handle(
+//!     &MetaOp::MemToReg { dst: Reg::new(0), src: MemRef::new(0x1000_0000, 4) },
+//!     Rid(1),
+//!     &mut ctx,
+//! );
+//! assert!(ctx.violations.is_empty());
+//! ```
+
+#![warn(missing_debug_implementations)]
+
+pub mod addrcheck;
+pub mod cost;
+pub mod factory;
+pub mod lifeguard;
+pub mod lockset;
+pub mod memcheck;
+pub mod taintcheck;
+
+pub use addrcheck::{AddrCheck, AddrShared, ALLOCATED};
+pub use cost::CostModel;
+pub use factory::{LifeguardFamily, LifeguardKind};
+pub use lifeguard::{
+    AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
+    ViolationKind,
+};
+pub use lockset::{LockSet, LockSetShared, VarState};
+pub use memcheck::{MemCheck, MemShared, UNDEFINED};
+pub use taintcheck::{TaintCheck, TaintShared, TAINTED};

@@ -1,0 +1,296 @@
+//! The [`Lifeguard`] trait: what the platform needs from an analysis.
+//!
+//! ParaLog's goal is that a lifeguard written for sequential monitoring ports
+//! to parallel monitoring with minimal effort (§3). The trait reflects that:
+//! a lifeguard sees only its own thread's delivered metadata ops and
+//! ConflictAlert records; ordering, accelerator management and metadata
+//! atomicity are the platform's business, driven by the declarative
+//! [`LifeguardSpec`].
+
+use paralog_events::{Addr, AddrRange, CaRecord, MetaOp, Rid, ThreadId};
+use paralog_order::{CaPolicy, RangeEntry};
+use std::fmt;
+
+/// Which decoding of the instruction stream a lifeguard consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventView {
+    /// Dataflow-tracking view (taint/initializedness propagation); pairs
+    /// with Inheritance Tracking.
+    Dataflow,
+    /// Access-check view (every load/store becomes a check); pairs with
+    /// Idempotent Filters.
+    Check,
+}
+
+/// Metadata-atomicity class per §5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicityClass {
+    /// Conditions 1–3 hold: application reads map to metadata reads only;
+    /// enforced arcs alone guarantee atomicity (synchronization-free).
+    SyncFree,
+    /// Condition 2 violated (metadata writes in read handlers): the
+    /// lifeguard uses the synchronization-free fast path plus a locked slow
+    /// path; the platform charges the slow-path synchronization cost.
+    FastPathSlowPath,
+}
+
+/// Declarative description the platform uses to wire a lifeguard.
+#[derive(Debug, Clone)]
+pub struct LifeguardSpec {
+    /// Human-readable name ("TaintCheck", ...).
+    pub name: &'static str,
+    /// Stream decoding.
+    pub view: EventView,
+    /// Whether Inheritance Tracking applies.
+    pub uses_it: bool,
+    /// Whether Idempotent Filters apply.
+    pub uses_if: bool,
+    /// Whether the Metadata TLB applies.
+    pub uses_mtlb: bool,
+    /// ConflictAlert subscriptions.
+    pub ca_policy: CaPolicy,
+    /// Metadata bits per application byte (shadow width).
+    pub bits_per_byte: u32,
+    /// §5.3 atomicity class.
+    pub atomicity: AtomicityClass,
+}
+
+/// A detected monitoring violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Monitored thread in whose stream the violation surfaced.
+    pub tid: ThreadId,
+    /// Record id of the triggering event.
+    pub rid: Rid,
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Offending address, when meaningful.
+    pub addr: Option<Addr>,
+}
+
+/// Classes of violations the bundled lifeguards report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Tainted data used as an indirect jump target (TAINTCHECK).
+    TaintedJump,
+    /// Tainted data reaching a checked system-call argument (TAINTCHECK).
+    TaintedSyscallArg,
+    /// Access to unallocated heap memory (ADDRCHECK).
+    UnallocatedAccess,
+    /// Use of an undefined (never-initialized) value (MEMCHECK).
+    UndefinedUse,
+    /// Inconsistent locking discipline (LOCKSET).
+    DataRace,
+    /// Application access racing an in-flight system call (§5.4).
+    SyscallRace,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::TaintedJump => "tainted jump target",
+            ViolationKind::TaintedSyscallArg => "tainted syscall argument",
+            ViolationKind::UnallocatedAccess => "unallocated memory access",
+            ViolationKind::UndefinedUse => "use of undefined value",
+            ViolationKind::DataRace => "inconsistent locking (potential data race)",
+            ViolationKind::SyscallRace => "access racing a system call",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-delivery context: the handler reports its metadata footprint (for the
+/// lifeguard-core cache model), violations, and slow-path entry; the
+/// platform injects TSO versioned metadata.
+#[derive(Debug, Default)]
+pub struct HandlerCtx {
+    /// Versioned metadata for this op's memory source (TSO consume, §5.5).
+    pub versioned: Option<(AddrRange, Vec<u8>)>,
+    /// Metadata-space ranges the handler touched: `(range, is_write)`.
+    pub meta_touches: Vec<(AddrRange, bool)>,
+    /// Violations reported by the handler.
+    pub violations: Vec<Violation>,
+    /// Whether the handler entered its locked slow path (§5.3).
+    pub slow_path: bool,
+}
+
+impl HandlerCtx {
+    /// Fresh context for one delivery.
+    pub fn new() -> Self {
+        HandlerCtx::default()
+    }
+
+    /// Records a metadata read footprint.
+    pub fn touch_read(&mut self, range: AddrRange) {
+        self.meta_touches.push((range, false));
+    }
+
+    /// Records a metadata write footprint.
+    pub fn touch_write(&mut self, range: AddrRange) {
+        self.meta_touches.push((range, true));
+    }
+
+    /// Reports a violation.
+    pub fn report(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    /// If versioned metadata covering `range` was injected, returns the join
+    /// (bitwise OR) of its bytes; `None` means read current shadow state.
+    pub fn versioned_join(&self, range: AddrRange) -> Option<u8> {
+        let (vr, bytes) = self.versioned.as_ref()?;
+        if vr.start <= range.start && range.end() <= vr.end() {
+            let off = (range.start - vr.start) as usize;
+            Some(bytes[off..off + range.len as usize].iter().fold(0, |a, b| a | b))
+        } else {
+            None
+        }
+    }
+
+    /// The versioned metadata value for one application byte, if this
+    /// delivery carries a version covering it. Handlers read mixed-coverage
+    /// operands by merging byte-wise: versioned bytes take the snapshot,
+    /// all others the current shadow (§5.5).
+    pub fn versioned_byte(&self, addr: u64) -> Option<u8> {
+        let (vr, bytes) = self.versioned.as_ref()?;
+        if vr.contains(addr) {
+            Some(bytes[(addr - vr.start) as usize])
+        } else {
+            None
+        }
+    }
+}
+
+/// One lifeguard thread's analysis logic.
+///
+/// Implementations share analysis-wide state (the global metadata of
+/// Figure 2) behind `Rc<RefCell<_>>`; the platform guarantees handlers run
+/// atomically and in dependence order, which is what makes the shared access
+/// sound (§5.3).
+pub trait Lifeguard: fmt::Debug {
+    /// The declarative wiring description.
+    fn spec(&self) -> &LifeguardSpec;
+
+    /// Handles one delivered metadata operation.
+    fn handle(&mut self, op: &MetaOp, rid: Rid, ctx: &mut HandlerCtx);
+
+    /// Handles a ConflictAlert record; `own` is true iff this lifeguard's
+    /// application thread issued the high-level event (only the issuer
+    /// updates metadata).
+    fn handle_ca(&mut self, ca: &CaRecord, own: bool, rid: Rid, ctx: &mut HandlerCtx);
+
+    /// Snapshots current metadata for `range` (TSO produce-version, §5.5).
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8>;
+
+    /// Reacts to an access racing an in-flight system call (range-table hit,
+    /// §5.4). Default: no reaction.
+    fn on_syscall_race(
+        &mut self,
+        _access: AddrRange,
+        _entry: &RangeEntry,
+        _rid: Rid,
+        _ctx: &mut HandlerCtx,
+    ) {
+    }
+
+    /// Order-insensitive fingerprint of the analysis-wide metadata state,
+    /// used by equivalence tests (parallel run vs. sequential reference).
+    fn fingerprint(&self) -> u64;
+
+    /// Sorted dump of non-clean shadow bytes (debugging aid). Lifeguards
+    /// without byte-shadow metadata return an empty dump.
+    fn dump_shadow(&self) -> Vec<(u64, u8)> {
+        Vec::new()
+    }
+}
+
+/// FNV-1a accumulator for metadata fingerprints.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Creates the initial fingerprint state.
+    pub fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes one `(key, value)` pair; commutative across pairs via xor-fold
+    /// so iteration order of hash maps does not matter.
+    pub fn mix(&mut self, key: u64, value: u64) {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in key.to_le_bytes().into_iter().chain(value.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 ^= h;
+    }
+
+    /// Final value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_touches_and_reports() {
+        let mut ctx = HandlerCtx::new();
+        ctx.touch_read(AddrRange::new(0x100, 4));
+        ctx.touch_write(AddrRange::new(0x200, 1));
+        ctx.report(Violation {
+            tid: ThreadId(0),
+            rid: Rid(3),
+            kind: ViolationKind::TaintedJump,
+            addr: None,
+        });
+        assert_eq!(ctx.meta_touches.len(), 2);
+        assert!(ctx.meta_touches[1].1, "second touch is a write");
+        assert_eq!(ctx.violations.len(), 1);
+    }
+
+    #[test]
+    fn versioned_join_covers_subranges() {
+        let mut ctx = HandlerCtx::new();
+        ctx.versioned = Some((AddrRange::new(0x100, 8), vec![0, 1, 0, 0, 2, 0, 0, 0]));
+        assert_eq!(ctx.versioned_join(AddrRange::new(0x100, 4)), Some(1));
+        assert_eq!(ctx.versioned_join(AddrRange::new(0x104, 4)), Some(2));
+        assert_eq!(ctx.versioned_join(AddrRange::new(0x100, 8)), Some(3));
+        assert_eq!(ctx.versioned_join(AddrRange::new(0x0ff, 4)), None, "partial coverage");
+        assert_eq!(HandlerCtx::new().versioned_join(AddrRange::new(0, 1)), None);
+    }
+
+    #[test]
+    fn fingerprint_is_order_insensitive() {
+        let mut a = Fingerprint::new();
+        a.mix(1, 10);
+        a.mix(2, 20);
+        let mut b = Fingerprint::new();
+        b.mix(2, 20);
+        b.mix(1, 10);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_values() {
+        let mut a = Fingerprint::new();
+        a.mix(1, 10);
+        let mut b = Fingerprint::new();
+        b.mix(1, 11);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn violation_kind_display() {
+        assert!(ViolationKind::TaintedJump.to_string().contains("jump"));
+        assert!(ViolationKind::SyscallRace.to_string().contains("system call"));
+    }
+}

@@ -1,0 +1,322 @@
+//! LOCKSET: Eraser-style data-race detection (Savage et al.), the paper's
+//! example of a lifeguard that *violates* §5.3 condition 2.
+//!
+//! LockSet maintains, per shared variable, the candidate set of locks that
+//! consistently protected it. Because a mere application *read* can shrink
+//! the candidate set, read handlers perform metadata **writes** — enforced
+//! arcs alone no longer guarantee atomicity. Following §5.3, the
+//! implementation splits read handlers into a *synchronization-free fast
+//! path* (pure candidate-set check, no state change needed) and a locked
+//! *slow path* (single metadata write under a lock); the platform charges
+//! [`CostModel::slow_path_sync`](crate::cost::CostModel::slow_path_sync) when
+//! [`HandlerCtx::slow_path`] is set.
+
+use crate::lifeguard::{
+    AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
+    ViolationKind,
+};
+use paralog_events::{AddrRange, CaPhase, CaRecord, HighLevelKind, MetaOp, Rid, ThreadId};
+use paralog_order::CaPolicy;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Eraser's per-variable state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarState {
+    /// Never accessed.
+    Virgin,
+    /// Accessed by a single thread so far.
+    Exclusive(ThreadId),
+    /// Read-shared by multiple threads, never written after sharing.
+    Shared,
+    /// Written by multiple threads — candidate-set emptiness is a race.
+    SharedModified,
+}
+
+#[derive(Debug, Clone)]
+struct VarEntry {
+    state: VarState,
+    /// Candidate lock set as a bitmask over lock ids (< 64).
+    candidates: u64,
+    reported: bool,
+}
+
+/// Analysis-wide shared state: per-variable lockset table.
+#[derive(Debug, Default)]
+pub struct LockSetShared {
+    vars: HashMap<u64, VarEntry>,
+}
+
+impl LockSetShared {
+    /// Fresh state.
+    pub fn new() -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(LockSetShared::default()))
+    }
+}
+
+/// One lifeguard thread of the parallel LOCKSET.
+#[derive(Debug)]
+pub struct LockSet {
+    shared: Rc<RefCell<LockSetShared>>,
+    /// Locks currently held by the monitored thread (bitmask).
+    held: u64,
+    tid: ThreadId,
+    spec: LifeguardSpec,
+}
+
+/// Word granularity of race detection (4 bytes, like Eraser).
+const GRANULE: u64 = 4;
+
+/// Start of the synchronization-object address space. Accesses to lock and
+/// barrier words are synchronization, not data — Eraser excludes them.
+/// Mirrors `paralog_sim::sync::SYNC_BASE` (asserted equal in the
+/// integration tests to avoid a dependency cycle).
+pub const SYNC_SPACE_START: u64 = 0xF000_0000;
+
+impl LockSet {
+    /// Creates the lifeguard thread monitoring application thread `tid`.
+    pub fn new(shared: Rc<RefCell<LockSetShared>>, tid: ThreadId) -> Self {
+        LockSet {
+            shared,
+            held: 0,
+            tid,
+            spec: LifeguardSpec {
+                name: "LockSet",
+                view: EventView::Check,
+                uses_it: false,
+                uses_if: false,
+                uses_mtlb: true,
+                ca_policy: CaPolicy::new(),
+                bits_per_byte: 8,
+                atomicity: AtomicityClass::FastPathSlowPath,
+            },
+        }
+    }
+
+    /// The monitored thread's currently held locks (bitmask; diagnostic).
+    pub fn held(&self) -> u64 {
+        self.held
+    }
+
+    fn check_granule(&mut self, word: u64, writes: bool, rid: Rid, ctx: &mut HandlerCtx) {
+        let mut shared = self.shared.borrow_mut();
+        let entry = shared
+            .vars
+            .entry(word)
+            .or_insert(VarEntry { state: VarState::Virgin, candidates: u64::MAX, reported: false });
+        let held = self.held;
+        let (new_state, new_candidates) = match entry.state {
+            VarState::Virgin => (VarState::Exclusive(self.tid), entry.candidates),
+            VarState::Exclusive(owner) if owner == self.tid => {
+                // Fast path: no metadata change.
+                (entry.state, entry.candidates)
+            }
+            VarState::Exclusive(_) => {
+                let next = if writes { VarState::SharedModified } else { VarState::Shared };
+                (next, held)
+            }
+            VarState::Shared => {
+                let next = if writes { VarState::SharedModified } else { VarState::Shared };
+                (next, entry.candidates & held)
+            }
+            VarState::SharedModified => (VarState::SharedModified, entry.candidates & held),
+        };
+        let changed = new_state != entry.state || new_candidates != entry.candidates;
+        if changed && !writes {
+            // §5.3: a metadata write in a read handler is the slow path.
+            ctx.slow_path = true;
+        }
+        entry.state = new_state;
+        entry.candidates = new_candidates;
+        if entry.state == VarState::SharedModified && entry.candidates == 0 && !entry.reported {
+            entry.reported = true;
+            ctx.report(Violation {
+                tid: self.tid,
+                rid,
+                kind: ViolationKind::DataRace,
+                addr: Some(word),
+            });
+        }
+    }
+}
+
+impl Lifeguard for LockSet {
+    fn spec(&self) -> &LifeguardSpec {
+        &self.spec
+    }
+
+    fn handle(&mut self, op: &MetaOp, rid: Rid, ctx: &mut HandlerCtx) {
+        let (mem, kind) = match *op {
+            MetaOp::CheckAccess { mem, kind } => (mem, kind),
+            // Lock words themselves are not subject to lockset analysis.
+            MetaOp::RmwOp { .. } => return,
+            _ => return,
+        };
+        if mem.addr >= SYNC_SPACE_START {
+            // Synchronization objects (lock words, barrier slots/flags) are
+            // accessed racily by construction.
+            return;
+        }
+        let first = mem.addr / GRANULE;
+        let last = (mem.addr + mem.size as u64 - 1) / GRANULE;
+        for word in first..=last {
+            ctx.touch_read(AddrRange::new(0x6000_0000_0000 + word * 8, 8));
+            self.check_granule(word * GRANULE, kind.writes(), rid, ctx);
+        }
+    }
+
+    fn handle_ca(&mut self, ca: &CaRecord, own: bool, _rid: Rid, _ctx: &mut HandlerCtx) {
+        if !own {
+            return;
+        }
+        match ca.what {
+            HighLevelKind::Lock(lock) if ca.phase == CaPhase::End => {
+                self.held |= 1u64 << (lock.0 % 64);
+            }
+            HighLevelKind::Unlock(lock) if ca.phase == CaPhase::Begin => {
+                self.held &= !(1u64 << (lock.0 % 64));
+            }
+            _ => {}
+        }
+    }
+
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8> {
+        // Lockset state is not byte-shadow metadata; versioning does not
+        // apply (LockSet is evaluated under SC only).
+        vec![0; range.len as usize]
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let shared = self.shared.borrow();
+        let mut fp = Fingerprint::new();
+        for (word, entry) in &shared.vars {
+            let state_code = match entry.state {
+                VarState::Virgin => 0u64,
+                VarState::Exclusive(t) => 1 + u64::from(t.0),
+                VarState::Shared => 1 << 32,
+                VarState::SharedModified => 2 << 32,
+            };
+            fp.mix(*word, state_code ^ entry.candidates);
+        }
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paralog_events::{AccessKind, LockId, MemRef};
+
+    fn lock_ca(id: u32, phase: CaPhase, what_lock: bool) -> CaRecord {
+        CaRecord {
+            what: if what_lock {
+                HighLevelKind::Lock(LockId(id))
+            } else {
+                HighLevelKind::Unlock(LockId(id))
+            },
+            phase,
+            range: None,
+            issuer: ThreadId(0),
+            issuer_rid: Rid(1),
+            seq: 0,
+        }
+    }
+
+    fn access(addr: u64, write: bool) -> MetaOp {
+        MetaOp::CheckAccess {
+            mem: MemRef::new(addr, 4),
+            kind: if write { AccessKind::Write } else { AccessKind::Read },
+        }
+    }
+
+    fn two_threads() -> (LockSet, LockSet) {
+        let shared = LockSetShared::new();
+        (
+            LockSet::new(Rc::clone(&shared), ThreadId(0)),
+            LockSet::new(Rc::clone(&shared), ThreadId(1)),
+        )
+    }
+
+    #[test]
+    fn consistent_locking_is_silent() {
+        let (mut a, mut b) = two_threads();
+        let mut ctx = HandlerCtx::new();
+        a.handle_ca(&lock_ca(1, CaPhase::End, true), true, Rid(1), &mut ctx);
+        a.handle(&access(0x100, true), Rid(2), &mut ctx);
+        a.handle_ca(&lock_ca(1, CaPhase::Begin, false), true, Rid(3), &mut ctx);
+        b.handle_ca(&lock_ca(1, CaPhase::End, true), true, Rid(1), &mut ctx);
+        b.handle(&access(0x100, true), Rid(2), &mut ctx);
+        b.handle_ca(&lock_ca(1, CaPhase::Begin, false), true, Rid(3), &mut ctx);
+        assert!(ctx.violations.is_empty());
+    }
+
+    #[test]
+    fn unprotected_sharing_reports_race_once() {
+        let (mut a, mut b) = two_threads();
+        let mut ctx = HandlerCtx::new();
+        a.handle(&access(0x100, true), Rid(1), &mut ctx);
+        b.handle(&access(0x100, true), Rid(1), &mut ctx);
+        assert_eq!(ctx.violations.len(), 1);
+        assert_eq!(ctx.violations[0].kind, ViolationKind::DataRace);
+        // Further accesses do not re-report.
+        a.handle(&access(0x100, true), Rid(2), &mut ctx);
+        assert_eq!(ctx.violations.len(), 1);
+    }
+
+    #[test]
+    fn read_sharing_without_writes_is_not_a_race() {
+        let (mut a, mut b) = two_threads();
+        let mut ctx = HandlerCtx::new();
+        a.handle(&access(0x100, false), Rid(1), &mut ctx);
+        b.handle(&access(0x100, false), Rid(1), &mut ctx);
+        assert!(ctx.violations.is_empty());
+    }
+
+    #[test]
+    fn exclusive_fast_path_sets_no_slow_flag() {
+        let (mut a, _b) = two_threads();
+        let mut ctx = HandlerCtx::new();
+        a.handle(&access(0x100, false), Rid(1), &mut ctx); // Virgin -> Exclusive (write-ish transition but read)
+        let mut ctx2 = HandlerCtx::new();
+        a.handle(&access(0x100, false), Rid(2), &mut ctx2);
+        assert!(!ctx2.slow_path, "same-thread re-read is the fast path");
+    }
+
+    #[test]
+    fn cross_thread_read_takes_slow_path() {
+        let (mut a, mut b) = two_threads();
+        let mut ctx = HandlerCtx::new();
+        a.handle(&access(0x100, false), Rid(1), &mut ctx);
+        let mut ctx2 = HandlerCtx::new();
+        b.handle(&access(0x100, false), Rid(1), &mut ctx2);
+        assert!(ctx2.slow_path, "state transition on read = metadata write = slow path");
+    }
+
+    #[test]
+    fn lock_tracking_follows_ca_records() {
+        let (mut a, _b) = two_threads();
+        let mut ctx = HandlerCtx::new();
+        assert_eq!(a.held(), 0);
+        a.handle_ca(&lock_ca(3, CaPhase::End, true), true, Rid(1), &mut ctx);
+        assert_eq!(a.held(), 1 << 3);
+        a.handle_ca(&lock_ca(3, CaPhase::Begin, false), true, Rid(2), &mut ctx);
+        assert_eq!(a.held(), 0);
+        // Remote lock CAs do not change our held set.
+        a.handle_ca(&lock_ca(5, CaPhase::End, true), false, Rid(3), &mut ctx);
+        assert_eq!(a.held(), 0);
+    }
+
+    #[test]
+    fn partial_candidate_overlap_survives() {
+        let (mut a, mut b) = two_threads();
+        let mut ctx = HandlerCtx::new();
+        // Thread 0 holds {1,2}, thread 1 holds {2}: candidate set ends {2}.
+        a.handle_ca(&lock_ca(1, CaPhase::End, true), true, Rid(1), &mut ctx);
+        a.handle_ca(&lock_ca(2, CaPhase::End, true), true, Rid(2), &mut ctx);
+        a.handle(&access(0x200, true), Rid(3), &mut ctx);
+        b.handle_ca(&lock_ca(2, CaPhase::End, true), true, Rid(1), &mut ctx);
+        b.handle(&access(0x200, true), Rid(2), &mut ctx);
+        assert!(ctx.violations.is_empty(), "lock 2 consistently protects");
+    }
+}

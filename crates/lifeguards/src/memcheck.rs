@@ -1,0 +1,281 @@
+//! MEMCHECK-style initialized-ness tracking.
+//!
+//! §4.1 names MEMCHECK as the example of a lifeguard whose Inheritance
+//! Tracking state conflicts with *high-level* events: it tracks the
+//! propagation of initialized states of memory (like TAINTCHECK, but with
+//! the lattice inverted — fresh memory is *undefined* and stores make
+//! destinations defined), so a `malloc`/`free` changes metadata wholesale and
+//! must flush the IT table via ConflictAlert.
+//!
+//! Reporting policy follows Memcheck: copying undefined data is fine;
+//! *using* it (indirect jump, checked syscall argument) is a violation.
+
+use crate::lifeguard::{
+    AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
+    ViolationKind,
+};
+use crate::taintcheck::for_each_nonzero;
+use paralog_events::{
+    AddrRange, CaPhase, CaRecord, HighLevelKind, MemRef, MetaOp, Rid, ThreadId, NUM_REGS,
+};
+use paralog_meta::ShadowMemory;
+use paralog_order::{CaActions, CaPolicy};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Metadata value for "undefined" (bit 0 set). The inverted encoding keeps
+/// never-touched memory — shadow value 0 — *defined*, so only heap memory
+/// between `malloc` and first initialization trips the check, mirroring how
+/// Memcheck treats non-heap memory it has no allocation information for.
+pub const UNDEFINED: u8 = 0b01;
+
+/// Analysis-wide shared state.
+#[derive(Debug)]
+pub struct MemShared {
+    /// 2-bit-per-byte definedness shadow (bit 0: undefined).
+    pub state: ShadowMemory,
+}
+
+impl MemShared {
+    /// Fresh state.
+    pub fn new() -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(MemShared { state: ShadowMemory::new(2) }))
+    }
+}
+
+/// One lifeguard thread of the parallel MEMCHECK.
+#[derive(Debug)]
+pub struct MemCheck {
+    shared: Rc<RefCell<MemShared>>,
+    regs: [u8; NUM_REGS],
+    tid: ThreadId,
+    spec: LifeguardSpec,
+}
+
+impl MemCheck {
+    /// Creates the lifeguard thread monitoring application thread `tid`.
+    pub fn new(shared: Rc<RefCell<MemShared>>, tid: ThreadId) -> Self {
+        // §4.1: MEMCHECK requires IT flushes on high-level events; the CA
+        // policy requests flush_it on both malloc and free.
+        let flush = CaActions {
+            flush_it: true,
+            flush_if: false,
+            flush_mtlb: true,
+            barrier: true,
+            track_range: false,
+        };
+        MemCheck {
+            shared,
+            regs: [0; NUM_REGS],
+            tid,
+            spec: LifeguardSpec {
+                name: "MemCheck",
+                view: EventView::Dataflow,
+                uses_it: true,
+                uses_if: false,
+                uses_mtlb: true,
+                ca_policy: CaPolicy::new()
+                    .on(HighLevelKind::Malloc, CaPhase::End, flush)
+                    .on(HighLevelKind::Free, CaPhase::Begin, flush),
+                bits_per_byte: 2,
+                atomicity: AtomicityClass::SyncFree,
+            },
+        }
+    }
+
+    /// Definedness of a register (test/diagnostic aid).
+    pub fn reg_state(&self, reg: usize) -> u8 {
+        self.regs[reg]
+    }
+
+    fn mem_state(&self, src: MemRef, ctx: &mut HandlerCtx) -> u8 {
+        let shared = self.shared.borrow();
+        ctx.touch_read(shared.state.meta_footprint(src.addr, src.size as u64));
+        let mut acc = 0;
+        for a in src.range().start..src.range().end() {
+            acc |= ctx.versioned_byte(a).unwrap_or_else(|| shared.state.get(a));
+        }
+        acc
+    }
+
+    fn set_mem_state(&self, dst: MemRef, value: u8, ctx: &mut HandlerCtx) {
+        let mut shared = self.shared.borrow_mut();
+        ctx.touch_write(shared.state.meta_footprint(dst.addr, dst.size as u64));
+        shared.state.set_range(dst.range(), value);
+    }
+}
+
+impl Lifeguard for MemCheck {
+    fn spec(&self) -> &LifeguardSpec {
+        &self.spec
+    }
+
+    fn handle(&mut self, op: &MetaOp, rid: Rid, ctx: &mut HandlerCtx) {
+        match *op {
+            MetaOp::MemToReg { dst, src } => {
+                self.regs[dst.index()] = self.mem_state(src, ctx);
+            }
+            MetaOp::RegToMem { dst, src } => {
+                self.set_mem_state(dst, self.regs[src.index()], ctx);
+            }
+            MetaOp::RegToReg { dst, src } => {
+                self.regs[dst.index()] = self.regs[src.index()];
+            }
+            MetaOp::ImmToReg { dst } => {
+                self.regs[dst.index()] = 0; // immediates are defined
+            }
+            MetaOp::ImmToMem { dst } => {
+                self.set_mem_state(dst, 0, ctx);
+            }
+            MetaOp::MemToMem { dst, src } => {
+                let v = self.mem_state(src, ctx);
+                self.set_mem_state(dst, v, ctx);
+            }
+            MetaOp::AluRR { dst, a, b } => {
+                let mut v = self.regs[a.index()];
+                if let Some(b) = b {
+                    v |= self.regs[b.index()];
+                }
+                self.regs[dst.index()] = v;
+            }
+            MetaOp::AluRM { dst, a, src } => {
+                self.regs[dst.index()] = self.regs[a.index()] | self.mem_state(src, ctx);
+            }
+            MetaOp::CheckJmp { target } => {
+                if self.regs[target.index()] & UNDEFINED != 0 {
+                    ctx.report(Violation {
+                        tid: self.tid,
+                        rid,
+                        kind: ViolationKind::UndefinedUse,
+                        addr: None,
+                    });
+                }
+            }
+            MetaOp::CheckAccess { .. } => {}
+            MetaOp::RmwOp { mem, reg } => {
+                let m = self.mem_state(mem, ctx);
+                let r = self.regs[reg.index()];
+                self.set_mem_state(mem, r, ctx);
+                self.regs[reg.index()] = m;
+            }
+        }
+    }
+
+    fn handle_ca(&mut self, ca: &CaRecord, own: bool, _rid: Rid, ctx: &mut HandlerCtx) {
+        if !own {
+            return;
+        }
+        match (ca.what, ca.phase) {
+            (HighLevelKind::Malloc, CaPhase::End) => {
+                if let Some(range) = ca.range {
+                    // Fresh heap memory is undefined until first written.
+                    let mut shared = self.shared.borrow_mut();
+                    ctx.touch_write(shared.state.meta_footprint(range.start, range.len));
+                    shared.state.set_range(range, UNDEFINED);
+                }
+            }
+            (HighLevelKind::Free, CaPhase::Begin) => {
+                if let Some(range) = ca.range {
+                    let mut shared = self.shared.borrow_mut();
+                    ctx.touch_write(shared.state.meta_footprint(range.start, range.len));
+                    shared.state.set_range(range, UNDEFINED);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8> {
+        self.shared.borrow().state.snapshot(range)
+    }
+
+    fn dump_shadow(&self) -> Vec<(u64, u8)> {
+        let shared = self.shared.borrow();
+        let mut v: Vec<(u64, u8)> = shared.state.iter_nonzero().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let shared = self.shared.borrow();
+        let mut fp = Fingerprint::new();
+        for_each_nonzero(&shared.state, |addr, v| fp.mix(addr, u64::from(v)));
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paralog_events::Reg;
+
+    fn setup() -> (Rc<RefCell<MemShared>>, MemCheck) {
+        let shared = MemShared::new();
+        let lg = MemCheck::new(Rc::clone(&shared), ThreadId(0));
+        (shared, lg)
+    }
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn m(addr: u64) -> MemRef {
+        MemRef::new(addr, 4)
+    }
+
+    fn malloc_ca(range: AddrRange) -> CaRecord {
+        CaRecord {
+            what: HighLevelKind::Malloc,
+            phase: CaPhase::End,
+            range: Some(range),
+            issuer: ThreadId(0),
+            issuer_rid: Rid(1),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn malloc_marks_undefined_store_defines() {
+        let (shared, mut lg) = setup();
+        let range = AddrRange::new(0x1000, 16);
+        lg.handle_ca(&malloc_ca(range), true, Rid(1), &mut HandlerCtx::new());
+        assert_eq!(shared.borrow().state.join_range(range), UNDEFINED);
+        // Store a defined register into the first word.
+        let mut ctx = HandlerCtx::new();
+        lg.handle(&MetaOp::RegToMem { dst: m(0x1000), src: r(0) }, Rid(2), &mut ctx);
+        assert_eq!(shared.borrow().state.join_range(AddrRange::new(0x1000, 4)), 0);
+        assert_eq!(shared.borrow().state.join_range(AddrRange::new(0x1004, 4)), UNDEFINED);
+    }
+
+    #[test]
+    fn copying_undefined_is_silent_using_it_reports() {
+        let (_shared, mut lg) = setup();
+        let range = AddrRange::new(0x1000, 16);
+        lg.handle_ca(&malloc_ca(range), true, Rid(1), &mut HandlerCtx::new());
+        let mut ctx = HandlerCtx::new();
+        // Load undefined memory: silent.
+        lg.handle(&MetaOp::MemToReg { dst: r(0), src: m(0x1000) }, Rid(2), &mut ctx);
+        assert!(ctx.violations.is_empty());
+        assert_eq!(lg.reg_state(0), UNDEFINED);
+        // Use it as a jump target: violation.
+        lg.handle(&MetaOp::CheckJmp { target: r(0) }, Rid(3), &mut ctx);
+        assert_eq!(ctx.violations[0].kind, ViolationKind::UndefinedUse);
+    }
+
+    #[test]
+    fn spec_requests_it_flush_on_malloc_and_free() {
+        let (_shared, lg) = setup();
+        let spec = lg.spec();
+        assert!(spec.uses_it);
+        assert!(spec.ca_policy.actions(HighLevelKind::Malloc, CaPhase::End).flush_it);
+        assert!(spec.ca_policy.actions(HighLevelKind::Free, CaPhase::Begin).flush_it);
+    }
+
+    #[test]
+    fn immediates_are_defined() {
+        let (_shared, mut lg) = setup();
+        lg.regs[2] = UNDEFINED;
+        lg.handle(&MetaOp::ImmToReg { dst: r(2) }, Rid(1), &mut HandlerCtx::new());
+        assert_eq!(lg.reg_state(2), 0);
+    }
+}

@@ -1,0 +1,424 @@
+//! TAINTCHECK: dynamic taint analysis (Newsome & Song), the paper's primary
+//! lifeguard.
+//!
+//! Maintains 2 metadata bits per application byte (§6: sized so the frequent
+//! word-sized cases cost one metadata byte/word access) plus per-register
+//! taint. Unverified input — `read()`-style system calls — taints its buffer;
+//! taint propagates through dataflow; using tainted data as an indirect jump
+//! target or a checked syscall argument is a violation.
+//!
+//! TAINTCHECK maps application reads to metadata reads and writes to writes
+//! (§5.3 condition 2 holds), so the enforced dependence arcs alone make its
+//! metadata accesses atomic — no locks anywhere ([`AtomicityClass::SyncFree`]).
+
+use crate::lifeguard::{
+    AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
+    ViolationKind,
+};
+use paralog_events::{
+    AddrRange, CaPhase, CaRecord, HighLevelKind, MemRef, MetaOp, Rid, SyscallKind, ThreadId,
+    NUM_REGS,
+};
+use paralog_meta::ShadowMemory;
+use paralog_order::{CaPolicy, RangeEntry};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Taint lattice value for "tainted" (bit 0 of the 2-bit metadata).
+pub const TAINTED: u8 = 0b01;
+
+/// Analysis-wide shared state: the global taint shadow of Figure 2.
+#[derive(Debug)]
+pub struct TaintShared {
+    /// 2-bit-per-byte taint shadow.
+    pub mem: ShadowMemory,
+}
+
+impl TaintShared {
+    /// Fresh, fully-untainted state.
+    pub fn new() -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(TaintShared { mem: ShadowMemory::new(2) }))
+    }
+}
+
+/// One lifeguard thread of the parallel TAINTCHECK.
+#[derive(Debug)]
+pub struct TaintCheck {
+    shared: Rc<RefCell<TaintShared>>,
+    /// Taint of the monitored thread's registers (thread-private metadata).
+    regs: [u8; NUM_REGS],
+    tid: ThreadId,
+    spec: LifeguardSpec,
+}
+
+impl TaintCheck {
+    /// Creates the lifeguard thread monitoring application thread `tid`.
+    pub fn new(shared: Rc<RefCell<TaintShared>>, tid: ThreadId) -> Self {
+        TaintCheck {
+            shared,
+            regs: [0; NUM_REGS],
+            tid,
+            spec: LifeguardSpec {
+                name: "TaintCheck",
+                view: EventView::Dataflow,
+                uses_it: true,
+                uses_if: false,
+                uses_mtlb: true,
+                ca_policy: CaPolicy::taintcheck(),
+                bits_per_byte: 2,
+                atomicity: AtomicityClass::SyncFree,
+            },
+        }
+    }
+
+    /// Current taint of a register (test/diagnostic aid).
+    pub fn reg_taint(&self, reg: usize) -> u8 {
+        self.regs[reg]
+    }
+
+    fn mem_taint(&self, src: MemRef, ctx: &mut HandlerCtx) -> u8 {
+        // TSO: versioned bytes read the snapshot the writer produced;
+        // everything else reads the (arc-ordered) current shadow.
+        let shared = self.shared.borrow();
+        ctx.touch_read(shared.mem.meta_footprint(src.addr, src.size as u64));
+        let mut acc = 0;
+        for a in src.range().start..src.range().end() {
+            acc |= ctx.versioned_byte(a).unwrap_or_else(|| shared.mem.get(a));
+        }
+        acc
+    }
+
+    fn set_mem_taint(&self, dst: MemRef, value: u8, ctx: &mut HandlerCtx) {
+        let mut shared = self.shared.borrow_mut();
+        ctx.touch_write(shared.mem.meta_footprint(dst.addr, dst.size as u64));
+        shared.mem.set_range(dst.range(), value);
+    }
+}
+
+impl Lifeguard for TaintCheck {
+    fn spec(&self) -> &LifeguardSpec {
+        &self.spec
+    }
+
+    fn handle(&mut self, op: &MetaOp, rid: Rid, ctx: &mut HandlerCtx) {
+        match *op {
+            MetaOp::MemToReg { dst, src } => {
+                self.regs[dst.index()] = self.mem_taint(src, ctx);
+            }
+            MetaOp::RegToMem { dst, src } => {
+                self.set_mem_taint(dst, self.regs[src.index()], ctx);
+            }
+            MetaOp::RegToReg { dst, src } => {
+                self.regs[dst.index()] = self.regs[src.index()];
+            }
+            MetaOp::ImmToReg { dst } => {
+                self.regs[dst.index()] = 0;
+            }
+            MetaOp::ImmToMem { dst } => {
+                self.set_mem_taint(dst, 0, ctx);
+            }
+            MetaOp::MemToMem { dst, src } => {
+                // The coalesced IT event: copy metadata memory-to-memory.
+                let v = self.mem_taint(src, ctx);
+                self.set_mem_taint(dst, v, ctx);
+            }
+            MetaOp::AluRR { dst, a, b } => {
+                let mut v = self.regs[a.index()];
+                if let Some(b) = b {
+                    v |= self.regs[b.index()];
+                }
+                self.regs[dst.index()] = v;
+            }
+            MetaOp::AluRM { dst, a, src } => {
+                self.regs[dst.index()] = self.regs[a.index()] | self.mem_taint(src, ctx);
+            }
+            MetaOp::CheckJmp { target } => {
+                if self.regs[target.index()] & TAINTED != 0 {
+                    ctx.report(Violation {
+                        tid: self.tid,
+                        rid,
+                        kind: ViolationKind::TaintedJump,
+                        addr: None,
+                    });
+                }
+            }
+            MetaOp::CheckAccess { .. } => {
+                // Not part of the dataflow view; nothing to do.
+            }
+            MetaOp::RmwOp { mem, reg } => {
+                // xchg: taint swaps between register and memory.
+                let mem_v = self.mem_taint(mem, ctx);
+                let reg_v = self.regs[reg.index()];
+                self.set_mem_taint(mem, reg_v, ctx);
+                self.regs[reg.index()] = mem_v;
+            }
+        }
+    }
+
+    fn handle_ca(&mut self, ca: &CaRecord, own: bool, rid: Rid, ctx: &mut HandlerCtx) {
+        if !own {
+            // Remote CA records only order/flush; the issuer updates metadata.
+            return;
+        }
+        match (ca.what, ca.phase) {
+            (HighLevelKind::Malloc, CaPhase::End) => {
+                if let Some(range) = ca.range {
+                    // Fresh allocations are untainted.
+                    self.set_range_taint(range, 0, ctx);
+                }
+            }
+            (HighLevelKind::Syscall(SyscallKind::ReadInput), CaPhase::End) => {
+                if let Some(range) = ca.range {
+                    // Unverified input: taint the whole buffer (§2).
+                    self.set_range_taint(range, TAINTED, ctx);
+                }
+            }
+            (HighLevelKind::Syscall(SyscallKind::WriteOutput), CaPhase::Begin) => {
+                if let Some(range) = ca.range {
+                    let shared = self.shared.borrow();
+                    ctx.touch_read(shared.mem.meta_footprint(range.start, range.len));
+                    if shared.mem.join_range(range) & TAINTED != 0 {
+                        ctx.report(Violation {
+                            tid: self.tid,
+                            rid,
+                            kind: ViolationKind::TaintedSyscallArg,
+                            addr: Some(range.start),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8> {
+        self.shared.borrow().mem.snapshot(range)
+    }
+
+    fn on_syscall_race(
+        &mut self,
+        access: AddrRange,
+        _entry: &RangeEntry,
+        rid: Rid,
+        ctx: &mut HandlerCtx,
+    ) {
+        // §5.4: an access concurrent with a read() syscall is resolved
+        // conservatively — taint the destination and warn.
+        ctx.report(Violation {
+            tid: self.tid,
+            rid,
+            kind: ViolationKind::SyscallRace,
+            addr: Some(access.start),
+        });
+        let mut shared = self.shared.borrow_mut();
+        shared.mem.set_range(access, TAINTED);
+    }
+
+    fn dump_shadow(&self) -> Vec<(u64, u8)> {
+        let shared = self.shared.borrow();
+        let mut v: Vec<(u64, u8)> = shared.mem.iter_nonzero().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let shared = self.shared.borrow();
+        let mut fp = Fingerprint::new();
+        // Mix every non-clean metadata byte; order-insensitive.
+        for_each_nonzero(&shared.mem, |addr, v| fp.mix(addr, u64::from(v)));
+        fp.finish()
+    }
+}
+
+impl TaintCheck {
+    fn set_range_taint(&self, range: AddrRange, value: u8, ctx: &mut HandlerCtx) {
+        let mut shared = self.shared.borrow_mut();
+        ctx.touch_write(shared.mem.meta_footprint(range.start, range.len));
+        shared.mem.set_range(range, value);
+    }
+}
+
+/// Calls `f(addr, value)` for every application byte with non-clean shadow
+/// state. Iterates chunk space deterministically.
+pub(crate) fn for_each_nonzero<F: FnMut(u64, u8)>(mem: &ShadowMemory, mut f: F) {
+    // ShadowMemory intentionally hides its chunk map; walk a generous space
+    // via the public API would be too slow, so we expose iteration through a
+    // snapshot helper below. Chunk granularity keeps this linear in touched
+    // memory.
+    for (addr, value) in mem.iter_nonzero() {
+        f(addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paralog_events::Reg;
+
+    fn setup() -> (Rc<RefCell<TaintShared>>, TaintCheck) {
+        let shared = TaintShared::new();
+        let lg = TaintCheck::new(Rc::clone(&shared), ThreadId(0));
+        (shared, lg)
+    }
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn m(addr: u64) -> MemRef {
+        MemRef::new(addr, 4)
+    }
+
+    #[test]
+    fn propagation_chain_mem_to_mem() {
+        let (shared, mut lg) = setup();
+        shared.borrow_mut().mem.set_range(AddrRange::new(0x100, 4), TAINTED);
+        let mut ctx = HandlerCtx::new();
+        lg.handle(&MetaOp::MemToReg { dst: r(0), src: m(0x100) }, Rid(1), &mut ctx);
+        assert_eq!(lg.reg_taint(0), TAINTED);
+        lg.handle(&MetaOp::RegToReg { dst: r(1), src: r(0) }, Rid(2), &mut ctx);
+        lg.handle(&MetaOp::RegToMem { dst: m(0x200), src: r(1) }, Rid(3), &mut ctx);
+        assert_eq!(shared.borrow().mem.join_range(AddrRange::new(0x200, 4)), TAINTED);
+    }
+
+    #[test]
+    fn immediate_clears_taint() {
+        let (_shared, mut lg) = setup();
+        let mut ctx = HandlerCtx::new();
+        lg.regs[3] = TAINTED;
+        lg.handle(&MetaOp::ImmToReg { dst: r(3) }, Rid(1), &mut ctx);
+        assert_eq!(lg.reg_taint(3), 0);
+    }
+
+    #[test]
+    fn alu_joins_taint() {
+        let (_shared, mut lg) = setup();
+        let mut ctx = HandlerCtx::new();
+        lg.regs[0] = 0;
+        lg.regs[1] = TAINTED;
+        lg.handle(&MetaOp::AluRR { dst: r(2), a: r(0), b: Some(r(1)) }, Rid(1), &mut ctx);
+        assert_eq!(lg.reg_taint(2), TAINTED);
+    }
+
+    #[test]
+    fn tainted_jump_detected() {
+        let (_shared, mut lg) = setup();
+        let mut ctx = HandlerCtx::new();
+        lg.regs[5] = TAINTED;
+        lg.handle(&MetaOp::CheckJmp { target: r(5) }, Rid(9), &mut ctx);
+        assert_eq!(ctx.violations.len(), 1);
+        assert_eq!(ctx.violations[0].kind, ViolationKind::TaintedJump);
+        assert_eq!(ctx.violations[0].rid, Rid(9));
+    }
+
+    #[test]
+    fn clean_jump_passes() {
+        let (_shared, mut lg) = setup();
+        let mut ctx = HandlerCtx::new();
+        lg.handle(&MetaOp::CheckJmp { target: r(5) }, Rid(9), &mut ctx);
+        assert!(ctx.violations.is_empty());
+    }
+
+    #[test]
+    fn read_syscall_taints_buffer_on_own_ca_end() {
+        let (shared, mut lg) = setup();
+        let mut ctx = HandlerCtx::new();
+        let buf = AddrRange::new(0x1000, 16);
+        let ca = CaRecord {
+            what: HighLevelKind::Syscall(SyscallKind::ReadInput),
+            phase: CaPhase::End,
+            range: Some(buf),
+            issuer: ThreadId(0),
+            issuer_rid: Rid(5),
+            seq: 0,
+        };
+        lg.handle_ca(&ca, true, Rid(5), &mut ctx);
+        assert_eq!(shared.borrow().mem.join_range(buf), TAINTED);
+        // Remote lifeguards do not re-apply the update.
+        let mut ctx2 = HandlerCtx::new();
+        let mut remote = TaintCheck::new(Rc::clone(&shared), ThreadId(1));
+        shared.borrow_mut().mem.set_range(buf, 0);
+        remote.handle_ca(&ca, false, Rid(2), &mut ctx2);
+        assert_eq!(shared.borrow().mem.join_range(buf), 0);
+    }
+
+    #[test]
+    fn malloc_untaints_fresh_memory() {
+        let (shared, mut lg) = setup();
+        let range = AddrRange::new(0x2000, 32);
+        shared.borrow_mut().mem.set_range(range, TAINTED);
+        let ca = CaRecord {
+            what: HighLevelKind::Malloc,
+            phase: CaPhase::End,
+            range: Some(range),
+            issuer: ThreadId(0),
+            issuer_rid: Rid(5),
+            seq: 0,
+        };
+        lg.handle_ca(&ca, true, Rid(5), &mut HandlerCtx::new());
+        assert_eq!(shared.borrow().mem.join_range(range), 0);
+    }
+
+    #[test]
+    fn write_syscall_checks_taint() {
+        let (shared, mut lg) = setup();
+        let buf = AddrRange::new(0x3000, 8);
+        shared.borrow_mut().mem.set_range(buf, TAINTED);
+        let ca = CaRecord {
+            what: HighLevelKind::Syscall(SyscallKind::WriteOutput),
+            phase: CaPhase::Begin,
+            range: Some(buf),
+            issuer: ThreadId(0),
+            issuer_rid: Rid(5),
+            seq: 0,
+        };
+        let mut ctx = HandlerCtx::new();
+        lg.handle_ca(&ca, true, Rid(5), &mut ctx);
+        assert_eq!(ctx.violations[0].kind, ViolationKind::TaintedSyscallArg);
+    }
+
+    #[test]
+    fn versioned_read_overrides_current_state() {
+        let (shared, mut lg) = setup();
+        // Current state: tainted. Versioned snapshot: clean.
+        shared.borrow_mut().mem.set_range(AddrRange::new(0x100, 4), TAINTED);
+        let mut ctx = HandlerCtx::new();
+        ctx.versioned = Some((AddrRange::new(0x100, 4), vec![0, 0, 0, 0]));
+        lg.handle(&MetaOp::MemToReg { dst: r(0), src: m(0x100) }, Rid(1), &mut ctx);
+        assert_eq!(lg.reg_taint(0), 0, "reads the pre-write (versioned) metadata");
+    }
+
+    #[test]
+    fn syscall_race_taints_conservatively() {
+        let (shared, mut lg) = setup();
+        let access = AddrRange::new(0x100, 4);
+        let entry = RangeEntry {
+            issuer: ThreadId(1),
+            what: HighLevelKind::Syscall(SyscallKind::ReadInput),
+            range: AddrRange::new(0x0, 0x1000),
+        };
+        let mut ctx = HandlerCtx::new();
+        lg.on_syscall_race(access, &entry, Rid(4), &mut ctx);
+        assert_eq!(ctx.violations[0].kind, ViolationKind::SyscallRace);
+        assert_eq!(shared.borrow().mem.join_range(access), TAINTED);
+    }
+
+    #[test]
+    fn fingerprint_reflects_metadata() {
+        let (shared, lg) = setup();
+        let before = lg.fingerprint();
+        shared.borrow_mut().mem.set(0x100, TAINTED);
+        assert_ne!(lg.fingerprint(), before);
+        shared.borrow_mut().mem.set(0x100, 0);
+        assert_eq!(lg.fingerprint(), before, "zero values do not contribute");
+    }
+
+    #[test]
+    fn meta_touches_are_recorded() {
+        let (_shared, mut lg) = setup();
+        let mut ctx = HandlerCtx::new();
+        lg.handle(&MetaOp::MemToReg { dst: r(0), src: m(0x100) }, Rid(1), &mut ctx);
+        assert_eq!(ctx.meta_touches.len(), 1);
+        assert!(!ctx.meta_touches[0].1, "a load touches metadata read-only");
+    }
+}

@@ -1,0 +1,31 @@
+//! Metadata substrate for ParaLog lifeguards.
+//!
+//! Lifeguards maintain *metadata* (shadow state) for every application memory
+//! location (§2). This crate provides:
+//!
+//! * [`ShadowMemory`] — the two-level, bit-packed shadow structure both
+//!   evaluated lifeguards use (2 bits/byte for TAINTCHECK, 1 bit/byte for
+//!   ADDRCHECK), including the application→metadata address mapping that the
+//!   Metadata TLB accelerates;
+//! * [`VersionTable`] — the produce/consume table backing TSO versioned
+//!   metadata (§5.5).
+//!
+//! # Example
+//!
+//! ```rust
+//! use paralog_meta::ShadowMemory;
+//! use paralog_events::AddrRange;
+//!
+//! let mut taint = ShadowMemory::new(2);
+//! taint.set_range(AddrRange::new(0x1000, 4), 0b01); // taint a word
+//! taint.copy_range(0x2000, 0x1000, 4);              // propagation
+//! assert_eq!(taint.join_range(AddrRange::new(0x2000, 4)), 0b01);
+//! ```
+
+#![warn(missing_debug_implementations)]
+
+pub mod shadow;
+pub mod versions;
+
+pub use shadow::{ShadowMemory, CHUNK_APP_BYTES, META_BASE};
+pub use versions::VersionTable;

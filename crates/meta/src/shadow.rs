@@ -1,0 +1,304 @@
+//! Two-level bit-packed shadow memory.
+//!
+//! §6 of the paper: both evaluated lifeguards organize metadata as a
+//! two-level structure — a first-level pointer array indexed by the high bits
+//! of the application address, pointing to lazily-allocated second-level
+//! chunks indexed by the low bits. TAINTCHECK keeps 2 metadata bits per
+//! application byte, ADDRCHECK 1 bit.
+//!
+//! The mapping from application bytes to metadata bytes is what makes the
+//! §5.3 *bit-manipulation data race* argument go through: with `B` metadata
+//! bits per application byte, one metadata byte covers `8/B` application
+//! bytes — always fewer than a cache line — so two application addresses
+//! whose metadata share a byte always share an application cache line, and
+//! any write conflict between them is already ordered by captured arcs
+//! (condition 3).
+
+use paralog_events::{Addr, AddrRange};
+use std::collections::HashMap;
+
+/// Base virtual address of the metadata space (far above application space).
+pub const META_BASE: Addr = 0x4000_0000_0000;
+
+/// Application bytes covered by one second-level chunk.
+pub const CHUNK_APP_BYTES: u64 = 64 * 1024;
+
+/// A sparse, bit-packed shadow of the application address space.
+///
+/// `bits_per_byte` metadata bits (1, 2, 4 or 8) shadow each application
+/// byte. Values are small unsigned integers in `0 .. 2^bits`.
+#[derive(Debug, Clone)]
+pub struct ShadowMemory {
+    bits: u32,
+    /// First level: chunk index → packed second-level chunk.
+    chunks: HashMap<u64, Box<[u8]>>,
+    /// Lazily-allocated chunk count (monitors metadata footprint).
+    allocated_chunks: u64,
+}
+
+impl ShadowMemory {
+    /// Creates a shadow with `bits_per_byte` metadata bits per application
+    /// byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bits_per_byte` is 1, 2, 4 or 8.
+    pub fn new(bits_per_byte: u32) -> Self {
+        assert!(
+            matches!(bits_per_byte, 1 | 2 | 4 | 8),
+            "unsupported metadata width: {bits_per_byte} bits/byte"
+        );
+        ShadowMemory { bits: bits_per_byte, chunks: HashMap::new(), allocated_chunks: 0 }
+    }
+
+    /// Metadata bits per application byte.
+    pub fn bits_per_byte(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of second-level chunks allocated so far.
+    pub fn allocated_chunks(&self) -> u64 {
+        self.allocated_chunks
+    }
+
+    /// Largest representable metadata value.
+    pub fn max_value(&self) -> u8 {
+        ((1u16 << self.bits) - 1) as u8
+    }
+
+    fn chunk_bytes(&self) -> usize {
+        (CHUNK_APP_BYTES * self.bits as u64 / 8) as usize
+    }
+
+    fn locate(addr: Addr, bits: u32) -> (u64, usize, u32) {
+        let chunk = addr / CHUNK_APP_BYTES;
+        let offset = addr % CHUNK_APP_BYTES;
+        let bit_offset = offset * bits as u64;
+        ((chunk), (bit_offset / 8) as usize, (bit_offset % 8) as u32)
+    }
+
+    /// Reads the metadata value of one application byte (clean = 0 if never
+    /// written).
+    pub fn get(&self, addr: Addr) -> u8 {
+        let (chunk, byte, shift) = Self::locate(addr, self.bits);
+        match self.chunks.get(&chunk) {
+            Some(data) => (data[byte] >> shift) & self.max_value(),
+            None => 0,
+        }
+    }
+
+    /// Writes the metadata value of one application byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the metadata width.
+    pub fn set(&mut self, addr: Addr, value: u8) {
+        assert!(value <= self.max_value(), "metadata value {value} out of range");
+        let bits = self.bits;
+        let chunk_bytes = self.chunk_bytes();
+        let (chunk, byte, shift) = Self::locate(addr, bits);
+        let allocated = &mut self.allocated_chunks;
+        let data = self.chunks.entry(chunk).or_insert_with(|| {
+            *allocated += 1;
+            vec![0u8; chunk_bytes].into_boxed_slice()
+        });
+        let mask = ((1u16 << bits) - 1) as u8;
+        data[byte] = (data[byte] & !(mask << shift)) | (value << shift);
+    }
+
+    /// Joins (bitwise-ORs) the metadata of every byte in `range` — the
+    /// "taintedness of a multi-byte operand" operation.
+    pub fn join_range(&self, range: AddrRange) -> u8 {
+        let mut acc = 0;
+        for a in range.start..range.end() {
+            acc |= self.get(a);
+        }
+        acc
+    }
+
+    /// Sets every byte of `range` to `value`.
+    pub fn set_range(&mut self, range: AddrRange, value: u8) {
+        for a in range.start..range.end() {
+            self.set(a, value);
+        }
+    }
+
+    /// Copies metadata byte-for-byte from `src` to `dst` (`len` bytes) —
+    /// the memory-to-memory propagation IT coalesces into one event.
+    pub fn copy_range(&mut self, dst: Addr, src: Addr, len: u64) {
+        for i in 0..len {
+            let v = self.get(src + i);
+            self.set(dst + i, v);
+        }
+    }
+
+    /// Reads the packed metadata values of `range` (one `u8` per application
+    /// byte) — used to snapshot versioned metadata under TSO.
+    pub fn snapshot(&self, range: AddrRange) -> Vec<u8> {
+        (range.start..range.end()).map(|a| self.get(a)).collect()
+    }
+
+    /// Restores a snapshot produced by [`ShadowMemory::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length does not match the range.
+    pub fn restore(&mut self, range: AddrRange, snapshot: &[u8]) {
+        assert_eq!(snapshot.len() as u64, range.len, "snapshot length mismatch");
+        for (i, &v) in snapshot.iter().enumerate() {
+            self.set(range.start + i as u64, v);
+        }
+    }
+
+    /// The metadata virtual address shadowing `app_addr` — what the M-TLB
+    /// computes in hardware and handler code computes in software via the
+    /// two-level walk.
+    pub fn meta_addr(&self, app_addr: Addr) -> Addr {
+        META_BASE + app_addr * self.bits as u64 / 8
+    }
+
+    /// The metadata addresses (first and last byte) touched when shadowing an
+    /// access of `size` bytes at `app_addr`; feeds the lifeguard-core cache
+    /// model.
+    pub fn meta_footprint(&self, app_addr: Addr, size: u64) -> AddrRange {
+        let first = self.meta_addr(app_addr);
+        let last = self.meta_addr(app_addr + size.max(1) - 1);
+        AddrRange::new(first, last - first + 1)
+    }
+
+    /// Iterates `(application address, value)` pairs for every byte with
+    /// non-clean metadata. Chunk iteration order is unspecified; callers that
+    /// need determinism must combine results order-insensitively.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Addr, u8)> + '_ {
+        let bits = self.bits;
+        let max = self.max_value();
+        self.chunks.iter().flat_map(move |(chunk, data)| {
+            let base = chunk * CHUNK_APP_BYTES;
+            (0..CHUNK_APP_BYTES).filter_map(move |off| {
+                let bit_offset = off * bits as u64;
+                let v = (data[(bit_offset / 8) as usize] >> (bit_offset % 8)) & max;
+                if v != 0 {
+                    Some((base + off, v))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        let s = ShadowMemory::new(2);
+        assert_eq!(s.get(0x1234), 0);
+        assert_eq!(s.join_range(AddrRange::new(0, 1024)), 0);
+        assert_eq!(s.allocated_chunks(), 0, "reads never allocate");
+    }
+
+    #[test]
+    fn set_get_roundtrip_all_widths() {
+        for bits in [1u32, 2, 4, 8] {
+            let mut s = ShadowMemory::new(bits);
+            let max = s.max_value();
+            for addr in [0u64, 1, 7, 63, 64, CHUNK_APP_BYTES - 1, CHUNK_APP_BYTES + 5] {
+                s.set(addr, max);
+                assert_eq!(s.get(addr), max, "bits={bits} addr={addr}");
+                s.set(addr, 0);
+                assert_eq!(s.get(addr), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_do_not_clobber() {
+        let mut s = ShadowMemory::new(2);
+        s.set(100, 0b11);
+        s.set(101, 0b01);
+        s.set(102, 0b10);
+        assert_eq!(s.get(100), 0b11);
+        assert_eq!(s.get(101), 0b01);
+        assert_eq!(s.get(102), 0b10);
+        s.set(101, 0);
+        assert_eq!(s.get(100), 0b11);
+        assert_eq!(s.get(102), 0b10);
+    }
+
+    #[test]
+    fn join_range_ors_values() {
+        let mut s = ShadowMemory::new(2);
+        s.set(10, 0b01);
+        s.set(13, 0b10);
+        assert_eq!(s.join_range(AddrRange::new(10, 4)), 0b11);
+        assert_eq!(s.join_range(AddrRange::new(11, 2)), 0);
+    }
+
+    #[test]
+    fn copy_range_propagates() {
+        let mut s = ShadowMemory::new(2);
+        s.set_range(AddrRange::new(0x100, 4), 0b11);
+        s.copy_range(0x200, 0x100, 4);
+        assert_eq!(s.join_range(AddrRange::new(0x200, 4)), 0b11);
+        // Copy of clean over tainted cleans.
+        s.copy_range(0x200, 0x300, 4);
+        assert_eq!(s.join_range(AddrRange::new(0x200, 4)), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut s = ShadowMemory::new(1);
+        let r = AddrRange::new(0x40, 8);
+        s.set(0x41, 1);
+        s.set(0x46, 1);
+        let snap = s.snapshot(r);
+        s.set_range(r, 0);
+        s.restore(r, &snap);
+        assert_eq!(s.get(0x41), 1);
+        assert_eq!(s.get(0x46), 1);
+        assert_eq!(s.get(0x40), 0);
+    }
+
+    #[test]
+    fn meta_addr_mapping() {
+        let taint = ShadowMemory::new(2); // 1 meta byte per 4 app bytes
+        assert_eq!(taint.meta_addr(0), META_BASE);
+        assert_eq!(taint.meta_addr(4), META_BASE + 1);
+        let addrcheck = ShadowMemory::new(1); // 1 meta byte per 8 app bytes
+        assert_eq!(addrcheck.meta_addr(8), META_BASE + 1);
+        // Footprint of an aligned 4-byte access in 2-bit shadow = 1 metadata
+        // byte; unaligned accesses straddle two.
+        assert_eq!(taint.meta_footprint(0, 4).len, 1);
+        assert_eq!(taint.meta_footprint(4, 4).len, 1);
+        assert_eq!(taint.meta_footprint(2, 4).len, 2);
+    }
+
+    #[test]
+    fn bit_manipulation_race_condition_three() {
+        // Two app addresses whose metadata share a byte must share an app
+        // cache line (64B) — §5.3 condition 3.
+        let s = ShadowMemory::new(2);
+        for a in 0u64..256 {
+            for b in (a + 1)..256 {
+                if s.meta_addr(a) == s.meta_addr(b) {
+                    assert_eq!(a / 64, b / 64, "addrs {a},{b} share meta byte across lines");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_value_rejected() {
+        let mut s = ShadowMemory::new(1);
+        s.set(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn unsupported_width_rejected() {
+        let _ = ShadowMemory::new(3);
+    }
+}

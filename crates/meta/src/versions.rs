@@ -1,0 +1,176 @@
+//! Versioned metadata for TSO support (§5.5).
+//!
+//! When a load violates SC relative to a remote write, the R→W dependence is
+//! *reversed*: the writer's lifeguard first *produces* a version — a copy of
+//! the current metadata for the conflicting range — and the reader's
+//! lifeguard *consumes* that version instead of waiting for (or racing with)
+//! the writer. The version id combines the consuming thread's id with the
+//! record id of its SC-violating load, so ids are unique per dynamic load.
+
+use paralog_events::{AddrRange, VersionId};
+use std::collections::HashMap;
+
+/// Table of produced-but-not-yet-consumed metadata versions, shared by all
+/// lifeguard threads.
+#[derive(Debug, Default)]
+pub struct VersionTable {
+    entries: HashMap<VersionId, (AddrRange, Vec<u8>, u32)>,
+    /// Consumers that proceeded before the version existed (the pre-store
+    /// state was still current shadow, so no snapshot was needed).
+    bypassed: HashMap<VersionId, u32>,
+    produced: u64,
+    consumed: u64,
+    peak: usize,
+}
+
+impl VersionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        VersionTable::default()
+    }
+
+    /// Publishes versioned metadata for `id` covering `range`, to be
+    /// consumed by `consumers` reader records (several pre-drain loads of
+    /// the same block may share one snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already present (version ids are unique per
+    /// dynamic conflict), `consumers` is zero, or the snapshot length
+    /// mismatches the range.
+    pub fn produce(&mut self, id: VersionId, range: AddrRange, snapshot: Vec<u8>, consumers: u32) {
+        assert_eq!(snapshot.len() as u64, range.len, "snapshot length mismatch");
+        assert!(consumers > 0, "version without consumers");
+        self.produced += 1;
+        // Consumers that already passed read the live (still pre-store)
+        // shadow; only the remainder need the snapshot.
+        let already = self.bypassed.remove(&id).unwrap_or(0);
+        let remaining = consumers.saturating_sub(already);
+        if remaining == 0 {
+            return;
+        }
+        let prev = self.entries.insert(id, (range, snapshot, remaining));
+        assert!(prev.is_none(), "duplicate version {id}");
+        self.peak = self.peak.max(self.entries.len());
+    }
+
+    /// Notes that a consumer of `id` proceeded before production: the
+    /// producer had not applied its store, so the live shadow was still the
+    /// correct pre-store state (§5.5 without the stall).
+    pub fn bypass(&mut self, id: VersionId) {
+        *self.bypassed.entry(id).or_insert(0) += 1;
+        self.consumed += 1;
+    }
+
+    /// Whether `id` has been produced and not yet consumed.
+    pub fn is_available(&self, id: VersionId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Consumes the version (one reference), or `None` if the producer has
+    /// not reached its produce point yet — the consumer must stall. The
+    /// entry is retired when its last consumer takes it.
+    pub fn consume(&mut self, id: VersionId) -> Option<(AddrRange, Vec<u8>)> {
+        let entry = self.entries.get_mut(&id)?;
+        self.consumed += 1;
+        entry.2 -= 1;
+        if entry.2 == 0 {
+            let (range, bytes, _) = self.entries.remove(&id).expect("present");
+            Some((range, bytes))
+        } else {
+            Some((entry.0, entry.1.clone()))
+        }
+    }
+
+    /// Versions produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Versions consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Largest number of simultaneously outstanding versions — bounds the
+    /// hardware table size this would need.
+    pub fn peak_outstanding(&self) -> usize {
+        self.peak
+    }
+
+    /// Versions currently outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paralog_events::{Rid, ThreadId};
+
+    fn vid(t: u16, r: u64) -> VersionId {
+        VersionId { consumer: ThreadId(t), consumer_rid: Rid(r) }
+    }
+
+    #[test]
+    fn produce_then_consume() {
+        let mut t = VersionTable::new();
+        let id = vid(0, 2);
+        let r = AddrRange::new(0x100, 4);
+        assert!(!t.is_available(id));
+        t.produce(id, r, vec![0b11, 0, 0, 0b01], 1);
+        assert!(t.is_available(id));
+        let (range, snap) = t.consume(id).expect("available");
+        assert_eq!(range, r);
+        assert_eq!(snap, vec![0b11, 0, 0, 0b01]);
+        assert!(!t.is_available(id));
+        assert_eq!(t.produced(), 1);
+        assert_eq!(t.consumed(), 1);
+    }
+
+    #[test]
+    fn consume_before_produce_stalls() {
+        let mut t = VersionTable::new();
+        assert!(t.consume(vid(1, 5)).is_none());
+        assert_eq!(t.consumed(), 0);
+    }
+
+    #[test]
+    fn peak_outstanding_tracks_high_water() {
+        let mut t = VersionTable::new();
+        t.produce(vid(0, 1), AddrRange::new(0, 1), vec![0], 1);
+        t.produce(vid(0, 2), AddrRange::new(8, 1), vec![1], 1);
+        t.consume(vid(0, 1));
+        t.produce(vid(1, 1), AddrRange::new(16, 1), vec![0], 1);
+        assert_eq!(t.peak_outstanding(), 2);
+        assert_eq!(t.outstanding(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate version")]
+    fn duplicate_produce_panics() {
+        let mut t = VersionTable::new();
+        t.produce(vid(0, 1), AddrRange::new(0, 1), vec![0], 1);
+        t.produce(vid(0, 1), AddrRange::new(0, 1), vec![0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bad_snapshot_length_panics() {
+        let mut t = VersionTable::new();
+        t.produce(vid(0, 1), AddrRange::new(0, 4), vec![0], 1);
+    }
+
+    #[test]
+    fn shared_version_consumed_by_each_reader() {
+        let mut t = VersionTable::new();
+        let id = vid(0, 9);
+        t.produce(id, AddrRange::new(0, 2), vec![1, 0], 2);
+        assert!(t.consume(id).is_some());
+        assert!(t.is_available(id), "one consumer left");
+        assert!(t.consume(id).is_some());
+        assert!(!t.is_available(id), "retired after last consumer");
+        assert_eq!(t.consumed(), 2);
+    }
+}

@@ -1,0 +1,371 @@
+//! Order capturing: turning coherence activity into dependence arcs.
+//!
+//! §5.1 of the paper describes two capture designs and an arc-reduction knob:
+//!
+//! * **Per-block** (aggressive, FDR-style): coherence acknowledgements carry
+//!   the remote L1 line's last-access record id — the tightest sound
+//!   timestamp.
+//! * **Per-core** (reduced hardware): acknowledgements carry the remote
+//!   core's *current* retirement counter instead; no per-line tag storage,
+//!   but arcs become conservative and may stall lifeguards longer
+//!   (Figure 8's "limited reduction" variant).
+//!
+//! Arc **reduction** drops arcs already implied by previously recorded arcs
+//! plus program order (RTR): `Direct` tracks only the latest recorded arc per
+//! source thread; `Transitive` additionally merges the source thread's vector
+//! clock *as of the arc's source record*, which requires snapshot history —
+//! exactly the hardware-cost trade-off the paper discusses.
+
+use paralog_events::{ArcKind, DependenceArc, Rid, ThreadId};
+use paralog_sim::RemoteTouch;
+use std::collections::VecDeque;
+
+/// Which timestamp coherence acknowledgements carry (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CapturePolicy {
+    /// Per-cache-block timestamps (aggressive; FDR-style).
+    #[default]
+    PerBlock,
+    /// Per-core retirement counter (reduced hardware; conservative).
+    PerCore,
+}
+
+/// How aggressively already-implied arcs are dropped before recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Record every observed arc.
+    None,
+    /// Drop arcs to a source record already covered by a *direct* earlier arc
+    /// from the same source thread.
+    Direct,
+    /// Netzer/RTR-style transitive reduction using source vector-clock
+    /// snapshots (aggressive dependence reduction in Figure 8).
+    #[default]
+    Transitive,
+}
+
+/// Bound on retained vector-clock snapshots per thread; beyond it the oldest
+/// snapshots are discarded and reduction degrades gracefully (arcs are
+/// recorded rather than dropped — always sound).
+const HISTORY_LIMIT: usize = 4096;
+
+#[derive(Debug, Clone)]
+struct ThreadState {
+    /// `vc[s]` = highest rid of thread `s` known ordered before this thread's
+    /// current point (via recorded arcs + transitivity).
+    vc: Vec<u64>,
+    /// Snapshots of `vc` keyed by own rid, taken whenever `vc` changes.
+    history: VecDeque<(u64, Vec<u64>)>,
+}
+
+impl ThreadState {
+    fn new(threads: usize) -> Self {
+        ThreadState { vc: vec![0; threads], history: VecDeque::new() }
+    }
+
+    /// The vector clock this thread had at its record `rid` (latest snapshot
+    /// not newer than `rid`); `None` when history has been pruned past it.
+    fn vc_at(&self, rid: Rid) -> Option<&Vec<u64>> {
+        // History is in ascending rid order; find the last entry <= rid.
+        let mut best = None;
+        for (r, vc) in self.history.iter().rev() {
+            if *r <= rid.0 {
+                best = Some(vc);
+                break;
+            }
+        }
+        best
+    }
+
+    fn snapshot(&mut self, rid: Rid) {
+        if let Some((last, vc)) = self.history.back_mut() {
+            if *last == rid.0 {
+                *vc = self.vc.clone();
+                return;
+            }
+        }
+        self.history.push_back((rid.0, self.vc.clone()));
+        if self.history.len() > HISTORY_LIMIT {
+            self.history.pop_front();
+        }
+    }
+}
+
+/// Statistics of the capture pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaptureStats {
+    /// Coherence conflicts observed (potential arcs).
+    pub observed: u64,
+    /// Arcs actually recorded into event streams.
+    pub recorded: u64,
+    /// Arcs dropped as implied (reduction wins).
+    pub reduced: u64,
+}
+
+/// The order-capturing component: one per monitored application, covering all
+/// its threads.
+#[derive(Debug)]
+pub struct OrderCapture {
+    policy: CapturePolicy,
+    reduction: Reduction,
+    threads: Vec<ThreadState>,
+    stats: CaptureStats,
+}
+
+impl OrderCapture {
+    /// Creates capture state for `threads` application threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize, policy: CapturePolicy, reduction: Reduction) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        OrderCapture {
+            policy,
+            reduction,
+            threads: (0..threads).map(|_| ThreadState::new(threads)).collect(),
+            stats: CaptureStats::default(),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> CapturePolicy {
+        self.policy
+    }
+
+    /// The configured reduction level.
+    pub fn reduction(&self) -> Reduction {
+        self.reduction
+    }
+
+    /// Pipeline statistics.
+    pub fn stats(&self) -> CaptureStats {
+        self.stats
+    }
+
+    /// Processes a coherence conflict suffered by `src` because of `dst`'s
+    /// access at `dst_rid`: returns the arc to record in `dst`'s stream, or
+    /// `None` if reduction proved it implied.
+    ///
+    /// `src` is the application thread running on `touch.remote_core`.
+    pub fn on_touch(
+        &mut self,
+        dst: ThreadId,
+        dst_rid: Rid,
+        src: ThreadId,
+        touch: &RemoteTouch,
+    ) -> Option<DependenceArc> {
+        self.on_touch_inner(dst, dst_rid, src, touch, true)
+    }
+
+    /// Variant for conflicts observed *out of program order* — TSO store
+    /// drains record arcs onto already-retired store records while younger
+    /// loads may have recorded arcs first. Reduction's "an earlier arc
+    /// implies this one" argument needs the covering arc to sit on an
+    /// *older* record, so out-of-order arcs are recorded unconditionally
+    /// (they still update the knowledge vector for later in-order checks).
+    pub fn on_touch_unordered(
+        &mut self,
+        dst: ThreadId,
+        dst_rid: Rid,
+        src: ThreadId,
+        touch: &RemoteTouch,
+    ) -> Option<DependenceArc> {
+        self.on_touch_inner(dst, dst_rid, src, touch, false)
+    }
+
+    fn on_touch_inner(
+        &mut self,
+        dst: ThreadId,
+        dst_rid: Rid,
+        src: ThreadId,
+        touch: &RemoteTouch,
+        in_order: bool,
+    ) -> Option<DependenceArc> {
+        let rid = match self.policy {
+            CapturePolicy::PerBlock => touch.block_rid,
+            CapturePolicy::PerCore => touch.core_rid,
+        };
+        self.conflict_inner(dst, dst_rid, src, rid, touch.kind, in_order)
+    }
+
+    /// Out-of-order variant of [`OrderCapture::on_conflict`] (see
+    /// [`OrderCapture::on_touch_unordered`]).
+    pub fn on_conflict_unordered(
+        &mut self,
+        dst: ThreadId,
+        dst_rid: Rid,
+        src: ThreadId,
+        src_rid: Rid,
+        kind: ArcKind,
+    ) -> Option<DependenceArc> {
+        self.conflict_inner(dst, dst_rid, src, src_rid, kind, false)
+    }
+
+    /// Same as [`OrderCapture::on_touch`] for conflicts synthesized outside
+    /// the coherence model (e.g. barrier release edges).
+    pub fn on_conflict(
+        &mut self,
+        dst: ThreadId,
+        dst_rid: Rid,
+        src: ThreadId,
+        src_rid: Rid,
+        kind: ArcKind,
+    ) -> Option<DependenceArc> {
+        self.conflict_inner(dst, dst_rid, src, src_rid, kind, true)
+    }
+
+    fn conflict_inner(
+        &mut self,
+        dst: ThreadId,
+        dst_rid: Rid,
+        src: ThreadId,
+        src_rid: Rid,
+        kind: ArcKind,
+        in_order: bool,
+    ) -> Option<DependenceArc> {
+        assert_ne!(dst, src, "self-arcs are program order, not dependences");
+        self.stats.observed += 1;
+        if src_rid == Rid::ZERO {
+            // The remote thread had not retired anything relevant.
+            self.stats.reduced += 1;
+            return None;
+        }
+        if in_order
+            && self.reduction != Reduction::None
+            && self.threads[dst.index()].vc[src.index()] >= src_rid.0
+        {
+            self.stats.reduced += 1;
+            return None;
+        }
+        // Record: update destination knowledge.
+        let merged: Option<Vec<u64>> = if self.reduction == Reduction::Transitive {
+            self.threads[src.index()].vc_at(src_rid).cloned()
+        } else {
+            None
+        };
+        let dst_state = &mut self.threads[dst.index()];
+        dst_state.vc[src.index()] = dst_state.vc[src.index()].max(src_rid.0);
+        if let Some(src_vc) = merged {
+            for (i, v) in src_vc.iter().enumerate() {
+                if i != dst.index() {
+                    dst_state.vc[i] = dst_state.vc[i].max(*v);
+                }
+            }
+        }
+        if self.reduction == Reduction::Transitive && in_order {
+            dst_state.snapshot(dst_rid);
+        }
+        self.stats.recorded += 1;
+        Some(DependenceArc::new(src, src_rid, kind))
+    }
+
+    /// Destination-side knowledge (test/diagnostic aid): the highest rid of
+    /// `src` known ordered before `dst`'s current point.
+    pub fn known(&self, dst: ThreadId, src: ThreadId) -> Rid {
+        Rid(self.threads[dst.index()].vc[src.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paralog_events::BlockId;
+
+    fn touch(core: usize, block_rid: u64, core_rid: u64, kind: ArcKind) -> RemoteTouch {
+        RemoteTouch {
+            remote_core: core,
+            block: BlockId(0),
+            kind,
+            block_rid: Rid(block_rid),
+            block_write_rid: Rid::ZERO,
+            core_rid: Rid(core_rid),
+        }
+    }
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    #[test]
+    fn per_block_vs_per_core_timestamp() {
+        let t = touch(0, 5, 12, ArcKind::Raw);
+        let mut agg = OrderCapture::new(2, CapturePolicy::PerBlock, Reduction::None);
+        let arc = agg.on_touch(T1, Rid(1), T0, &t).unwrap();
+        assert_eq!(arc.src_rid, Rid(5));
+        let mut cons = OrderCapture::new(2, CapturePolicy::PerCore, Reduction::None);
+        let arc = cons.on_touch(T1, Rid(1), T0, &t).unwrap();
+        assert_eq!(arc.src_rid, Rid(12), "per-core counter is the conservative one");
+    }
+
+    #[test]
+    fn no_reduction_records_everything() {
+        let mut c = OrderCapture::new(2, CapturePolicy::PerBlock, Reduction::None);
+        for i in 0..5 {
+            assert!(c.on_touch(T1, Rid(10 + i), T0, &touch(0, 5, 5, ArcKind::Raw)).is_some());
+        }
+        assert_eq!(c.stats().recorded, 5);
+        assert_eq!(c.stats().reduced, 0);
+    }
+
+    #[test]
+    fn direct_reduction_drops_dominated_arcs() {
+        let mut c = OrderCapture::new(2, CapturePolicy::PerBlock, Reduction::Direct);
+        assert!(c.on_touch(T1, Rid(10), T0, &touch(0, 7, 7, ArcKind::Raw)).is_some());
+        // Arc to an older record of the same thread: implied.
+        assert!(c.on_touch(T1, Rid(11), T0, &touch(0, 5, 7, ArcKind::War)).is_none());
+        // Arc to a newer record: must be recorded.
+        assert!(c.on_touch(T1, Rid(12), T0, &touch(0, 9, 9, ArcKind::Raw)).is_some());
+        assert_eq!(c.stats().reduced, 1);
+    }
+
+    #[test]
+    fn transitive_reduction_uses_source_knowledge() {
+        let mut c = OrderCapture::new(3, CapturePolicy::PerBlock, Reduction::Transitive);
+        // T1's record 4 depends on T0's record 9.
+        assert!(c
+            .on_conflict(T1, Rid(4), T0, Rid(9), ArcKind::Raw)
+            .is_some());
+        // T2's record 2 depends on T1's record 4 (after the above).
+        assert!(c
+            .on_conflict(T2, Rid(2), T1, Rid(4), ArcKind::Raw)
+            .is_some());
+        // T2 now transitively knows T0 up to rid 9: an arc to T0#8 is implied.
+        assert_eq!(c.known(T2, T0), Rid(9));
+        assert!(c.on_conflict(T2, Rid(3), T0, Rid(8), ArcKind::War).is_none());
+        assert_eq!(c.stats().reduced, 1);
+    }
+
+    #[test]
+    fn transitive_does_not_use_future_source_knowledge() {
+        let mut c = OrderCapture::new(3, CapturePolicy::PerBlock, Reduction::Transitive);
+        // T1 learns of T0#9 at its record 10.
+        c.on_conflict(T1, Rid(10), T0, Rid(9), ArcKind::Raw);
+        // T2 takes an arc from T1#4 — *before* T1 knew about T0.
+        c.on_conflict(T2, Rid(2), T1, Rid(4), ArcKind::Raw);
+        // T2 must NOT have inherited T0 knowledge from T1's later state.
+        assert_eq!(c.known(T2, T0), Rid::ZERO);
+        assert!(c.on_conflict(T2, Rid(3), T0, Rid(8), ArcKind::War).is_some());
+    }
+
+    #[test]
+    fn direct_reduction_is_per_source_thread() {
+        let mut c = OrderCapture::new(3, CapturePolicy::PerBlock, Reduction::Direct);
+        assert!(c.on_conflict(T2, Rid(1), T0, Rid(5), ArcKind::Raw).is_some());
+        assert!(c.on_conflict(T2, Rid(2), T1, Rid(5), ArcKind::Raw).is_some());
+        assert!(c.on_conflict(T2, Rid(3), T0, Rid(5), ArcKind::Raw).is_none());
+    }
+
+    #[test]
+    fn zero_rid_touches_produce_no_arc() {
+        let mut c = OrderCapture::new(2, CapturePolicy::PerBlock, Reduction::None);
+        assert!(c.on_touch(T1, Rid(1), T0, &touch(0, 0, 0, ArcKind::War)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-arcs")]
+    fn self_arc_rejected() {
+        let mut c = OrderCapture::new(2, CapturePolicy::PerBlock, Reduction::None);
+        c.on_conflict(T0, Rid(2), T0, Rid(1), ArcKind::Raw);
+    }
+}

@@ -1,0 +1,156 @@
+//! The globally advertised progress table (§5.2).
+//!
+//! Lifeguard threads share a memory-mapped table of progress counters indexed
+//! by thread id; `progress[t]` holds the record id up to which *every* piece
+//! of lifeguard work for thread `t` — including state still cached inside
+//! accelerators, per delayed advertising (§4.2) — has completed. Each entry
+//! lives on its own cache line to avoid coherence ping-pong.
+//!
+//! Two implementations: [`ProgressTable`] for the deterministic simulator and
+//! [`SharedProgressTable`] (atomics) for the real-thread demonstration
+//! executor.
+
+use paralog_events::{Rid, ThreadId};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Progress table used inside the single-threaded simulator.
+#[derive(Debug, Clone)]
+pub struct ProgressTable {
+    slots: Vec<Rid>,
+}
+
+impl ProgressTable {
+    /// Creates a table for `threads` lifeguard threads, all at [`Rid::ZERO`].
+    pub fn new(threads: usize) -> Self {
+        ProgressTable { slots: vec![Rid::ZERO; threads] }
+    }
+
+    /// Number of threads covered.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Currently advertised progress of `thread`.
+    pub fn get(&self, thread: ThreadId) -> Rid {
+        self.slots[thread.index()]
+    }
+
+    /// Advertises `progress` for `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if progress would move backwards — advertised
+    /// progress is monotone by construction (delayed advertising may *hold
+    /// back* but never regress).
+    pub fn advertise(&mut self, thread: ThreadId, progress: Rid) {
+        debug_assert!(
+            progress >= self.slots[thread.index()],
+            "progress of {thread} regressed: {} -> {}",
+            self.slots[thread.index()],
+            progress
+        );
+        self.slots[thread.index()] = progress;
+    }
+
+    /// Whether an arc requiring `src`'s progress to reach `rid` is satisfied.
+    pub fn satisfies(&self, src: ThreadId, rid: Rid) -> bool {
+        self.get(src) >= rid
+    }
+}
+
+/// Cache-line-padded atomic slot.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedAtomicU64(AtomicU64);
+
+/// Progress table shared between real OS threads (the demonstration
+/// executor). Entries are release-published and acquire-read, mirroring the
+/// hardware's memory-mapped counter semantics.
+#[derive(Debug)]
+pub struct SharedProgressTable {
+    slots: Vec<PaddedAtomicU64>,
+}
+
+impl SharedProgressTable {
+    /// Creates a table for `threads` lifeguard threads.
+    pub fn new(threads: usize) -> Self {
+        SharedProgressTable { slots: (0..threads).map(|_| PaddedAtomicU64::default()).collect() }
+    }
+
+    /// Number of threads covered.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Currently advertised progress of `thread`.
+    pub fn get(&self, thread: ThreadId) -> Rid {
+        Rid(self.slots[thread.index()].0.load(Ordering::Acquire))
+    }
+
+    /// Advertises `progress` for `thread` (release ordering so metadata
+    /// writes by the advertiser are visible to readers that observe it).
+    pub fn advertise(&self, thread: ThreadId, progress: Rid) {
+        self.slots[thread.index()].0.store(progress.0, Ordering::Release);
+    }
+
+    /// Whether an arc requiring `src`'s progress to reach `rid` is satisfied.
+    pub fn satisfies(&self, src: ThreadId, rid: Rid) -> bool {
+        self.get(src) >= rid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut p = ProgressTable::new(2);
+        assert_eq!(p.get(ThreadId(0)), Rid::ZERO);
+        p.advertise(ThreadId(0), Rid(5));
+        assert!(p.satisfies(ThreadId(0), Rid(5)));
+        assert!(!p.satisfies(ThreadId(0), Rid(6)));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "regressed")]
+    fn regression_detected_in_debug() {
+        let mut p = ProgressTable::new(1);
+        p.advertise(ThreadId(0), Rid(5));
+        p.advertise(ThreadId(0), Rid(3));
+    }
+
+    #[test]
+    fn shared_table_roundtrip() {
+        let p = SharedProgressTable::new(2);
+        p.advertise(ThreadId(1), Rid(9));
+        assert_eq!(p.get(ThreadId(1)), Rid(9));
+        assert!(p.satisfies(ThreadId(1), Rid(9)));
+        assert!(!p.satisfies(ThreadId(0), Rid(1)));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn shared_table_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedProgressTable>();
+    }
+
+    #[test]
+    fn slots_are_cache_line_padded() {
+        assert_eq!(std::mem::size_of::<PaddedAtomicU64>(), 64);
+    }
+}

@@ -1,0 +1,261 @@
+//! Set-associative cache tag arrays with LRU replacement.
+//!
+//! The simulator tracks tags and per-line bookkeeping only — the monitored
+//! program's data values are irrelevant to lifeguard dataflow, so no data
+//! array exists. Each L1 line carries the FDR-style per-block timestamps
+//! (§5.1): the record id of the owning core's last access and last write,
+//! which get piggy-backed on coherence acknowledgements.
+
+use crate::config::CacheConfig;
+use paralog_events::{BlockId, Rid};
+
+/// Per-line bookkeeping carried by L1 lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineInfo {
+    /// Record id of this core's most recent access to the line.
+    pub last_access: Rid,
+    /// Record id of this core's most recent write to the line.
+    pub last_write: Rid,
+    /// Whether the line holds modifications not yet written back.
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    block: BlockId,
+    lru: u64,
+    info: LineInfo,
+}
+
+/// Hit/miss/eviction counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that found their block resident.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Lines displaced by fills.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; zero when no accesses happened.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, LRU, tag-only cache.
+#[derive(Debug)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Line>>,
+    assoc: usize,
+    set_mask: u64,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two (index math relies on
+    /// masking) or the geometry is degenerate.
+    pub fn new(config: &CacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        SetAssocCache {
+            sets: (0..sets).map(|_| Vec::with_capacity(config.assoc)).collect(),
+            assoc: config.assoc,
+            set_mask: sets as u64 - 1,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn set_of(&self, block: BlockId) -> usize {
+        (block.0 & self.set_mask) as usize
+    }
+
+    /// Counter statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether `block` is resident (does not touch LRU or stats).
+    pub fn contains(&self, block: BlockId) -> bool {
+        let set = self.set_of(block);
+        self.sets[set].iter().any(|l| l.block == block)
+    }
+
+    /// Looks up `block`, updating LRU and hit/miss counters. Returns the
+    /// line's bookkeeping for in-place update on a hit.
+    pub fn probe(&mut self, block: BlockId) -> Option<&mut LineInfo> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(block);
+        let found = self.sets[set].iter_mut().find(|l| l.block == block);
+        match found {
+            Some(line) => {
+                self.stats.hits += 1;
+                line.lru = tick;
+                Some(&mut line.info)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inspects a resident line without touching LRU or counters.
+    pub fn peek(&self, block: BlockId) -> Option<&LineInfo> {
+        let set = self.set_of(block);
+        self.sets[set].iter().find(|l| l.block == block).map(|l| &l.info)
+    }
+
+    /// Inserts `block` (after a miss), evicting the LRU line of its set if
+    /// full. Returns the displaced `(block, info)` if an eviction happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the block is already resident (callers must
+    /// `probe` first).
+    pub fn insert(&mut self, block: BlockId, info: LineInfo) -> Option<(BlockId, LineInfo)> {
+        debug_assert!(!self.contains(block), "insert of resident block {block}");
+        self.tick += 1;
+        let tick = self.tick;
+        let assoc = self.assoc;
+        let set_idx = self.set_of(block);
+        let set = &mut self.sets[set_idx];
+        let mut evicted = None;
+        if set.len() >= assoc {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            let victim = set.swap_remove(victim_idx);
+            self.stats.evictions += 1;
+            evicted = Some((victim.block, victim.info));
+        }
+        set.push(Line { block, lru: tick, info });
+        evicted
+    }
+
+    /// Removes `block` if resident, returning its bookkeeping.
+    pub fn invalidate(&mut self, block: BlockId) -> Option<LineInfo> {
+        let set = self.set_of(block);
+        let idx = self.sets[set].iter().position(|l| l.block == block)?;
+        Some(self.sets[set].swap_remove(idx).info)
+    }
+
+    /// Mutable access to a resident line without touching LRU or counters.
+    pub fn peek_mut(&mut self, block: BlockId) -> Option<&mut LineInfo> {
+        let set = self.set_of(block);
+        self.sets[set].iter_mut().find(|l| l.block == block).map(|l| &mut l.info)
+    }
+
+    /// Number of resident lines (test/debug aid).
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways, 64B lines.
+        SetAssocCache::new(&CacheConfig { size_bytes: 512, line_bytes: 64, assoc: 2, latency: 1 })
+    }
+
+    #[test]
+    fn probe_miss_then_hit() {
+        let mut c = tiny();
+        assert!(c.probe(BlockId(1)).is_none());
+        c.insert(BlockId(1), LineInfo::default());
+        assert!(c.probe(BlockId(1)).is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_way() {
+        let mut c = tiny();
+        // Blocks 0, 4, 8 all map to set 0 (4 sets).
+        c.insert(BlockId(0), LineInfo::default());
+        c.insert(BlockId(4), LineInfo::default());
+        // Touch 0 so 4 becomes LRU.
+        assert!(c.probe(BlockId(0)).is_some());
+        let evicted = c.insert(BlockId(8), LineInfo::default());
+        assert_eq!(evicted.map(|(b, _)| b), Some(BlockId(4)));
+        assert!(c.contains(BlockId(0)));
+        assert!(c.contains(BlockId(8)));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_returns_info() {
+        let mut c = tiny();
+        let info = LineInfo { last_access: Rid(7), last_write: Rid(5), dirty: true };
+        c.insert(BlockId(3), info);
+        assert_eq!(c.invalidate(BlockId(3)), Some(info));
+        assert_eq!(c.invalidate(BlockId(3)), None);
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru_or_stats() {
+        let mut c = tiny();
+        c.insert(BlockId(0), LineInfo::default());
+        c.insert(BlockId(4), LineInfo::default());
+        let before = c.stats();
+        assert!(c.peek(BlockId(4)).is_some());
+        assert_eq!(c.stats(), before);
+        // Peek must not have promoted 4: probing 4... instead verify that 0
+        // stays LRU (it was inserted first and never re-touched).
+        let evicted = c.insert(BlockId(8), LineInfo::default());
+        assert_eq!(evicted.map(|(b, _)| b), Some(BlockId(0)));
+    }
+
+    #[test]
+    fn sets_partition_blocks() {
+        let mut c = tiny();
+        // 4 sets: blocks 0..8 fill without conflict except same-set pairs.
+        for b in 0..8 {
+            c.insert(BlockId(b), LineInfo::default());
+        }
+        assert_eq!(c.resident(), 8);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_rate(), 0.0);
+        c.probe(BlockId(0));
+        c.insert(BlockId(0), LineInfo::default());
+        c.probe(BlockId(0));
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = SetAssocCache::new(&CacheConfig {
+            size_bytes: 192,
+            line_bytes: 64,
+            assoc: 1,
+            latency: 1,
+        });
+    }
+}

@@ -1,0 +1,203 @@
+//! Machine configuration, mirroring Table 1 of the paper.
+//!
+//! The evaluation models 4/8/16-core CMPs at 1 GHz with private split L1
+//! caches, a shared inclusive L2 sized with the core count, and 90-cycle main
+//! memory. [`MachineConfig::paper`] reproduces those parameters; everything is
+//! overridable for sensitivity studies.
+
+use std::fmt;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (64 throughout the paper).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into at least one set.
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes / self.line_bytes;
+        let sets = lines as usize / self.assoc;
+        assert!(sets > 0, "cache too small for its associativity");
+        sets
+    }
+
+    /// The paper's private L1-D: 64 KB, 64 B lines, 4-way, 2-cycle access.
+    pub fn paper_l1d() -> Self {
+        CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, assoc: 4, latency: 2 }
+    }
+
+    /// The paper's shared L2 for a machine with `cores` cores: 2 MB at 4
+    /// cores, 4 MB at 8, 8 MB at 16; 64 B lines, 8-way, 6-cycle access.
+    pub fn paper_l2(cores: usize) -> Self {
+        let size_mb = match cores {
+            0..=4 => 2,
+            5..=8 => 4,
+            _ => 8,
+        };
+        CacheConfig {
+            size_bytes: size_mb * 1024 * 1024,
+            line_bytes: 64,
+            assoc: 8,
+            latency: 6,
+        }
+    }
+}
+
+/// Store-buffer parameters for Total Store Ordering mode (§5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsoConfig {
+    /// Maximum buffered stores per core; a full buffer stalls the core.
+    pub entries: usize,
+    /// Cycles a store sits in the buffer before draining to the cache.
+    pub drain_latency: u64,
+}
+
+impl Default for TsoConfig {
+    fn default() -> Self {
+        TsoConfig { entries: 8, drain_latency: 30 }
+    }
+}
+
+/// Memory consistency model of the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryModel {
+    /// Sequential consistency: stores become visible at retirement.
+    #[default]
+    Sc,
+    /// Total Store Ordering with the given store-buffer parameters.
+    Tso(TsoConfig),
+}
+
+/// Full machine description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of cores (application + lifeguard cores combined).
+    pub cores: usize,
+    /// Private per-core L1 data cache.
+    pub l1d: CacheConfig,
+    /// Shared, inclusive L2.
+    pub l2: CacheConfig,
+    /// Main-memory access latency in cycles (Table 1: 90).
+    pub mem_latency: u64,
+    /// Extra cycles charged when a miss requires remote invalidation or a
+    /// dirty-line downgrade.
+    pub coherence_latency: u64,
+    /// Cycles an entity waits before re-testing a blocked resource
+    /// (log-buffer full/empty, unmet dependence, contended lock).
+    pub poll_quantum: u64,
+    /// Consistency model.
+    pub model: MemoryModel,
+}
+
+impl MachineConfig {
+    /// The paper's machine for `cores` total cores (Table 1), under SC.
+    pub fn paper(cores: usize) -> Self {
+        MachineConfig {
+            cores,
+            l1d: CacheConfig::paper_l1d(),
+            l2: CacheConfig::paper_l2(cores),
+            mem_latency: 90,
+            coherence_latency: 4,
+            poll_quantum: 20,
+            model: MemoryModel::Sc,
+        }
+    }
+
+    /// Same machine under TSO with default store buffers.
+    pub fn paper_tso(cores: usize) -> Self {
+        MachineConfig { model: MemoryModel::Tso(TsoConfig::default()), ..Self::paper(cores) }
+    }
+
+    /// Whether the machine runs under TSO.
+    pub fn is_tso(&self) -> bool {
+        matches!(self.model, MemoryModel::Tso(_))
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::paper(16)
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cores           : {}", self.cores)?;
+        writeln!(
+            f,
+            "private L1-D    : {}KB, {}B line, {}-way, {}-cycle",
+            self.l1d.size_bytes / 1024,
+            self.l1d.line_bytes,
+            self.l1d.assoc,
+            self.l1d.latency
+        )?;
+        writeln!(
+            f,
+            "shared L2       : {}MB, {}B line, {}-way, {}-cycle",
+            self.l2.size_bytes / (1024 * 1024),
+            self.l2.line_bytes,
+            self.l2.assoc,
+            self.l2.latency
+        )?;
+        writeln!(f, "main memory     : {}-cycle latency", self.mem_latency)?;
+        match self.model {
+            MemoryModel::Sc => writeln!(f, "consistency     : SC"),
+            MemoryModel::Tso(t) => writeln!(
+                f,
+                "consistency     : TSO ({} entries, {}-cycle drain)",
+                t.entries, t.drain_latency
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l2_scales_with_cores() {
+        assert_eq!(CacheConfig::paper_l2(4).size_bytes, 2 * 1024 * 1024);
+        assert_eq!(CacheConfig::paper_l2(8).size_bytes, 4 * 1024 * 1024);
+        assert_eq!(CacheConfig::paper_l2(16).size_bytes, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn set_math() {
+        let l1 = CacheConfig::paper_l1d();
+        assert_eq!(l1.sets(), 64 * 1024 / 64 / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn degenerate_geometry_panics() {
+        let c = CacheConfig { size_bytes: 64, line_bytes: 64, assoc: 2, latency: 1 };
+        let _ = c.sets();
+    }
+
+    #[test]
+    fn tso_helpers() {
+        assert!(!MachineConfig::paper(8).is_tso());
+        assert!(MachineConfig::paper_tso(8).is_tso());
+    }
+
+    #[test]
+    fn display_covers_both_models() {
+        let sc = MachineConfig::paper(8).to_string();
+        assert!(sc.contains("SC"));
+        let tso = MachineConfig::paper_tso(8).to_string();
+        assert!(tso.contains("TSO"));
+    }
+}

@@ -1,0 +1,210 @@
+//! A deterministic heap model for the monitored application.
+//!
+//! Workload generators resolve `malloc`/`free` to concrete address ranges at
+//! generation time so instruction streams are static; the platform replays
+//! the same ranges at run time through ConflictAlert events. The allocator is
+//! a size-classed free-list over a bump region — deterministic, and with the
+//! reuse behaviour (freed blocks handed back out) that makes AddrCheck's
+//! logical races real: a stale pointer can dereference a *re-allocated* or
+//! still-free range.
+
+use paralog_events::{Addr, AddrRange};
+use std::collections::BTreeMap;
+
+/// Default base of the modeled heap.
+pub const HEAP_BASE: Addr = 0x1000_0000;
+
+/// Default size of the modeled heap region.
+pub const HEAP_SIZE: u64 = 0x1000_0000;
+
+/// Errors returned by [`Heap`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// The bump region is exhausted and no free block fits.
+    OutOfMemory,
+    /// `free` of a range that is not an allocated block.
+    InvalidFree(Addr),
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::OutOfMemory => f.write_str("heap exhausted"),
+            HeapError::InvalidFree(a) => write!(f, "free of non-allocated address {a:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// Deterministic size-classed allocator.
+#[derive(Debug, Clone)]
+pub struct Heap {
+    region: AddrRange,
+    bump: Addr,
+    /// Free blocks by rounded size class.
+    free: BTreeMap<u64, Vec<Addr>>,
+    /// Live allocations: base → rounded size.
+    live: BTreeMap<Addr, u64>,
+    allocations: u64,
+    frees: u64,
+}
+
+impl Heap {
+    /// Creates a heap over the default region.
+    pub fn new() -> Self {
+        Heap::with_region(AddrRange::new(HEAP_BASE, HEAP_SIZE))
+    }
+
+    /// Creates a heap over a caller-chosen region.
+    pub fn with_region(region: AddrRange) -> Self {
+        Heap {
+            region,
+            bump: region.start,
+            free: BTreeMap::new(),
+            live: BTreeMap::new(),
+            allocations: 0,
+            frees: 0,
+        }
+    }
+
+    /// The heap region (used by lifeguards to restrict checks to the heap).
+    pub fn region(&self) -> AddrRange {
+        self.region
+    }
+
+    /// Total successful allocations so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Total successful frees so far.
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+
+    /// Live allocation count.
+    pub fn live(&self) -> usize {
+        self.live.len()
+    }
+
+    fn class_of(size: u64) -> u64 {
+        size.max(16).next_power_of_two()
+    }
+
+    /// Allocates `size` bytes, 16-byte aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfMemory`] when the region is exhausted.
+    pub fn alloc(&mut self, size: u64) -> Result<AddrRange, HeapError> {
+        let class = Self::class_of(size);
+        let base = if let Some(list) = self.free.get_mut(&class) {
+            let base = list.pop().expect("free lists are never left empty");
+            if list.is_empty() {
+                self.free.remove(&class);
+            }
+            base
+        } else {
+            let base = self.bump;
+            if base + class > self.region.end() {
+                return Err(HeapError::OutOfMemory);
+            }
+            self.bump += class;
+            base
+        };
+        self.live.insert(base, class);
+        self.allocations += 1;
+        Ok(AddrRange::new(base, size))
+    }
+
+    /// Releases an allocation previously returned by [`Heap::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::InvalidFree`] if `range.start` is not a live
+    /// allocation base (double free or wild pointer).
+    pub fn free(&mut self, range: AddrRange) -> Result<(), HeapError> {
+        let class = self
+            .live
+            .remove(&range.start)
+            .ok_or(HeapError::InvalidFree(range.start))?;
+        self.free.entry(class).or_default().push(range.start);
+        self.frees += 1;
+        Ok(())
+    }
+
+    /// Whether `addr` currently falls inside a live allocation.
+    pub fn is_live(&self, addr: Addr) -> bool {
+        match self.live.range(..=addr).next_back() {
+            Some((base, class)) => addr < base + class,
+            None => false,
+        }
+    }
+}
+
+impl Default for Heap {
+    fn default() -> Self {
+        Heap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut h = Heap::new();
+        let a = h.alloc(24).unwrap();
+        let b = h.alloc(24).unwrap();
+        assert_eq!(a.start % 16, 0);
+        assert_eq!(b.start % 16, 0);
+        assert!(!a.overlaps(&b));
+        assert_eq!(h.live(), 2);
+    }
+
+    #[test]
+    fn free_enables_reuse() {
+        let mut h = Heap::new();
+        let a = h.alloc(100).unwrap();
+        h.free(a).unwrap();
+        let b = h.alloc(100).unwrap();
+        assert_eq!(a.start, b.start, "size-classed reuse is LIFO");
+        assert_eq!(h.allocations(), 2);
+        assert_eq!(h.frees(), 1);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut h = Heap::new();
+        let a = h.alloc(8).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(HeapError::InvalidFree(a.start)));
+    }
+
+    #[test]
+    fn is_live_tracks_interior_pointers() {
+        let mut h = Heap::new();
+        let a = h.alloc(64).unwrap();
+        assert!(h.is_live(a.start));
+        assert!(h.is_live(a.start + 63));
+        assert!(!h.is_live(a.start + 64));
+        h.free(a).unwrap();
+        assert!(!h.is_live(a.start));
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut h = Heap::with_region(AddrRange::new(0x1000, 64));
+        let a = h.alloc(32).unwrap();
+        assert!(h.alloc(64).is_err());
+        drop(a);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(HeapError::OutOfMemory.to_string().contains("exhausted"));
+        assert!(HeapError::InvalidFree(0x10).to_string().contains("0x10"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Application-level synchronization: locks and barriers.
+//!
+//! ParaLog needs no special treatment of application synchronization — a
+//! lock handoff is just a store (release) followed by an atomic
+//! read-modify-write (acquire) on the lock word, whose coherence traffic
+//! produces exactly the dependence arcs the lifeguards need. This module
+//! tracks *blocking* (who owns a lock, who has reached a barrier); the
+//! platform issues the corresponding memory accesses through
+//! [`crate::coherence::MemorySystem`] so arcs arise naturally.
+//!
+//! Barriers are modeled the same way real sense-reversing barriers behave:
+//! each arrival writes its slot word; the last arrival reads every slot
+//! (collecting arrival→release arcs) and writes the flag word; waiters read
+//! the flag (release→waiter arcs). Transitively every pre-barrier access is
+//! ordered before every post-barrier access.
+
+use paralog_events::{Addr, BarrierId, LockId};
+use std::collections::HashMap;
+
+/// Base address of the region holding lock and barrier words (kept away from
+/// heap and globals so workloads never collide with it).
+pub const SYNC_BASE: Addr = 0xF000_0000;
+
+/// Address of the lock word for `lock`, one cache line apart to avoid false
+/// sharing.
+pub fn lock_word(lock: LockId) -> Addr {
+    SYNC_BASE + u64::from(lock.0) * 64
+}
+
+/// Address of the per-thread arrival slot for a barrier.
+pub fn barrier_slot(barrier: BarrierId, thread: usize) -> Addr {
+    SYNC_BASE + 0x10_0000 + u64::from(barrier.0) * 64 * 64 + thread as u64 * 64
+}
+
+/// Address of the release flag word for a barrier.
+pub fn barrier_flag(barrier: BarrierId) -> Addr {
+    SYNC_BASE + 0x20_0000 + u64::from(barrier.0) * 64
+}
+
+/// Outcome of a lock acquisition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockAttempt {
+    /// The lock was free and is now held by the caller.
+    Acquired,
+    /// The lock is held by the given thread; the caller must spin.
+    Contended(usize),
+}
+
+/// Lock ownership table.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    held: HashMap<LockId, usize>,
+    acquisitions: u64,
+    contended_attempts: u64,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Attempts to acquire `lock` for `thread`.
+    pub fn acquire(&mut self, lock: LockId, thread: usize) -> LockAttempt {
+        match self.held.get(&lock) {
+            Some(&owner) => {
+                self.contended_attempts += 1;
+                LockAttempt::Contended(owner)
+            }
+            None => {
+                self.held.insert(lock, thread);
+                self.acquisitions += 1;
+                LockAttempt::Acquired
+            }
+        }
+    }
+
+    /// Releases `lock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` does not hold the lock — that is an application
+    /// bug the workload generators never produce.
+    pub fn release(&mut self, lock: LockId, thread: usize) {
+        let owner = self.held.remove(&lock);
+        assert_eq!(owner, Some(thread), "unlock of {lock:?} by non-owner {thread}");
+    }
+
+    /// Current owner of `lock`, if held.
+    pub fn owner(&self, lock: LockId) -> Option<usize> {
+        self.held.get(&lock).copied()
+    }
+
+    /// Successful acquisitions so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Failed (contended) attempts so far.
+    pub fn contended_attempts(&self) -> u64 {
+        self.contended_attempts
+    }
+}
+
+/// What a thread should do after arriving at a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierOutcome {
+    /// Not everyone has arrived; wait for the release flag.
+    Wait,
+    /// This thread is the last arrival and must perform the release.
+    Release,
+}
+
+/// State of the application's barriers.
+#[derive(Debug)]
+pub struct BarrierTable {
+    participants: usize,
+    arrived: HashMap<BarrierId, Vec<usize>>,
+    generation: HashMap<BarrierId, u64>,
+}
+
+impl BarrierTable {
+    /// Creates a table for `participants` threads per barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is zero.
+    pub fn new(participants: usize) -> Self {
+        assert!(participants > 0, "barrier needs at least one participant");
+        BarrierTable {
+            participants,
+            arrived: HashMap::new(),
+            generation: HashMap::new(),
+        }
+    }
+
+    /// Registers `thread`'s arrival at `barrier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double arrival within one generation.
+    pub fn arrive(&mut self, barrier: BarrierId, thread: usize) -> BarrierOutcome {
+        let list = self.arrived.entry(barrier).or_default();
+        assert!(!list.contains(&thread), "double arrival of {thread} at {barrier:?}");
+        list.push(thread);
+        if list.len() == self.participants {
+            BarrierOutcome::Release
+        } else {
+            BarrierOutcome::Wait
+        }
+    }
+
+    /// Threads currently waiting at `barrier` (including the releaser until
+    /// [`BarrierTable::release`] is called).
+    pub fn waiting(&self, barrier: BarrierId) -> &[usize] {
+        self.arrived.get(&barrier).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Completes the barrier: clears arrivals and bumps the generation.
+    /// Returns the threads that were released.
+    pub fn release(&mut self, barrier: BarrierId) -> Vec<usize> {
+        *self.generation.entry(barrier).or_insert(0) += 1;
+        self.arrived.remove(&barrier).unwrap_or_default()
+    }
+
+    /// How many times `barrier` has completed.
+    pub fn generation(&self, barrier: BarrierId) -> u64 {
+        self.generation.get(&barrier).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_acquire_release_cycle() {
+        let mut t = LockTable::new();
+        let l = LockId(1);
+        assert_eq!(t.acquire(l, 0), LockAttempt::Acquired);
+        assert_eq!(t.acquire(l, 1), LockAttempt::Contended(0));
+        assert_eq!(t.owner(l), Some(0));
+        t.release(l, 0);
+        assert_eq!(t.acquire(l, 1), LockAttempt::Acquired);
+        assert_eq!(t.acquisitions(), 2);
+        assert_eq!(t.contended_attempts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn unlock_by_non_owner_panics() {
+        let mut t = LockTable::new();
+        t.acquire(LockId(1), 0);
+        t.release(LockId(1), 1);
+    }
+
+    #[test]
+    fn barrier_releases_on_last_arrival() {
+        let mut b = BarrierTable::new(3);
+        let id = BarrierId(0);
+        assert_eq!(b.arrive(id, 0), BarrierOutcome::Wait);
+        assert_eq!(b.arrive(id, 1), BarrierOutcome::Wait);
+        assert_eq!(b.waiting(id), &[0, 1]);
+        assert_eq!(b.arrive(id, 2), BarrierOutcome::Release);
+        let released = b.release(id);
+        assert_eq!(released, vec![0, 1, 2]);
+        assert_eq!(b.generation(id), 1);
+        assert!(b.waiting(id).is_empty());
+    }
+
+    #[test]
+    fn barrier_reusable_across_generations() {
+        let mut b = BarrierTable::new(2);
+        let id = BarrierId(7);
+        b.arrive(id, 0);
+        assert_eq!(b.arrive(id, 1), BarrierOutcome::Release);
+        b.release(id);
+        assert_eq!(b.arrive(id, 0), BarrierOutcome::Wait);
+        assert_eq!(b.arrive(id, 1), BarrierOutcome::Release);
+        b.release(id);
+        assert_eq!(b.generation(id), 2);
+    }
+
+    #[test]
+    fn sync_words_do_not_collide() {
+        let l = lock_word(LockId(5));
+        let s = barrier_slot(BarrierId(3), 7);
+        let f = barrier_flag(BarrierId(3));
+        assert_ne!(l / 64, s / 64);
+        assert_ne!(s / 64, f / 64);
+        assert_ne!(l / 64, f / 64);
+        // Distinct threads get distinct cache lines.
+        assert_ne!(barrier_slot(BarrierId(3), 0) / 64, barrier_slot(BarrierId(3), 1) / 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "double arrival")]
+    fn double_arrival_panics() {
+        let mut b = BarrierTable::new(2);
+        b.arrive(BarrierId(0), 1);
+        b.arrive(BarrierId(0), 1);
+    }
+}

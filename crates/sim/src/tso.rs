@@ -1,0 +1,271 @@
+//! Per-core store buffers for Total Store Ordering (§5.5).
+//!
+//! Under TSO, a store retires into its core's store buffer and becomes
+//! globally visible only when it *drains*. Loads may bypass buffered stores
+//! (reading their own core's youngest pending value via forwarding), which is
+//! the sole source of SC violations TSO admits — and the reason coherence
+//! arcs alone can form cycles (Figure 5).
+
+use paralog_events::{blocks_of, Addr, BlockId, Rid};
+use std::collections::VecDeque;
+
+/// One buffered store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingStore {
+    /// Record id of the store instruction.
+    pub rid: Rid,
+    /// Address written.
+    pub addr: Addr,
+    /// Bytes written.
+    pub size: u64,
+    /// Simulation time at which the store drains to the cache.
+    pub drain_at: u64,
+    /// Highest record id of a load that forwarded from this store; the
+    /// drained line's access timestamp must cover it so remote writers
+    /// order against the forwarded reads too (§5.5).
+    pub last_forward: Rid,
+}
+
+/// A FIFO store buffer with bounded capacity.
+#[derive(Debug, Clone, Default)]
+pub struct StoreBuffer {
+    entries: VecDeque<PendingStore>,
+    capacity: usize,
+    drain_latency: u64,
+    total_buffered: u64,
+    total_forwards: u64,
+}
+
+impl StoreBuffer {
+    /// Creates a buffer with `capacity` entries and the given drain latency.
+    pub fn new(capacity: usize, drain_latency: u64) -> Self {
+        StoreBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            drain_latency,
+            total_buffered: 0,
+            total_forwards: 0,
+        }
+    }
+
+    /// Whether the buffer has no pending stores.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a new store would not fit.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Number of pending stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Record id of the oldest pending store, if any.
+    pub fn oldest_rid(&self) -> Option<Rid> {
+        self.entries.front().map(|s| s.rid)
+    }
+
+    /// Stores ever buffered.
+    pub fn total_buffered(&self) -> u64 {
+        self.total_buffered
+    }
+
+    /// Loads ever satisfied by forwarding.
+    pub fn total_forwards(&self) -> u64 {
+        self.total_forwards
+    }
+
+    /// Buffers a store issued at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full; callers must drain first (the core
+    /// stalls until the head entry's drain deadline).
+    pub fn push(&mut self, rid: Rid, addr: Addr, size: u64, now: u64) {
+        assert!(!self.is_full(), "store buffer overflow; drain first");
+        self.total_buffered += 1;
+        self.entries.push_back(PendingStore {
+            rid,
+            addr,
+            size,
+            drain_at: now + self.drain_latency,
+            last_forward: Rid::ZERO,
+        });
+    }
+
+    /// Removes and returns every store whose drain deadline has passed
+    /// (stores drain strictly in FIFO order).
+    pub fn drain_ready(&mut self, now: u64) -> Vec<PendingStore> {
+        let mut out = Vec::new();
+        while let Some(head) = self.entries.front() {
+            if head.drain_at <= now {
+                out.push(self.entries.pop_front().expect("head exists"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Unconditionally removes and returns all pending stores (fence/RMW
+    /// semantics: x86 locked operations drain the buffer).
+    pub fn drain_all(&mut self) -> Vec<PendingStore> {
+        self.entries.drain(..).collect()
+    }
+
+    /// Forces the oldest store out ahead of its deadline (a full buffer
+    /// retires its head to make room — stores may always become visible
+    /// earlier than the modeled drain latency).
+    pub fn force_drain_head(&mut self) -> Option<PendingStore> {
+        self.entries.pop_front()
+    }
+
+    /// Time at which the head entry will drain, if any (used by a stalled
+    /// core to advance its clock rather than spin).
+    pub fn next_drain_at(&self) -> Option<u64> {
+        self.entries.front().map(|s| s.drain_at)
+    }
+
+    /// Whether a load from `addr`/`size` can be satisfied entirely by the
+    /// youngest overlapping pending store (store-to-load forwarding).
+    ///
+    /// Partial overlaps are *not* forwarded — the caller treats them as a
+    /// forced drain, which is what real implementations do for misaligned
+    /// forwarding failures.
+    pub fn forwards(&mut self, addr: Addr, size: u64) -> bool {
+        self.forward(addr, size, Rid::ZERO)
+    }
+
+    /// Like [`StoreBuffer::forwards`], additionally stamping the forwarding
+    /// store with the load's record id for drain-time line timestamps.
+    pub fn forward(&mut self, addr: Addr, size: u64, load_rid: Rid) -> bool {
+        let hit = self
+            .entries
+            .iter_mut()
+            .rev()
+            .find(|s| ranges_overlap(s.addr, s.size, addr, size));
+        match hit {
+            Some(s) if s.addr <= addr && addr + size <= s.addr + s.size => {
+                s.last_forward = s.last_forward.max(load_rid);
+                self.total_forwards += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether any pending store overlaps the access at all (a would-be
+    /// forwarding hit *or* a partial overlap, both of which require the
+    /// store to become visible before the load can read coherently).
+    pub fn forwards_would_hit(&self, addr: Addr, size: u64) -> bool {
+        self.entries.iter().any(|s| ranges_overlap(s.addr, s.size, addr, size))
+    }
+
+    /// Whether any pending store overlaps the given block (used to decide
+    /// whether an incoming invalidation races with buffered data).
+    pub fn has_store_to_block(&self, block: BlockId) -> bool {
+        self.entries
+            .iter()
+            .any(|s| blocks_of(s.addr, s.size).any(|b| b == block))
+    }
+
+    /// Whether there is any pending store older than `rid` — the SC-violation
+    /// test for a retired load at `rid` (§5.5: the load was effectively
+    /// reordered before that store).
+    pub fn has_store_older_than(&self, rid: Rid) -> bool {
+        self.entries.front().map(|s| s.rid < rid).unwrap_or(false)
+    }
+}
+
+fn ranges_overlap(a: Addr, asz: u64, b: Addr, bsz: u64) -> bool {
+    a < b + bsz && b < a + asz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_drain_by_deadline() {
+        let mut sb = StoreBuffer::new(4, 10);
+        sb.push(Rid(1), 0x100, 4, 0);
+        sb.push(Rid(2), 0x200, 4, 5);
+        assert!(sb.drain_ready(9).is_empty());
+        let first = sb.drain_ready(10);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].rid, Rid(1));
+        let second = sb.drain_ready(15);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].rid, Rid(2));
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn drain_is_strictly_fifo_even_when_later_ready() {
+        let mut sb = StoreBuffer::new(4, 10);
+        sb.push(Rid(1), 0x100, 4, 100); // drains at 110
+        sb.push(Rid(2), 0x200, 4, 0); // nominally at 10, but behind rid 1
+        assert!(sb.drain_ready(50).is_empty(), "younger store cannot pass older");
+        assert_eq!(sb.drain_ready(110).len(), 2);
+    }
+
+    #[test]
+    fn forwarding_full_overlap_only() {
+        let mut sb = StoreBuffer::new(4, 10);
+        sb.push(Rid(1), 0x100, 8, 0);
+        assert!(sb.forwards(0x100, 4));
+        assert!(sb.forwards(0x104, 4));
+        assert!(!sb.forwards(0x0fc, 8), "partial overlap does not forward");
+        assert!(!sb.forwards(0x200, 4));
+        assert_eq!(sb.total_forwards(), 2);
+    }
+
+    #[test]
+    fn youngest_store_wins_forwarding() {
+        let mut sb = StoreBuffer::new(4, 10);
+        sb.push(Rid(1), 0x100, 4, 0);
+        sb.push(Rid(2), 0x100, 2, 0);
+        // Load of 4 bytes overlaps youngest (2-byte) store only partially.
+        assert!(!sb.forwards(0x100, 4));
+        assert!(sb.forwards(0x100, 2));
+    }
+
+    #[test]
+    fn sc_violation_predicate() {
+        let mut sb = StoreBuffer::new(4, 10);
+        assert!(!sb.has_store_older_than(Rid(5)));
+        sb.push(Rid(3), 0x100, 4, 0);
+        assert!(sb.has_store_older_than(Rid(5)), "load at 5 bypassed store at 3");
+        assert!(!sb.has_store_older_than(Rid(2)));
+    }
+
+    #[test]
+    fn block_overlap_query() {
+        let mut sb = StoreBuffer::new(4, 10);
+        sb.push(Rid(1), 0x13c, 8, 0); // spans blocks 4 and 5
+        assert!(sb.has_store_to_block(BlockId(4)));
+        assert!(sb.has_store_to_block(BlockId(5)));
+        assert!(!sb.has_store_to_block(BlockId(6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut sb = StoreBuffer::new(1, 10);
+        sb.push(Rid(1), 0x100, 4, 0);
+        sb.push(Rid(2), 0x104, 4, 0);
+    }
+
+    #[test]
+    fn drain_all_for_fences() {
+        let mut sb = StoreBuffer::new(4, 1000);
+        sb.push(Rid(1), 0x100, 4, 0);
+        sb.push(Rid(2), 0x104, 4, 0);
+        assert_eq!(sb.drain_all().len(), 2);
+        assert!(sb.is_empty());
+        assert_eq!(sb.next_drain_at(), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! Replays captured event streams on **real OS threads** — the §5.3
+//! synchronization-free fast path under genuine concurrency.
+//!
+//! The deterministic simulator captures each thread's fully annotated stream
+//! (records + dependence arcs); real threads then race through them sharing
+//! a lock-free atomic shadow memory, enforcing order purely by spinning on
+//! the atomic progress table (§5.2). Whatever the OS scheduler does, the
+//! final taint state must equal the deterministic run's.
+//!
+//! ```text
+//! cargo run --release --example threaded_replay
+//! ```
+
+use paralog::core::run_threaded_taintcheck;
+use paralog::workloads::{Benchmark, WorkloadSpec};
+
+fn main() {
+    for bench in [Benchmark::Barnes, Benchmark::Fluidanimate, Benchmark::Radiosity] {
+        let w = WorkloadSpec::benchmark(bench, 4).scale(0.2).build();
+        let mut spins = 0;
+        for round in 0..5 {
+            let out = run_threaded_taintcheck(&w);
+            assert!(
+                out.is_correct(),
+                "{bench} round {round}: concurrent replay diverged \
+                 ({:#x} vs {:#x})",
+                out.fingerprint,
+                out.expected
+            );
+            spins += out.arc_spins;
+        }
+        println!(
+            "{bench:<12} 5 concurrent replays, all metadata-identical to the deterministic run \
+             ({spins} enforcement spins observed)"
+        );
+    }
+    println!("\nsynchronization-free fast paths hold under real concurrency (§5.3).");
+}

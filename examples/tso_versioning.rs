@@ -1,0 +1,74 @@
+//! The Figure 5 scenario: Total Store Ordering, Dekker-style accesses, and
+//! versioned metadata.
+//!
+//! Under TSO, `Wr(A); Rd(B)` on thread 0 against `Wr(B); Rd(A)` on thread 1
+//! can execute with both reads bypassing both (buffered) writes — a cycle if
+//! coherence-inferred ordering were enforced as-is. ParaLog reverses the
+//! SC-violating R→W arcs: the writer's lifeguard *produces* a version of the
+//! pre-write metadata and the reader's lifeguard *consumes* it (§5.5).
+//!
+//! ```text
+//! cargo run --release --example tso_versioning
+//! ```
+
+use paralog::core::{MonitorConfig, MonitoringMode, Platform};
+use paralog::events::{AddrRange, Instr, MemRef, Op, Reg, SyscallKind};
+use paralog::lifeguards::LifeguardKind;
+use paralog::workloads::Workload;
+
+fn main() {
+    let a = MemRef::new(0x2000_0000, 8); // address A (tainted beforehand)
+    let b = MemRef::new(0x2000_0100, 8); // address B (tainted beforehand)
+
+    // Taint both locations via input syscalls, then run the Dekker pattern.
+    // Each thread overwrites one location with a *clean* immediate and reads
+    // the other; under TSO both reads may see the old (tainted) values, and
+    // the lifeguards must agree with what the hardware actually did.
+    let dekker = |mine: MemRef, theirs: MemRef, buf: AddrRange| {
+        vec![
+            Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(buf) },
+            // Spacer work so both threads reach the racy window together.
+            Op::Instr(Instr::MovRI { dst: Reg(5) }),
+            Op::Instr(Instr::MovRI { dst: Reg(0) }),
+            // Wr(mine) <- clean; the store sits in the store buffer.
+            Op::Instr(Instr::Store { dst: mine, src: Reg(0) }),
+            // Rd(theirs): may retire before the remote store drains.
+            Op::Instr(Instr::Load { dst: Reg(1), src: theirs }),
+            // Use the read value so the taint outcome is observable.
+            Op::Instr(Instr::Store { dst: MemRef::new(mine.addr + 0x40, 8), src: Reg(1) }),
+        ]
+    };
+
+    let workload = Workload {
+        name: "tso-dekker".into(),
+        benchmark: None,
+        threads: vec![
+            dekker(a, b, AddrRange::new(a.addr, 8)),
+            dekker(b, a, AddrRange::new(b.addr, 8)),
+        ],
+        heap: AddrRange::new(0x1000_0000, 0x1000_0000),
+        locks: 0,
+    };
+
+    let outcome = Platform::run(
+        &workload,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+            .with_tso()
+            .with_equivalence_check(),
+    );
+    let m = &outcome.metrics;
+    println!("TSO run complete:");
+    println!("  versions produced : {}", m.versions_produced);
+    println!("  versions consumed : {}", m.versions_consumed);
+    println!(
+        "  metadata matches the sequential reference: {}",
+        m.matches_reference()
+    );
+    assert!(m.matches_reference(), "versioned metadata must preserve lifeguard accuracy");
+    assert_eq!(m.versions_produced, m.versions_consumed, "every version finds its consumer");
+    if m.versions_produced > 0 {
+        println!("\nSC-violating R->W arcs were reversed into produce/consume version pairs (Figure 5).");
+    } else {
+        println!("\n(no SC violation manifested at this interleaving; ordering held via plain arcs)");
+    }
+}

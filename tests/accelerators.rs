@@ -1,0 +1,145 @@
+//! Accelerator behaviour at platform scale: absorption and hit rates,
+//! delayed-advertising bounds, and ConflictAlert flush accounting.
+
+use paralog::core::{MonitorConfig, MonitoringMode, Platform};
+use paralog::lifeguards::LifeguardKind;
+use paralog::workloads::{Benchmark, WorkloadSpec};
+
+#[test]
+fn inheritance_tracking_absorbs_most_dataflow_events() {
+    // Compute- and copy-heavy streaming code is what IT exists for.
+    let w = WorkloadSpec::benchmark(Benchmark::Lu, 2).scale(0.2).build();
+    let m = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
+    )
+    .metrics;
+    let total = m.it.absorbed + m.delivered_ops;
+    let absorption = m.it.absorbed as f64 / total as f64;
+    assert!(
+        absorption > 0.5,
+        "IT should absorb most of LU's events, got {absorption:.2}"
+    );
+}
+
+#[test]
+fn idempotent_filter_hits_on_temporal_reuse() {
+    let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 2).scale(0.2).build();
+    let m = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::AddrCheck),
+    )
+    .metrics;
+    assert!(m.ifilter.hits > 0, "reused addresses must hit the filter");
+    // Allocation-library CAs invalidate range-selectively; whether any
+    // cached entry overlaps a freed range depends on access patterns, so
+    // only require that the filter was actually exercised.
+    assert!(m.ifilter.misses > 0);
+}
+
+#[test]
+fn mtlb_hit_rate_is_high_on_paged_working_sets() {
+    let w = WorkloadSpec::benchmark(Benchmark::Ocean, 2).scale(0.2).build();
+    let m = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
+    )
+    .metrics;
+    assert!(
+        m.mtlb.hit_rate() > 0.9,
+        "streaming metadata pages should hit, got {:.2}",
+        m.mtlb.hit_rate()
+    );
+}
+
+#[test]
+fn accelerators_reduce_delivered_ops() {
+    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 2).scale(0.2).build();
+    let with = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
+    )
+    .metrics;
+    let without = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+            .without_accelerators(),
+    )
+    .metrics;
+    assert!(
+        with.delivered_ops * 2 < without.delivered_ops,
+        "IT must at least halve deliveries: {} vs {}",
+        with.delivered_ops,
+        without.delivered_ops
+    );
+}
+
+#[test]
+fn it_threshold_bounds_flush_behaviour() {
+    // A tiny advertising-lag threshold forces frequent refreshes; a huge one
+    // never fires. Both stay correct (covered by equivalence tests); here we
+    // check the accounting moves in the right direction.
+    let w = WorkloadSpec::benchmark(Benchmark::Fmm, 2).scale(0.2).build();
+    let mut tight = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
+    tight.it_threshold = Some(8);
+    let mut loose = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
+    loose.it_threshold = Some(1_000_000);
+    let t = Platform::run(&w, &tight).metrics;
+    let l = Platform::run(&w, &loose).metrics;
+    assert!(
+        t.it.threshold_flushes > l.it.threshold_flushes,
+        "tight threshold must flush more ({} vs {})",
+        t.it.threshold_flushes,
+        l.it.threshold_flushes
+    );
+}
+
+#[test]
+fn ca_flushes_track_allocation_churn() {
+    let churn = WorkloadSpec::benchmark(Benchmark::Swaptions, 2).scale(0.2).build();
+    let quiet = WorkloadSpec::benchmark(Benchmark::Lu, 2).scale(0.2).build();
+    let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
+    let m_churn = Platform::run(&churn, &cfg).metrics;
+    let m_quiet = Platform::run(&quiet, &cfg).metrics;
+    assert!(
+        m_churn.ca_broadcasts > 10 * m_quiet.ca_broadcasts.max(1),
+        "swaptions must broadcast far more CAs ({} vs {})",
+        m_churn.ca_broadcasts,
+        m_quiet.ca_broadcasts
+    );
+    assert!(m_churn.it.ca_flushes > 0, "malloc/free CAs flush the IT table");
+}
+
+#[test]
+fn arc_reduction_eliminates_most_observed_conflicts() {
+    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(0.2).build();
+    let m = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
+    )
+    .metrics;
+    assert!(m.capture.observed > 0, "barnes must conflict");
+    assert!(
+        m.capture.recorded < m.capture.observed,
+        "transitive reduction must drop something: {:?}",
+        m.capture
+    );
+}
+
+#[test]
+fn dependence_checks_mostly_pass_immediately() {
+    // §7: "most of the time when a lifeguard encounters an incoming
+    // dependence arc, the dependence has already been satisfied."
+    let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4).scale(0.2).build();
+    let m = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
+    )
+    .metrics;
+    assert!(
+        m.dependence_stalls < m.records,
+        "stall episodes ({}) must be far rarer than records ({})",
+        m.dependence_stalls,
+        m.records
+    );
+}

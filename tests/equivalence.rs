@@ -1,0 +1,146 @@
+//! The repository's central correctness invariant (DESIGN.md §5.1):
+//! parallel monitoring — dependence arcs, delayed advertising, ConflictAlert
+//! barriers, TSO versioned metadata — must leave exactly the same final
+//! metadata as a sequential analysis applied in the application's global
+//! retirement/visibility order.
+//!
+//! Every run here executes the full platform with the in-line reference
+//! enabled and asserts fingerprint equality.
+
+use paralog::core::{MonitorConfig, MonitoringMode, Platform};
+use paralog::lifeguards::LifeguardKind;
+use paralog::workloads::{Benchmark, WorkloadSpec};
+
+fn assert_equivalent(bench: Benchmark, kind: LifeguardKind, threads: usize, tso: bool, seed: u64) {
+    let w = WorkloadSpec::benchmark(bench, threads).scale(0.08).seed(seed).build();
+    let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, kind).with_equivalence_check();
+    if tso {
+        cfg = cfg.with_tso();
+    }
+    let m = Platform::run(&w, &cfg).metrics;
+    assert!(
+        m.matches_reference(),
+        "{bench} {kind} k={threads} tso={tso} seed={seed}: parallel metadata diverged from \
+         the sequential reference (got {:#x}, want {:#x})",
+        m.fingerprint,
+        m.reference_fingerprint.unwrap_or(0)
+    );
+}
+
+#[test]
+fn taintcheck_sc_all_benchmarks_4_threads() {
+    for bench in Benchmark::all() {
+        assert_equivalent(bench, LifeguardKind::TaintCheck, 4, false, 11);
+    }
+}
+
+#[test]
+fn taintcheck_sc_thread_sweep_on_sharing_heavy_benchmarks() {
+    for threads in [1, 2, 4, 8] {
+        assert_equivalent(Benchmark::Barnes, LifeguardKind::TaintCheck, threads, false, 22);
+        assert_equivalent(Benchmark::Radiosity, LifeguardKind::TaintCheck, threads, false, 22);
+    }
+}
+
+#[test]
+fn taintcheck_tso_all_benchmarks() {
+    for bench in Benchmark::all() {
+        assert_equivalent(bench, LifeguardKind::TaintCheck, 4, true, 33);
+    }
+}
+
+#[test]
+fn taintcheck_tso_8_threads_sharing_heavy() {
+    assert_equivalent(Benchmark::Barnes, LifeguardKind::TaintCheck, 8, true, 44);
+    assert_equivalent(Benchmark::Fluidanimate, LifeguardKind::TaintCheck, 8, true, 44);
+}
+
+#[test]
+fn addrcheck_sc_and_tso() {
+    for bench in [Benchmark::Swaptions, Benchmark::Radiosity, Benchmark::Lu] {
+        assert_equivalent(bench, LifeguardKind::AddrCheck, 4, false, 55);
+        assert_equivalent(bench, LifeguardKind::AddrCheck, 4, true, 55);
+    }
+}
+
+#[test]
+fn memcheck_sc_malloc_heavy() {
+    // MemCheck is the §4.1 example: IT state conflicts with malloc/free.
+    for bench in [Benchmark::Swaptions, Benchmark::Radiosity] {
+        assert_equivalent(bench, LifeguardKind::MemCheck, 4, false, 66);
+    }
+}
+
+#[test]
+fn equivalence_across_seeds() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        assert_equivalent(Benchmark::Fluidanimate, LifeguardKind::TaintCheck, 4, false, seed);
+    }
+}
+
+#[test]
+fn timesliced_matches_reference_too() {
+    // The timesliced baseline consumes a totally-ordered stream; it must
+    // agree with the same reference.
+    for kind in [LifeguardKind::TaintCheck, LifeguardKind::AddrCheck] {
+        let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(0.08).build();
+        let cfg = MonitorConfig::new(MonitoringMode::Timesliced, kind).with_equivalence_check();
+        let m = Platform::run(&w, &cfg).metrics;
+        assert!(m.matches_reference(), "{kind} timesliced diverged");
+    }
+}
+
+#[test]
+fn capture_policy_variants_preserve_equivalence() {
+    use paralog::order::{CapturePolicy, Reduction};
+    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(0.08).build();
+    for (policy, reduction) in [
+        (CapturePolicy::PerBlock, Reduction::None),
+        (CapturePolicy::PerBlock, Reduction::Direct),
+        (CapturePolicy::PerBlock, Reduction::Transitive),
+        (CapturePolicy::PerCore, Reduction::None),
+        (CapturePolicy::PerCore, Reduction::Direct),
+        (CapturePolicy::PerCore, Reduction::Transitive),
+    ] {
+        let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+            .with_capture(policy, reduction)
+            .with_equivalence_check();
+        let m = Platform::run(&w, &cfg).metrics;
+        assert!(
+            m.matches_reference(),
+            "{policy:?}/{reduction:?} diverged — capture policy must never cost correctness"
+        );
+    }
+}
+
+#[test]
+fn no_accelerators_preserve_equivalence() {
+    let w = WorkloadSpec::benchmark(Benchmark::Fmm, 4).scale(0.08).build();
+    let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+        .without_accelerators()
+        .with_equivalence_check();
+    assert!(Platform::run(&w, &cfg).metrics.matches_reference());
+}
+
+#[test]
+fn it_threshold_variants_preserve_equivalence() {
+    let w = WorkloadSpec::benchmark(Benchmark::Ocean, 4).scale(0.08).build();
+    for threshold in [None, Some(16), Some(256), Some(100_000)] {
+        let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+            .with_equivalence_check();
+        cfg.it_threshold = threshold;
+        let m = Platform::run(&w, &cfg).metrics;
+        assert!(m.matches_reference(), "threshold {threshold:?} diverged");
+    }
+}
+
+#[test]
+fn tiny_log_buffer_preserves_equivalence() {
+    // Heavy backpressure must only cost time, never correctness.
+    let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 4).scale(0.05).build();
+    let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+        .with_equivalence_check();
+    cfg.log_capacity = 128;
+    let m = Platform::run(&w, &cfg).metrics;
+    assert!(m.matches_reference());
+}

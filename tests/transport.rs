@@ -1,0 +1,139 @@
+//! Transport-layer invariants: log conservation, backpressure, determinism
+//! and the compression codec on live workload streams.
+
+use paralog::core::{MonitorConfig, MonitoringMode, Platform};
+use paralog::events::codec::Encoder;
+use paralog::events::{EventRecord, Op, Rid};
+use paralog::lifeguards::LifeguardKind;
+use paralog::workloads::{Benchmark, WorkloadSpec};
+
+#[test]
+fn records_flow_is_conserved() {
+    let w = WorkloadSpec::benchmark(Benchmark::Fmm, 4).scale(0.1).build();
+    let m = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
+    )
+    .metrics;
+    // At least one record per instruction op, plus high-level records.
+    let instrs: usize = w
+        .threads
+        .iter()
+        .flatten()
+        .filter(|op| matches!(op, Op::Instr(_)))
+        .count();
+    assert!(m.records >= instrs as u64, "every retired instruction is logged");
+}
+
+#[test]
+fn tiny_ring_causes_backpressure() {
+    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 2).scale(0.2).build();
+    let mut small = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+        .without_accelerators();
+    small.log_capacity = 256;
+    let m_small = Platform::run(&w, &small).metrics;
+    let log_stall: u64 = m_small.app.iter().map(|b| b.log_stall).sum();
+    assert!(log_stall > 0, "a 256-record ring must stall the application");
+
+    let mut big = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+        .without_accelerators();
+    big.log_capacity = 1 << 20;
+    let m_big = Platform::run(&w, &big).metrics;
+    let log_stall_big: u64 = m_big.app.iter().map(|b| b.log_stall).sum();
+    assert!(
+        log_stall_big < log_stall,
+        "a huge ring must reduce application log stalls ({log_stall_big} vs {log_stall})"
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let w = WorkloadSpec::benchmark(Benchmark::Radiosity, 4).scale(0.1).build();
+    let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
+    let a = Platform::run(&w, &cfg).metrics;
+    let b = Platform::run(&w, &cfg).metrics;
+    assert_eq!(a.execution_cycles(), b.execution_cycles());
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.capture.recorded, b.capture.recorded);
+    assert_eq!(a.violations.len(), b.violations.len());
+}
+
+#[test]
+fn tso_runs_are_deterministic_too() {
+    let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4).scale(0.1).build();
+    let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck).with_tso();
+    let a = Platform::run(&w, &cfg).metrics;
+    let b = Platform::run(&w, &cfg).metrics;
+    assert_eq!(a.execution_cycles(), b.execution_cycles());
+    assert_eq!(a.versions_produced, b.versions_produced);
+    assert_eq!(a.fingerprint, b.fingerprint);
+}
+
+#[test]
+fn codec_compresses_real_streams_compactly() {
+    // §2 relies on ~1 byte per compressed record; our codec must at least
+    // land in the low single digits on realistic streams, and round-trip.
+    for bench in [Benchmark::Lu, Benchmark::Barnes, Benchmark::Swaptions] {
+        let w = WorkloadSpec::benchmark(bench, 1).scale(0.3).build();
+        let mut rid = 0u64;
+        let records: Vec<EventRecord> = w.threads[0]
+            .iter()
+            .filter_map(|op| match op {
+                Op::Instr(i) => {
+                    rid += 1;
+                    Some(EventRecord::instr(Rid(rid), *i))
+                }
+                _ => None,
+            })
+            .collect();
+        let mut enc = Encoder::new();
+        for r in &records {
+            enc.push(r);
+        }
+        let rate = enc.bytes_per_record();
+        assert!(
+            rate < 4.0,
+            "{bench}: expected compact encoding, got {rate:.2} B/record"
+        );
+        let bytes = enc.finish();
+        let back = paralog::events::codec::decode(&bytes).expect("roundtrip");
+        assert_eq!(back, records, "{bench}: lossless roundtrip");
+    }
+}
+
+#[test]
+fn mode_scaling_sanity() {
+    // More application threads must speed up the unmonitored application
+    // (parallel work) but not the timesliced run (serialized).
+    let w2 = WorkloadSpec::benchmark(Benchmark::Blackscholes, 2).scale(0.2).build();
+    let w8 = WorkloadSpec::benchmark(Benchmark::Blackscholes, 8).scale(0.2).build();
+    let cfg_none = MonitorConfig::new(MonitoringMode::None, LifeguardKind::AddrCheck);
+    let base2 = Platform::run(&w2, &cfg_none).metrics.execution_cycles();
+    let base8 = Platform::run(&w8, &cfg_none).metrics.execution_cycles();
+    // Same per-thread work: embarrassingly parallel -> similar finish times.
+    let ratio = base8 as f64 / base2 as f64;
+    assert!(ratio < 1.5, "blackscholes scales, got ratio {ratio:.2}");
+
+    let cfg_ts = MonitorConfig::new(MonitoringMode::Timesliced, LifeguardKind::AddrCheck);
+    let ts2 = Platform::run(&w2, &cfg_ts).metrics.execution_cycles();
+    let ts8 = Platform::run(&w8, &cfg_ts).metrics.execution_cycles();
+    assert!(
+        ts8 as f64 > 3.0 * ts2 as f64,
+        "timesliced serializes: 8 threads must cost ~4x of 2 threads, got {:.2}x",
+        ts8 as f64 / ts2 as f64
+    );
+}
+
+#[test]
+fn unmonitored_mode_produces_no_records() {
+    let w = WorkloadSpec::benchmark(Benchmark::Lu, 2).scale(0.05).build();
+    let m = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::None, LifeguardKind::TaintCheck),
+    )
+    .metrics;
+    assert_eq!(m.records, 0);
+    assert_eq!(m.lg_finish, 0);
+    assert!(m.violations.is_empty());
+}

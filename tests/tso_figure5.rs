@@ -1,0 +1,140 @@
+//! TSO support (§5.5): the Figure 5 scenario and the versioned-metadata
+//! protocol's invariants.
+
+use paralog::core::{MonitorConfig, MonitoringMode, Platform};
+use paralog::events::{AddrRange, Instr, MemRef, Op, Reg, SyscallKind};
+use paralog::lifeguards::LifeguardKind;
+use paralog::workloads::{Benchmark, Workload, WorkloadSpec};
+
+/// Builds the Figure 5 Dekker pattern: each thread writes its own flag
+/// (clean) and reads the other's (previously tainted), with `pad` spacer
+/// instructions controlling how the stores sit in the store buffers.
+fn dekker(pad: usize) -> Workload {
+    let a = MemRef::new(0x2000_0000, 8);
+    let b = MemRef::new(0x2000_0100, 8);
+    let side = |mine: MemRef, theirs: MemRef, buf: AddrRange| {
+        let mut ops = vec![Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(buf) }];
+        for _ in 0..pad {
+            ops.push(Op::Instr(Instr::Nop));
+        }
+        ops.push(Op::Instr(Instr::MovRI { dst: Reg(0) }));
+        ops.push(Op::Instr(Instr::Store { dst: mine, src: Reg(0) })); // Wr(mine)
+        ops.push(Op::Instr(Instr::Load { dst: Reg(1), src: theirs })); // Rd(theirs)
+        // Make the observed taint part of the final metadata state.
+        ops.push(Op::Instr(Instr::Store {
+            dst: MemRef::new(mine.addr + 0x40, 8),
+            src: Reg(1),
+        }));
+        ops
+    };
+    Workload {
+        name: "figure5".into(),
+        benchmark: None,
+        threads: vec![
+            side(a, b, AddrRange::new(a.addr, 8)),
+            side(b, a, AddrRange::new(b.addr, 8)),
+        ],
+        heap: AddrRange::new(0x1000_0000, 0x1000_0000),
+        locks: 0,
+    }
+}
+
+#[test]
+fn figure5_versions_keep_lifeguards_accurate() {
+    let mut any_versions = 0;
+    for pad in [0usize, 1, 2, 3, 5, 8] {
+        let w = dekker(pad);
+        let m = Platform::run(
+            &w,
+            &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+                .with_tso()
+                .with_equivalence_check(),
+        )
+        .metrics;
+        assert!(m.matches_reference(), "pad={pad}: TSO metadata diverged");
+        assert_eq!(
+            m.versions_produced, m.versions_consumed,
+            "pad={pad}: every produced version must be consumed"
+        );
+        any_versions += m.versions_produced;
+    }
+    assert!(
+        any_versions > 0,
+        "at least one timing must manifest the SC violation and use versioning"
+    );
+}
+
+#[test]
+fn figure5_under_sc_needs_no_versions() {
+    let w = dekker(2);
+    let m = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+            .with_equivalence_check(),
+    )
+    .metrics;
+    assert!(m.matches_reference());
+    assert_eq!(m.versions_produced, 0, "SC machines never version metadata");
+}
+
+#[test]
+fn tso_store_buffers_actually_buffer() {
+    // TSO shifts some execution cost around (store latency hidden, drains
+    // later); the run must still complete, stay correct, and record
+    // pending-store effects in the metrics.
+    let w = WorkloadSpec::benchmark(Benchmark::Ocean, 4).scale(0.1).build();
+    let sc = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+            .with_equivalence_check(),
+    )
+    .metrics;
+    let tso = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+            .with_tso()
+            .with_equivalence_check(),
+    )
+    .metrics;
+    assert!(sc.matches_reference());
+    assert!(tso.matches_reference());
+    // Same analysis, same workload: identical final metadata across models.
+    assert_eq!(sc.fingerprint, tso.fingerprint, "final taint state is model-independent here");
+}
+
+#[test]
+fn tso_version_protocol_under_contention() {
+    // Heavy same-block write sharing between two threads maximizes WAR
+    // reversal opportunities; the protocol must hold up.
+    let hot = 0x2000_0000u64;
+    let buf = AddrRange::new(0x2100_0000, 8);
+    let hammer = |seed: u64| {
+        let mut ops = vec![Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(buf) }];
+        ops.push(Op::Instr(Instr::Load { dst: Reg(2), src: MemRef::new(buf.start, 4) }));
+        for i in 0..200u64 {
+            let addr = hot + ((seed + i) % 8) * 8;
+            if i % 3 == 0 {
+                ops.push(Op::Instr(Instr::Store { dst: MemRef::new(addr, 8), src: Reg(2) }));
+            } else {
+                ops.push(Op::Instr(Instr::Load { dst: Reg(1), src: MemRef::new(addr, 8) }));
+            }
+        }
+        ops
+    };
+    let w = Workload {
+        name: "tso-contention".into(),
+        benchmark: None,
+        threads: vec![hammer(0), hammer(3)],
+        heap: AddrRange::new(0x1000_0000, 0x1000_0000),
+        locks: 0,
+    };
+    let m = Platform::run(
+        &w,
+        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+            .with_tso()
+            .with_equivalence_check(),
+    )
+    .metrics;
+    assert!(m.matches_reference(), "contended TSO run diverged");
+    assert_eq!(m.versions_produced, m.versions_consumed);
+}

@@ -85,7 +85,11 @@ impl IdempotentFilter {
         IfKey {
             addr: mem.addr,
             size: mem.size,
-            writes: if self.unify_kinds { false } else { kind.writes() },
+            writes: if self.unify_kinds {
+                false
+            } else {
+                kind.writes()
+            },
         }
     }
 
@@ -146,9 +150,15 @@ mod tests {
     #[test]
     fn repeat_checks_are_filtered() {
         let mut f = IdempotentFilter::new(8, true);
-        assert!(!f.filter(m(0x100), AccessKind::Read), "first check delivered");
+        assert!(
+            !f.filter(m(0x100), AccessKind::Read),
+            "first check delivered"
+        );
         assert!(f.filter(m(0x100), AccessKind::Read), "repeat filtered");
-        assert!(f.filter(m(0x100), AccessKind::Write), "unified kinds filter too");
+        assert!(
+            f.filter(m(0x100), AccessKind::Write),
+            "unified kinds filter too"
+        );
         assert_eq!(f.stats().hits, 2);
         assert!((f.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
     }
@@ -157,7 +167,10 @@ mod tests {
     fn distinct_kinds_when_not_unified() {
         let mut f = IdempotentFilter::new(8, false);
         assert!(!f.filter(m(0x100), AccessKind::Read));
-        assert!(!f.filter(m(0x100), AccessKind::Write), "write check is distinct");
+        assert!(
+            !f.filter(m(0x100), AccessKind::Write),
+            "write check is distinct"
+        );
         assert!(f.filter(m(0x100), AccessKind::Write));
     }
 
@@ -185,7 +198,10 @@ mod tests {
         f.filter(m(0x100), AccessKind::Read);
         f.invalidate_all();
         assert_eq!(f.live(), 0);
-        assert!(!f.filter(m(0x100), AccessKind::Read), "must re-deliver after CA");
+        assert!(
+            !f.filter(m(0x100), AccessKind::Read),
+            "must re-deliver after CA"
+        );
         assert_eq!(f.stats().invalidations, 1);
     }
 
@@ -195,8 +211,14 @@ mod tests {
         f.filter(m(0x100), AccessKind::Read);
         f.filter(m(0x200), AccessKind::Read);
         f.invalidate_range(AddrRange::new(0x100, 0x10));
-        assert!(!f.filter(m(0x100), AccessKind::Read), "in-range entry dropped");
-        assert!(f.filter(m(0x200), AccessKind::Read), "out-of-range entry kept");
+        assert!(
+            !f.filter(m(0x100), AccessKind::Read),
+            "in-range entry dropped"
+        );
+        assert!(
+            f.filter(m(0x200), AccessKind::Read),
+            "out-of-range entry kept"
+        );
         assert_eq!(f.stats().range_invalidated, 1);
     }
 

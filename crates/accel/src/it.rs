@@ -133,7 +133,11 @@ impl InheritanceTracker {
 
     /// Number of rows deferring a memory read (the ones flushes target).
     pub fn live_mem_rows(&self) -> usize {
-        self.rows.iter().flatten().filter(|e| e.mem().is_some()).count()
+        self.rows
+            .iter()
+            .flatten()
+            .filter(|e| e.mem().is_some())
+            .count()
     }
 
     /// The progress this lifeguard may advertise: the youngest record id such
@@ -170,7 +174,10 @@ impl InheritanceTracker {
         }
         match *instr {
             Instr::Load { dst, src } => {
-                self.rows[dst.index()] = Some(ItEntry { src: ItSource::Mem(src), rid });
+                self.rows[dst.index()] = Some(ItEntry {
+                    src: ItSource::Mem(src),
+                    rid,
+                });
                 self.stats.absorbed += 1;
             }
             Instr::MovRR { dst, src } | Instr::Alu1 { dst, a: src } => {
@@ -188,7 +195,10 @@ impl InheritanceTracker {
             }
             Instr::MovRI { dst } => {
                 // Immediates are clean sources: absorb (deliver lazily).
-                self.rows[dst.index()] = Some(ItEntry { src: ItSource::Clean, rid });
+                self.rows[dst.index()] = Some(ItEntry {
+                    src: ItSource::Clean,
+                    rid,
+                });
                 self.stats.absorbed += 1;
             }
             Instr::Alu2 { dst, a, b } => {
@@ -199,7 +209,10 @@ impl InheritanceTracker {
                 let rb = self.rows[b.index()];
                 match (ra.map(|e| e.src), rb.map(|e| e.src)) {
                     (Some(ItSource::Clean), Some(ItSource::Clean)) => {
-                        self.rows[dst.index()] = Some(ItEntry { src: ItSource::Clean, rid });
+                        self.rows[dst.index()] = Some(ItEntry {
+                            src: ItSource::Clean,
+                            rid,
+                        });
                         self.stats.absorbed += 1;
                     }
                     (Some(ItSource::Mem(_)), Some(ItSource::Clean)) => {
@@ -230,8 +243,10 @@ impl InheritanceTracker {
                 match self.rows[a.index()].map(|e| e.src) {
                     Some(ItSource::Clean) => {
                         // clean ⊔ mem = mem: behaves like a load of `src`.
-                        self.rows[dst.index()] =
-                            Some(ItEntry { src: ItSource::Mem(src), rid });
+                        self.rows[dst.index()] = Some(ItEntry {
+                            src: ItSource::Mem(src),
+                            rid,
+                        });
                         self.stats.absorbed += 1;
                     }
                     _ => {
@@ -299,15 +314,23 @@ impl InheritanceTracker {
         for idx in 0..NUM_REGS {
             let keep_clean = matches!(
                 self.rows[idx],
-                Some(ItEntry { src: ItSource::Clean, .. })
+                Some(ItEntry {
+                    src: ItSource::Clean,
+                    ..
+                })
             ) && !flush_clean;
             if keep_clean {
                 continue;
             }
             if let Some(entry) = self.rows[idx].take() {
                 out.push(match entry.src {
-                    ItSource::Mem(src) => MetaOp::MemToReg { dst: Reg(idx as u8), src },
-                    ItSource::Clean => MetaOp::ImmToReg { dst: Reg(idx as u8) },
+                    ItSource::Mem(src) => MetaOp::MemToReg {
+                        dst: Reg(idx as u8),
+                        src,
+                    },
+                    ItSource::Clean => MetaOp::ImmToReg {
+                        dst: Reg(idx as u8),
+                    },
                 });
             }
         }
@@ -315,9 +338,7 @@ impl InheritanceTracker {
             FlushReason::DependenceStall => self.stats.stall_flushes += 1,
             FlushReason::ConflictAlert => self.stats.ca_flushes += 1,
             FlushReason::Threshold => self.stats.threshold_flushes += 1,
-            FlushReason::LocalConflict
-            | FlushReason::Versioned
-            | FlushReason::ContextSwitch => {}
+            FlushReason::LocalConflict | FlushReason::Versioned | FlushReason::ContextSwitch => {}
         }
         self.stats.delivered += out.len() as u64;
         out
@@ -369,7 +390,10 @@ impl InheritanceTracker {
                 let Some(src) = entry.mem() else { continue };
                 if src.range().overlaps(&range) {
                     self.rows[idx] = None;
-                    out.push(MetaOp::MemToReg { dst: Reg(idx as u8), src });
+                    out.push(MetaOp::MemToReg {
+                        dst: Reg(idx as u8),
+                        src,
+                    });
                     if reason == FlushReason::LocalConflict {
                         self.stats.local_conflict_flushes += 1;
                     }
@@ -414,13 +438,35 @@ mod tests {
         let mut it = InheritanceTracker::new(None);
         let a = m(0x100);
         let b = m(0x200);
-        assert!(it.process(&Instr::Load { dst: r(0), src: a }, Rid(10)).is_empty());
-        assert!(it.process(&Instr::MovRR { dst: r(1), src: r(0) }, Rid(11)).is_empty());
-        assert_eq!(it.row(r(1)), Some(ItEntry { src: ItSource::Mem(a), rid: Rid(10) }));
+        assert!(it
+            .process(&Instr::Load { dst: r(0), src: a }, Rid(10))
+            .is_empty());
+        assert!(it
+            .process(
+                &Instr::MovRR {
+                    dst: r(1),
+                    src: r(0)
+                },
+                Rid(11)
+            )
+            .is_empty());
+        assert_eq!(
+            it.row(r(1)),
+            Some(ItEntry {
+                src: ItSource::Mem(a),
+                rid: Rid(10)
+            })
+        );
         let ops = it.process(&Instr::Store { dst: b, src: r(1) }, Rid(12));
         assert_eq!(ops, vec![MetaOp::MemToMem { dst: b, src: a }]);
         // Row survives the store (Figure 3 keeps %ebx = (A, i)).
-        assert_eq!(it.row(r(1)), Some(ItEntry { src: ItSource::Mem(a), rid: Rid(10) }));
+        assert_eq!(
+            it.row(r(1)),
+            Some(ItEntry {
+                src: ItSource::Mem(a),
+                rid: Rid(10)
+            })
+        );
     }
 
     #[test]
@@ -433,15 +479,35 @@ mod tests {
         let i = 10u64;
         it.process(&Instr::Load { dst: r(0), src: a }, Rid(i)); // i
         assert_eq!(it.advertisable_progress(), Rid(i - 1));
-        it.process(&Instr::MovRR { dst: r(1), src: r(0) }, Rid(i + 1)); // i+1
+        it.process(
+            &Instr::MovRR {
+                dst: r(1),
+                src: r(0),
+            },
+            Rid(i + 1),
+        ); // i+1
         assert_eq!(it.advertisable_progress(), Rid(i - 1));
-        it.process(&Instr::Store { dst: m(0x200), src: r(1) }, Rid(i + 2)); // i+2
-        assert_eq!(it.advertisable_progress(), Rid(i - 1), "rows still hold rid i");
+        it.process(
+            &Instr::Store {
+                dst: m(0x200),
+                src: r(1),
+            },
+            Rid(i + 2),
+        ); // i+2
+        assert_eq!(
+            it.advertisable_progress(),
+            Rid(i - 1),
+            "rows still hold rid i"
+        );
         it.process(&Instr::Load { dst: r(0), src: c }, Rid(i + 3)); // i+3 overwrites r0
-        assert_eq!(it.advertisable_progress(), Rid(i - 1), "r1 still holds rid i");
+        assert_eq!(
+            it.advertisable_progress(),
+            Rid(i - 1),
+            "r1 still holds rid i"
+        );
         it.process(&Instr::Load { dst: r(1), src: d }, Rid(i + 4)); // i+4 overwrites r1
-        // Now the oldest held rid is i+3 → progress = i+2 >= i, so the remote
-        // write j to A may finally be delivered.
+                                                                    // Now the oldest held rid is i+3 → progress = i+2 >= i, so the remote
+                                                                    // write j to A may finally be delivered.
         assert_eq!(it.advertisable_progress(), Rid(i + 2));
     }
 
@@ -467,8 +533,20 @@ mod tests {
     #[test]
     fn partial_overlap_also_conflicts() {
         let mut it = InheritanceTracker::new(None);
-        it.process(&Instr::Load { dst: r(0), src: MemRef::new(0x100, 8) }, Rid(1));
-        let ops = it.process(&Instr::Store { dst: MemRef::new(0x104, 4), src: r(2) }, Rid(2));
+        it.process(
+            &Instr::Load {
+                dst: r(0),
+                src: MemRef::new(0x100, 8),
+            },
+            Rid(1),
+        );
+        let ops = it.process(
+            &Instr::Store {
+                dst: MemRef::new(0x104, 4),
+                src: r(2),
+            },
+            Rid(2),
+        );
         assert_eq!(ops.len(), 2);
         assert!(matches!(ops[0], MetaOp::MemToReg { .. }));
     }
@@ -480,13 +558,24 @@ mod tests {
         let b = m(0x200);
         it.process(&Instr::Load { dst: r(0), src: a }, Rid(1));
         it.process(&Instr::Load { dst: r(1), src: b }, Rid(2));
-        let ops = it.process(&Instr::Alu2 { dst: r(2), a: r(0), b: r(1) }, Rid(3));
+        let ops = it.process(
+            &Instr::Alu2 {
+                dst: r(2),
+                a: r(0),
+                b: r(1),
+            },
+            Rid(3),
+        );
         assert_eq!(
             ops,
             vec![
                 MetaOp::MemToReg { dst: r(0), src: a },
                 MetaOp::MemToReg { dst: r(1), src: b },
-                MetaOp::AluRR { dst: r(2), a: r(0), b: Some(r(1)) },
+                MetaOp::AluRR {
+                    dst: r(2),
+                    a: r(0),
+                    b: Some(r(1))
+                },
             ]
         );
         assert_eq!(it.live_rows(), 0);
@@ -497,15 +586,35 @@ mod tests {
         let mut it = InheritanceTracker::new(None);
         let a = m(0x100);
         it.process(&Instr::Load { dst: r(0), src: a }, Rid(1));
-        assert!(it.process(&Instr::Alu1 { dst: r(3), a: r(0) }, Rid(2)).is_empty());
-        assert_eq!(it.row(r(3)), Some(ItEntry { src: ItSource::Mem(a), rid: Rid(1) }));
+        assert!(it
+            .process(&Instr::Alu1 { dst: r(3), a: r(0) }, Rid(2))
+            .is_empty());
+        assert_eq!(
+            it.row(r(3)),
+            Some(ItEntry {
+                src: ItSource::Mem(a),
+                rid: Rid(1)
+            })
+        );
     }
 
     #[test]
     fn mov_from_untracked_reg_delivers() {
         let mut it = InheritanceTracker::new(None);
-        let ops = it.process(&Instr::MovRR { dst: r(1), src: r(0) }, Rid(1));
-        assert_eq!(ops, vec![MetaOp::RegToReg { dst: r(1), src: r(0) }]);
+        let ops = it.process(
+            &Instr::MovRR {
+                dst: r(1),
+                src: r(0),
+            },
+            Rid(1),
+        );
+        assert_eq!(
+            ops,
+            vec![MetaOp::RegToReg {
+                dst: r(1),
+                src: r(0)
+            }]
+        );
     }
 
     #[test]
@@ -526,8 +635,20 @@ mod tests {
     #[test]
     fn flush_all_delivers_every_row() {
         let mut it = InheritanceTracker::new(None);
-        it.process(&Instr::Load { dst: r(0), src: m(0x100) }, Rid(1));
-        it.process(&Instr::Load { dst: r(1), src: m(0x200) }, Rid(2));
+        it.process(
+            &Instr::Load {
+                dst: r(0),
+                src: m(0x100),
+            },
+            Rid(1),
+        );
+        it.process(
+            &Instr::Load {
+                dst: r(1),
+                src: m(0x200),
+            },
+            Rid(2),
+        );
         let ops = it.flush_all(FlushReason::DependenceStall);
         assert_eq!(ops.len(), 2);
         assert_eq!(it.live_rows(), 0);
@@ -538,9 +659,18 @@ mod tests {
     #[test]
     fn threshold_forces_refresh() {
         let mut it = InheritanceTracker::new(Some(5));
-        it.process(&Instr::Load { dst: r(0), src: m(0x100) }, Rid(1));
+        it.process(
+            &Instr::Load {
+                dst: r(0),
+                src: m(0x100),
+            },
+            Rid(1),
+        );
         for i in 2..=5u64 {
-            assert!(it.process(&Instr::Nop, Rid(i)).is_empty(), "lag within threshold at {i}");
+            assert!(
+                it.process(&Instr::Nop, Rid(i)).is_empty(),
+                "lag within threshold at {i}"
+            );
         }
         // At rid 6 the lag is 6 - 0 = 6 > 5: the event triggers a flush.
         let ops = it.process(&Instr::Nop, Rid(6));
@@ -552,18 +682,48 @@ mod tests {
     #[test]
     fn versioned_flush_targets_one_address() {
         let mut it = InheritanceTracker::new(None);
-        it.process(&Instr::Load { dst: r(0), src: m(0x100) }, Rid(1));
-        it.process(&Instr::Load { dst: r(1), src: m(0x200) }, Rid(2));
+        it.process(
+            &Instr::Load {
+                dst: r(0),
+                src: m(0x100),
+            },
+            Rid(1),
+        );
+        it.process(
+            &Instr::Load {
+                dst: r(1),
+                src: m(0x200),
+            },
+            Rid(2),
+        );
         let ops = it.flush_overlapping_public(m(0x100));
-        assert_eq!(ops, vec![MetaOp::MemToReg { dst: r(0), src: m(0x100) }]);
+        assert_eq!(
+            ops,
+            vec![MetaOp::MemToReg {
+                dst: r(0),
+                src: m(0x100)
+            }]
+        );
         assert_eq!(it.live_rows(), 1);
     }
 
     #[test]
     fn absorbed_and_delivered_counters() {
         let mut it = InheritanceTracker::new(None);
-        it.process(&Instr::Load { dst: r(0), src: m(0x100) }, Rid(1));
-        it.process(&Instr::Store { dst: m(0x200), src: r(0) }, Rid(2));
+        it.process(
+            &Instr::Load {
+                dst: r(0),
+                src: m(0x100),
+            },
+            Rid(1),
+        );
+        it.process(
+            &Instr::Store {
+                dst: m(0x200),
+                src: r(0),
+            },
+            Rid(2),
+        );
         let s = it.stats();
         assert_eq!(s.absorbed, 1);
         assert_eq!(s.delivered, 1);

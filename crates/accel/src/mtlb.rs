@@ -110,7 +110,11 @@ impl MetadataTlb {
     /// Drops mappings for pages overlapping `range` (a freed allocation).
     pub fn flush_range(&mut self, range: AddrRange) {
         let first = range.start / PAGE_BYTES;
-        let last = if range.is_empty() { first } else { (range.end() - 1) / PAGE_BYTES };
+        let last = if range.is_empty() {
+            first
+        } else {
+            (range.end() - 1) / PAGE_BYTES
+        };
         let before = self.entries.len();
         self.entries.retain(|(p, _)| *p < first || *p > last);
         self.stats.flushed += (before - self.entries.len()) as u64;

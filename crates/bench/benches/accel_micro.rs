@@ -16,12 +16,32 @@ fn bench_it(c: &mut Criterion) {
         b.iter(|| {
             rid += 3;
             let mut n = 0;
-            n += it.process(&Instr::Load { dst: Reg(0), src: a }, Rid(rid)).len();
             n += it
-                .process(&Instr::MovRR { dst: Reg(1), src: Reg(0) }, Rid(rid + 1))
+                .process(
+                    &Instr::Load {
+                        dst: Reg(0),
+                        src: a,
+                    },
+                    Rid(rid),
+                )
                 .len();
             n += it
-                .process(&Instr::Store { dst: out, src: Reg(1) }, Rid(rid + 2))
+                .process(
+                    &Instr::MovRR {
+                        dst: Reg(1),
+                        src: Reg(0),
+                    },
+                    Rid(rid + 1),
+                )
+                .len();
+            n += it
+                .process(
+                    &Instr::Store {
+                        dst: out,
+                        src: Reg(1),
+                    },
+                    Rid(rid + 2),
+                )
                 .len();
             black_box(n)
         })
@@ -30,7 +50,10 @@ fn bench_it(c: &mut Criterion) {
         let mut it = InheritanceTracker::new(None);
         for i in 0..8u64 {
             it.process(
-                &Instr::Load { dst: Reg(i as u8), src: MemRef::new(0x100 + i * 64, 4) },
+                &Instr::Load {
+                    dst: Reg(i as u8),
+                    src: MemRef::new(0x100 + i * 64, 4),
+                },
                 Rid(i + 1),
             );
         }

@@ -41,7 +41,9 @@ fn bench_codec(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("codec/{bench}"));
         g.throughput(Throughput::Elements(records.len() as u64));
         g.bench_function("encode", |b| b.iter(|| black_box(encode(&records).len())));
-        g.bench_function("decode", |b| b.iter(|| black_box(decode(&bytes).unwrap().len())));
+        g.bench_function("decode", |b| {
+            b.iter(|| black_box(decode(&bytes).unwrap().len()))
+        });
         g.finish();
     }
 }

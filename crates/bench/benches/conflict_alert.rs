@@ -9,9 +9,14 @@ use paralog_lifeguards::LifeguardKind;
 use paralog_workloads::{Benchmark, WorkloadSpec};
 
 fn bench_ca(c: &mut Criterion) {
-    let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 4).scale(BENCH_SCALE * 4.0).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 4)
+        .scale(BENCH_SCALE * 4.0)
+        .build();
     // Print the ablation numbers once.
-    for (name, mode) in [("barrier", CaMode::Barrier), ("flush-only", CaMode::FlushOnly)] {
+    for (name, mode) in [
+        ("barrier", CaMode::Barrier),
+        ("flush-only", CaMode::FlushOnly),
+    ] {
         let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::AddrCheck);
         cfg.ca_mode = mode;
         let m = Platform::run(&w, &cfg).metrics;
@@ -24,7 +29,10 @@ fn bench_ca(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("conflict-alert");
     g.sample_size(10);
-    for (name, mode) in [("barrier", CaMode::Barrier), ("flush-only", CaMode::FlushOnly)] {
+    for (name, mode) in [
+        ("barrier", CaMode::Barrier),
+        ("flush-only", CaMode::FlushOnly),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
             let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::AddrCheck);
             cfg.ca_mode = mode;

@@ -17,9 +17,17 @@ fn bench_modes(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("figure6");
     g.sample_size(10);
-    for (bench, k) in [(Benchmark::Lu, 4), (Benchmark::Barnes, 4), (Benchmark::Swaptions, 4)] {
+    for (bench, k) in [
+        (Benchmark::Lu, 4),
+        (Benchmark::Barnes, 4),
+        (Benchmark::Swaptions, 4),
+    ] {
         let w = WorkloadSpec::benchmark(bench, k).scale(BENCH_SCALE).build();
-        for mode in [MonitoringMode::None, MonitoringMode::Timesliced, MonitoringMode::Parallel] {
+        for mode in [
+            MonitoringMode::None,
+            MonitoringMode::Timesliced,
+            MonitoringMode::Parallel,
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(format!("{bench}-{k}t"), format!("{mode}")),
                 &w,

@@ -17,13 +17,17 @@ fn bench_breakdown(c: &mut Criterion) {
     g.sample_size(10);
     for bench in [Benchmark::Swaptions, Benchmark::Barnes] {
         let w = WorkloadSpec::benchmark(bench, 4).scale(BENCH_SCALE).build();
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{bench}")), &w, |b, w| {
-            let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
-            b.iter(|| {
-                let m = Platform::run(w, &cfg).metrics;
-                (m.lifeguard_totals().wait_dependence, m.execution_cycles())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{bench}")),
+            &w,
+            |b, w| {
+                let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
+                b.iter(|| {
+                    let m = Platform::run(w, &cfg).metrics;
+                    (m.lifeguard_totals().wait_dependence, m.execution_cycles())
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -16,9 +16,14 @@ fn bench_accelerators(c: &mut Criterion) {
     }
     let mut g = c.benchmark_group("figure8");
     g.sample_size(10);
-    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(BENCH_SCALE).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4)
+        .scale(BENCH_SCALE)
+        .build();
     let configs = [
-        ("accel-aggressive", MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)),
+        (
+            "accel-aggressive",
+            MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
+        ),
         (
             "accel-limited",
             MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)

@@ -1,0 +1,143 @@
+//! Microbenchmark for the flat two-level shadow memory.
+//!
+//! Measures `get`/`set` singles and `join_range`/`set_range`/`copy_range`
+//! at 1-byte, 64-byte and 4 KiB ranges for 1/2/8-bit metadata, against a
+//! `naive` baseline that reimplements the seed's `HashMap`-chunked,
+//! per-byte shadow verbatim. The ratio between the two series is the
+//! tentpole speedup quoted in the PR description.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paralog_events::AddrRange;
+use paralog_meta::{ShadowMemory, CHUNK_APP_BYTES};
+use std::collections::HashMap;
+
+/// The seed's shadow memory: `HashMap` first level, per-application-byte
+/// read-modify-write everywhere. Kept here as the before/after baseline.
+struct NaiveShadow {
+    bits: u32,
+    chunks: HashMap<u64, Box<[u8]>>,
+}
+
+impl NaiveShadow {
+    fn new(bits: u32) -> Self {
+        NaiveShadow {
+            bits,
+            chunks: HashMap::new(),
+        }
+    }
+
+    fn max_value(&self) -> u8 {
+        ((1u16 << self.bits) - 1) as u8
+    }
+
+    fn chunk_bytes(&self) -> usize {
+        (CHUNK_APP_BYTES * self.bits as u64 / 8) as usize
+    }
+
+    fn locate(addr: u64, bits: u32) -> (u64, usize, u32) {
+        let chunk = addr / CHUNK_APP_BYTES;
+        let bit_offset = (addr % CHUNK_APP_BYTES) * bits as u64;
+        (chunk, (bit_offset / 8) as usize, (bit_offset % 8) as u32)
+    }
+
+    fn get(&self, addr: u64) -> u8 {
+        let (chunk, byte, shift) = Self::locate(addr, self.bits);
+        match self.chunks.get(&chunk) {
+            Some(data) => (data[byte] >> shift) & self.max_value(),
+            None => 0,
+        }
+    }
+
+    fn set(&mut self, addr: u64, value: u8) {
+        let bits = self.bits;
+        let chunk_bytes = self.chunk_bytes();
+        let (chunk, byte, shift) = Self::locate(addr, bits);
+        let data = self
+            .chunks
+            .entry(chunk)
+            .or_insert_with(|| vec![0u8; chunk_bytes].into_boxed_slice());
+        let mask = ((1u16 << bits) - 1) as u8;
+        data[byte] = (data[byte] & !(mask << shift)) | (value << shift);
+    }
+
+    fn join_range(&self, range: AddrRange) -> u8 {
+        let mut acc = 0;
+        for a in range.start..range.end() {
+            acc |= self.get(a);
+        }
+        acc
+    }
+
+    fn set_range(&mut self, range: AddrRange, value: u8) {
+        for a in range.start..range.end() {
+            self.set(a, value);
+        }
+    }
+
+    fn copy_range(&mut self, dst: u64, src: u64, len: u64) {
+        for i in 0..len {
+            let v = self.get(src + i);
+            self.set(dst + i, v);
+        }
+    }
+}
+
+/// Slightly unaligned base so head/tail mask paths are exercised.
+const BASE: u64 = 0x1000_0003;
+/// Copy destination two chunks away, same lane phase as `BASE`.
+const COPY_DST: u64 = BASE + 2 * CHUNK_APP_BYTES;
+
+fn bench_ranges(c: &mut Criterion) {
+    for bits in [1u32, 2, 8] {
+        let mut g = c.benchmark_group(format!("shadow_micro/{bits}bit"));
+        g.sample_size(10);
+        for len in [1u64, 64, 4096] {
+            g.throughput(Throughput::Bytes(len));
+            let range = AddrRange::new(BASE, len);
+            let value = 1u8;
+
+            let mut flat = ShadowMemory::new(bits);
+            flat.set_range(AddrRange::new(BASE, 8192), value);
+            let mut naive = NaiveShadow::new(bits);
+            naive.set_range(AddrRange::new(BASE, 8192), value);
+
+            g.bench_with_input(BenchmarkId::new("join_range/flat", len), &len, |b, _| {
+                b.iter(|| black_box(flat.join_range(black_box(range))))
+            });
+            g.bench_with_input(BenchmarkId::new("join_range/naive", len), &len, |b, _| {
+                b.iter(|| black_box(naive.join_range(black_box(range))))
+            });
+            g.bench_with_input(BenchmarkId::new("set_range/flat", len), &len, |b, _| {
+                b.iter(|| flat.set_range(black_box(range), value))
+            });
+            g.bench_with_input(BenchmarkId::new("set_range/naive", len), &len, |b, _| {
+                b.iter(|| naive.set_range(black_box(range), value))
+            });
+            g.bench_with_input(BenchmarkId::new("copy_range/flat", len), &len, |b, _| {
+                b.iter(|| flat.copy_range(black_box(COPY_DST), black_box(BASE), len))
+            });
+            g.bench_with_input(BenchmarkId::new("copy_range/naive", len), &len, |b, _| {
+                b.iter(|| naive.copy_range(black_box(COPY_DST), black_box(BASE), len))
+            });
+        }
+        // Single-byte get/set (the per-event fast path).
+        let mut flat = ShadowMemory::new(bits);
+        flat.set(BASE, 1);
+        let mut naive = NaiveShadow::new(bits);
+        naive.set(BASE, 1);
+        g.bench_function("get/flat", |b| {
+            b.iter(|| black_box(flat.get(black_box(BASE))))
+        });
+        g.bench_function("get/naive", |b| {
+            b.iter(|| black_box(naive.get(black_box(BASE))))
+        });
+        g.bench_function("set/flat", |b| b.iter(|| flat.set(black_box(BASE + 7), 1)));
+        g.bench_function("set/naive", |b| {
+            b.iter(|| naive.set(black_box(BASE + 7), 1))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_ranges);
+criterion_main!(benches);

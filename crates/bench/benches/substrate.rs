@@ -23,7 +23,11 @@ fn bench_coherence(c: &mut Criterion) {
         b.iter(|| {
             rid += 2;
             m.access(0, Rid(rid), 0x2000, 4, AccessKind::Write);
-            black_box(m.access(1, Rid(rid + 1), 0x2000, 4, AccessKind::Write).touches.len())
+            black_box(
+                m.access(1, Rid(rid + 1), 0x2000, 4, AccessKind::Write)
+                    .touches
+                    .len(),
+            )
         })
     });
 }

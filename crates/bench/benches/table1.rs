@@ -8,9 +8,18 @@ fn bench_generation(c: &mut Criterion) {
     println!("{}", paralog_core::experiment::table1());
     let mut g = c.benchmark_group("table1-workload-gen");
     for bench in [Benchmark::Lu, Benchmark::Swaptions] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{bench}")), &bench, |b, &bench| {
-            b.iter(|| WorkloadSpec::benchmark(bench, 8).scale(0.2).build().total_ops())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{bench}")),
+            &bench,
+            |b, &bench| {
+                b.iter(|| {
+                    WorkloadSpec::benchmark(bench, 8)
+                        .scale(0.2)
+                        .build()
+                        .total_ops()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -4,7 +4,7 @@
 //! Usage: `cargo run --release -p paralog-bench --bin figure6 [--quick] [--scale F]`
 
 use paralog_bench::{quick_requested, scale_from_args, FULL_SCALE};
-use paralog_core::experiment::{figure6, headline, render_figure6, figure8};
+use paralog_core::experiment::{figure6, figure8, headline, render_figure6};
 use paralog_lifeguards::LifeguardKind;
 use paralog_workloads::Benchmark;
 

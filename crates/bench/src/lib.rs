@@ -34,9 +34,11 @@ pub fn quick_requested() -> bool {
 mod tests {
     use super::*;
 
+    // Compile-time sanity: criterion runs must stay cheaper than full runs.
+    const _: () = assert!(FULL_SCALE > BENCH_SCALE);
+
     #[test]
     fn defaults_are_sane() {
-        assert!(FULL_SCALE > BENCH_SCALE);
         assert_eq!(scale_from_args(0.5), 0.5);
     }
 }

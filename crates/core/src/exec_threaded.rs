@@ -19,90 +19,173 @@
 use crate::config::{MonitorConfig, MonitoringMode};
 use crate::platform::Platform;
 use paralog_events::{
-    dataflow_view, CaPhase, EventPayload, EventRecord, HighLevelKind, MemRef, MetaOp,
-    SyscallKind, ThreadId, NUM_REGS,
+    dataflow_view, CaPhase, EventPayload, EventRecord, HighLevelKind, MemRef, MetaOp, SyscallKind,
+    ThreadId, NUM_REGS,
 };
 use paralog_lifeguards::{Fingerprint, LifeguardKind, TAINTED};
 use paralog_order::SharedProgressTable;
 use paralog_workloads::Workload;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Application bytes per atomic shadow chunk.
 const CHUNK: u64 = 4096;
 
+/// Chunk-index budget of the dense first level (2^21 chunks = 8 GiB of
+/// application space at 4 KiB chunks — far more than any workload's working
+/// set, yet only a 16 MiB pointer table).
+const DENSE_LIMIT: u64 = 1 << 21;
+
 /// A lock-free shadow memory: one `AtomicU8` per application byte, organized
-/// in chunks pre-allocated from the streams' footprint (the parallel phase
-/// performs lookups only, so the map is shared immutably).
+/// behind a **flat first-level chunk index** pre-built from the streams'
+/// footprint (the parallel phase performs lookups only, so the table is
+/// shared immutably). Mirroring [`paralog_meta::ShadowMemory`]'s layout,
+/// a hot-path access is a direct array index off the high address bits — no
+/// hashing — and `join`/`fill` run chunk-resident slice loops instead of
+/// re-walking the index per byte. The rare far outliers beyond the dense
+/// span (a handful of sentinel addresses per run) live in a small sorted
+/// side table found by binary search.
 #[derive(Debug)]
 pub struct AtomicShadow {
-    chunks: HashMap<u64, Box<[AtomicU8]>>,
+    /// First chunk index covered by `dense` (the footprint rarely starts
+    /// at address zero, so the table is offset to stay compact).
+    base: u64,
+    /// First level: `chunk index - base` → chunk, `None` where untouched.
+    dense: Vec<Option<Box<[AtomicU8]>>>,
+    /// Outlier chunks beyond `base + DENSE_LIMIT`, sorted by chunk index.
+    sparse: Vec<(u64, Box<[AtomicU8]>)>,
 }
 
 impl AtomicShadow {
     /// Pre-allocates chunks for every byte the streams may touch.
     fn for_streams(streams: &[Vec<EventRecord>]) -> Self {
-        let mut chunks: HashMap<u64, Box<[AtomicU8]>> = HashMap::new();
-        let mut ensure = |addr: u64, len: u64| {
-            for c in (addr / CHUNK)..=((addr + len.max(1) - 1) / CHUNK) {
-                chunks.entry(c).or_insert_with(|| {
-                    (0..CHUNK).map(|_| AtomicU8::new(0)).collect::<Vec<_>>().into_boxed_slice()
-                });
-            }
-        };
+        // Collect the touched chunk indices (bounded by stream length, not
+        // by address span).
+        let mut touched = std::collections::BTreeSet::new();
         for stream in streams {
             for rec in stream {
-                match &rec.payload {
-                    EventPayload::Instr(i) => {
-                        if let Some((m, _)) = i.mem_access() {
-                            ensure(m.addr, u64::from(m.size));
-                        }
-                    }
-                    EventPayload::Ca(ca) => {
-                        if let Some(r) = ca.range {
-                            ensure(r.start, r.len);
-                        }
-                    }
+                let (addr, len) = match &rec.payload {
+                    EventPayload::Instr(i) => match i.mem_access() {
+                        Some((m, _)) => (m.addr, u64::from(m.size)),
+                        None => continue,
+                    },
+                    EventPayload::Ca(ca) => match ca.range {
+                        Some(r) => (r.start, r.len),
+                        None => continue,
+                    },
+                };
+                for c in (addr / CHUNK)..=((addr + len.max(1) - 1) / CHUNK) {
+                    touched.insert(c);
                 }
             }
         }
-        AtomicShadow { chunks }
-    }
-
-    fn get(&self, addr: u64) -> u8 {
-        match self.chunks.get(&(addr / CHUNK)) {
-            Some(c) => c[(addr % CHUNK) as usize].load(Ordering::Acquire),
-            None => 0,
+        let new_chunk = || {
+            (0..CHUNK)
+                .map(|_| AtomicU8::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        };
+        let base = touched.first().copied().unwrap_or(0);
+        let dense_len = touched
+            .range(..base + DENSE_LIMIT)
+            .next_back()
+            .map_or(0, |&hi| hi - base + 1);
+        let mut dense: Vec<Option<Box<[AtomicU8]>>> = Vec::new();
+        dense.resize_with(dense_len as usize, || None);
+        let mut sparse = Vec::new();
+        for ci in touched {
+            if ci < base + DENSE_LIMIT {
+                dense[(ci - base) as usize] = Some(new_chunk());
+            } else {
+                sparse.push((ci, new_chunk()));
+            }
+        }
+        AtomicShadow {
+            base,
+            dense,
+            sparse,
         }
     }
 
-    fn set(&self, addr: u64, v: u8) {
-        if let Some(c) = self.chunks.get(&(addr / CHUNK)) {
-            c[(addr % CHUNK) as usize].store(v, Ordering::Release);
+    /// The chunk shadowing `addr`, if inside the pre-built footprint.
+    #[inline]
+    fn chunk(&self, addr: u64) -> Option<&[AtomicU8]> {
+        let ci = addr / CHUNK;
+        if let Some(idx) = ci.checked_sub(self.base) {
+            if (idx as usize) < self.dense.len() {
+                return self.dense[idx as usize].as_deref();
+            }
+        }
+        self.sparse
+            .binary_search_by_key(&ci, |(c, _)| *c)
+            .ok()
+            .map(|i| &*self.sparse[i].1)
+    }
+
+    /// Chunk-resident ranged OR: one index walk per chunk segment, then a
+    /// straight slice loop.
+    fn join_range(&self, addr: u64, len: u64) -> u8 {
+        let mut acc = 0;
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            let seg_end = end.min((a / CHUNK + 1) * CHUNK);
+            if let Some(c) = self.chunk(a) {
+                let lo = (a % CHUNK) as usize;
+                let hi = lo + (seg_end - a) as usize;
+                for byte in &c[lo..hi] {
+                    acc |= byte.load(Ordering::Acquire);
+                }
+            }
+            a = seg_end;
+        }
+        acc
+    }
+
+    /// Chunk-resident ranged store.
+    fn fill_range(&self, addr: u64, len: u64, v: u8) {
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            let seg_end = end.min((a / CHUNK + 1) * CHUNK);
+            if let Some(c) = self.chunk(a) {
+                let lo = (a % CHUNK) as usize;
+                let hi = lo + (seg_end - a) as usize;
+                for byte in &c[lo..hi] {
+                    byte.store(v, Ordering::Release);
+                }
+            }
+            a = seg_end;
         }
     }
 
     fn join(&self, mem: MemRef) -> u8 {
-        (mem.addr..mem.addr + u64::from(mem.size)).fold(0, |a, b| a | self.get(b))
+        self.join_range(mem.addr, u64::from(mem.size))
     }
 
     fn fill(&self, mem: MemRef, v: u8) {
-        for a in mem.addr..mem.addr + u64::from(mem.size) {
-            self.set(a, v);
-        }
+        self.fill_range(mem.addr, u64::from(mem.size), v);
     }
 
     /// Order-insensitive fingerprint, compatible with
     /// [`Lifeguard::fingerprint`](paralog_lifeguards::Lifeguard::fingerprint).
     pub fn fingerprint(&self) -> u64 {
         let mut fp = Fingerprint::new();
-        for (c, data) in &self.chunks {
-            for (i, byte) in data.iter().enumerate() {
+        let mut mix_chunk = |ci: u64, data: &[AtomicU8]| {
+            let chunk_base = ci * CHUNK;
+            for (off, byte) in data.iter().enumerate() {
                 let v = byte.load(Ordering::Acquire);
                 if v != 0 {
-                    fp.mix(c * CHUNK + i as u64, u64::from(v));
+                    fp.mix(chunk_base + off as u64, u64::from(v));
                 }
             }
+        };
+        for (i, slot) in self.dense.iter().enumerate() {
+            if let Some(data) = slot.as_deref() {
+                mix_chunk(self.base + i as u64, data);
+            }
+        }
+        for (ci, data) in &self.sparse {
+            mix_chunk(*ci, data);
         }
         fp.finish()
     }
@@ -238,10 +321,8 @@ fn apply_ca(
     let mem = |r: paralog_events::AddrRange| MemRef::new(r.start, r.len.min(255) as u8);
     match (what, phase) {
         (HighLevelKind::Malloc, CaPhase::End) => {
-            // Ranges can exceed MemRef's width; fill byte-wise.
-            for a in range.start..range.end() {
-                shadow.set(a, 0);
-            }
+            // Ranges can exceed MemRef's width; fill the range directly.
+            shadow.fill_range(range.start, range.len, 0);
         }
         (HighLevelKind::Syscall(SyscallKind::ReadInput), CaPhase::End) => {
             shadow.fill(mem(range), TAINTED);
@@ -257,7 +338,9 @@ mod tests {
 
     #[test]
     fn threaded_replay_matches_deterministic_run() {
-        let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4).scale(0.05).build();
+        let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4)
+            .scale(0.05)
+            .build();
         for _ in 0..3 {
             let out = run_threaded_taintcheck(&w);
             assert!(
@@ -273,7 +356,9 @@ mod tests {
     fn threaded_replay_engages_enforcement() {
         // A sharing-heavy workload must actually exercise arc spinning at
         // least sometimes across repetitions.
-        let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(0.05).build();
+        let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4)
+            .scale(0.05)
+            .build();
         let mut total_spins = 0;
         for _ in 0..5 {
             let out = run_threaded_taintcheck(&w);

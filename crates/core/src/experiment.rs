@@ -53,17 +53,16 @@ impl Figure6Cell {
 
 /// Figure 6 for one lifeguard: normalized execution time of the three
 /// schemes across thread counts.
-pub fn figure6(
-    lifeguard: LifeguardKind,
-    benchmarks: &[Benchmark],
-    scale: f64,
-) -> Vec<Figure6Cell> {
+pub fn figure6(lifeguard: LifeguardKind, benchmarks: &[Benchmark], scale: f64) -> Vec<Figure6Cell> {
     let mut out = Vec::new();
     for &bench in benchmarks {
         for &k in &THREAD_COUNTS {
             let w = WorkloadSpec::benchmark(bench, k).scale(scale).build();
             let base = Platform::run(&w, &MonitorConfig::new(MonitoringMode::None, lifeguard));
-            let ts = Platform::run(&w, &MonitorConfig::new(MonitoringMode::Timesliced, lifeguard));
+            let ts = Platform::run(
+                &w,
+                &MonitorConfig::new(MonitoringMode::Timesliced, lifeguard),
+            );
             let par = Platform::run(&w, &MonitorConfig::new(MonitoringMode::Parallel, lifeguard));
             out.push(Figure6Cell {
                 benchmark: bench,
@@ -129,11 +128,7 @@ pub struct Figure7Bar {
 }
 
 /// Figure 7 for one lifeguard.
-pub fn figure7(
-    lifeguard: LifeguardKind,
-    benchmarks: &[Benchmark],
-    scale: f64,
-) -> Vec<Figure7Bar> {
+pub fn figure7(lifeguard: LifeguardKind, benchmarks: &[Benchmark], scale: f64) -> Vec<Figure7Bar> {
     let mut out = Vec::new();
     for &bench in benchmarks {
         for &k in &THREAD_COUNTS {
@@ -274,7 +269,10 @@ pub fn table1() -> String {
     let _ = writeln!(s, "Table 1: Experimental Setup");
     let _ = writeln!(s, "--- Simulator description ---");
     let _ = writeln!(s, "Simulator       : paralog-sim deterministic CMP model");
-    let _ = writeln!(s, "Extensions      : log capture and dispatch; FDR/RTR order capture");
+    let _ = writeln!(
+        s,
+        "Extensions      : log capture and dispatch; FDR/RTR order capture"
+    );
     let _ = writeln!(s, "--- Simulation parameters (per core count) ---");
     for cores in [4usize, 8, 16] {
         let m = MachineConfig::paper(cores);
@@ -282,7 +280,10 @@ pub fn table1() -> String {
         let _ = write!(s, "{m}");
     }
     let _ = writeln!(s, "log buffer      : 64KB, ~1B per compressed record");
-    let _ = writeln!(s, "--- Benchmarks (paper inputs -> synthetic equivalents) ---");
+    let _ = writeln!(
+        s,
+        "--- Benchmarks (paper inputs -> synthetic equivalents) ---"
+    );
     for b in Benchmark::all() {
         let spec = WorkloadSpec::benchmark(b, 8);
         let _ = writeln!(
@@ -293,7 +294,11 @@ pub fn table1() -> String {
             spec.ops_per_thread,
             spec.private_bytes / 1024,
             spec.shared_words * 8 / 1024,
-            if spec.malloc_every.is_some() { ", malloc churn" } else { "" }
+            if spec.malloc_every.is_some() {
+                ", malloc churn"
+            } else {
+                ""
+            }
         );
     }
     s
@@ -332,7 +337,11 @@ pub fn headline(cells: &[Figure6Cell], groups: &[Figure8Group]) -> Headline {
     }
     Headline {
         speedup_over_timesliced: (spd_min, spd_max),
-        average_overhead_8t: if overhead_n > 0 { overhead_sum / overhead_n as f64 } else { 0.0 },
+        average_overhead_8t: if overhead_n > 0 {
+            overhead_sum / overhead_n as f64
+        } else {
+            0.0
+        },
         accelerator_speedup: (acc_min, acc_max),
     }
 }
@@ -361,7 +370,11 @@ mod tests {
         }
         // At 8 threads parallel must beat timesliced decisively.
         let c8 = cells.iter().find(|c| c.threads == 8).expect("has k=8");
-        assert!(c8.parallel_speedup() > 1.5, "got {:.2}", c8.parallel_speedup());
+        assert!(
+            c8.parallel_speedup() > 1.5,
+            "got {:.2}",
+            c8.parallel_speedup()
+        );
         let rendered = render_figure6(LifeguardKind::AddrCheck, &cells);
         assert!(rendered.contains("LU"));
     }
@@ -370,8 +383,7 @@ mod tests {
     fn figure7_fractions_sum_to_one() {
         let bars = figure7(LifeguardKind::TaintCheck, &[Benchmark::Swaptions], 0.03);
         for b in &bars {
-            let sum =
-                b.useful_fraction + b.wait_dependence_fraction + b.wait_application_fraction;
+            let sum = b.useful_fraction + b.wait_dependence_fraction + b.wait_application_fraction;
             assert!((sum - 1.0).abs() < 1e-9, "fractions sum to 1, got {sum}");
             assert!(b.slowdown >= 0.9);
         }

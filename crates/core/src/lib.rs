@@ -44,7 +44,7 @@ pub mod platform;
 pub mod reference;
 
 pub use config::{CaMode, MonitorConfig, MonitoringMode};
+pub use exec_threaded::{run_threaded_taintcheck, AtomicShadow, ThreadedOutcome};
 pub use metrics::{AppBuckets, LgBuckets, RunMetrics};
 pub use platform::{Platform, RunOutcome};
-pub use exec_threaded::{run_threaded_taintcheck, AtomicShadow, ThreadedOutcome};
 pub use reference::Reference;

@@ -144,7 +144,11 @@ mod tests {
 
     #[test]
     fn execution_is_max_of_sides() {
-        let m = RunMetrics { app_finish: 100, lg_finish: 140, ..Default::default() };
+        let m = RunMetrics {
+            app_finish: 100,
+            lg_finish: 140,
+            ..Default::default()
+        };
         assert_eq!(m.execution_cycles(), 140);
         assert!((m.slowdown_vs(70) - 2.0).abs() < 1e-9);
     }
@@ -153,8 +157,16 @@ mod tests {
     fn totals_sum_buckets() {
         let m = RunMetrics {
             lifeguard: vec![
-                LgBuckets { useful: 10, wait_dependence: 5, wait_application: 1 },
-                LgBuckets { useful: 20, wait_dependence: 0, wait_application: 4 },
+                LgBuckets {
+                    useful: 10,
+                    wait_dependence: 5,
+                    wait_application: 1,
+                },
+                LgBuckets {
+                    useful: 20,
+                    wait_dependence: 0,
+                    wait_application: 4,
+                },
             ],
             ..Default::default()
         };
@@ -167,7 +179,10 @@ mod tests {
 
     #[test]
     fn reference_match_semantics() {
-        let mut m = RunMetrics { fingerprint: 7, ..Default::default() };
+        let mut m = RunMetrics {
+            fingerprint: 7,
+            ..Default::default()
+        };
         assert!(m.matches_reference(), "no reference = vacuously true");
         m.reference_fingerprint = Some(7);
         assert!(m.matches_reference());

@@ -5,8 +5,8 @@
 use super::{Block, Sim};
 use crate::config::MonitoringMode;
 use paralog_events::{
-    AccessKind, AddrRange, CaPhase, CaRecord, EventRecord, HighLevelKind, Instr, MemRef, Op,
-    Rid, ThreadId, VersionId,
+    AccessKind, AddrRange, ArcList, CaPhase, CaRecord, EventRecord, HighLevelKind, Instr, MemRef,
+    Op, ProduceList, Rid, ThreadId, VersionId,
 };
 use paralog_sim::sync::{barrier_flag, barrier_slot};
 use paralog_sim::{BarrierOutcome, LockAttempt};
@@ -114,9 +114,11 @@ impl<'w> Sim<'w> {
             Block::Lock(lock, _) => self.locks.owner(lock).is_none(),
             Block::Barrier(b, target) => self.barriers.generation(b) >= target,
             Block::Syscall => !self.config.damage_containment || self.records_drained(tid),
-            Block::StoreBufferFull => {
-                self.app[tid].sb.as_ref().map(|sb| !sb.is_full()).unwrap_or(true)
-            }
+            Block::StoreBufferFull => self.app[tid]
+                .sb
+                .as_ref()
+                .map(|sb| !sb.is_full())
+                .unwrap_or(true),
         }
     }
 
@@ -127,7 +129,11 @@ impl<'w> Sim<'w> {
             Block::Lock(lock, addr) => {
                 // The lock is free: acquire and retire the RMW.
                 let att = self.locks.acquire(lock, tid);
-                assert_eq!(att, LockAttempt::Acquired, "resolved block implies free lock");
+                assert_eq!(
+                    att,
+                    LockAttempt::Acquired,
+                    "resolved block implies free lock"
+                );
                 self.retire_lock_acquire(tid, lock, addr);
             }
             Block::Barrier(b, _) => {
@@ -135,14 +141,20 @@ impl<'w> Sim<'w> {
                 let flag = barrier_flag(b);
                 let lat = self.retire_instr(
                     tid,
-                    Instr::Load { dst: paralog_events::Reg(15), src: MemRef::new(flag, 8) },
+                    Instr::Load {
+                        dst: paralog_events::Reg(15),
+                        src: MemRef::new(flag, 8),
+                    },
                 );
                 self.app[tid].buckets.exec += lat;
                 self.sched_advance_app(tid, lat);
             }
             Block::Syscall => {
                 // Lifeguard caught up: run the kernel part, then CA-End.
-                let (kind, buf) = self.app[tid].syscall_cont.take().expect("syscall in flight");
+                let (kind, buf) = self.app[tid]
+                    .syscall_cont
+                    .take()
+                    .expect("syscall in flight");
                 self.app[tid].buckets.exec += SYSCALL_KERNEL_CYCLES;
                 self.sched_advance_app(tid, SYSCALL_KERNEL_CYCLES);
                 self.broadcast_ca(tid, HighLevelKind::Syscall(kind), CaPhase::End, buf);
@@ -267,7 +279,10 @@ impl<'w> Sim<'w> {
                 self.emit_own_ca(tid, HighLevelKind::Unlock(lock), CaPhase::Begin, None);
                 let lat = self.retire_instr(
                     tid,
-                    Instr::Store { dst: MemRef::new(addr, 8), src: paralog_events::Reg(15) },
+                    Instr::Store {
+                        dst: MemRef::new(addr, 8),
+                        src: paralog_events::Reg(15),
+                    },
                 );
                 self.locks.release(lock, tid);
                 self.app[tid].buckets.exec += lat;
@@ -279,7 +294,10 @@ impl<'w> Sim<'w> {
                 let slot = barrier_slot(barrier, tid);
                 let lat = self.retire_instr(
                     tid,
-                    Instr::Store { dst: MemRef::new(slot, 8), src: paralog_events::Reg(15) },
+                    Instr::Store {
+                        dst: MemRef::new(slot, 8),
+                        src: paralog_events::Reg(15),
+                    },
                 );
                 self.app[tid].buckets.exec += lat;
                 self.sched_advance_app(tid, lat);
@@ -331,7 +349,10 @@ impl<'w> Sim<'w> {
         self.drain_all_stores(tid);
         let lat = self.retire_instr(
             tid,
-            Instr::Rmw { mem: MemRef::new(addr, 8), reg: paralog_events::Reg(15) },
+            Instr::Rmw {
+                mem: MemRef::new(addr, 8),
+                reg: paralog_events::Reg(15),
+            },
         );
         self.app[tid].buckets.exec += lat;
         self.sched_advance_app(tid, lat);
@@ -354,7 +375,12 @@ impl<'w> Sim<'w> {
                     // happen at drain time, annotated onto the staged record.
                     // Synthesized stores (unlock, barrier words) may arrive
                     // with a full buffer: retire the head early to make room.
-                    while self.app[tid].sb.as_ref().map(|sb| sb.is_full()).unwrap_or(false) {
+                    while self.app[tid]
+                        .sb
+                        .as_ref()
+                        .map(|sb| sb.is_full())
+                        .unwrap_or(false)
+                    {
                         let head = self.app[tid]
                             .sb
                             .as_mut()
@@ -367,8 +393,7 @@ impl<'w> Sim<'w> {
                     sb.push(rid, mem.addr, u64::from(mem.size), now);
                     1
                 } else if kind == AccessKind::Read
-                    && self
-                        .app[tid]
+                    && self.app[tid]
                         .sb
                         .as_ref()
                         .map(|sb| sb.forwards_would_hit(mem.addr, u64::from(mem.size)))
@@ -382,7 +407,9 @@ impl<'w> Sim<'w> {
                     // becomes a plain read of the now-dirty line. The load
                     // keeps forwarding *timing* (an L1-latency access).
                     self.drain_through(tid, mem.addr, u64::from(mem.size));
-                    let res = self.mem.access(core, rid, mem.addr, u64::from(mem.size), kind);
+                    let res = self
+                        .mem
+                        .access(core, rid, mem.addr, u64::from(mem.size), kind);
                     if let Some(rec) = record.as_mut() {
                         self.capture_touches(tid, rid, &res.touches, rec);
                     }
@@ -391,7 +418,9 @@ impl<'w> Sim<'w> {
                     if kind == AccessKind::Rmw {
                         self.drain_all_stores(tid);
                     }
-                    let res = self.mem.access(core, rid, mem.addr, u64::from(mem.size), kind);
+                    let res = self
+                        .mem
+                        .access(core, rid, mem.addr, u64::from(mem.size), kind);
                     if let Some(rec) = record.as_mut() {
                         self.capture_touches(tid, rid, &res.touches, rec);
                     }
@@ -428,9 +457,7 @@ impl<'w> Sim<'w> {
                 continue;
             }
             let src = ThreadId(touch.remote_core as u16);
-            if let Some(arc) =
-                self.capture.on_touch(ThreadId(tid as u16), rid, src, touch)
-            {
+            if let Some(arc) = self.capture.on_touch(ThreadId(tid as u16), rid, src, touch) {
                 rec.arcs.push(arc);
             }
         }
@@ -439,7 +466,9 @@ impl<'w> Sim<'w> {
     // --- TSO store drains -------------------------------------------------
 
     fn drain_due_stores(&mut self, tid: usize, now: u64) {
-        let Some(sb) = self.app[tid].sb.as_mut() else { return };
+        let Some(sb) = self.app[tid].sb.as_mut() else {
+            return;
+        };
         let drained = sb.drain_ready(now);
         for store in drained {
             self.drain_one_store(tid, store);
@@ -447,7 +476,9 @@ impl<'w> Sim<'w> {
     }
 
     fn drain_all_stores(&mut self, tid: usize) {
-        let Some(sb) = self.app[tid].sb.as_mut() else { return };
+        let Some(sb) = self.app[tid].sb.as_mut() else {
+            return;
+        };
         let drained = sb.drain_all();
         for store in drained {
             self.drain_one_store(tid, store);
@@ -459,8 +490,7 @@ impl<'w> Sim<'w> {
     /// drain).
     fn drain_through(&mut self, tid: usize, addr: u64, size: u64) {
         loop {
-            let still_pending = self
-                .app[tid]
+            let still_pending = self.app[tid]
                 .sb
                 .as_ref()
                 .map(|sb| sb.forwards_would_hit(addr, size))
@@ -468,8 +498,7 @@ impl<'w> Sim<'w> {
             if !still_pending {
                 return;
             }
-            let head = self
-                .app[tid]
+            let head = self.app[tid]
                 .sb
                 .as_mut()
                 .and_then(|sb| sb.force_drain_head())
@@ -482,7 +511,9 @@ impl<'w> Sim<'w> {
     /// version reversal per touch, annotate the staged store record.
     fn drain_one_store(&mut self, tid: usize, store: paralog_sim::PendingStore) {
         let core = self.app[tid].core;
-        let res = self.mem.access(core, store.rid, store.addr, store.size, AccessKind::Write);
+        let res = self
+            .mem
+            .access(core, store.rid, store.addr, store.size, AccessKind::Write);
         // The drained line's timestamp must cover loads that forwarded from
         // this store while it was buffered.
         if store.last_forward > store.rid {
@@ -490,8 +521,9 @@ impl<'w> Sim<'w> {
                 .bump_line_access(core, store.addr, store.size, store.last_forward);
         }
         if self.config.mode == MonitoringMode::Parallel {
-            let mut arcs = Vec::new();
-            let mut produces: Vec<(VersionId, MemRef, u32)> = Vec::new();
+            // Inline lists keep the drain hot path allocation-free.
+            let mut arcs = ArcList::new();
+            let mut produces = ProduceList::new();
             for touch in &res.touches {
                 if touch.remote_core >= self.k {
                     continue;
@@ -529,7 +561,7 @@ impl<'w> Sim<'w> {
                         let versioned =
                             self.annotate_block_readers(reader, touch.block_rid, touch.block);
                         if !versioned.is_empty() {
-                            produces.extend(versioned);
+                            produces.extend(versioned.iter().copied());
                             continue;
                         }
                     }
@@ -567,10 +599,10 @@ impl<'w> Sim<'w> {
         reader: usize,
         last_rid: Rid,
         block: paralog_events::BlockId,
-    ) -> Vec<(VersionId, MemRef, u32)> {
+    ) -> ProduceList {
         let block_range = block.range();
         let reader_tid = ThreadId(reader as u16);
-        let mut produces = Vec::new();
+        let mut produces = ProduceList::new();
         let mut annotate = |r: &mut EventRecord| -> bool {
             if r.rid > last_rid || r.consume_version.is_some() || r.forwarded {
                 // Forwarded loads read their own store's metadata (enforced
@@ -584,7 +616,10 @@ impl<'w> Sim<'w> {
                 },
                 paralog_events::EventPayload::Ca(_) => return false,
             };
-            let vid = VersionId { consumer: reader_tid, consumer_rid: r.rid };
+            let vid = VersionId {
+                consumer: reader_tid,
+                consumer_rid: r.rid,
+            };
             r.consume_version = Some((vid, mem));
             produces.push((vid, mem, 1));
             true
@@ -643,8 +678,7 @@ impl<'w> Sim<'w> {
             .as_ref()
             .and_then(|sb| sb.oldest_rid())
             .unwrap_or(Rid(u64::MAX));
-        loop {
-            let Some(front) = self.app[tid].staging.front() else { break };
+        while let Some(front) = self.app[tid].staging.front() {
             if front.rid >= hold_from {
                 break;
             }
@@ -752,11 +786,14 @@ impl<'w> Sim<'w> {
             self.stage_record(tid, EventRecord::ca(rid, ca));
             return;
         }
-        let ca = self.broadcaster.broadcast(what, phase, range, ThreadId(tid as u16), rid);
+        let ca = self
+            .broadcaster
+            .broadcast(what, phase, range, ThreadId(tid as u16), rid);
         // The issuer serializes: it waits for acknowledgements from every
         // other executing capture unit (§5.4).
-        let participants: Vec<usize> =
-            (0..self.k).filter(|t| !self.app[*t].finished || *t == tid).collect();
+        let participants: Vec<usize> = (0..self.k)
+            .filter(|t| !self.app[*t].finished || *t == tid)
+            .collect();
         self.ca_barrier.expect(ca.seq, participants.len());
         for &t in &participants {
             let trid = if t == tid {

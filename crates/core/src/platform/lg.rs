@@ -24,7 +24,11 @@ impl<'w> Sim<'w> {
             self.sched.finish(entity);
             return;
         }
-        let ring_idx = if self.config.mode == MonitoringMode::Timesliced { 0 } else { li };
+        let ring_idx = if self.config.mode == MonitoringMode::Timesliced {
+            0
+        } else {
+            li
+        };
 
         // Is there a record to look at?
         let Some(head) = self.rings[ring_idx].peek() else {
@@ -81,7 +85,10 @@ impl<'w> Sim<'w> {
                     && self.ca_policy.actions(ca.what, ca.phase).barrier
                 {
                     self.ca_barrier.arrive(ca.seq, ThreadId(li as u16));
-                    if !self.ca_barrier.may_pass(ca.seq, ThreadId(li as u16), ca.issuer) {
+                    if !self
+                        .ca_barrier
+                        .may_pass(ca.seq, ThreadId(li as u16), ca.issuer)
+                    {
                         self.dependence_stall(li, entity);
                         return;
                     }
@@ -178,7 +185,9 @@ impl<'w> Sim<'w> {
             }
         }
         if self.config.mode == MonitoringMode::Parallel {
-            let final_progress = self.app[li].rid.max(self.lgs[li].it.advertisable_progress());
+            let final_progress = self.app[li]
+                .rid
+                .max(self.lgs[li].it.advertisable_progress());
             let cur = self.progress.get(ThreadId(li as u16));
             if final_progress > cur {
                 self.progress.advertise(ThreadId(li as u16), final_progress);
@@ -266,10 +275,14 @@ impl<'w> Sim<'w> {
             EventPayload::Instr(instr) => {
                 // Syscall race detection against the range table (§5.4).
                 if let Some((mem, _)) = instr.mem_access() {
-                    let hit = self.lgs[li].range_table.check(ThreadId(tag as u16), mem.range());
+                    let hit = self.lgs[li]
+                        .range_table
+                        .check(ThreadId(tag as u16), mem.range());
                     if let Some(entry) = hit {
                         let mut ctx = HandlerCtx::new();
-                        self.lgs[li].lg(tag).on_syscall_race(mem.range(), &entry, rid, &mut ctx);
+                        self.lgs[li]
+                            .lg(tag)
+                            .on_syscall_race(mem.range(), &entry, rid, &mut ctx);
                         cycles += charge_ctx(
                             &mut self.lgs[li],
                             &mut self.mem,
@@ -469,6 +482,7 @@ impl<'w> Sim<'w> {
 /// Delivers one metadata op to the lifeguard: dispatch + handler cost,
 /// metadata address computation (M-TLB or two-level walk), handler
 /// execution, metadata cache accesses and slow-path synchronization.
+#[allow(clippy::too_many_arguments)] // mirrors the hardware ports it models
 fn deliver_op(
     lgt: &mut LgThread,
     tag: usize,
@@ -485,7 +499,11 @@ fn deliver_op(
     let mut ctx = HandlerCtx::new();
     if let Some((range, bytes)) = versioned {
         // Only the op reading the versioned location uses the snapshot.
-        if op.mem_src().map(|m| range.overlaps(&m.range())).unwrap_or(false) {
+        if op
+            .mem_src()
+            .map(|m| range.overlaps(&m.range()))
+            .unwrap_or(false)
+        {
             ctx.versioned = Some((*range, bytes.clone()));
         }
     }

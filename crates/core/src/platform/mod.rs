@@ -24,9 +24,7 @@ use paralog_lifeguards::{Lifeguard, LifeguardFamily, LifeguardKind, Violation};
 use paralog_order::{
     CaBarrier, CaBroadcaster, CaPolicy, OrderCapture, OrderEnforcer, ProgressTable, RangeTable,
 };
-use paralog_sim::{
-    BarrierTable, LockTable, MachineConfig, MemorySystem, Scheduler, StoreBuffer,
-};
+use paralog_sim::{BarrierTable, LockTable, MachineConfig, MemorySystem, Scheduler, StoreBuffer};
 use paralog_workloads::Workload;
 use std::collections::VecDeque;
 
@@ -63,7 +61,9 @@ impl Platform {
             sim.warm();
         }
         sim.drive();
-        RunOutcome { metrics: sim.into_metrics() }
+        RunOutcome {
+            metrics: sim.into_metrics(),
+        }
     }
 }
 
@@ -97,7 +97,10 @@ struct AppThread {
     buckets: AppBuckets,
     finished: bool,
     /// Pending syscall continuation (kind/buffer of the in-flight call).
-    syscall_cont: Option<(paralog_events::SyscallKind, Option<paralog_events::AddrRange>)>,
+    syscall_cont: Option<(
+        paralog_events::SyscallKind,
+        Option<paralog_events::AddrRange>,
+    )>,
 }
 
 /// Per-lifeguard-thread simulation state. In timesliced mode there is one
@@ -252,9 +255,10 @@ impl<'w> Sim<'w> {
         let lgs: Vec<LgThread> = (0..lg_count)
             .map(|i| {
                 let (core, instances) = match config.mode {
-                    MonitoringMode::Timesliced => {
-                        (1, (0..k).map(|t| family.thread(ThreadId(t as u16))).collect())
-                    }
+                    MonitoringMode::Timesliced => (
+                        1,
+                        (0..k).map(|t| family.thread(ThreadId(t as u16))).collect(),
+                    ),
                     _ => (k + i, vec![family.thread(ThreadId(i as u16))]),
                 };
                 LgThread {
@@ -277,9 +281,7 @@ impl<'w> Sim<'w> {
         let rings = match config.mode {
             MonitoringMode::None => Vec::new(),
             MonitoringMode::Timesliced => vec![LogRing::new(config.log_capacity)],
-            MonitoringMode::Parallel => {
-                (0..k).map(|_| LogRing::new(config.log_capacity)).collect()
-            }
+            MonitoringMode::Parallel => (0..k).map(|_| LogRing::new(config.log_capacity)).collect(),
         };
 
         let reference = if config.check_equivalence
@@ -311,7 +313,10 @@ impl<'w> Sim<'w> {
             ca_barrier: CaBarrier::new(k),
             versions: paralog_meta::VersionTable::new(),
             reference,
-            metrics: RunMetrics { app_threads: k, ..RunMetrics::default() },
+            metrics: RunMetrics {
+                app_threads: k,
+                ..RunMetrics::default()
+            },
             ts_current: 0,
             ts_quantum_left: app::TS_QUANTUM_OPS,
             ts_outstanding: vec![0; k],
@@ -380,9 +385,14 @@ impl<'w> Sim<'w> {
                 MonitoringMode::Parallel => Some(self.k + tid),
             };
             for op in &self.workload.threads[tid] {
-                let paralog_events::Op::Instr(instr) = op else { continue };
-                let Some((mem, kind)) = instr.mem_access() else { continue };
-                self.mem.warm_access(app_core, mem.addr, u64::from(mem.size), kind);
+                let paralog_events::Op::Instr(instr) = op else {
+                    continue;
+                };
+                let Some((mem, kind)) = instr.mem_access() else {
+                    continue;
+                };
+                self.mem
+                    .warm_access(app_core, mem.addr, u64::from(mem.size), kind);
                 if let Some(lg_core) = lg_core {
                     let meta = paralog_meta::META_BASE + mem.addr * bits / 8;
                     let meta_len = (u64::from(mem.size) * bits).div_ceil(8).max(1);
@@ -420,11 +430,23 @@ impl<'w> Sim<'w> {
                 "lg{i}: finished={} ring_len={} head={:?} progress={}",
                 l.finished,
                 ring.len(),
-                ring.peek().map(|r| (r.rid, r.arcs.clone(), r.consume_version, match &r.payload {
-                    paralog_events::EventPayload::Ca(ca) => format!("CA {} {:?} seq={} issuer={}", ca.what, ca.phase, ca.seq, ca.issuer),
-                    paralog_events::EventPayload::Instr(ins) => format!("{ins}"),
-                })),
-                if i < self.progress.len() { format!("{}", self.progress.get(ThreadId(i as u16))) } else { "-".into() }
+                ring.peek().map(|r| (
+                    r.rid,
+                    r.arcs.clone(),
+                    r.consume_version,
+                    match &r.payload {
+                        paralog_events::EventPayload::Ca(ca) => format!(
+                            "CA {} {:?} seq={} issuer={}",
+                            ca.what, ca.phase, ca.seq, ca.issuer
+                        ),
+                        paralog_events::EventPayload::Instr(ins) => format!("{ins}"),
+                    }
+                )),
+                if i < self.progress.len() {
+                    format!("{}", self.progress.get(ThreadId(i as u16)))
+                } else {
+                    "-".into()
+                }
             );
         }
         out
@@ -472,9 +494,10 @@ impl<'w> Sim<'w> {
         self.metrics.lg_finish = match self.config.mode {
             MonitoringMode::None => 0,
             MonitoringMode::Timesliced => self.sched.clock(1),
-            MonitoringMode::Parallel => {
-                (self.k..2 * self.k).map(|e| self.sched.clock(e)).max().unwrap_or(0)
-            }
+            MonitoringMode::Parallel => (self.k..2 * self.k)
+                .map(|e| self.sched.clock(e))
+                .max()
+                .unwrap_or(0),
         };
         self.metrics.capture = self.capture.stats();
         self.metrics.records = self.rings.iter().map(|r| r.produced()).sum();

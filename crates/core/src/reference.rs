@@ -17,9 +17,7 @@
 //! unordered (non-conflicting) accesses, so equivalent legal schedules may
 //! legitimately differ.
 
-use paralog_events::{
-    AddrRange, HighLevelKind, Instr, MemRef, Rid, SyscallKind, NUM_REGS,
-};
+use paralog_events::{AddrRange, HighLevelKind, Instr, MemRef, Rid, SyscallKind, NUM_REGS};
 use paralog_lifeguards::{Fingerprint, LifeguardKind, TAINTED, UNDEFINED};
 use paralog_meta::ShadowMemory;
 use std::collections::VecDeque;
@@ -63,12 +61,9 @@ impl Reference {
     fn mem_value(&self, tid: usize, src: MemRef) -> u8 {
         if self.tso {
             // Store-to-load forwarding: youngest fully-covering pending store.
-            if let Some((_, _, v)) = self
-                .pending[tid]
-                .iter()
-                .rev()
-                .find(|(_, m, _)| m.addr <= src.addr && src.addr + u64::from(src.size) <= m.addr + u64::from(m.size))
-            {
+            if let Some((_, _, v)) = self.pending[tid].iter().rev().find(|(_, m, _)| {
+                m.addr <= src.addr && src.addr + u64::from(src.size) <= m.addr + u64::from(m.size)
+            }) {
                 return *v;
             }
         }
@@ -105,12 +100,10 @@ impl Reference {
             }
             Instr::MovRI { dst } => self.regs[tid][dst.index()] = 0,
             Instr::Alu2 { dst, a, b } => {
-                self.regs[tid][dst.index()] =
-                    self.regs[tid][a.index()] | self.regs[tid][b.index()];
+                self.regs[tid][dst.index()] = self.regs[tid][a.index()] | self.regs[tid][b.index()];
             }
             Instr::AluMem { dst, a, src } => {
-                self.regs[tid][dst.index()] =
-                    self.regs[tid][a.index()] | self.mem_value(tid, src);
+                self.regs[tid][dst.index()] = self.regs[tid][a.index()] | self.mem_value(tid, src);
             }
             Instr::JmpReg { .. } | Instr::Nop => {}
             Instr::Rmw { mem, reg } => {
@@ -219,8 +212,22 @@ mod tests {
             paralog_events::CaPhase::End,
             Some(AddrRange::new(0x100, 8)),
         );
-        rf.on_instr(0, Rid(1), &Instr::Load { dst: r(0), src: MemRef::new(0x100, 4) });
-        rf.on_instr(0, Rid(2), &Instr::Store { dst: MemRef::new(0x200, 4), src: r(0) });
+        rf.on_instr(
+            0,
+            Rid(1),
+            &Instr::Load {
+                dst: r(0),
+                src: MemRef::new(0x100, 4),
+            },
+        );
+        rf.on_instr(
+            0,
+            Rid(2),
+            &Instr::Store {
+                dst: MemRef::new(0x200, 4),
+                src: r(0),
+            },
+        );
         assert_eq!(rf.mem.join_range(AddrRange::new(0x200, 4)), TAINTED);
     }
 
@@ -228,13 +235,41 @@ mod tests {
     fn tso_store_defers_until_drain() {
         let mut rf = Reference::new(LifeguardKind::TaintCheck, 2, true);
         rf.mem.set_range(AddrRange::new(0x100, 4), TAINTED);
-        rf.on_instr(0, Rid(1), &Instr::Load { dst: r(0), src: MemRef::new(0x100, 4) });
-        rf.on_instr(0, Rid(2), &Instr::Store { dst: MemRef::new(0x200, 4), src: r(0) });
+        rf.on_instr(
+            0,
+            Rid(1),
+            &Instr::Load {
+                dst: r(0),
+                src: MemRef::new(0x100, 4),
+            },
+        );
+        rf.on_instr(
+            0,
+            Rid(2),
+            &Instr::Store {
+                dst: MemRef::new(0x200, 4),
+                src: r(0),
+            },
+        );
         // Thread 1 reads before the drain: old (clean) metadata.
-        rf.on_instr(1, Rid(1), &Instr::Load { dst: r(1), src: MemRef::new(0x200, 4) });
+        rf.on_instr(
+            1,
+            Rid(1),
+            &Instr::Load {
+                dst: r(1),
+                src: MemRef::new(0x200, 4),
+            },
+        );
         assert_eq!(rf.regs[1][1], 0);
         rf.on_store_drain(0, Rid(2));
-        rf.on_instr(1, Rid(2), &Instr::Load { dst: r(1), src: MemRef::new(0x200, 4) });
+        rf.on_instr(
+            1,
+            Rid(2),
+            &Instr::Load {
+                dst: r(1),
+                src: MemRef::new(0x200, 4),
+            },
+        );
         assert_eq!(rf.regs[1][1], TAINTED);
     }
 
@@ -242,23 +277,62 @@ mod tests {
     fn tso_forwarding_sees_own_pending_store() {
         let mut rf = Reference::new(LifeguardKind::TaintCheck, 1, true);
         rf.mem.set_range(AddrRange::new(0x100, 4), TAINTED);
-        rf.on_instr(0, Rid(1), &Instr::Load { dst: r(0), src: MemRef::new(0x100, 4) });
-        rf.on_instr(0, Rid(2), &Instr::Store { dst: MemRef::new(0x200, 4), src: r(0) });
+        rf.on_instr(
+            0,
+            Rid(1),
+            &Instr::Load {
+                dst: r(0),
+                src: MemRef::new(0x100, 4),
+            },
+        );
+        rf.on_instr(
+            0,
+            Rid(2),
+            &Instr::Store {
+                dst: MemRef::new(0x200, 4),
+                src: r(0),
+            },
+        );
         // Load of own pending store forwards the tainted value.
-        rf.on_instr(0, Rid(3), &Instr::Load { dst: r(2), src: MemRef::new(0x200, 4) });
-        assert_eq!(rf.regs[0][2], TAINTED, "forwarded load takes pending metadata");
+        rf.on_instr(
+            0,
+            Rid(3),
+            &Instr::Load {
+                dst: r(2),
+                src: MemRef::new(0x200, 4),
+            },
+        );
+        assert_eq!(
+            rf.regs[0][2], TAINTED,
+            "forwarded load takes pending metadata"
+        );
     }
 
     #[test]
     fn addrcheck_reference_tracks_allocation_only() {
         let mut rf = Reference::new(LifeguardKind::AddrCheck, 1, false);
         let range = AddrRange::new(0x1000, 64);
-        rf.on_high_level(HighLevelKind::Malloc, paralog_events::CaPhase::End, Some(range));
+        rf.on_high_level(
+            HighLevelKind::Malloc,
+            paralog_events::CaPhase::End,
+            Some(range),
+        );
         let before = rf.fingerprint();
         // Instructions do not change AddrCheck metadata.
-        rf.on_instr(0, Rid(1), &Instr::Store { dst: MemRef::new(0x1000, 4), src: r(0) });
+        rf.on_instr(
+            0,
+            Rid(1),
+            &Instr::Store {
+                dst: MemRef::new(0x1000, 4),
+                src: r(0),
+            },
+        );
         assert_eq!(rf.fingerprint(), before);
-        rf.on_high_level(HighLevelKind::Free, paralog_events::CaPhase::Begin, Some(range));
+        rf.on_high_level(
+            HighLevelKind::Free,
+            paralog_events::CaPhase::Begin,
+            Some(range),
+        );
         assert_ne!(rf.fingerprint(), before);
     }
 

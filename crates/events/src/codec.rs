@@ -236,7 +236,11 @@ pub fn encode(records: &[EventRecord]) -> Vec<u8> {
 ///
 /// Returns [`DecodeError`] on truncated or corrupt input.
 pub fn decode(bytes: &[u8]) -> Result<Vec<EventRecord>, DecodeError> {
-    let mut d = Decoder { bytes, pos: 0, last_addr: 0 };
+    let mut d = Decoder {
+        bytes,
+        pos: 0,
+        last_addr: 0,
+    };
     let mut out = Vec::new();
     if bytes.is_empty() {
         return Ok(out);
@@ -262,7 +266,10 @@ impl<'a> Decoder<'a> {
     }
 
     fn read_byte(&mut self, what: &'static str) -> Result<u8, DecodeError> {
-        let b = *self.bytes.get(self.pos).ok_or(DecodeError { at: self.pos, what })?;
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(DecodeError { at: self.pos, what })?;
         self.pos += 1;
         Ok(b)
     }
@@ -313,15 +320,16 @@ impl<'a> Decoder<'a> {
         let mut rec = EventRecord {
             rid,
             payload,
-            arcs: Vec::new(),
-            produce_versions: Vec::new(),
+            arcs: crate::record::ArcList::new(),
+            produce_versions: crate::record::ProduceList::new(),
             consume_version: None,
             forwarded: flags & FLAG_FORWARDED != 0,
         };
         if flags & FLAG_ARCS != 0 {
             let n = self.read_uvarint("arc count")?;
             for _ in 0..n {
-                let kind = decode_arc_kind(self.read_byte("arc kind")?).ok_or(self.err("bad arc"))?;
+                let kind =
+                    decode_arc_kind(self.read_byte("arc kind")?).ok_or(self.err("bad arc"))?;
                 let src = ThreadId(self.read_uvarint("arc src")? as u16);
                 let src_rid = Rid(self.read_uvarint("arc rid")?);
                 rec.arcs.push(DependenceArc::new(src, src_rid, kind));
@@ -347,24 +355,37 @@ impl<'a> Decoder<'a> {
     fn read_version(&mut self) -> Result<VersionId, DecodeError> {
         let consumer = ThreadId(self.read_uvarint("version tid")? as u16);
         let consumer_rid = Rid(self.read_uvarint("version rid")?);
-        Ok(VersionId { consumer, consumer_rid })
+        Ok(VersionId {
+            consumer,
+            consumer_rid,
+        })
     }
 
     fn read_instr(&mut self, opcode: u8) -> Result<Instr, DecodeError> {
         Ok(match opcode {
             OP_LOAD => {
-                let (reg, size) = unpack_reg_size(self.read_byte("reg")?).ok_or(self.err("bad reg"))?;
-                Instr::Load { dst: reg, src: MemRef::new(self.read_addr()?, size) }
+                let (reg, size) =
+                    unpack_reg_size(self.read_byte("reg")?).ok_or(self.err("bad reg"))?;
+                Instr::Load {
+                    dst: reg,
+                    src: MemRef::new(self.read_addr()?, size),
+                }
             }
             OP_STORE => {
-                let (reg, size) = unpack_reg_size(self.read_byte("reg")?).ok_or(self.err("bad reg"))?;
-                Instr::Store { dst: MemRef::new(self.read_addr()?, size), src: reg }
+                let (reg, size) =
+                    unpack_reg_size(self.read_byte("reg")?).ok_or(self.err("bad reg"))?;
+                Instr::Store {
+                    dst: MemRef::new(self.read_addr()?, size),
+                    src: reg,
+                }
             }
             OP_MOV_RR => {
                 let (dst, src) = unpack_regs(self.read_byte("regs")?);
                 Instr::MovRR { dst, src }
             }
-            OP_MOV_RI => Instr::MovRI { dst: Reg(self.read_byte("reg")?) },
+            OP_MOV_RI => Instr::MovRI {
+                dst: Reg(self.read_byte("reg")?),
+            },
             OP_ALU1 => {
                 let (dst, a) = unpack_regs(self.read_byte("regs")?);
                 Instr::Alu1 { dst, a }
@@ -377,12 +398,22 @@ impl<'a> Decoder<'a> {
             OP_ALU_MEM => {
                 let (dst, a) = unpack_regs(self.read_byte("regs")?);
                 let size = decode_size(self.read_byte("size")?).ok_or(self.err("bad size"))?;
-                Instr::AluMem { dst, a, src: MemRef::new(self.read_addr()?, size) }
+                Instr::AluMem {
+                    dst,
+                    a,
+                    src: MemRef::new(self.read_addr()?, size),
+                }
             }
-            OP_JMP => Instr::JmpReg { target: Reg(self.read_byte("reg")?) },
+            OP_JMP => Instr::JmpReg {
+                target: Reg(self.read_byte("reg")?),
+            },
             OP_RMW => {
-                let (reg, size) = unpack_reg_size(self.read_byte("reg")?).ok_or(self.err("bad reg"))?;
-                Instr::Rmw { mem: MemRef::new(self.read_addr()?, size), reg }
+                let (reg, size) =
+                    unpack_reg_size(self.read_byte("reg")?).ok_or(self.err("bad reg"))?;
+                Instr::Rmw {
+                    mem: MemRef::new(self.read_addr()?, size),
+                    reg,
+                }
             }
             OP_NOP => Instr::Nop,
             _ => return Err(self.err("unknown opcode")),
@@ -392,11 +423,19 @@ impl<'a> Decoder<'a> {
     fn read_ca(&mut self) -> Result<CaRecord, DecodeError> {
         let tag = self.read_byte("ca tag")?;
         let code = tag >> 2;
-        let needs_payload = matches!(code, 5 | 6 | 7);
-        let payload = if needs_payload { Some(self.read_uvarint("ca payload")?) } else { None };
+        let needs_payload = matches!(code, 5..=7);
+        let payload = if needs_payload {
+            Some(self.read_uvarint("ca payload")?)
+        } else {
+            None
+        };
         let err = self.err("bad CA kind");
         let what = decode_high_level(code, move || Ok(payload.unwrap_or(0)))?.ok_or(err)?;
-        let phase = if tag & 0b01 != 0 { CaPhase::End } else { CaPhase::Begin };
+        let phase = if tag & 0b01 != 0 {
+            CaPhase::End
+        } else {
+            CaPhase::Begin
+        };
         let has_range = tag & 0b10 != 0;
         let issuer = ThreadId(self.read_uvarint("ca issuer")? as u16);
         let issuer_rid = Rid(self.read_uvarint("ca issuer rid")?);
@@ -408,7 +447,14 @@ impl<'a> Decoder<'a> {
         } else {
             None
         };
-        Ok(CaRecord { what, phase, range, issuer, issuer_rid, seq })
+        Ok(CaRecord {
+            what,
+            phase,
+            range,
+            issuer,
+            issuer_rid,
+            seq,
+        })
     }
 }
 
@@ -479,7 +525,10 @@ fn high_level_code(h: HighLevelKind) -> (u8, Option<u64>) {
     }
 }
 
-fn decode_high_level(b: u8, payload: impl FnOnce() -> Result<u64, DecodeError>) -> Result<Option<HighLevelKind>, DecodeError> {
+fn decode_high_level(
+    b: u8,
+    payload: impl FnOnce() -> Result<u64, DecodeError>,
+) -> Result<Option<HighLevelKind>, DecodeError> {
     Ok(match b {
         0 => Some(HighLevelKind::Malloc),
         1 => Some(HighLevelKind::Free),
@@ -488,7 +537,9 @@ fn decode_high_level(b: u8, payload: impl FnOnce() -> Result<u64, DecodeError>) 
         4 => Some(HighLevelKind::Syscall(SyscallKind::Other)),
         5 => Some(HighLevelKind::Lock(crate::isa::LockId(payload()? as u32))),
         6 => Some(HighLevelKind::Unlock(crate::isa::LockId(payload()? as u32))),
-        7 => Some(HighLevelKind::Barrier(crate::isa::BarrierId(payload()? as u32))),
+        7 => Some(HighLevelKind::Barrier(crate::isa::BarrierId(
+            payload()? as u32
+        ))),
         _ => None,
     })
 }
@@ -538,7 +589,11 @@ mod tests {
         for v in [0u64, 1, 127, 128, 300, u64::MAX] {
             out.clear();
             write_uvarint(&mut out, v);
-            let mut d = Decoder { bytes: &out, pos: 0, last_addr: 0 };
+            let mut d = Decoder {
+                bytes: &out,
+                pos: 0,
+                last_addr: 0,
+            };
             assert_eq!(d.read_uvarint("t").unwrap(), v);
         }
     }
@@ -548,7 +603,14 @@ mod tests {
         let n = MemRef::new(0x1004, 4);
         let mut recs = vec![
             EventRecord::instr(Rid(1), Instr::Load { dst: r(0), src: m }),
-            EventRecord::instr(Rid(2), Instr::Alu2 { dst: r(1), a: r(0), b: r(2) }),
+            EventRecord::instr(
+                Rid(2),
+                Instr::Alu2 {
+                    dst: r(1),
+                    a: r(0),
+                    b: r(2),
+                },
+            ),
             EventRecord::instr(Rid(3), Instr::Store { dst: n, src: r(1) }),
             EventRecord::instr(Rid(4), Instr::JmpReg { target: r(1) }),
             EventRecord::ca(
@@ -563,14 +625,24 @@ mod tests {
                 },
             ),
         ];
-        recs[2].arcs.push(DependenceArc::new(ThreadId(1), Rid(9), ArcKind::Raw));
-        recs[2].arcs.push(DependenceArc::new(ThreadId(2), Rid(4), ArcKind::War));
+        recs[2]
+            .arcs
+            .push(DependenceArc::new(ThreadId(1), Rid(9), ArcKind::Raw));
+        recs[2]
+            .arcs
+            .push(DependenceArc::new(ThreadId(2), Rid(4), ArcKind::War));
         recs[0].consume_version = Some((
-            VersionId { consumer: ThreadId(0), consumer_rid: Rid(1) },
+            VersionId {
+                consumer: ThreadId(0),
+                consumer_rid: Rid(1),
+            },
             m,
         ));
         recs[3].produce_versions.push((
-            VersionId { consumer: ThreadId(2), consumer_rid: Rid(42) },
+            VersionId {
+                consumer: ThreadId(2),
+                consumer_rid: Rid(42),
+            },
             n,
             2,
         ));
@@ -598,12 +670,18 @@ mod tests {
         for i in 0..1000u64 {
             recs.push(EventRecord::instr(
                 Rid(i + 1),
-                Instr::Load { dst: r(0), src: MemRef::new(0x10000 + i * 4, 4) },
+                Instr::Load {
+                    dst: r(0),
+                    src: MemRef::new(0x10000 + i * 4, 4),
+                },
             ));
         }
         let bytes = encode(&recs);
         let per_record = bytes.len() as f64 / recs.len() as f64;
-        assert!(per_record < 3.5, "expected compact encoding, got {per_record}");
+        assert!(
+            per_record < 3.5,
+            "expected compact encoding, got {per_record}"
+        );
         assert_eq!(decode(&bytes).unwrap(), recs);
     }
 

@@ -1,0 +1,250 @@
+//! A hand-rolled inline small-vector for the event-capture hot path.
+//!
+//! Every retired instruction materializes an [`EventRecord`]; with `Vec`
+//! fields, each record that carries even one dependence arc or TSO
+//! annotation costs a heap allocation on the capture path and another on
+//! clone-to-ring delivery. [`InlineVec`] stores up to `N` elements inline
+//! (the overwhelmingly common case is zero or one arc per record) and only
+//! spills to the heap beyond that, making the common capture/deliver cycle
+//! allocation-free.
+//!
+//! The element type must be `Copy`: events are plain-old-data and the
+//! inline buffer is `MaybeUninit`-backed, so copyability keeps the type
+//! free of drop obligations.
+//!
+//! [`EventRecord`]: crate::record::EventRecord
+
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ops::Deref;
+
+/// A small-vector holding up to `N` elements inline before spilling.
+pub struct InlineVec<T: Copy, const N: usize> {
+    /// Inline storage; the first `len` slots are initialized iff `spill`
+    /// is empty.
+    inline: [MaybeUninit<T>; N],
+    /// Initialized prefix length of `inline` (unused once spilled).
+    len: u8,
+    /// Heap storage holding *all* elements once length exceeds `N`.
+    spill: Vec<T>,
+}
+
+impl<T: Copy, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub const fn new() -> Self {
+        assert!(
+            N > 0 && N <= u8::MAX as usize,
+            "inline capacity out of range"
+        );
+        InlineVec {
+            inline: [const { MaybeUninit::uninit() }; N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        if self.spilled() {
+            self.spill.len()
+        } else {
+            self.len as usize
+        }
+    }
+
+    /// Whether the vector holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether elements currently live on the heap (diagnostic aid).
+    pub fn is_spilled(&self) -> bool {
+        self.spilled()
+    }
+
+    /// All elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled() {
+            &self.spill
+        } else {
+            // SAFETY: the first `len` inline slots are initialized (struct
+            // invariant) and `MaybeUninit<T>` has `T`'s layout.
+            unsafe {
+                std::slice::from_raw_parts(self.inline.as_ptr() as *const T, self.len as usize)
+            }
+        }
+    }
+
+    /// Appends an element, spilling to the heap past `N`.
+    pub fn push(&mut self, value: T) {
+        if self.spilled() {
+            self.spill.push(value);
+            return;
+        }
+        let len = self.len as usize;
+        if len < N {
+            self.inline[len] = MaybeUninit::new(value);
+            self.len += 1;
+            return;
+        }
+        // First spill: move the inline prefix to the heap, reusing any
+        // capacity a previous `clear` retained.
+        self.spill.reserve(N * 2);
+        for slot in &self.inline[..N] {
+            // SAFETY: `len == N` here, so every inline slot is initialized.
+            self.spill.push(unsafe { slot.assume_init_read() });
+        }
+        self.spill.push(value);
+        self.len = 0;
+    }
+
+    /// Drops all elements (retains any heap capacity already paid for).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Iterates the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy, const N: usize> Clone for InlineVec<T, N> {
+    fn clone(&self) -> Self {
+        let mut out = InlineVec::new();
+        for &v in self.as_slice() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<T: Copy, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Copy, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = InlineVec::new();
+        out.extend(iter);
+        out
+    }
+}
+
+impl<T: Copy, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl<'a, T: Copy, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        assert!(!v.is_spilled(), "fits inline");
+        assert_eq!(v.as_slice(), &[1, 2]);
+        v.push(3);
+        assert!(v.is_spilled(), "third element exceeds inline capacity");
+        assert_eq!(v.as_slice(), &[1, 2, 3]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn clone_eq_and_debug() {
+        let mut a: InlineVec<u8, 2> = InlineVec::new();
+        a.extend([5, 6, 7]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "[5, 6, 7]");
+        let c: InlineVec<u8, 2> = [5, 6].into_iter().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_vec_and_deref() {
+        let v: InlineVec<u8, 2> = vec![9, 8].into();
+        assert!(!v.is_spilled());
+        // Deref coercion to slice APIs.
+        assert_eq!(v.first(), Some(&9));
+        assert_eq!(v.iter().copied().max(), Some(9));
+        let w: InlineVec<u8, 2> = vec![1, 2, 3, 4].into();
+        assert!(w.is_spilled());
+        assert_eq!(&w[..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_resets_both_tiers() {
+        let mut v: InlineVec<u8, 1> = InlineVec::new();
+        v.push(1);
+        v.clear();
+        assert!(v.is_empty());
+        v.extend([1, 2, 3]);
+        assert!(v.is_spilled());
+        v.clear();
+        assert!(v.is_empty());
+        v.push(9);
+        assert_eq!(v.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn iterate_by_reference() {
+        let mut v: InlineVec<u16, 2> = InlineVec::new();
+        v.extend([10, 20]);
+        let sum: u16 = (&v).into_iter().sum();
+        assert_eq!(sum, 30);
+    }
+}

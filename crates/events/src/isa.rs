@@ -239,7 +239,10 @@ pub enum Op {
     /// All-thread barrier.
     Barrier { barrier: BarrierId },
     /// System call, optionally touching a user buffer.
-    Syscall { kind: SyscallKind, buf: Option<AddrRange> },
+    Syscall {
+        kind: SyscallKind,
+        buf: Option<AddrRange>,
+    },
 }
 
 impl Op {
@@ -291,7 +294,11 @@ mod tests {
     #[test]
     fn dataflow_shape() {
         let m = MemRef::new(0x40, 8);
-        let alu = Instr::Alu2 { dst: r(2), a: r(0), b: r(1) };
+        let alu = Instr::Alu2 {
+            dst: r(2),
+            a: r(0),
+            b: r(1),
+        };
         assert_eq!(alu.dst_reg(), Some(r(2)));
         assert_eq!(alu.src_regs(), [Some(r(0)), Some(r(1))]);
         let st = Instr::Store { dst: m, src: r(3) };
@@ -302,9 +309,16 @@ mod tests {
 
     #[test]
     fn high_level_classification() {
-        assert!(Op::Malloc { range: AddrRange::new(0, 8) }.is_high_level());
+        assert!(Op::Malloc {
+            range: AddrRange::new(0, 8)
+        }
+        .is_high_level());
         assert!(!Op::Instr(Instr::Nop).is_high_level());
-        assert!(Op::Syscall { kind: SyscallKind::Other, buf: None }.is_high_level());
+        assert!(Op::Syscall {
+            kind: SyscallKind::Other,
+            buf: None
+        }
+        .is_high_level());
     }
 
     #[test]

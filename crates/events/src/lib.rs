@@ -31,18 +31,18 @@
 
 pub mod arc;
 pub mod codec;
+pub mod inline;
 pub mod isa;
 pub mod record;
 pub mod ring;
 pub mod types;
 
 pub use arc::{ArcKind, DependenceArc};
-pub use isa::{
-    AccessKind, BarrierId, Instr, LockId, MemRef, Op, Reg, SyscallKind, NUM_REGS,
-};
+pub use inline::InlineVec;
+pub use isa::{AccessKind, BarrierId, Instr, LockId, MemRef, Op, Reg, SyscallKind, NUM_REGS};
 pub use record::{
-    check_view, dataflow_view, CaPhase, CaRecord, EventPayload, EventRecord, HighLevelKind,
-    MetaOp, VersionId,
+    check_view, dataflow_view, ArcList, CaPhase, CaRecord, EventPayload, EventRecord,
+    HighLevelKind, MetaOp, ProduceList, VersionId,
 };
 pub use ring::{LogRing, DEFAULT_CAPACITY};
 pub use types::{blocks_of, Addr, AddrRange, BlockId, Rid, ThreadId, LINE_BYTES};

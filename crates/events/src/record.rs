@@ -9,9 +9,18 @@
 //! filtered or coalesced events).
 
 use crate::arc::DependenceArc;
+use crate::inline::InlineVec;
 use crate::isa::{AccessKind, Instr, MemRef, Reg, SyscallKind};
 use crate::types::{AddrRange, Rid, ThreadId};
 use std::fmt;
+
+/// Inline-capacity arc list: most records carry zero arcs, contended ones
+/// one or two; more spills to the heap.
+pub type ArcList = InlineVec<DependenceArc, 2>;
+
+/// Inline-capacity produce-version list (one entry per SC-violating remote
+/// reader — almost always zero or one).
+pub type ProduceList = InlineVec<(VersionId, MemRef, u32), 1>;
 
 /// Identifier of a TSO metadata version: the paper combines the *consumer*
 /// thread's id with its current event record id (§5.5).
@@ -125,11 +134,13 @@ pub struct EventRecord {
     /// What happened.
     pub payload: EventPayload,
     /// Inter-thread dependence arcs that must be satisfied before delivery.
-    pub arcs: Vec<DependenceArc>,
+    /// Inline up to two arcs, so capturing the common case never allocates.
+    pub arcs: ArcList,
     /// TSO annotation: versions this record's lifeguard must *produce*
     /// (copy current metadata) before processing the record, together with
-    /// the number of reader records that will consume each (§5.5).
-    pub produce_versions: Vec<(VersionId, MemRef, u32)>,
+    /// the number of reader records that will consume each (§5.5). Inline
+    /// one entry, so annotation of the common case never allocates.
+    pub produce_versions: ProduceList,
     /// TSO annotation: version this record's lifeguard must *consume*
     /// (read versioned metadata instead of current) when processing.
     pub consume_version: Option<(VersionId, MemRef)>,
@@ -145,8 +156,8 @@ impl EventRecord {
         EventRecord {
             rid,
             payload: EventPayload::Instr(instr),
-            arcs: Vec::new(),
-            produce_versions: Vec::new(),
+            arcs: ArcList::new(),
+            produce_versions: ProduceList::new(),
             consume_version: None,
             forwarded: false,
         }
@@ -157,8 +168,8 @@ impl EventRecord {
         EventRecord {
             rid,
             payload: EventPayload::Ca(ca),
-            arcs: Vec::new(),
-            produce_versions: Vec::new(),
+            arcs: ArcList::new(),
+            produce_versions: ProduceList::new(),
             consume_version: None,
             forwarded: false,
         }
@@ -301,7 +312,11 @@ mod tests {
             Some(MetaOp::MemToReg { .. })
         ));
         assert!(matches!(
-            dataflow_view(&Instr::Alu2 { dst: r(0), a: r(1), b: r(2) }),
+            dataflow_view(&Instr::Alu2 {
+                dst: r(0),
+                a: r(1),
+                b: r(2)
+            }),
             Some(MetaOp::AluRR { b: Some(_), .. })
         ));
         assert!(matches!(
@@ -316,11 +331,17 @@ mod tests {
         let m = MemRef::new(0x80, 4);
         assert!(matches!(
             check_view(&Instr::Load { dst: r(0), src: m }),
-            Some(MetaOp::CheckAccess { kind: AccessKind::Read, .. })
+            Some(MetaOp::CheckAccess {
+                kind: AccessKind::Read,
+                ..
+            })
         ));
         assert!(matches!(
             check_view(&Instr::Store { dst: m, src: r(0) }),
-            Some(MetaOp::CheckAccess { kind: AccessKind::Write, .. })
+            Some(MetaOp::CheckAccess {
+                kind: AccessKind::Write,
+                ..
+            })
         ));
         assert_eq!(check_view(&Instr::MovRI { dst: r(0) }), None);
     }
@@ -337,7 +358,10 @@ mod tests {
 
     #[test]
     fn version_id_display() {
-        let v = VersionId { consumer: ThreadId(0), consumer_rid: Rid(2) };
+        let v = VersionId {
+            consumer: ThreadId(0),
+            consumer_rid: Rid(2),
+        };
         assert_eq!(v.to_string(), "v<T0,#2>");
     }
 }

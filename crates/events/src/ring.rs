@@ -112,12 +112,23 @@ impl LogRing {
     ///
     /// Returns the record back if the ring is full; the caller (the
     /// application core) must stall and retry.
+    // The "large" Err payload is the point: full rings hand the record
+    // back to the producer without boxing it onto the heap.
+    #[allow(clippy::result_large_err)]
     pub fn push(&mut self, record: EventRecord) -> Result<(), EventRecord> {
+        // Closed-ness is checked before capacity: a push-after-close on a
+        // full ring is a producer bug, not a backpressure event, and must
+        // not be miscounted as a `full_rejection`.
+        debug_assert!(!self.closed, "push after close");
+        if self.closed {
+            // Release builds (assert compiled out): refuse the record
+            // without polluting the backpressure accounting.
+            return Err(record);
+        }
         if self.is_full() {
             self.full_rejections += 1;
             return Err(record);
         }
-        debug_assert!(!self.closed, "push after close");
         self.buf.push_back(record);
         self.produced += 1;
         Ok(())
@@ -267,7 +278,10 @@ mod tests {
         for i in 1..=4 {
             ring.push(rec(i)).unwrap();
         }
-        let v = VersionId { consumer: ThreadId(0), consumer_rid: Rid(3) };
+        let v = VersionId {
+            consumer: ThreadId(0),
+            consumer_rid: Rid(3),
+        };
         let m = MemRef::new(0x40, 4);
         assert!(ring.annotate(Rid(3), |r| r.consume_version = Some((v, m))));
         ring.pop();
@@ -296,7 +310,10 @@ mod tests {
         ring.push(rec(3)).unwrap();
         assert!(ring.annotate(Rid(3), |r| {
             r.produce_versions.push((
-                VersionId { consumer: ThreadId(1), consumer_rid: Rid(3) },
+                VersionId {
+                    consumer: ThreadId(1),
+                    consumer_rid: Rid(3),
+                },
                 MemRef::new(0, 4),
                 1,
             ));
@@ -307,5 +324,29 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         let _ = LogRing::new(0);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn push_after_close_refused_without_rejection_count() {
+        // Release builds compile the assert out; the ring must still
+        // refuse the record without polluting backpressure accounting.
+        let mut ring = LogRing::new(1);
+        ring.push(rec(1)).unwrap();
+        ring.close();
+        assert!(ring.push(rec(2)).is_err());
+        assert_eq!(ring.full_rejections(), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "push after close")]
+    fn push_after_close_asserts_even_when_full() {
+        let mut ring = LogRing::new(1);
+        ring.push(rec(1)).unwrap();
+        ring.close();
+        // A closed full ring is a producer bug — the closed check must win
+        // over (and not be miscounted as) a full rejection.
+        let _ = ring.push(rec(2));
     }
 }

@@ -166,7 +166,11 @@ impl fmt::Display for BlockId {
 /// aligned, ≤8-byte accesses produced by the ISA).
 pub fn blocks_of(addr: Addr, size: u64) -> impl Iterator<Item = BlockId> {
     let first = addr / LINE_BYTES;
-    let last = if size == 0 { first } else { (addr + size - 1) / LINE_BYTES };
+    let last = if size == 0 {
+        first
+    } else {
+        (addr + size - 1) / LINE_BYTES
+    };
     (first..=last).map(BlockId)
 }
 

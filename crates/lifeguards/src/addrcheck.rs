@@ -36,7 +36,10 @@ pub struct AddrShared {
 impl AddrShared {
     /// Fresh state for a heap at `heap`.
     pub fn new(heap: AddrRange) -> Rc<RefCell<Self>> {
-        Rc::new(RefCell::new(AddrShared { alloc: ShadowMemory::new(1), heap }))
+        Rc::new(RefCell::new(AddrShared {
+            alloc: ShadowMemory::new(1),
+            heap,
+        }))
     }
 }
 
@@ -84,9 +87,9 @@ impl Lifeguard for AddrCheck {
             return;
         }
         ctx.touch_read(shared.alloc.meta_footprint(mem.addr, mem.size as u64));
-        // Every byte of the access must be inside a live allocation.
-        let all_allocated = (mem.addr..mem.addr + mem.size as u64)
-            .all(|a| shared.alloc.get(a) == ALLOCATED);
+        // Every byte of the access must be inside a live allocation —
+        // one word-wise pattern compare instead of a per-byte walk.
+        let all_allocated = shared.alloc.eq_range(mem.range(), ALLOCATED);
         if !all_allocated {
             ctx.report(Violation {
                 tid: self.tid,
@@ -146,7 +149,10 @@ mod tests {
     use super::*;
     use paralog_events::{AccessKind, MemRef};
 
-    const HEAP: AddrRange = AddrRange { start: 0x1000_0000, len: 0x1000_0000 };
+    const HEAP: AddrRange = AddrRange {
+        start: 0x1000_0000,
+        len: 0x1000_0000,
+    };
 
     fn setup() -> (Rc<RefCell<AddrShared>>, AddrCheck) {
         let shared = AddrShared::new(HEAP);
@@ -177,7 +183,10 @@ mod tests {
     }
 
     fn check(addr: u64) -> MetaOp {
-        MetaOp::CheckAccess { mem: MemRef::new(addr, 4), kind: AccessKind::Read }
+        MetaOp::CheckAccess {
+            mem: MemRef::new(addr, 4),
+            kind: AccessKind::Read,
+        }
     }
 
     #[test]
@@ -242,7 +251,9 @@ mod tests {
         let (_shared, mut lg) = setup();
         let mut ctx = HandlerCtx::new();
         lg.handle(
-            &MetaOp::ImmToReg { dst: paralog_events::Reg::new(0) },
+            &MetaOp::ImmToReg {
+                dst: paralog_events::Reg::new(0),
+            },
             Rid(1),
             &mut ctx,
         );

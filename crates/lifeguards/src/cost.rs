@@ -99,9 +99,18 @@ mod tests {
     fn op_costs_are_positive_and_distinguish_classes() {
         let c = CostModel::calibrated();
         let m = MemRef::new(0x100, 4);
-        let check = c.op_cost(&MetaOp::CheckAccess { mem: m, kind: AccessKind::Read });
-        let prop = c.op_cost(&MetaOp::MemToReg { dst: Reg::new(0), src: m });
-        let copy = c.op_cost(&MetaOp::MemToMem { dst: m, src: MemRef::new(0x200, 4) });
+        let check = c.op_cost(&MetaOp::CheckAccess {
+            mem: m,
+            kind: AccessKind::Read,
+        });
+        let prop = c.op_cost(&MetaOp::MemToReg {
+            dst: Reg::new(0),
+            src: m,
+        });
+        let copy = c.op_cost(&MetaOp::MemToMem {
+            dst: m,
+            src: MemRef::new(0x200, 4),
+        });
         assert!(check > 0 && prop > 0);
         assert!(copy > prop, "coalesced copies touch two locations");
     }
@@ -110,10 +119,22 @@ mod tests {
     fn addr_computations_count_operands() {
         let c = CostModel::calibrated();
         let m = MemRef::new(0x100, 4);
-        assert_eq!(c.addr_computations(&MetaOp::ImmToReg { dst: Reg::new(0) }), 0);
-        assert_eq!(c.addr_computations(&MetaOp::MemToReg { dst: Reg::new(0), src: m }), 1);
         assert_eq!(
-            c.addr_computations(&MetaOp::MemToMem { dst: m, src: MemRef::new(0x200, 4) }),
+            c.addr_computations(&MetaOp::ImmToReg { dst: Reg::new(0) }),
+            0
+        );
+        assert_eq!(
+            c.addr_computations(&MetaOp::MemToReg {
+                dst: Reg::new(0),
+                src: m
+            }),
+            1
+        );
+        assert_eq!(
+            c.addr_computations(&MetaOp::MemToMem {
+                dst: m,
+                src: MemRef::new(0x200, 4)
+            }),
             2
         );
     }
@@ -121,7 +142,13 @@ mod tests {
     #[test]
     fn walk_dwarfs_mtlb_hit() {
         let c = CostModel::calibrated();
-        assert!(c.meta_addr_walk >= 4 * c.mtlb_hit, "M-TLB must be worth having");
-        assert!(c.slow_path_sync > 100, "§5.3: atomics lock the bus for >100 cycles");
+        assert!(
+            c.meta_addr_walk >= 4 * c.mtlb_hit,
+            "M-TLB must be worth having"
+        );
+        assert!(
+            c.slow_path_sync > 100,
+            "§5.3: atomics lock the bus for >100 cycles"
+        );
     }
 }

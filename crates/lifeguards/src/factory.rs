@@ -107,7 +107,10 @@ impl LifeguardFamily {
 mod tests {
     use super::*;
 
-    const HEAP: AddrRange = AddrRange { start: 0x1000_0000, len: 0x1000_0000 };
+    const HEAP: AddrRange = AddrRange {
+        start: 0x1000_0000,
+        len: 0x1000_0000,
+    };
 
     #[test]
     fn all_kinds_construct_threads() {
@@ -136,13 +139,27 @@ mod tests {
         // Thread 0 writes tainted register state to memory.
         let mut ctx = HandlerCtx::new();
         a.handle(
-            &MetaOp::RmwOp { mem: MemRef::new(0x100, 4), reg: Reg::new(0) },
+            &MetaOp::RmwOp {
+                mem: MemRef::new(0x100, 4),
+                reg: Reg::new(0),
+            },
             Rid(1),
             &mut ctx,
         );
         // RMW with clean reg leaves memory clean; make it dirty instead:
-        a.handle(&MetaOp::MemToReg { dst: Reg::new(0), src: MemRef::new(0x100, 4) }, Rid(2), &mut ctx);
-        assert_eq!(b.fingerprint(), before, "clean ops leave shared state untouched");
+        a.handle(
+            &MetaOp::MemToReg {
+                dst: Reg::new(0),
+                src: MemRef::new(0x100, 4),
+            },
+            Rid(2),
+            &mut ctx,
+        );
+        assert_eq!(
+            b.fingerprint(),
+            before,
+            "clean ops leave shared state untouched"
+        );
         assert_eq!(a.fingerprint(), b.fingerprint(), "both views agree");
     }
 

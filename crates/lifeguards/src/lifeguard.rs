@@ -8,6 +8,7 @@
 //! [`LifeguardSpec`].
 
 use paralog_events::{Addr, AddrRange, CaRecord, MetaOp, Rid, ThreadId};
+use paralog_meta::ShadowMemory;
 use paralog_order::{CaPolicy, RangeEntry};
 use std::fmt;
 
@@ -141,10 +142,32 @@ impl HandlerCtx {
         let (vr, bytes) = self.versioned.as_ref()?;
         if vr.start <= range.start && range.end() <= vr.end() {
             let off = (range.start - vr.start) as usize;
-            Some(bytes[off..off + range.len as usize].iter().fold(0, |a, b| a | b))
+            Some(
+                bytes[off..off + range.len as usize]
+                    .iter()
+                    .fold(0, |a, b| a | b),
+            )
         } else {
             None
         }
+    }
+
+    /// Joins (bitwise-ORs) the metadata of `range` against `shadow`,
+    /// honoring any injected TSO versioned snapshot: full coverage reads
+    /// the snapshot, no coverage takes the word-wise shadow fast path, and
+    /// partial coverage merges byte-wise with versioned bytes winning
+    /// (§5.5). This is *the* metadata-read rule; lifeguards must not
+    /// reimplement it.
+    pub fn join_shadow(&self, shadow: &ShadowMemory, range: AddrRange) -> u8 {
+        if let Some(v) = self.versioned_join(range) {
+            return v;
+        }
+        if self.versioned.is_none() {
+            return shadow.join_range(range);
+        }
+        (range.start..range.end()).fold(0, |acc, a| {
+            acc | self.versioned_byte(a).unwrap_or_else(|| shadow.get(a))
+        })
     }
 
     /// The versioned metadata value for one application byte, if this
@@ -264,7 +287,11 @@ mod tests {
         assert_eq!(ctx.versioned_join(AddrRange::new(0x100, 4)), Some(1));
         assert_eq!(ctx.versioned_join(AddrRange::new(0x104, 4)), Some(2));
         assert_eq!(ctx.versioned_join(AddrRange::new(0x100, 8)), Some(3));
-        assert_eq!(ctx.versioned_join(AddrRange::new(0x0ff, 4)), None, "partial coverage");
+        assert_eq!(
+            ctx.versioned_join(AddrRange::new(0x0ff, 4)),
+            None,
+            "partial coverage"
+        );
         assert_eq!(HandlerCtx::new().versioned_join(AddrRange::new(0, 1)), None);
     }
 
@@ -291,6 +318,8 @@ mod tests {
     #[test]
     fn violation_kind_display() {
         assert!(ViolationKind::TaintedJump.to_string().contains("jump"));
-        assert!(ViolationKind::SyscallRace.to_string().contains("system call"));
+        assert!(ViolationKind::SyscallRace
+            .to_string()
+            .contains("system call"));
     }
 }

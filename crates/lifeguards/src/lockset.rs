@@ -101,10 +101,11 @@ impl LockSet {
 
     fn check_granule(&mut self, word: u64, writes: bool, rid: Rid, ctx: &mut HandlerCtx) {
         let mut shared = self.shared.borrow_mut();
-        let entry = shared
-            .vars
-            .entry(word)
-            .or_insert(VarEntry { state: VarState::Virgin, candidates: u64::MAX, reported: false });
+        let entry = shared.vars.entry(word).or_insert(VarEntry {
+            state: VarState::Virgin,
+            candidates: u64::MAX,
+            reported: false,
+        });
         let held = self.held;
         let (new_state, new_candidates) = match entry.state {
             VarState::Virgin => (VarState::Exclusive(self.tid), entry.candidates),
@@ -113,11 +114,19 @@ impl LockSet {
                 (entry.state, entry.candidates)
             }
             VarState::Exclusive(_) => {
-                let next = if writes { VarState::SharedModified } else { VarState::Shared };
+                let next = if writes {
+                    VarState::SharedModified
+                } else {
+                    VarState::Shared
+                };
                 (next, held)
             }
             VarState::Shared => {
-                let next = if writes { VarState::SharedModified } else { VarState::Shared };
+                let next = if writes {
+                    VarState::SharedModified
+                } else {
+                    VarState::Shared
+                };
                 (next, entry.candidates & held)
             }
             VarState::SharedModified => (VarState::SharedModified, entry.candidates & held),
@@ -226,7 +235,11 @@ mod tests {
     fn access(addr: u64, write: bool) -> MetaOp {
         MetaOp::CheckAccess {
             mem: MemRef::new(addr, 4),
-            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            kind: if write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
         }
     }
 
@@ -290,7 +303,10 @@ mod tests {
         a.handle(&access(0x100, false), Rid(1), &mut ctx);
         let mut ctx2 = HandlerCtx::new();
         b.handle(&access(0x100, false), Rid(1), &mut ctx2);
-        assert!(ctx2.slow_path, "state transition on read = metadata write = slow path");
+        assert!(
+            ctx2.slow_path,
+            "state transition on read = metadata write = slow path"
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub struct MemShared {
 impl MemShared {
     /// Fresh state.
     pub fn new() -> Rc<RefCell<Self>> {
-        Rc::new(RefCell::new(MemShared { state: ShadowMemory::new(2) }))
+        Rc::new(RefCell::new(MemShared {
+            state: ShadowMemory::new(2),
+        }))
     }
 }
 
@@ -91,11 +93,7 @@ impl MemCheck {
     fn mem_state(&self, src: MemRef, ctx: &mut HandlerCtx) -> u8 {
         let shared = self.shared.borrow();
         ctx.touch_read(shared.state.meta_footprint(src.addr, src.size as u64));
-        let mut acc = 0;
-        for a in src.range().start..src.range().end() {
-            acc |= ctx.versioned_byte(a).unwrap_or_else(|| shared.state.get(a));
-        }
-        acc
+        ctx.join_shadow(&shared.state, src.range())
     }
 
     fn set_mem_state(&self, dst: MemRef, value: u8, ctx: &mut HandlerCtx) {
@@ -242,9 +240,22 @@ mod tests {
         assert_eq!(shared.borrow().state.join_range(range), UNDEFINED);
         // Store a defined register into the first word.
         let mut ctx = HandlerCtx::new();
-        lg.handle(&MetaOp::RegToMem { dst: m(0x1000), src: r(0) }, Rid(2), &mut ctx);
-        assert_eq!(shared.borrow().state.join_range(AddrRange::new(0x1000, 4)), 0);
-        assert_eq!(shared.borrow().state.join_range(AddrRange::new(0x1004, 4)), UNDEFINED);
+        lg.handle(
+            &MetaOp::RegToMem {
+                dst: m(0x1000),
+                src: r(0),
+            },
+            Rid(2),
+            &mut ctx,
+        );
+        assert_eq!(
+            shared.borrow().state.join_range(AddrRange::new(0x1000, 4)),
+            0
+        );
+        assert_eq!(
+            shared.borrow().state.join_range(AddrRange::new(0x1004, 4)),
+            UNDEFINED
+        );
     }
 
     #[test]
@@ -254,7 +265,14 @@ mod tests {
         lg.handle_ca(&malloc_ca(range), true, Rid(1), &mut HandlerCtx::new());
         let mut ctx = HandlerCtx::new();
         // Load undefined memory: silent.
-        lg.handle(&MetaOp::MemToReg { dst: r(0), src: m(0x1000) }, Rid(2), &mut ctx);
+        lg.handle(
+            &MetaOp::MemToReg {
+                dst: r(0),
+                src: m(0x1000),
+            },
+            Rid(2),
+            &mut ctx,
+        );
         assert!(ctx.violations.is_empty());
         assert_eq!(lg.reg_state(0), UNDEFINED);
         // Use it as a jump target: violation.
@@ -267,15 +285,27 @@ mod tests {
         let (_shared, lg) = setup();
         let spec = lg.spec();
         assert!(spec.uses_it);
-        assert!(spec.ca_policy.actions(HighLevelKind::Malloc, CaPhase::End).flush_it);
-        assert!(spec.ca_policy.actions(HighLevelKind::Free, CaPhase::Begin).flush_it);
+        assert!(
+            spec.ca_policy
+                .actions(HighLevelKind::Malloc, CaPhase::End)
+                .flush_it
+        );
+        assert!(
+            spec.ca_policy
+                .actions(HighLevelKind::Free, CaPhase::Begin)
+                .flush_it
+        );
     }
 
     #[test]
     fn immediates_are_defined() {
         let (_shared, mut lg) = setup();
         lg.regs[2] = UNDEFINED;
-        lg.handle(&MetaOp::ImmToReg { dst: r(2) }, Rid(1), &mut HandlerCtx::new());
+        lg.handle(
+            &MetaOp::ImmToReg { dst: r(2) },
+            Rid(1),
+            &mut HandlerCtx::new(),
+        );
         assert_eq!(lg.reg_state(2), 0);
     }
 }

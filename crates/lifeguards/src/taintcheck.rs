@@ -37,7 +37,9 @@ pub struct TaintShared {
 impl TaintShared {
     /// Fresh, fully-untainted state.
     pub fn new() -> Rc<RefCell<Self>> {
-        Rc::new(RefCell::new(TaintShared { mem: ShadowMemory::new(2) }))
+        Rc::new(RefCell::new(TaintShared {
+            mem: ShadowMemory::new(2),
+        }))
     }
 }
 
@@ -81,11 +83,7 @@ impl TaintCheck {
         // everything else reads the (arc-ordered) current shadow.
         let shared = self.shared.borrow();
         ctx.touch_read(shared.mem.meta_footprint(src.addr, src.size as u64));
-        let mut acc = 0;
-        for a in src.range().start..src.range().end() {
-            acc |= ctx.versioned_byte(a).unwrap_or_else(|| shared.mem.get(a));
-        }
-        acc
+        ctx.join_shadow(&shared.mem, src.range())
     }
 
     fn set_mem_taint(&self, dst: MemRef, value: u8, ctx: &mut HandlerCtx) {
@@ -272,13 +270,40 @@ mod tests {
     #[test]
     fn propagation_chain_mem_to_mem() {
         let (shared, mut lg) = setup();
-        shared.borrow_mut().mem.set_range(AddrRange::new(0x100, 4), TAINTED);
+        shared
+            .borrow_mut()
+            .mem
+            .set_range(AddrRange::new(0x100, 4), TAINTED);
         let mut ctx = HandlerCtx::new();
-        lg.handle(&MetaOp::MemToReg { dst: r(0), src: m(0x100) }, Rid(1), &mut ctx);
+        lg.handle(
+            &MetaOp::MemToReg {
+                dst: r(0),
+                src: m(0x100),
+            },
+            Rid(1),
+            &mut ctx,
+        );
         assert_eq!(lg.reg_taint(0), TAINTED);
-        lg.handle(&MetaOp::RegToReg { dst: r(1), src: r(0) }, Rid(2), &mut ctx);
-        lg.handle(&MetaOp::RegToMem { dst: m(0x200), src: r(1) }, Rid(3), &mut ctx);
-        assert_eq!(shared.borrow().mem.join_range(AddrRange::new(0x200, 4)), TAINTED);
+        lg.handle(
+            &MetaOp::RegToReg {
+                dst: r(1),
+                src: r(0),
+            },
+            Rid(2),
+            &mut ctx,
+        );
+        lg.handle(
+            &MetaOp::RegToMem {
+                dst: m(0x200),
+                src: r(1),
+            },
+            Rid(3),
+            &mut ctx,
+        );
+        assert_eq!(
+            shared.borrow().mem.join_range(AddrRange::new(0x200, 4)),
+            TAINTED
+        );
     }
 
     #[test]
@@ -296,7 +321,15 @@ mod tests {
         let mut ctx = HandlerCtx::new();
         lg.regs[0] = 0;
         lg.regs[1] = TAINTED;
-        lg.handle(&MetaOp::AluRR { dst: r(2), a: r(0), b: Some(r(1)) }, Rid(1), &mut ctx);
+        lg.handle(
+            &MetaOp::AluRR {
+                dst: r(2),
+                a: r(0),
+                b: Some(r(1)),
+            },
+            Rid(1),
+            &mut ctx,
+        );
         assert_eq!(lg.reg_taint(2), TAINTED);
     }
 
@@ -381,11 +414,25 @@ mod tests {
     fn versioned_read_overrides_current_state() {
         let (shared, mut lg) = setup();
         // Current state: tainted. Versioned snapshot: clean.
-        shared.borrow_mut().mem.set_range(AddrRange::new(0x100, 4), TAINTED);
+        shared
+            .borrow_mut()
+            .mem
+            .set_range(AddrRange::new(0x100, 4), TAINTED);
         let mut ctx = HandlerCtx::new();
         ctx.versioned = Some((AddrRange::new(0x100, 4), vec![0, 0, 0, 0]));
-        lg.handle(&MetaOp::MemToReg { dst: r(0), src: m(0x100) }, Rid(1), &mut ctx);
-        assert_eq!(lg.reg_taint(0), 0, "reads the pre-write (versioned) metadata");
+        lg.handle(
+            &MetaOp::MemToReg {
+                dst: r(0),
+                src: m(0x100),
+            },
+            Rid(1),
+            &mut ctx,
+        );
+        assert_eq!(
+            lg.reg_taint(0),
+            0,
+            "reads the pre-write (versioned) metadata"
+        );
     }
 
     #[test]
@@ -417,7 +464,14 @@ mod tests {
     fn meta_touches_are_recorded() {
         let (_shared, mut lg) = setup();
         let mut ctx = HandlerCtx::new();
-        lg.handle(&MetaOp::MemToReg { dst: r(0), src: m(0x100) }, Rid(1), &mut ctx);
+        lg.handle(
+            &MetaOp::MemToReg {
+                dst: r(0),
+                src: m(0x100),
+            },
+            Rid(1),
+            &mut ctx,
+        );
         assert_eq!(ctx.meta_touches.len(), 1);
         assert!(!ctx.meta_touches[0].1, "a load touches metadata read-only");
     }

@@ -1,10 +1,41 @@
-//! Two-level bit-packed shadow memory.
+//! Flat two-level bit-packed shadow memory.
 //!
 //! §6 of the paper: both evaluated lifeguards organize metadata as a
-//! two-level structure — a first-level pointer array indexed by the high bits
-//! of the application address, pointing to lazily-allocated second-level
-//! chunks indexed by the low bits. TAINTCHECK keeps 2 metadata bits per
-//! application byte, ADDRCHECK 1 bit.
+//! two-level structure — a **first-level pointer array indexed directly by
+//! the high bits of the application address**, pointing to lazily-allocated
+//! second-level chunks indexed by the low bits. TAINTCHECK keeps 2 metadata
+//! bits per application byte, ADDRCHECK 1 bit.
+//!
+//! # Layout
+//!
+//! This module implements that design literally:
+//!
+//! * **First level** — a dense `Vec<Option<Box<[u8]>>>` indexed by
+//!   `addr / CHUNK_APP_BYTES` (the high address bits). The table grows on
+//!   demand to the highest chunk ever written, so lookups are a single
+//!   bounds-checked array index — no hashing, no probing. Reads beyond the
+//!   table (and reads of unallocated chunks) return clean metadata without
+//!   allocating.
+//! * **Second level** — one bit-packed chunk of
+//!   `CHUNK_APP_BYTES * bits / 8` metadata bytes per allocated first-level
+//!   slot, shadowing 64 KiB of application space.
+//! * **Last-chunk cache** — a one-entry cache of the most recently touched
+//!   `(chunk index, chunk data pointer)`, mirroring the paper's observation
+//!   that consecutive events overwhelmingly hit the same second-level chunk.
+//!   The pointer stays valid for the shadow's lifetime because chunks are
+//!   never freed or moved once boxed (first-level growth moves only the
+//!   `Option<Box>` slots, not the boxed bytes).
+//!
+//! # Word-wise range operations
+//!
+//! All range operations ([`ShadowMemory::join_range`],
+//! [`ShadowMemory::set_range`], [`ShadowMemory::copy_range`],
+//! [`ShadowMemory::snapshot`], [`ShadowMemory::restore`]) work on whole
+//! packed metadata bytes with head/tail masks — an N-application-byte fill
+//! touches `N·bits/8` metadata bytes via `memset`/`memcpy`-style loops (and
+//! 8-byte words in the `join_range` scan), not N read-modify-write probes.
+//! Writes of clean (zero) metadata to never-allocated chunks are skipped
+//! entirely, preserving sparsity.
 //!
 //! The mapping from application bytes to metadata bytes is what makes the
 //! §5.3 *bit-manipulation data race* argument go through: with `B` metadata
@@ -15,7 +46,7 @@
 //! (condition 3).
 
 use paralog_events::{Addr, AddrRange};
-use std::collections::HashMap;
+use std::cell::Cell;
 
 /// Base virtual address of the metadata space (far above application space).
 pub const META_BASE: Addr = 0x4000_0000_0000;
@@ -23,17 +54,44 @@ pub const META_BASE: Addr = 0x4000_0000_0000;
 /// Application bytes covered by one second-level chunk.
 pub const CHUNK_APP_BYTES: u64 = 64 * 1024;
 
+/// Chunk-index budget of the dense first level: 2^21 chunks = 128 GiB of
+/// application space. Real working sets live far below this; the handful
+/// of synthesized sentinel addresses beyond it (e.g. the simulator's
+/// barrier slots near 16 TiB) fall into the sorted spill tier instead of
+/// forcing a multi-gigabyte pointer table.
+const DENSE_CHUNKS: u64 = 1 << 21;
+
+/// Sentinel for "cache empty".
+const NO_CHUNK: u64 = u64::MAX;
+
+/// Stack-buffer window (in metadata bytes) used by `copy_range`.
+const COPY_WINDOW: usize = 512;
+
 /// A sparse, bit-packed shadow of the application address space.
 ///
 /// `bits_per_byte` metadata bits (1, 2, 4 or 8) shadow each application
 /// byte. Values are small unsigned integers in `0 .. 2^bits`.
+///
+/// # Cache invariant
+///
+/// `cache_idx` is either [`NO_CHUNK`] or the index of a first-level slot
+/// known to be in bounds and allocated. Chunks are never freed and the
+/// first level never shrinks, so the invariant is stable once established;
+/// every cache hit re-borrows the chunk freshly (no pointers are retained
+/// across calls, keeping the aliasing model happy).
 #[derive(Debug, Clone)]
 pub struct ShadowMemory {
     bits: u32,
-    /// First level: chunk index → packed second-level chunk.
-    chunks: HashMap<u64, Box<[u8]>>,
+    /// First level: dense chunk-index → packed second-level chunk, for
+    /// chunk indices below [`DENSE_CHUNKS`].
+    l1: Vec<Option<Box<[u8]>>>,
+    /// Far-outlier chunks (sentinel addresses beyond the dense span);
+    /// ordered so [`ShadowMemory::iter_nonzero`] stays sorted.
+    spill: std::collections::BTreeMap<u64, Box<[u8]>>,
     /// Lazily-allocated chunk count (monitors metadata footprint).
     allocated_chunks: u64,
+    /// One-entry last-chunk cache (see the invariant above).
+    cache_idx: Cell<u64>,
 }
 
 impl ShadowMemory {
@@ -48,7 +106,13 @@ impl ShadowMemory {
             matches!(bits_per_byte, 1 | 2 | 4 | 8),
             "unsupported metadata width: {bits_per_byte} bits/byte"
         );
-        ShadowMemory { bits: bits_per_byte, chunks: HashMap::new(), allocated_chunks: 0 }
+        ShadowMemory {
+            bits: bits_per_byte,
+            l1: Vec::new(),
+            spill: std::collections::BTreeMap::new(),
+            allocated_chunks: 0,
+            cache_idx: Cell::new(NO_CHUNK),
+        }
     }
 
     /// Metadata bits per application byte.
@@ -66,23 +130,118 @@ impl ShadowMemory {
         ((1u16 << self.bits) - 1) as u8
     }
 
+    /// Application bytes sharing one packed metadata byte.
+    #[inline]
+    fn lanes_per_byte(&self) -> u64 {
+        8 / self.bits as u64
+    }
+
+    /// The metadata value replicated across every lane of a byte.
+    #[inline]
+    fn pattern(&self, value: u8) -> u8 {
+        let mut p = value;
+        let mut width = self.bits;
+        while width < 8 {
+            p |= p << width;
+            width *= 2;
+        }
+        p
+    }
+
     fn chunk_bytes(&self) -> usize {
         (CHUNK_APP_BYTES * self.bits as u64 / 8) as usize
     }
 
+    /// Read-only view of a chunk's packed bytes, if allocated.
+    #[inline]
+    fn chunk(&self, ci: u64) -> Option<&[u8]> {
+        if ci < DENSE_CHUNKS {
+            self.l1.get(ci as usize)?.as_deref()
+        } else {
+            self.spill.get(&ci).map(|b| &**b)
+        }
+    }
+
+    /// First-level walk with allocation: grows the table (or the spill
+    /// tier, for far outliers) and the chunk. Only dense chunks enter the
+    /// one-entry cache, preserving the cache invariant.
+    fn ensure_chunk(&mut self, ci: u64) -> &mut [u8] {
+        let chunk_bytes = self.chunk_bytes();
+        if ci < DENSE_CHUNKS {
+            let idx = ci as usize;
+            if idx >= self.l1.len() {
+                self.l1.resize_with(idx + 1, || None);
+            }
+            let slot = &mut self.l1[idx];
+            if slot.is_none() {
+                *slot = Some(vec![0u8; chunk_bytes].into_boxed_slice());
+                self.allocated_chunks += 1;
+            }
+            self.cache_idx.set(ci);
+            self.l1[idx].as_deref_mut().expect("just ensured")
+        } else {
+            let allocated = &mut self.allocated_chunks;
+            self.spill.entry(ci).or_insert_with(|| {
+                *allocated += 1;
+                vec![0u8; chunk_bytes].into_boxed_slice()
+            })
+        }
+    }
+
+    /// Calls back with `(chunk index, lo_bit, hi_bit)` for every
+    /// chunk-resident segment of `range` — the one audited home of the
+    /// chunk-split and bit-boundary math shared by the word-wise walkers.
+    #[inline]
+    fn segments(range: AddrRange, bits: u64) -> impl Iterator<Item = (u64, u64, u64)> {
+        let end = range.end();
+        let mut a = range.start;
+        std::iter::from_fn(move || {
+            if a >= end {
+                return None;
+            }
+            let ci = a / CHUNK_APP_BYTES;
+            let seg_end = end.min((ci + 1) * CHUNK_APP_BYTES);
+            let lo_bit = (a % CHUNK_APP_BYTES) * bits;
+            let hi_bit = match seg_end % CHUNK_APP_BYTES {
+                0 => CHUNK_APP_BYTES * bits,
+                r => r * bits,
+            };
+            a = seg_end;
+            Some((ci, lo_bit, hi_bit))
+        })
+    }
+
+    /// Splits an application address into (chunk index, packed byte offset,
+    /// in-byte bit shift).
+    #[inline]
     fn locate(addr: Addr, bits: u32) -> (u64, usize, u32) {
         let chunk = addr / CHUNK_APP_BYTES;
         let offset = addr % CHUNK_APP_BYTES;
         let bit_offset = offset * bits as u64;
-        ((chunk), (bit_offset / 8) as usize, (bit_offset % 8) as u32)
+        (chunk, (bit_offset / 8) as usize, (bit_offset % 8) as u32)
     }
 
     /// Reads the metadata value of one application byte (clean = 0 if never
     /// written).
+    #[inline]
     pub fn get(&self, addr: Addr) -> u8 {
-        let (chunk, byte, shift) = Self::locate(addr, self.bits);
-        match self.chunks.get(&chunk) {
-            Some(data) => (data[byte] >> shift) & self.max_value(),
+        let (ci, byte, shift) = Self::locate(addr, self.bits);
+        if self.cache_idx.get() == ci {
+            // SAFETY: the cache invariant — slot `ci` is in bounds and
+            // allocated — lets the hit path skip the first-level checks.
+            let data = unsafe {
+                self.l1
+                    .get_unchecked(ci as usize)
+                    .as_deref()
+                    .unwrap_unchecked()
+            };
+            return (data[byte] >> shift) & self.max_value();
+        }
+        match self.chunk(ci) {
+            Some(data) => {
+                self.cache_idx.set(ci);
+                (data[byte] >> shift) & self.max_value()
+            }
             None => 0,
         }
     }
@@ -92,61 +251,324 @@ impl ShadowMemory {
     /// # Panics
     ///
     /// Panics if `value` does not fit in the metadata width.
+    #[inline]
     pub fn set(&mut self, addr: Addr, value: u8) {
-        assert!(value <= self.max_value(), "metadata value {value} out of range");
-        let bits = self.bits;
-        let chunk_bytes = self.chunk_bytes();
-        let (chunk, byte, shift) = Self::locate(addr, bits);
-        let allocated = &mut self.allocated_chunks;
-        let data = self.chunks.entry(chunk).or_insert_with(|| {
-            *allocated += 1;
-            vec![0u8; chunk_bytes].into_boxed_slice()
-        });
-        let mask = ((1u16 << bits) - 1) as u8;
+        assert!(
+            value <= self.max_value(),
+            "metadata value {value} out of range"
+        );
+        let mask = self.max_value();
+        let (ci, byte, shift) = Self::locate(addr, self.bits);
+        if self.cache_idx.get() == ci {
+            // SAFETY: cache invariant as in `get`; the fresh `&mut`
+            // reborrow keeps exclusive access properly scoped.
+            let data = unsafe {
+                self.l1
+                    .get_unchecked_mut(ci as usize)
+                    .as_deref_mut()
+                    .unwrap_unchecked()
+            };
+            data[byte] = (data[byte] & !(mask << shift)) | (value << shift);
+            return;
+        }
+        if value == 0 && self.chunk(ci).is_none() {
+            // Clean write to a clean chunk: keep it unallocated.
+            return;
+        }
+        let data = self.ensure_chunk(ci);
         data[byte] = (data[byte] & !(mask << shift)) | (value << shift);
     }
 
     /// Joins (bitwise-ORs) the metadata of every byte in `range` — the
     /// "taintedness of a multi-byte operand" operation.
+    ///
+    /// Word-wise: unallocated chunks are skipped whole, allocated spans are
+    /// scanned as packed bytes (8 at a time), and only the partial head/tail
+    /// bytes are masked down to the covered lanes.
     pub fn join_range(&self, range: AddrRange) -> u8 {
-        let mut acc = 0;
-        for a in range.start..range.end() {
-            acc |= self.get(a);
+        if range.len == 0 {
+            return 0;
         }
-        acc
+        let bits = self.bits as u64;
+        let mut acc: u8 = 0;
+        for (ci, lo_bit, hi_bit) in Self::segments(range, bits) {
+            let Some(data) = self.chunk(ci) else {
+                continue;
+            };
+            let (byte_lo, head_shift) = ((lo_bit / 8) as usize, (lo_bit % 8) as u32);
+            let (byte_hi, tail_bits) = ((hi_bit / 8) as usize, (hi_bit % 8) as u32);
+            if byte_lo == byte_hi {
+                // Entirely within one packed byte.
+                let mask = (((1u16 << (hi_bit - lo_bit)) - 1) as u8) << head_shift;
+                acc |= data[byte_lo] & mask;
+            } else {
+                let mut b = byte_lo;
+                if head_shift != 0 {
+                    acc |= data[b] & (0xffu8 << head_shift);
+                    b += 1;
+                }
+                // Full bytes, 8 at a time.
+                let full = &data[b..byte_hi];
+                let mut word_acc = 0u64;
+                let mut chunks = full.chunks_exact(8);
+                for w in &mut chunks {
+                    word_acc |= u64::from_ne_bytes(w.try_into().expect("8-byte chunk"));
+                }
+                for &byte in chunks.remainder() {
+                    acc |= byte;
+                }
+                let mut w = word_acc;
+                w |= w >> 32;
+                w |= w >> 16;
+                w |= w >> 8;
+                acc |= w as u8;
+                if tail_bits != 0 {
+                    acc |= data[byte_hi] & (((1u16 << tail_bits) - 1) as u8);
+                }
+            }
+        }
+        self.collapse_lanes(acc)
+    }
+
+    /// Whether every byte of `range` carries exactly `value` — the
+    /// "all bytes inside a live allocation" check, word-wise: full packed
+    /// bytes compare against the replicated pattern, head/tail bytes under
+    /// a lane mask, and unallocated chunks short-circuit against zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the metadata width.
+    pub fn eq_range(&self, range: AddrRange, value: u8) -> bool {
+        assert!(
+            value <= self.max_value(),
+            "metadata value {value} out of range"
+        );
+        let bits = self.bits as u64;
+        let pattern = self.pattern(value);
+        for (ci, lo_bit, hi_bit) in Self::segments(range, bits) {
+            let Some(data) = self.chunk(ci) else {
+                if value != 0 {
+                    return false;
+                }
+                continue;
+            };
+            let (byte_lo, head_shift) = ((lo_bit / 8) as usize, (lo_bit % 8) as u32);
+            let (byte_hi, tail_bits) = ((hi_bit / 8) as usize, (hi_bit % 8) as u32);
+            if byte_lo == byte_hi {
+                let mask = (((1u16 << (hi_bit - lo_bit)) - 1) as u8) << head_shift;
+                if (data[byte_lo] ^ pattern) & mask != 0 {
+                    return false;
+                }
+            } else {
+                let mut b = byte_lo;
+                if head_shift != 0 {
+                    if (data[b] ^ pattern) & (0xffu8 << head_shift) != 0 {
+                        return false;
+                    }
+                    b += 1;
+                }
+                if data[b..byte_hi].iter().any(|&byte| byte != pattern) {
+                    return false;
+                }
+                if tail_bits != 0
+                    && (data[byte_hi] ^ pattern) & (((1u16 << tail_bits) - 1) as u8) != 0
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// ORs every lane of a packed byte into a single metadata value.
+    #[inline]
+    fn collapse_lanes(&self, mut b: u8) -> u8 {
+        if self.bits <= 4 {
+            b |= b >> 4;
+        }
+        if self.bits <= 2 {
+            b |= b >> 2;
+        }
+        if self.bits == 1 {
+            b |= b >> 1;
+        }
+        b & self.max_value()
     }
 
     /// Sets every byte of `range` to `value`.
+    ///
+    /// Word-wise: the value is replicated into a fill pattern and written
+    /// with a `memset` per chunk segment, masking only the partial head and
+    /// tail bytes. Zero fills skip unallocated chunks entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in the metadata width.
     pub fn set_range(&mut self, range: AddrRange, value: u8) {
-        for a in range.start..range.end() {
-            self.set(a, value);
+        assert!(
+            value <= self.max_value(),
+            "metadata value {value} out of range"
+        );
+        let bits = self.bits as u64;
+        let pattern = self.pattern(value);
+        for (ci, lo_bit, hi_bit) in Self::segments(range, bits) {
+            if value == 0 && self.chunk(ci).is_none() {
+                continue;
+            }
+            let data = self.ensure_chunk(ci);
+            write_pattern(data, lo_bit, hi_bit, pattern);
         }
     }
 
     /// Copies metadata byte-for-byte from `src` to `dst` (`len` bytes) —
     /// the memory-to-memory propagation IT coalesces into one event.
+    ///
+    /// Disjoint ranges take a packed-byte `memcpy` path (windowed through a
+    /// stack buffer, head/tail lanes masked); overlapping ranges keep the
+    /// ascending per-byte semantics of the scalar loop, which deliberately
+    /// re-reads freshly written bytes (`memcpy`, not `memmove`, semantics —
+    /// matching a lifeguard replaying per-byte propagation in order).
     pub fn copy_range(&mut self, dst: Addr, src: Addr, len: u64) {
-        for i in 0..len {
-            let v = self.get(src + i);
-            self.set(dst + i, v);
+        if len == 0 || dst == src {
+            return;
+        }
+        let overlaps = src < dst + len && dst < src + len;
+        let lpb = self.lanes_per_byte();
+        if overlaps || src % lpb != dst % lpb {
+            // Overlap (rare) keeps exact ascending-order semantics;
+            // lane-phase mismatch (src and dst straddle packed bytes
+            // differently) would need a bit-shifted copy — also rare.
+            for i in 0..len {
+                let v = self.get(src + i);
+                self.set(dst + i, v);
+            }
+            return;
+        }
+        let bits = self.bits as u64;
+        let mut buf = [0u8; COPY_WINDOW];
+        let mut done = 0u64;
+        while done < len {
+            let s = src + done;
+            let d = dst + done;
+            let sci = s / CHUNK_APP_BYTES;
+            let dci = d / CHUNK_APP_BYTES;
+            // One window: bounded by both chunk boundaries and the buffer.
+            let room = (len - done)
+                .min((sci + 1) * CHUNK_APP_BYTES - s)
+                .min((dci + 1) * CHUNK_APP_BYTES - d)
+                .min(COPY_WINDOW as u64 * lpb - (s % lpb));
+            let lo_bit = (s % CHUNK_APP_BYTES) * bits;
+            let hi_bit = lo_bit + room * bits;
+            let byte_lo = (lo_bit / 8) as usize;
+            let byte_hi_incl = ((hi_bit - 1) / 8) as usize;
+            let n = byte_hi_incl - byte_lo + 1;
+            match self.chunk(sci) {
+                Some(data) => buf[..n].copy_from_slice(&data[byte_lo..byte_lo + n]),
+                None => buf[..n].fill(0),
+            }
+            // Mask away neighbor lanes outside the copied range: the write
+            // path masks them anyway, and the clean-copy skip below must
+            // judge only the bytes actually being copied.
+            buf[0] &= 0xffu8 << (lo_bit % 8);
+            let tail = (hi_bit % 8) as u32;
+            if tail != 0 {
+                buf[n - 1] &= ((1u16 << tail) - 1) as u8;
+            }
+            let dst_lo_bit = (d % CHUNK_APP_BYTES) * bits;
+            let dst_hi_bit = dst_lo_bit + room * bits;
+            if buf[..n].iter().all(|&b| b == 0) && self.chunk(dci).is_none() {
+                done += room;
+                continue;
+            }
+            let ddata = self.ensure_chunk(dci);
+            write_bytes_masked(ddata, dst_lo_bit, dst_hi_bit, &buf[..n]);
+            done += room;
         }
     }
 
     /// Reads the packed metadata values of `range` (one `u8` per application
     /// byte) — used to snapshot versioned metadata under TSO.
+    ///
+    /// Word-wise: each packed metadata byte is read once and its covered
+    /// lanes unpacked, instead of one two-level walk per application byte.
     pub fn snapshot(&self, range: AddrRange) -> Vec<u8> {
-        (range.start..range.end()).map(|a| self.get(a)).collect()
+        let mut out = Vec::with_capacity(range.len as usize);
+        let bits = self.bits;
+        let lpb = self.lanes_per_byte();
+        let max = self.max_value();
+        let mut a = range.start;
+        let end = range.end();
+        while a < end {
+            let ci = a / CHUNK_APP_BYTES;
+            let seg_end = end.min((ci + 1) * CHUNK_APP_BYTES);
+            match self.chunk(ci) {
+                None => out.resize(out.len() + (seg_end - a) as usize, 0),
+                Some(data) => {
+                    let mut p = a;
+                    while p < seg_end {
+                        let off = p % CHUNK_APP_BYTES;
+                        let byte = data[(off * bits as u64 / 8) as usize];
+                        let lane0 = off % lpb;
+                        let lanes = (lpb - lane0).min(seg_end - p);
+                        for l in lane0..lane0 + lanes {
+                            out.push((byte >> (l as u32 * bits)) & max);
+                        }
+                        p += lanes;
+                    }
+                }
+            }
+            a = seg_end;
+        }
+        out
     }
 
     /// Restores a snapshot produced by [`ShadowMemory::snapshot`].
     ///
+    /// Word-wise: lanes are packed eight-at-a-time (for 1-bit metadata) into
+    /// whole bytes and merged under a lane mask, one write per packed byte.
+    ///
     /// # Panics
     ///
-    /// Panics if the snapshot length does not match the range.
+    /// Panics if the snapshot length does not match the range, or if a
+    /// snapshot value does not fit in the metadata width.
     pub fn restore(&mut self, range: AddrRange, snapshot: &[u8]) {
         assert_eq!(snapshot.len() as u64, range.len, "snapshot length mismatch");
-        for (i, &v) in snapshot.iter().enumerate() {
-            self.set(range.start + i as u64, v);
+        let bits = self.bits;
+        let lpb = self.lanes_per_byte();
+        let max = self.max_value();
+        let mut a = range.start;
+        let end = range.end();
+        let mut i = 0usize;
+        while a < end {
+            let ci = a / CHUNK_APP_BYTES;
+            let seg_end = end.min((ci + 1) * CHUNK_APP_BYTES);
+            let seg_vals = &snapshot[i..i + (seg_end - a) as usize];
+            i += seg_vals.len();
+            if seg_vals.iter().all(|&v| v == 0) && self.chunk(ci).is_none() {
+                a = seg_end;
+                continue;
+            }
+            let data = self.ensure_chunk(ci);
+            let mut p = a;
+            let mut vi = 0usize;
+            while p < seg_end {
+                let off = p % CHUNK_APP_BYTES;
+                let bidx = (off * bits as u64 / 8) as usize;
+                let lane0 = off % lpb;
+                let lanes = (lpb - lane0).min(seg_end - p);
+                let mut new_bits = 0u8;
+                let mut mask = 0u8;
+                for l in lane0..lane0 + lanes {
+                    let v = seg_vals[vi];
+                    vi += 1;
+                    assert!(v <= max, "snapshot value {v} out of range");
+                    new_bits |= v << (l as u32 * bits);
+                    mask |= max << (l as u32 * bits);
+                }
+                data[bidx] = (data[bidx] & !mask) | new_bits;
+                p += lanes;
+            }
+            a = seg_end;
         }
     }
 
@@ -167,23 +589,83 @@ impl ShadowMemory {
     }
 
     /// Iterates `(application address, value)` pairs for every byte with
-    /// non-clean metadata. Chunk iteration order is unspecified; callers that
-    /// need determinism must combine results order-insensitively.
+    /// non-clean metadata, in ascending address order (the flat first level
+    /// makes iteration deterministic).
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (Addr, u8)> + '_ {
         let bits = self.bits;
         let max = self.max_value();
-        self.chunks.iter().flat_map(move |(chunk, data)| {
-            let base = chunk * CHUNK_APP_BYTES;
-            (0..CHUNK_APP_BYTES).filter_map(move |off| {
-                let bit_offset = off * bits as u64;
-                let v = (data[(bit_offset / 8) as usize] >> (bit_offset % 8)) & max;
-                if v != 0 {
-                    Some((base + off, v))
-                } else {
-                    None
-                }
+        self.l1
+            .iter()
+            .enumerate()
+            .filter_map(|(ci, slot)| slot.as_deref().map(|data| (ci as u64, data)))
+            .chain(self.spill.iter().map(|(&ci, data)| (ci, &**data)))
+            .flat_map(move |(ci, data)| {
+                let base = ci * CHUNK_APP_BYTES;
+                (0..CHUNK_APP_BYTES).filter_map(move |off| {
+                    let bit_offset = off * bits as u64;
+                    let byte = data[(bit_offset / 8) as usize];
+                    if byte == 0 {
+                        // Whole packed byte clean: skip its lanes fast.
+                        return None;
+                    }
+                    let v = (byte >> (bit_offset % 8)) & max;
+                    if v != 0 {
+                        Some((base + off, v))
+                    } else {
+                        None
+                    }
+                })
             })
-        })
+    }
+}
+
+/// Writes `pattern` into the packed bit range `[lo_bit, hi_bit)` of a chunk,
+/// masking partial head/tail bytes and `memset`ting the full middle.
+fn write_pattern(data: &mut [u8], lo_bit: u64, hi_bit: u64, pattern: u8) {
+    let (byte_lo, head_shift) = ((lo_bit / 8) as usize, (lo_bit % 8) as u32);
+    let (byte_hi, tail_bits) = ((hi_bit / 8) as usize, (hi_bit % 8) as u32);
+    if byte_lo == byte_hi {
+        let mask = (((1u16 << (hi_bit - lo_bit)) - 1) as u8) << head_shift;
+        data[byte_lo] = (data[byte_lo] & !mask) | (pattern & mask);
+        return;
+    }
+    let mut b = byte_lo;
+    if head_shift != 0 {
+        let mask = 0xffu8 << head_shift;
+        data[b] = (data[b] & !mask) | (pattern & mask);
+        b += 1;
+    }
+    data[b..byte_hi].fill(pattern);
+    if tail_bits != 0 {
+        let mask = ((1u16 << tail_bits) - 1) as u8;
+        data[byte_hi] = (data[byte_hi] & !mask) | (pattern & mask);
+    }
+}
+
+/// Writes source bytes `src` over the packed bit range `[lo_bit, hi_bit)`,
+/// masking partial head/tail bytes and `memcpy`ing the full middle. `src`
+/// must carry the same in-byte alignment as the destination range.
+fn write_bytes_masked(data: &mut [u8], lo_bit: u64, hi_bit: u64, src: &[u8]) {
+    let (byte_lo, head_shift) = ((lo_bit / 8) as usize, (lo_bit % 8) as u32);
+    let (byte_hi, tail_bits) = ((hi_bit / 8) as usize, (hi_bit % 8) as u32);
+    if byte_lo == byte_hi {
+        let mask = (((1u16 << (hi_bit - lo_bit)) - 1) as u8) << head_shift;
+        data[byte_lo] = (data[byte_lo] & !mask) | (src[0] & mask);
+        return;
+    }
+    let mut b = byte_lo;
+    let mut s = 0usize;
+    if head_shift != 0 {
+        let mask = 0xffu8 << head_shift;
+        data[b] = (data[b] & !mask) | (src[s] & mask);
+        b += 1;
+        s += 1;
+    }
+    let full = byte_hi - b;
+    data[b..byte_hi].copy_from_slice(&src[s..s + full]);
+    if tail_bits != 0 {
+        let mask = ((1u16 << tail_bits) - 1) as u8;
+        data[byte_hi] = (data[byte_hi] & !mask) | (src[s + full] & mask);
     }
 }
 
@@ -300,5 +782,175 @@ mod tests {
     #[should_panic(expected = "unsupported")]
     fn unsupported_width_rejected() {
         let _ = ShadowMemory::new(3);
+    }
+
+    // --- flat-layout and word-wise specific coverage ---------------------
+
+    /// Bit-exact reference model for differential checks.
+    fn naive_set_range(model: &mut std::collections::BTreeMap<u64, u8>, r: AddrRange, v: u8) {
+        for a in r.start..r.end() {
+            if v == 0 {
+                model.remove(&a);
+            } else {
+                model.insert(a, v);
+            }
+        }
+    }
+
+    #[test]
+    fn range_ops_match_model_across_alignments() {
+        for bits in [1u32, 2, 4, 8] {
+            let mut s = ShadowMemory::new(bits);
+            let mut model = std::collections::BTreeMap::new();
+            let max = s.max_value();
+            // Misaligned starts/lengths around chunk and byte boundaries.
+            let cases = [
+                (3u64, 1u64),
+                (5, 7),
+                (0, 64),
+                (61, 9),
+                (CHUNK_APP_BYTES - 3, 6),
+                (CHUNK_APP_BYTES * 2 - 10, CHUNK_APP_BYTES + 20),
+                (1, 4096),
+            ];
+            for (i, &(start, len)) in cases.iter().enumerate() {
+                let v = (i as u8 % max.max(1)).max(1).min(max);
+                let r = AddrRange::new(start, len);
+                s.set_range(r, v);
+                naive_set_range(&mut model, r, v);
+            }
+            // Clear one window back to zero.
+            let clear = AddrRange::new(30, 40);
+            s.set_range(clear, 0);
+            naive_set_range(&mut model, clear, 0);
+            for a in 0..(CHUNK_APP_BYTES * 3 + 64) {
+                assert_eq!(
+                    s.get(a),
+                    model.get(&a).copied().unwrap_or(0),
+                    "bits={bits} addr={a}"
+                );
+            }
+            let expect = model
+                .range(0..CHUNK_APP_BYTES * 4)
+                .fold(0u8, |acc, (_, v)| acc | v);
+            assert_eq!(s.join_range(AddrRange::new(0, CHUNK_APP_BYTES * 4)), expect);
+        }
+    }
+
+    #[test]
+    fn cross_chunk_copy_and_snapshot() {
+        for bits in [1u32, 2, 4, 8] {
+            let mut s = ShadowMemory::new(bits);
+            let max = s.max_value();
+            let src = CHUNK_APP_BYTES - 17;
+            let len = 40;
+            for i in 0..len {
+                s.set(src + i, (i as u8 % max.max(1)).min(max));
+            }
+            // Same lane phase far away, crossing a chunk boundary on write.
+            let dst = CHUNK_APP_BYTES * 3 - 17;
+            s.copy_range(dst, src, len);
+            for i in 0..len {
+                assert_eq!(s.get(dst + i), s.get(src + i), "bits={bits} i={i}");
+            }
+            let snap = s.snapshot(AddrRange::new(src, len));
+            let mut t = ShadowMemory::new(bits);
+            t.restore(AddrRange::new(src, len), &snap);
+            for i in 0..len {
+                assert_eq!(t.get(src + i), s.get(src + i), "restore bits={bits} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_copy_keeps_ascending_semantics() {
+        let mut s = ShadowMemory::new(2);
+        s.set(0x100, 0b11);
+        // Ascending per-byte copy smears the first byte forward.
+        s.copy_range(0x101, 0x100, 4);
+        for a in 0x100..0x105 {
+            assert_eq!(s.get(a), 0b11, "addr {a:#x}");
+        }
+    }
+
+    #[test]
+    fn zero_fills_do_not_allocate() {
+        let mut s = ShadowMemory::new(2);
+        s.set_range(AddrRange::new(0, CHUNK_APP_BYTES * 4), 0);
+        s.set(CHUNK_APP_BYTES * 7 + 3, 0);
+        s.copy_range(0x9_0000, 0x5_0000, 256);
+        assert_eq!(s.allocated_chunks(), 0, "clean writes keep chunks sparse");
+    }
+
+    #[test]
+    fn far_outlier_addresses_use_spill_tier() {
+        // The simulator synthesizes sentinel addresses near 16 TiB (e.g.
+        // barrier slots); they must work without a giant dense table.
+        let mut s = ShadowMemory::new(2);
+        let far = 0xFFF_FFFF_F000u64;
+        s.set(far, 0b10);
+        assert_eq!(s.get(far), 0b10);
+        s.set_range(AddrRange::new(far, 32), 0b01);
+        assert_eq!(s.join_range(AddrRange::new(far, 32)), 0b01);
+        assert!(s.eq_range(AddrRange::new(far, 32), 0b01));
+        assert_eq!(s.allocated_chunks(), 1, "one spill chunk");
+        // Nearby low address still lands in the dense tier, and iteration
+        // stays sorted across the tier boundary.
+        s.set(0x100, 0b11);
+        let all: Vec<(u64, u8)> = s.iter_nonzero().collect();
+        assert_eq!(all.first(), Some(&(0x100, 0b11)));
+        assert_eq!(all.last(), Some(&(far + 31, 0b01)));
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+    }
+
+    #[test]
+    fn clean_copy_next_to_dirty_lane_does_not_allocate() {
+        // A nonzero *neighbor* lane sharing the source's packed head byte
+        // must not defeat the clean-copy skip.
+        let mut s = ShadowMemory::new(2);
+        s.set(0, 0b11);
+        let before = s.allocated_chunks();
+        s.copy_range(CHUNK_APP_BYTES * 3 + 1, 1, 3);
+        assert_eq!(s.allocated_chunks(), before, "copied bytes were all clean");
+        assert_eq!(s.join_range(AddrRange::new(CHUNK_APP_BYTES * 3, 8)), 0);
+    }
+
+    #[test]
+    fn iter_nonzero_is_sorted_and_exact() {
+        let mut s = ShadowMemory::new(2);
+        s.set(CHUNK_APP_BYTES + 5, 0b01);
+        s.set(3, 0b10);
+        s.set(CHUNK_APP_BYTES * 2, 0b11);
+        let got: Vec<(u64, u8)> = s.iter_nonzero().collect();
+        assert_eq!(
+            got,
+            vec![
+                (3, 0b10),
+                (CHUNK_APP_BYTES + 5, 0b01),
+                (CHUNK_APP_BYTES * 2, 0b11)
+            ]
+        );
+    }
+
+    #[test]
+    fn clone_is_independent_and_cache_safe() {
+        let mut s = ShadowMemory::new(2);
+        s.set(100, 0b11);
+        let _ = s.get(100); // warm the cache
+        let mut c = s.clone();
+        c.set(100, 0b01);
+        assert_eq!(s.get(100), 0b11, "clone must not alias the original");
+        assert_eq!(c.get(100), 0b01);
+    }
+
+    #[test]
+    fn large_fill_then_join_word_path() {
+        let mut s = ShadowMemory::new(2);
+        let r = AddrRange::new(0x1003, 4096);
+        s.set_range(r, 0b10);
+        assert_eq!(s.join_range(r), 0b10);
+        assert_eq!(s.get(0x1002), 0);
+        assert_eq!(s.get(0x1003 + 4096), 0);
+        assert_eq!(s.join_range(AddrRange::new(0, 0x1003)), 0);
     }
 }

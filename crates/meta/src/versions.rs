@@ -110,7 +110,10 @@ mod tests {
     use paralog_events::{Rid, ThreadId};
 
     fn vid(t: u16, r: u64) -> VersionId {
-        VersionId { consumer: ThreadId(t), consumer_rid: Rid(r) }
+        VersionId {
+            consumer: ThreadId(t),
+            consumer_rid: Rid(r),
+        }
     }
 
     #[test]

@@ -60,7 +60,10 @@ struct ThreadState {
 
 impl ThreadState {
     fn new(threads: usize) -> Self {
-        ThreadState { vc: vec![0; threads], history: VecDeque::new() }
+        ThreadState {
+            vc: vec![0; threads],
+            history: VecDeque::new(),
+        }
     }
 
     /// The vector clock this thread had at its record `rid` (latest snapshot
@@ -295,14 +298,20 @@ mod tests {
         assert_eq!(arc.src_rid, Rid(5));
         let mut cons = OrderCapture::new(2, CapturePolicy::PerCore, Reduction::None);
         let arc = cons.on_touch(T1, Rid(1), T0, &t).unwrap();
-        assert_eq!(arc.src_rid, Rid(12), "per-core counter is the conservative one");
+        assert_eq!(
+            arc.src_rid,
+            Rid(12),
+            "per-core counter is the conservative one"
+        );
     }
 
     #[test]
     fn no_reduction_records_everything() {
         let mut c = OrderCapture::new(2, CapturePolicy::PerBlock, Reduction::None);
         for i in 0..5 {
-            assert!(c.on_touch(T1, Rid(10 + i), T0, &touch(0, 5, 5, ArcKind::Raw)).is_some());
+            assert!(c
+                .on_touch(T1, Rid(10 + i), T0, &touch(0, 5, 5, ArcKind::Raw))
+                .is_some());
         }
         assert_eq!(c.stats().recorded, 5);
         assert_eq!(c.stats().reduced, 0);
@@ -311,11 +320,17 @@ mod tests {
     #[test]
     fn direct_reduction_drops_dominated_arcs() {
         let mut c = OrderCapture::new(2, CapturePolicy::PerBlock, Reduction::Direct);
-        assert!(c.on_touch(T1, Rid(10), T0, &touch(0, 7, 7, ArcKind::Raw)).is_some());
+        assert!(c
+            .on_touch(T1, Rid(10), T0, &touch(0, 7, 7, ArcKind::Raw))
+            .is_some());
         // Arc to an older record of the same thread: implied.
-        assert!(c.on_touch(T1, Rid(11), T0, &touch(0, 5, 7, ArcKind::War)).is_none());
+        assert!(c
+            .on_touch(T1, Rid(11), T0, &touch(0, 5, 7, ArcKind::War))
+            .is_none());
         // Arc to a newer record: must be recorded.
-        assert!(c.on_touch(T1, Rid(12), T0, &touch(0, 9, 9, ArcKind::Raw)).is_some());
+        assert!(c
+            .on_touch(T1, Rid(12), T0, &touch(0, 9, 9, ArcKind::Raw))
+            .is_some());
         assert_eq!(c.stats().reduced, 1);
     }
 
@@ -332,7 +347,9 @@ mod tests {
             .is_some());
         // T2 now transitively knows T0 up to rid 9: an arc to T0#8 is implied.
         assert_eq!(c.known(T2, T0), Rid(9));
-        assert!(c.on_conflict(T2, Rid(3), T0, Rid(8), ArcKind::War).is_none());
+        assert!(c
+            .on_conflict(T2, Rid(3), T0, Rid(8), ArcKind::War)
+            .is_none());
         assert_eq!(c.stats().reduced, 1);
     }
 
@@ -345,21 +362,31 @@ mod tests {
         c.on_conflict(T2, Rid(2), T1, Rid(4), ArcKind::Raw);
         // T2 must NOT have inherited T0 knowledge from T1's later state.
         assert_eq!(c.known(T2, T0), Rid::ZERO);
-        assert!(c.on_conflict(T2, Rid(3), T0, Rid(8), ArcKind::War).is_some());
+        assert!(c
+            .on_conflict(T2, Rid(3), T0, Rid(8), ArcKind::War)
+            .is_some());
     }
 
     #[test]
     fn direct_reduction_is_per_source_thread() {
         let mut c = OrderCapture::new(3, CapturePolicy::PerBlock, Reduction::Direct);
-        assert!(c.on_conflict(T2, Rid(1), T0, Rid(5), ArcKind::Raw).is_some());
-        assert!(c.on_conflict(T2, Rid(2), T1, Rid(5), ArcKind::Raw).is_some());
-        assert!(c.on_conflict(T2, Rid(3), T0, Rid(5), ArcKind::Raw).is_none());
+        assert!(c
+            .on_conflict(T2, Rid(1), T0, Rid(5), ArcKind::Raw)
+            .is_some());
+        assert!(c
+            .on_conflict(T2, Rid(2), T1, Rid(5), ArcKind::Raw)
+            .is_some());
+        assert!(c
+            .on_conflict(T2, Rid(3), T0, Rid(5), ArcKind::Raw)
+            .is_none());
     }
 
     #[test]
     fn zero_rid_touches_produce_no_arc() {
         let mut c = OrderCapture::new(2, CapturePolicy::PerBlock, Reduction::None);
-        assert!(c.on_touch(T1, Rid(1), T0, &touch(0, 0, 0, ArcKind::War)).is_none());
+        assert!(c
+            .on_touch(T1, Rid(1), T0, &touch(0, 0, 0, ArcKind::War))
+            .is_none());
     }
 
     #[test]

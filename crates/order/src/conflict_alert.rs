@@ -14,9 +14,7 @@
 //! threads, and (for the issuer's own lifeguard) drive the metadata update —
 //! all decided by [`CaPolicy`].
 
-use paralog_events::{
-    AddrRange, CaPhase, CaRecord, HighLevelKind, Rid, SyscallKind, ThreadId,
-};
+use paralog_events::{AddrRange, CaPhase, CaRecord, HighLevelKind, Rid, SyscallKind, ThreadId};
 use std::collections::HashMap;
 
 /// Actions a lifeguard takes when it meets a CA record (§4.4, §5.4).
@@ -103,12 +101,19 @@ impl CaPolicy {
             .on(
                 HighLevelKind::Syscall(SyscallKind::ReadInput),
                 CaPhase::Begin,
-                CaActions { track_range: true, ..Default::default() },
+                CaActions {
+                    track_range: true,
+                    ..Default::default()
+                },
             )
             .on(
                 HighLevelKind::Syscall(SyscallKind::ReadInput),
                 CaPhase::End,
-                CaActions { flush_it: true, track_range: true, ..Default::default() },
+                CaActions {
+                    flush_it: true,
+                    track_range: true,
+                    ..Default::default()
+                },
             )
     }
 
@@ -162,7 +167,14 @@ impl CaBroadcaster {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.broadcasts += 1;
-        CaRecord { what, phase, range, issuer, issuer_rid, seq }
+        CaRecord {
+            what,
+            phase,
+            range,
+            issuer,
+            issuer_rid,
+            seq,
+        }
     }
 }
 
@@ -216,8 +228,15 @@ impl CaBarrier {
 
     /// Whether all participating lifeguards have arrived at `seq`.
     pub fn all_arrived(&self, seq: u64) -> bool {
-        let expected = self.expected.get(&seq).copied().unwrap_or(self.default_participants);
-        self.arrived.get(&seq).map(|l| l.len() >= expected).unwrap_or(false)
+        let expected = self
+            .expected
+            .get(&seq)
+            .copied()
+            .unwrap_or(self.default_participants);
+        self.arrived
+            .get(&seq)
+            .map(|l| l.len() >= expected)
+            .unwrap_or(false)
     }
 
     /// Marks the issuer's metadata update for `seq` as applied.
@@ -270,15 +289,32 @@ mod tests {
         assert!(a.barrier && a.flush_if && a.flush_mtlb && !a.flush_it);
         let none = p.actions(HighLevelKind::Malloc, CaPhase::Begin);
         assert_eq!(none, CaActions::default());
-        let none = p.actions(HighLevelKind::Barrier(paralog_events::BarrierId(0)), CaPhase::Begin);
+        let none = p.actions(
+            HighLevelKind::Barrier(paralog_events::BarrierId(0)),
+            CaPhase::Begin,
+        );
         assert_eq!(none, CaActions::default());
     }
 
     #[test]
     fn later_rules_override() {
         let p = CaPolicy::new()
-            .on(HighLevelKind::Free, CaPhase::Begin, CaActions { flush_it: true, ..Default::default() })
-            .on(HighLevelKind::Free, CaPhase::Begin, CaActions { flush_if: true, ..Default::default() });
+            .on(
+                HighLevelKind::Free,
+                CaPhase::Begin,
+                CaActions {
+                    flush_it: true,
+                    ..Default::default()
+                },
+            )
+            .on(
+                HighLevelKind::Free,
+                CaPhase::Begin,
+                CaActions {
+                    flush_if: true,
+                    ..Default::default()
+                },
+            );
         let a = p.actions(HighLevelKind::Free, CaPhase::Begin);
         assert!(a.flush_if && !a.flush_it);
     }
@@ -286,9 +322,13 @@ mod tests {
     #[test]
     fn taintcheck_tracks_read_syscall_ranges() {
         let p = CaPolicy::taintcheck();
-        assert!(p
-            .actions(HighLevelKind::Syscall(SyscallKind::ReadInput), CaPhase::Begin)
-            .track_range);
+        assert!(
+            p.actions(
+                HighLevelKind::Syscall(SyscallKind::ReadInput),
+                CaPhase::Begin
+            )
+            .track_range
+        );
         // TaintCheck orders syscalls via the range table, not a barrier;
         // the End record still flushes IT.
         let end = p.actions(HighLevelKind::Syscall(SyscallKind::ReadInput), CaPhase::End);
@@ -300,8 +340,20 @@ mod tests {
     #[test]
     fn broadcaster_assigns_increasing_seq() {
         let mut b = CaBroadcaster::new();
-        let c1 = b.broadcast(HighLevelKind::Malloc, CaPhase::End, None, ThreadId(0), Rid(5));
-        let c2 = b.broadcast(HighLevelKind::Free, CaPhase::Begin, None, ThreadId(1), Rid(9));
+        let c1 = b.broadcast(
+            HighLevelKind::Malloc,
+            CaPhase::End,
+            None,
+            ThreadId(0),
+            Rid(5),
+        );
+        let c2 = b.broadcast(
+            HighLevelKind::Free,
+            CaPhase::Begin,
+            None,
+            ThreadId(1),
+            Rid(9),
+        );
         assert!(c2.seq > c1.seq);
         assert_eq!(b.broadcasts(), 2);
         assert_eq!(c1.issuer, ThreadId(0));

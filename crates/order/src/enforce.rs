@@ -48,7 +48,10 @@ impl OrderEnforcer {
                 self.immediate += 1;
                 Gate::Ready
             }
-            Some(arc) => Gate::Blocked { src: arc.src, needed: arc.src_rid },
+            Some(arc) => Gate::Blocked {
+                src: arc.src,
+                needed: arc.src_rid,
+            },
         }
     }
 
@@ -56,7 +59,10 @@ impl OrderEnforcer {
     pub fn regate(&self, record: &EventRecord, progress: &ProgressTable) -> Gate {
         match first_unmet(&record.arcs, progress) {
             None => Gate::Ready,
-            Some(arc) => Gate::Blocked { src: arc.src, needed: arc.src_rid },
+            Some(arc) => Gate::Blocked {
+                src: arc.src,
+                needed: arc.src_rid,
+            },
         }
     }
 
@@ -112,7 +118,7 @@ mod tests {
 
     fn record_with_arcs(arcs: Vec<DependenceArc>) -> EventRecord {
         let mut r = EventRecord::instr(Rid(1), Instr::Nop);
-        r.arcs = arcs;
+        r.arcs = arcs.into();
         r
     }
 
@@ -132,7 +138,10 @@ mod tests {
         let rec = record_with_arcs(vec![DependenceArc::new(ThreadId(0), Rid(5), ArcKind::Raw)]);
         assert_eq!(
             e.gate(&rec, &p),
-            Gate::Blocked { src: ThreadId(0), needed: Rid(5) }
+            Gate::Blocked {
+                src: ThreadId(0),
+                needed: Rid(5)
+            }
         );
         p.advertise(ThreadId(0), Rid(4));
         assert!(matches!(e.regate(&rec, &p), Gate::Blocked { .. }));
@@ -151,7 +160,10 @@ mod tests {
         p.advertise(ThreadId(0), Rid(2));
         assert_eq!(
             e.gate(&rec, &p),
-            Gate::Blocked { src: ThreadId(2), needed: Rid(7) }
+            Gate::Blocked {
+                src: ThreadId(2),
+                needed: Rid(7)
+            }
         );
         p.advertise(ThreadId(2), Rid(9));
         assert_eq!(e.regate(&rec, &p), Gate::Ready);

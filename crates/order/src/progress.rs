@@ -22,7 +22,9 @@ pub struct ProgressTable {
 impl ProgressTable {
     /// Creates a table for `threads` lifeguard threads, all at [`Rid::ZERO`].
     pub fn new(threads: usize) -> Self {
-        ProgressTable { slots: vec![Rid::ZERO; threads] }
+        ProgressTable {
+            slots: vec![Rid::ZERO; threads],
+        }
     }
 
     /// Number of threads covered.
@@ -79,7 +81,9 @@ pub struct SharedProgressTable {
 impl SharedProgressTable {
     /// Creates a table for `threads` lifeguard threads.
     pub fn new(threads: usize) -> Self {
-        SharedProgressTable { slots: (0..threads).map(|_| PaddedAtomicU64::default()).collect() }
+        SharedProgressTable {
+            slots: (0..threads).map(|_| PaddedAtomicU64::default()).collect(),
+        }
     }
 
     /// Number of threads covered.
@@ -100,7 +104,9 @@ impl SharedProgressTable {
     /// Advertises `progress` for `thread` (release ordering so metadata
     /// writes by the advertiser are visible to readers that observe it).
     pub fn advertise(&self, thread: ThreadId, progress: Rid) {
-        self.slots[thread.index()].0.store(progress.0, Ordering::Release);
+        self.slots[thread.index()]
+            .0
+            .store(progress.0, Ordering::Release);
     }
 
     /// Whether an arc requiring `src`'s progress to reach `rid` is satisfied.

@@ -34,7 +34,11 @@ pub struct RangeTable {
 impl RangeTable {
     /// Creates a table with one slot per core.
     pub fn new(cores: usize) -> Self {
-        RangeTable { slots: vec![None; cores], hits: 0, checks: 0 }
+        RangeTable {
+            slots: vec![None; cores],
+            hits: 0,
+            checks: 0,
+        }
     }
 
     /// Inserts the range for `issuer`'s in-flight event (CA-Begin).
@@ -42,7 +46,11 @@ impl RangeTable {
     /// The paper sizes the table at one entry per core: a thread has at most
     /// one in-flight system call, so the slot is simply overwritten.
     pub fn insert(&mut self, issuer: ThreadId, what: HighLevelKind, range: AddrRange) {
-        self.slots[issuer.index()] = Some(RangeEntry { issuer, what, range });
+        self.slots[issuer.index()] = Some(RangeEntry {
+            issuer,
+            what,
+            range,
+        });
     }
 
     /// Removes `issuer`'s entry (CA-End). Idempotent.

@@ -1,0 +1,264 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/type surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`Throughput`], [`black_box`], `criterion_group!`, `criterion_main!` —
+//! backed by a small median-of-samples timer instead of criterion's full
+//! statistical machinery. Results print as `name ... median ns/iter` lines,
+//! so `cargo bench` output stays grep-able.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget per benchmark (split across samples).
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(400);
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name with a parameter display.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timer handle passed to the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, collecting `sample_size` timed samples of an
+    /// auto-calibrated iteration batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit one sample slot.
+        let budget = TARGET_SAMPLE_TIME / self.sample_size as u32;
+        let start = Instant::now();
+        black_box(f());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (budget.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let total = start.elapsed();
+            self.samples.push(total / iters as u32);
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        self.samples.sort_unstable();
+        self.samples
+            .get(self.samples.len() / 2)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
+    let ns = median.as_nanos();
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  ({:.1} Melem/s)", n as f64 / median.as_secs_f64() / 1e6)
+            }
+            Throughput::Bytes(n) => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / median.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+        })
+        .unwrap_or_default();
+    println!("bench: {name:<60} {ns:>12} ns/iter{rate}");
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let name = format!("{}/{}", self.name, id.into_id());
+        report(&name, b.median(), self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        let name = format!("{}/{}", self.name, id.into_id());
+        report(&name, b.median(), self.throughput);
+        self
+    }
+
+    /// Ends the group (upstream criterion finalizes reports here).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut b);
+        report(&id.into_id(), b.median(), None);
+        self
+    }
+}
+
+/// Defines a group function running each target against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(1));
+        let mut runs = 0u64;
+        g.bench_function("id", |b| b.iter(|| runs = black_box(runs + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+}

@@ -69,9 +69,14 @@ impl SetAssocCache {
     /// masking) or the geometry is degenerate.
     pub fn new(config: &CacheConfig) -> Self {
         let sets = config.sets();
-        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
         SetAssocCache {
-            sets: (0..sets).map(|_| Vec::with_capacity(config.assoc)).collect(),
+            sets: (0..sets)
+                .map(|_| Vec::with_capacity(config.assoc))
+                .collect(),
             assoc: config.assoc,
             set_mask: sets as u64 - 1,
             tick: 0,
@@ -117,7 +122,10 @@ impl SetAssocCache {
     /// Inspects a resident line without touching LRU or counters.
     pub fn peek(&self, block: BlockId) -> Option<&LineInfo> {
         let set = self.set_of(block);
-        self.sets[set].iter().find(|l| l.block == block).map(|l| &l.info)
+        self.sets[set]
+            .iter()
+            .find(|l| l.block == block)
+            .map(|l| &l.info)
     }
 
     /// Inserts `block` (after a miss), evicting the LRU line of its set if
@@ -146,7 +154,11 @@ impl SetAssocCache {
             self.stats.evictions += 1;
             evicted = Some((victim.block, victim.info));
         }
-        set.push(Line { block, lru: tick, info });
+        set.push(Line {
+            block,
+            lru: tick,
+            info,
+        });
         evicted
     }
 
@@ -160,7 +172,10 @@ impl SetAssocCache {
     /// Mutable access to a resident line without touching LRU or counters.
     pub fn peek_mut(&mut self, block: BlockId) -> Option<&mut LineInfo> {
         let set = self.set_of(block);
-        self.sets[set].iter_mut().find(|l| l.block == block).map(|l| &mut l.info)
+        self.sets[set]
+            .iter_mut()
+            .find(|l| l.block == block)
+            .map(|l| &mut l.info)
     }
 
     /// Number of resident lines (test/debug aid).
@@ -175,7 +190,12 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 4 sets x 2 ways, 64B lines.
-        SetAssocCache::new(&CacheConfig { size_bytes: 512, line_bytes: 64, assoc: 2, latency: 1 })
+        SetAssocCache::new(&CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            assoc: 2,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -206,7 +226,11 @@ mod tests {
     #[test]
     fn invalidate_returns_info() {
         let mut c = tiny();
-        let info = LineInfo { last_access: Rid(7), last_write: Rid(5), dirty: true };
+        let info = LineInfo {
+            last_access: Rid(7),
+            last_write: Rid(5),
+            dirty: true,
+        };
         c.insert(BlockId(3), info);
         assert_eq!(c.invalidate(BlockId(3)), Some(info));
         assert_eq!(c.invalidate(BlockId(3)), None);

@@ -90,7 +90,9 @@ impl MemorySystem {
     /// Builds the hierarchy for `config`.
     pub fn new(config: &MachineConfig) -> Self {
         MemorySystem {
-            l1: (0..config.cores).map(|_| SetAssocCache::new(&config.l1d)).collect(),
+            l1: (0..config.cores)
+                .map(|_| SetAssocCache::new(&config.l1d))
+                .collect(),
             l2: SetAssocCache::new(&config.l2),
             dir: HashMap::new(),
             core_rid: vec![Rid::ZERO; config.cores],
@@ -185,7 +187,10 @@ impl MemorySystem {
                 needs_remote = true;
                 touched[*o] = true;
                 let line = self.l1[*o].invalidate(block);
-                let block_rid = line.map(|l| l.last_access).unwrap_or(*dir_rid).max(*dir_rid);
+                let block_rid = line
+                    .map(|l| l.last_access)
+                    .unwrap_or(*dir_rid)
+                    .max(*dir_rid);
                 let mut block_write_rid = line.map(|l| l.last_write).unwrap_or(Rid::ZERO);
                 if let Some((w, wrid)) = writer {
                     if w == *o {
@@ -210,8 +215,7 @@ impl MemorySystem {
                 if o != core && !touched[o] {
                     needs_remote = true;
                     let line = self.l1[o].invalidate(block);
-                    let block_rid =
-                        line.map(|l| l.last_access).unwrap_or(dir_rid).max(dir_rid);
+                    let block_rid = line.map(|l| l.last_access).unwrap_or(dir_rid).max(dir_rid);
                     let block_write_rid =
                         line.map(|l| l.last_write).unwrap_or(Rid::ZERO).max(dir_rid);
                     self.stats[core].invalidations_caused += 1;
@@ -403,7 +407,11 @@ impl MemorySystem {
             if !self.l1[core].contains(block) {
                 self.l1[core].insert(
                     block,
-                    LineInfo { last_access: Rid::ZERO, last_write: Rid::ZERO, dirty: kind.writes() },
+                    LineInfo {
+                        last_access: Rid::ZERO,
+                        last_write: Rid::ZERO,
+                        dirty: kind.writes(),
+                    },
                 );
             }
         }
@@ -487,7 +495,11 @@ mod tests {
         m.access(0, Rid(3), 0x2000, 4, AccessKind::Read);
         m.access(1, Rid(8), 0x2000, 4, AccessKind::Read);
         let r = m.access(2, Rid(1), 0x2000, 4, AccessKind::Write);
-        let mut remotes: Vec<_> = r.touches.iter().map(|t| (t.remote_core, t.block_rid)).collect();
+        let mut remotes: Vec<_> = r
+            .touches
+            .iter()
+            .map(|t| (t.remote_core, t.block_rid))
+            .collect();
         remotes.sort_unstable();
         assert_eq!(remotes, vec![(0, Rid(3)), (1, Rid(8))]);
         assert!(r.touches.iter().all(|t| t.kind == ArcKind::War));
@@ -541,7 +553,10 @@ mod tests {
         let t = r.touches[0];
         assert_eq!(t.block_rid, Rid(5));
         assert_eq!(t.core_rid, Rid(12));
-        assert!(t.core_rid >= t.block_rid, "per-core counter is conservative");
+        assert!(
+            t.core_rid >= t.block_rid,
+            "per-core counter is conservative"
+        );
     }
 
     #[test]
@@ -576,7 +591,11 @@ mod tests {
             m.access(0, Rid(7 + i), i * sets * 64, 4, AccessKind::Read);
         }
         let r = m.access(1, Rid(1), 0x0, 4, AccessKind::Write);
-        assert_eq!(r.touches.len(), 1, "directory keeps sharer after silent eviction");
+        assert_eq!(
+            r.touches.len(),
+            1,
+            "directory keeps sharer after silent eviction"
+        );
         assert_eq!(r.touches[0].block_rid, Rid(7));
     }
 

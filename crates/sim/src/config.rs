@@ -35,7 +35,12 @@ impl CacheConfig {
 
     /// The paper's private L1-D: 64 KB, 64 B lines, 4-way, 2-cycle access.
     pub fn paper_l1d() -> Self {
-        CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, assoc: 4, latency: 2 }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 64,
+            assoc: 4,
+            latency: 2,
+        }
     }
 
     /// The paper's shared L2 for a machine with `cores` cores: 2 MB at 4
@@ -66,7 +71,10 @@ pub struct TsoConfig {
 
 impl Default for TsoConfig {
     fn default() -> Self {
-        TsoConfig { entries: 8, drain_latency: 30 }
+        TsoConfig {
+            entries: 8,
+            drain_latency: 30,
+        }
     }
 }
 
@@ -117,7 +125,10 @@ impl MachineConfig {
 
     /// Same machine under TSO with default store buffers.
     pub fn paper_tso(cores: usize) -> Self {
-        MachineConfig { model: MemoryModel::Tso(TsoConfig::default()), ..Self::paper(cores) }
+        MachineConfig {
+            model: MemoryModel::Tso(TsoConfig::default()),
+            ..Self::paper(cores)
+        }
     }
 
     /// Whether the machine runs under TSO.
@@ -183,7 +194,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "too small")]
     fn degenerate_geometry_panics() {
-        let c = CacheConfig { size_bytes: 64, line_bytes: 64, assoc: 2, latency: 1 };
+        let c = CacheConfig {
+            size_bytes: 64,
+            line_bytes: 64,
+            assoc: 2,
+            latency: 1,
+        };
         let _ = c.sets();
     }
 

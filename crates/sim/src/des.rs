@@ -23,7 +23,11 @@ impl Scheduler {
     /// Panics if `entities` is zero.
     pub fn new(entities: usize) -> Self {
         assert!(entities > 0, "scheduler needs at least one entity");
-        Scheduler { clocks: vec![0; entities], done: vec![false; entities], steps: 0 }
+        Scheduler {
+            clocks: vec![0; entities],
+            done: vec![false; entities],
+            steps: 0,
+        }
     }
 
     /// Number of entities.

@@ -199,7 +199,7 @@ mod tests {
         let mut h = Heap::with_region(AddrRange::new(0x1000, 64));
         let a = h.alloc(32).unwrap();
         assert!(h.alloc(64).is_err());
-        drop(a);
+        let _ = a;
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl LockTable {
     /// bug the workload generators never produce.
     pub fn release(&mut self, lock: LockId, thread: usize) {
         let owner = self.held.remove(&lock);
-        assert_eq!(owner, Some(thread), "unlock of {lock:?} by non-owner {thread}");
+        assert_eq!(
+            owner,
+            Some(thread),
+            "unlock of {lock:?} by non-owner {thread}"
+        );
     }
 
     /// Current owner of `lock`, if held.
@@ -141,7 +145,10 @@ impl BarrierTable {
     /// Panics on double arrival within one generation.
     pub fn arrive(&mut self, barrier: BarrierId, thread: usize) -> BarrierOutcome {
         let list = self.arrived.entry(barrier).or_default();
-        assert!(!list.contains(&thread), "double arrival of {thread} at {barrier:?}");
+        assert!(
+            !list.contains(&thread),
+            "double arrival of {thread} at {barrier:?}"
+        );
         list.push(thread);
         if list.len() == self.participants {
             BarrierOutcome::Release
@@ -230,7 +237,10 @@ mod tests {
         assert_ne!(s / 64, f / 64);
         assert_ne!(l / 64, f / 64);
         // Distinct threads get distinct cache lines.
-        assert_ne!(barrier_slot(BarrierId(3), 0) / 64, barrier_slot(BarrierId(3), 1) / 64);
+        assert_ne!(
+            barrier_slot(BarrierId(3), 0) / 64,
+            barrier_slot(BarrierId(3), 1) / 64
+        );
     }
 
     #[test]

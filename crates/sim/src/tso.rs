@@ -161,7 +161,9 @@ impl StoreBuffer {
     /// forwarding hit *or* a partial overlap, both of which require the
     /// store to become visible before the load can read coherently).
     pub fn forwards_would_hit(&self, addr: Addr, size: u64) -> bool {
-        self.entries.iter().any(|s| ranges_overlap(s.addr, s.size, addr, size))
+        self.entries
+            .iter()
+            .any(|s| ranges_overlap(s.addr, s.size, addr, size))
     }
 
     /// Whether any pending store overlaps the given block (used to decide
@@ -208,7 +210,10 @@ mod tests {
         let mut sb = StoreBuffer::new(4, 10);
         sb.push(Rid(1), 0x100, 4, 100); // drains at 110
         sb.push(Rid(2), 0x200, 4, 0); // nominally at 10, but behind rid 1
-        assert!(sb.drain_ready(50).is_empty(), "younger store cannot pass older");
+        assert!(
+            sb.drain_ready(50).is_empty(),
+            "younger store cannot pass older"
+        );
         assert_eq!(sb.drain_ready(110).len(), 2);
     }
 
@@ -238,7 +243,10 @@ mod tests {
         let mut sb = StoreBuffer::new(4, 10);
         assert!(!sb.has_store_older_than(Rid(5)));
         sb.push(Rid(3), 0x100, 4, 0);
-        assert!(sb.has_store_older_than(Rid(5)), "load at 5 bypassed store at 3");
+        assert!(
+            sb.has_store_older_than(Rid(5)),
+            "load at 5 bypassed store at 3"
+        );
         assert!(!sb.has_store_older_than(Rid(2)));
     }
 

@@ -15,9 +15,7 @@
 //! as in the paper.
 
 use crate::spec::{Benchmark, WorkloadSpec};
-use paralog_events::{
-    AddrRange, BarrierId, Instr, LockId, MemRef, Op, Reg, SyscallKind,
-};
+use paralog_events::{AddrRange, BarrierId, Instr, LockId, MemRef, Op, Reg, SyscallKind};
 use paralog_sim::heap::{HEAP_BASE, HEAP_SIZE};
 use paralog_sim::sync::lock_word;
 use paralog_sim::Heap;
@@ -125,13 +123,21 @@ impl<'a> ThreadGen<'a> {
     fn new(spec: &'a WorkloadSpec, tid: usize) -> Self {
         let arena = HEAP_SIZE / spec.threads as u64;
         let heap = Heap::with_region(AddrRange::new(HEAP_BASE + tid as u64 * arena, arena));
-        let mut rng = StdRng::seed_from_u64(spec.seed ^ (0x9e37_79b9_7f4a_7c15u64
-            .wrapping_mul(tid as u64 + 1)));
-        let next_lock_slot = spec.lock_every.map(|n| jittered(&mut rng, n)).unwrap_or(usize::MAX);
-        let next_malloc_slot =
-            spec.malloc_every.map(|n| jittered(&mut rng, n)).unwrap_or(usize::MAX);
-        let next_syscall_slot =
-            spec.syscall_every.map(|n| jittered(&mut rng, n)).unwrap_or(usize::MAX);
+        let mut rng = StdRng::seed_from_u64(
+            spec.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tid as u64 + 1)),
+        );
+        let next_lock_slot = spec
+            .lock_every
+            .map(|n| jittered(&mut rng, n))
+            .unwrap_or(usize::MAX);
+        let next_malloc_slot = spec
+            .malloc_every
+            .map(|n| jittered(&mut rng, n))
+            .unwrap_or(usize::MAX);
+        let next_syscall_slot = spec
+            .syscall_every
+            .map(|n| jittered(&mut rng, n))
+            .unwrap_or(usize::MAX);
         ThreadGen {
             spec,
             tid,
@@ -155,7 +161,9 @@ impl<'a> ThreadGen<'a> {
         for slot in 0..self.spec.ops_per_thread {
             if let Some(every) = self.spec.barrier_every {
                 if slot > 0 && slot % every == 0 {
-                    self.ops.push(Op::Barrier { barrier: BarrierId(self.next_barrier) });
+                    self.ops.push(Op::Barrier {
+                        barrier: BarrierId(self.next_barrier),
+                    });
                     self.next_barrier += 1;
                 }
             }
@@ -178,7 +186,9 @@ impl<'a> ThreadGen<'a> {
         }
         // Close the parallel phase with one final barrier when phased.
         if self.spec.barrier_every.is_some() {
-            self.ops.push(Op::Barrier { barrier: BarrierId(u32::MAX) });
+            self.ops.push(Op::Barrier {
+                barrier: BarrierId(u32::MAX),
+            });
         }
         self.ops
     }
@@ -256,18 +266,20 @@ impl<'a> ThreadGen<'a> {
                 self.rng.gen_range(0..words)
             };
             let is_write = write_intent && self.rng.gen_bool(self.spec.shared_write_fraction * 2.0);
-            (MemRef::new(crate::spec::SHARED_BASE + idx * 8, size), is_write)
+            (
+                MemRef::new(crate::spec::SHARED_BASE + idx * 8, size),
+                is_write,
+            )
         } else if !self.live.is_empty() && self.rng.gen_bool(0.5) {
             let alloc = self.live[self.rng.gen_range(0..self.live.len())];
             let max_off = alloc.len.saturating_sub(8).max(1);
             let off = self.rng.gen_range(0..max_off) & !7;
             (MemRef::new(alloc.start + off, size), write_intent)
-        } else if self.spec.inject_bugs
-            && self.last_freed.is_some()
-            && self.rng.gen_bool(0.02)
+        } else if let Some(freed) = self
+            .last_freed
+            .filter(|_| self.spec.inject_bugs && self.rng.gen_bool(0.02))
         {
             // Use-after-free: touch a freed range.
-            let freed = self.last_freed.expect("checked above");
             (MemRef::new(freed.start, size), write_intent)
         } else {
             // Private region: streaming through a hot window with rare far
@@ -276,7 +288,8 @@ impl<'a> ThreadGen<'a> {
             let addr = if let Some(zone) = self.tainted_zone.filter(|_| self.rng.gen_bool(0.05)) {
                 zone.start + (self.rng.gen_range(0..zone.len.max(8) / 8)) * 8
             } else if self.rng.gen_bool(0.93) {
-                self.private_cursor = (self.private_cursor + 8) % region.len.saturating_sub(8).max(8);
+                self.private_cursor =
+                    (self.private_cursor + 8) % region.len.saturating_sub(8).max(8);
                 region.start + self.private_cursor
             } else {
                 // Far jump restarts the stream elsewhere.
@@ -294,7 +307,11 @@ impl<'a> ThreadGen<'a> {
         let r2 = self.const_reg();
         let r3 = self.reg();
         self.ops.push(Op::Instr(Instr::Load { dst: r1, src }));
-        self.ops.push(Op::Instr(Instr::Alu2 { dst: r3, a: r1, b: r2 }));
+        self.ops.push(Op::Instr(Instr::Alu2 {
+            dst: r3,
+            a: r1,
+            b: r2,
+        }));
         self.ops.push(Op::Instr(Instr::Store { dst, src: r3 }));
     }
 
@@ -315,7 +332,11 @@ impl<'a> ThreadGen<'a> {
         self.ops.push(Op::Instr(Instr::Alu1 { dst: r2, a: r2 }));
         if self.rng.gen_bool(0.4) {
             let c = self.const_reg();
-            self.ops.push(Op::Instr(Instr::Alu2 { dst: r2, a: r2, b: c }));
+            self.ops.push(Op::Instr(Instr::Alu2 {
+                dst: r2,
+                a: r2,
+                b: c,
+            }));
         } else {
             self.ops.push(Op::Instr(Instr::Alu1 { dst: r1, a: r1 }));
         }
@@ -328,10 +349,16 @@ impl<'a> ThreadGen<'a> {
         let depth = self.rng.gen_range(2..=4);
         for _ in 0..depth {
             let (next, _) = self.data_addr(false);
-            self.ops.push(Op::Instr(Instr::Load { dst: Reg(CHASE_REG), src: next }));
+            self.ops.push(Op::Instr(Instr::Load {
+                dst: Reg(CHASE_REG),
+                src: next,
+            }));
         }
         let r = self.reg();
-        self.ops.push(Op::Instr(Instr::Alu1 { dst: r, a: Reg(CHASE_REG) }));
+        self.ops.push(Op::Instr(Instr::Alu1 {
+            dst: r,
+            a: Reg(CHASE_REG),
+        }));
     }
 
     fn load_use(&mut self) {
@@ -343,22 +370,31 @@ impl<'a> ThreadGen<'a> {
             self.ops.push(Op::Instr(Instr::Alu1 { dst: r2, a: r1 }));
         } else {
             let c = self.const_reg();
-            self.ops.push(Op::Instr(Instr::Alu2 { dst: r2, a: r1, b: c }));
+            self.ops.push(Op::Instr(Instr::Alu2 {
+                dst: r2,
+                a: r1,
+                b: c,
+            }));
         }
     }
 
     fn indirect_jump(&mut self) {
-        if self.spec.inject_bugs && self.tainted_zone.is_some() && self.rng.gen_bool(0.3) {
+        if let Some(zone) = self
+            .tainted_zone
+            .filter(|_| self.spec.inject_bugs && self.rng.gen_bool(0.3))
+        {
             // Bug: jump through a register loaded from unverified input.
-            let zone = self.tainted_zone.expect("checked above");
             self.ops.push(Op::Instr(Instr::Load {
                 dst: Reg(JUMP_REG),
                 src: MemRef::new(zone.start, 8),
             }));
         } else {
-            self.ops.push(Op::Instr(Instr::MovRI { dst: Reg(JUMP_REG) }));
+            self.ops
+                .push(Op::Instr(Instr::MovRI { dst: Reg(JUMP_REG) }));
         }
-        self.ops.push(Op::Instr(Instr::JmpReg { target: Reg(JUMP_REG) }));
+        self.ops.push(Op::Instr(Instr::JmpReg {
+            target: Reg(JUMP_REG),
+        }));
     }
 
     fn malloc_free_pair(&mut self) {
@@ -377,7 +413,10 @@ impl<'a> ThreadGen<'a> {
             // Touch the fresh allocation.
             let r = self.reg();
             self.ops.push(Op::Instr(Instr::MovRI { dst: r }));
-            self.ops.push(Op::Instr(Instr::Store { dst: MemRef::new(range.start, 4), src: r }));
+            self.ops.push(Op::Instr(Instr::Store {
+                dst: MemRef::new(range.start, 4),
+                src: r,
+            }));
             self.live.push_back(range);
         }
         // Keep at most a handful live: free the oldest.
@@ -398,11 +437,17 @@ impl<'a> ThreadGen<'a> {
         let len = 64u64;
         let start = region.start + (self.rng.gen_range(0..region.len.saturating_sub(len) / 8)) * 8;
         let buf = AddrRange::new(start, len);
-        self.ops.push(Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(buf) });
+        self.ops.push(Op::Syscall {
+            kind: SyscallKind::ReadInput,
+            buf: Some(buf),
+        });
         self.tainted_zone = Some(buf);
         // Consume some of the input.
         let r = self.reg();
-        self.ops.push(Op::Instr(Instr::Load { dst: r, src: MemRef::new(buf.start, 4) }));
+        self.ops.push(Op::Instr(Instr::Load {
+            dst: r,
+            src: MemRef::new(buf.start, 4),
+        }));
         // Occasionally write results out.
         if self.rng.gen_bool(0.3) {
             self.ops.push(Op::Syscall {
@@ -452,21 +497,33 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(0.05).build();
-        let b = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(0.05).build();
+        let a = WorkloadSpec::benchmark(Benchmark::Barnes, 4)
+            .scale(0.05)
+            .build();
+        let b = WorkloadSpec::benchmark(Benchmark::Barnes, 4)
+            .scale(0.05)
+            .build();
         assert_eq!(a.threads, b.threads);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = WorkloadSpec::benchmark(Benchmark::Lu, 2).scale(0.05).seed(1).build();
-        let b = WorkloadSpec::benchmark(Benchmark::Lu, 2).scale(0.05).seed(2).build();
+        let a = WorkloadSpec::benchmark(Benchmark::Lu, 2)
+            .scale(0.05)
+            .seed(1)
+            .build();
+        let b = WorkloadSpec::benchmark(Benchmark::Lu, 2)
+            .scale(0.05)
+            .seed(2)
+            .build();
         assert_ne!(a.threads, b.threads);
     }
 
     #[test]
     fn thread_count_and_setup() {
-        let w = WorkloadSpec::benchmark(Benchmark::Ocean, 4).scale(0.02).build();
+        let w = WorkloadSpec::benchmark(Benchmark::Ocean, 4)
+            .scale(0.02)
+            .build();
         assert_eq!(w.thread_count(), 4);
         // Every thread starts by initializing its long-lived constant
         // registers (the second ALU sources).
@@ -502,7 +559,9 @@ mod tests {
 
     #[test]
     fn swaptions_churns_allocations() {
-        let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 2).scale(0.5).build();
+        let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 2)
+            .scale(0.5)
+            .build();
         let mallocs = w.threads[0]
             .iter()
             .filter(|op| matches!(op, Op::Malloc { .. }))
@@ -511,7 +570,10 @@ mod tests {
             .iter()
             .filter(|op| matches!(op, Op::Free { .. }))
             .count();
-        assert!(mallocs > 20, "swaptions allocates constantly, got {mallocs}");
+        assert!(
+            mallocs > 20,
+            "swaptions allocates constantly, got {mallocs}"
+        );
         assert!(frees > 10);
         // LU does not allocate dynamically (setup allocations only).
         let lu = WorkloadSpec::benchmark(Benchmark::Lu, 2).scale(0.5).build();
@@ -524,7 +586,9 @@ mod tests {
 
     #[test]
     fn swaptions_allocation_size_distribution() {
-        let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 1).scale(2.0).build();
+        let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 1)
+            .scale(2.0)
+            .build();
         let sizes: Vec<u64> = w.threads[0]
             .iter()
             .skip(1) // setup malloc
@@ -535,13 +599,21 @@ mod tests {
             .collect();
         assert!(sizes.len() > 50);
         let small = sizes.iter().filter(|s| **s <= 64).count() as f64 / sizes.len() as f64;
-        assert!(small > 0.2 && small < 0.5, "≈1/3 small allocations, got {small}");
-        assert!(sizes.iter().all(|s| *s <= 128 * 64), "none above 128 blocks");
+        assert!(
+            small > 0.2 && small < 0.5,
+            "≈1/3 small allocations, got {small}"
+        );
+        assert!(
+            sizes.iter().all(|s| *s <= 128 * 64),
+            "none above 128 blocks"
+        );
     }
 
     #[test]
     fn locked_benchmarks_emit_balanced_lock_pairs() {
-        let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4).scale(0.3).build();
+        let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4)
+            .scale(0.3)
+            .build();
         for ops in &w.threads {
             let mut depth = 0i64;
             for op in ops {
@@ -550,7 +622,10 @@ mod tests {
                     Op::Unlock { .. } => depth -= 1,
                     _ => {}
                 }
-                assert!((0..=1).contains(&depth), "locks never nest in our workloads");
+                assert!(
+                    (0..=1).contains(&depth),
+                    "locks never nest in our workloads"
+                );
             }
             assert_eq!(depth, 0, "every lock released");
         }
@@ -558,9 +633,17 @@ mod tests {
 
     #[test]
     fn syscalls_present_with_buffers() {
-        let w = WorkloadSpec::benchmark(Benchmark::Barnes, 2).scale(1.0).build();
+        let w = WorkloadSpec::benchmark(Benchmark::Barnes, 2)
+            .scale(1.0)
+            .build();
         let has_read = w.threads.iter().flatten().any(|op| {
-            matches!(op, Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(_) })
+            matches!(
+                op,
+                Op::Syscall {
+                    kind: SyscallKind::ReadInput,
+                    buf: Some(_)
+                }
+            )
         });
         assert!(has_read, "read() syscalls feed TaintCheck");
     }
@@ -582,7 +665,9 @@ mod tests {
 
     #[test]
     fn heap_region_covers_all_data() {
-        let w = WorkloadSpec::benchmark(Benchmark::Radiosity, 4).scale(0.1).build();
+        let w = WorkloadSpec::benchmark(Benchmark::Radiosity, 4)
+            .scale(0.1)
+            .build();
         for ops in &w.threads {
             for op in ops {
                 if let Op::Malloc { range } | Op::Free { range } = op {

@@ -333,7 +333,10 @@ impl WorkloadSpec {
 
     /// Per-thread private region.
     pub fn private_region(&self, tid: usize) -> AddrRange {
-        AddrRange::new(PRIVATE_BASE + tid as u64 * PRIVATE_STRIDE, self.private_bytes)
+        AddrRange::new(
+            PRIVATE_BASE + tid as u64 * PRIVATE_STRIDE,
+            self.private_bytes,
+        )
     }
 
     /// The shared region.
@@ -352,7 +355,10 @@ mod tests {
             let s = WorkloadSpec::benchmark(b, 4);
             assert_eq!(s.threads, 4);
             assert!(s.ops_per_thread > 0);
-            assert!(s.mix.total() > 0.99 && s.mix.total() < 1.01, "{b}: mix normalized");
+            assert!(
+                s.mix.total() > 0.99 && s.mix.total() < 1.01,
+                "{b}: mix normalized"
+            );
         }
     }
 
@@ -360,7 +366,9 @@ mod tests {
     fn swaptions_has_malloc_churn() {
         let s = WorkloadSpec::benchmark(Benchmark::Swaptions, 8);
         assert!(s.malloc_every.unwrap() < 200, "heavy allocation churn");
-        assert!(WorkloadSpec::benchmark(Benchmark::Lu, 8).malloc_every.is_none());
+        assert!(WorkloadSpec::benchmark(Benchmark::Lu, 8)
+            .malloc_every
+            .is_none());
     }
 
     #[test]

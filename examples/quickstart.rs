@@ -11,7 +11,9 @@ use paralog::workloads::{Benchmark, WorkloadSpec};
 
 fn main() {
     // A 4-thread BARNES-like workload (pointer chasing, irregular sharing).
-    let workload = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(0.3).build();
+    let workload = WorkloadSpec::benchmark(Benchmark::Barnes, 4)
+        .scale(0.3)
+        .build();
     println!(
         "workload: {} — {} threads, {} operations ({} high-level events)",
         workload.name,
@@ -57,7 +59,10 @@ fn main() {
     let m = &par.metrics;
     println!("\nplatform activity:");
     println!("  event records        : {}", m.records);
-    println!("  delivered metadata ops: {} (IT absorbed {})", m.delivered_ops, m.it.absorbed);
+    println!(
+        "  delivered metadata ops: {} (IT absorbed {})",
+        m.delivered_ops, m.it.absorbed
+    );
     println!(
         "  dependence arcs      : {} recorded, {} eliminated by reduction",
         m.capture.recorded, m.capture.reduced

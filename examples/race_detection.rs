@@ -20,7 +20,9 @@ use paralog::workloads::{Benchmark, Workload, WorkloadSpec};
 
 fn lockset_demo() {
     // FLUIDANIMATE-like workload, but with extra unprotected shared writes.
-    let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4).scale(0.2).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4)
+        .scale(0.2)
+        .build();
     let outcome = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::LockSet),
@@ -39,11 +41,23 @@ fn lockset_demo() {
     let disciplined: Vec<Op> = (0..4)
         .flat_map(|_| {
             vec![
-                Op::Lock { lock, addr: lock_word(lock) },
+                Op::Lock {
+                    lock,
+                    addr: lock_word(lock),
+                },
                 Op::Instr(Instr::MovRI { dst: Reg(0) }),
-                Op::Instr(Instr::Store { dst: shared, src: Reg(0) }),
-                Op::Instr(Instr::Load { dst: Reg(1), src: shared }),
-                Op::Unlock { lock, addr: lock_word(lock) },
+                Op::Instr(Instr::Store {
+                    dst: shared,
+                    src: Reg(0),
+                }),
+                Op::Instr(Instr::Load {
+                    dst: Reg(1),
+                    src: shared,
+                }),
+                Op::Unlock {
+                    lock,
+                    addr: lock_word(lock),
+                },
             ]
         })
         .collect();
@@ -73,14 +87,26 @@ fn syscall_race_demo() {
     // order the kernel's write — the range table must catch it.
     let buf = AddrRange::new(0x2000_0000, 256);
     let reader = vec![
-        Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(buf) },
-        Op::Instr(Instr::Load { dst: Reg(0), src: MemRef::new(buf.start, 4) }),
+        Op::Syscall {
+            kind: SyscallKind::ReadInput,
+            buf: Some(buf),
+        },
+        Op::Instr(Instr::Load {
+            dst: Reg(0),
+            src: MemRef::new(buf.start, 4),
+        }),
     ];
     let racer = vec![
         Op::Instr(Instr::MovRI { dst: Reg(0) }),
         // Races the in-flight read().
-        Op::Instr(Instr::Load { dst: Reg(1), src: MemRef::new(buf.start + 128, 4) }),
-        Op::Instr(Instr::Store { dst: MemRef::new(0x2100_0000, 4), src: Reg(1) }),
+        Op::Instr(Instr::Load {
+            dst: Reg(1),
+            src: MemRef::new(buf.start + 128, 4),
+        }),
+        Op::Instr(Instr::Store {
+            dst: MemRef::new(0x2100_0000, 4),
+            src: Reg(1),
+        }),
     ];
     let w = Workload {
         name: "syscall-race".into(),
@@ -99,7 +125,10 @@ fn syscall_race_demo() {
         .count();
     println!("\nTaintCheck syscall-race detection: {syscall_races} racing accesses flagged");
     println!("  (destination conservatively tainted, as §5.4 prescribes)");
-    assert!(syscall_races > 0, "the range table must flag the racing load");
+    assert!(
+        syscall_races > 0,
+        "the range table must flag the racing load"
+    );
 }
 
 fn main() {

@@ -15,7 +15,9 @@ use paralog::lifeguards::{LifeguardKind, ViolationKind};
 use paralog::workloads::{Benchmark, WorkloadSpec};
 
 fn main() {
-    let clean = WorkloadSpec::benchmark(Benchmark::Swaptions, 4).scale(0.5).build();
+    let clean = WorkloadSpec::benchmark(Benchmark::Swaptions, 4)
+        .scale(0.5)
+        .build();
     println!(
         "swaptions: {} ops, {} high-level events (malloc/free churn)",
         clean.total_ops(),
@@ -66,5 +68,8 @@ fn main() {
         .filter(|v| v.kind == ViolationKind::UnallocatedAccess)
         .count();
     println!("\nwith injected allocator bugs: {uaf} unallocated-access violations reported");
-    assert!(uaf > 0, "AddrCheck must catch the injected use-after-free accesses");
+    assert!(
+        uaf > 0,
+        "AddrCheck must catch the injected use-after-free accesses"
+    );
 }

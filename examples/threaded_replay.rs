@@ -15,7 +15,11 @@ use paralog::core::run_threaded_taintcheck;
 use paralog::workloads::{Benchmark, WorkloadSpec};
 
 fn main() {
-    for bench in [Benchmark::Barnes, Benchmark::Fluidanimate, Benchmark::Radiosity] {
+    for bench in [
+        Benchmark::Barnes,
+        Benchmark::Fluidanimate,
+        Benchmark::Radiosity,
+    ] {
         let w = WorkloadSpec::benchmark(bench, 4).scale(0.2).build();
         let mut spins = 0;
         for round in 0..5 {

@@ -26,16 +26,28 @@ fn main() {
     // the lifeguards must agree with what the hardware actually did.
     let dekker = |mine: MemRef, theirs: MemRef, buf: AddrRange| {
         vec![
-            Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(buf) },
+            Op::Syscall {
+                kind: SyscallKind::ReadInput,
+                buf: Some(buf),
+            },
             // Spacer work so both threads reach the racy window together.
             Op::Instr(Instr::MovRI { dst: Reg(5) }),
             Op::Instr(Instr::MovRI { dst: Reg(0) }),
             // Wr(mine) <- clean; the store sits in the store buffer.
-            Op::Instr(Instr::Store { dst: mine, src: Reg(0) }),
+            Op::Instr(Instr::Store {
+                dst: mine,
+                src: Reg(0),
+            }),
             // Rd(theirs): may retire before the remote store drains.
-            Op::Instr(Instr::Load { dst: Reg(1), src: theirs }),
+            Op::Instr(Instr::Load {
+                dst: Reg(1),
+                src: theirs,
+            }),
             // Use the read value so the taint outcome is observable.
-            Op::Instr(Instr::Store { dst: MemRef::new(mine.addr + 0x40, 8), src: Reg(1) }),
+            Op::Instr(Instr::Store {
+                dst: MemRef::new(mine.addr + 0x40, 8),
+                src: Reg(1),
+            }),
         ]
     };
 
@@ -64,11 +76,21 @@ fn main() {
         "  metadata matches the sequential reference: {}",
         m.matches_reference()
     );
-    assert!(m.matches_reference(), "versioned metadata must preserve lifeguard accuracy");
-    assert_eq!(m.versions_produced, m.versions_consumed, "every version finds its consumer");
+    assert!(
+        m.matches_reference(),
+        "versioned metadata must preserve lifeguard accuracy"
+    );
+    assert_eq!(
+        m.versions_produced, m.versions_consumed,
+        "every version finds its consumer"
+    );
     if m.versions_produced > 0 {
-        println!("\nSC-violating R->W arcs were reversed into produce/consume version pairs (Figure 5).");
+        println!(
+            "\nSC-violating R->W arcs were reversed into produce/consume version pairs (Figure 5)."
+        );
     } else {
-        println!("\n(no SC violation manifested at this interleaving; ordering held via plain arcs)");
+        println!(
+            "\n(no SC violation manifested at this interleaving; ordering held via plain arcs)"
+        );
     }
 }

@@ -24,7 +24,9 @@ fn inheritance_tracking_absorbs_most_dataflow_events() {
 
 #[test]
 fn idempotent_filter_hits_on_temporal_reuse() {
-    let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 2).scale(0.2).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 2)
+        .scale(0.2)
+        .build();
     let m = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::AddrCheck),
@@ -39,7 +41,9 @@ fn idempotent_filter_hits_on_temporal_reuse() {
 
 #[test]
 fn mtlb_hit_rate_is_high_on_paged_working_sets() {
-    let w = WorkloadSpec::benchmark(Benchmark::Ocean, 2).scale(0.2).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Ocean, 2)
+        .scale(0.2)
+        .build();
     let m = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
@@ -54,7 +58,9 @@ fn mtlb_hit_rate_is_high_on_paged_working_sets() {
 
 #[test]
 fn accelerators_reduce_delivered_ops() {
-    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 2).scale(0.2).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 2)
+        .scale(0.2)
+        .build();
     let with = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
@@ -79,7 +85,9 @@ fn it_threshold_bounds_flush_behaviour() {
     // A tiny advertising-lag threshold forces frequent refreshes; a huge one
     // never fires. Both stay correct (covered by equivalence tests); here we
     // check the accounting moves in the right direction.
-    let w = WorkloadSpec::benchmark(Benchmark::Fmm, 2).scale(0.2).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Fmm, 2)
+        .scale(0.2)
+        .build();
     let mut tight = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
     tight.it_threshold = Some(8);
     let mut loose = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
@@ -96,7 +104,9 @@ fn it_threshold_bounds_flush_behaviour() {
 
 #[test]
 fn ca_flushes_track_allocation_churn() {
-    let churn = WorkloadSpec::benchmark(Benchmark::Swaptions, 2).scale(0.2).build();
+    let churn = WorkloadSpec::benchmark(Benchmark::Swaptions, 2)
+        .scale(0.2)
+        .build();
     let quiet = WorkloadSpec::benchmark(Benchmark::Lu, 2).scale(0.2).build();
     let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
     let m_churn = Platform::run(&churn, &cfg).metrics;
@@ -107,12 +117,17 @@ fn ca_flushes_track_allocation_churn() {
         m_churn.ca_broadcasts,
         m_quiet.ca_broadcasts
     );
-    assert!(m_churn.it.ca_flushes > 0, "malloc/free CAs flush the IT table");
+    assert!(
+        m_churn.it.ca_flushes > 0,
+        "malloc/free CAs flush the IT table"
+    );
 }
 
 #[test]
 fn arc_reduction_eliminates_most_observed_conflicts() {
-    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(0.2).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4)
+        .scale(0.2)
+        .build();
     let m = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
@@ -130,7 +145,9 @@ fn arc_reduction_eliminates_most_observed_conflicts() {
 fn dependence_checks_mostly_pass_immediately() {
     // §7: "most of the time when a lifeguard encounters an incoming
     // dependence arc, the dependence has already been satisfied."
-    let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4).scale(0.2).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4)
+        .scale(0.2)
+        .build();
     let m = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),

@@ -12,7 +12,10 @@ use paralog::lifeguards::LifeguardKind;
 use paralog::workloads::{Benchmark, WorkloadSpec};
 
 fn assert_equivalent(bench: Benchmark, kind: LifeguardKind, threads: usize, tso: bool, seed: u64) {
-    let w = WorkloadSpec::benchmark(bench, threads).scale(0.08).seed(seed).build();
+    let w = WorkloadSpec::benchmark(bench, threads)
+        .scale(0.08)
+        .seed(seed)
+        .build();
     let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, kind).with_equivalence_check();
     if tso {
         cfg = cfg.with_tso();
@@ -37,8 +40,20 @@ fn taintcheck_sc_all_benchmarks_4_threads() {
 #[test]
 fn taintcheck_sc_thread_sweep_on_sharing_heavy_benchmarks() {
     for threads in [1, 2, 4, 8] {
-        assert_equivalent(Benchmark::Barnes, LifeguardKind::TaintCheck, threads, false, 22);
-        assert_equivalent(Benchmark::Radiosity, LifeguardKind::TaintCheck, threads, false, 22);
+        assert_equivalent(
+            Benchmark::Barnes,
+            LifeguardKind::TaintCheck,
+            threads,
+            false,
+            22,
+        );
+        assert_equivalent(
+            Benchmark::Radiosity,
+            LifeguardKind::TaintCheck,
+            threads,
+            false,
+            22,
+        );
     }
 }
 
@@ -52,7 +67,13 @@ fn taintcheck_tso_all_benchmarks() {
 #[test]
 fn taintcheck_tso_8_threads_sharing_heavy() {
     assert_equivalent(Benchmark::Barnes, LifeguardKind::TaintCheck, 8, true, 44);
-    assert_equivalent(Benchmark::Fluidanimate, LifeguardKind::TaintCheck, 8, true, 44);
+    assert_equivalent(
+        Benchmark::Fluidanimate,
+        LifeguardKind::TaintCheck,
+        8,
+        true,
+        44,
+    );
 }
 
 #[test]
@@ -74,7 +95,13 @@ fn memcheck_sc_malloc_heavy() {
 #[test]
 fn equivalence_across_seeds() {
     for seed in [1u64, 2, 3, 4, 5] {
-        assert_equivalent(Benchmark::Fluidanimate, LifeguardKind::TaintCheck, 4, false, seed);
+        assert_equivalent(
+            Benchmark::Fluidanimate,
+            LifeguardKind::TaintCheck,
+            4,
+            false,
+            seed,
+        );
     }
 }
 
@@ -83,7 +110,9 @@ fn timesliced_matches_reference_too() {
     // The timesliced baseline consumes a totally-ordered stream; it must
     // agree with the same reference.
     for kind in [LifeguardKind::TaintCheck, LifeguardKind::AddrCheck] {
-        let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(0.08).build();
+        let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4)
+            .scale(0.08)
+            .build();
         let cfg = MonitorConfig::new(MonitoringMode::Timesliced, kind).with_equivalence_check();
         let m = Platform::run(&w, &cfg).metrics;
         assert!(m.matches_reference(), "{kind} timesliced diverged");
@@ -93,7 +122,9 @@ fn timesliced_matches_reference_too() {
 #[test]
 fn capture_policy_variants_preserve_equivalence() {
     use paralog::order::{CapturePolicy, Reduction};
-    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4).scale(0.08).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 4)
+        .scale(0.08)
+        .build();
     for (policy, reduction) in [
         (CapturePolicy::PerBlock, Reduction::None),
         (CapturePolicy::PerBlock, Reduction::Direct),
@@ -115,7 +146,9 @@ fn capture_policy_variants_preserve_equivalence() {
 
 #[test]
 fn no_accelerators_preserve_equivalence() {
-    let w = WorkloadSpec::benchmark(Benchmark::Fmm, 4).scale(0.08).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Fmm, 4)
+        .scale(0.08)
+        .build();
     let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
         .without_accelerators()
         .with_equivalence_check();
@@ -124,7 +157,9 @@ fn no_accelerators_preserve_equivalence() {
 
 #[test]
 fn it_threshold_variants_preserve_equivalence() {
-    let w = WorkloadSpec::benchmark(Benchmark::Ocean, 4).scale(0.08).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Ocean, 4)
+        .scale(0.08)
+        .build();
     for threshold in [None, Some(16), Some(256), Some(100_000)] {
         let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
             .with_equivalence_check();
@@ -137,7 +172,9 @@ fn it_threshold_variants_preserve_equivalence() {
 #[test]
 fn tiny_log_buffer_preserves_equivalence() {
     // Heavy backpressure must only cost time, never correctness.
-    let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 4).scale(0.05).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 4)
+        .scale(0.05)
+        .build();
     let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
         .with_equivalence_check();
     cfg.log_capacity = 128;

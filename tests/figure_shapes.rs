@@ -36,7 +36,10 @@ fn timesliced_gap_grows_with_thread_count() {
         spdup.windows(2).all(|w| w[1] > w[0] * 0.9),
         "speedup over timeslicing must grow (roughly) with threads: {spdup:?}"
     );
-    assert!(spdup.last().unwrap() > &3.0, "8-thread gap must be substantial");
+    assert!(
+        spdup.last().unwrap() > &3.0,
+        "8-thread gap must be substantial"
+    );
 }
 
 #[test]
@@ -62,7 +65,10 @@ fn addrcheck_is_cheaper_than_taintcheck() {
 fn accelerators_help_both_lifeguards_with_taint_gaining_more() {
     let taint = figure8(LifeguardKind::TaintCheck, &[Benchmark::Barnes], SCALE);
     let addr = figure8(LifeguardKind::AddrCheck, &[Benchmark::Barnes], SCALE);
-    assert!(taint[0].accelerator_speedup() > 1.2, "IT must pay off on BARNES");
+    assert!(
+        taint[0].accelerator_speedup() > 1.2,
+        "IT must pay off on BARNES"
+    );
     assert!(addr[0].accelerator_speedup() > 1.0, "IF/M-TLB must pay off");
     assert!(
         taint[0].accelerator_speedup() > addr[0].accelerator_speedup(),
@@ -151,7 +157,9 @@ fn single_thread_overheads_land_in_the_paper_band() {
 fn memcheck_and_lockset_run_the_full_pipeline() {
     // The two qualitative lifeguards also execute end-to-end on a sharing
     // and allocation heavy benchmark.
-    let w = WorkloadSpec::benchmark(Benchmark::Radiosity, 4).scale(SCALE).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Radiosity, 4)
+        .scale(SCALE)
+        .build();
     for kind in [LifeguardKind::MemCheck, LifeguardKind::LockSet] {
         let out = Platform::run(&w, &MonitorConfig::new(MonitoringMode::Parallel, kind));
         assert!(out.metrics.execution_cycles() > 0);

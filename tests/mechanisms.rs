@@ -37,18 +37,36 @@ fn figure3_workload(prefix_work: usize, gap_nops: usize) -> Workload {
             src: Reg(4),
         }));
     }
-    t0.push(Op::Instr(Instr::Load { dst: Reg(0), src: a })); // i
-    t0.push(Op::Instr(Instr::MovRR { dst: Reg(1), src: Reg(0) })); // i+1
+    t0.push(Op::Instr(Instr::Load {
+        dst: Reg(0),
+        src: a,
+    })); // i
+    t0.push(Op::Instr(Instr::MovRR {
+        dst: Reg(1),
+        src: Reg(0),
+    })); // i+1
     for _ in 0..gap_nops {
         t0.push(Op::Instr(Instr::Nop));
     }
-    t0.push(Op::Instr(Instr::Store { dst: b, src: Reg(1) })); // i+2
+    t0.push(Op::Instr(Instr::Store {
+        dst: b,
+        src: Reg(1),
+    })); // i+2
 
     // Thread 1: taints its source buffer, then overwrites A (event j).
     let t1 = vec![
-        Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(taint_src) },
-        Op::Instr(Instr::Load { dst: Reg(2), src: MemRef::new(taint_src.start, 4) }),
-        Op::Instr(Instr::Store { dst: a, src: Reg(2) }), // j: remote conflict
+        Op::Syscall {
+            kind: SyscallKind::ReadInput,
+            buf: Some(taint_src),
+        },
+        Op::Instr(Instr::Load {
+            dst: Reg(2),
+            src: MemRef::new(taint_src.start, 4),
+        }),
+        Op::Instr(Instr::Store {
+            dst: a,
+            src: Reg(2),
+        }), // j: remote conflict
     ];
     custom(vec![t0, t1])
 }
@@ -115,19 +133,27 @@ fn logical_race_use_after_free_detected() {
     assert!(uaf > 0, "injected use-after-free must be reported");
 
     // The clean workload reports nothing.
-    let clean = WorkloadSpec::benchmark(Benchmark::Swaptions, 4).scale(0.3).build();
+    let clean = WorkloadSpec::benchmark(Benchmark::Swaptions, 4)
+        .scale(0.3)
+        .build();
     let outcome = Platform::run(
         &clean,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::AddrCheck),
     );
-    assert_eq!(outcome.violations().len(), 0, "no false positives on the clean run");
+    assert_eq!(
+        outcome.violations().len(),
+        0,
+        "no false positives on the clean run"
+    );
 }
 
 #[test]
 fn ca_barrier_vs_flush_only_cost() {
     // The conservative CA barrier is the §7 SWAPTIONS bottleneck; the
     // flush-only ablation must be cheaper on dependence waits.
-    let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 4).scale(0.2).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Swaptions, 4)
+        .scale(0.2)
+        .build();
     let barrier = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::AddrCheck),
@@ -147,20 +173,35 @@ fn ca_barrier_vs_flush_only_cost() {
 fn syscall_race_flagged_and_conservatively_tainted() {
     let buf = AddrRange::new(0x2000_0000, 256);
     let reader = vec![
-        Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(buf) },
-        Op::Instr(Instr::Load { dst: Reg(0), src: MemRef::new(buf.start, 4) }),
+        Op::Syscall {
+            kind: SyscallKind::ReadInput,
+            buf: Some(buf),
+        },
+        Op::Instr(Instr::Load {
+            dst: Reg(0),
+            src: MemRef::new(buf.start, 4),
+        }),
     ];
     let racer = vec![
         Op::Instr(Instr::MovRI { dst: Reg(0) }),
-        Op::Instr(Instr::Load { dst: Reg(1), src: MemRef::new(buf.start + 128, 4) }),
-        Op::Instr(Instr::Store { dst: MemRef::new(0x2100_0000, 4), src: Reg(1) }),
+        Op::Instr(Instr::Load {
+            dst: Reg(1),
+            src: MemRef::new(buf.start + 128, 4),
+        }),
+        Op::Instr(Instr::Store {
+            dst: MemRef::new(0x2100_0000, 4),
+            src: Reg(1),
+        }),
     ];
     let w = custom(vec![reader, racer]);
     let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
     cfg.damage_containment = false;
     let outcome = Platform::run(&w, &cfg);
     assert!(
-        outcome.violations().iter().any(|v| v.kind == ViolationKind::SyscallRace),
+        outcome
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::SyscallRace),
         "racing access must be flagged via the range table"
     );
 }
@@ -172,18 +213,27 @@ fn no_syscall_race_for_disjoint_buffers() {
             kind: SyscallKind::ReadInput,
             buf: Some(AddrRange::new(0x2000_0000, 64)),
         },
-        Op::Instr(Instr::Load { dst: Reg(0), src: MemRef::new(0x2000_0000, 4) }),
+        Op::Instr(Instr::Load {
+            dst: Reg(0),
+            src: MemRef::new(0x2000_0000, 4),
+        }),
     ];
     let other = vec![
         Op::Instr(Instr::MovRI { dst: Reg(0) }),
-        Op::Instr(Instr::Load { dst: Reg(1), src: MemRef::new(0x2200_0000, 4) }),
+        Op::Instr(Instr::Load {
+            dst: Reg(1),
+            src: MemRef::new(0x2200_0000, 4),
+        }),
     ];
     let w = custom(vec![reader, other]);
     let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
     cfg.damage_containment = false;
     let outcome = Platform::run(&w, &cfg);
     assert!(
-        !outcome.violations().iter().any(|v| v.kind == ViolationKind::SyscallRace),
+        !outcome
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::SyscallRace),
         "disjoint access must not be flagged"
     );
 }
@@ -195,7 +245,9 @@ fn damage_containment_costs_syscall_stall_time() {
     // Without accelerators the lifeguard runs behind, so the containment
     // stall at each syscall is clearly visible. Full scale so the workload
     // actually reaches its syscalls (one every ~6000 idiom slots).
-    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 2).scale(1.0).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 2)
+        .scale(1.0)
+        .build();
     let with = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
@@ -207,7 +259,10 @@ fn damage_containment_costs_syscall_stall_time() {
     let without = Platform::run(&w, &cfg);
     let stall_with: u64 = with.metrics.app.iter().map(|b| b.syscall_stall).sum();
     let stall_without: u64 = without.metrics.app.iter().map(|b| b.syscall_stall).sum();
-    assert!(stall_with > 0, "containment must stall the application at syscalls");
+    assert!(
+        stall_with > 0,
+        "containment must stall the application at syscalls"
+    );
     assert_eq!(stall_without, 0, "no containment, no syscall stalls");
 }
 
@@ -215,7 +270,9 @@ fn damage_containment_costs_syscall_stall_time() {
 fn lockset_slow_path_is_charged() {
     // LockSet violates §5.3 condition 2; its cross-thread read transitions
     // take the locked slow path, whose cost must appear in lifeguard time.
-    let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4).scale(0.1).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4)
+        .scale(0.1)
+        .build();
     let lockset = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::LockSet),
@@ -225,8 +282,7 @@ fn lockset_slow_path_is_charged() {
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::AddrCheck),
     );
     assert!(
-        lockset.metrics.lifeguard_totals().useful
-            > addrcheck.metrics.lifeguard_totals().useful,
+        lockset.metrics.lifeguard_totals().useful > addrcheck.metrics.lifeguard_totals().useful,
         "slow-path synchronization must make LockSet dearer than AddrCheck"
     );
 }

@@ -46,8 +46,14 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 fn thread_strategy(tid: u64) -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(op_strategy(), 10..60).prop_map(move |mut ops| {
         let buf = AddrRange::new(BASE + 0x10_000 + tid * 64, 8);
-        let mut v = vec![Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(buf) }];
-        v.push(Op::Instr(Instr::Load { dst: Reg(0), src: MemRef::new(buf.start, 8) }));
+        let mut v = vec![Op::Syscall {
+            kind: SyscallKind::ReadInput,
+            buf: Some(buf),
+        }];
+        v.push(Op::Instr(Instr::Load {
+            dst: Reg(0),
+            src: MemRef::new(buf.start, 8),
+        }));
         v.append(&mut ops);
         v
     })

@@ -10,8 +10,7 @@
 
 use paralog::events::codec::{decode, encode};
 use paralog::events::{
-    AccessKind, AddrRange, ArcKind, DependenceArc, EventRecord, Instr, MemRef, Reg, Rid,
-    ThreadId,
+    AccessKind, AddrRange, ArcKind, DependenceArc, EventRecord, Instr, MemRef, Reg, Rid, ThreadId,
 };
 use paralog::meta::ShadowMemory;
 use paralog::order::{CapturePolicy, OrderCapture, Reduction};
@@ -27,8 +26,11 @@ struct Access {
 }
 
 fn access_strategy(threads: usize) -> impl Strategy<Value = Access> {
-    (0..threads, 0u64..12, any::<bool>())
-        .prop_map(|(thread, slot, write)| Access { thread, slot, write })
+    (0..threads, 0u64..12, any::<bool>()).prop_map(|(thread, slot, write)| Access {
+        thread,
+        slot,
+        write,
+    })
 }
 
 /// Replays the accesses through the memory system + order capture, then
@@ -50,7 +52,11 @@ fn verify_arc_soundness(
         rid[a.thread] = r;
         mem.set_core_rid(a.thread, r);
         let addr = 0x1000 + a.slot * 64; // one block per slot
-        let kind = if a.write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if a.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         let res = mem.access(a.thread, r, addr, 8, kind);
         let mut arcs = Vec::new();
         for t in &res.touches {
@@ -125,7 +131,7 @@ proptest! {
         let count = |reduction| {
             let mut mem = MemorySystem::new(&MachineConfig::paper(4));
             let mut capture = OrderCapture::new(4, CapturePolicy::PerBlock, reduction);
-            let mut rid = vec![Rid::ZERO; 4];
+            let mut rid = [Rid::ZERO; 4];
             for a in &accesses {
                 let r = rid[a.thread].next();
                 rid[a.thread] = r;

@@ -1,0 +1,191 @@
+//! Property test for the flat two-level shadow memory: random interleavings
+//! of `get`/`set`/`join_range`/`set_range`/`copy_range`/`eq_range`/
+//! `snapshot`/`restore` must agree with a naive `BTreeMap<Addr, u8>`
+//! reference model, for every supported metadata width.
+//!
+//! The model applies `copy_range` byte-wise in ascending order — exactly the
+//! semantics the word-wise implementation must preserve (including the
+//! deliberate smearing on overlapping forward copies).
+
+use paralog::events::AddrRange;
+use paralog::meta::{ShadowMemory, CHUNK_APP_BYTES};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Address domain spanning several chunks, hugging chunk boundaries so the
+/// head/tail mask and chunk-split paths all fire.
+const SPAN: u64 = CHUNK_APP_BYTES * 3 + 128;
+
+#[derive(Debug, Clone, Copy)]
+enum ShadowOp {
+    Set { addr: u64, value: u8 },
+    SetRange { start: u64, len: u64, value: u8 },
+    Get { addr: u64 },
+    JoinRange { start: u64, len: u64 },
+    EqRange { start: u64, len: u64, value: u8 },
+    CopyRange { dst: u64, src: u64, len: u64 },
+    SnapshotRestore { start: u64, len: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = ShadowOp> {
+    let addr = || 0u64..SPAN;
+    let len = || {
+        prop_oneof![
+            4 => 1u64..16,
+            2 => 16u64..256,
+            1 => 256u64..8192,
+        ]
+    };
+    prop_oneof![
+        3 => (addr(), 0u8..=255).prop_map(|(addr, value)| ShadowOp::Set { addr, value }),
+        3 => (addr(), len(), 0u8..=255)
+            .prop_map(|(start, len, value)| ShadowOp::SetRange { start, len, value }),
+        2 => addr().prop_map(|addr| ShadowOp::Get { addr }),
+        2 => (addr(), len()).prop_map(|(start, len)| ShadowOp::JoinRange { start, len }),
+        1 => (addr(), len(), 0u8..=255)
+            .prop_map(|(start, len, value)| ShadowOp::EqRange { start, len, value }),
+        2 => (addr(), addr(), len())
+            .prop_map(|(dst, src, len)| ShadowOp::CopyRange { dst, src, len }),
+        1 => (addr(), len()).prop_map(|(start, len)| ShadowOp::SnapshotRestore { start, len }),
+    ]
+}
+
+/// Reference model: absent key = clean (0).
+#[derive(Debug, Default)]
+struct Model {
+    bytes: BTreeMap<u64, u8>,
+}
+
+impl Model {
+    fn get(&self, addr: u64) -> u8 {
+        self.bytes.get(&addr).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, addr: u64, v: u8) {
+        if v == 0 {
+            self.bytes.remove(&addr);
+        } else {
+            self.bytes.insert(addr, v);
+        }
+    }
+
+    fn join(&self, start: u64, len: u64) -> u8 {
+        (start..start + len).fold(0, |a, addr| a | self.get(addr))
+    }
+}
+
+fn run_ops(bits: u32, ops: &[ShadowOp]) -> Result<(), TestCaseError> {
+    let mut shadow = ShadowMemory::new(bits);
+    let mut model = Model::default();
+    let max = shadow.max_value();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            ShadowOp::Set { addr, value } => {
+                let v = value & max;
+                shadow.set(addr, v);
+                model.set(addr, v);
+            }
+            ShadowOp::SetRange { start, len, value } => {
+                let v = value & max;
+                shadow.set_range(AddrRange::new(start, len), v);
+                for a in start..start + len {
+                    model.set(a, v);
+                }
+            }
+            ShadowOp::Get { addr } => {
+                prop_assert_eq!(shadow.get(addr), model.get(addr), "bits={} op#{}", bits, i);
+            }
+            ShadowOp::JoinRange { start, len } => {
+                prop_assert_eq!(
+                    shadow.join_range(AddrRange::new(start, len)),
+                    model.join(start, len),
+                    "bits={} op#{}",
+                    bits,
+                    i
+                );
+            }
+            ShadowOp::EqRange { start, len, value } => {
+                let v = value & max;
+                let expect = (start..start + len).all(|a| model.get(a) == v);
+                prop_assert_eq!(
+                    shadow.eq_range(AddrRange::new(start, len), v),
+                    expect,
+                    "bits={} op#{}",
+                    bits,
+                    i
+                );
+            }
+            ShadowOp::CopyRange { dst, src, len } => {
+                shadow.copy_range(dst, src, len);
+                // Ascending byte-wise copy — the defined semantics, which
+                // smears on forward-overlapping ranges.
+                for k in 0..len {
+                    let v = model.get(src + k);
+                    model.set(dst + k, v);
+                }
+            }
+            ShadowOp::SnapshotRestore { start, len } => {
+                let range = AddrRange::new(start, len);
+                let snap = shadow.snapshot(range);
+                prop_assert_eq!(snap.len() as u64, len);
+                for (k, &v) in snap.iter().enumerate() {
+                    prop_assert_eq!(v, model.get(start + k as u64), "snapshot bits={bits}");
+                }
+                // Scramble, then restore must reproduce the model exactly.
+                shadow.set_range(range, max);
+                shadow.restore(range, &snap);
+                for k in 0..len {
+                    prop_assert_eq!(
+                        shadow.get(start + k),
+                        model.get(start + k),
+                        "restore bits={} op#{}",
+                        bits,
+                        i
+                    );
+                }
+            }
+        }
+    }
+    // Final full-state agreement: every nonzero byte, in ascending order.
+    let got: Vec<(u64, u8)> = shadow.iter_nonzero().collect();
+    let want: Vec<(u64, u8)> = model.bytes.iter().map(|(&a, &v)| (a, v)).collect();
+    prop_assert_eq!(got, want, "iter_nonzero bits={}", bits);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shadow_matches_btreemap_model(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        for bits in [1u32, 2, 4, 8] {
+            run_ops(bits, &ops)?;
+        }
+    }
+
+    #[test]
+    fn boundary_heavy_ops_match_model(
+        // Cluster addresses tightly around chunk boundaries.
+        raw in proptest::collection::vec(
+            (0u64..6, 0u64..64, 1u64..200, 0u8..=255, any::<bool>()),
+            1..60,
+        ),
+    ) {
+        let ops: Vec<ShadowOp> = raw
+            .into_iter()
+            .map(|(edge, off, len, value, fill)| {
+                let start = (edge * CHUNK_APP_BYTES / 2 + off).saturating_sub(32);
+                if fill {
+                    ShadowOp::SetRange { start, len, value }
+                } else {
+                    ShadowOp::JoinRange { start, len }
+                }
+            })
+            .collect();
+        for bits in [1u32, 2, 4, 8] {
+            run_ops(bits, &ops)?;
+        }
+    }
+}

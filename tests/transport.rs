@@ -9,7 +9,9 @@ use paralog::workloads::{Benchmark, WorkloadSpec};
 
 #[test]
 fn records_flow_is_conserved() {
-    let w = WorkloadSpec::benchmark(Benchmark::Fmm, 4).scale(0.1).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Fmm, 4)
+        .scale(0.1)
+        .build();
     let m = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck),
@@ -22,18 +24,26 @@ fn records_flow_is_conserved() {
         .flatten()
         .filter(|op| matches!(op, Op::Instr(_)))
         .count();
-    assert!(m.records >= instrs as u64, "every retired instruction is logged");
+    assert!(
+        m.records >= instrs as u64,
+        "every retired instruction is logged"
+    );
 }
 
 #[test]
 fn tiny_ring_causes_backpressure() {
-    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 2).scale(0.2).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Barnes, 2)
+        .scale(0.2)
+        .build();
     let mut small = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
         .without_accelerators();
     small.log_capacity = 256;
     let m_small = Platform::run(&w, &small).metrics;
     let log_stall: u64 = m_small.app.iter().map(|b| b.log_stall).sum();
-    assert!(log_stall > 0, "a 256-record ring must stall the application");
+    assert!(
+        log_stall > 0,
+        "a 256-record ring must stall the application"
+    );
 
     let mut big = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
         .without_accelerators();
@@ -48,7 +58,9 @@ fn tiny_ring_causes_backpressure() {
 
 #[test]
 fn runs_are_deterministic() {
-    let w = WorkloadSpec::benchmark(Benchmark::Radiosity, 4).scale(0.1).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Radiosity, 4)
+        .scale(0.1)
+        .build();
     let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
     let a = Platform::run(&w, &cfg).metrics;
     let b = Platform::run(&w, &cfg).metrics;
@@ -61,7 +73,9 @@ fn runs_are_deterministic() {
 
 #[test]
 fn tso_runs_are_deterministic_too() {
-    let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4).scale(0.1).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Fluidanimate, 4)
+        .scale(0.1)
+        .build();
     let cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck).with_tso();
     let a = Platform::run(&w, &cfg).metrics;
     let b = Platform::run(&w, &cfg).metrics;
@@ -106,8 +120,12 @@ fn codec_compresses_real_streams_compactly() {
 fn mode_scaling_sanity() {
     // More application threads must speed up the unmonitored application
     // (parallel work) but not the timesliced run (serialized).
-    let w2 = WorkloadSpec::benchmark(Benchmark::Blackscholes, 2).scale(0.2).build();
-    let w8 = WorkloadSpec::benchmark(Benchmark::Blackscholes, 8).scale(0.2).build();
+    let w2 = WorkloadSpec::benchmark(Benchmark::Blackscholes, 2)
+        .scale(0.2)
+        .build();
+    let w8 = WorkloadSpec::benchmark(Benchmark::Blackscholes, 8)
+        .scale(0.2)
+        .build();
     let cfg_none = MonitorConfig::new(MonitoringMode::None, LifeguardKind::AddrCheck);
     let base2 = Platform::run(&w2, &cfg_none).metrics.execution_cycles();
     let base8 = Platform::run(&w8, &cfg_none).metrics.execution_cycles();
@@ -127,7 +145,9 @@ fn mode_scaling_sanity() {
 
 #[test]
 fn unmonitored_mode_produces_no_records() {
-    let w = WorkloadSpec::benchmark(Benchmark::Lu, 2).scale(0.05).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Lu, 2)
+        .scale(0.05)
+        .build();
     let m = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::None, LifeguardKind::TaintCheck),

@@ -13,14 +13,23 @@ fn dekker(pad: usize) -> Workload {
     let a = MemRef::new(0x2000_0000, 8);
     let b = MemRef::new(0x2000_0100, 8);
     let side = |mine: MemRef, theirs: MemRef, buf: AddrRange| {
-        let mut ops = vec![Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(buf) }];
+        let mut ops = vec![Op::Syscall {
+            kind: SyscallKind::ReadInput,
+            buf: Some(buf),
+        }];
         for _ in 0..pad {
             ops.push(Op::Instr(Instr::Nop));
         }
         ops.push(Op::Instr(Instr::MovRI { dst: Reg(0) }));
-        ops.push(Op::Instr(Instr::Store { dst: mine, src: Reg(0) })); // Wr(mine)
-        ops.push(Op::Instr(Instr::Load { dst: Reg(1), src: theirs })); // Rd(theirs)
-        // Make the observed taint part of the final metadata state.
+        ops.push(Op::Instr(Instr::Store {
+            dst: mine,
+            src: Reg(0),
+        })); // Wr(mine)
+        ops.push(Op::Instr(Instr::Load {
+            dst: Reg(1),
+            src: theirs,
+        })); // Rd(theirs)
+             // Make the observed taint part of the final metadata state.
         ops.push(Op::Instr(Instr::Store {
             dst: MemRef::new(mine.addr + 0x40, 8),
             src: Reg(1),
@@ -82,7 +91,9 @@ fn tso_store_buffers_actually_buffer() {
     // TSO shifts some execution cost around (store latency hidden, drains
     // later); the run must still complete, stay correct, and record
     // pending-store effects in the metrics.
-    let w = WorkloadSpec::benchmark(Benchmark::Ocean, 4).scale(0.1).build();
+    let w = WorkloadSpec::benchmark(Benchmark::Ocean, 4)
+        .scale(0.1)
+        .build();
     let sc = Platform::run(
         &w,
         &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
@@ -99,7 +110,10 @@ fn tso_store_buffers_actually_buffer() {
     assert!(sc.matches_reference());
     assert!(tso.matches_reference());
     // Same analysis, same workload: identical final metadata across models.
-    assert_eq!(sc.fingerprint, tso.fingerprint, "final taint state is model-independent here");
+    assert_eq!(
+        sc.fingerprint, tso.fingerprint,
+        "final taint state is model-independent here"
+    );
 }
 
 #[test]
@@ -109,14 +123,26 @@ fn tso_version_protocol_under_contention() {
     let hot = 0x2000_0000u64;
     let buf = AddrRange::new(0x2100_0000, 8);
     let hammer = |seed: u64| {
-        let mut ops = vec![Op::Syscall { kind: SyscallKind::ReadInput, buf: Some(buf) }];
-        ops.push(Op::Instr(Instr::Load { dst: Reg(2), src: MemRef::new(buf.start, 4) }));
+        let mut ops = vec![Op::Syscall {
+            kind: SyscallKind::ReadInput,
+            buf: Some(buf),
+        }];
+        ops.push(Op::Instr(Instr::Load {
+            dst: Reg(2),
+            src: MemRef::new(buf.start, 4),
+        }));
         for i in 0..200u64 {
             let addr = hot + ((seed + i) % 8) * 8;
             if i % 3 == 0 {
-                ops.push(Op::Instr(Instr::Store { dst: MemRef::new(addr, 8), src: Reg(2) }));
+                ops.push(Op::Instr(Instr::Store {
+                    dst: MemRef::new(addr, 8),
+                    src: Reg(2),
+                }));
             } else {
-                ops.push(Op::Instr(Instr::Load { dst: Reg(1), src: MemRef::new(addr, 8) }));
+                ops.push(Op::Instr(Instr::Load {
+                    dst: Reg(1),
+                    src: MemRef::new(addr, 8),
+                }));
             }
         }
         ops

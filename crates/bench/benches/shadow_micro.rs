@@ -120,7 +120,9 @@ fn bench_ranges(c: &mut Criterion) {
                 b.iter(|| naive.copy_range(black_box(COPY_DST), black_box(BASE), len))
             });
         }
-        // Single-byte get/set (the per-event fast path).
+        // Single-byte get/set (the per-event fast path). Reset the group
+        // throughput so these don't inherit the range loop's 4096 bytes.
+        g.throughput(Throughput::Bytes(1));
         let mut flat = ShadowMemory::new(bits);
         flat.set(BASE, 1);
         let mut naive = NaiveShadow::new(bits);

@@ -318,14 +318,13 @@ fn apply_ca(
     shadow: &AtomicShadow,
 ) {
     let Some(range) = range else { return };
-    let mem = |r: paralog_events::AddrRange| MemRef::new(r.start, r.len.min(255) as u8);
+    // Ranges can exceed MemRef's 255-byte width; fill them directly.
     match (what, phase) {
         (HighLevelKind::Malloc, CaPhase::End) => {
-            // Ranges can exceed MemRef's width; fill the range directly.
             shadow.fill_range(range.start, range.len, 0);
         }
         (HighLevelKind::Syscall(SyscallKind::ReadInput), CaPhase::End) => {
-            shadow.fill(mem(range), TAINTED);
+            shadow.fill_range(range.start, range.len, TAINTED);
         }
         _ => {}
     }

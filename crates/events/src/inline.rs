@@ -126,11 +126,15 @@ impl<T: Copy, const N: usize> Default for InlineVec<T, N> {
 
 impl<T: Copy, const N: usize> Clone for InlineVec<T, N> {
     fn clone(&self) -> Self {
-        let mut out = InlineVec::new();
-        for &v in self.as_slice() {
-            out.push(v);
+        // Flat copy: `T: Copy` makes the inline array (including any
+        // uninitialized tail, which is never read) bitwise-copyable, and the
+        // struct invariant carries over unchanged. This runs on the
+        // clone-to-ring delivery hot path.
+        InlineVec {
+            inline: self.inline,
+            len: self.len,
+            spill: self.spill.clone(),
         }
-        out
     }
 }
 

@@ -154,20 +154,24 @@ impl HandlerCtx {
 
     /// Joins (bitwise-ORs) the metadata of `range` against `shadow`,
     /// honoring any injected TSO versioned snapshot: full coverage reads
-    /// the snapshot, no coverage takes the word-wise shadow fast path, and
-    /// partial coverage merges byte-wise with versioned bytes winning
-    /// (§5.5). This is *the* metadata-read rule; lifeguards must not
-    /// reimplement it.
+    /// the snapshot, an absent or disjoint snapshot takes the word-wise
+    /// shadow fast path, and genuine partial overlap merges byte-wise with
+    /// versioned bytes winning (§5.5). This is *the* metadata-read rule;
+    /// lifeguards must not reimplement it.
     pub fn join_shadow(&self, shadow: &ShadowMemory, range: AddrRange) -> u8 {
         if let Some(v) = self.versioned_join(range) {
             return v;
         }
-        if self.versioned.is_none() {
-            return shadow.join_range(range);
+        match &self.versioned {
+            // Genuine partial overlap: merge byte-wise, versioned bytes win.
+            Some((vr, _)) if vr.start < range.end() && range.start < vr.end() => {
+                (range.start..range.end()).fold(0, |acc, a| {
+                    acc | self.versioned_byte(a).unwrap_or_else(|| shadow.get(a))
+                })
+            }
+            // No snapshot, or one disjoint from the query: word-wise path.
+            _ => shadow.join_range(range),
         }
-        (range.start..range.end()).fold(0, |acc, a| {
-            acc | self.versioned_byte(a).unwrap_or_else(|| shadow.get(a))
-        })
     }
 
     /// The versioned metadata value for one application byte, if this

@@ -20,11 +20,12 @@
 //!   `CHUNK_APP_BYTES * bits / 8` metadata bytes per allocated first-level
 //!   slot, shadowing 64 KiB of application space.
 //! * **Last-chunk cache** — a one-entry cache of the most recently touched
-//!   `(chunk index, chunk data pointer)`, mirroring the paper's observation
-//!   that consecutive events overwhelmingly hit the same second-level chunk.
-//!   The pointer stays valid for the shadow's lifetime because chunks are
-//!   never freed or moved once boxed (first-level growth moves only the
-//!   `Option<Box>` slots, not the boxed bytes).
+//!   *dense chunk index*, mirroring the paper's observation that
+//!   consecutive events overwhelmingly hit the same second-level chunk. No
+//!   pointer is cached — a hit re-indexes `l1` (skipping only the bounds
+//!   and allocation checks), so `Clone` stays trivially sound. The index
+//!   stays valid because dense chunks are never freed and the first level
+//!   never shrinks; see the invariant on [`ShadowMemory`].
 //!
 //! # Word-wise range operations
 //!
@@ -190,7 +191,9 @@ impl ShadowMemory {
 
     /// Calls back with `(chunk index, lo_bit, hi_bit)` for every
     /// chunk-resident segment of `range` — the one audited home of the
-    /// chunk-split and bit-boundary math shared by the word-wise walkers.
+    /// chunk-split and bit-boundary math shared by the single-range
+    /// word-wise walkers. (`copy_range` is the lone exception: it windows
+    /// over *two* ranges at once, so it derives its splits inline.)
     #[inline]
     fn segments(range: AddrRange, bits: u64) -> impl Iterator<Item = (u64, u64, u64)> {
         let end = range.end();
@@ -239,7 +242,11 @@ impl ShadowMemory {
         }
         match self.chunk(ci) {
             Some(data) => {
-                self.cache_idx.set(ci);
+                // Only dense chunks may enter the cache (see the invariant);
+                // spill-tier hits always take this checked path.
+                if ci < DENSE_CHUNKS {
+                    self.cache_idx.set(ci);
+                }
                 (data[byte] >> shift) & self.max_value()
             }
             None => 0,
@@ -432,7 +439,7 @@ impl ShadowMemory {
         if len == 0 || dst == src {
             return;
         }
-        let overlaps = src < dst + len && dst < src + len;
+        let overlaps = src.abs_diff(dst) < len;
         let lpb = self.lanes_per_byte();
         if overlaps || src % lpb != dst % lpb {
             // Overlap (rare) keeps exact ascending-order semantics;
@@ -496,28 +503,24 @@ impl ShadowMemory {
         let bits = self.bits;
         let lpb = self.lanes_per_byte();
         let max = self.max_value();
-        let mut a = range.start;
-        let end = range.end();
-        while a < end {
-            let ci = a / CHUNK_APP_BYTES;
-            let seg_end = end.min((ci + 1) * CHUNK_APP_BYTES);
+        for (ci, lo_bit, hi_bit) in Self::segments(range, bits as u64) {
+            let seg_len = (hi_bit - lo_bit) / bits as u64;
             match self.chunk(ci) {
-                None => out.resize(out.len() + (seg_end - a) as usize, 0),
+                None => out.resize(out.len() + seg_len as usize, 0),
                 Some(data) => {
-                    let mut p = a;
-                    while p < seg_end {
-                        let off = p % CHUNK_APP_BYTES;
+                    let mut off = lo_bit / bits as u64;
+                    let seg_end = off + seg_len;
+                    while off < seg_end {
                         let byte = data[(off * bits as u64 / 8) as usize];
                         let lane0 = off % lpb;
-                        let lanes = (lpb - lane0).min(seg_end - p);
+                        let lanes = (lpb - lane0).min(seg_end - off);
                         for l in lane0..lane0 + lanes {
                             out.push((byte >> (l as u32 * bits)) & max);
                         }
-                        p += lanes;
+                        off += lanes;
                     }
                 }
             }
-            a = seg_end;
         }
         out
     }
@@ -536,26 +539,22 @@ impl ShadowMemory {
         let bits = self.bits;
         let lpb = self.lanes_per_byte();
         let max = self.max_value();
-        let mut a = range.start;
-        let end = range.end();
         let mut i = 0usize;
-        while a < end {
-            let ci = a / CHUNK_APP_BYTES;
-            let seg_end = end.min((ci + 1) * CHUNK_APP_BYTES);
-            let seg_vals = &snapshot[i..i + (seg_end - a) as usize];
-            i += seg_vals.len();
+        for (ci, lo_bit, hi_bit) in Self::segments(range, bits as u64) {
+            let seg_len = ((hi_bit - lo_bit) / bits as u64) as usize;
+            let seg_vals = &snapshot[i..i + seg_len];
+            i += seg_len;
             if seg_vals.iter().all(|&v| v == 0) && self.chunk(ci).is_none() {
-                a = seg_end;
                 continue;
             }
             let data = self.ensure_chunk(ci);
-            let mut p = a;
+            let mut off = lo_bit / bits as u64;
+            let seg_end = off + seg_len as u64;
             let mut vi = 0usize;
-            while p < seg_end {
-                let off = p % CHUNK_APP_BYTES;
+            while off < seg_end {
                 let bidx = (off * bits as u64 / 8) as usize;
                 let lane0 = off % lpb;
-                let lanes = (lpb - lane0).min(seg_end - p);
+                let lanes = (lpb - lane0).min(seg_end - off);
                 let mut new_bits = 0u8;
                 let mut mask = 0u8;
                 for l in lane0..lane0 + lanes {
@@ -566,9 +565,8 @@ impl ShadowMemory {
                     mask |= max << (l as u32 * bits);
                 }
                 data[bidx] = (data[bidx] & !mask) | new_bits;
-                p += lanes;
+                off += lanes;
             }
-            a = seg_end;
         }
     }
 
@@ -594,6 +592,7 @@ impl ShadowMemory {
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (Addr, u8)> + '_ {
         let bits = self.bits;
         let max = self.max_value();
+        let lpb = self.lanes_per_byte();
         self.l1
             .iter()
             .enumerate()
@@ -601,20 +600,17 @@ impl ShadowMemory {
             .chain(self.spill.iter().map(|(&ci, data)| (ci, &**data)))
             .flat_map(move |(ci, data)| {
                 let base = ci * CHUNK_APP_BYTES;
-                (0..CHUNK_APP_BYTES).filter_map(move |off| {
-                    let bit_offset = off * bits as u64;
-                    let byte = data[(bit_offset / 8) as usize];
-                    if byte == 0 {
-                        // Whole packed byte clean: skip its lanes fast.
-                        return None;
-                    }
-                    let v = (byte >> (bit_offset % 8)) & max;
-                    if v != 0 {
-                        Some((base + off, v))
-                    } else {
-                        None
-                    }
-                })
+                data.iter()
+                    .enumerate()
+                    // Clean packed bytes are skipped whole — one read covers
+                    // all their lanes.
+                    .filter(|&(_, &byte)| byte != 0)
+                    .flat_map(move |(bidx, &byte)| {
+                        (0..lpb).filter_map(move |lane| {
+                            let v = (byte >> (lane as u32 * bits)) & max;
+                            (v != 0).then_some((base + bidx as u64 * lpb + lane, v))
+                        })
+                    })
             })
     }
 }
@@ -901,6 +897,24 @@ mod tests {
         assert_eq!(all.first(), Some(&(0x100, 0b11)));
         assert_eq!(all.last(), Some(&(far + 31, 0b01)));
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+    }
+
+    #[test]
+    fn spill_tier_addresses_never_enter_cache() {
+        // Regression: a cache-miss read of a spill-tier chunk must not cache
+        // its index — a later access would take the unsafe dense-tier hit
+        // path and index `l1` out of bounds.
+        let mut s = ShadowMemory::new(2);
+        let far = 0xFFF_FFFF_F000u64;
+        s.set(far, 1);
+        assert_eq!(s.get(far), 1);
+        assert_eq!(s.get(far), 1, "repeated spill read stays on checked path");
+        s.set(far, 0b10);
+        assert_eq!(s.get(far), 0b10, "spill write after read stays checked");
+        // And a dense access afterwards still works and caches normally.
+        s.set(0x40, 0b01);
+        assert_eq!(s.get(0x40), 0b01);
+        assert_eq!(s.get(far), 0b10);
     }
 
     #[test]

@@ -81,11 +81,24 @@ impl Bencher {
     /// Measures `f`, collecting `sample_size` timed samples of an
     /// auto-calibrated iteration batch.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Calibrate: how many iterations fit one sample slot.
+        // Calibrate: how many iterations fit one sample slot. The first
+        // call is discarded as warm-up (first-touch allocation, cold
+        // caches), then the batch size comes from a short timed loop so a
+        // single slow invocation can't collapse the batch to 1.
         let budget = TARGET_SAMPLE_TIME / self.sample_size as u32;
-        let start = Instant::now();
         black_box(f());
-        let one = start.elapsed().max(Duration::from_nanos(1));
+        let start = Instant::now();
+        let mut warmup = 0u32;
+        while warmup < 8 {
+            black_box(f());
+            warmup += 1;
+            // Macro benches blow the sample budget in one call; stop early
+            // so calibration doesn't dominate their wall time.
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        let one = (start.elapsed() / warmup).max(Duration::from_nanos(1));
         let iters = (budget.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
         for _ in 0..self.sample_size {
             let start = Instant::now();

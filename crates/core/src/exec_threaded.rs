@@ -1,195 +1,24 @@
-//! Real-thread demonstration executor.
+//! Real-thread demonstration executor (compatibility shim).
 //!
-//! The deterministic simulator establishes *that* the ordering design is
-//! correct; this module demonstrates it holds under genuine concurrency.
-//! The event streams captured by a parallel simulation run (records, arcs,
-//! ConflictAlert annotations) are replayed by **real OS threads** — one per
-//! lifeguard — sharing:
+//! The machinery behind this module moved into the composable session API:
+//! [`ThreadedBackend`] replays any
+//! lifeguard with a `Send + Sync` concurrent form
+//! ([`ConcurrentLifeguard`](paralog_lifeguards::ConcurrentLifeguard)) on
+//! real OS threads, enforcing dependence arcs by spinning on the atomic
+//! progress table exactly as §5.2 describes, over lock-free shared metadata
+//! ([`AtomicShadow`]) — the §5.3 synchronization-free fast path.
 //!
-//! * an atomic progress table ([`SharedProgressTable`]) enforced exactly as
-//!   §5.2 describes (spin on the producer's progress counter), and
-//! * a shared **atomic shadow memory** accessed without any locks — the
-//!   §5.3 synchronization-free fast path, valid because TaintCheck maps
-//!   application reads to metadata reads and the enforced arcs carry the
-//!   release/acquire edges.
-//!
-//! The final taint state must equal the deterministic run's fingerprint on
-//! every repetition, whatever the OS scheduler does.
+//! [`run_threaded_taintcheck`] keeps the original one-call demonstration:
+//! capture a workload's streams deterministically, replay them with real
+//! TaintCheck threads, and report whether the concurrent metadata matched
+//! the deterministic run's fingerprint on this repetition.
 
 use crate::config::{MonitorConfig, MonitoringMode};
-use crate::platform::Platform;
-use paralog_events::{
-    dataflow_view, CaPhase, EventPayload, EventRecord, HighLevelKind, MemRef, MetaOp, SyscallKind,
-    ThreadId, NUM_REGS,
-};
-use paralog_lifeguards::{Fingerprint, LifeguardKind, TAINTED};
-use paralog_order::SharedProgressTable;
+use crate::session::{MonitorSession, ThreadedBackend, WorkloadSource};
+use paralog_lifeguards::LifeguardKind;
 use paralog_workloads::Workload;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
-/// Application bytes per atomic shadow chunk.
-const CHUNK: u64 = 4096;
-
-/// Chunk-index budget of the dense first level (2^21 chunks = 8 GiB of
-/// application space at 4 KiB chunks — far more than any workload's working
-/// set, yet only a 16 MiB pointer table).
-const DENSE_LIMIT: u64 = 1 << 21;
-
-/// A lock-free shadow memory: one `AtomicU8` per application byte, organized
-/// behind a **flat first-level chunk index** pre-built from the streams'
-/// footprint (the parallel phase performs lookups only, so the table is
-/// shared immutably). Mirroring [`paralog_meta::ShadowMemory`]'s layout,
-/// a hot-path access is a direct array index off the high address bits — no
-/// hashing — and `join`/`fill` run chunk-resident slice loops instead of
-/// re-walking the index per byte. The rare far outliers beyond the dense
-/// span (a handful of sentinel addresses per run) live in a small sorted
-/// side table found by binary search.
-#[derive(Debug)]
-pub struct AtomicShadow {
-    /// First chunk index covered by `dense` (the footprint rarely starts
-    /// at address zero, so the table is offset to stay compact).
-    base: u64,
-    /// First level: `chunk index - base` → chunk, `None` where untouched.
-    dense: Vec<Option<Box<[AtomicU8]>>>,
-    /// Outlier chunks beyond `base + DENSE_LIMIT`, sorted by chunk index.
-    sparse: Vec<(u64, Box<[AtomicU8]>)>,
-}
-
-impl AtomicShadow {
-    /// Pre-allocates chunks for every byte the streams may touch.
-    fn for_streams(streams: &[Vec<EventRecord>]) -> Self {
-        // Collect the touched chunk indices (bounded by stream length, not
-        // by address span).
-        let mut touched = std::collections::BTreeSet::new();
-        for stream in streams {
-            for rec in stream {
-                let (addr, len) = match &rec.payload {
-                    EventPayload::Instr(i) => match i.mem_access() {
-                        Some((m, _)) => (m.addr, u64::from(m.size)),
-                        None => continue,
-                    },
-                    EventPayload::Ca(ca) => match ca.range {
-                        Some(r) => (r.start, r.len),
-                        None => continue,
-                    },
-                };
-                for c in (addr / CHUNK)..=((addr + len.max(1) - 1) / CHUNK) {
-                    touched.insert(c);
-                }
-            }
-        }
-        let new_chunk = || {
-            (0..CHUNK)
-                .map(|_| AtomicU8::new(0))
-                .collect::<Vec<_>>()
-                .into_boxed_slice()
-        };
-        let base = touched.first().copied().unwrap_or(0);
-        let dense_len = touched
-            .range(..base + DENSE_LIMIT)
-            .next_back()
-            .map_or(0, |&hi| hi - base + 1);
-        let mut dense: Vec<Option<Box<[AtomicU8]>>> = Vec::new();
-        dense.resize_with(dense_len as usize, || None);
-        let mut sparse = Vec::new();
-        for ci in touched {
-            if ci < base + DENSE_LIMIT {
-                dense[(ci - base) as usize] = Some(new_chunk());
-            } else {
-                sparse.push((ci, new_chunk()));
-            }
-        }
-        AtomicShadow {
-            base,
-            dense,
-            sparse,
-        }
-    }
-
-    /// The chunk shadowing `addr`, if inside the pre-built footprint.
-    #[inline]
-    fn chunk(&self, addr: u64) -> Option<&[AtomicU8]> {
-        let ci = addr / CHUNK;
-        if let Some(idx) = ci.checked_sub(self.base) {
-            if (idx as usize) < self.dense.len() {
-                return self.dense[idx as usize].as_deref();
-            }
-        }
-        self.sparse
-            .binary_search_by_key(&ci, |(c, _)| *c)
-            .ok()
-            .map(|i| &*self.sparse[i].1)
-    }
-
-    /// Chunk-resident ranged OR: one index walk per chunk segment, then a
-    /// straight slice loop.
-    fn join_range(&self, addr: u64, len: u64) -> u8 {
-        let mut acc = 0;
-        let mut a = addr;
-        let end = addr + len;
-        while a < end {
-            let seg_end = end.min((a / CHUNK + 1) * CHUNK);
-            if let Some(c) = self.chunk(a) {
-                let lo = (a % CHUNK) as usize;
-                let hi = lo + (seg_end - a) as usize;
-                for byte in &c[lo..hi] {
-                    acc |= byte.load(Ordering::Acquire);
-                }
-            }
-            a = seg_end;
-        }
-        acc
-    }
-
-    /// Chunk-resident ranged store.
-    fn fill_range(&self, addr: u64, len: u64, v: u8) {
-        let mut a = addr;
-        let end = addr + len;
-        while a < end {
-            let seg_end = end.min((a / CHUNK + 1) * CHUNK);
-            if let Some(c) = self.chunk(a) {
-                let lo = (a % CHUNK) as usize;
-                let hi = lo + (seg_end - a) as usize;
-                for byte in &c[lo..hi] {
-                    byte.store(v, Ordering::Release);
-                }
-            }
-            a = seg_end;
-        }
-    }
-
-    fn join(&self, mem: MemRef) -> u8 {
-        self.join_range(mem.addr, u64::from(mem.size))
-    }
-
-    fn fill(&self, mem: MemRef, v: u8) {
-        self.fill_range(mem.addr, u64::from(mem.size), v);
-    }
-
-    /// Order-insensitive fingerprint, compatible with
-    /// [`Lifeguard::fingerprint`](paralog_lifeguards::Lifeguard::fingerprint).
-    pub fn fingerprint(&self) -> u64 {
-        let mut fp = Fingerprint::new();
-        let mut mix_chunk = |ci: u64, data: &[AtomicU8]| {
-            let chunk_base = ci * CHUNK;
-            for (off, byte) in data.iter().enumerate() {
-                let v = byte.load(Ordering::Acquire);
-                if v != 0 {
-                    fp.mix(chunk_base + off as u64, u64::from(v));
-                }
-            }
-        };
-        for (i, slot) in self.dense.iter().enumerate() {
-            if let Some(data) = slot.as_deref() {
-                mix_chunk(self.base + i as u64, data);
-            }
-        }
-        for (ci, data) in &self.sparse {
-            mix_chunk(*ci, data);
-        }
-        fp.finish()
-    }
-}
+pub use paralog_meta::AtomicShadow;
 
 /// Result of one threaded replay.
 #[derive(Debug, Clone, Copy)]
@@ -198,7 +27,7 @@ pub struct ThreadedOutcome {
     pub fingerprint: u64,
     /// Fingerprint the deterministic simulation produced for the same run.
     pub expected: u64,
-    /// Tainted-jump violations observed by the real threads.
+    /// Violations observed by the real threads.
     pub violations: u64,
     /// Dependence-arc spins performed (enforcement actually engaged).
     pub arc_spins: u64,
@@ -219,114 +48,25 @@ impl ThreadedOutcome {
 /// Panics if the workload uses TSO-only annotations (the demo replays SC
 /// captures) or if a worker thread panics.
 pub fn run_threaded_taintcheck(workload: &Workload) -> ThreadedOutcome {
-    // 1. Deterministic capture: collect the fully annotated streams.
-    let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
-    cfg.collect_streams = true;
-    let metrics = Platform::run(workload, &cfg).metrics;
-    let streams = metrics.streams.clone().expect("collect_streams was set");
-    let expected = metrics.fingerprint;
-
-    // 2. Concurrent replay.
-    let shadow = AtomicShadow::for_streams(&streams);
-    let progress = SharedProgressTable::new(streams.len());
-    let violations = AtomicU64::new(0);
-    let arc_spins = AtomicU64::new(0);
-
-    std::thread::scope(|scope| {
-        for (tid, stream) in streams.iter().enumerate() {
-            let shadow = &shadow;
-            let progress = &progress;
-            let violations = &violations;
-            let arc_spins = &arc_spins;
-            scope.spawn(move || {
-                let mut regs = [0u8; NUM_REGS];
-                for rec in stream {
-                    // §5.2 enforcement: spin until every arc is satisfied.
-                    for arc in &rec.arcs {
-                        let mut spun = false;
-                        while !progress.satisfies(arc.src, arc.src_rid) {
-                            spun = true;
-                            std::hint::spin_loop();
-                        }
-                        if spun {
-                            arc_spins.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    assert!(
-                        rec.consume_version.is_none(),
-                        "threaded demo replays SC captures only"
-                    );
-                    match &rec.payload {
-                        EventPayload::Instr(instr) => {
-                            if let Some(op) = dataflow_view(instr) {
-                                apply(op, &mut regs, shadow, violations);
-                            }
-                        }
-                        EventPayload::Ca(ca) => {
-                            if ca.issuer.index() == tid {
-                                apply_ca(ca.what, ca.phase, ca.range, shadow);
-                            }
-                        }
-                    }
-                    progress.advertise(ThreadId(tid as u16), rec.rid);
-                }
-            });
-        }
-    });
-
+    let outcome = MonitorSession::builder()
+        .source(WorkloadSource::new(workload.clone()))
+        .config(MonitorConfig::new(
+            MonitoringMode::Parallel,
+            LifeguardKind::TaintCheck,
+        ))
+        .backend(ThreadedBackend)
+        .build()
+        .expect("a sourced session is complete")
+        .run()
+        .expect("SC TaintCheck capture is replayable");
+    let m = outcome.metrics;
     ThreadedOutcome {
-        fingerprint: shadow.fingerprint(),
-        expected,
-        violations: violations.load(Ordering::Relaxed),
-        arc_spins: arc_spins.load(Ordering::Relaxed),
-    }
-}
-
-fn apply(op: MetaOp, regs: &mut [u8; NUM_REGS], shadow: &AtomicShadow, violations: &AtomicU64) {
-    match op {
-        MetaOp::MemToReg { dst, src } => regs[dst.index()] = shadow.join(src),
-        MetaOp::RegToMem { dst, src } => shadow.fill(dst, regs[src.index()]),
-        MetaOp::RegToReg { dst, src } => regs[dst.index()] = regs[src.index()],
-        MetaOp::ImmToReg { dst } => regs[dst.index()] = 0,
-        MetaOp::ImmToMem { dst } => shadow.fill(dst, 0),
-        MetaOp::MemToMem { dst, src } => {
-            let v = shadow.join(src);
-            shadow.fill(dst, v);
-        }
-        MetaOp::AluRR { dst, a, b } => {
-            regs[dst.index()] = regs[a.index()] | b.map(|b| regs[b.index()]).unwrap_or(0)
-        }
-        MetaOp::AluRM { dst, a, src } => regs[dst.index()] = regs[a.index()] | shadow.join(src),
-        MetaOp::CheckJmp { target } => {
-            if regs[target.index()] & TAINTED != 0 {
-                violations.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        MetaOp::CheckAccess { .. } => {}
-        MetaOp::RmwOp { mem, reg } => {
-            let m = shadow.join(mem);
-            shadow.fill(mem, regs[reg.index()]);
-            regs[reg.index()] = m;
-        }
-    }
-}
-
-fn apply_ca(
-    what: HighLevelKind,
-    phase: CaPhase,
-    range: Option<paralog_events::AddrRange>,
-    shadow: &AtomicShadow,
-) {
-    let Some(range) = range else { return };
-    // Ranges can exceed MemRef's 255-byte width; fill them directly.
-    match (what, phase) {
-        (HighLevelKind::Malloc, CaPhase::End) => {
-            shadow.fill_range(range.start, range.len, 0);
-        }
-        (HighLevelKind::Syscall(SyscallKind::ReadInput), CaPhase::End) => {
-            shadow.fill_range(range.start, range.len, TAINTED);
-        }
-        _ => {}
+        fingerprint: m.fingerprint,
+        expected: m
+            .reference_fingerprint
+            .expect("workload capture records the deterministic fingerprint"),
+        violations: m.violations.len() as u64,
+        arc_spins: m.dependence_stalls,
     }
 }
 

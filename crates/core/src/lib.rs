@@ -3,9 +3,15 @@
 //!
 //! This crate assembles the whole system of Figure 2:
 //!
-//! * [`Platform::run`] simulates a workload under one of three
-//!   [`MonitoringMode`]s — no monitoring, the timesliced state of the art,
-//!   or ParaLog's parallel monitoring — on the paper's CMP model;
+//! * [`MonitorSession`] composes one monitored run from pluggable seams:
+//!   an event source (simulated workload, replay of captured logs, or a
+//!   programmatic push feed), a backend (the deterministic simulator or the
+//!   real-thread executor), and any lifeguard — bundled shorthand, registry
+//!   name, or an out-of-tree [`LifeguardFactory`](paralog_lifeguards::LifeguardFactory);
+//! * [`Platform::run`] — a thin shim over a workload session — simulates a
+//!   workload under one of three [`MonitoringMode`]s: no monitoring, the
+//!   timesliced state of the art, or ParaLog's parallel monitoring — on the
+//!   paper's CMP model;
 //! * [`MonitorConfig`] exposes every design knob evaluated in the paper
 //!   (accelerators on/off, per-block vs. per-core capture, arc reduction,
 //!   ConflictAlert barrier vs. flush-only, SC vs. TSO, damage containment);
@@ -42,9 +48,14 @@ pub mod experiment;
 pub mod metrics;
 pub mod platform;
 pub mod reference;
+pub mod session;
 
 pub use config::{CaMode, MonitorConfig, MonitoringMode};
 pub use exec_threaded::{run_threaded_taintcheck, AtomicShadow, ThreadedOutcome};
 pub use metrics::{AppBuckets, LgBuckets, RunMetrics};
 pub use platform::{Platform, RunOutcome};
 pub use reference::Reference;
+pub use session::{
+    Backend, DeterministicBackend, EventSource, MonitorSession, MonitorSessionBuilder, PushSource,
+    ReplaySource, SessionError, SessionPlan, SourceInput, ThreadedBackend, WorkloadSource,
+};

@@ -1,16 +1,38 @@
 //! Lifeguard-side stepping: order enforcement, accelerators, event delivery,
 //! ConflictAlert handling and progress advertising.
+//!
+//! Delivery is zero-copy: a deliverable record is processed **in place**
+//! through [`LogRing::pop_with`](paralog_events::LogRing::pop_with) — the
+//! ring hands out a borrow and the record is dropped after the handlers ran,
+//! never cloned or moved between staging, ring and handler. [`DeliveryCtx`]
+//! is the borrow split that makes this possible: every piece of lifeguard
+//! state *except* the rings, so the closure over the ring borrow can still
+//! reach the engines.
 
 use super::{LgThread, Sim};
-use crate::config::{CaMode, MonitoringMode};
+use crate::config::{CaMode, MonitorConfig, MonitoringMode};
 use paralog_accel::FlushReason;
 use paralog_events::{
     check_view, dataflow_view, AddrRange, CaPhase, CaRecord, EventPayload, EventRecord, MetaOp,
     Rid, ThreadId,
 };
 use paralog_lifeguards::{CostModel, EventView, HandlerCtx, Violation};
-use paralog_order::Gate;
+use paralog_order::{CaBarrier, CaPolicy, Gate, ProgressTable};
 use paralog_sim::MemorySystem;
+
+/// Everything [`DeliveryCtx::process_record`] needs, split off [`Sim`] so a
+/// record can be delivered while the ring still owns it (the ring borrow and
+/// these field borrows are disjoint).
+pub(super) struct DeliveryCtx<'a> {
+    config: &'a MonitorConfig,
+    mem: &'a mut MemorySystem,
+    lgs: &'a mut [LgThread],
+    progress: &'a mut ProgressTable,
+    ca_barrier: &'a mut CaBarrier,
+    ca_policy: &'a CaPolicy,
+    versions: &'a mut paralog_meta::VersionTable,
+    violations: &'a mut Vec<Violation>,
+}
 
 impl<'w> Sim<'w> {
     /// One step of lifeguard engine `li` (parallel: lifeguard thread `li`
@@ -111,8 +133,7 @@ impl<'w> Sim<'w> {
             // consume below simply prefers the snapshot when it exists.
         }
 
-        // --- deliverable: pop and process ----------------------------------
-        let rec = self.rings[ring_idx].pop().expect("peeked");
+        // --- deliverable: process in place, then discard (zero-copy) -------
         let tag = match self.config.mode {
             MonitoringMode::Timesliced => {
                 let t = self.ring_tags.pop_front().expect("tag per record");
@@ -121,7 +142,19 @@ impl<'w> Sim<'w> {
             }
             _ => li,
         };
-        let cycles = self.process_record(li, tag, rec);
+        let mut ctx = DeliveryCtx {
+            config: &self.config,
+            mem: &mut self.mem,
+            lgs: &mut self.lgs,
+            progress: &mut self.progress,
+            ca_barrier: &mut self.ca_barrier,
+            ca_policy: &self.ca_policy,
+            versions: &mut self.versions,
+            violations: &mut self.metrics.violations,
+        };
+        let cycles = self.rings[ring_idx]
+            .pop_with(|rec| ctx.process_record(li, tag, rec))
+            .expect("peeked");
         self.lgs[li].buckets.useful += cycles;
         self.sched.advance(entity, cycles);
     }
@@ -198,14 +231,17 @@ impl<'w> Sim<'w> {
         self.lgs[li].finished = true;
         self.sched.finish(entity);
     }
+}
 
-    /// Processes one popped record; returns the cycles it cost.
+impl<'a> DeliveryCtx<'a> {
+    /// Processes one ring-resident record (borrowed, never copied); returns
+    /// the cycles it cost.
     ///
     /// Records that deliver nothing (IT-absorbed, IF-filtered, or simply not
     /// subscribed by the lifeguard's event view) are near-free: the event
     /// mux in hardware retires several per cycle, modeled by batching
     /// [`LgThread::skip_credit`].
-    fn process_record(&mut self, li: usize, tag: usize, rec: EventRecord) -> u64 {
+    fn process_record(&mut self, li: usize, tag: usize, rec: &EventRecord) -> u64 {
         let cost = self.config.cost;
         let accel = self.config.accelerators;
         let mut cycles = 0;
@@ -221,13 +257,13 @@ impl<'w> Sim<'w> {
                         cycles += deliver_op(
                             &mut self.lgs[li],
                             prev,
-                            &mut self.mem,
+                            self.mem,
                             &cost,
                             accel,
                             op,
                             rid,
                             &None,
-                            &mut self.metrics.violations,
+                            self.violations,
                         );
                     }
                 }
@@ -243,13 +279,13 @@ impl<'w> Sim<'w> {
                     cycles += deliver_op(
                         &mut self.lgs[li],
                         tag,
-                        &mut self.mem,
+                        self.mem,
                         &cost,
                         accel,
                         op,
                         rid,
                         &None,
-                        &mut self.metrics.violations,
+                        self.violations,
                     );
                 }
             }
@@ -285,11 +321,11 @@ impl<'w> Sim<'w> {
                             .on_syscall_race(mem.range(), &entry, rid, &mut ctx);
                         cycles += charge_ctx(
                             &mut self.lgs[li],
-                            &mut self.mem,
+                            self.mem,
                             &cost,
                             rid,
                             ctx,
-                            &mut self.metrics.violations,
+                            self.violations,
                         );
                     }
                 }
@@ -355,13 +391,13 @@ impl<'w> Sim<'w> {
                     cycles += deliver_op(
                         &mut self.lgs[li],
                         tag,
-                        &mut self.mem,
+                        self.mem,
                         &cost,
                         accel,
                         op,
                         rid,
                         &versioned,
-                        &mut self.metrics.violations,
+                        self.violations,
                     );
                 }
             }
@@ -416,13 +452,13 @@ impl<'w> Sim<'w> {
                 cycles += deliver_op(
                     &mut self.lgs[li],
                     tag,
-                    &mut self.mem,
+                    self.mem,
                     &cost,
                     accel,
                     op,
                     rid,
                     &None,
-                    &mut self.metrics.violations,
+                    self.violations,
                 );
             }
         }
@@ -458,11 +494,11 @@ impl<'w> Sim<'w> {
         }
         cycles += charge_ctx(
             &mut self.lgs[li],
-            &mut self.mem,
+            self.mem,
             &cost,
             rid,
             ctx,
-            &mut self.metrics.violations,
+            self.violations,
         );
         if own
             && ca.seq != u64::MAX

@@ -20,7 +20,7 @@ use crate::metrics::{AppBuckets, LgBuckets, RunMetrics};
 use crate::reference::Reference;
 use paralog_accel::{IdempotentFilter, InheritanceTracker, MetadataTlb};
 use paralog_events::{EventRecord, LogRing, Rid, ThreadId};
-use paralog_lifeguards::{Lifeguard, LifeguardFamily, LifeguardKind, Violation};
+use paralog_lifeguards::{Lifeguard, LifeguardFamily, Violation};
 use paralog_order::{
     CaBarrier, CaBroadcaster, CaPolicy, OrderCapture, OrderEnforcer, ProgressTable, RangeTable,
 };
@@ -42,7 +42,8 @@ impl RunOutcome {
     }
 }
 
-/// The platform entry point.
+/// The classic batch entry point, kept as a thin shim over the composable
+/// [`MonitorSession`](crate::session::MonitorSession) API.
 #[derive(Debug)]
 pub struct Platform;
 
@@ -50,20 +51,20 @@ impl Platform {
     /// Runs `workload` under `config` to completion and returns the
     /// measurements.
     ///
+    /// Equivalent to a [`MonitorSession`](crate::session::MonitorSession)
+    /// over a workload source, the deterministic backend, and the bundled
+    /// lifeguard named by `config.lifeguard`.
+    ///
     /// # Panics
     ///
     /// Panics if the workload has no threads, or if an internal invariant of
     /// the simulated protocol is violated (which is a bug, not an input
     /// error).
     pub fn run(workload: &Workload, config: &MonitorConfig) -> RunOutcome {
-        let mut sim = Sim::new(workload, config);
-        if config.warm_caches {
-            sim.warm();
-        }
-        sim.drive();
-        RunOutcome {
-            metrics: sim.into_metrics(),
-        }
+        // The borrowing fast path of the session API's deterministic
+        // backend: identical to `builder().source(workload.clone())…` but
+        // without copying the instruction streams on every sweep iteration.
+        crate::session::run_platform(workload, config)
     }
 }
 
@@ -204,7 +205,15 @@ impl<'w> std::fmt::Debug for Sim<'w> {
 }
 
 impl<'w> Sim<'w> {
-    fn new(workload: &'w Workload, config: &MonitorConfig) -> Self {
+    /// Assembles the simulation from an already-built lifeguard `family`
+    /// (constructed by the session's factory) and optional sequential
+    /// `reference` (equivalence checking; only bundled analyses have one).
+    pub(crate) fn new(
+        workload: &'w Workload,
+        config: &MonitorConfig,
+        family: LifeguardFamily,
+        reference: Option<Reference>,
+    ) -> Self {
         let k = workload.thread_count();
         assert!(k > 0, "workload needs at least one thread");
         let machine = config.machine_for(k);
@@ -212,9 +221,6 @@ impl<'w> Sim<'w> {
             !(machine.is_tso() && config.mode == MonitoringMode::Timesliced),
             "timesliced monitoring is modeled under SC only (single application core)"
         );
-        let monitored = config.mode != MonitoringMode::None;
-
-        let family = LifeguardFamily::new(config.lifeguard, workload.heap);
         let probe = family.thread(ThreadId(0));
         let ca_policy = probe.spec().ca_policy.clone();
         drop(probe);
@@ -284,15 +290,6 @@ impl<'w> Sim<'w> {
             MonitoringMode::Parallel => (0..k).map(|_| LogRing::new(config.log_capacity)).collect(),
         };
 
-        let reference = if config.check_equivalence
-            && monitored
-            && config.lifeguard != LifeguardKind::LockSet
-        {
-            Some(Reference::new(config.lifeguard, k, machine.is_tso()))
-        } else {
-            None
-        };
-
         Sim {
             machine,
             workload,
@@ -336,7 +333,7 @@ impl<'w> Sim<'w> {
     }
 
     /// Runs the discrete-event loop to completion.
-    fn drive(&mut self) {
+    pub(crate) fn drive(&mut self) {
         let mut guard: u64 = 0;
         let budget = self.step_budget();
         while let Some(entity) = self.sched.pick_next() {
@@ -370,7 +367,7 @@ impl<'w> Sim<'w> {
     /// Functional cache warming (§6): walk every thread's memory footprint
     /// through the hierarchy without timing, including the lifeguard cores'
     /// metadata footprint.
-    fn warm(&mut self) {
+    pub(crate) fn warm(&mut self) {
         let monitored = self.config.mode != MonitoringMode::None;
         let bits = if monitored {
             self.family.thread(ThreadId(0)).spec().bits_per_byte as u64
@@ -459,7 +456,7 @@ impl<'w> Sim<'w> {
         2_000 * ops + 50_000_000
     }
 
-    fn into_metrics(mut self) -> RunMetrics {
+    pub(crate) fn into_metrics(mut self) -> RunMetrics {
         for a in &self.app {
             self.metrics.app.push(a.buckets);
         }

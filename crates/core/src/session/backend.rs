@@ -1,0 +1,432 @@
+//! Execution backends: what runs a monitoring session.
+//!
+//! A [`Backend`] consumes a [`SessionPlan`] (resolved source input, config
+//! and lifeguard factory) and produces a [`RunOutcome`]. Two backends are
+//! bundled:
+//!
+//! * [`DeterministicBackend`] — the paper's cycle-accurate discrete-event
+//!   simulation. A workload input is co-simulated end to end (application
+//!   cores, capture, rings, lifeguard cores); a stream input is ingested
+//!   lifeguard-only, enforcing the captured dependence arcs but without
+//!   timing (externally captured logs have no machine to time);
+//! * [`ThreadedBackend`] — real OS threads replaying the streams against the
+//!   lifeguard's `Send + Sync` concurrent form, enforcing arcs by spinning
+//!   on an atomic progress table (§5.2). A workload input is first captured
+//!   deterministically; the deterministic fingerprint is recorded as
+//!   [`RunMetrics::reference_fingerprint`](crate::RunMetrics) so
+//!   `matches_reference()` states whether genuine concurrency reproduced the
+//!   deterministic metadata.
+
+use super::{SessionError, SessionPlan};
+use crate::config::{MonitorConfig, MonitoringMode};
+use crate::metrics::RunMetrics;
+use crate::platform::{RunOutcome, Sim};
+use crate::reference::Reference;
+use crate::session::SourceInput;
+use paralog_events::{
+    check_view, dataflow_view, AddrRange, CaPhase, EventPayload, EventRecord, LogRing, ThreadId,
+};
+use paralog_lifeguards::{
+    EventView, HandlerCtx, Lifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind, Violation,
+};
+use paralog_order::{
+    CaPolicy, Gate, OrderEnforcer, ProgressTable, RangeTable, SharedProgressTable,
+};
+use paralog_workloads::Workload;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Runs one resolved monitoring session.
+pub trait Backend: fmt::Debug {
+    /// Human-readable backend name.
+    fn name(&self) -> &'static str;
+
+    /// Consumes the plan and produces the run's outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError`] when the plan asks for something this
+    /// backend cannot provide (e.g. concurrent replay of a lifeguard without
+    /// a concurrent form, or ingestion of a malformed stream whose arcs can
+    /// never be satisfied).
+    fn run(&self, plan: SessionPlan) -> Result<RunOutcome, SessionError>;
+}
+
+/// The deterministic discrete-event backend (the paper's simulator).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeterministicBackend;
+
+impl Backend for DeterministicBackend {
+    fn name(&self) -> &'static str {
+        "deterministic"
+    }
+
+    fn run(&self, plan: SessionPlan) -> Result<RunOutcome, SessionError> {
+        match plan.input {
+            SourceInput::Workload(ref w) => Ok(run_deterministic(
+                w,
+                &plan.config,
+                plan.factory.build(plan.heap),
+                plan.shorthand,
+            )),
+            SourceInput::Streams(streams) => {
+                let family = plan.factory.build(plan.heap);
+                let metrics = replay_streams(&family, streams)?;
+                Ok(RunOutcome { metrics })
+            }
+        }
+    }
+}
+
+/// Borrowing shim behind [`Platform::run`](crate::Platform::run): the same
+/// deterministic workload session the builder composes (bundled
+/// `config.lifeguard`, [`DeterministicBackend`] semantics), minus the owned
+/// source — so the classic entry point keeps borrowing the workload instead
+/// of cloning its instruction streams every run.
+pub(crate) fn run_platform(workload: &Workload, config: &MonitorConfig) -> RunOutcome {
+    run_deterministic(
+        workload,
+        config,
+        config.lifeguard.build(workload.heap),
+        Some(config.lifeguard),
+    )
+}
+
+/// Co-simulates `workload` under `config` with an already-built family.
+fn run_deterministic(
+    workload: &Workload,
+    config: &MonitorConfig,
+    family: LifeguardFamily,
+    shorthand: Option<LifeguardKind>,
+) -> RunOutcome {
+    let k = workload.thread_count();
+    let monitored = config.mode != MonitoringMode::None;
+    // The in-line sequential reference exists only for the bundled analyses
+    // (it is a re-implementation keyed by kind).
+    let reference = match shorthand {
+        Some(kind) if config.check_equivalence && monitored && kind != LifeguardKind::LockSet => {
+            Some(Reference::new(kind, k, config.machine_for(k).is_tso()))
+        }
+        _ => None,
+    };
+    let mut sim = Sim::new(workload, config, family, reference);
+    if config.warm_caches {
+        sim.warm();
+    }
+    sim.drive();
+    RunOutcome {
+        metrics: sim.into_metrics(),
+    }
+}
+
+/// Lifeguard-only ingestion of pre-captured streams under the deterministic
+/// backend: records are delivered in an order that satisfies every captured
+/// dependence arc (run-to-block round-robin over threads), through the same
+/// [`Lifeguard`] handlers the co-simulation drives. Timing buckets stay
+/// zero — there is no simulated machine to time — but analysis results
+/// (violations, fingerprints, version traffic) are full-fidelity.
+fn replay_streams(
+    family: &LifeguardFamily,
+    streams: Vec<Vec<EventRecord>>,
+) -> Result<RunMetrics, SessionError> {
+    let k = streams.len();
+    if k == 0 {
+        return Err(SessionError::EmptySource);
+    }
+    let mut lgs: Vec<Box<dyn Lifeguard>> =
+        (0..k).map(|t| family.thread(ThreadId(t as u16))).collect();
+    let ca_policy: CaPolicy = lgs[0].spec().ca_policy.clone();
+    let mut progress = ProgressTable::new(k);
+    let mut enforcers = vec![OrderEnforcer::new(); k];
+    let mut range_tables: Vec<RangeTable> = (0..k).map(|_| RangeTable::new(k)).collect();
+    let mut versions = paralog_meta::VersionTable::new();
+    let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+    let mut rings: Vec<LogRing> = streams
+        .into_iter()
+        .map(|s| {
+            let mut ring = LogRing::new(s.len().max(1));
+            for rec in s {
+                ring.push(rec).expect("ring sized to its stream");
+            }
+            ring.close();
+            ring
+        })
+        .collect();
+
+    let mut delivered_ops = 0u64;
+    let mut stalls = 0u64;
+    let mut violations: Vec<Violation> = Vec::new();
+    loop {
+        let mut any = false;
+        for t in 0..k {
+            // Run this thread until its head blocks or its stream drains.
+            loop {
+                let gate = match rings[t].peek() {
+                    None => break,
+                    Some(head) => enforcers[t].regate(head, &progress),
+                };
+                if let Gate::Blocked { .. } = gate {
+                    stalls += 1;
+                    break;
+                }
+                let rid = rings[t]
+                    .pop_with(|rec| {
+                        deliver_replayed(
+                            rec,
+                            t,
+                            &mut lgs,
+                            &mut range_tables[t],
+                            &mut versions,
+                            &ca_policy,
+                            &mut violations,
+                            &mut delivered_ops,
+                        );
+                        rec.rid
+                    })
+                    .expect("peeked");
+                progress.advertise(ThreadId(t as u16), rid);
+                any = true;
+            }
+        }
+        if rings.iter().all(LogRing::is_drained) {
+            break;
+        }
+        if !any {
+            let stuck: Vec<String> = (0..k)
+                .filter_map(|t| {
+                    rings[t].peek().map(|head| {
+                        format!(
+                            "thread {t} blocked at rid {} arcs {:?}",
+                            head.rid, head.arcs
+                        )
+                    })
+                })
+                .collect();
+            return Err(SessionError::Deadlock(stuck.join("; ")));
+        }
+    }
+
+    Ok(RunMetrics {
+        app_threads: k,
+        records: total,
+        delivered_ops,
+        dependence_stalls: stalls,
+        versions_produced: versions.produced(),
+        versions_consumed: versions.consumed(),
+        violations,
+        fingerprint: family.fingerprint(),
+        ..RunMetrics::default()
+    })
+}
+
+/// Delivers one replayed record to thread `t`'s lifeguard: produce/consume
+/// version bookkeeping (§5.5), syscall range-table policing (§5.4), view
+/// decoding and the handler call — the ingestion mirror of the simulator's
+/// delivery path, minus accelerators and cycle accounting.
+#[allow(clippy::too_many_arguments)] // the replay loop's split borrows
+fn deliver_replayed(
+    rec: &EventRecord,
+    t: usize,
+    lgs: &mut [Box<dyn Lifeguard>],
+    range_table: &mut RangeTable,
+    versions: &mut paralog_meta::VersionTable,
+    ca_policy: &CaPolicy,
+    violations: &mut Vec<Violation>,
+    delivered_ops: &mut u64,
+) {
+    let lg = &mut lgs[t];
+    let rid = rec.rid;
+    for (vid, mem, consumers) in &rec.produce_versions {
+        let range = mem.range();
+        let snapshot = lg.snapshot_meta(range);
+        versions.produce(*vid, range, snapshot, *consumers);
+    }
+    let versioned: Option<(AddrRange, Vec<u8>)> = rec.consume_version.and_then(|(vid, _)| {
+        let got = versions.consume(vid);
+        if got.is_none() {
+            versions.bypass(vid);
+        }
+        got
+    });
+    match &rec.payload {
+        EventPayload::Instr(instr) => {
+            if let Some((mem, _)) = instr.mem_access() {
+                if let Some(entry) = range_table.check(ThreadId(t as u16), mem.range()) {
+                    let mut ctx = HandlerCtx::new();
+                    lg.on_syscall_race(mem.range(), &entry, rid, &mut ctx);
+                    violations.append(&mut ctx.violations);
+                }
+            }
+            let op = match lg.spec().view {
+                EventView::Dataflow => dataflow_view(instr),
+                EventView::Check => check_view(instr),
+            };
+            if let Some(op) = op {
+                let mut ctx = HandlerCtx::new();
+                if let Some((range, bytes)) = &versioned {
+                    if op
+                        .mem_src()
+                        .map(|m| range.overlaps(&m.range()))
+                        .unwrap_or(false)
+                    {
+                        ctx.versioned = Some((*range, bytes.clone()));
+                    }
+                }
+                lg.handle(&op, rid, &mut ctx);
+                violations.append(&mut ctx.violations);
+                *delivered_ops += 1;
+            }
+        }
+        EventPayload::Ca(ca) => {
+            let actions = ca_policy.actions(ca.what, ca.phase);
+            if actions.track_range {
+                match (ca.phase, ca.range) {
+                    (CaPhase::Begin, Some(range)) => range_table.insert(ca.issuer, ca.what, range),
+                    (CaPhase::End, _) => range_table.remove(ca.issuer),
+                    _ => {}
+                }
+            }
+            let own = ca.issuer.index() == t;
+            let mut ctx = HandlerCtx::new();
+            lg.handle_ca(ca, own, rid, &mut ctx);
+            violations.append(&mut ctx.violations);
+            *delivered_ops += 1;
+        }
+    }
+}
+
+/// The real-thread backend: one OS thread per stream, lock-free shared
+/// metadata, order enforced purely by spinning on an atomic progress table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedBackend;
+
+impl Backend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn run(&self, plan: SessionPlan) -> Result<RunOutcome, SessionError> {
+        let (streams, expected) = match plan.input {
+            SourceInput::Workload(ref w) => {
+                if plan.config.tso {
+                    return Err(SessionError::Unsupported(
+                        "the threaded backend replays SC captures only",
+                    ));
+                }
+                // Capture the fully annotated streams deterministically; the
+                // capture's fingerprint becomes the expected reference.
+                let mut cfg = plan.config.clone();
+                cfg.mode = MonitoringMode::Parallel;
+                cfg.collect_streams = true;
+                let metrics =
+                    run_deterministic(w, &cfg, plan.factory.build(plan.heap), plan.shorthand)
+                        .metrics;
+                let streams = metrics.streams.expect("collect_streams was set");
+                (streams, Some(metrics.fingerprint))
+            }
+            SourceInput::Streams(s) => (s, None),
+        };
+        if streams.is_empty() {
+            return Err(SessionError::EmptySource);
+        }
+        if streams
+            .iter()
+            .flatten()
+            .any(|r| r.consume_version.is_some())
+        {
+            return Err(SessionError::Unsupported(
+                "the threaded backend replays SC captures only (stream carries TSO versions)",
+            ));
+        }
+        let conc =
+            plan.factory
+                .concurrent(plan.heap, &streams)
+                .ok_or(SessionError::Unsupported(
+                    "lifeguard has no concurrent (Send + Sync) replay form",
+                ))?;
+
+        let progress = SharedProgressTable::new(streams.len());
+        let arc_spins = AtomicU64::new(0);
+        // Deadlock detection for malformed streams (arcs no producer ever
+        // satisfies): a worker that spins while the global applied-record
+        // count stays flat for a full grace window flags the run and every
+        // worker bails out, instead of the scope hanging forever.
+        let applied = AtomicU64::new(0);
+        let deadlocked = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for (tid, stream) in streams.iter().enumerate() {
+                let conc = &*conc;
+                let progress = &progress;
+                let arc_spins = &arc_spins;
+                let applied = &applied;
+                let deadlocked = &deadlocked;
+                scope.spawn(move || {
+                    for rec in stream {
+                        // §5.2 enforcement: spin until every arc is satisfied.
+                        for arc in &rec.arcs {
+                            let mut spun = false;
+                            let mut spins = 0u32;
+                            let mut last_applied = applied.load(Ordering::Relaxed);
+                            let mut flat_since: Option<std::time::Instant> = None;
+                            while !progress.satisfies(arc.src, arc.src_rid) {
+                                if deadlocked.load(Ordering::Relaxed) {
+                                    return;
+                                }
+                                spun = true;
+                                spins += 1;
+                                if spins >= 1 << 14 {
+                                    spins = 0;
+                                    let now = applied.load(Ordering::Relaxed);
+                                    if now != last_applied {
+                                        last_applied = now;
+                                        flat_since = None;
+                                    } else {
+                                        let t0 =
+                                            *flat_since.get_or_insert_with(std::time::Instant::now);
+                                        if t0.elapsed() > std::time::Duration::from_secs(2) {
+                                            deadlocked.store(true, Ordering::Relaxed);
+                                            return;
+                                        }
+                                    }
+                                    std::thread::yield_now();
+                                }
+                                std::hint::spin_loop();
+                            }
+                            if spun {
+                                arc_spins.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        conc.apply(ThreadId(tid as u16), rec);
+                        progress.advertise(ThreadId(tid as u16), rec.rid);
+                        applied.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        if deadlocked.load(Ordering::Relaxed) {
+            return Err(SessionError::Deadlock(
+                "threaded replay made no progress; a stream carries arcs its producer never \
+                 satisfies"
+                    .into(),
+            ));
+        }
+
+        let mut violations = conc.violations();
+        // Worker interleaving is scheduler-dependent; a canonical order keeps
+        // the report deterministic.
+        violations.sort_by_key(|v| (v.tid.0, v.rid.0));
+        let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        Ok(RunOutcome {
+            metrics: RunMetrics {
+                app_threads: streams.len(),
+                records: total,
+                delivered_ops: total,
+                dependence_stalls: arc_spins.load(Ordering::Relaxed),
+                violations,
+                fingerprint: conc.fingerprint(),
+                reference_fingerprint: expected,
+                ..RunMetrics::default()
+            },
+        })
+    }
+}

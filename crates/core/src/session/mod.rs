@@ -1,0 +1,340 @@
+//! The composable monitoring-session API.
+//!
+//! [`MonitorSession`] replaces the closed `Platform::run(workload, config)`
+//! batch call with a builder over three pluggable seams:
+//!
+//! * **event sources** ([`EventSource`]) — the simulated workload, replay of
+//!   pre-captured streams, or a programmatic push feed;
+//! * **backends** ([`Backend`]) — the deterministic discrete-event simulator
+//!   or the real-thread executor;
+//! * **lifeguards** — any [`LifeguardFactory`], resolved directly, by
+//!   registry name, or via the [`LifeguardKind`] shorthand for the four
+//!   bundled analyses.
+//!
+//! This is ParaLog's §3 porting claim made concrete: an out-of-tree analysis
+//! implements [`Lifeguard`](paralog_lifeguards::Lifeguard) plus a factory
+//! and runs unmodified on every source × backend combination.
+//!
+//! # Example
+//!
+//! ```rust
+//! use paralog_core::session::MonitorSession;
+//! use paralog_lifeguards::LifeguardKind;
+//! use paralog_workloads::{Benchmark, WorkloadSpec};
+//!
+//! let workload = WorkloadSpec::benchmark(Benchmark::Lu, 2).scale(0.02).build();
+//! let outcome = MonitorSession::builder()
+//!     .source(workload)
+//!     .lifeguard(LifeguardKind::TaintCheck)
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//! assert!(outcome.metrics.records > 0);
+//! ```
+
+mod backend;
+mod source;
+
+pub use backend::{Backend, DeterministicBackend, ThreadedBackend};
+pub use source::{EventSource, PushSource, ReplaySource, SourceInput, WorkloadSource};
+
+pub(crate) use backend::run_platform;
+
+use crate::config::MonitorConfig;
+use crate::platform::RunOutcome;
+use paralog_events::AddrRange;
+use paralog_lifeguards::{LifeguardFactory, LifeguardKind, LifeguardRegistry};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a session could not be built or run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The builder was finalized without an event source.
+    MissingSource,
+    /// A lifeguard name did not resolve in the session's registry.
+    UnknownLifeguard(String),
+    /// The source resolved to zero streams.
+    EmptySource,
+    /// The chosen backend cannot run this plan.
+    Unsupported(&'static str),
+    /// Stream ingestion wedged: some dependence arc can never be satisfied
+    /// (malformed or truncated input streams).
+    Deadlock(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::MissingSource => f.write_str("session has no event source"),
+            SessionError::UnknownLifeguard(name) => {
+                write!(f, "no lifeguard named {name:?} is registered")
+            }
+            SessionError::EmptySource => f.write_str("event source resolved to zero streams"),
+            SessionError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            SessionError::Deadlock(detail) => {
+                write!(f, "stream ingestion deadlocked: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A fully resolved session handed to a [`Backend`].
+pub struct SessionPlan {
+    /// Run configuration (mode, machine, accelerator and capture knobs).
+    pub config: MonitorConfig,
+    /// Builds the analysis for this run.
+    pub factory: Arc<dyn LifeguardFactory>,
+    /// Bundled-analysis shorthand, when the factory is one ( enables the
+    /// in-line sequential reference for equivalence checking).
+    pub shorthand: Option<LifeguardKind>,
+    /// The monitored application's heap region.
+    pub heap: AddrRange,
+    /// Resolved source input.
+    pub input: SourceInput,
+}
+
+impl fmt::Debug for SessionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionPlan")
+            .field("lifeguard", &self.factory.name())
+            .field("mode", &self.config.mode)
+            .field("heap", &self.heap)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One composed monitoring run: source × backend × lifeguard × config.
+pub struct MonitorSession {
+    source: Box<dyn EventSource>,
+    backend: Box<dyn Backend>,
+    factory: Arc<dyn LifeguardFactory>,
+    shorthand: Option<LifeguardKind>,
+    config: MonitorConfig,
+}
+
+impl fmt::Debug for MonitorSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorSession")
+            .field("source", &self.source)
+            .field("backend", &self.backend.name())
+            .field("lifeguard", &self.factory.name())
+            .field("mode", &self.config.mode)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MonitorSession {
+    /// Starts composing a session.
+    pub fn builder() -> MonitorSessionBuilder {
+        MonitorSessionBuilder::default()
+    }
+
+    /// Runs the session to completion on its backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`SessionError`] (unsupported plan shapes,
+    /// malformed input streams).
+    pub fn run(self) -> Result<RunOutcome, SessionError> {
+        let heap = self.source.heap();
+        let plan = SessionPlan {
+            config: self.config,
+            factory: self.factory,
+            shorthand: self.shorthand,
+            heap,
+            input: self.source.open(),
+        };
+        self.backend.run(plan)
+    }
+}
+
+/// How the builder was asked to pick the analysis.
+#[derive(Debug, Default)]
+enum LifeguardChoice {
+    /// Fall back to `config.lifeguard` (the shim path).
+    #[default]
+    FromConfig,
+    Kind(LifeguardKind),
+    Named(String),
+    Factory(Arc<dyn LifeguardFactory>),
+}
+
+/// Builder for [`MonitorSession`].
+#[derive(Debug, Default)]
+pub struct MonitorSessionBuilder {
+    source: Option<Box<dyn EventSource>>,
+    backend: Option<Box<dyn Backend>>,
+    registry: Option<LifeguardRegistry>,
+    choice: LifeguardChoice,
+    config: Option<MonitorConfig>,
+}
+
+impl MonitorSessionBuilder {
+    /// Sets the event source (required).
+    #[must_use]
+    pub fn source(mut self, source: impl EventSource + 'static) -> Self {
+        self.source = Some(Box::new(source));
+        self
+    }
+
+    /// Sets the backend (default: [`DeterministicBackend`]).
+    #[must_use]
+    pub fn backend(mut self, backend: impl Backend + 'static) -> Self {
+        self.backend = Some(Box::new(backend));
+        self
+    }
+
+    /// Selects a bundled analysis by shorthand.
+    #[must_use]
+    pub fn lifeguard(mut self, kind: LifeguardKind) -> Self {
+        self.choice = LifeguardChoice::Kind(kind);
+        self
+    }
+
+    /// Resolves the analysis by name in the session's registry at `build`
+    /// time (builtins plus anything added via [`Self::registry`]).
+    #[must_use]
+    pub fn lifeguard_named(mut self, name: impl Into<String>) -> Self {
+        self.choice = LifeguardChoice::Named(name.into());
+        self
+    }
+
+    /// Uses an explicit factory (out-of-tree analyses can skip the registry
+    /// entirely).
+    #[must_use]
+    pub fn lifeguard_factory(mut self, factory: impl LifeguardFactory + 'static) -> Self {
+        self.choice = LifeguardChoice::Factory(Arc::new(factory));
+        self
+    }
+
+    /// Supplies the registry used for name resolution (default:
+    /// [`LifeguardRegistry::builtin`]).
+    #[must_use]
+    pub fn registry(mut self, registry: LifeguardRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Sets the run configuration (default: parallel monitoring with the
+    /// paper's knobs). `config.lifeguard` is only consulted when no explicit
+    /// lifeguard was chosen.
+    #[must_use]
+    pub fn config(mut self, config: MonitorConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Finalizes the session.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::MissingSource`] without a source,
+    /// [`SessionError::UnknownLifeguard`] when a name does not resolve.
+    pub fn build(self) -> Result<MonitorSession, SessionError> {
+        let source = self.source.ok_or(SessionError::MissingSource)?;
+        let config = self.config.unwrap_or_else(|| {
+            MonitorConfig::new(
+                crate::config::MonitoringMode::Parallel,
+                LifeguardKind::TaintCheck,
+            )
+        });
+        let (factory, shorthand): (Arc<dyn LifeguardFactory>, Option<LifeguardKind>) =
+            match self.choice {
+                LifeguardChoice::FromConfig => (Arc::new(config.lifeguard), Some(config.lifeguard)),
+                LifeguardChoice::Kind(kind) => (Arc::new(kind), Some(kind)),
+                LifeguardChoice::Named(name) => {
+                    let registry = self.registry.unwrap_or_default();
+                    let factory = registry
+                        .get(&name)
+                        .ok_or(SessionError::UnknownLifeguard(name))?;
+                    // Only the factory itself knows whether it is a bundled
+                    // analysis — a custom factory shadowing a bundled *name*
+                    // must not inherit that analysis' sequential reference.
+                    let shorthand = factory.builtin_kind();
+                    (factory, shorthand)
+                }
+                LifeguardChoice::Factory(factory) => {
+                    let shorthand = factory.builtin_kind();
+                    (factory, shorthand)
+                }
+            };
+        Ok(MonitorSession {
+            source,
+            backend: self.backend.unwrap_or(Box::new(DeterministicBackend)),
+            factory,
+            shorthand,
+            config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paralog_workloads::{Benchmark, WorkloadSpec};
+
+    #[test]
+    fn builder_requires_a_source() {
+        assert_eq!(
+            MonitorSession::builder().build().err(),
+            Some(SessionError::MissingSource)
+        );
+    }
+
+    #[test]
+    fn unknown_name_is_reported() {
+        let w = WorkloadSpec::benchmark(Benchmark::Lu, 1)
+            .scale(0.01)
+            .build();
+        let err = MonitorSession::builder()
+            .source(w)
+            .lifeguard_named("NoSuchAnalysis")
+            .build()
+            .err();
+        assert_eq!(
+            err,
+            Some(SessionError::UnknownLifeguard("NoSuchAnalysis".into()))
+        );
+    }
+
+    #[test]
+    fn named_builtin_matches_kind_shorthand() {
+        let w = WorkloadSpec::benchmark(Benchmark::Lu, 2)
+            .scale(0.02)
+            .build();
+        let by_kind = MonitorSession::builder()
+            .source(w.clone())
+            .lifeguard(LifeguardKind::AddrCheck)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let by_name = MonitorSession::builder()
+            .source(w)
+            .lifeguard_named("AddrCheck")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(by_kind.metrics.fingerprint, by_name.metrics.fingerprint);
+        assert_eq!(by_kind.metrics.records, by_name.metrics.records);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(SessionError::MissingSource.to_string().contains("source"));
+        assert!(SessionError::UnknownLifeguard("X".into())
+            .to_string()
+            .contains('X'));
+        assert!(SessionError::Unsupported("nope")
+            .to_string()
+            .contains("nope"));
+        assert!(SessionError::Deadlock("t0".into())
+            .to_string()
+            .contains("t0"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Event sources: where a monitoring session's event streams come from.
+//!
+//! ParaLog's original harness hard-wired the built-in workload simulator as
+//! the only producer of events. [`EventSource`] opens that seam: a session
+//! can monitor
+//!
+//! * a simulated [`WorkloadSource`] (the classic co-simulated capture),
+//! * a [`ReplaySource`] of pre-captured per-thread streams — the host-side
+//!   deployment shape where logs were captured elsewhere (or earlier) and
+//!   are ingested online, optionally straight from the compressed codec
+//!   representation, or
+//! * a [`PushSource`] fed programmatically, record by record, for online
+//!   feeds and tests.
+
+use paralog_events::codec::{decode, DecodeError};
+use paralog_events::{AddrRange, EventRecord, Instr, Rid};
+use paralog_workloads::Workload;
+use std::fmt;
+
+/// The concrete input an [`EventSource`] resolves to when the session runs.
+#[derive(Debug)]
+pub enum SourceInput {
+    /// A workload to co-simulate: the application side runs under the
+    /// deterministic machine model and produces events online.
+    Workload(Workload),
+    /// Pre-captured per-thread event streams (records with arcs and TSO
+    /// annotations already attached).
+    Streams(Vec<Vec<EventRecord>>),
+}
+
+/// A producer of per-thread event streams for one monitoring session.
+///
+/// Implementations describe their shape (`thread_count`, `heap`) up front
+/// and are consumed into a [`SourceInput`] when the session runs.
+pub trait EventSource: fmt::Debug {
+    /// Number of monitored application threads.
+    fn thread_count(&self) -> usize;
+
+    /// The monitored application's heap region (lifeguards like AddrCheck
+    /// scope their checks to it).
+    fn heap(&self) -> AddrRange;
+
+    /// Resolves this source into concrete backend input.
+    fn open(self: Box<Self>) -> SourceInput;
+}
+
+/// The built-in simulated application: events are captured online while the
+/// workload executes on the modeled CMP.
+#[derive(Debug, Clone)]
+pub struct WorkloadSource {
+    workload: Workload,
+}
+
+impl WorkloadSource {
+    /// Wraps a workload.
+    pub fn new(workload: Workload) -> Self {
+        WorkloadSource { workload }
+    }
+}
+
+impl From<&Workload> for WorkloadSource {
+    fn from(w: &Workload) -> Self {
+        WorkloadSource::new(w.clone())
+    }
+}
+
+impl EventSource for WorkloadSource {
+    fn thread_count(&self) -> usize {
+        self.workload.thread_count()
+    }
+
+    fn heap(&self) -> AddrRange {
+        self.workload.heap
+    }
+
+    fn open(self: Box<Self>) -> SourceInput {
+        SourceInput::Workload(self.workload)
+    }
+}
+
+/// A `Workload` is itself a valid source (convenience, so
+/// `builder().source(workload.clone())` reads naturally).
+impl EventSource for Workload {
+    fn thread_count(&self) -> usize {
+        Workload::thread_count(self)
+    }
+
+    fn heap(&self) -> AddrRange {
+        self.heap
+    }
+
+    fn open(self: Box<Self>) -> SourceInput {
+        SourceInput::Workload(*self)
+    }
+}
+
+/// Replays pre-captured per-thread streams — externally captured logs
+/// ingested by a lifeguard-only session (no application co-simulation).
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    streams: Vec<Vec<EventRecord>>,
+    heap: AddrRange,
+}
+
+impl ReplaySource {
+    /// Wraps per-thread streams captured earlier (e.g. a parallel run's
+    /// [`RunMetrics::streams`](crate::RunMetrics)). `heap` is the monitored
+    /// application's heap region.
+    pub fn new(streams: Vec<Vec<EventRecord>>, heap: AddrRange) -> Self {
+        ReplaySource { streams, heap }
+    }
+
+    /// Decodes one compressed stream per thread (the codec's wire form) and
+    /// replays them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the codec's [`DecodeError`] on corrupt or truncated input.
+    pub fn from_encoded(encoded: &[Vec<u8>], heap: AddrRange) -> Result<Self, DecodeError> {
+        let streams = encoded
+            .iter()
+            .map(|bytes| decode(bytes))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ReplaySource::new(streams, heap))
+    }
+
+    /// Total records across all threads.
+    pub fn total_records(&self) -> usize {
+        self.streams.iter().map(Vec::len).sum()
+    }
+}
+
+impl EventSource for ReplaySource {
+    fn thread_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn heap(&self) -> AddrRange {
+        self.heap
+    }
+
+    fn open(self: Box<Self>) -> SourceInput {
+        SourceInput::Streams(self.streams)
+    }
+}
+
+/// A programmatic push-style source for online feeds: callers append records
+/// (or let the source assign stream positions for bare instructions) and the
+/// accumulated streams are monitored when the session runs.
+#[derive(Debug, Clone)]
+pub struct PushSource {
+    streams: Vec<Vec<EventRecord>>,
+    next_rid: Vec<u64>,
+    heap: AddrRange,
+}
+
+impl PushSource {
+    /// An empty source for `threads` streams over the given heap region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize, heap: AddrRange) -> Self {
+        assert!(threads > 0, "a push source needs at least one stream");
+        PushSource {
+            streams: vec![Vec::new(); threads],
+            next_rid: vec![0; threads],
+            heap,
+        }
+    }
+
+    /// Appends a fully-formed record (the caller controls rids, arcs and
+    /// annotations) to thread `tid`'s stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn push(&mut self, tid: usize, rec: EventRecord) {
+        self.next_rid[tid] = self.next_rid[tid].max(rec.rid.0);
+        self.streams[tid].push(rec);
+    }
+
+    /// Appends a bare instruction at the next stream position of thread
+    /// `tid`, returning the assigned record id (useful as an arc target).
+    pub fn emit(&mut self, tid: usize, instr: Instr) -> Rid {
+        self.next_rid[tid] += 1;
+        let rid = Rid(self.next_rid[tid]);
+        self.streams[tid].push(EventRecord::instr(rid, instr));
+        rid
+    }
+
+    /// Records pushed so far across all threads.
+    pub fn len(&self) -> usize {
+        self.streams.iter().map(Vec::len).sum()
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSource for PushSource {
+    fn thread_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn heap(&self) -> AddrRange {
+        self.heap
+    }
+
+    fn open(self: Box<Self>) -> SourceInput {
+        SourceInput::Streams(self.streams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paralog_events::codec::encode;
+    use paralog_events::{MemRef, Reg};
+
+    const HEAP: AddrRange = AddrRange {
+        start: 0x1000_0000,
+        len: 0x1000_0000,
+    };
+
+    #[test]
+    fn push_source_assigns_rids() {
+        let mut src = PushSource::new(2, HEAP);
+        assert!(src.is_empty());
+        let r1 = src.emit(
+            0,
+            Instr::Load {
+                dst: Reg::new(0),
+                src: MemRef::new(0x100, 4),
+            },
+        );
+        let r2 = src.emit(0, Instr::Nop);
+        assert_eq!((r1, r2), (Rid(1), Rid(2)));
+        src.push(1, EventRecord::instr(Rid(7), Instr::Nop));
+        let r8 = src.emit(1, Instr::Nop);
+        assert_eq!(r8, Rid(8), "emit continues after explicit rids");
+        assert_eq!(src.len(), 4);
+        match Box::new(src).open() {
+            SourceInput::Streams(s) => assert_eq!(s[0].len(), 2),
+            SourceInput::Workload(_) => panic!("push source opens to streams"),
+        }
+    }
+
+    #[test]
+    fn replay_source_decodes_codec_streams() {
+        let stream = vec![
+            EventRecord::instr(
+                Rid(1),
+                Instr::Store {
+                    dst: MemRef::new(0x2000, 4),
+                    src: Reg::new(1),
+                },
+            ),
+            EventRecord::instr(Rid(2), Instr::Nop),
+        ];
+        let encoded = vec![encode(&stream)];
+        let src = ReplaySource::from_encoded(&encoded, HEAP).unwrap();
+        assert_eq!(src.thread_count(), 1);
+        assert_eq!(src.total_records(), 2);
+        match Box::new(src).open() {
+            SourceInput::Streams(s) => assert_eq!(s[0], stream),
+            SourceInput::Workload(_) => panic!("replay source opens to streams"),
+        }
+        assert!(ReplaySource::from_encoded(&[vec![0x00, 0x0f]], HEAP).is_err());
+    }
+}

@@ -1,23 +1,38 @@
-//! Construction of lifeguard families.
+//! Construction of lifeguard families: the open factory registry.
 //!
-//! A *family* owns the analysis-wide shared metadata (Figure 2's global
-//! metadata) and hands out one [`Lifeguard`] instance per monitored thread.
-//! The platform is generic over [`Lifeguard`] trait objects, so adding a new
-//! analysis means implementing the trait and (optionally) extending
-//! [`LifeguardKind`] for the bundled experiment harness.
+//! ParaLog's pitch (§3) is that a lifeguard written for sequential
+//! monitoring ports to parallel monitoring with minimal effort. The platform
+//! is therefore generic over [`Lifeguard`] trait objects, wired through
+//! three pieces:
+//!
+//! * [`LifeguardFamily`] — owns one analysis' shared metadata (Figure 2's
+//!   global metadata) and hands out one [`Lifeguard`] instance per monitored
+//!   thread;
+//! * [`LifeguardFactory`] — builds a family for a run. Out-of-tree analyses
+//!   implement this (plus [`Lifeguard`]) and register; nothing in the
+//!   platform is edited;
+//! * [`LifeguardRegistry`] — name → factory resolution. The four bundled
+//!   analyses are pre-registered (each [`LifeguardKind`] *is* a factory;
+//!   the enum survives purely as shorthand for them).
+//!
+//! A factory may additionally provide a [`ConcurrentLifeguard`], the
+//! `Send + Sync` replay form the real-thread backend drives — lock-free for
+//! analyses in the §5.3 synchronization-free class (the bundled TaintCheck
+//! does this via [`AtomicShadow`](paralog_meta::AtomicShadow)).
 
 use crate::addrcheck::{AddrCheck, AddrShared};
-use crate::lifeguard::Lifeguard;
+use crate::lifeguard::{Lifeguard, Violation};
 use crate::lockset::{LockSet, LockSetShared};
 use crate::memcheck::{MemCheck, MemShared};
-use crate::taintcheck::{TaintCheck, TaintShared};
-use paralog_events::{AddrRange, ThreadId};
-use std::cell::RefCell;
+use crate::taintcheck::{TaintCheck, TaintConcurrent, TaintShared};
+use paralog_events::{AddrRange, EventRecord, ThreadId};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// The bundled lifeguards, as named in the paper's evaluation (§6) plus the
-/// two discussed qualitatively (§4.1, §5.3).
+/// two discussed qualitatively (§4.1, §5.3). Each kind doubles as the
+/// built-in [`LifeguardFactory`] registration for that analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LifeguardKind {
     /// Dynamic taint analysis (2 bits/byte, IT + M-TLB).
@@ -30,76 +45,248 @@ pub enum LifeguardKind {
     LockSet,
 }
 
-impl fmt::Display for LifeguardKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl LifeguardKind {
+    /// All four bundled analyses.
+    pub const ALL: [LifeguardKind; 4] = [
+        LifeguardKind::TaintCheck,
+        LifeguardKind::AddrCheck,
+        LifeguardKind::MemCheck,
+        LifeguardKind::LockSet,
+    ];
+
+    /// The registry name of this bundled analysis.
+    pub fn name(&self) -> &'static str {
+        match self {
             LifeguardKind::TaintCheck => "TaintCheck",
             LifeguardKind::AddrCheck => "AddrCheck",
             LifeguardKind::MemCheck => "MemCheck",
             LifeguardKind::LockSet => "LockSet",
-        };
-        f.write_str(s)
+        }
     }
 }
 
-enum SharedState {
-    Taint(Rc<RefCell<TaintShared>>),
-    Addr(Rc<RefCell<AddrShared>>),
-    Mem(Rc<RefCell<MemShared>>),
-    Lock(Rc<RefCell<LockSetShared>>),
-}
-
-impl fmt::Debug for SharedState {
+impl fmt::Display for LifeguardKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            SharedState::Taint(_) => "Taint",
-            SharedState::Addr(_) => "Addr",
-            SharedState::Mem(_) => "Mem",
-            SharedState::Lock(_) => "Lock",
-        };
-        write!(f, "SharedState::{name}")
+        f.write_str(self.name())
     }
 }
 
-/// Owns one analysis' shared metadata and builds per-thread lifeguards.
-#[derive(Debug)]
+/// Builds [`LifeguardFamily`] instances for monitoring sessions.
+///
+/// This is the open extension seam: implement [`Lifeguard`] for the analysis
+/// logic, implement this trait to construct its analysis-wide shared state,
+/// and register it in a [`LifeguardRegistry`] (or hand it to a session
+/// builder directly). The platform never needs to know the concrete type.
+pub trait LifeguardFactory: fmt::Debug {
+    /// Registry name (what a session resolves by string).
+    fn name(&self) -> &str;
+
+    /// Creates a fresh family for one run. `heap` is the monitored
+    /// application's heap region (analyses like AddrCheck scope their
+    /// checks to it).
+    fn build(&self, heap: AddrRange) -> LifeguardFamily;
+
+    /// The `Send + Sync` form of the analysis replayed by the real-thread
+    /// backend, pre-sized for `streams`, or `None` when the analysis has no
+    /// concurrent implementation (the default).
+    fn concurrent(
+        &self,
+        heap: AddrRange,
+        streams: &[Vec<EventRecord>],
+    ) -> Option<Box<dyn ConcurrentLifeguard>> {
+        let _ = (heap, streams);
+        None
+    }
+
+    /// The bundled shorthand this factory *is*, when it is one (the platform
+    /// attaches the in-line sequential reference only then). Custom factories
+    /// keep the default `None` — even when they reuse a bundled name to
+    /// shadow it in a registry.
+    fn builtin_kind(&self) -> Option<LifeguardKind> {
+        None
+    }
+}
+
+impl LifeguardFactory for LifeguardKind {
+    fn name(&self) -> &str {
+        LifeguardKind::name(self)
+    }
+
+    fn build(&self, heap: AddrRange) -> LifeguardFamily {
+        match self {
+            LifeguardKind::TaintCheck => {
+                let shared = TaintShared::new();
+                LifeguardFamily::from_constructor(self.name(), move |tid| {
+                    Box::new(TaintCheck::new(Rc::clone(&shared), tid))
+                })
+            }
+            LifeguardKind::AddrCheck => {
+                let shared = AddrShared::new(heap);
+                LifeguardFamily::from_constructor(self.name(), move |tid| {
+                    Box::new(AddrCheck::new(Rc::clone(&shared), tid))
+                })
+            }
+            LifeguardKind::MemCheck => {
+                let shared = MemShared::new();
+                LifeguardFamily::from_constructor(self.name(), move |tid| {
+                    Box::new(MemCheck::new(Rc::clone(&shared), tid))
+                })
+            }
+            LifeguardKind::LockSet => {
+                let shared = LockSetShared::new();
+                LifeguardFamily::from_constructor(self.name(), move |tid| {
+                    Box::new(LockSet::new(Rc::clone(&shared), tid))
+                })
+            }
+        }
+    }
+
+    fn concurrent(
+        &self,
+        _heap: AddrRange,
+        streams: &[Vec<EventRecord>],
+    ) -> Option<Box<dyn ConcurrentLifeguard>> {
+        match self {
+            // §5.3: TaintCheck is in the synchronization-free class, so its
+            // concurrent form runs lock-free over an atomic shadow.
+            LifeguardKind::TaintCheck => Some(Box::new(TaintConcurrent::for_streams(streams))),
+            _ => None,
+        }
+    }
+
+    fn builtin_kind(&self) -> Option<LifeguardKind> {
+        Some(*self)
+    }
+}
+
+/// One analysis' per-run state: a constructor for per-thread [`Lifeguard`]
+/// instances over shared analysis-wide metadata.
+#[derive(Clone)]
 pub struct LifeguardFamily {
-    kind: LifeguardKind,
-    shared: SharedState,
+    name: String,
+    make: Rc<dyn Fn(ThreadId) -> Box<dyn Lifeguard>>,
+}
+
+impl fmt::Debug for LifeguardFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LifeguardFamily")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
 }
 
 impl LifeguardFamily {
-    /// Creates the family. `heap` is the monitored application's heap region
-    /// (AddrCheck restricts its checks to it).
+    /// Creates the family of a bundled analysis. `heap` is the monitored
+    /// application's heap region (AddrCheck restricts its checks to it).
     pub fn new(kind: LifeguardKind, heap: AddrRange) -> Self {
-        let shared = match kind {
-            LifeguardKind::TaintCheck => SharedState::Taint(TaintShared::new()),
-            LifeguardKind::AddrCheck => SharedState::Addr(AddrShared::new(heap)),
-            LifeguardKind::MemCheck => SharedState::Mem(MemShared::new()),
-            LifeguardKind::LockSet => SharedState::Lock(LockSetShared::new()),
-        };
-        LifeguardFamily { kind, shared }
+        kind.build(heap)
     }
 
-    /// Which analysis this family runs.
-    pub fn kind(&self) -> LifeguardKind {
-        self.kind
+    /// Creates a family from an arbitrary per-thread constructor. The
+    /// closure typically clones an `Rc<RefCell<Shared>>` captured when the
+    /// factory built the family.
+    pub fn from_constructor(
+        name: impl Into<String>,
+        make: impl Fn(ThreadId) -> Box<dyn Lifeguard> + 'static,
+    ) -> Self {
+        LifeguardFamily {
+            name: name.into(),
+            make: Rc::new(make),
+        }
+    }
+
+    /// The analysis name this family runs.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Builds the lifeguard thread paired with application thread `tid`.
     pub fn thread(&self, tid: ThreadId) -> Box<dyn Lifeguard> {
-        match &self.shared {
-            SharedState::Taint(s) => Box::new(TaintCheck::new(Rc::clone(s), tid)),
-            SharedState::Addr(s) => Box::new(AddrCheck::new(Rc::clone(s), tid)),
-            SharedState::Mem(s) => Box::new(MemCheck::new(Rc::clone(s), tid)),
-            SharedState::Lock(s) => Box::new(LockSet::new(Rc::clone(s), tid)),
-        }
+        (self.make)(tid)
     }
 
     /// Fingerprint of the shared metadata (order-insensitive; identical for
     /// every thread of the family).
     pub fn fingerprint(&self) -> u64 {
         self.thread(ThreadId(0)).fingerprint()
+    }
+}
+
+/// The analysis-wide state the real-thread backend replays: per-record
+/// application from concurrently running worker threads.
+///
+/// Implementations synchronize internally — lock-free for §5.3
+/// synchronization-free analyses, or with an internal slow-path lock
+/// otherwise. The backend guarantees each record is applied by the worker
+/// owning its stream, after every dependence arc of the record is satisfied.
+pub trait ConcurrentLifeguard: Send + Sync + fmt::Debug {
+    /// Applies one record of thread `tid`'s stream.
+    fn apply(&self, tid: ThreadId, rec: &EventRecord);
+
+    /// Order-insensitive fingerprint of the final metadata, comparable with
+    /// [`Lifeguard::fingerprint`].
+    fn fingerprint(&self) -> u64;
+
+    /// Violations observed during the replay (order follows each worker's
+    /// stream; interleaving across workers is scheduler-dependent).
+    fn violations(&self) -> Vec<Violation>;
+}
+
+/// Name → factory resolution for monitoring sessions.
+///
+/// `builtin()` pre-registers the four bundled analyses; `register` adds
+/// out-of-tree factories (later registrations of the same name win, so a
+/// custom analysis may shadow a bundled one).
+#[derive(Debug, Clone)]
+pub struct LifeguardRegistry {
+    entries: Vec<Arc<dyn LifeguardFactory>>,
+}
+
+impl LifeguardRegistry {
+    /// A registry with only the four bundled analyses.
+    pub fn builtin() -> Self {
+        let mut reg = LifeguardRegistry::empty();
+        for kind in LifeguardKind::ALL {
+            reg.register(kind);
+        }
+        reg
+    }
+
+    /// A registry with no factories at all.
+    pub fn empty() -> Self {
+        LifeguardRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers a factory (taking precedence over earlier same-name ones).
+    pub fn register(&mut self, factory: impl LifeguardFactory + 'static) {
+        self.register_arc(Arc::new(factory));
+    }
+
+    /// Registers an already-shared factory.
+    pub fn register_arc(&mut self, factory: Arc<dyn LifeguardFactory>) {
+        self.entries.push(factory);
+    }
+
+    /// Resolves `name`, newest registration first.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn LifeguardFactory>> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|f| f.name() == name)
+            .cloned()
+    }
+
+    /// All registered names, oldest first (shadowed duplicates included).
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|f| f.name().to_string()).collect()
+    }
+}
+
+impl Default for LifeguardRegistry {
+    fn default() -> Self {
+        LifeguardRegistry::builtin()
     }
 }
 
@@ -114,16 +301,11 @@ mod tests {
 
     #[test]
     fn all_kinds_construct_threads() {
-        for kind in [
-            LifeguardKind::TaintCheck,
-            LifeguardKind::AddrCheck,
-            LifeguardKind::MemCheck,
-            LifeguardKind::LockSet,
-        ] {
+        for kind in LifeguardKind::ALL {
             let fam = LifeguardFamily::new(kind, HEAP);
             let lg = fam.thread(ThreadId(0));
             assert_eq!(lg.spec().name, kind.to_string());
-            assert_eq!(fam.kind(), kind);
+            assert_eq!(fam.name(), kind.name());
         }
     }
 
@@ -161,6 +343,41 @@ mod tests {
             "clean ops leave shared state untouched"
         );
         assert_eq!(a.fingerprint(), b.fingerprint(), "both views agree");
+    }
+
+    #[test]
+    fn registry_resolves_builtins_and_custom_shadowing() {
+        #[derive(Debug)]
+        struct Custom;
+        impl LifeguardFactory for Custom {
+            fn name(&self) -> &str {
+                "TaintCheck" // deliberately shadows the builtin
+            }
+            fn build(&self, heap: AddrRange) -> LifeguardFamily {
+                LifeguardKind::MemCheck.build(heap)
+            }
+        }
+
+        let mut reg = LifeguardRegistry::builtin();
+        assert!(reg.get("AddrCheck").is_some());
+        assert!(reg.get("NoSuchAnalysis").is_none());
+        assert_eq!(reg.names().len(), 4);
+
+        reg.register(Custom);
+        let fam = reg.get("TaintCheck").unwrap().build(HEAP);
+        assert_eq!(
+            fam.thread(ThreadId(0)).spec().name,
+            "MemCheck",
+            "latest registration shadows the builtin"
+        );
+    }
+
+    #[test]
+    fn only_syncfree_builtins_offer_concurrent_replay() {
+        for kind in LifeguardKind::ALL {
+            let conc = kind.concurrent(HEAP, &[]);
+            assert_eq!(conc.is_some(), kind == LifeguardKind::TaintCheck);
+        }
     }
 
     #[test]

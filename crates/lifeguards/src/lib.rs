@@ -48,11 +48,13 @@ pub mod taintcheck;
 
 pub use addrcheck::{AddrCheck, AddrShared, ALLOCATED};
 pub use cost::CostModel;
-pub use factory::{LifeguardFamily, LifeguardKind};
+pub use factory::{
+    ConcurrentLifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind, LifeguardRegistry,
+};
 pub use lifeguard::{
     AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
     ViolationKind,
 };
 pub use lockset::{LockSet, LockSetShared, VarState};
 pub use memcheck::{MemCheck, MemShared, UNDEFINED};
-pub use taintcheck::{TaintCheck, TaintShared, TAINTED};
+pub use taintcheck::{TaintCheck, TaintConcurrent, TaintShared, TAINTED};

@@ -19,10 +19,11 @@ use paralog_events::{
     AddrRange, CaPhase, CaRecord, HighLevelKind, MemRef, MetaOp, Rid, SyscallKind, ThreadId,
     NUM_REGS,
 };
-use paralog_meta::ShadowMemory;
+use paralog_meta::{AtomicShadow, ShadowMemory};
 use paralog_order::{CaPolicy, RangeEntry};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Mutex;
 
 /// Taint lattice value for "tainted" (bit 0 of the 2-bit metadata).
 pub const TAINTED: u8 = 0b01;
@@ -233,6 +234,120 @@ impl TaintCheck {
         let mut shared = self.shared.borrow_mut();
         ctx.touch_write(shared.mem.meta_footprint(range.start, range.len));
         shared.mem.set_range(range, value);
+    }
+}
+
+/// The `Send + Sync` replay form of TAINTCHECK driven by the real-thread
+/// backend: the same analysis over a lock-free [`AtomicShadow`], valid
+/// because TaintCheck is in the §5.3 synchronization-free class (application
+/// reads map to metadata reads; the enforced arcs carry the release/acquire
+/// edges). Register taint is thread-private, so each worker's slot is
+/// uncontended.
+#[derive(Debug)]
+pub struct TaintConcurrent {
+    shadow: AtomicShadow,
+    regs: Vec<Mutex<[u8; NUM_REGS]>>,
+    violations: Mutex<Vec<Violation>>,
+}
+
+impl TaintConcurrent {
+    /// Pre-builds the shadow footprint for `streams` (one per thread).
+    pub fn for_streams(streams: &[Vec<paralog_events::EventRecord>]) -> Self {
+        TaintConcurrent {
+            shadow: AtomicShadow::for_streams(streams),
+            regs: (0..streams.len())
+                .map(|_| Mutex::new([0; NUM_REGS]))
+                .collect(),
+            violations: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn apply_op(&self, op: MetaOp, regs: &mut [u8; NUM_REGS], tid: ThreadId, rid: Rid) {
+        let shadow = &self.shadow;
+        match op {
+            MetaOp::MemToReg { dst, src } => regs[dst.index()] = shadow.join(src),
+            MetaOp::RegToMem { dst, src } => shadow.fill(dst, regs[src.index()]),
+            MetaOp::RegToReg { dst, src } => regs[dst.index()] = regs[src.index()],
+            MetaOp::ImmToReg { dst } => regs[dst.index()] = 0,
+            MetaOp::ImmToMem { dst } => shadow.fill(dst, 0),
+            MetaOp::MemToMem { dst, src } => {
+                let v = shadow.join(src);
+                shadow.fill(dst, v);
+            }
+            MetaOp::AluRR { dst, a, b } => {
+                regs[dst.index()] = regs[a.index()] | b.map(|b| regs[b.index()]).unwrap_or(0);
+            }
+            MetaOp::AluRM { dst, a, src } => {
+                regs[dst.index()] = regs[a.index()] | shadow.join(src);
+            }
+            MetaOp::CheckJmp { target } => {
+                if regs[target.index()] & TAINTED != 0 {
+                    self.violations.lock().expect("poisoned").push(Violation {
+                        tid,
+                        rid,
+                        kind: ViolationKind::TaintedJump,
+                        addr: None,
+                    });
+                }
+            }
+            MetaOp::CheckAccess { .. } => {}
+            MetaOp::RmwOp { mem, reg } => {
+                let m = shadow.join(mem);
+                shadow.fill(mem, regs[reg.index()]);
+                regs[reg.index()] = m;
+            }
+        }
+    }
+
+    fn apply_ca(&self, ca: &CaRecord, tid: ThreadId, rid: Rid) {
+        let Some(range) = ca.range else { return };
+        // Ranges can exceed MemRef's 255-byte width; fill them directly.
+        match (ca.what, ca.phase) {
+            (HighLevelKind::Malloc, CaPhase::End) => {
+                self.shadow.fill_range(range.start, range.len, 0);
+            }
+            (HighLevelKind::Syscall(SyscallKind::ReadInput), CaPhase::End) => {
+                self.shadow.fill_range(range.start, range.len, TAINTED);
+            }
+            (HighLevelKind::Syscall(SyscallKind::WriteOutput), CaPhase::Begin)
+                if self.shadow.join_range(range.start, range.len) & TAINTED != 0 =>
+            {
+                self.violations.lock().expect("poisoned").push(Violation {
+                    tid,
+                    rid,
+                    kind: ViolationKind::TaintedSyscallArg,
+                    addr: Some(range.start),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+impl crate::factory::ConcurrentLifeguard for TaintConcurrent {
+    fn apply(&self, tid: ThreadId, rec: &paralog_events::EventRecord) {
+        let mut regs = self.regs[tid.index()].lock().expect("poisoned");
+        match &rec.payload {
+            paralog_events::EventPayload::Instr(instr) => {
+                if let Some(op) = paralog_events::dataflow_view(instr) {
+                    self.apply_op(op, &mut regs, tid, rec.rid);
+                }
+            }
+            paralog_events::EventPayload::Ca(ca) => {
+                // Only the issuer updates metadata (remote copies order).
+                if ca.issuer == tid {
+                    self.apply_ca(ca, tid, rec.rid);
+                }
+            }
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.shadow.fingerprint()
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        self.violations.lock().expect("poisoned").clone()
     }
 }
 

@@ -1,0 +1,222 @@
+//! Lock-free atomic shadow memory for real-thread replay.
+//!
+//! The deterministic simulator establishes *that* the ordering design is
+//! correct; the real-thread executor demonstrates it holds under genuine
+//! concurrency, sharing this shadow without any locks — the §5.3
+//! synchronization-free fast path, valid for lifeguards (like TaintCheck)
+//! whose application reads map to metadata reads and whose enforced arcs
+//! carry the release/acquire edges.
+
+use crate::fingerprint::Fingerprint;
+use paralog_events::{EventPayload, EventRecord, MemRef};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Application bytes per atomic shadow chunk.
+const CHUNK: u64 = 4096;
+
+/// Chunk-index budget of the dense first level (2^21 chunks = 8 GiB of
+/// application space at 4 KiB chunks — far more than any workload's working
+/// set, yet only a 16 MiB pointer table).
+const DENSE_LIMIT: u64 = 1 << 21;
+
+/// A lock-free shadow memory: one `AtomicU8` per application byte, organized
+/// behind a **flat first-level chunk index** pre-built from the streams'
+/// footprint (the parallel phase performs lookups only, so the table is
+/// shared immutably). Mirroring [`ShadowMemory`](crate::ShadowMemory)'s
+/// layout, a hot-path access is a direct array index off the high address
+/// bits — no hashing — and `join`/`fill` run chunk-resident slice loops
+/// instead of re-walking the index per byte. The rare far outliers beyond
+/// the dense span (a handful of sentinel addresses per run) live in a small
+/// sorted side table found by binary search.
+#[derive(Debug)]
+pub struct AtomicShadow {
+    /// First chunk index covered by `dense` (the footprint rarely starts
+    /// at address zero, so the table is offset to stay compact).
+    base: u64,
+    /// First level: `chunk index - base` → chunk, `None` where untouched.
+    dense: Vec<Option<Box<[AtomicU8]>>>,
+    /// Outlier chunks beyond `base + DENSE_LIMIT`, sorted by chunk index.
+    sparse: Vec<(u64, Box<[AtomicU8]>)>,
+}
+
+impl AtomicShadow {
+    /// Pre-allocates chunks for every byte the streams may touch.
+    pub fn for_streams(streams: &[Vec<EventRecord>]) -> Self {
+        // Collect the touched chunk indices (bounded by stream length, not
+        // by address span).
+        let mut touched = std::collections::BTreeSet::new();
+        for stream in streams {
+            for rec in stream {
+                let (addr, len) = match &rec.payload {
+                    EventPayload::Instr(i) => match i.mem_access() {
+                        Some((m, _)) => (m.addr, u64::from(m.size)),
+                        None => continue,
+                    },
+                    EventPayload::Ca(ca) => match ca.range {
+                        Some(r) => (r.start, r.len),
+                        None => continue,
+                    },
+                };
+                for c in (addr / CHUNK)..=((addr + len.max(1) - 1) / CHUNK) {
+                    touched.insert(c);
+                }
+            }
+        }
+        let new_chunk = || {
+            (0..CHUNK)
+                .map(|_| AtomicU8::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        };
+        let base = touched.first().copied().unwrap_or(0);
+        let dense_len = touched
+            .range(..base + DENSE_LIMIT)
+            .next_back()
+            .map_or(0, |&hi| hi - base + 1);
+        let mut dense: Vec<Option<Box<[AtomicU8]>>> = Vec::new();
+        dense.resize_with(dense_len as usize, || None);
+        let mut sparse = Vec::new();
+        for ci in touched {
+            if ci < base + DENSE_LIMIT {
+                dense[(ci - base) as usize] = Some(new_chunk());
+            } else {
+                sparse.push((ci, new_chunk()));
+            }
+        }
+        AtomicShadow {
+            base,
+            dense,
+            sparse,
+        }
+    }
+
+    /// The chunk shadowing `addr`, if inside the pre-built footprint.
+    #[inline]
+    fn chunk(&self, addr: u64) -> Option<&[AtomicU8]> {
+        let ci = addr / CHUNK;
+        if let Some(idx) = ci.checked_sub(self.base) {
+            if (idx as usize) < self.dense.len() {
+                return self.dense[idx as usize].as_deref();
+            }
+        }
+        self.sparse
+            .binary_search_by_key(&ci, |(c, _)| *c)
+            .ok()
+            .map(|i| &*self.sparse[i].1)
+    }
+
+    /// Chunk-resident ranged OR: one index walk per chunk segment, then a
+    /// straight slice loop.
+    pub fn join_range(&self, addr: u64, len: u64) -> u8 {
+        let mut acc = 0;
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            let seg_end = end.min((a / CHUNK + 1) * CHUNK);
+            if let Some(c) = self.chunk(a) {
+                let lo = (a % CHUNK) as usize;
+                let hi = lo + (seg_end - a) as usize;
+                for byte in &c[lo..hi] {
+                    acc |= byte.load(Ordering::Acquire);
+                }
+            }
+            a = seg_end;
+        }
+        acc
+    }
+
+    /// Chunk-resident ranged store.
+    pub fn fill_range(&self, addr: u64, len: u64, v: u8) {
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            let seg_end = end.min((a / CHUNK + 1) * CHUNK);
+            if let Some(c) = self.chunk(a) {
+                let lo = (a % CHUNK) as usize;
+                let hi = lo + (seg_end - a) as usize;
+                for byte in &c[lo..hi] {
+                    byte.store(v, Ordering::Release);
+                }
+            }
+            a = seg_end;
+        }
+    }
+
+    /// Joins (bitwise-ORs) the shadow of one memory operand.
+    pub fn join(&self, mem: MemRef) -> u8 {
+        self.join_range(mem.addr, u64::from(mem.size))
+    }
+
+    /// Fills one memory operand's shadow with `v`.
+    pub fn fill(&self, mem: MemRef, v: u8) {
+        self.fill_range(mem.addr, u64::from(mem.size), v);
+    }
+
+    /// Order-insensitive fingerprint, compatible with the deterministic
+    /// lifeguards' metadata fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        let mut mix_chunk = |ci: u64, data: &[AtomicU8]| {
+            let chunk_base = ci * CHUNK;
+            for (off, byte) in data.iter().enumerate() {
+                let v = byte.load(Ordering::Acquire);
+                if v != 0 {
+                    fp.mix(chunk_base + off as u64, u64::from(v));
+                }
+            }
+        };
+        for (i, slot) in self.dense.iter().enumerate() {
+            if let Some(data) = slot.as_deref() {
+                mix_chunk(self.base + i as u64, data);
+            }
+        }
+        for (ci, data) in &self.sparse {
+            mix_chunk(*ci, data);
+        }
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paralog_events::{Instr, Reg, Rid};
+
+    fn stream_touching(addrs: &[u64]) -> Vec<Vec<EventRecord>> {
+        vec![addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                EventRecord::instr(
+                    Rid(i as u64 + 1),
+                    Instr::Store {
+                        dst: MemRef::new(a, 4),
+                        src: Reg::new(0),
+                    },
+                )
+            })
+            .collect()]
+    }
+
+    #[test]
+    fn footprint_prebuild_covers_dense_and_sparse() {
+        let far = (DENSE_LIMIT + 10) * CHUNK + 0x100;
+        let shadow = AtomicShadow::for_streams(&stream_touching(&[0x1000, far]));
+        shadow.fill_range(0x1000, 4, 3);
+        shadow.fill_range(far, 4, 5);
+        assert_eq!(shadow.join_range(0x1000, 4), 3);
+        assert_eq!(shadow.join_range(far, 4), 5);
+        // Untouched (and un-prebuilt) addresses read clean.
+        assert_eq!(shadow.join_range(0x9999_0000, 8), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_nonzero_bytes() {
+        let shadow = AtomicShadow::for_streams(&stream_touching(&[0x2000]));
+        let before = shadow.fingerprint();
+        shadow.fill(MemRef::new(0x2000, 4), 1);
+        assert_ne!(shadow.fingerprint(), before);
+        shadow.fill(MemRef::new(0x2000, 4), 0);
+        assert_eq!(shadow.fingerprint(), before);
+    }
+}

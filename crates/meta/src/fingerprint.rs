@@ -1,0 +1,65 @@
+//! Order-insensitive metadata fingerprints.
+//!
+//! Equivalence testing compares the final metadata of a parallel run against
+//! a sequential reference (and of the real-thread executor against the
+//! deterministic simulator). Metadata lives in hash-map-backed and
+//! concurrently-updated structures whose iteration order is unstable, so the
+//! fingerprint must be commutative across `(key, value)` pairs.
+
+/// FNV-1a accumulator for metadata fingerprints.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Creates the initial fingerprint state.
+    pub fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes one `(key, value)` pair; commutative across pairs via xor-fold
+    /// so iteration order of hash maps does not matter.
+    pub fn mix(&mut self, key: u64, value: u64) {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in key.to_le_bytes().into_iter().chain(value.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 ^= h;
+    }
+
+    /// Final value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_order_insensitive() {
+        let mut a = Fingerprint::new();
+        a.mix(1, 10);
+        a.mix(2, 20);
+        let mut b = Fingerprint::new();
+        b.mix(2, 20);
+        b.mix(1, 10);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_values() {
+        let mut a = Fingerprint::new();
+        a.mix(1, 10);
+        let mut b = Fingerprint::new();
+        b.mix(1, 11);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

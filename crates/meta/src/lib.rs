@@ -7,8 +7,12 @@
 //!   evaluated lifeguards use (2 bits/byte for TAINTCHECK, 1 bit/byte for
 //!   ADDRCHECK), including the application→metadata address mapping that the
 //!   Metadata TLB accelerates;
+//! * [`AtomicShadow`] — the lock-free mirror of the same layout shared by
+//!   the real-thread replay executor (§5.3 synchronization-free fast path);
 //! * [`VersionTable`] — the produce/consume table backing TSO versioned
-//!   metadata (§5.5).
+//!   metadata (§5.5);
+//! * [`Fingerprint`] — the order-insensitive metadata fingerprint
+//!   equivalence tests compare across platforms and backends.
 //!
 //! # Example
 //!
@@ -24,8 +28,12 @@
 
 #![warn(missing_debug_implementations)]
 
+pub mod atomic;
+pub mod fingerprint;
 pub mod shadow;
 pub mod versions;
 
+pub use atomic::AtomicShadow;
+pub use fingerprint::Fingerprint;
 pub use shadow::{ShadowMemory, CHUNK_APP_BYTES, META_BASE};
 pub use versions::VersionTable;

@@ -75,7 +75,7 @@ const COPY_WINDOW: usize = 512;
 ///
 /// # Cache invariant
 ///
-/// `cache_idx` is either [`NO_CHUNK`] or the index of a first-level slot
+/// `cache_idx` is either `NO_CHUNK` or the index of a first-level slot
 /// known to be in bounds and allocated. Chunks are never freed and the
 /// first level never shrinks, so the invariant is stable once established;
 /// every cache hit re-borrows the chunk freshly (no pointers are retained

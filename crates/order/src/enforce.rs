@@ -25,12 +25,22 @@ pub enum Gate {
 }
 
 /// Per-lifeguard order-enforcing frontend with stall statistics.
+///
+/// Stall polls are O(1): the index of the first unmet arc is cached when a
+/// record blocks, and — because progress counters are monotonic — arcs
+/// before it can never become unmet again, so a re-check resumes at the
+/// cached index instead of re-scanning the full arc list.
 #[derive(Debug, Clone, Default)]
 pub struct OrderEnforcer {
     checks: u64,
     immediate: u64,
     stalls: u64,
     stall_cycles: u64,
+    arc_probes: u64,
+    /// `(rid, arc index)` of the currently blocked record's first unmet arc.
+    /// Valid only while that record stays at the head of the stream (it is
+    /// cleared the moment a gate reports `Ready`).
+    cursor: Option<(Rid, usize)>,
 }
 
 impl OrderEnforcer {
@@ -39,31 +49,58 @@ impl OrderEnforcer {
         OrderEnforcer::default()
     }
 
+    /// Scans `arcs` from `start`, counting probes; returns the first unmet
+    /// arc's index.
+    fn scan(
+        &mut self,
+        arcs: &[DependenceArc],
+        progress: &ProgressTable,
+        start: usize,
+    ) -> Option<(usize, DependenceArc)> {
+        for (i, a) in arcs.iter().enumerate().skip(start) {
+            self.arc_probes += 1;
+            if !progress.satisfies(a.src, a.src_rid) {
+                return Some((i, *a));
+            }
+        }
+        None
+    }
+
+    fn gate_from(&mut self, record: &EventRecord, progress: &ProgressTable, start: usize) -> Gate {
+        match self.scan(&record.arcs, progress, start) {
+            None => {
+                self.cursor = None;
+                Gate::Ready
+            }
+            Some((i, arc)) => {
+                self.cursor = Some((record.rid, i));
+                Gate::Blocked {
+                    src: arc.src,
+                    needed: arc.src_rid,
+                }
+            }
+        }
+    }
+
     /// Gates `record` against `progress`. The first failing arc is reported;
     /// re-check after the producer advances.
     pub fn gate(&mut self, record: &EventRecord, progress: &ProgressTable) -> Gate {
         self.checks += 1;
-        match first_unmet(&record.arcs, progress) {
-            None => {
-                self.immediate += 1;
-                Gate::Ready
-            }
-            Some(arc) => Gate::Blocked {
-                src: arc.src,
-                needed: arc.src_rid,
-            },
+        let gate = self.gate_from(record, progress, 0);
+        if gate == Gate::Ready {
+            self.immediate += 1;
         }
+        gate
     }
 
-    /// Re-checks a previously blocked record without counting a new check.
-    pub fn regate(&self, record: &EventRecord, progress: &ProgressTable) -> Gate {
-        match first_unmet(&record.arcs, progress) {
-            None => Gate::Ready,
-            Some(arc) => Gate::Blocked {
-                src: arc.src,
-                needed: arc.src_rid,
-            },
-        }
+    /// Re-checks a previously blocked record without counting a new check,
+    /// resuming at the cached first-unmet arc when the record matches.
+    pub fn regate(&mut self, record: &EventRecord, progress: &ProgressTable) -> Gate {
+        let start = match self.cursor {
+            Some((rid, i)) if rid == record.rid && i < record.arcs.len() => i,
+            _ => 0,
+        };
+        self.gate_from(record, progress, start)
     }
 
     /// Accounts `cycles` of dependence-stall time (one stall episode).
@@ -89,6 +126,12 @@ impl OrderEnforcer {
         self.stalls
     }
 
+    /// Total individual arc checks performed across all gates and re-gates
+    /// (the quantity the O(1)-stall-poll cursor keeps small).
+    pub fn arc_probes(&self) -> u64 {
+        self.arc_probes
+    }
+
     /// Total cycles spent in dependence stalls.
     pub fn stall_cycles(&self) -> u64 {
         self.stall_cycles
@@ -102,13 +145,6 @@ impl OrderEnforcer {
             self.immediate as f64 / self.checks as f64
         }
     }
-}
-
-fn first_unmet<'a>(
-    arcs: &'a [DependenceArc],
-    progress: &ProgressTable,
-) -> Option<&'a DependenceArc> {
-    arcs.iter().find(|a| !progress.satisfies(a.src, a.src_rid))
 }
 
 #[cfg(test)]
@@ -167,6 +203,37 @@ mod tests {
         );
         p.advertise(ThreadId(2), Rid(9));
         assert_eq!(e.regate(&rec, &p), Gate::Ready);
+    }
+
+    #[test]
+    fn stall_polls_probe_one_arc() {
+        let mut e = OrderEnforcer::new();
+        let mut p = ProgressTable::new(3);
+        // First two arcs already satisfied, third is not.
+        p.advertise(ThreadId(0), Rid(2));
+        p.advertise(ThreadId(1), Rid(3));
+        let rec = record_with_arcs(vec![
+            DependenceArc::new(ThreadId(0), Rid(2), ArcKind::Raw),
+            DependenceArc::new(ThreadId(1), Rid(3), ArcKind::War),
+            DependenceArc::new(ThreadId(2), Rid(9), ArcKind::Waw),
+        ]);
+        assert!(matches!(e.gate(&rec, &p), Gate::Blocked { .. }));
+        assert_eq!(e.arc_probes(), 3, "initial gate scans up to the block");
+        for _ in 0..5 {
+            assert!(matches!(e.regate(&rec, &p), Gate::Blocked { .. }));
+        }
+        assert_eq!(
+            e.arc_probes(),
+            8,
+            "each stall poll re-probes only the cached arc"
+        );
+        p.advertise(ThreadId(2), Rid(9));
+        assert_eq!(e.regate(&rec, &p), Gate::Ready);
+        assert_eq!(e.arc_probes(), 9, "release resumes at the cached index");
+        // A fresh record after delivery starts a full scan again.
+        let next = record_with_arcs(vec![DependenceArc::new(ThreadId(0), Rid(1), ArcKind::Raw)]);
+        assert_eq!(e.regate(&next, &p), Gate::Ready);
+        assert_eq!(e.arc_probes(), 10);
     }
 
     #[test]

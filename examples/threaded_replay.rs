@@ -1,17 +1,19 @@
 //! Replays captured event streams on **real OS threads** — the §5.3
 //! synchronization-free fast path under genuine concurrency.
 //!
-//! The deterministic simulator captures each thread's fully annotated stream
-//! (records + dependence arcs); real threads then race through them sharing
-//! a lock-free atomic shadow memory, enforcing order purely by spinning on
-//! the atomic progress table (§5.2). Whatever the OS scheduler does, the
-//! final taint state must equal the deterministic run's.
+//! The same `MonitorSession` is driven through both bundled backends: the
+//! deterministic simulator establishes the expected final metadata, then the
+//! real-thread backend races one OS thread per stream over a lock-free
+//! atomic shadow, enforcing order purely by spinning on the atomic progress
+//! table (§5.2). Whatever the OS scheduler does, the fingerprints must
+//! match.
 //!
 //! ```text
 //! cargo run --release --example threaded_replay
 //! ```
 
-use paralog::core::run_threaded_taintcheck;
+use paralog::core::{DeterministicBackend, MonitorSession, ThreadedBackend};
+use paralog::lifeguards::LifeguardKind;
 use paralog::workloads::{Benchmark, WorkloadSpec};
 
 fn main() {
@@ -21,17 +23,35 @@ fn main() {
         Benchmark::Radiosity,
     ] {
         let w = WorkloadSpec::benchmark(bench, 4).scale(0.2).build();
+        let expected = MonitorSession::builder()
+            .source(w.clone())
+            .lifeguard(LifeguardKind::TaintCheck)
+            .backend(DeterministicBackend)
+            .build()
+            .expect("session is complete")
+            .run()
+            .expect("deterministic run")
+            .metrics
+            .fingerprint;
         let mut spins = 0;
         for round in 0..5 {
-            let out = run_threaded_taintcheck(&w);
-            assert!(
-                out.is_correct(),
+            let m = MonitorSession::builder()
+                .source(w.clone())
+                .lifeguard(LifeguardKind::TaintCheck)
+                .backend(ThreadedBackend)
+                .build()
+                .expect("session is complete")
+                .run()
+                .expect("SC captures are replayable")
+                .metrics;
+            assert_eq!(
+                m.fingerprint, expected,
                 "{bench} round {round}: concurrent replay diverged \
-                 ({:#x} vs {:#x})",
-                out.fingerprint,
-                out.expected
+                 ({:#x} vs {expected:#x})",
+                m.fingerprint
             );
-            spins += out.arc_spins;
+            assert!(m.matches_reference());
+            spins += m.dependence_stalls;
         }
         println!(
             "{bench:<12} 5 concurrent replays, all metadata-identical to the deterministic run \

@@ -9,9 +9,12 @@
 //! delayed advertising and ConflictAlert messages.
 //!
 //! This facade crate re-exports the whole workspace under one name. Most
-//! users want [`core`] (the platform and experiment runners),
-//! [`lifeguards`] (TaintCheck, AddrCheck, MemCheck, LockSet) and
-//! [`workloads`] (the synthetic SPLASH-2/PARSEC-like benchmarks).
+//! users want [`core`] (the composable `MonitorSession` API, the `Platform`
+//! shim and the experiment runners), [`lifeguards`] (TaintCheck, AddrCheck,
+//! MemCheck, LockSet, plus the open `LifeguardRegistry` for out-of-tree
+//! analyses) and [`workloads`] (the synthetic SPLASH-2/PARSEC-like
+//! benchmarks). See `examples/custom_lifeguard.rs` for the session-builder
+//! quickstart.
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,458 @@
+//! The composable `MonitorSession` API: cross-backend equivalence and the
+//! open lifeguard registry.
+//!
+//! The tentpole invariants:
+//!
+//! * the **same session** (source × lifeguard × config) produces identical
+//!   violations and shadow fingerprints on the deterministic and the
+//!   real-threaded backend;
+//! * pre-captured streams ingested through a `ReplaySource` — raw or via
+//!   the compressed codec wire form — reproduce the live capture's final
+//!   metadata;
+//! * a custom lifeguard defined *here*, outside `crates/lifeguards`, runs
+//!   through `MonitorSession` (directly and via the registry) with no edits
+//!   to platform code.
+
+use paralog::core::{
+    DeterministicBackend, MonitorConfig, MonitorSession, MonitoringMode, Platform, PushSource,
+    ReplaySource, SessionError, ThreadedBackend,
+};
+use paralog::events::codec::encode;
+use paralog::events::{
+    AccessKind, AddrRange, CaPhase, CaRecord, EventRecord, HighLevelKind, Instr, MemRef, MetaOp,
+    Reg, Rid, SyscallKind, ThreadId,
+};
+use paralog::lifeguards::{
+    AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardFactory,
+    LifeguardFamily, LifeguardKind, LifeguardRegistry, LifeguardSpec, Violation, ViolationKind,
+};
+use paralog::order::CaPolicy;
+use paralog::workloads::{Benchmark, Workload, WorkloadSpec};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn workload(bench: Benchmark, threads: usize) -> Workload {
+    WorkloadSpec::benchmark(bench, threads).scale(0.05).build()
+}
+
+fn violation_keys(violations: &[Violation]) -> Vec<(u16, u64, ViolationKind)> {
+    let mut keys: Vec<_> = violations
+        .iter()
+        .map(|v| (v.tid.0, v.rid.0, v.kind))
+        .collect();
+    keys.sort_by_key(|&(tid, rid, _)| (tid, rid));
+    keys
+}
+
+#[test]
+fn deterministic_and_threaded_backends_agree() {
+    for bench in [Benchmark::Fluidanimate, Benchmark::Barnes] {
+        let w = workload(bench, 4);
+        let det = MonitorSession::builder()
+            .source(w.clone())
+            .lifeguard(LifeguardKind::TaintCheck)
+            .backend(DeterministicBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let thr = MonitorSession::builder()
+            .source(w)
+            .lifeguard(LifeguardKind::TaintCheck)
+            .backend(ThreadedBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            det.metrics.fingerprint, thr.metrics.fingerprint,
+            "{bench}: backends disagree on final metadata"
+        );
+        assert!(
+            thr.metrics.matches_reference(),
+            "{bench}: threaded replay diverged from its own capture"
+        );
+        assert_eq!(
+            violation_keys(det.metrics.violations.as_slice()),
+            violation_keys(thr.metrics.violations.as_slice()),
+            "{bench}: backends disagree on violations"
+        );
+    }
+}
+
+#[test]
+fn replay_source_reproduces_live_capture() {
+    let w = workload(Benchmark::Barnes, 4);
+    let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
+    cfg.collect_streams = true;
+    let live = Platform::run(&w, &cfg).metrics;
+    let streams = live.streams.clone().expect("collection enabled");
+
+    // Raw streams through the deterministic (lifeguard-only) backend.
+    let replay = MonitorSession::builder()
+        .source(ReplaySource::new(streams.clone(), w.heap))
+        .lifeguard(LifeguardKind::TaintCheck)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(replay.metrics.fingerprint, live.fingerprint);
+    assert_eq!(replay.metrics.records, live.records);
+    assert_eq!(
+        violation_keys(&replay.metrics.violations),
+        violation_keys(&live.violations)
+    );
+
+    // The same streams through the codec wire form.
+    let encoded: Vec<Vec<u8>> = streams.iter().map(|s| encode(s)).collect();
+    let decoded = MonitorSession::builder()
+        .source(ReplaySource::from_encoded(&encoded, w.heap).expect("lossless codec"))
+        .lifeguard(LifeguardKind::TaintCheck)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(decoded.metrics.fingerprint, live.fingerprint);
+
+    // And through the real-thread backend: three-way agreement.
+    let threaded = MonitorSession::builder()
+        .source(ReplaySource::new(streams, w.heap))
+        .lifeguard(LifeguardKind::TaintCheck)
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(threaded.metrics.fingerprint, live.fingerprint);
+}
+
+#[test]
+fn push_source_feeds_an_online_session() {
+    let heap = AddrRange::new(0x1000_0000, 0x1000);
+    let buf = AddrRange::new(0x1000_0000, 16);
+    let mut src = PushSource::new(1, heap);
+    // An online feed: unverified input arrives, flows into a register, and
+    // is used as a jump target.
+    src.push(
+        0,
+        EventRecord::ca(
+            Rid(1),
+            CaRecord {
+                what: HighLevelKind::Syscall(SyscallKind::ReadInput),
+                phase: CaPhase::End,
+                range: Some(buf),
+                issuer: ThreadId(0),
+                issuer_rid: Rid(1),
+                seq: u64::MAX,
+            },
+        ),
+    );
+    src.emit(
+        0,
+        Instr::Load {
+            dst: Reg::new(0),
+            src: MemRef::new(buf.start, 4),
+        },
+    );
+    src.emit(
+        0,
+        Instr::JmpReg {
+            target: Reg::new(0),
+        },
+    );
+
+    let out = MonitorSession::builder()
+        .source(src)
+        .lifeguard(LifeguardKind::TaintCheck)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(out.metrics.records, 3);
+    assert_eq!(out.metrics.violations.len(), 1);
+    assert_eq!(out.metrics.violations[0].kind, ViolationKind::TaintedJump);
+    assert_eq!(out.metrics.violations[0].rid, Rid(3));
+}
+
+#[test]
+fn threaded_backend_rejects_unsupported_plans() {
+    let w = workload(Benchmark::Lu, 2);
+    // LockSet has no Send + Sync concurrent form.
+    let err = MonitorSession::builder()
+        .source(w.clone())
+        .lifeguard(LifeguardKind::LockSet)
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .err();
+    assert!(matches!(err, Some(SessionError::Unsupported(_))));
+    // TSO captures carry versioned metadata the lock-free replay cannot honor.
+    let err = MonitorSession::builder()
+        .source(w)
+        .config(MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck).with_tso())
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .err();
+    assert!(matches!(err, Some(SessionError::Unsupported(_))));
+}
+
+#[test]
+fn truncated_streams_are_reported_as_deadlock() {
+    // Thread 1's record depends on a producer record that never appears
+    // (truncated capture): ingestion must fail loudly, not hang.
+    let heap = AddrRange::new(0x1000_0000, 0x1000);
+    let mut src = PushSource::new(2, heap);
+    src.emit(0, Instr::Nop);
+    let mut dependent = EventRecord::instr(
+        Rid(1),
+        Instr::Load {
+            dst: Reg::new(0),
+            src: MemRef::new(heap.start, 4),
+        },
+    );
+    dependent.arcs.push(paralog::events::DependenceArc::new(
+        ThreadId(0),
+        Rid(99),
+        paralog::events::ArcKind::Raw,
+    ));
+    src.push(1, dependent);
+    let err = MonitorSession::builder()
+        .source(src.clone())
+        .lifeguard(LifeguardKind::TaintCheck)
+        .build()
+        .unwrap()
+        .run()
+        .err();
+    assert!(matches!(err, Some(SessionError::Deadlock(_))));
+    // The threaded backend must report the same condition (after its
+    // no-global-progress grace window) instead of hanging forever.
+    let err = MonitorSession::builder()
+        .source(src)
+        .lifeguard(LifeguardKind::TaintCheck)
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .err();
+    assert!(matches!(err, Some(SessionError::Deadlock(_))));
+}
+
+#[test]
+fn empty_sources_are_rejected_by_both_backends() {
+    let heap = AddrRange::new(0x1000_0000, 0x1000);
+    for backend in [false, true] {
+        let builder = MonitorSession::builder()
+            .source(ReplaySource::new(Vec::new(), heap))
+            .lifeguard(LifeguardKind::TaintCheck);
+        let builder = if backend {
+            builder.backend(ThreadedBackend)
+        } else {
+            builder.backend(DeterministicBackend)
+        };
+        let err = builder.build().unwrap().run().err();
+        assert_eq!(err, Some(SessionError::EmptySource));
+    }
+}
+
+// --- a custom lifeguard defined entirely outside `crates/lifeguards` -------
+
+/// Analysis-wide state of the out-of-tree example: per-thread write tallies
+/// and a forbidden address range.
+#[derive(Debug)]
+struct TallyShared {
+    writes: Vec<u64>,
+    forbidden: AddrRange,
+}
+
+/// A write-tally / forbidden-range lifeguard: counts every memory write per
+/// thread and reports a violation when one lands in the forbidden range.
+#[derive(Debug)]
+struct WriteTally {
+    shared: Rc<RefCell<TallyShared>>,
+    tid: ThreadId,
+    spec: LifeguardSpec,
+}
+
+impl Lifeguard for WriteTally {
+    fn spec(&self) -> &LifeguardSpec {
+        &self.spec
+    }
+
+    fn handle(&mut self, op: &MetaOp, rid: Rid, ctx: &mut HandlerCtx) {
+        if let MetaOp::CheckAccess {
+            mem,
+            kind: AccessKind::Write | AccessKind::Rmw,
+        } = op
+        {
+            let mut shared = self.shared.borrow_mut();
+            shared.writes[self.tid.index()] += 1;
+            if shared.forbidden.overlaps(&mem.range()) {
+                ctx.report(Violation {
+                    tid: self.tid,
+                    rid,
+                    kind: ViolationKind::UnallocatedAccess,
+                    addr: Some(mem.addr),
+                });
+            }
+        }
+    }
+
+    fn handle_ca(&mut self, _ca: &CaRecord, _own: bool, _rid: Rid, _ctx: &mut HandlerCtx) {}
+
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8> {
+        vec![0; range.len as usize]
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let shared = self.shared.borrow();
+        let mut fp = Fingerprint::new();
+        for (t, n) in shared.writes.iter().enumerate() {
+            fp.mix(t as u64, *n);
+        }
+        fp.finish()
+    }
+}
+
+#[derive(Debug)]
+struct WriteTallyFactory {
+    forbidden: AddrRange,
+    threads: usize,
+}
+
+impl LifeguardFactory for WriteTallyFactory {
+    fn name(&self) -> &str {
+        "WriteTally"
+    }
+
+    fn build(&self, _heap: AddrRange) -> LifeguardFamily {
+        let shared = Rc::new(RefCell::new(TallyShared {
+            writes: vec![0; self.threads],
+            forbidden: self.forbidden,
+        }));
+        LifeguardFamily::from_constructor("WriteTally", move |tid| {
+            Box::new(WriteTally {
+                shared: Rc::clone(&shared),
+                tid,
+                spec: LifeguardSpec {
+                    name: "WriteTally",
+                    view: EventView::Check,
+                    uses_it: false,
+                    uses_if: false,
+                    uses_mtlb: false,
+                    ca_policy: CaPolicy::new(),
+                    bits_per_byte: 0,
+                    atomicity: AtomicityClass::SyncFree,
+                },
+            })
+        })
+    }
+}
+
+#[test]
+fn custom_lifeguard_runs_through_the_session_api() {
+    let w = workload(Benchmark::Lu, 2);
+    // Forbid part of the private working set so violations actually fire.
+    let forbidden = AddrRange::new(paralog::workloads::PRIVATE_BASE, 0x400);
+    let factory = WriteTallyFactory {
+        forbidden,
+        threads: w.thread_count(),
+    };
+    let out = MonitorSession::builder()
+        .source(w.clone())
+        .lifeguard_factory(factory)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(out.metrics.records > 0);
+    assert!(
+        out.metrics.delivered_ops > 0,
+        "custom analysis received deliveries"
+    );
+    assert!(
+        !out.metrics.violations.is_empty(),
+        "forbidden-range writes must be reported"
+    );
+    assert!(out
+        .metrics
+        .violations
+        .iter()
+        .all(|v| v.kind == ViolationKind::UnallocatedAccess));
+
+    // The same analysis resolved through an open registry, driving a replay
+    // source instead of the simulator — no platform edits anywhere.
+    let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
+    cfg.collect_streams = true;
+    let streams = Platform::run(&w, &cfg).metrics.streams.expect("collected");
+    let mut registry = LifeguardRegistry::builtin();
+    registry.register(WriteTallyFactory {
+        forbidden,
+        threads: w.thread_count(),
+    });
+    let replayed = MonitorSession::builder()
+        .source(ReplaySource::new(streams, w.heap))
+        .registry(registry)
+        .lifeguard_named("WriteTally")
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        replayed.metrics.fingerprint, out.metrics.fingerprint,
+        "write tallies agree between live capture and replay ingestion"
+    );
+}
+
+#[test]
+fn shadowing_a_builtin_name_does_not_inherit_its_reference() {
+    // A custom factory registered under a bundled name must NOT get that
+    // bundled analysis' sequential reference attached: the reference would
+    // compare TaintCheck metadata against a foreign analysis.
+    #[derive(Debug)]
+    struct Impostor;
+    impl LifeguardFactory for Impostor {
+        fn name(&self) -> &str {
+            "TaintCheck"
+        }
+        fn build(&self, heap: AddrRange) -> LifeguardFamily {
+            LifeguardKind::MemCheck.build(heap)
+        }
+    }
+
+    let w = workload(Benchmark::Lu, 2);
+    let mut registry = LifeguardRegistry::builtin();
+    registry.register(Impostor);
+    let out = MonitorSession::builder()
+        .source(w.clone())
+        .registry(registry)
+        .lifeguard_named("TaintCheck")
+        .config(
+            MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+                .with_equivalence_check(),
+        )
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        out.metrics.reference_fingerprint, None,
+        "custom factories run without a bundled reference"
+    );
+    // The genuine builtin resolved by name still gets one.
+    let genuine = MonitorSession::builder()
+        .source(w)
+        .lifeguard_named("TaintCheck")
+        .config(
+            MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+                .with_equivalence_check(),
+        )
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(genuine.metrics.reference_fingerprint.is_some());
+    assert!(genuine.metrics.matches_reference());
+}

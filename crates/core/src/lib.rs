@@ -56,6 +56,8 @@ pub use metrics::{AppBuckets, LgBuckets, RunMetrics};
 pub use platform::{Platform, RunOutcome};
 pub use reference::Reference;
 pub use session::{
-    Backend, DeterministicBackend, EventSource, MonitorSession, MonitorSessionBuilder, PushSource,
-    ReplaySource, SessionError, SessionPlan, SourceInput, ThreadedBackend, WorkloadSource,
+    Backend, BufferedStream, DeterministicBackend, EventSource, LivePushSource, MonitorSession,
+    MonitorSessionBuilder, PushFeed, PushRefused, PushSource, RecordStream, ReplaySource,
+    SessionError, SessionPlan, SourceInput, SourceStats, StreamStatus, StreamingReplaySource,
+    ThreadedBackend, WorkloadSource,
 };

@@ -8,6 +8,15 @@
 //! is the borrow split that makes this possible: every piece of lifeguard
 //! state *except* the rings, so the closure over the ring borrow can still
 //! reach the engines.
+//!
+//! Two delivery paths live here: the co-simulation path (`step_lg`, with
+//! accelerators and cycle accounting) and the ingestion path
+//! ([`deliver_ingested`], driven by the deterministic backend's streaming
+//! replay loop). Both already treat "my stream's tail has not arrived yet"
+//! as *wait for the producer*, not as completion or deadlock — `step_lg`
+//! via the ring's open-but-empty state, the replay loop via the source
+//! protocol's `Blocked` status — which is what lets a session's input be
+//! produced online.
 
 use super::{LgThread, Sim};
 use crate::config::{CaMode, MonitorConfig, MonitoringMode};
@@ -512,6 +521,84 @@ impl<'a> DeliveryCtx<'a> {
             self.lgs[li].it.note_processed(rid);
         }
         cycles
+    }
+}
+
+/// Delivers one ingested (replayed) record to thread `t`'s lifeguard:
+/// produce/consume version bookkeeping (§5.5), syscall range-table policing
+/// (§5.4), view decoding and the handler call — the ingestion mirror of
+/// [`DeliveryCtx::process_record`], minus accelerators and cycle
+/// accounting. Called by the deterministic backend's streaming replay loop
+/// once a record's arcs are satisfied.
+#[allow(clippy::too_many_arguments)] // the replay loop's split borrows
+pub(crate) fn deliver_ingested(
+    rec: &EventRecord,
+    t: usize,
+    lgs: &mut [Box<dyn paralog_lifeguards::Lifeguard>],
+    range_table: &mut paralog_order::RangeTable,
+    versions: &mut paralog_meta::VersionTable,
+    ca_policy: &CaPolicy,
+    violations: &mut Vec<Violation>,
+    delivered_ops: &mut u64,
+) {
+    let lg = &mut lgs[t];
+    let rid = rec.rid;
+    for (vid, mem, consumers) in &rec.produce_versions {
+        let range = mem.range();
+        let snapshot = lg.snapshot_meta(range);
+        versions.produce(*vid, range, snapshot, *consumers);
+    }
+    let versioned: Option<(AddrRange, Vec<u8>)> = rec.consume_version.and_then(|(vid, _)| {
+        let got = versions.consume(vid);
+        if got.is_none() {
+            versions.bypass(vid);
+        }
+        got
+    });
+    match &rec.payload {
+        EventPayload::Instr(instr) => {
+            if let Some((mem, _)) = instr.mem_access() {
+                if let Some(entry) = range_table.check(ThreadId(t as u16), mem.range()) {
+                    let mut ctx = HandlerCtx::new();
+                    lg.on_syscall_race(mem.range(), &entry, rid, &mut ctx);
+                    violations.append(&mut ctx.violations);
+                }
+            }
+            let op = match lg.spec().view {
+                EventView::Dataflow => dataflow_view(instr),
+                EventView::Check => check_view(instr),
+            };
+            if let Some(op) = op {
+                let mut ctx = HandlerCtx::new();
+                if let Some((range, bytes)) = &versioned {
+                    if op
+                        .mem_src()
+                        .map(|m| range.overlaps(&m.range()))
+                        .unwrap_or(false)
+                    {
+                        ctx.versioned = Some((*range, bytes.clone()));
+                    }
+                }
+                lg.handle(&op, rid, &mut ctx);
+                violations.append(&mut ctx.violations);
+                *delivered_ops += 1;
+            }
+        }
+        EventPayload::Ca(ca) => {
+            let actions = ca_policy.actions(ca.what, ca.phase);
+            if actions.track_range {
+                match (ca.phase, ca.range) {
+                    (CaPhase::Begin, Some(range)) => range_table.insert(ca.issuer, ca.what, range),
+                    (CaPhase::End, _) => range_table.remove(ca.issuer),
+                    _ => {}
+                }
+            }
+            let own = ca.issuer.index() == t;
+            let mut ctx = HandlerCtx::new();
+            lg.handle_ca(ca, own, rid, &mut ctx);
+            violations.append(&mut ctx.violations);
+            *delivered_ops += 1;
+        }
     }
 }
 

@@ -13,7 +13,7 @@
 //! `Parallel` (ParaLog proper: one lifeguard thread per application thread).
 
 mod app;
-mod lg;
+pub(crate) mod lg;
 
 use crate::config::{MonitorConfig, MonitoringMode};
 use crate::metrics::{AppBuckets, LgBuckets, RunMetrics};

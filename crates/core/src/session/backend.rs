@@ -11,30 +11,41 @@
 //!   timing (externally captured logs have no machine to time);
 //! * [`ThreadedBackend`] — real OS threads replaying the streams against the
 //!   lifeguard's `Send + Sync` concurrent form, enforcing arcs by spinning
-//!   on an atomic progress table (§5.2). A workload input is first captured
-//!   deterministically; the deterministic fingerprint is recorded as
+//!   on an atomic progress table (§5.2) and policing the §5.4 syscall range
+//!   table per worker. A workload input is first captured deterministically;
+//!   the deterministic fingerprint is recorded as
 //!   [`RunMetrics::reference_fingerprint`](crate::RunMetrics) so
 //!   `matches_reference()` states whether genuine concurrency reproduced the
 //!   deterministic metadata.
+//!
+//! Both backends consume stream input **incrementally**: records are pulled
+//! from each thread's [`RecordStream`] in bounded batches and delivered as
+//! they arrive, so ingestion is online and source-side memory stays within
+//! the source's chunk budget. A thread whose next record has not been
+//! produced yet ([`StreamStatus::Blocked`]) parks the session; only when
+//! *every* stream is exhausted and some delivered-gated record still waits
+//! on an unmet arc is the run declared a [`SessionError::Deadlock`].
 
+use super::source::{RecordStream, StreamStatus};
 use super::{SessionError, SessionPlan};
 use crate::config::{MonitorConfig, MonitoringMode};
 use crate::metrics::RunMetrics;
+use crate::platform::lg::deliver_ingested;
 use crate::platform::{RunOutcome, Sim};
 use crate::reference::Reference;
 use crate::session::SourceInput;
-use paralog_events::{
-    check_view, dataflow_view, AddrRange, CaPhase, EventPayload, EventRecord, LogRing, ThreadId,
-};
-use paralog_lifeguards::{
-    EventView, HandlerCtx, Lifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind, Violation,
-};
-use paralog_order::{
-    CaPolicy, Gate, OrderEnforcer, ProgressTable, RangeTable, SharedProgressTable,
-};
+use paralog_events::{EventRecord, ThreadId};
+use paralog_lifeguards::{Lifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind, Violation};
+use paralog_order::{Gate, OrderEnforcer, ProgressTable, RangeTable, SharedProgressTable};
 use paralog_workloads::Workload;
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Records pulled from a stream per refill — the backend-side buffering
+/// bound (each thread holds at most one batch).
+const INGEST_BATCH: usize = 256;
 
 /// Runs one resolved monitoring session.
 pub trait Backend: fmt::Debug {
@@ -47,8 +58,8 @@ pub trait Backend: fmt::Debug {
     ///
     /// Returns [`SessionError`] when the plan asks for something this
     /// backend cannot provide (e.g. concurrent replay of a lifeguard without
-    /// a concurrent form, or ingestion of a malformed stream whose arcs can
-    /// never be satisfied).
+    /// a concurrent form), when a streaming source turns out malformed, or
+    /// when ingestion deadlocks on a truncated capture.
     fn run(&self, plan: SessionPlan) -> Result<RunOutcome, SessionError>;
 }
 
@@ -119,15 +130,33 @@ fn run_deterministic(
     }
 }
 
-/// Lifeguard-only ingestion of pre-captured streams under the deterministic
-/// backend: records are delivered in an order that satisfies every captured
-/// dependence arc (run-to-block round-robin over threads), through the same
+/// One thread's ingestion state in the streaming replay loop.
+struct IngestLane {
+    stream: Box<dyn RecordStream>,
+    /// At most one pulled batch awaiting delivery.
+    pending: VecDeque<EventRecord>,
+    exhausted: bool,
+    enforcer: OrderEnforcer,
+    range_table: RangeTable,
+}
+
+/// Lifeguard-only ingestion of per-thread streams under the deterministic
+/// backend: records are pulled incrementally (bounded batches) and
+/// delivered in an order that satisfies every captured dependence arc
+/// (run-to-block round-robin over threads), through the same
 /// [`Lifeguard`] handlers the co-simulation drives. Timing buckets stay
 /// zero — there is no simulated machine to time — but analysis results
 /// (violations, fingerprints, version traffic) are full-fidelity.
+///
+/// The loop distinguishes the two ways a thread can fail to advance:
+///
+/// * its stream is [`StreamStatus::Blocked`] — the producer exists but has
+///   not caught up; the session parks (yielding the CPU) and retries;
+/// * its head record's arc is unmet while **every** stream is exhausted —
+///   no producer can ever satisfy it: [`SessionError::Deadlock`].
 fn replay_streams(
     family: &LifeguardFamily,
-    streams: Vec<Vec<EventRecord>>,
+    streams: Vec<Box<dyn RecordStream>>,
 ) -> Result<RunMetrics, SessionError> {
     let k = streams.len();
     if k == 0 {
@@ -135,66 +164,111 @@ fn replay_streams(
     }
     let mut lgs: Vec<Box<dyn Lifeguard>> =
         (0..k).map(|t| family.thread(ThreadId(t as u16))).collect();
-    let ca_policy: CaPolicy = lgs[0].spec().ca_policy.clone();
+    let ca_policy = lgs[0].spec().ca_policy.clone();
     let mut progress = ProgressTable::new(k);
-    let mut enforcers = vec![OrderEnforcer::new(); k];
-    let mut range_tables: Vec<RangeTable> = (0..k).map(|_| RangeTable::new(k)).collect();
     let mut versions = paralog_meta::VersionTable::new();
-    let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
-    let mut rings: Vec<LogRing> = streams
+    let mut lanes: Vec<IngestLane> = streams
         .into_iter()
-        .map(|s| {
-            let mut ring = LogRing::new(s.len().max(1));
-            for rec in s {
-                ring.push(rec).expect("ring sized to its stream");
-            }
-            ring.close();
-            ring
+        .map(|stream| IngestLane {
+            stream,
+            pending: VecDeque::new(),
+            exhausted: false,
+            enforcer: OrderEnforcer::new(),
+            range_table: RangeTable::new(k),
         })
         .collect();
 
+    let mut batch: Vec<EventRecord> = Vec::with_capacity(INGEST_BATCH);
+    let mut records = 0u64;
     let mut delivered_ops = 0u64;
     let mut stalls = 0u64;
+    let mut idle_rounds = 0u32;
     let mut violations: Vec<Violation> = Vec::new();
     loop {
-        let mut any = false;
-        for t in 0..k {
-            // Run this thread until its head blocks or its stream drains.
+        let mut any_progress = false;
+        let mut producer_pending = false;
+        for (t, lane) in lanes.iter_mut().enumerate() {
+            // Run this thread until its head blocks, its producer lags, or
+            // its stream drains.
             loop {
-                let gate = match rings[t].peek() {
-                    None => break,
-                    Some(head) => enforcers[t].regate(head, &progress),
-                };
-                if let Gate::Blocked { .. } = gate {
-                    stalls += 1;
+                if lane.pending.is_empty() {
+                    if lane.exhausted {
+                        break;
+                    }
+                    let status = lane.stream.next_batch(&mut batch, INGEST_BATCH)?;
+                    // Drain whatever arrived regardless of status (a stream
+                    // may deliver a partial batch and *then* report Blocked)
+                    // so nothing leaks into another lane's refill.
+                    let got_records = !batch.is_empty();
+                    lane.pending.extend(batch.drain(..));
+                    match status {
+                        StreamStatus::Yielded | StreamStatus::Blocked if got_records => {}
+                        StreamStatus::Yielded | StreamStatus::Blocked => {
+                            // (An empty `Yielded` is a protocol violation;
+                            // treat it like a lagging producer rather than
+                            // spinning on the misbehaving stream.)
+                            producer_pending = true;
+                            break;
+                        }
+                        StreamStatus::Exhausted => {
+                            lane.exhausted = true;
+                            if !got_records {
+                                break;
+                            }
+                        }
+                    }
+                }
+                let mut arc_blocked = false;
+                while let Some(head) = lane.pending.front() {
+                    if let Gate::Blocked { .. } = lane.enforcer.regate(head, &progress) {
+                        stalls += 1;
+                        arc_blocked = true;
+                        break;
+                    }
+                    let rec = lane.pending.pop_front().expect("peeked");
+                    deliver_ingested(
+                        &rec,
+                        t,
+                        &mut lgs,
+                        &mut lane.range_table,
+                        &mut versions,
+                        &ca_policy,
+                        &mut violations,
+                        &mut delivered_ops,
+                    );
+                    progress.advertise(ThreadId(t as u16), rec.rid);
+                    records += 1;
+                    any_progress = true;
+                }
+                if arc_blocked {
                     break;
                 }
-                let rid = rings[t]
-                    .pop_with(|rec| {
-                        deliver_replayed(
-                            rec,
-                            t,
-                            &mut lgs,
-                            &mut range_tables[t],
-                            &mut versions,
-                            &ca_policy,
-                            &mut violations,
-                            &mut delivered_ops,
-                        );
-                        rec.rid
-                    })
-                    .expect("peeked");
-                progress.advertise(ThreadId(t as u16), rid);
-                any = true;
             }
         }
-        if rings.iter().all(LogRing::is_drained) {
+        if lanes.iter().all(|l| l.exhausted && l.pending.is_empty()) {
             break;
         }
-        if !any {
-            let stuck: Vec<String> = (0..k)
-                .filter_map(|t| {
-                    rings[t].peek().map(|head| {
+        if any_progress {
+            idle_rounds = 0;
+        } else {
+            if producer_pending {
+                // Streams blocked on live producers: park and retry — this
+                // is online ingestion waiting for input, not a deadlock.
+                // Back off to short sleeps so an idle feed does not burn a
+                // core; resume eagerly once records flow again.
+                if idle_rounds < 64 {
+                    idle_rounds += 1;
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                continue;
+            }
+            let stuck: Vec<String> = lanes
+                .iter()
+                .enumerate()
+                .filter_map(|(t, lane)| {
+                    lane.pending.front().map(|head| {
                         format!(
                             "thread {t} blocked at rid {} arcs {:?}",
                             head.rid, head.arcs
@@ -208,7 +282,7 @@ fn replay_streams(
 
     Ok(RunMetrics {
         app_threads: k,
-        records: total,
+        records,
         delivered_ops,
         dependence_stalls: stalls,
         versions_produced: versions.produced(),
@@ -219,86 +293,53 @@ fn replay_streams(
     })
 }
 
-/// Delivers one replayed record to thread `t`'s lifeguard: produce/consume
-/// version bookkeeping (§5.5), syscall range-table policing (§5.4), view
-/// decoding and the handler call — the ingestion mirror of the simulator's
-/// delivery path, minus accelerators and cycle accounting.
-#[allow(clippy::too_many_arguments)] // the replay loop's split borrows
-fn deliver_replayed(
-    rec: &EventRecord,
-    t: usize,
-    lgs: &mut [Box<dyn Lifeguard>],
-    range_table: &mut RangeTable,
-    versions: &mut paralog_meta::VersionTable,
-    ca_policy: &CaPolicy,
-    violations: &mut Vec<Violation>,
-    delivered_ops: &mut u64,
-) {
-    let lg = &mut lgs[t];
-    let rid = rec.rid;
-    for (vid, mem, consumers) in &rec.produce_versions {
-        let range = mem.range();
-        let snapshot = lg.snapshot_meta(range);
-        versions.produce(*vid, range, snapshot, *consumers);
-    }
-    let versioned: Option<(AddrRange, Vec<u8>)> = rec.consume_version.and_then(|(vid, _)| {
-        let got = versions.consume(vid);
-        if got.is_none() {
-            versions.bypass(vid);
-        }
-        got
-    });
-    match &rec.payload {
-        EventPayload::Instr(instr) => {
-            if let Some((mem, _)) = instr.mem_access() {
-                if let Some(entry) = range_table.check(ThreadId(t as u16), mem.range()) {
-                    let mut ctx = HandlerCtx::new();
-                    lg.on_syscall_race(mem.range(), &entry, rid, &mut ctx);
-                    violations.append(&mut ctx.violations);
-                }
-            }
-            let op = match lg.spec().view {
-                EventView::Dataflow => dataflow_view(instr),
-                EventView::Check => check_view(instr),
-            };
-            if let Some(op) = op {
-                let mut ctx = HandlerCtx::new();
-                if let Some((range, bytes)) = &versioned {
-                    if op
-                        .mem_src()
-                        .map(|m| range.overlaps(&m.range()))
-                        .unwrap_or(false)
-                    {
-                        ctx.versioned = Some((*range, bytes.clone()));
-                    }
-                }
-                lg.handle(&op, rid, &mut ctx);
-                violations.append(&mut ctx.violations);
-                *delivered_ops += 1;
-            }
-        }
-        EventPayload::Ca(ca) => {
-            let actions = ca_policy.actions(ca.what, ca.phase);
-            if actions.track_range {
-                match (ca.phase, ca.range) {
-                    (CaPhase::Begin, Some(range)) => range_table.insert(ca.issuer, ca.what, range),
-                    (CaPhase::End, _) => range_table.remove(ca.issuer),
-                    _ => {}
-                }
-            }
-            let own = ca.issuer.index() == t;
-            let mut ctx = HandlerCtx::new();
-            lg.handle_ca(ca, own, rid, &mut ctx);
-            violations.append(&mut ctx.violations);
-            *delivered_ops += 1;
-        }
-    }
-}
-
 /// The real-thread backend: one OS thread per stream, lock-free shared
 /// metadata, order enforced purely by spinning on an atomic progress table.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ThreadedBackend;
+
+/// Shared worker coordination for one threaded replay.
+struct ThreadedRun {
+    progress: SharedProgressTable,
+    arc_spins: AtomicU64,
+    /// Records applied across all workers — the liveness signal deadlock
+    /// detection watches.
+    applied: AtomicU64,
+    /// Workers currently parked on a `Blocked` stream (a live producer that
+    /// has not caught up). While nonzero, a flat `applied` counter is *not*
+    /// evidence of deadlock.
+    producers_blocked: AtomicUsize,
+    /// Set on the first failure (deadlock, malformed stream, unsupported
+    /// record); every worker bails out promptly once set.
+    abort: AtomicBool,
+    failure: Mutex<Option<SessionError>>,
+}
+
+impl ThreadedRun {
+    fn new(threads: usize) -> Self {
+        ThreadedRun {
+            progress: SharedProgressTable::new(threads),
+            arc_spins: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            producers_blocked: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            failure: Mutex::new(None),
+        }
+    }
+
+    /// Records the first failure and tells every worker to stop.
+    fn fail(&self, err: SessionError) {
+        let mut failure = self.failure.lock().expect("poisoned");
+        if failure.is_none() {
+            *failure = Some(err);
+        }
+        self.abort.store(true, Ordering::Release);
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+}
 
 impl Backend for ThreadedBackend {
     fn name(&self) -> &'static str {
@@ -306,7 +347,7 @@ impl Backend for ThreadedBackend {
     }
 
     fn run(&self, plan: SessionPlan) -> Result<RunOutcome, SessionError> {
-        let (streams, expected) = match plan.input {
+        let (streams, expected): (Vec<Box<dyn RecordStream>>, Option<u64>) = match plan.input {
             SourceInput::Workload(ref w) => {
                 if plan.config.tso {
                     return Err(SessionError::Unsupported(
@@ -322,111 +363,195 @@ impl Backend for ThreadedBackend {
                     run_deterministic(w, &cfg, plan.factory.build(plan.heap), plan.shorthand)
                         .metrics;
                 let streams = metrics.streams.expect("collect_streams was set");
-                (streams, Some(metrics.fingerprint))
+                let fingerprint = metrics.fingerprint;
+                match SourceInput::from_buffered(streams) {
+                    SourceInput::Streams(streams) => (streams, Some(fingerprint)),
+                    SourceInput::Workload(_) => unreachable!("buffered input"),
+                }
             }
             SourceInput::Streams(s) => (s, None),
         };
         if streams.is_empty() {
             return Err(SessionError::EmptySource);
         }
-        if streams
-            .iter()
-            .flatten()
-            .any(|r| r.consume_version.is_some())
-        {
-            return Err(SessionError::Unsupported(
-                "the threaded backend replays SC captures only (stream carries TSO versions)",
-            ));
-        }
-        let conc =
-            plan.factory
-                .concurrent(plan.heap, &streams)
-                .ok_or(SessionError::Unsupported(
-                    "lifeguard has no concurrent (Send + Sync) replay form",
-                ))?;
+        let k = streams.len();
+        let conc = plan
+            .factory
+            .concurrent(plan.heap, k)
+            .ok_or(SessionError::Unsupported(
+                "lifeguard has no concurrent (Send + Sync) replay form",
+            ))?;
+        let ca_policy = conc.ca_policy();
 
-        let progress = SharedProgressTable::new(streams.len());
-        let arc_spins = AtomicU64::new(0);
-        // Deadlock detection for malformed streams (arcs no producer ever
-        // satisfies): a worker that spins while the global applied-record
-        // count stays flat for a full grace window flags the run and every
-        // worker bails out, instead of the scope hanging forever.
-        let applied = AtomicU64::new(0);
-        let deadlocked = AtomicBool::new(false);
+        let run = ThreadedRun::new(k);
         std::thread::scope(|scope| {
-            for (tid, stream) in streams.iter().enumerate() {
+            for (tid, stream) in streams.into_iter().enumerate() {
                 let conc = &*conc;
-                let progress = &progress;
-                let arc_spins = &arc_spins;
-                let applied = &applied;
-                let deadlocked = &deadlocked;
+                let run = &run;
+                let ca_policy = &ca_policy;
                 scope.spawn(move || {
-                    for rec in stream {
-                        // §5.2 enforcement: spin until every arc is satisfied.
-                        for arc in &rec.arcs {
-                            let mut spun = false;
-                            let mut spins = 0u32;
-                            let mut last_applied = applied.load(Ordering::Relaxed);
-                            let mut flat_since: Option<std::time::Instant> = None;
-                            while !progress.satisfies(arc.src, arc.src_rid) {
-                                if deadlocked.load(Ordering::Relaxed) {
-                                    return;
-                                }
-                                spun = true;
-                                spins += 1;
-                                if spins >= 1 << 14 {
-                                    spins = 0;
-                                    let now = applied.load(Ordering::Relaxed);
-                                    if now != last_applied {
-                                        last_applied = now;
-                                        flat_since = None;
-                                    } else {
-                                        let t0 =
-                                            *flat_since.get_or_insert_with(std::time::Instant::now);
-                                        if t0.elapsed() > std::time::Duration::from_secs(2) {
-                                            deadlocked.store(true, Ordering::Relaxed);
-                                            return;
-                                        }
-                                    }
-                                    std::thread::yield_now();
-                                }
-                                std::hint::spin_loop();
-                            }
-                            if spun {
-                                arc_spins.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        conc.apply(ThreadId(tid as u16), rec);
-                        progress.advertise(ThreadId(tid as u16), rec.rid);
-                        applied.fetch_add(1, Ordering::Relaxed);
-                    }
+                    replay_worker(ThreadId(tid as u16), stream, conc, ca_policy, run, k)
                 });
             }
         });
-        if deadlocked.load(Ordering::Relaxed) {
-            return Err(SessionError::Deadlock(
-                "threaded replay made no progress; a stream carries arcs its producer never \
-                 satisfies"
-                    .into(),
-            ));
+        if let Some(err) = run.failure.into_inner().expect("poisoned") {
+            return Err(err);
         }
 
         let mut violations = conc.violations();
         // Worker interleaving is scheduler-dependent; a canonical order keeps
         // the report deterministic.
         violations.sort_by_key(|v| (v.tid.0, v.rid.0));
-        let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        let total = run.applied.load(Ordering::Relaxed);
         Ok(RunOutcome {
             metrics: RunMetrics {
-                app_threads: streams.len(),
+                app_threads: k,
                 records: total,
                 delivered_ops: total,
-                dependence_stalls: arc_spins.load(Ordering::Relaxed),
+                dependence_stalls: run.arc_spins.load(Ordering::Relaxed),
                 violations,
                 fingerprint: conc.fingerprint(),
                 reference_fingerprint: expected,
                 ..RunMetrics::default()
             },
         })
+    }
+}
+
+/// One worker of the threaded replay: pulls its stream in bounded batches,
+/// enforces arcs by spinning on the shared progress table (§5.2), polices
+/// the §5.4 range table, and applies each record to the concurrent
+/// lifeguard.
+fn replay_worker(
+    tid: ThreadId,
+    mut stream: Box<dyn RecordStream>,
+    conc: &dyn paralog_lifeguards::ConcurrentLifeguard,
+    ca_policy: &paralog_order::CaPolicy,
+    run: &ThreadedRun,
+    threads: usize,
+) {
+    let mut pending: VecDeque<EventRecord> = VecDeque::new();
+    let mut batch: Vec<EventRecord> = Vec::with_capacity(INGEST_BATCH);
+    let mut range_table = RangeTable::new(threads);
+    let mut idle_polls = 0u32;
+    loop {
+        if run.aborted() {
+            return;
+        }
+        if pending.is_empty() {
+            // The pull itself may block inside the transport (a pipe or
+            // socket read *is* the producer wait), so the whole call is
+            // bracketed by the producers_blocked counter — arc spinners
+            // must not read a flat applied count as deadlock meanwhile.
+            run.producers_blocked.fetch_add(1, Ordering::Relaxed);
+            let pulled = stream.next_batch(&mut batch, INGEST_BATCH);
+            run.producers_blocked.fetch_sub(1, Ordering::Relaxed);
+            // Drain whatever arrived regardless of status (a stream may
+            // deliver a partial batch and *then* report Blocked).
+            let got_records = !batch.is_empty();
+            pending.extend(batch.drain(..));
+            match pulled {
+                Ok(StreamStatus::Yielded) | Ok(StreamStatus::Blocked) if got_records => {}
+                Ok(StreamStatus::Yielded) | Ok(StreamStatus::Blocked) => {
+                    // A live producer that has not caught up: park, backing
+                    // off to short sleeps so an idle feed does not burn a
+                    // core.
+                    run.producers_blocked.fetch_add(1, Ordering::Relaxed);
+                    if idle_polls < 64 {
+                        idle_polls += 1;
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    run.producers_blocked.fetch_sub(1, Ordering::Relaxed);
+                    continue;
+                }
+                // Exhausted-with-records: deliver the tail now; the next
+                // (sticky) pull returns Exhausted again with nothing.
+                Ok(StreamStatus::Exhausted) => {
+                    if !got_records {
+                        return;
+                    }
+                }
+                Err(err) => {
+                    run.fail(err);
+                    return;
+                }
+            }
+            idle_polls = 0;
+        }
+        while let Some(rec) = pending.pop_front() {
+            if rec.consume_version.is_some() {
+                run.fail(SessionError::Unsupported(
+                    "the threaded backend replays SC captures only (stream carries TSO versions)",
+                ));
+                return;
+            }
+            // §5.2 enforcement: spin until every arc is satisfied.
+            for arc in &rec.arcs {
+                let mut spun = false;
+                let mut spins = 0u32;
+                let mut last_applied = run.applied.load(Ordering::Relaxed);
+                let mut flat_since: Option<std::time::Instant> = None;
+                while !run.progress.satisfies(arc.src, arc.src_rid) {
+                    if run.aborted() {
+                        return;
+                    }
+                    spun = true;
+                    spins += 1;
+                    if spins >= 1 << 14 {
+                        spins = 0;
+                        let now = run.applied.load(Ordering::Relaxed);
+                        if now != last_applied {
+                            last_applied = now;
+                            flat_since = None;
+                        } else if run.producers_blocked.load(Ordering::Relaxed) > 0 {
+                            // A peer is waiting on its producer: the run is
+                            // starved for input, not deadlocked.
+                            flat_since = None;
+                        } else {
+                            let t0 = *flat_since.get_or_insert_with(std::time::Instant::now);
+                            if t0.elapsed() > std::time::Duration::from_secs(2) {
+                                run.fail(SessionError::Deadlock(
+                                    "threaded replay made no progress; a stream carries arcs \
+                                     its producer never satisfies"
+                                        .into(),
+                                ));
+                                return;
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                    std::hint::spin_loop();
+                }
+                if spun {
+                    run.arc_spins.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // §5.4: police the range table before applying, mirroring the
+            // deterministic delivery order.
+            if let paralog_events::EventPayload::Instr(instr) = &rec.payload {
+                if let Some((mem, _)) = instr.mem_access() {
+                    if let Some(entry) = range_table.check(tid, mem.range()) {
+                        conc.on_syscall_race(tid, mem.range(), &entry, rec.rid);
+                    }
+                }
+            }
+            conc.apply(tid, &rec);
+            if let paralog_events::EventPayload::Ca(ca) = &rec.payload {
+                let actions = ca_policy.actions(ca.what, ca.phase);
+                if actions.track_range {
+                    match (ca.phase, ca.range) {
+                        (paralog_events::CaPhase::Begin, Some(range)) => {
+                            range_table.insert(ca.issuer, ca.what, range)
+                        }
+                        (paralog_events::CaPhase::End, _) => range_table.remove(ca.issuer),
+                        _ => {}
+                    }
+                }
+            }
+            run.progress.advertise(tid, rec.rid);
+            run.applied.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }

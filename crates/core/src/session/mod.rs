@@ -4,7 +4,12 @@
 //! batch call with a builder over three pluggable seams:
 //!
 //! * **event sources** ([`EventSource`]) — the simulated workload, replay of
-//!   pre-captured streams, or a programmatic push feed;
+//!   pre-captured streams (buffered, or decoded incrementally from the codec
+//!   wire form with bounded memory via [`StreamingReplaySource`]), or a
+//!   programmatic push feed (buffered, or bounded and back-pressured).
+//!   Sources resolve to per-thread [`RecordStream`]s pulled batch-by-batch —
+//!   see [`source`](module@crate::session::source) for the
+//!   yielded/blocked/exhausted protocol;
 //! * **backends** ([`Backend`]) — the deterministic discrete-event simulator
 //!   or the real-thread executor;
 //! * **lifeguards** — any [`LifeguardFactory`], resolved directly, by
@@ -34,10 +39,14 @@
 //! ```
 
 mod backend;
-mod source;
+pub mod source;
 
 pub use backend::{Backend, DeterministicBackend, ThreadedBackend};
-pub use source::{EventSource, PushSource, ReplaySource, SourceInput, WorkloadSource};
+pub use source::{
+    BufferedStream, EventSource, LivePushSource, PushFeed, PushRefused, PushSource, RecordStream,
+    ReplaySource, SourceInput, SourceStats, StreamStatus, StreamingReplaySource, WorkloadSource,
+    DEFAULT_CHUNK_BYTES,
+};
 
 pub(crate) use backend::run_platform;
 
@@ -59,9 +68,15 @@ pub enum SessionError {
     EmptySource,
     /// The chosen backend cannot run this plan.
     Unsupported(&'static str),
-    /// Stream ingestion wedged: some dependence arc can never be satisfied
-    /// (malformed or truncated input streams).
+    /// Stream ingestion wedged: every stream is exhausted, yet some
+    /// dependence arc can never be satisfied (a truncated or malformed
+    /// capture). A stream merely *blocked on its producer* is not a
+    /// deadlock — backends keep waiting in that case.
     Deadlock(String),
+    /// A streaming source produced bytes that can never decode to a record
+    /// (corrupt wire data, a transport truncated mid-record, or a failing
+    /// reader).
+    MalformedStream(String),
 }
 
 impl fmt::Display for SessionError {
@@ -75,6 +90,9 @@ impl fmt::Display for SessionError {
             SessionError::Unsupported(what) => write!(f, "unsupported: {what}"),
             SessionError::Deadlock(detail) => {
                 write!(f, "stream ingestion deadlocked: {detail}")
+            }
+            SessionError::MalformedStream(detail) => {
+                write!(f, "malformed event stream: {detail}")
             }
         }
     }

@@ -5,17 +5,78 @@
 //! can monitor
 //!
 //! * a simulated [`WorkloadSource`] (the classic co-simulated capture),
-//! * a [`ReplaySource`] of pre-captured per-thread streams — the host-side
-//!   deployment shape where logs were captured elsewhere (or earlier) and
-//!   are ingested online, optionally straight from the compressed codec
-//!   representation, or
-//! * a [`PushSource`] fed programmatically, record by record, for online
-//!   feeds and tests.
+//! * a [`ReplaySource`] of pre-captured per-thread streams,
+//! * a [`StreamingReplaySource`] decoding the codec wire form lazily from
+//!   any `io::Read`, with bounded resident buffering, or
+//! * a push feed — buffered ([`PushSource`]) or bounded/back-pressured
+//!   ([`PushSource::bounded`]) — for online feeds and tests.
+//!
+//! # The streaming protocol
+//!
+//! Ingestion is *incremental*: a source resolves to one [`RecordStream`]
+//! per monitored thread, and backends pull bounded batches on demand with
+//! [`RecordStream::next_batch`]. Each pull returns one of three states:
+//!
+//! * [`StreamStatus::Yielded`] — at least one record was appended to the
+//!   caller's buffer; pull again for more.
+//! * [`StreamStatus::Blocked`] — nothing is available *yet*, but the
+//!   producer is still alive (an online feed that has not caught up). The
+//!   backend must keep the session parked — this is **not** a deadlock,
+//!   and backends distinguish it from an unsatisfiable dependence arc.
+//! * [`StreamStatus::Exhausted`] — the stream ended; no record will ever
+//!   arrive again. Once every stream is exhausted, any record still gated
+//!   on an unmet arc can never be released: *that* is reported as
+//!   [`SessionError::Deadlock`] (a truncated or malformed capture).
+//!
+//! The contract is what makes ingestion online with bounded memory: a
+//! backend holds at most one batch per thread, a decoding source holds at
+//! most one transport chunk plus one partial record, and nobody ever
+//! materializes a whole stream. `Exhausted`/`Blocked` are sticky per the
+//! obvious reading: after `Exhausted`, every later pull returns
+//! `Exhausted`; after `Blocked`, any state may follow.
 
-use paralog_events::codec::{decode, DecodeError};
+use paralog_events::codec::{decode, DecodeError, StreamDecoder};
 use paralog_events::{AddrRange, EventRecord, Instr, Rid};
 use paralog_workloads::Workload;
+use std::collections::VecDeque;
 use std::fmt;
+use std::io::Read;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+use super::SessionError;
+
+/// Result of one [`RecordStream::next_batch`] pull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamStatus {
+    /// At least one record was appended to the caller's buffer.
+    Yielded,
+    /// No records are available yet; the producer may still supply more.
+    Blocked,
+    /// The stream is complete; no further records will ever arrive.
+    Exhausted,
+}
+
+/// One monitored thread's incremental record stream (see the module docs
+/// for the yielded/blocked/exhausted protocol).
+///
+/// Streams are `Send` so the real-thread backend can move each one into the
+/// worker that owns it.
+pub trait RecordStream: Send + fmt::Debug {
+    /// Pulls up to `max` records, appending them to `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::MalformedStream`] when the underlying transport
+    /// yields bytes that can never decode to a record (corruption, or a
+    /// wire stream truncated mid-record).
+    fn next_batch(
+        &mut self,
+        out: &mut Vec<EventRecord>,
+        max: usize,
+    ) -> Result<StreamStatus, SessionError>;
+}
 
 /// The concrete input an [`EventSource`] resolves to when the session runs.
 #[derive(Debug)]
@@ -23,9 +84,21 @@ pub enum SourceInput {
     /// A workload to co-simulate: the application side runs under the
     /// deterministic machine model and produces events online.
     Workload(Workload),
-    /// Pre-captured per-thread event streams (records with arcs and TSO
-    /// annotations already attached).
-    Streams(Vec<Vec<EventRecord>>),
+    /// One incremental record stream per monitored thread.
+    Streams(Vec<Box<dyn RecordStream>>),
+}
+
+impl SourceInput {
+    /// Wraps already-materialized per-thread streams (each becomes a
+    /// [`BufferedStream`]).
+    pub fn from_buffered(streams: Vec<Vec<EventRecord>>) -> Self {
+        SourceInput::Streams(
+            streams
+                .into_iter()
+                .map(|s| Box::new(BufferedStream::new(s)) as Box<dyn RecordStream>)
+                .collect(),
+        )
+    }
 }
 
 /// A producer of per-thread event streams for one monitoring session.
@@ -94,8 +167,45 @@ impl EventSource for Workload {
     }
 }
 
+/// An already-materialized stream served through the incremental protocol:
+/// yields bounded batches until drained, then reports `Exhausted`. The
+/// adapter every buffered source ([`ReplaySource`], [`PushSource`], the
+/// threaded backend's workload captures) reduces to.
+#[derive(Debug)]
+pub struct BufferedStream {
+    records: VecDeque<EventRecord>,
+}
+
+impl BufferedStream {
+    /// Wraps a materialized stream.
+    pub fn new(records: Vec<EventRecord>) -> Self {
+        BufferedStream {
+            records: records.into(),
+        }
+    }
+}
+
+impl RecordStream for BufferedStream {
+    fn next_batch(
+        &mut self,
+        out: &mut Vec<EventRecord>,
+        max: usize,
+    ) -> Result<StreamStatus, SessionError> {
+        if self.records.is_empty() {
+            return Ok(StreamStatus::Exhausted);
+        }
+        out.extend(self.records.drain(..max.min(self.records.len())));
+        Ok(StreamStatus::Yielded)
+    }
+}
+
 /// Replays pre-captured per-thread streams — externally captured logs
 /// ingested by a lifeguard-only session (no application co-simulation).
+///
+/// This is the *buffered* convenience shape: the streams are materialized
+/// up front and served through the incremental protocol as
+/// [`BufferedStream`]s, so it shares every code path with — and is the
+/// equivalence baseline for — [`StreamingReplaySource`].
 #[derive(Debug, Clone)]
 pub struct ReplaySource {
     streams: Vec<Vec<EventRecord>>,
@@ -140,13 +250,209 @@ impl EventSource for ReplaySource {
     }
 
     fn open(self: Box<Self>) -> SourceInput {
-        SourceInput::Streams(self.streams)
+        SourceInput::from_buffered(self.streams)
+    }
+}
+
+/// Buffering statistics of a streaming source, shared with the handle the
+/// caller kept (the source itself is consumed when the session runs).
+#[derive(Debug, Default)]
+pub struct SourceStats {
+    peak_buffered: AtomicUsize,
+}
+
+impl SourceStats {
+    /// High-water mark of bytes resident in any one stream's decode buffer
+    /// — the quantity the configured chunk size bounds.
+    pub fn peak_buffered_bytes(&self) -> usize {
+        self.peak_buffered.load(Ordering::Relaxed)
+    }
+
+    fn note(&self, buffered: usize) {
+        self.peak_buffered.fetch_max(buffered, Ordering::Relaxed);
+    }
+}
+
+/// Default transport chunk size for [`StreamingReplaySource`].
+pub const DEFAULT_CHUNK_BYTES: usize = 8 * 1024;
+
+/// Streams codec-encoded logs from arbitrary byte readers, decoding
+/// incrementally — the genuinely *online* ingestion shape: a session can
+/// monitor a log as it is produced (a file being appended, a socket, a
+/// pipe), holding only one transport chunk plus one partial record per
+/// thread in memory.
+///
+/// The memory cap is configurable via
+/// [`with_chunk_bytes`](Self::with_chunk_bytes); the
+/// [`stats`](Self::stats) handle reports the observed high-water mark so
+/// tests (and operators) can verify residency stays within budget.
+pub struct StreamingReplaySource {
+    readers: Vec<Box<dyn Read + Send>>,
+    heap: AddrRange,
+    chunk_bytes: usize,
+    stats: Arc<SourceStats>,
+}
+
+impl fmt::Debug for StreamingReplaySource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamingReplaySource")
+            .field("threads", &self.readers.len())
+            .field("chunk_bytes", &self.chunk_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamingReplaySource {
+    /// One codec wire stream per monitored thread, each read lazily.
+    pub fn new(readers: Vec<Box<dyn Read + Send>>, heap: AddrRange) -> Self {
+        StreamingReplaySource {
+            readers,
+            heap,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            stats: Arc::new(SourceStats::default()),
+        }
+    }
+
+    /// Convenience: streams served from in-memory encoded bytes (tests,
+    /// benchmarks). The bytes are still decoded incrementally.
+    pub fn from_encoded(encoded: Vec<Vec<u8>>, heap: AddrRange) -> Self {
+        StreamingReplaySource::new(
+            encoded
+                .into_iter()
+                .map(|bytes| Box::new(std::io::Cursor::new(bytes)) as Box<dyn Read + Send>)
+                .collect(),
+            heap,
+        )
+    }
+
+    /// Sets the transport chunk size — the memory cap per stream is one
+    /// chunk plus one partial record. Clamped to at least 16 bytes.
+    #[must_use]
+    pub fn with_chunk_bytes(mut self, chunk_bytes: usize) -> Self {
+        self.chunk_bytes = chunk_bytes.max(16);
+        self
+    }
+
+    /// The buffering-statistics handle (keep a clone before the session
+    /// consumes the source).
+    pub fn stats(&self) -> Arc<SourceStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl EventSource for StreamingReplaySource {
+    fn thread_count(&self) -> usize {
+        self.readers.len()
+    }
+
+    fn heap(&self) -> AddrRange {
+        self.heap
+    }
+
+    fn open(self: Box<Self>) -> SourceInput {
+        let chunk_bytes = self.chunk_bytes;
+        let stats = self.stats;
+        SourceInput::Streams(
+            self.readers
+                .into_iter()
+                .map(|reader| {
+                    Box::new(DecodingStream {
+                        reader,
+                        decoder: StreamDecoder::new(),
+                        chunk: vec![0; chunk_bytes],
+                        eof: false,
+                        stats: Arc::clone(&stats),
+                    }) as Box<dyn RecordStream>
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Incremental decode of one codec wire stream from a byte reader.
+struct DecodingStream {
+    reader: Box<dyn Read + Send>,
+    decoder: StreamDecoder,
+    /// Reusable transport chunk (its length is the configured cap).
+    chunk: Vec<u8>,
+    eof: bool,
+    stats: Arc<SourceStats>,
+}
+
+impl fmt::Debug for DecodingStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecodingStream")
+            .field("records", &self.decoder.records())
+            .field("eof", &self.eof)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RecordStream for DecodingStream {
+    fn next_batch(
+        &mut self,
+        out: &mut Vec<EventRecord>,
+        max: usize,
+    ) -> Result<StreamStatus, SessionError> {
+        let start = out.len();
+        loop {
+            while out.len() - start < max {
+                match self.decoder.next_record() {
+                    Ok(Some(rec)) => out.push(rec),
+                    Ok(None) => break,
+                    Err(e) => return Err(SessionError::MalformedStream(e.to_string())),
+                }
+            }
+            if out.len() - start >= max {
+                return Ok(StreamStatus::Yielded);
+            }
+            if self.eof {
+                return if out.len() > start {
+                    Ok(StreamStatus::Yielded)
+                } else if self.decoder.is_clean() {
+                    Ok(StreamStatus::Exhausted)
+                } else {
+                    Err(SessionError::MalformedStream(
+                        "wire stream ended mid-record (truncated transport)".into(),
+                    ))
+                };
+            }
+            // Refill one bounded transport chunk. A blocking reader blocks
+            // here — from the session's view that *is* the producer wait.
+            match self.reader.read(&mut self.chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => {
+                    self.decoder.feed(&self.chunk[..n]);
+                    self.stats.note(self.decoder.buffered());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Non-blocking transports surface the producer wait
+                    // explicitly.
+                    return if out.len() > start {
+                        Ok(StreamStatus::Yielded)
+                    } else {
+                        Ok(StreamStatus::Blocked)
+                    };
+                }
+                Err(e) => {
+                    return Err(SessionError::MalformedStream(format!(
+                        "wire stream read failed: {e}"
+                    )))
+                }
+            }
+        }
     }
 }
 
 /// A programmatic push-style source for online feeds: callers append records
 /// (or let the source assign stream positions for bare instructions) and the
 /// accumulated streams are monitored when the session runs.
+///
+/// This buffered shape is convenient for tests and small feeds. For a
+/// genuinely online feed with back-pressure — the producer runs on its own
+/// thread and is throttled when the monitor falls behind — use
+/// [`PushSource::bounded`].
 #[derive(Debug, Clone)]
 pub struct PushSource {
     streams: Vec<Vec<EventRecord>>,
@@ -167,6 +473,36 @@ impl PushSource {
             next_rid: vec![0; threads],
             heap,
         }
+    }
+
+    /// A bounded, back-pressured push channel: the [`PushFeed`] half lives
+    /// with the producer (any thread), the [`LivePushSource`] half is given
+    /// to the session. At most `capacity` records per thread are ever in
+    /// flight — [`PushFeed::push`] blocks (and [`PushFeed::try_push`]
+    /// refuses) while the monitor is `capacity` records behind, so a slow
+    /// monitor throttles its producer instead of buffering without bound.
+    /// Dropping the feed (or [`PushFeed::close`]) ends the streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `capacity` is zero.
+    pub fn bounded(threads: usize, heap: AddrRange, capacity: usize) -> (PushFeed, LivePushSource) {
+        assert!(threads > 0, "a push source needs at least one stream");
+        assert!(capacity > 0, "a bounded push feed needs capacity");
+        let mut txs = Vec::with_capacity(threads);
+        let mut rxs = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+            txs.push(Some(tx));
+            rxs.push(rx);
+        }
+        (
+            PushFeed {
+                txs,
+                next_rid: vec![0; threads],
+            },
+            LivePushSource { rxs, heap },
+        )
     }
 
     /// Appends a fully-formed record (the caller controls rids, arcs and
@@ -210,7 +546,173 @@ impl EventSource for PushSource {
     }
 
     fn open(self: Box<Self>) -> SourceInput {
-        SourceInput::Streams(self.streams)
+        SourceInput::from_buffered(self.streams)
+    }
+}
+
+/// A record refused by [`PushFeed::try_push`], handed back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushRefused {
+    /// The thread's channel is at capacity (monitor behind): back-pressure.
+    Full(EventRecord),
+    /// The session ended (or the stream was closed); the feed is dead.
+    Closed(EventRecord),
+}
+
+/// The producer half of [`PushSource::bounded`]: lives on the producer's
+/// thread and blocks when the monitor falls a full channel behind.
+#[derive(Debug)]
+pub struct PushFeed {
+    txs: Vec<Option<SyncSender<EventRecord>>>,
+    next_rid: Vec<u64>,
+}
+
+// Refused records are handed back by value, like `SyncSender::send`'s
+// `SendError<T>` — the producer decides whether to retry or drop.
+#[allow(clippy::result_large_err)]
+impl PushFeed {
+    /// Sends a fully-formed record to thread `tid`'s stream, blocking while
+    /// the channel is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Hands the record back when the consuming session is gone (or the
+    /// stream was [`close_thread`](Self::close_thread)d).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn push(&mut self, tid: usize, rec: EventRecord) -> Result<(), EventRecord> {
+        let rid = rec.rid.0;
+        let sent = match &self.txs[tid] {
+            Some(tx) => tx.send(rec).map_err(|e| e.0),
+            None => Err(rec),
+        };
+        if sent.is_ok() {
+            // Only delivered records advance the id sequence, so a refused
+            // record never leaves a rid gap behind.
+            self.next_rid[tid] = self.next_rid[tid].max(rid);
+        }
+        sent
+    }
+
+    /// Non-blocking [`push`](Self::push): refuses instead of waiting when
+    /// the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`PushRefused::Full`] while back-pressured, [`PushRefused::Closed`]
+    /// when the consuming session is gone.
+    pub fn try_push(&mut self, tid: usize, rec: EventRecord) -> Result<(), PushRefused> {
+        let Some(tx) = &self.txs[tid] else {
+            return Err(PushRefused::Closed(rec));
+        };
+        let rid = rec.rid.0;
+        match tx.try_send(rec) {
+            Ok(()) => {
+                self.next_rid[tid] = self.next_rid[tid].max(rid);
+                Ok(())
+            }
+            Err(TrySendError::Full(rec)) => Err(PushRefused::Full(rec)),
+            Err(TrySendError::Disconnected(rec)) => Err(PushRefused::Closed(rec)),
+        }
+    }
+
+    /// Sends a bare instruction at the next stream position of thread
+    /// `tid`, returning the assigned record id (useful as an arc target).
+    /// Blocks while back-pressured.
+    ///
+    /// # Errors
+    ///
+    /// The assigned id is lost if the session is gone; the record is handed
+    /// back.
+    pub fn emit(&mut self, tid: usize, instr: Instr) -> Result<Rid, EventRecord> {
+        let rid = Rid(self.next_rid[tid] + 1);
+        self.push(tid, EventRecord::instr(rid, instr))?;
+        Ok(rid)
+    }
+
+    /// Ends thread `tid`'s stream (subsequent pulls report `Exhausted` once
+    /// drained). Idempotent.
+    pub fn close_thread(&mut self, tid: usize) {
+        self.txs[tid] = None;
+    }
+
+    /// Ends every stream. Dropping the feed has the same effect.
+    pub fn close(mut self) {
+        for tx in &mut self.txs {
+            *tx = None;
+        }
+    }
+}
+
+/// The session half of [`PushSource::bounded`].
+#[derive(Debug)]
+pub struct LivePushSource {
+    rxs: Vec<Receiver<EventRecord>>,
+    heap: AddrRange,
+}
+
+impl EventSource for LivePushSource {
+    fn thread_count(&self) -> usize {
+        self.rxs.len()
+    }
+
+    fn heap(&self) -> AddrRange {
+        self.heap
+    }
+
+    fn open(self: Box<Self>) -> SourceInput {
+        SourceInput::Streams(
+            self.rxs
+                .into_iter()
+                .map(|rx| Box::new(ChannelStream { rx }) as Box<dyn RecordStream>)
+                .collect(),
+        )
+    }
+}
+
+/// One bounded channel as an incremental stream: drains whatever is ready,
+/// reports `Blocked` while the producer holds the feed open and `Exhausted`
+/// once it hung up.
+struct ChannelStream {
+    rx: Receiver<EventRecord>,
+}
+
+impl fmt::Debug for ChannelStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelStream").finish_non_exhaustive()
+    }
+}
+
+impl RecordStream for ChannelStream {
+    fn next_batch(
+        &mut self,
+        out: &mut Vec<EventRecord>,
+        max: usize,
+    ) -> Result<StreamStatus, SessionError> {
+        use std::sync::mpsc::TryRecvError;
+        let start = out.len();
+        while out.len() - start < max {
+            match self.rx.try_recv() {
+                Ok(rec) => out.push(rec),
+                Err(TryRecvError::Empty) => {
+                    return Ok(if out.len() > start {
+                        StreamStatus::Yielded
+                    } else {
+                        StreamStatus::Blocked
+                    });
+                }
+                Err(TryRecvError::Disconnected) => {
+                    return Ok(if out.len() > start {
+                        StreamStatus::Yielded
+                    } else {
+                        StreamStatus::Exhausted
+                    });
+                }
+            }
+        }
+        Ok(StreamStatus::Yielded)
     }
 }
 
@@ -224,6 +726,19 @@ mod tests {
         start: 0x1000_0000,
         len: 0x1000_0000,
     };
+
+    fn drain(stream: &mut dyn RecordStream, max: usize) -> (Vec<EventRecord>, StreamStatus) {
+        let mut out = Vec::new();
+        loop {
+            let before = out.len();
+            match stream.next_batch(&mut out, max).unwrap() {
+                StreamStatus::Yielded => {
+                    assert!(out.len() > before, "Yielded must append records")
+                }
+                status => return (out, status),
+            }
+        }
+    }
 
     #[test]
     fn push_source_assigns_rids() {
@@ -243,7 +758,12 @@ mod tests {
         assert_eq!(r8, Rid(8), "emit continues after explicit rids");
         assert_eq!(src.len(), 4);
         match Box::new(src).open() {
-            SourceInput::Streams(s) => assert_eq!(s[0].len(), 2),
+            SourceInput::Streams(mut s) => {
+                assert_eq!(s.len(), 2);
+                let (recs, status) = drain(s[0].as_mut(), 16);
+                assert_eq!(recs.len(), 2);
+                assert_eq!(status, StreamStatus::Exhausted);
+            }
             SourceInput::Workload(_) => panic!("push source opens to streams"),
         }
     }
@@ -265,9 +785,119 @@ mod tests {
         assert_eq!(src.thread_count(), 1);
         assert_eq!(src.total_records(), 2);
         match Box::new(src).open() {
-            SourceInput::Streams(s) => assert_eq!(s[0], stream),
+            SourceInput::Streams(mut s) => {
+                let (recs, status) = drain(s[0].as_mut(), 1);
+                assert_eq!(recs, stream);
+                assert_eq!(status, StreamStatus::Exhausted);
+            }
             SourceInput::Workload(_) => panic!("replay source opens to streams"),
         }
         assert!(ReplaySource::from_encoded(&[vec![0x00, 0x0f]], HEAP).is_err());
+    }
+
+    #[test]
+    fn buffered_stream_respects_batch_bound() {
+        let recs: Vec<EventRecord> = (1..=10)
+            .map(|i| EventRecord::instr(Rid(i), Instr::Nop))
+            .collect();
+        let mut s = BufferedStream::new(recs.clone());
+        let mut out = Vec::new();
+        assert_eq!(s.next_batch(&mut out, 4).unwrap(), StreamStatus::Yielded);
+        assert_eq!(out.len(), 4);
+        let (rest, status) = drain(&mut s, 4);
+        assert_eq!(rest.len(), 6);
+        assert_eq!(status, StreamStatus::Exhausted);
+        assert_eq!(
+            s.next_batch(&mut out, 4).unwrap(),
+            StreamStatus::Exhausted,
+            "exhausted is sticky"
+        );
+    }
+
+    #[test]
+    fn streaming_replay_decodes_lazily_within_cap() {
+        let stream: Vec<EventRecord> = (0..500)
+            .map(|i| {
+                EventRecord::instr(
+                    Rid(i + 1),
+                    Instr::Load {
+                        dst: Reg::new(0),
+                        src: MemRef::new(0x1000 + i * 4, 4),
+                    },
+                )
+            })
+            .collect();
+        let encoded = encode(&stream);
+        let src = StreamingReplaySource::from_encoded(vec![encoded], HEAP).with_chunk_bytes(64);
+        let stats = src.stats();
+        match Box::new(src).open() {
+            SourceInput::Streams(mut s) => {
+                let (recs, status) = drain(s[0].as_mut(), 32);
+                assert_eq!(recs, stream);
+                assert_eq!(status, StreamStatus::Exhausted);
+            }
+            SourceInput::Workload(_) => panic!("streams"),
+        }
+        assert!(
+            stats.peak_buffered_bytes() <= 2 * 64,
+            "resident bytes {} exceed the configured cap",
+            stats.peak_buffered_bytes()
+        );
+    }
+
+    #[test]
+    fn streaming_replay_flags_truncated_wire() {
+        let stream = vec![EventRecord::instr(
+            Rid(1),
+            Instr::Load {
+                dst: Reg::new(0),
+                src: MemRef::new(0x12345, 4),
+            },
+        )];
+        let mut encoded = encode(&stream);
+        encoded.truncate(encoded.len() - 1);
+        let src = StreamingReplaySource::from_encoded(vec![encoded], HEAP);
+        match Box::new(src).open() {
+            SourceInput::Streams(mut s) => {
+                let mut out = Vec::new();
+                let err = s[0].next_batch(&mut out, 16).unwrap_err();
+                assert!(matches!(err, SessionError::MalformedStream(_)));
+            }
+            SourceInput::Workload(_) => panic!("streams"),
+        }
+    }
+
+    #[test]
+    fn bounded_push_feed_backpressures_and_closes() {
+        let (mut feed, source) = PushSource::bounded(1, HEAP, 2);
+        assert!(feed
+            .try_push(0, EventRecord::instr(Rid(1), Instr::Nop))
+            .is_ok());
+        assert!(feed
+            .try_push(0, EventRecord::instr(Rid(2), Instr::Nop))
+            .is_ok());
+        match feed.try_push(0, EventRecord::instr(Rid(3), Instr::Nop)) {
+            Err(PushRefused::Full(rec)) => assert_eq!(rec.rid, Rid(3)),
+            other => panic!("expected back-pressure, got {other:?}"),
+        }
+        let SourceInput::Streams(mut streams) = Box::new(source).open() else {
+            panic!("streams");
+        };
+        let mut out = Vec::new();
+        assert_eq!(
+            streams[0].next_batch(&mut out, 16).unwrap(),
+            StreamStatus::Yielded
+        );
+        assert_eq!(out.len(), 2);
+        // Producer still holds the feed: blocked, not exhausted.
+        assert_eq!(
+            streams[0].next_batch(&mut out, 16).unwrap(),
+            StreamStatus::Blocked
+        );
+        assert_eq!(feed.emit(0, Instr::Nop), Ok(Rid(3)));
+        feed.close();
+        let (recs, status) = drain(streams[0].as_mut(), 16);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(status, StreamStatus::Exhausted);
     }
 }

@@ -31,6 +31,18 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Internal decode outcome: the incremental decoder must tell "the buffered
+/// bytes end mid-record — feed more and retry" apart from "these bytes can
+/// never be a valid record". Whole-stream [`decode`] collapses `Incomplete`
+/// into a truncation [`DecodeError`].
+#[derive(Debug)]
+enum Fault {
+    /// The input ran out mid-record; more bytes may complete it.
+    Incomplete,
+    /// The bytes are structurally invalid regardless of what follows.
+    Corrupt(DecodeError),
+}
+
 const OP_LOAD: u8 = 0;
 const OP_STORE: u8 = 1;
 const OP_MOV_RR: u8 = 2;
@@ -267,9 +279,22 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<EventRecord>, DecodeError> {
     if bytes.is_empty() {
         return Ok(out);
     }
-    let mut rid = Rid(d.read_uvarint("rid base")?);
+    let fault = |d: &Decoder, f| match f {
+        Fault::Corrupt(e) => e,
+        Fault::Incomplete => DecodeError {
+            at: d.pos,
+            what: "truncated record",
+        },
+    };
+    let mut rid = match d.read_uvarint("rid base") {
+        Ok(v) => Rid(v),
+        Err(f) => return Err(fault(&d, f)),
+    };
     while d.pos < d.bytes.len() {
-        let rec = d.read_record(rid)?;
+        let rec = match d.read_record(rid) {
+            Ok(rec) => rec,
+            Err(f) => return Err(fault(&d, f)),
+        };
         rid = rec.rid.next();
         out.push(rec);
     }
@@ -283,20 +308,17 @@ struct Decoder<'a> {
 }
 
 impl<'a> Decoder<'a> {
-    fn err(&self, what: &'static str) -> DecodeError {
-        DecodeError { at: self.pos, what }
+    fn err(&self, what: &'static str) -> Fault {
+        Fault::Corrupt(DecodeError { at: self.pos, what })
     }
 
-    fn read_byte(&mut self, what: &'static str) -> Result<u8, DecodeError> {
-        let b = *self
-            .bytes
-            .get(self.pos)
-            .ok_or(DecodeError { at: self.pos, what })?;
+    fn read_byte(&mut self, _what: &'static str) -> Result<u8, Fault> {
+        let b = *self.bytes.get(self.pos).ok_or(Fault::Incomplete)?;
         self.pos += 1;
         Ok(b)
     }
 
-    fn read_uvarint(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+    fn read_uvarint(&mut self, what: &'static str) -> Result<u64, Fault> {
         let mut shift = 0u32;
         let mut acc = 0u64;
         loop {
@@ -312,25 +334,26 @@ impl<'a> Decoder<'a> {
         }
     }
 
-    fn read_ivarint(&mut self, what: &'static str) -> Result<i64, DecodeError> {
+    fn read_ivarint(&mut self, what: &'static str) -> Result<i64, Fault> {
         let raw = self.read_uvarint(what)?;
         Ok(zigzag_decode(raw))
     }
 
-    fn read_addr(&mut self) -> Result<u64, DecodeError> {
+    fn read_addr(&mut self) -> Result<u64, Fault> {
         let delta = self.read_ivarint("addr delta")?;
         let addr = (self.last_addr as i64 + delta) as u64;
         self.last_addr = addr;
         Ok(addr)
     }
 
-    fn read_memref(&mut self) -> Result<MemRef, DecodeError> {
-        let size = decode_size(self.read_byte("memref size")?).ok_or(self.err("bad size"))?;
+    fn read_memref(&mut self) -> Result<MemRef, Fault> {
+        let size =
+            decode_size(self.read_byte("memref size")?).ok_or_else(|| self.err("bad size"))?;
         let addr = self.read_addr()?;
         Ok(MemRef::new(addr, size))
     }
 
-    fn read_record(&mut self, rid: Rid) -> Result<EventRecord, DecodeError> {
+    fn read_record(&mut self, rid: Rid) -> Result<EventRecord, Fault> {
         let head = self.read_byte("opcode")?;
         let opcode = head & 0x0f;
         let flags = head & 0xf0;
@@ -374,7 +397,7 @@ impl<'a> Decoder<'a> {
         Ok(rec)
     }
 
-    fn read_version(&mut self) -> Result<VersionId, DecodeError> {
+    fn read_version(&mut self) -> Result<VersionId, Fault> {
         let consumer = ThreadId(self.read_uvarint("version tid")? as u16);
         let consumer_rid = Rid(self.read_uvarint("version rid")?);
         Ok(VersionId {
@@ -383,7 +406,7 @@ impl<'a> Decoder<'a> {
         })
     }
 
-    fn read_instr(&mut self, opcode: u8) -> Result<Instr, DecodeError> {
+    fn read_instr(&mut self, opcode: u8) -> Result<Instr, Fault> {
         Ok(match opcode {
             OP_LOAD => {
                 let (reg, size) =
@@ -442,7 +465,7 @@ impl<'a> Decoder<'a> {
         })
     }
 
-    fn read_ca(&mut self) -> Result<CaRecord, DecodeError> {
+    fn read_ca(&mut self) -> Result<CaRecord, Fault> {
         let tag = self.read_byte("ca tag")?;
         let code = tag >> 2;
         let needs_payload = matches!(code, 5..=7);
@@ -477,6 +500,125 @@ impl<'a> Decoder<'a> {
             issuer_rid,
             seq,
         })
+    }
+}
+
+/// Incremental decoder: the streaming counterpart of [`decode`].
+///
+/// Wire bytes are [`feed`](StreamDecoder::feed) in whatever chunks the
+/// transport delivers — split points may fall anywhere, including inside a
+/// varint — and complete records are pulled with
+/// [`next_record`](StreamDecoder::next_record). A pull that reaches the end of the
+/// buffered bytes mid-record rewinds to the record boundary and returns
+/// `Ok(None)`: feed more bytes and retry. Delta-compression context
+/// (rolling address reference, implicit record ids) carries across feeds,
+/// so any chunking of the same stream decodes to the same records.
+///
+/// Memory stays bounded: consumed bytes are reclaimed on every `feed`, so
+/// the internal buffer never holds more than one partial record plus the
+/// most recent chunk ([`buffered`](StreamDecoder::buffered) reports the
+/// current residency).
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (reclaimed on the next feed).
+    pos: usize,
+    /// Absolute stream offset of `buf[0]` (keeps error positions global).
+    offset: usize,
+    /// Record id of the next record, once the stream's base varint arrived.
+    next_rid: Option<Rid>,
+    last_addr: u64,
+    records: u64,
+}
+
+impl StreamDecoder {
+    /// A decoder with no bytes buffered.
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// Appends transport bytes, reclaiming the already-consumed prefix.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.offset += self.pos;
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently resident in the decode buffer (unconsumed tail plus
+    /// any not-yet-reclaimed prefix).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Records decoded so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether every fed byte has been consumed. `false` after the producer
+    /// ends the stream means it was truncated mid-record.
+    pub fn is_clean(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Decodes the next complete record, or `Ok(None)` when the buffered
+    /// bytes end mid-record (feed more and retry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the bytes are structurally invalid —
+    /// corruption is permanent, unlike running out of buffered bytes.
+    pub fn next_record(&mut self) -> Result<Option<EventRecord>, DecodeError> {
+        if self.next_rid.is_none() {
+            if self.pos == self.buf.len() {
+                return Ok(None);
+            }
+            let mut d = Decoder {
+                bytes: &self.buf[self.pos..],
+                pos: 0,
+                last_addr: self.last_addr,
+            };
+            match d.read_uvarint("rid base") {
+                Ok(base) => {
+                    self.next_rid = Some(Rid(base));
+                    self.pos += d.pos;
+                }
+                Err(Fault::Incomplete) => return Ok(None),
+                Err(Fault::Corrupt(e)) => return Err(self.globalize(e)),
+            }
+        }
+        if self.pos == self.buf.len() {
+            return Ok(None);
+        }
+        let rid = self.next_rid.expect("base varint was consumed");
+        let mut d = Decoder {
+            bytes: &self.buf[self.pos..],
+            pos: 0,
+            last_addr: self.last_addr,
+        };
+        match d.read_record(rid) {
+            Ok(rec) => {
+                self.pos += d.pos;
+                self.last_addr = d.last_addr;
+                self.next_rid = Some(rec.rid.next());
+                self.records += 1;
+                Ok(Some(rec))
+            }
+            Err(Fault::Incomplete) => Ok(None),
+            Err(Fault::Corrupt(e)) => Err(self.globalize(e)),
+        }
+    }
+
+    /// Rebases an error's position from the current record to the absolute
+    /// stream offset.
+    fn globalize(&self, e: DecodeError) -> DecodeError {
+        DecodeError {
+            at: self.offset + self.pos + e.at,
+            what: e.what,
+        }
     }
 }
 
@@ -549,8 +691,8 @@ fn high_level_code(h: HighLevelKind) -> (u8, Option<u64>) {
 
 fn decode_high_level(
     b: u8,
-    payload: impl FnOnce() -> Result<u64, DecodeError>,
-) -> Result<Option<HighLevelKind>, DecodeError> {
+    payload: impl FnOnce() -> Result<u64, Fault>,
+) -> Result<Option<HighLevelKind>, Fault> {
     Ok(match b {
         0 => Some(HighLevelKind::Malloc),
         1 => Some(HighLevelKind::Free),
@@ -747,6 +889,46 @@ mod tests {
         assert_eq!(encode_ring(&mut enc, &mut ring), recs.len());
         assert!(ring.is_empty());
         assert_eq!(decode(&enc.finish()).unwrap(), recs);
+    }
+
+    #[test]
+    fn stream_decoder_matches_batch_byte_at_a_time() {
+        let recs = sample_records();
+        let bytes = encode(&recs);
+        let mut sd = StreamDecoder::new();
+        let mut out = Vec::new();
+        for b in &bytes {
+            sd.feed(std::slice::from_ref(b));
+            while let Some(rec) = sd.next_record().unwrap() {
+                out.push(rec);
+            }
+            // One partial record at most is ever resident.
+            assert!(sd.buffered() <= MAX_RECORD_BYTES);
+        }
+        assert_eq!(out, recs);
+        assert!(sd.is_clean(), "every byte consumed");
+        assert_eq!(sd.records(), recs.len() as u64);
+    }
+
+    #[test]
+    fn stream_decoder_reports_partial_tail() {
+        let bytes = encode(&sample_records());
+        let mut sd = StreamDecoder::new();
+        sd.feed(&bytes[..bytes.len() - 2]);
+        while sd.next_record().unwrap().is_some() {}
+        assert!(!sd.is_clean(), "truncated mid-record leaves a partial tail");
+        // Feeding the missing tail completes the record.
+        sd.feed(&bytes[bytes.len() - 2..]);
+        assert!(sd.next_record().unwrap().is_some());
+        assert!(sd.is_clean());
+    }
+
+    #[test]
+    fn stream_decoder_flags_corruption() {
+        let mut sd = StreamDecoder::new();
+        sd.feed(&[0x00, 0x0f]); // rid base 0, opcode 0x0f = unknown
+        let err = sd.next_record().expect_err("corrupt opcode");
+        assert!(err.to_string().contains("invalid log stream"));
     }
 
     #[test]

@@ -18,14 +18,18 @@
 //! A factory may additionally provide a [`ConcurrentLifeguard`], the
 //! `Send + Sync` replay form the real-thread backend drives — lock-free for
 //! analyses in the §5.3 synchronization-free class (the bundled TaintCheck
-//! does this via [`AtomicShadow`](paralog_meta::AtomicShadow)).
+//! does this via [`AtomicShadow`](paralog_meta::AtomicShadow)), or the
+//! generic mutex-serialized [`LockedConcurrent`](crate::LockedConcurrent)
+//! fallback, which every bundled analysis uses and out-of-tree factories
+//! opt into with a one-line override.
 
 use crate::addrcheck::{AddrCheck, AddrShared};
 use crate::lifeguard::{Lifeguard, Violation};
 use crate::lockset::{LockSet, LockSetShared};
 use crate::memcheck::{MemCheck, MemShared};
 use crate::taintcheck::{TaintCheck, TaintConcurrent, TaintShared};
-use paralog_events::{AddrRange, EventRecord, ThreadId};
+use paralog_events::{AddrRange, EventRecord, Rid, ThreadId};
+use paralog_order::{CaPolicy, RangeEntry};
 use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -87,14 +91,30 @@ pub trait LifeguardFactory: fmt::Debug {
     fn build(&self, heap: AddrRange) -> LifeguardFamily;
 
     /// The `Send + Sync` form of the analysis replayed by the real-thread
-    /// backend, pre-sized for `streams`, or `None` when the analysis has no
-    /// concurrent implementation (the default).
-    fn concurrent(
-        &self,
-        heap: AddrRange,
-        streams: &[Vec<EventRecord>],
-    ) -> Option<Box<dyn ConcurrentLifeguard>> {
-        let _ = (heap, streams);
+    /// backend, for `threads` monitored streams. Streams arrive
+    /// incrementally, so implementations must not assume the event
+    /// footprint is known up front.
+    ///
+    /// Returns `None` by default: an analysis does not replay concurrently
+    /// unless its factory says so. Every bundled analysis overrides this —
+    /// TaintCheck with its hand-written lock-free §5.3 form, the rest by
+    /// wrapping their family in the mutex-serialized
+    /// [`LockedConcurrent`](crate::LockedConcurrent). An out-of-tree
+    /// factory whose family is self-contained (no `Rc` shared with state
+    /// outside the family — see `LockedConcurrent`'s contract) opts in
+    /// the same way:
+    ///
+    /// ```ignore
+    /// fn concurrent(&self, heap: AddrRange, threads: usize)
+    ///     -> Option<Box<dyn ConcurrentLifeguard>> {
+    ///     // SAFETY: this factory's families are self-contained.
+    ///     Some(Box::new(unsafe {
+    ///         LockedConcurrent::new(self.build(heap), threads)
+    ///     }))
+    /// }
+    /// ```
+    fn concurrent(&self, heap: AddrRange, threads: usize) -> Option<Box<dyn ConcurrentLifeguard>> {
+        let _ = (heap, threads);
         None
     }
 
@@ -141,16 +161,17 @@ impl LifeguardFactory for LifeguardKind {
         }
     }
 
-    fn concurrent(
-        &self,
-        _heap: AddrRange,
-        streams: &[Vec<EventRecord>],
-    ) -> Option<Box<dyn ConcurrentLifeguard>> {
+    fn concurrent(&self, heap: AddrRange, threads: usize) -> Option<Box<dyn ConcurrentLifeguard>> {
         match self {
             // §5.3: TaintCheck is in the synchronization-free class, so its
             // concurrent form runs lock-free over an atomic shadow.
-            LifeguardKind::TaintCheck => Some(Box::new(TaintConcurrent::for_streams(streams))),
-            _ => None,
+            LifeguardKind::TaintCheck => Some(Box::new(TaintConcurrent::new(threads))),
+            // The rest replay through the generic locked fallback.
+            // SAFETY: the bundled families are self-contained — their `Rc`s
+            // are created in `build` and never escape the family.
+            _ => Some(Box::new(unsafe {
+                crate::locked::LockedConcurrent::new(self.build(heap), threads)
+            })),
         }
     }
 
@@ -216,12 +237,29 @@ impl LifeguardFamily {
 /// application from concurrently running worker threads.
 ///
 /// Implementations synchronize internally — lock-free for §5.3
-/// synchronization-free analyses, or with an internal slow-path lock
-/// otherwise. The backend guarantees each record is applied by the worker
-/// owning its stream, after every dependence arc of the record is satisfied.
+/// synchronization-free analyses, or with an internal lock otherwise. The
+/// backend guarantees each record is applied by the worker owning its
+/// stream, after every dependence arc of the record is satisfied; it also
+/// polices the §5.4 syscall range table per worker and reports hits through
+/// [`on_syscall_race`](Self::on_syscall_race) before applying the racing
+/// access.
 pub trait ConcurrentLifeguard: Send + Sync + fmt::Debug {
     /// Applies one record of thread `tid`'s stream.
     fn apply(&self, tid: ThreadId, rec: &EventRecord);
+
+    /// ConflictAlert subscriptions — the backend consults `track_range` to
+    /// maintain its per-worker §5.4 range tables. Defaults to no
+    /// subscriptions (no range tracking).
+    fn ca_policy(&self) -> CaPolicy {
+        CaPolicy::new()
+    }
+
+    /// Reacts to thread `tid`'s access racing an in-flight system call
+    /// (range-table hit, §5.4). Called before the racing record is applied,
+    /// mirroring the deterministic delivery order. Default: no reaction.
+    fn on_syscall_race(&self, tid: ThreadId, access: AddrRange, entry: &RangeEntry, rid: Rid) {
+        let _ = (tid, access, entry, rid);
+    }
 
     /// Order-insensitive fingerprint of the final metadata, comparable with
     /// [`Lifeguard::fingerprint`].
@@ -373,11 +411,73 @@ mod tests {
     }
 
     #[test]
-    fn only_syncfree_builtins_offer_concurrent_replay() {
+    fn every_builtin_offers_a_concurrent_replay_form() {
+        // TaintCheck's is the hand-written lock-free §5.3 form; the rest
+        // inherit the generic locked fallback — all replay on the
+        // real-thread backend.
         for kind in LifeguardKind::ALL {
-            let conc = kind.concurrent(HEAP, &[]);
-            assert_eq!(conc.is_some(), kind == LifeguardKind::TaintCheck);
+            let conc = kind.concurrent(HEAP, 2).expect("replayable");
+            assert!(conc.violations().is_empty());
+            // The concurrent form advertises the same CA subscriptions the
+            // sequential analysis declares (drives §5.4 range tracking).
+            let seq_policy = kind
+                .build(HEAP)
+                .thread(ThreadId(0))
+                .spec()
+                .ca_policy
+                .clone();
+            for what in [
+                paralog_events::HighLevelKind::Malloc,
+                paralog_events::HighLevelKind::Free,
+            ] {
+                assert_eq!(
+                    conc.ca_policy().subscribes(what),
+                    seq_policy.subscribes(what),
+                    "{kind}: CA subscription mismatch"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn custom_factories_opt_into_the_locked_fallback() {
+        #[derive(Debug)]
+        struct Plain;
+        impl LifeguardFactory for Plain {
+            fn name(&self) -> &str {
+                "Plain"
+            }
+            fn build(&self, heap: AddrRange) -> LifeguardFamily {
+                LifeguardKind::MemCheck.build(heap)
+            }
+            fn concurrent(
+                &self,
+                heap: AddrRange,
+                threads: usize,
+            ) -> Option<Box<dyn ConcurrentLifeguard>> {
+                // SAFETY: this factory's families (MemCheck's) are
+                // self-contained.
+                Some(Box::new(unsafe {
+                    crate::locked::LockedConcurrent::new(self.build(heap), threads)
+                }))
+            }
+        }
+        #[derive(Debug)]
+        struct NoOptIn;
+        impl LifeguardFactory for NoOptIn {
+            fn name(&self) -> &str {
+                "NoOptIn"
+            }
+            fn build(&self, heap: AddrRange) -> LifeguardFamily {
+                LifeguardKind::MemCheck.build(heap)
+            }
+        }
+        let conc = Plain.concurrent(HEAP, 3).expect("opted-in locked form");
+        assert_eq!(conc.violations().len(), 0);
+        assert!(
+            NoOptIn.concurrent(HEAP, 3).is_none(),
+            "without an explicit opt-in a custom analysis stays sequential-only"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod addrcheck;
 pub mod cost;
 pub mod factory;
 pub mod lifeguard;
+pub mod locked;
 pub mod lockset;
 pub mod memcheck;
 pub mod taintcheck;
@@ -55,6 +56,7 @@ pub use lifeguard::{
     AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
     ViolationKind,
 };
+pub use locked::LockedConcurrent;
 pub use lockset::{LockSet, LockSetShared, VarState};
 pub use memcheck::{MemCheck, MemShared, UNDEFINED};
 pub use taintcheck::{TaintCheck, TaintConcurrent, TaintShared, TAINTED};

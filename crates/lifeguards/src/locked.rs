@@ -1,0 +1,205 @@
+//! Generic locked concurrent form: run *any* lifeguard on the real-thread
+//! backend.
+//!
+//! §5.3 divides lifeguards into a synchronization-free class (TaintCheck,
+//! whose concurrent form is lock-free) and everything else, which the paper
+//! handles with a fast-path/slow-path split. [`LockedConcurrent`] is the
+//! conservative end of that spectrum: the ordinary sequential [`Lifeguard`]
+//! threads run behind one mutex, every record applied atomically. Arc
+//! enforcement still happens outside (the backend's progress-table spin),
+//! so the delivered order matches the deterministic ingestion order for all
+//! conflicting operations — the adapter serializes only the handler bodies.
+//!
+//! Correctness is unconditional (a global lock trivially satisfies every
+//! atomicity class); the price is lost lifeguard-side parallelism, which is
+//! exactly the trade the paper ascribes to un-ported analyses. It is the
+//! default concurrent form every [`LifeguardFactory`] inherits, so a brand
+//! new out-of-tree analysis runs on `ThreadedBackend` with zero extra code,
+//! and can graduate to a hand-written lock-free form later.
+//!
+//! [`LifeguardFactory`]: crate::factory::LifeguardFactory
+
+use crate::factory::{ConcurrentLifeguard, LifeguardFamily};
+use crate::lifeguard::{EventView, HandlerCtx, Lifeguard, Violation};
+use paralog_events::{
+    check_view, dataflow_view, AddrRange, EventPayload, EventRecord, Rid, ThreadId,
+};
+use paralog_order::{CaPolicy, RangeEntry};
+use std::fmt;
+use std::sync::Mutex;
+
+/// The mutex-confined analysis state: the family's per-thread lifeguards
+/// (sharing their `Rc` metadata) and the violations they reported.
+struct LockedState {
+    lgs: Vec<Box<dyn Lifeguard>>,
+    violations: Vec<Violation>,
+}
+
+/// Any lifeguard family as a [`ConcurrentLifeguard`], serialized behind one
+/// mutex.
+///
+/// # Thread-safety contract
+///
+/// Sequential lifeguards share analysis-wide metadata through
+/// `Rc<RefCell<_>>`, which is not `Send`. The adapter is sound only when
+/// the wrapped family is **self-contained**: every `Rc` its constructor
+/// and lifeguards touch must have been created inside the family and must
+/// never be cloned out of it. Then the whole object graph is *confined* —
+/// built in [`LockedConcurrent::new`], only ever touched while the mutex
+/// is held, dropped with the adapter — so no two threads ever access an
+/// `Rc` count (or a `RefCell`) concurrently, and all handles always
+/// migrate between threads together. A family that shares `Rc`s with
+/// state outside itself would race those counts from safe code, which is
+/// why [`new`](Self::new) is `unsafe`: the caller asserts containment.
+/// All bundled analyses qualify (their factories wrap themselves
+/// automatically); an out-of-tree factory opts in by overriding
+/// [`LifeguardFactory::concurrent`] with the same one-liner.
+///
+/// [`LifeguardFactory::concurrent`]: crate::factory::LifeguardFactory::concurrent
+pub struct LockedConcurrent {
+    name: String,
+    ca_policy: CaPolicy,
+    state: Mutex<LockedState>,
+}
+
+// SAFETY: per the constructor's contract the non-`Send` state in
+// `LockedState` is self-contained and is created, accessed and dropped
+// only under `state`'s lock (or via `&mut self`/ownership), never aliased
+// across threads.
+unsafe impl Send for LockedConcurrent {}
+// SAFETY: same confinement argument; `&LockedConcurrent` only exposes the
+// inner state through the mutex.
+unsafe impl Sync for LockedConcurrent {}
+
+impl fmt::Debug for LockedConcurrent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockedConcurrent")
+            .field("lifeguard", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LockedConcurrent {
+    /// Wraps `family`, building one sequential lifeguard per monitored
+    /// thread.
+    ///
+    /// # Safety
+    ///
+    /// The caller asserts the family is self-contained per the type-level
+    /// thread-safety contract: no `Rc` reachable from the family (its
+    /// constructor closure, its shared metadata, its lifeguards) is held
+    /// anywhere outside the values passed in here. The bundled analyses
+    /// satisfy this by construction.
+    pub unsafe fn new(family: LifeguardFamily, threads: usize) -> Self {
+        let lgs: Vec<Box<dyn Lifeguard>> = (0..threads)
+            .map(|t| family.thread(ThreadId(t as u16)))
+            .collect();
+        let ca_policy = lgs
+            .first()
+            .map(|lg| lg.spec().ca_policy.clone())
+            .unwrap_or_default();
+        LockedConcurrent {
+            name: family.name().to_string(),
+            ca_policy,
+            state: Mutex::new(LockedState {
+                lgs,
+                violations: Vec::new(),
+            }),
+        }
+    }
+}
+
+impl ConcurrentLifeguard for LockedConcurrent {
+    fn apply(&self, tid: ThreadId, rec: &EventRecord) {
+        let mut state = self.state.lock().expect("poisoned");
+        let state = &mut *state;
+        let lg = &mut state.lgs[tid.index()];
+        let mut ctx = HandlerCtx::new();
+        match &rec.payload {
+            EventPayload::Instr(instr) => {
+                let op = match lg.spec().view {
+                    EventView::Dataflow => dataflow_view(instr),
+                    EventView::Check => check_view(instr),
+                };
+                if let Some(op) = op {
+                    lg.handle(&op, rec.rid, &mut ctx);
+                }
+            }
+            EventPayload::Ca(ca) => {
+                let own = ca.issuer == tid;
+                lg.handle_ca(ca, own, rec.rid, &mut ctx);
+            }
+        }
+        state.violations.append(&mut ctx.violations);
+    }
+
+    fn on_syscall_race(&self, tid: ThreadId, access: AddrRange, entry: &RangeEntry, rid: Rid) {
+        let mut state = self.state.lock().expect("poisoned");
+        let state = &mut *state;
+        let mut ctx = HandlerCtx::new();
+        state.lgs[tid.index()].on_syscall_race(access, entry, rid, &mut ctx);
+        state.violations.append(&mut ctx.violations);
+    }
+
+    fn ca_policy(&self) -> CaPolicy {
+        self.ca_policy.clone()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.state.lock().expect("poisoned").lgs[0].fingerprint()
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        self.state.lock().expect("poisoned").violations.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{LifeguardFactory, LifeguardKind};
+    use paralog_events::{Instr, MemRef, Reg};
+
+    const HEAP: AddrRange = AddrRange {
+        start: 0x1000_0000,
+        len: 0x1000_0000,
+    };
+
+    #[test]
+    fn applies_records_under_the_lock_from_many_threads() {
+        // SAFETY: the bundled AddrCheck family is self-contained.
+        let conc = unsafe { LockedConcurrent::new(LifeguardKind::AddrCheck.build(HEAP), 4) };
+        assert!(conc
+            .ca_policy()
+            .subscribes(paralog_events::HighLevelKind::Malloc));
+        // Unallocated heap accesses from four real threads: every one must
+        // be reported, none lost to races.
+        std::thread::scope(|scope| {
+            for t in 0..4u16 {
+                let conc = &conc;
+                scope.spawn(move || {
+                    for i in 0..32u64 {
+                        let rec = EventRecord::instr(
+                            Rid(i + 1),
+                            Instr::Load {
+                                dst: Reg::new(0),
+                                src: MemRef::new(HEAP.start + u64::from(t) * 64 + i, 1),
+                            },
+                        );
+                        conc.apply(ThreadId(t), &rec);
+                    }
+                });
+            }
+        });
+        assert_eq!(conc.violations().len(), 4 * 32);
+    }
+
+    #[test]
+    fn fingerprint_matches_sequential_family() {
+        let family = LifeguardKind::TaintCheck.build(HEAP);
+        let seq = family.fingerprint();
+        // SAFETY: the bundled TaintCheck family is self-contained.
+        let conc = unsafe { LockedConcurrent::new(family, 2) };
+        assert_eq!(conc.fingerprint(), seq, "fresh state agrees");
+    }
+}

@@ -251,13 +251,13 @@ pub struct TaintConcurrent {
 }
 
 impl TaintConcurrent {
-    /// Pre-builds the shadow footprint for `streams` (one per thread).
-    pub fn for_streams(streams: &[Vec<paralog_events::EventRecord>]) -> Self {
+    /// A fresh concurrent TaintCheck for `threads` replayed streams. The
+    /// atomic shadow grows lazily as events arrive, so streams may be
+    /// ingested incrementally — no footprint pre-scan.
+    pub fn new(threads: usize) -> Self {
         TaintConcurrent {
-            shadow: AtomicShadow::for_streams(streams),
-            regs: (0..streams.len())
-                .map(|_| Mutex::new([0; NUM_REGS]))
-                .collect(),
+            shadow: AtomicShadow::new(),
+            regs: (0..threads).map(|_| Mutex::new([0; NUM_REGS])).collect(),
             violations: Mutex::new(Vec::new()),
         }
     }
@@ -325,6 +325,23 @@ impl TaintConcurrent {
 }
 
 impl crate::factory::ConcurrentLifeguard for TaintConcurrent {
+    fn ca_policy(&self) -> CaPolicy {
+        CaPolicy::taintcheck()
+    }
+
+    fn on_syscall_race(&self, tid: ThreadId, access: AddrRange, _entry: &RangeEntry, rid: Rid) {
+        // §5.4: an access concurrent with a read() syscall is resolved
+        // conservatively — taint the destination and warn (the concurrent
+        // mirror of the sequential handler above).
+        self.violations.lock().expect("poisoned").push(Violation {
+            tid,
+            rid,
+            kind: ViolationKind::SyscallRace,
+            addr: Some(access.start),
+        });
+        self.shadow.fill_range(access.start, access.len, TAINTED);
+    }
+
     fn apply(&self, tid: ThreadId, rec: &paralog_events::EventRecord) {
         let mut regs = self.regs[tid.index()].lock().expect("poisoned");
         match &rec.payload {

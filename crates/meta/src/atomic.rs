@@ -2,107 +2,95 @@
 //!
 //! The deterministic simulator establishes *that* the ordering design is
 //! correct; the real-thread executor demonstrates it holds under genuine
-//! concurrency, sharing this shadow without any locks — the §5.3
-//! synchronization-free fast path, valid for lifeguards (like TaintCheck)
-//! whose application reads map to metadata reads and whose enforced arcs
-//! carry the release/acquire edges.
+//! concurrency, sharing this shadow without any locks on the hot path — the
+//! §5.3 synchronization-free fast path, valid for lifeguards (like
+//! TaintCheck) whose application reads map to metadata reads and whose
+//! enforced arcs carry the release/acquire edges.
+//!
+//! Earlier revisions pre-scanned the whole captured streams to build the
+//! chunk index up front. Streaming ingestion removed that option — a
+//! replayed stream's footprint is unknown until its tail arrives — so the
+//! index is now **lazily grown**: a flat first level of [`OnceLock`] slots
+//! (one per 64 KiB application chunk) covering the dense application span,
+//! initialized race-free by whichever worker touches a chunk first, plus a
+//! mutex-protected spill map for far outliers. Hot-path accesses after the
+//! first touch remain a plain array index and an atomic byte access — no
+//! locks, no hashing.
 
 use crate::fingerprint::Fingerprint;
-use paralog_events::{EventPayload, EventRecord, MemRef};
+use paralog_events::MemRef;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Application bytes per atomic shadow chunk.
-const CHUNK: u64 = 4096;
+const CHUNK: u64 = 64 * 1024;
 
-/// Chunk-index budget of the dense first level (2^21 chunks = 8 GiB of
-/// application space at 4 KiB chunks — far more than any workload's working
-/// set, yet only a 16 MiB pointer table).
-const DENSE_LIMIT: u64 = 1 << 21;
+/// Dense first-level span: 2^17 chunks × 64 KiB = 8 GiB of application
+/// space — covering every address region the platform uses (heap, private,
+/// shared, sync words) with a 2 MiB slot table. Addresses beyond it take
+/// the spill lock (rare sentinel ranges only).
+const DENSE_CHUNKS: u64 = 1 << 17;
 
-/// A lock-free shadow memory: one `AtomicU8` per application byte, organized
-/// behind a **flat first-level chunk index** pre-built from the streams'
-/// footprint (the parallel phase performs lookups only, so the table is
-/// shared immutably). Mirroring [`ShadowMemory`](crate::ShadowMemory)'s
-/// layout, a hot-path access is a direct array index off the high address
-/// bits — no hashing — and `join`/`fill` run chunk-resident slice loops
-/// instead of re-walking the index per byte. The rare far outliers beyond
-/// the dense span (a handful of sentinel addresses per run) live in a small
-/// sorted side table found by binary search.
+/// A lock-free shadow memory: one `AtomicU8` per application byte behind a
+/// flat, lazily initialized first-level chunk index. Mirroring
+/// [`ShadowMemory`](crate::ShadowMemory)'s layout, a hot-path access is a
+/// direct array index off the high address bits — no hashing — and
+/// `join`/`fill` run chunk-resident slice loops instead of re-walking the
+/// index per byte.
 #[derive(Debug)]
 pub struct AtomicShadow {
-    /// First chunk index covered by `dense` (the footprint rarely starts
-    /// at address zero, so the table is offset to stay compact).
-    base: u64,
-    /// First level: `chunk index - base` → chunk, `None` where untouched.
-    dense: Vec<Option<Box<[AtomicU8]>>>,
-    /// Outlier chunks beyond `base + DENSE_LIMIT`, sorted by chunk index.
-    sparse: Vec<(u64, Box<[AtomicU8]>)>,
+    /// First level: chunk index → chunk, initialized on first touch.
+    dense: Box<[OnceLock<Box<[AtomicU8]>>]>,
+    /// Outlier chunks beyond the dense span. `Arc` lets an accessor clone a
+    /// handle out of the lock and run its slice loop without holding it.
+    spill: Mutex<BTreeMap<u64, Arc<[AtomicU8]>>>,
+}
+
+impl Default for AtomicShadow {
+    fn default() -> Self {
+        AtomicShadow::new()
+    }
+}
+
+fn new_chunk() -> Vec<AtomicU8> {
+    (0..CHUNK).map(|_| AtomicU8::new(0)).collect()
 }
 
 impl AtomicShadow {
-    /// Pre-allocates chunks for every byte the streams may touch.
-    pub fn for_streams(streams: &[Vec<EventRecord>]) -> Self {
-        // Collect the touched chunk indices (bounded by stream length, not
-        // by address span).
-        let mut touched = std::collections::BTreeSet::new();
-        for stream in streams {
-            for rec in stream {
-                let (addr, len) = match &rec.payload {
-                    EventPayload::Instr(i) => match i.mem_access() {
-                        Some((m, _)) => (m.addr, u64::from(m.size)),
-                        None => continue,
-                    },
-                    EventPayload::Ca(ca) => match ca.range {
-                        Some(r) => (r.start, r.len),
-                        None => continue,
-                    },
-                };
-                for c in (addr / CHUNK)..=((addr + len.max(1) - 1) / CHUNK) {
-                    touched.insert(c);
-                }
-            }
-        }
-        let new_chunk = || {
-            (0..CHUNK)
-                .map(|_| AtomicU8::new(0))
-                .collect::<Vec<_>>()
-                .into_boxed_slice()
-        };
-        let base = touched.first().copied().unwrap_or(0);
-        let dense_len = touched
-            .range(..base + DENSE_LIMIT)
-            .next_back()
-            .map_or(0, |&hi| hi - base + 1);
-        let mut dense: Vec<Option<Box<[AtomicU8]>>> = Vec::new();
-        dense.resize_with(dense_len as usize, || None);
-        let mut sparse = Vec::new();
-        for ci in touched {
-            if ci < base + DENSE_LIMIT {
-                dense[(ci - base) as usize] = Some(new_chunk());
-            } else {
-                sparse.push((ci, new_chunk()));
-            }
-        }
+    /// An empty shadow; chunks materialize on first write.
+    pub fn new() -> Self {
         AtomicShadow {
-            base,
-            dense,
-            sparse,
+            dense: (0..DENSE_CHUNKS).map(|_| OnceLock::new()).collect(),
+            spill: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// The chunk shadowing `addr`, if inside the pre-built footprint.
-    #[inline]
-    fn chunk(&self, addr: u64) -> Option<&[AtomicU8]> {
-        let ci = addr / CHUNK;
-        if let Some(idx) = ci.checked_sub(self.base) {
-            if (idx as usize) < self.dense.len() {
-                return self.dense[idx as usize].as_deref();
-            }
+    /// Runs `f` over the chunk shadowing `a..`'s segment. With `create`
+    /// unset, untouched chunks are skipped (reads of clean memory must not
+    /// allocate); otherwise the chunk is initialized race-free first.
+    fn with_chunk<R>(&self, ci: u64, create: bool, f: impl FnOnce(&[AtomicU8]) -> R) -> Option<R> {
+        if ci < DENSE_CHUNKS {
+            let slot = &self.dense[ci as usize];
+            return match (slot.get(), create) {
+                (Some(chunk), _) => Some(f(chunk)),
+                (None, true) => Some(f(slot.get_or_init(|| new_chunk().into_boxed_slice()))),
+                (None, false) => None,
+            };
         }
-        self.sparse
-            .binary_search_by_key(&ci, |(c, _)| *c)
-            .ok()
-            .map(|i| &*self.sparse[i].1)
+        let chunk: Arc<[AtomicU8]> = {
+            let mut spill = self.spill.lock().expect("poisoned");
+            match (spill.get(&ci), create) {
+                (Some(chunk), _) => Arc::clone(chunk),
+                (None, true) => {
+                    let chunk: Arc<[AtomicU8]> = new_chunk().into();
+                    spill.insert(ci, Arc::clone(&chunk));
+                    chunk
+                }
+                (None, false) => return None,
+            }
+        };
+        Some(f(&chunk))
     }
 
     /// Chunk-resident ranged OR: one index walk per chunk segment, then a
@@ -113,31 +101,34 @@ impl AtomicShadow {
         let end = addr + len;
         while a < end {
             let seg_end = end.min((a / CHUNK + 1) * CHUNK);
-            if let Some(c) = self.chunk(a) {
-                let lo = (a % CHUNK) as usize;
-                let hi = lo + (seg_end - a) as usize;
-                for byte in &c[lo..hi] {
-                    acc |= byte.load(Ordering::Acquire);
-                }
+            let lo = (a % CHUNK) as usize;
+            let hi = lo + (seg_end - a) as usize;
+            if let Some(v) = self.with_chunk(a / CHUNK, false, |c| {
+                c[lo..hi]
+                    .iter()
+                    .fold(0, |acc, byte| acc | byte.load(Ordering::Acquire))
+            }) {
+                acc |= v;
             }
             a = seg_end;
         }
         acc
     }
 
-    /// Chunk-resident ranged store.
+    /// Chunk-resident ranged store. Writing clean (zero) metadata to a
+    /// never-touched chunk is skipped entirely, preserving sparsity.
     pub fn fill_range(&self, addr: u64, len: u64, v: u8) {
         let mut a = addr;
         let end = addr + len;
         while a < end {
             let seg_end = end.min((a / CHUNK + 1) * CHUNK);
-            if let Some(c) = self.chunk(a) {
-                let lo = (a % CHUNK) as usize;
-                let hi = lo + (seg_end - a) as usize;
+            let lo = (a % CHUNK) as usize;
+            let hi = lo + (seg_end - a) as usize;
+            self.with_chunk(a / CHUNK, v != 0, |c| {
                 for byte in &c[lo..hi] {
                     byte.store(v, Ordering::Release);
                 }
-            }
+            });
             a = seg_end;
         }
     }
@@ -166,11 +157,11 @@ impl AtomicShadow {
             }
         };
         for (i, slot) in self.dense.iter().enumerate() {
-            if let Some(data) = slot.as_deref() {
-                mix_chunk(self.base + i as u64, data);
+            if let Some(data) = slot.get() {
+                mix_chunk(i as u64, data);
             }
         }
-        for (ci, data) in &self.sparse {
+        for (ci, data) in self.spill.lock().expect("poisoned").iter() {
             mix_chunk(*ci, data);
         }
         fp.finish()
@@ -180,43 +171,61 @@ impl AtomicShadow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paralog_events::{Instr, Reg, Rid};
-
-    fn stream_touching(addrs: &[u64]) -> Vec<Vec<EventRecord>> {
-        vec![addrs
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| {
-                EventRecord::instr(
-                    Rid(i as u64 + 1),
-                    Instr::Store {
-                        dst: MemRef::new(a, 4),
-                        src: Reg::new(0),
-                    },
-                )
-            })
-            .collect()]
-    }
 
     #[test]
-    fn footprint_prebuild_covers_dense_and_sparse() {
-        let far = (DENSE_LIMIT + 10) * CHUNK + 0x100;
-        let shadow = AtomicShadow::for_streams(&stream_touching(&[0x1000, far]));
+    fn lazy_chunks_cover_dense_and_spill() {
+        let far = (DENSE_CHUNKS + 10) * CHUNK + 0x100;
+        let shadow = AtomicShadow::new();
         shadow.fill_range(0x1000, 4, 3);
         shadow.fill_range(far, 4, 5);
         assert_eq!(shadow.join_range(0x1000, 4), 3);
         assert_eq!(shadow.join_range(far, 4), 5);
-        // Untouched (and un-prebuilt) addresses read clean.
+        // Untouched addresses read clean without allocating.
         assert_eq!(shadow.join_range(0x9999_0000, 8), 0);
+        assert!(shadow.dense[0x9999_0000 / CHUNK as usize].get().is_none());
+    }
+
+    #[test]
+    fn clean_fills_do_not_allocate() {
+        let shadow = AtomicShadow::new();
+        shadow.fill_range(0x4000, 64, 0);
+        assert!(shadow.dense[(0x4000 / CHUNK) as usize].get().is_none());
+    }
+
+    #[test]
+    fn ranges_crossing_chunks_stay_consistent() {
+        let shadow = AtomicShadow::new();
+        let boundary = CHUNK * 3;
+        shadow.fill_range(boundary - 8, 16, 1);
+        assert_eq!(shadow.join_range(boundary - 8, 16), 1);
+        assert_eq!(shadow.join_range(boundary - 1, 2), 1);
+        shadow.fill_range(boundary - 8, 16, 0);
+        assert_eq!(shadow.join_range(boundary - 8, 16), 0);
     }
 
     #[test]
     fn fingerprint_tracks_nonzero_bytes() {
-        let shadow = AtomicShadow::for_streams(&stream_touching(&[0x2000]));
+        let shadow = AtomicShadow::new();
         let before = shadow.fingerprint();
         shadow.fill(MemRef::new(0x2000, 4), 1);
         assert_ne!(shadow.fingerprint(), before);
         shadow.fill(MemRef::new(0x2000, 4), 0);
         assert_eq!(shadow.fingerprint(), before);
+    }
+
+    #[test]
+    fn concurrent_first_touch_is_race_free() {
+        let shadow = AtomicShadow::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let shadow = &shadow;
+                scope.spawn(move || {
+                    for i in 0..64 {
+                        shadow.fill_range(CHUNK * 7 + t * 256 + i, 1, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(shadow.join_range(CHUNK * 7, 4 * 256), 1);
     }
 }

@@ -6,20 +6,96 @@
 //! lifeguard *consumes* that version instead of waiting for (or racing with)
 //! the writer. The version id combines the consuming thread's id with the
 //! record id of its SC-violating load, so ids are unique per dynamic load.
+//!
+//! # Layout
+//!
+//! A [`VersionId`] is `(consumer thread, consumer record id)` — and record
+//! ids are *stream positions*, dense and monotonically increasing per
+//! thread. The table therefore mirrors the flat two-level treatment that
+//! replaced `ShadowMemory`'s hash map: per consumer thread, a dense
+//! first-level array indexed by `rid / CHUNK_RIDS` points at lazily
+//! allocated fixed-size chunks of slots indexed by the low rid bits. A
+//! lookup is two array indexes — no hashing, no probing — and the hot
+//! produce→consume window of a run keeps hitting the same one or two
+//! resident chunks. Fully retired chunks are freed, so a long (streaming)
+//! run's table residency tracks the *outstanding* window, not stream
+//! length. Pathological far-future rids beyond the dense budget land in a
+//! sorted spill tier instead of growing the first level without bound.
 
 use paralog_events::{AddrRange, VersionId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+/// Slots per second-level chunk (covers 128 consecutive record ids).
+const CHUNK_RIDS: u64 = 128;
+
+/// First-level budget: rids below `DENSE_CHUNKS * CHUNK_RIDS` (≈ half a
+/// billion records per thread) index the dense array directly; anything
+/// beyond spills to the sorted side tier.
+const DENSE_CHUNKS: u64 = 1 << 22;
+
+/// One version's lifecycle state.
+#[derive(Debug)]
+enum Slot {
+    /// Consumers that proceeded before the version existed (the pre-store
+    /// state was still current shadow, so no snapshot was needed).
+    Bypassed(u32),
+    /// Produced and awaiting its remaining consumers.
+    Live {
+        range: AddrRange,
+        snapshot: Vec<u8>,
+        consumers: u32,
+    },
+}
+
+/// A chunk of `CHUNK_RIDS` slots plus its occupancy count (for
+/// reclamation).
+#[derive(Debug)]
+struct Chunk {
+    occupied: u32,
+    slots: Box<[Option<Slot>]>,
+}
+
+impl Chunk {
+    fn new() -> Box<Chunk> {
+        Box::new(Chunk {
+            occupied: 0,
+            slots: (0..CHUNK_RIDS).map(|_| None).collect(),
+        })
+    }
+}
+
+/// One consumer thread's chunked slot space.
+#[derive(Debug, Default)]
+struct ThreadVersions {
+    dense: Vec<Option<Box<Chunk>>>,
+    spill: BTreeMap<u64, Box<Chunk>>,
+    /// One reclaimed chunk kept for reuse: the outstanding window crosses
+    /// chunk boundaries constantly, and drain→refill churn must not turn
+    /// into an allocation per window step.
+    spare: Option<Box<Chunk>>,
+}
+
+impl ThreadVersions {
+    /// A fresh (all-vacant) chunk, reusing the spare when one is parked.
+    fn fresh_chunk(&mut self) -> Box<Chunk> {
+        self.spare.take().unwrap_or_else(Chunk::new)
+    }
+
+    /// Parks a fully drained chunk for reuse (at most one is kept).
+    fn park(&mut self, chunk: Box<Chunk>) {
+        debug_assert!(chunk.occupied == 0);
+        self.spare.get_or_insert(chunk);
+    }
+}
 
 /// Table of produced-but-not-yet-consumed metadata versions, shared by all
 /// lifeguard threads.
 #[derive(Debug, Default)]
 pub struct VersionTable {
-    entries: HashMap<VersionId, (AddrRange, Vec<u8>, u32)>,
-    /// Consumers that proceeded before the version existed (the pre-store
-    /// state was still current shadow, so no snapshot was needed).
-    bypassed: HashMap<VersionId, u32>,
+    threads: Vec<ThreadVersions>,
     produced: u64,
     consumed: u64,
+    outstanding: usize,
     peak: usize,
 }
 
@@ -27,6 +103,84 @@ impl VersionTable {
     /// Creates an empty table.
     pub fn new() -> Self {
         VersionTable::default()
+    }
+
+    /// The slot for `id`, allocating its chunk (and growing the per-thread
+    /// first level) when `create` is set; `None` when absent and not
+    /// creating.
+    fn slot_mut(&mut self, id: VersionId, create: bool) -> Option<&mut Option<Slot>> {
+        let tid = id.consumer.index();
+        if self.threads.len() <= tid {
+            if !create {
+                return None;
+            }
+            self.threads.resize_with(tid + 1, ThreadVersions::default);
+        }
+        let per = &mut self.threads[tid];
+        let ci = id.consumer_rid.0 / CHUNK_RIDS;
+        let si = (id.consumer_rid.0 % CHUNK_RIDS) as usize;
+        let chunk = if ci < DENSE_CHUNKS {
+            let ci = ci as usize;
+            if per.dense.len() <= ci {
+                if !create {
+                    return None;
+                }
+                per.dense.resize_with(ci + 1, || None);
+            }
+            if per.dense[ci].is_none() {
+                if !create {
+                    return None;
+                }
+                let chunk = per.fresh_chunk();
+                per.dense[ci] = Some(chunk);
+            }
+            per.dense[ci].as_mut().expect("just ensured")
+        } else if per.spill.contains_key(&ci) {
+            per.spill.get_mut(&ci).expect("just checked")
+        } else if create {
+            let chunk = per.fresh_chunk();
+            per.spill.entry(ci).or_insert(chunk)
+        } else {
+            return None;
+        };
+        Some(&mut chunk.slots[si])
+    }
+
+    /// Vacates `id`'s slot and frees its chunk when that was the last
+    /// occupied slot (the reclamation that keeps long streams bounded).
+    fn vacate(&mut self, id: VersionId) {
+        let per = &mut self.threads[id.consumer.index()];
+        let ci = id.consumer_rid.0 / CHUNK_RIDS;
+        let si = (id.consumer_rid.0 % CHUNK_RIDS) as usize;
+        if ci < DENSE_CHUNKS {
+            let chunk = per.dense[ci as usize].as_mut().expect("occupied chunk");
+            chunk.slots[si] = None;
+            chunk.occupied -= 1;
+            if chunk.occupied == 0 {
+                let chunk = per.dense[ci as usize].take().expect("present");
+                per.park(chunk);
+            }
+        } else {
+            let chunk = per.spill.get_mut(&ci).expect("occupied chunk");
+            chunk.slots[si] = None;
+            chunk.occupied -= 1;
+            if chunk.occupied == 0 {
+                let chunk = per.spill.remove(&ci).expect("present");
+                per.park(chunk);
+            }
+        }
+    }
+
+    /// Bumps the occupancy of `id`'s (existing) chunk.
+    fn note_occupied(&mut self, id: VersionId) {
+        let per = &mut self.threads[id.consumer.index()];
+        let ci = id.consumer_rid.0 / CHUNK_RIDS;
+        let chunk = if ci < DENSE_CHUNKS {
+            per.dense[ci as usize].as_mut().expect("just created")
+        } else {
+            per.spill.get_mut(&ci).expect("just created")
+        };
+        chunk.occupied += 1;
     }
 
     /// Publishes versioned metadata for `id` covering `range`, to be
@@ -42,44 +196,90 @@ impl VersionTable {
         assert_eq!(snapshot.len() as u64, range.len, "snapshot length mismatch");
         assert!(consumers > 0, "version without consumers");
         self.produced += 1;
+        let slot = self.slot_mut(id, true).expect("created");
         // Consumers that already passed read the live (still pre-store)
         // shadow; only the remainder need the snapshot.
-        let already = self.bypassed.remove(&id).unwrap_or(0);
+        let (already, was_occupied) = match slot {
+            None => (0, false),
+            Some(Slot::Bypassed(n)) => (*n, true),
+            Some(Slot::Live { .. }) => panic!("duplicate version {id}"),
+        };
         let remaining = consumers.saturating_sub(already);
         if remaining == 0 {
+            if was_occupied {
+                self.vacate(id);
+            }
             return;
         }
-        let prev = self.entries.insert(id, (range, snapshot, remaining));
-        assert!(prev.is_none(), "duplicate version {id}");
-        self.peak = self.peak.max(self.entries.len());
+        *slot = Some(Slot::Live {
+            range,
+            snapshot,
+            consumers: remaining,
+        });
+        if !was_occupied {
+            self.note_occupied(id);
+        }
+        self.outstanding += 1;
+        self.peak = self.peak.max(self.outstanding);
     }
 
     /// Notes that a consumer of `id` proceeded before production: the
     /// producer had not applied its store, so the live shadow was still the
     /// correct pre-store state (§5.5 without the stall).
     pub fn bypass(&mut self, id: VersionId) {
-        *self.bypassed.entry(id).or_insert(0) += 1;
         self.consumed += 1;
+        let slot = self.slot_mut(id, true).expect("created");
+        match slot {
+            None => {
+                *slot = Some(Slot::Bypassed(1));
+                self.note_occupied(id);
+            }
+            Some(Slot::Bypassed(n)) => *n += 1,
+            Some(Slot::Live { .. }) => unreachable!("bypass of an available version {id}"),
+        }
     }
 
     /// Whether `id` has been produced and not yet consumed.
     pub fn is_available(&self, id: VersionId) -> bool {
-        self.entries.contains_key(&id)
+        let Some(per) = self.threads.get(id.consumer.index()) else {
+            return false;
+        };
+        let ci = id.consumer_rid.0 / CHUNK_RIDS;
+        let si = (id.consumer_rid.0 % CHUNK_RIDS) as usize;
+        let chunk = if ci < DENSE_CHUNKS {
+            per.dense.get(ci as usize).and_then(Option::as_ref)
+        } else {
+            per.spill.get(&ci)
+        };
+        matches!(chunk.map(|c| &c.slots[si]), Some(Some(Slot::Live { .. })))
     }
 
     /// Consumes the version (one reference), or `None` if the producer has
     /// not reached its produce point yet — the consumer must stall. The
     /// entry is retired when its last consumer takes it.
     pub fn consume(&mut self, id: VersionId) -> Option<(AddrRange, Vec<u8>)> {
-        let entry = self.entries.get_mut(&id)?;
-        self.consumed += 1;
-        entry.2 -= 1;
-        if entry.2 == 0 {
-            let (range, bytes, _) = self.entries.remove(&id).expect("present");
-            Some((range, bytes))
+        let slot = self.slot_mut(id, false)?;
+        let Some(Slot::Live {
+            range,
+            snapshot,
+            consumers,
+        }) = slot
+        else {
+            return None;
+        };
+        *consumers -= 1;
+        let retired = *consumers == 0;
+        let out = if retired {
+            (*range, std::mem::take(snapshot))
         } else {
-            Some((entry.0, entry.1.clone()))
+            (*range, snapshot.clone())
+        };
+        self.consumed += 1;
+        if retired {
+            self.outstanding -= 1;
+            self.vacate(id);
         }
+        Some(out)
     }
 
     /// Versions produced so far.
@@ -100,7 +300,7 @@ impl VersionTable {
 
     /// Versions currently outstanding.
     pub fn outstanding(&self) -> usize {
-        self.entries.len()
+        self.outstanding
     }
 }
 
@@ -175,5 +375,54 @@ mod tests {
         assert!(t.consume(id).is_some());
         assert!(!t.is_available(id), "retired after last consumer");
         assert_eq!(t.consumed(), 2);
+    }
+
+    #[test]
+    fn bypass_then_produce_skips_satisfied_readers() {
+        let mut t = VersionTable::new();
+        let id = vid(2, 40);
+        t.bypass(id);
+        t.bypass(id);
+        // Both readers already passed: the snapshot retires immediately.
+        t.produce(id, AddrRange::new(0, 1), vec![7], 2);
+        assert!(!t.is_available(id));
+        assert_eq!(t.outstanding(), 0);
+        // One of three readers passed early: two consumes drain it.
+        let id2 = vid(2, 41);
+        t.bypass(id2);
+        t.produce(id2, AddrRange::new(0, 1), vec![7], 3);
+        assert!(t.consume(id2).is_some());
+        assert!(t.consume(id2).is_some());
+        assert!(!t.is_available(id2));
+    }
+
+    #[test]
+    fn drained_chunks_are_reclaimed() {
+        let mut t = VersionTable::new();
+        // Walk a long rid space, consuming as we go: residency must track
+        // the outstanding window, not the rid high-water mark.
+        for r in 1..=(CHUNK_RIDS * 8) {
+            let id = vid(0, r);
+            t.produce(id, AddrRange::new(0, 1), vec![1], 1);
+            assert!(t.consume(id).is_some());
+        }
+        assert_eq!(t.outstanding(), 0);
+        let live_chunks =
+            t.threads[0].dense.iter().filter(|c| c.is_some()).count() + t.threads[0].spill.len();
+        assert_eq!(live_chunks, 0, "fully retired chunks are freed");
+    }
+
+    #[test]
+    fn far_future_rids_use_the_spill_tier() {
+        let mut t = VersionTable::new();
+        let far = vid(1, DENSE_CHUNKS * CHUNK_RIDS + 17);
+        t.produce(far, AddrRange::new(0, 1), vec![3], 1);
+        assert!(t.is_available(far));
+        assert!(
+            t.threads[1].dense.is_empty(),
+            "outliers must not grow the dense first level"
+        );
+        assert_eq!(t.consume(far).map(|(_, s)| s), Some(vec![3]));
+        assert!(t.threads[1].spill.is_empty(), "spill chunk reclaimed");
     }
 }

@@ -176,18 +176,8 @@ fn push_source_feeds_an_online_session() {
 
 #[test]
 fn threaded_backend_rejects_unsupported_plans() {
-    let w = workload(Benchmark::Lu, 2);
-    // LockSet has no Send + Sync concurrent form.
-    let err = MonitorSession::builder()
-        .source(w.clone())
-        .lifeguard(LifeguardKind::LockSet)
-        .backend(ThreadedBackend)
-        .build()
-        .unwrap()
-        .run()
-        .err();
-    assert!(matches!(err, Some(SessionError::Unsupported(_))));
     // TSO captures carry versioned metadata the lock-free replay cannot honor.
+    let w = workload(Benchmark::Lu, 2);
     let err = MonitorSession::builder()
         .source(w)
         .config(MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck).with_tso())
@@ -197,6 +187,162 @@ fn threaded_backend_rejects_unsupported_plans() {
         .run()
         .err();
     assert!(matches!(err, Some(SessionError::Unsupported(_))));
+}
+
+#[test]
+fn locked_fallback_runs_every_bundled_lifeguard_threaded() {
+    // Analyses without a hand-written lock-free form (everything but
+    // TaintCheck) replay on the real-thread backend through the generic
+    // `LockedConcurrent` adapter — and must agree with the deterministic
+    // backend on final metadata and violations.
+    let w = workload(Benchmark::Fluidanimate, 4);
+    for kind in [
+        LifeguardKind::AddrCheck,
+        LifeguardKind::MemCheck,
+        LifeguardKind::LockSet,
+    ] {
+        let det = MonitorSession::builder()
+            .source(w.clone())
+            .lifeguard(kind)
+            .backend(DeterministicBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let thr = MonitorSession::builder()
+            .source(w.clone())
+            .lifeguard(kind)
+            .backend(ThreadedBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            det.metrics.fingerprint, thr.metrics.fingerprint,
+            "{kind}: locked threaded replay disagrees on final metadata"
+        );
+        assert!(
+            thr.metrics.matches_reference(),
+            "{kind}: threaded replay diverged from its own capture"
+        );
+        assert_eq!(
+            violation_keys(&det.metrics.violations),
+            violation_keys(&thr.metrics.violations),
+            "{kind}: locked threaded replay disagrees on violations"
+        );
+    }
+}
+
+#[test]
+fn syscall_race_violations_agree_across_backends() {
+    // §5.4 parity: thread 1 has a read() in flight (CA-Begin .. CA-End with
+    // a buffer range, broadcast into every stream); thread 0 touches the
+    // buffer inside the window. The deterministic backend polices the range
+    // table during ingestion — the threaded backend must now report the
+    // *same* SyscallRace (and downstream taint) instead of silently
+    // diverging on racy-syscall workloads.
+    let heap = AddrRange::new(0x1000_0000, 0x10000);
+    let buf = AddrRange::new(heap.start + 0x100, 32);
+    let ca = |phase, rid: u64| {
+        EventRecord::ca(
+            Rid(rid),
+            CaRecord {
+                what: HighLevelKind::Syscall(SyscallKind::ReadInput),
+                phase,
+                range: Some(buf),
+                issuer: ThreadId(1),
+                issuer_rid: Rid(rid),
+                seq: u64::MAX,
+            },
+        )
+    };
+    let mut src = PushSource::new(2, heap);
+    // Thread 0's stream: the broadcast CA window around a racing load, and
+    // a jump consuming the (conservatively tainted) loaded value.
+    src.push(0, ca(CaPhase::Begin, 1));
+    src.push(
+        0,
+        EventRecord::instr(
+            Rid(2),
+            Instr::Load {
+                dst: Reg::new(0),
+                src: MemRef::new(buf.start + 4, 4),
+            },
+        ),
+    );
+    src.push(0, ca(CaPhase::End, 3));
+    src.push(
+        0,
+        EventRecord::instr(
+            Rid(4),
+            Instr::JmpReg {
+                target: Reg::new(0),
+            },
+        ),
+    );
+    // Thread 1's stream: its own copies of the CA records.
+    src.push(1, ca(CaPhase::Begin, 1));
+    src.push(1, ca(CaPhase::End, 2));
+
+    let det = MonitorSession::builder()
+        .source(src.clone())
+        .lifeguard(LifeguardKind::TaintCheck)
+        .backend(DeterministicBackend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let thr = MonitorSession::builder()
+        .source(src.clone())
+        .lifeguard(LifeguardKind::TaintCheck)
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let det_keys = violation_keys(&det.metrics.violations);
+    assert!(
+        det_keys
+            .iter()
+            .any(|&(_, _, kind)| kind == ViolationKind::SyscallRace),
+        "deterministic ingestion must flag the racing access"
+    );
+    assert!(
+        det_keys
+            .iter()
+            .any(|&(_, _, kind)| kind == ViolationKind::TaintedJump),
+        "conservative taint must reach the jump"
+    );
+    assert_eq!(
+        det_keys,
+        violation_keys(&thr.metrics.violations),
+        "threaded backend diverges on racy-syscall violations"
+    );
+    assert_eq!(det.metrics.fingerprint, thr.metrics.fingerprint);
+
+    // The locked fallback polices the same table: AddrCheck subscribes to
+    // no syscall ranges, so both backends must agree there too (no spurious
+    // hits from a policy-less range table).
+    let det = MonitorSession::builder()
+        .source(src.clone())
+        .lifeguard(LifeguardKind::AddrCheck)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let thr = MonitorSession::builder()
+        .source(src)
+        .lifeguard(LifeguardKind::AddrCheck)
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(
+        violation_keys(&det.metrics.violations),
+        violation_keys(&thr.metrics.violations)
+    );
+    assert_eq!(det.metrics.fingerprint, thr.metrics.fingerprint);
 }
 
 #[test]

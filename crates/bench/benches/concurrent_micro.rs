@@ -1,0 +1,178 @@
+//! Microbenchmarks for the lifeguard concurrency layer.
+//!
+//! Two questions, answered on real OS threads:
+//!
+//! * **`concurrent_replay`** — what does the generic [`LockedConcurrent`]
+//!   fallback's mutex cost an IF-class analysis, versus the lock-free
+//!   [`AddrCheckConcurrent`] this PR ships? Each series replays identical
+//!   check-heavy per-thread streams through both forms; the ratio is the
+//!   §5.3 serialization tax quoted in the PR description / ROADMAP.
+//! * **`concurrent_versions`** — what does the §5.5 produce→consume
+//!   hand-off cost through the sharded [`ConcurrentVersionTable`], both
+//!   uncontended (one thread doing the whole lifecycle, comparable with
+//!   `versions_micro`'s sequential numbers) and as a genuine cross-thread
+//!   hand-off with a parked consumer?
+//!
+//! [`LockedConcurrent`]: paralog_lifeguards::LockedConcurrent
+//! [`AddrCheckConcurrent`]: paralog_lifeguards::AddrCheckConcurrent
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paralog_events::{
+    AddrRange, CaPhase, CaRecord, EventRecord, HighLevelKind, Instr, MemRef, Reg, Rid, ThreadId,
+    VersionId,
+};
+use paralog_lifeguards::{
+    AddrCheckConcurrent, ConcurrentLifeguard, LifeguardFactory, LifeguardKind, LockedConcurrent,
+};
+use paralog_meta::ConcurrentVersionTable;
+use std::time::Duration;
+
+const HEAP: AddrRange = AddrRange {
+    start: 0x1000_0000,
+    len: 0x1000_0000,
+};
+
+/// Records per thread and per iteration in the replay series.
+const RECORDS: u64 = 4096;
+
+/// One thread's arc-free, violation-free check stream: a malloc of its own
+/// slab, then loads and stores inside it — the §5.3 fast-path shape where
+/// the locked fallback's mutex is pure overhead.
+fn check_stream(tid: u16) -> Vec<EventRecord> {
+    let slab = AddrRange::new(HEAP.start + u64::from(tid) * 0x10_000, 0x8000);
+    let mut recs = vec![EventRecord::ca(
+        Rid(1),
+        CaRecord {
+            what: HighLevelKind::Malloc,
+            phase: CaPhase::End,
+            range: Some(slab),
+            issuer: ThreadId(tid),
+            issuer_rid: Rid(1),
+            seq: u64::MAX, // own-stream record: no cross-thread ordering
+        },
+    )];
+    for i in 0..RECORDS {
+        let mem = MemRef::new(slab.start + (i * 16) % (slab.len - 8), 8);
+        let instr = if i % 2 == 0 {
+            Instr::Load {
+                dst: Reg(0),
+                src: mem,
+            }
+        } else {
+            Instr::Store {
+                dst: mem,
+                src: Reg(0),
+            }
+        };
+        recs.push(EventRecord::instr(Rid(i + 2), instr));
+    }
+    recs
+}
+
+/// Replays one pre-built stream per thread against `conc` on real threads.
+fn replay(conc: &dyn ConcurrentLifeguard, streams: &[Vec<EventRecord>]) {
+    std::thread::scope(|scope| {
+        for (tid, stream) in streams.iter().enumerate() {
+            scope.spawn(move || {
+                let tid = ThreadId(tid as u16);
+                for rec in stream {
+                    conc.apply(tid, rec, None);
+                }
+            });
+        }
+    });
+}
+
+fn bench_concurrent_replay(c: &mut Criterion) {
+    for threads in [2usize, 4] {
+        let streams: Vec<Vec<EventRecord>> = (0..threads as u16).map(check_stream).collect();
+        let mut group = c.benchmark_group("concurrent_replay");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(threads as u64 * RECORDS));
+
+        // The lock-free §5.3 form this PR ships for the IF class.
+        let lockfree = AddrCheckConcurrent::new(HEAP);
+        group.bench_function(BenchmarkId::new("lockfree", threads), |b| {
+            b.iter(|| {
+                replay(&lockfree, &streams);
+                black_box(lockfree.fingerprint())
+            })
+        });
+
+        // The generic mutex-serialized fallback AddrCheck used before.
+        // SAFETY: the bundled AddrCheck family is self-contained.
+        let locked =
+            unsafe { LockedConcurrent::new(LifeguardKind::AddrCheck.build(HEAP), threads) };
+        group.bench_function(BenchmarkId::new("locked", threads), |b| {
+            b.iter(|| {
+                replay(&locked, &streams);
+                black_box(locked.fingerprint())
+            })
+        });
+        group.finish();
+    }
+}
+
+const VERSIONS: u64 = 2048;
+
+fn vid(t: u16, r: u64) -> VersionId {
+    VersionId {
+        consumer: ThreadId(t),
+        consumer_rid: Rid(r),
+    }
+}
+
+fn bench_concurrent_versions(c: &mut Criterion) {
+    let range = AddrRange::new(0x1000, 16);
+    let snapshot = || vec![0b01u8; 16];
+
+    let mut group = c.benchmark_group("concurrent_versions");
+    group.throughput(Throughput::Elements(VERSIONS));
+
+    // Uncontended lifecycle: one thread produces and consumes through the
+    // shared table — the sharding + atomic-flag overhead versus the
+    // sequential `VersionTable` measured in `versions_micro`.
+    group.bench_function("uncontended", |b| {
+        b.iter(|| {
+            let table = ConcurrentVersionTable::new(2);
+            for r in 1..=VERSIONS {
+                table.produce(vid(0, r), range, snapshot(), 1);
+                black_box(table.consume(vid(0, r)));
+            }
+            black_box(table.outstanding())
+        })
+    });
+
+    // Cross-thread hand-off: a producer thread publishes while the consumer
+    // thread polls/parks and consumes — the actual §5.5 threaded-replay
+    // shape (consumer-side wait included).
+    group.bench_function("handoff", |b| {
+        b.iter(|| {
+            let table = ConcurrentVersionTable::new(1);
+            std::thread::scope(|scope| {
+                let t = &table;
+                scope.spawn(move || {
+                    for r in 1..=VERSIONS {
+                        t.produce(vid(0, r), range, snapshot(), 1);
+                    }
+                });
+                scope.spawn(move || {
+                    for r in 1..=VERSIONS {
+                        loop {
+                            if let Some(v) = t.consume(vid(0, r)) {
+                                black_box(v);
+                                break;
+                            }
+                            t.wait_available(vid(0, r), Duration::from_micros(50));
+                        }
+                    }
+                });
+            });
+            black_box(table.peak_outstanding())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_replay, bench_concurrent_versions);
+criterion_main!(benches);

@@ -11,7 +11,11 @@
 //! [`run_threaded_taintcheck`] keeps the original one-call demonstration:
 //! capture a workload's streams deterministically, replay them with real
 //! TaintCheck threads, and report whether the concurrent metadata matched
-//! the deterministic run's fingerprint on this repetition.
+//! the deterministic run's fingerprint on this repetition. TSO captures
+//! replay too: their §5.5 produce/consume annotations resolve against the
+//! backend's shared
+//! [`ConcurrentVersionTable`](paralog_meta::ConcurrentVersionTable), so
+//! the old "replays SC only" panic is gone.
 
 use crate::config::{MonitorConfig, MonitoringMode};
 use crate::session::{MonitorSession, ThreadedBackend, WorkloadSource};
@@ -42,23 +46,26 @@ impl ThreadedOutcome {
 
 /// Captures a workload's event streams with the simulator, then replays them
 /// on real threads with TaintCheck semantics over the lock-free shadow.
+/// Pass `tso` to capture (and replay) under Total Store Ordering with §5.5
+/// versioned metadata.
 ///
 /// # Panics
 ///
-/// Panics if the workload uses TSO-only annotations (the demo replays SC
-/// captures) or if a worker thread panics.
-pub fn run_threaded_taintcheck(workload: &Workload) -> ThreadedOutcome {
+/// Panics if the capture itself is malformed (a truncated stream would
+/// deadlock the replay) or if a worker thread panics.
+pub fn run_threaded_taintcheck_on(workload: &Workload, tso: bool) -> ThreadedOutcome {
+    let mut config = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck);
+    if tso {
+        config = config.with_tso();
+    }
     let outcome = MonitorSession::builder()
         .source(WorkloadSource::new(workload.clone()))
-        .config(MonitorConfig::new(
-            MonitoringMode::Parallel,
-            LifeguardKind::TaintCheck,
-        ))
+        .config(config)
         .backend(ThreadedBackend)
         .build()
         .expect("a sourced session is complete")
         .run()
-        .expect("SC TaintCheck capture is replayable");
+        .expect("a deterministic TaintCheck capture is replayable");
     let m = outcome.metrics;
     ThreadedOutcome {
         fingerprint: m.fingerprint,
@@ -68,6 +75,12 @@ pub fn run_threaded_taintcheck(workload: &Workload) -> ThreadedOutcome {
         violations: m.violations.len() as u64,
         arc_spins: m.dependence_stalls,
     }
+}
+
+/// [`run_threaded_taintcheck_on`] under sequential consistency (the
+/// original demo entry point).
+pub fn run_threaded_taintcheck(workload: &Workload) -> ThreadedOutcome {
+    run_threaded_taintcheck_on(workload, false)
 }
 
 #[cfg(test)]
@@ -85,6 +98,25 @@ mod tests {
             assert!(
                 out.is_correct(),
                 "real-thread replay diverged: {:#x} vs {:#x}",
+                out.fingerprint,
+                out.expected
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_replay_handles_tso_captures() {
+        // The demo path used to panic on TSO-annotated workloads ("replays
+        // SC only"); the §5.5 annotations now resolve against the shared
+        // concurrent version table instead.
+        let w = WorkloadSpec::benchmark(Benchmark::Ocean, 4)
+            .scale(0.05)
+            .build();
+        for _ in 0..3 {
+            let out = run_threaded_taintcheck_on(&w, true);
+            assert!(
+                out.is_correct(),
+                "TSO real-thread replay diverged: {:#x} vs {:#x}",
                 out.fingerprint,
                 out.expected
             );

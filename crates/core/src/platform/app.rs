@@ -630,6 +630,24 @@ impl<'w> Sim<'w> {
         if self.config.mode == MonitoringMode::Parallel {
             self.rings[reader].annotate_matching(&mut annotate);
         }
+        // Ring-resident records were cloned into the collected streams when
+        // they left staging; patch those clones with the same consume
+        // annotations so a TSO capture replays faithfully. (Staging-resident
+        // records are cloned later, annotation already in place.)
+        if let Some(collected) = self.collected.as_mut() {
+            let stream = &mut collected[reader];
+            for (vid, mem, _) in produces.iter() {
+                for rec in stream.iter_mut().rev() {
+                    if rec.rid == vid.consumer_rid {
+                        rec.consume_version = Some((*vid, *mem));
+                        break;
+                    }
+                    if rec.rid < vid.consumer_rid {
+                        break; // rid-ordered: not collected yet
+                    }
+                }
+            }
+        }
         produces
     }
 

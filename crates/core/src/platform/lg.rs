@@ -570,15 +570,7 @@ pub(crate) fn deliver_ingested(
             };
             if let Some(op) = op {
                 let mut ctx = HandlerCtx::new();
-                if let Some((range, bytes)) = &versioned {
-                    if op
-                        .mem_src()
-                        .map(|m| range.overlaps(&m.range()))
-                        .unwrap_or(false)
-                    {
-                        ctx.versioned = Some((*range, bytes.clone()));
-                    }
-                }
+                ctx.inject_versioned(&op, versioned.as_ref());
                 lg.handle(&op, rid, &mut ctx);
                 violations.append(&mut ctx.violations);
                 *delivered_ops += 1;
@@ -620,16 +612,8 @@ fn deliver_op(
     let mut cycles = cost.op_cost(op);
     let uses_mtlb = lgt.lg_ref(tag).spec().uses_mtlb;
     let mut ctx = HandlerCtx::new();
-    if let Some((range, bytes)) = versioned {
-        // Only the op reading the versioned location uses the snapshot.
-        if op
-            .mem_src()
-            .map(|m| range.overlaps(&m.range()))
-            .unwrap_or(false)
-        {
-            ctx.versioned = Some((*range, bytes.clone()));
-        }
-    }
+    // Only the op reading the versioned location uses the snapshot.
+    ctx.inject_versioned(op, versioned.as_ref());
     lgt.lg(tag).handle(op, rid, &mut ctx);
     // Metadata address computation: charged per operand when the handler
     // reached metadata; a NULL first-level entry (address outside tracked

@@ -317,13 +317,10 @@ impl<'w> Sim<'w> {
             ts_current: 0,
             ts_quantum_left: app::TS_QUANTUM_OPS,
             ts_outstanding: vec![0; k],
-            // Collection is SC-only: under TSO, consume annotations can be
-            // applied to records already released to a ring, which the
-            // collected clones would miss.
-            collected: if config.collect_streams
-                && config.mode == MonitoringMode::Parallel
-                && !machine.is_tso()
-            {
+            // Under TSO, consume annotations can land on records already
+            // released to a ring; `annotate_block_readers` patches the
+            // collected clones too, so captures stay faithful.
+            collected: if config.collect_streams && config.mode == MonitoringMode::Parallel {
                 Some(vec![Vec::new(); k])
             } else {
                 None

@@ -11,8 +11,11 @@
 //!   timing (externally captured logs have no machine to time);
 //! * [`ThreadedBackend`] — real OS threads replaying the streams against the
 //!   lifeguard's `Send + Sync` concurrent form, enforcing arcs by spinning
-//!   on an atomic progress table (§5.2) and policing the §5.4 syscall range
-//!   table per worker. A workload input is first captured deterministically;
+//!   on an atomic progress table (§5.2), policing the §5.4 syscall range
+//!   table per worker, and resolving §5.5 TSO version annotations against a
+//!   shared [`ConcurrentVersionTable`](paralog_meta::ConcurrentVersionTable)
+//!   (producers snapshot pre-store metadata, consumers park until it is
+//!   published). A workload input is first captured deterministically;
 //!   the deterministic fingerprint is recorded as
 //!   [`RunMetrics::reference_fingerprint`](crate::RunMetrics) so
 //!   `matches_reference()` states whether genuine concurrency reproduced the
@@ -130,6 +133,38 @@ fn run_deterministic(
     }
 }
 
+/// §5.4 ConflictAlert serialization for replay: a *non-issuer* copy of a
+/// broadcast CA record (barrier or syscall-range class) may not be
+/// delivered until the issuer's lifeguard has applied its own copy — the
+/// issuer's copy is the one that performs the metadata update (taint the
+/// read() buffer, clear the allocation, ...), and every remote stream's
+/// copy marks where that update is ordered relative to the remote thread's
+/// accesses. The live co-simulation enforces this through the `CaBarrier`
+/// and the application-side broadcast serialization; replay enforces it by
+/// gating on the issuer's advertised progress (`progress[issuer] >=
+/// issuer_rid` ⇔ the issuer applied its copy). Broadcasts are globally
+/// sequence-ordered, so these gates cannot cycle.
+///
+/// Returns whether `rec`'s gate is *unmet* (the caller must stall).
+fn ca_gate_unmet(
+    rec: &EventRecord,
+    tid: usize,
+    ca_policy: &paralog_order::CaPolicy,
+    satisfied: impl Fn(ThreadId, paralog_events::Rid) -> bool,
+) -> bool {
+    let paralog_events::EventPayload::Ca(ca) = &rec.payload else {
+        return false;
+    };
+    if ca.seq == u64::MAX || ca.issuer.index() == tid {
+        return false; // own-stream-only record, or the issuer's copy itself
+    }
+    let actions = ca_policy.actions(ca.what, ca.phase);
+    if !actions.barrier && !actions.track_range {
+        return false; // flush-only classes order via data arcs (§5.4)
+    }
+    !satisfied(ca.issuer, ca.issuer_rid)
+}
+
 /// One thread's ingestion state in the streaming replay loop.
 struct IngestLane {
     stream: Box<dyn RecordStream>,
@@ -225,6 +260,11 @@ fn replay_streams(
                         arc_blocked = true;
                         break;
                     }
+                    if ca_gate_unmet(head, t, &ca_policy, |src, rid| progress.get(src) >= rid) {
+                        stalls += 1;
+                        arc_blocked = true;
+                        break;
+                    }
                     let rec = lane.pending.pop_front().expect("peeked");
                     deliver_ingested(
                         &rec,
@@ -298,9 +338,18 @@ fn replay_streams(
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ThreadedBackend;
 
+/// How long the no-global-progress detectors tolerate a completely flat
+/// run (no record applied anywhere, no worker inside its stream pull)
+/// before declaring [`SessionError::Deadlock`]. Shared by the §5.2 arc
+/// spin and the §5.5 version wait.
+const NO_PROGRESS_GRACE: std::time::Duration = std::time::Duration::from_secs(2);
+
 /// Shared worker coordination for one threaded replay.
 struct ThreadedRun {
     progress: SharedProgressTable,
+    /// §5.5 versioned metadata shared by all workers: producers publish
+    /// pre-store snapshots, consumers park on them.
+    versions: paralog_meta::ConcurrentVersionTable,
     arc_spins: AtomicU64,
     /// Records applied across all workers — the liveness signal deadlock
     /// detection watches.
@@ -319,6 +368,7 @@ impl ThreadedRun {
     fn new(threads: usize) -> Self {
         ThreadedRun {
             progress: SharedProgressTable::new(threads),
+            versions: paralog_meta::ConcurrentVersionTable::new(threads),
             arc_spins: AtomicU64::new(0),
             applied: AtomicU64::new(0),
             producers_blocked: AtomicUsize::new(0),
@@ -349,13 +399,10 @@ impl Backend for ThreadedBackend {
     fn run(&self, plan: SessionPlan) -> Result<RunOutcome, SessionError> {
         let (streams, expected): (Vec<Box<dyn RecordStream>>, Option<u64>) = match plan.input {
             SourceInput::Workload(ref w) => {
-                if plan.config.tso {
-                    return Err(SessionError::Unsupported(
-                        "the threaded backend replays SC captures only",
-                    ));
-                }
-                // Capture the fully annotated streams deterministically; the
-                // capture's fingerprint becomes the expected reference.
+                // Capture the fully annotated streams deterministically —
+                // including §5.5 produce/consume version annotations under
+                // TSO; the capture's fingerprint becomes the expected
+                // reference.
                 let mut cfg = plan.config.clone();
                 cfg.mode = MonitoringMode::Parallel;
                 cfg.collect_streams = true;
@@ -409,6 +456,8 @@ impl Backend for ThreadedBackend {
                 records: total,
                 delivered_ops: total,
                 dependence_stalls: run.arc_spins.load(Ordering::Relaxed),
+                versions_produced: run.versions.produced(),
+                versions_consumed: run.versions.consumed(),
                 violations,
                 fingerprint: conc.fingerprint(),
                 reference_fingerprint: expected,
@@ -481,53 +530,69 @@ fn replay_worker(
             idle_polls = 0;
         }
         while let Some(rec) = pending.pop_front() {
-            if rec.consume_version.is_some() {
-                run.fail(SessionError::Unsupported(
-                    "the threaded backend replays SC captures only (stream carries TSO versions)",
-                ));
-                return;
-            }
             // §5.2 enforcement: spin until every arc is satisfied.
             for arc in &rec.arcs {
-                let mut spun = false;
-                let mut spins = 0u32;
-                let mut last_applied = run.applied.load(Ordering::Relaxed);
-                let mut flat_since: Option<std::time::Instant> = None;
-                while !run.progress.satisfies(arc.src, arc.src_rid) {
-                    if run.aborted() {
+                match spin_until(run, || run.progress.satisfies(arc.src, arc.src_rid)) {
+                    SpinOutcome::Ready { spun } => {
+                        if spun {
+                            run.arc_spins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    SpinOutcome::Stuck => {
+                        run.fail(SessionError::Deadlock(
+                            "threaded replay made no progress; a stream carries arcs \
+                             its producer never satisfies"
+                                .into(),
+                        ));
                         return;
                     }
-                    spun = true;
-                    spins += 1;
-                    if spins >= 1 << 14 {
-                        spins = 0;
-                        let now = run.applied.load(Ordering::Relaxed);
-                        if now != last_applied {
-                            last_applied = now;
-                            flat_since = None;
-                        } else if run.producers_blocked.load(Ordering::Relaxed) > 0 {
-                            // A peer is waiting on its producer: the run is
-                            // starved for input, not deadlocked.
-                            flat_since = None;
-                        } else {
-                            let t0 = *flat_since.get_or_insert_with(std::time::Instant::now);
-                            if t0.elapsed() > std::time::Duration::from_secs(2) {
-                                run.fail(SessionError::Deadlock(
-                                    "threaded replay made no progress; a stream carries arcs \
-                                     its producer never satisfies"
-                                        .into(),
-                                ));
-                                return;
-                            }
-                        }
-                        std::thread::yield_now();
-                    }
-                    std::hint::spin_loop();
-                }
-                if spun {
-                    run.arc_spins.fetch_add(1, Ordering::Relaxed);
+                    SpinOutcome::Aborted => return,
                 }
             }
+            // §5.4 serialization: a remote barrier/range-class CA copy waits
+            // for the issuer's metadata update (see `ca_gate_unmet`).
+            if ca_gate_unmet(&rec, tid.index(), ca_policy, |src, rid| {
+                run.progress.satisfies(src, rid)
+            }) {
+                match spin_until(run, || {
+                    !ca_gate_unmet(&rec, tid.index(), ca_policy, |src, rid| {
+                        run.progress.satisfies(src, rid)
+                    })
+                }) {
+                    SpinOutcome::Ready { spun } => {
+                        if spun {
+                            run.arc_spins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    SpinOutcome::Stuck => {
+                        run.fail(SessionError::Deadlock(
+                            "threaded replay made no progress; a ConflictAlert's issuer \
+                             never applies its update (truncated capture?)"
+                                .into(),
+                        ));
+                        return;
+                    }
+                    SpinOutcome::Aborted => return,
+                }
+            }
+            // §5.5 produce points: publish the pre-store snapshot *before*
+            // this record's own effect, waking any parked consumer.
+            for (vid, mem, consumers) in &rec.produce_versions {
+                let range = mem.range();
+                let snapshot = conc.snapshot_meta(range);
+                run.versions.produce(*vid, range, snapshot, *consumers);
+            }
+            // §5.5 consume points: unlike the deterministic paths, a missing
+            // version is *not* a bypass here — reading the live shadow would
+            // race the producer's store on real threads — so the worker
+            // parks until the producer publishes.
+            let versioned: Option<paralog_lifeguards::VersionedMeta> = match rec.consume_version {
+                Some((vid, _)) => match wait_consume_version(vid, run) {
+                    Some(v) => Some(v),
+                    None => return, // aborted, or deadlock already reported
+                },
+                None => None,
+            };
             // §5.4: police the range table before applying, mirroring the
             // deterministic delivery order.
             if let paralog_events::EventPayload::Instr(instr) = &rec.payload {
@@ -537,7 +602,7 @@ fn replay_worker(
                     }
                 }
             }
-            conc.apply(tid, &rec);
+            conc.apply(tid, &rec, versioned.as_ref());
             if let paralog_events::EventPayload::Ca(ca) = &rec.payload {
                 let actions = ca_policy.actions(ca.what, ca.phase);
                 if actions.track_range {
@@ -552,6 +617,110 @@ fn replay_worker(
             }
             run.progress.advertise(tid, rec.rid);
             run.applied.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The no-global-progress detector shared by the §5.2 arc spin and the
+/// §5.5 version wait: a stalled worker is only deadlocked once the *whole*
+/// run has been flat — no record applied anywhere, and no peer inside a
+/// stream pull (a live producer that has not caught up) — for the full
+/// grace window. A thread parked on an unproduced version therefore never
+/// trips the detector while its producer is still making progress.
+struct FlatRunDetector {
+    last_applied: u64,
+    flat_since: Option<std::time::Instant>,
+}
+
+impl FlatRunDetector {
+    fn new(run: &ThreadedRun) -> Self {
+        FlatRunDetector {
+            last_applied: run.applied.load(Ordering::Relaxed),
+            flat_since: None,
+        }
+    }
+
+    /// Re-reads the liveness signals; `true` means the grace window elapsed
+    /// with the run completely flat (declare deadlock).
+    fn check(&mut self, run: &ThreadedRun) -> bool {
+        let now = run.applied.load(Ordering::Relaxed);
+        if now != self.last_applied {
+            self.last_applied = now;
+            self.flat_since = None;
+            return false;
+        }
+        if run.producers_blocked.load(Ordering::Relaxed) > 0 {
+            // A peer is waiting on its producer: the run is starved for
+            // input, not deadlocked.
+            self.flat_since = None;
+            return false;
+        }
+        let t0 = *self.flat_since.get_or_insert_with(std::time::Instant::now);
+        t0.elapsed() > NO_PROGRESS_GRACE
+    }
+}
+
+/// How a [`spin_until`] wait ended.
+enum SpinOutcome {
+    /// The condition holds; `spun` reports whether we waited at all.
+    Ready { spun: bool },
+    /// The flat-run detector's grace window elapsed (caller reports the
+    /// deadlock).
+    Stuck,
+    /// Another worker failed the run.
+    Aborted,
+}
+
+/// §5.2-style wait: spin on `satisfied`, yielding periodically and running
+/// the shared no-global-progress detector.
+fn spin_until(run: &ThreadedRun, mut satisfied: impl FnMut() -> bool) -> SpinOutcome {
+    let mut spun = false;
+    let mut spins = 0u32;
+    let mut detector = FlatRunDetector::new(run);
+    while !satisfied() {
+        if run.aborted() {
+            return SpinOutcome::Aborted;
+        }
+        spun = true;
+        spins += 1;
+        if spins >= 1 << 14 {
+            spins = 0;
+            if detector.check(run) {
+                return SpinOutcome::Stuck;
+            }
+            std::thread::yield_now();
+        }
+        std::hint::spin_loop();
+    }
+    SpinOutcome::Ready { spun }
+}
+
+/// Parks until the §5.5 version `vid` is produced, then consumes it.
+/// Returns `None` when the run aborted or the wait itself proved a
+/// deadlock (a truncated or malformed TSO capture whose producer never
+/// reaches its produce point) — already reported via [`ThreadedRun::fail`].
+fn wait_consume_version(
+    vid: paralog_events::VersionId,
+    run: &ThreadedRun,
+) -> Option<paralog_lifeguards::VersionedMeta> {
+    let mut detector = FlatRunDetector::new(run);
+    loop {
+        if let Some(v) = run.versions.consume(vid) {
+            return Some(v);
+        }
+        if run.aborted() {
+            return None;
+        }
+        // Park on the producer's wakeup path in bounded slices so the
+        // liveness checks keep running while we wait.
+        run.versions
+            .wait_available(vid, std::time::Duration::from_micros(200));
+        if detector.check(run) {
+            run.fail(SessionError::Deadlock(format!(
+                "thread parked on unproduced version {vid}; its producer never reaches \
+                 the produce point (truncated or malformed TSO capture)"
+            )));
+            return None;
         }
     }
 }

@@ -10,16 +10,27 @@
 //!
 //! ADDRCHECK is the canonical Idempotent Filter client: repeated checks of an
 //! address are redundant until the next malloc/free invalidates the filter.
+//!
+//! Because it is synchronization-free, its real-thread replay form
+//! ([`AddrCheckConcurrent`]) runs lock-free over an
+//! [`AtomicShadow`] — no mutex anywhere on the
+//! check path — instead of paying the generic
+//! [`LockedConcurrent`](crate::LockedConcurrent) serialization tax.
 
+use crate::factory::{ConcurrentLifeguard, VersionedMeta};
 use crate::lifeguard::{
     AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
     ViolationKind,
 };
-use paralog_events::{AddrRange, CaPhase, CaRecord, HighLevelKind, MetaOp, Rid, ThreadId};
-use paralog_meta::ShadowMemory;
+use paralog_events::{
+    check_view, AddrRange, CaPhase, CaRecord, EventPayload, EventRecord, HighLevelKind, MetaOp,
+    Rid, ThreadId,
+};
+use paralog_meta::{AtomicShadow, ShadowMemory};
 use paralog_order::CaPolicy;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Mutex;
 
 /// Metadata value for "allocated".
 pub const ALLOCATED: u8 = 1;
@@ -144,6 +155,104 @@ impl Lifeguard for AddrCheck {
     }
 }
 
+/// The `Send + Sync` replay form of ADDRCHECK driven by the real-thread
+/// backend: the same allocation checks over a lock-free
+/// [`AtomicShadow`] bitmap. Valid because
+/// ADDRCHECK is in the §5.3 synchronization-free class — application reads
+/// *and* writes both map to metadata reads, and the only metadata writes
+/// (malloc/free ConflictAlerts) are ordered against every access by the
+/// captured CA arcs, which the backend's progress-table spin enforces.
+#[derive(Debug)]
+pub struct AddrCheckConcurrent {
+    alloc: AtomicShadow,
+    heap: AddrRange,
+    violations: Mutex<Vec<Violation>>,
+}
+
+impl AddrCheckConcurrent {
+    /// A fresh concurrent ADDRCHECK scoped to `heap`. The atomic shadow
+    /// grows lazily as allocations arrive, so streams may be ingested
+    /// incrementally — no footprint pre-scan.
+    pub fn new(heap: AddrRange) -> Self {
+        AddrCheckConcurrent {
+            alloc: AtomicShadow::new(),
+            heap,
+            violations: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether every byte of `range` is inside a live allocation, honoring
+    /// an injected §5.5 versioned snapshot (via the shared
+    /// [`snapshot_coverage`](crate::lifeguard::snapshot_coverage) rule):
+    /// bytes the snapshot covers read the producer's pre-store allocation
+    /// state, everything else the live shadow.
+    fn all_allocated(&self, range: AddrRange, versioned: Option<&VersionedMeta>) -> bool {
+        use crate::lifeguard::{snapshot_byte, snapshot_coverage, SnapshotCoverage};
+        match snapshot_coverage(versioned, range) {
+            SnapshotCoverage::Full(bytes) => bytes.iter().all(|&b| b == ALLOCATED),
+            SnapshotCoverage::Partial(v) => (range.start..range.end()).all(|a| {
+                snapshot_byte(v, a).unwrap_or_else(|| self.alloc.join_range(a, 1)) == ALLOCATED
+            }),
+            SnapshotCoverage::Live => self.alloc.eq_range(range.start, range.len, ALLOCATED),
+        }
+    }
+}
+
+impl ConcurrentLifeguard for AddrCheckConcurrent {
+    fn apply(&self, tid: ThreadId, rec: &EventRecord, versioned: Option<&VersionedMeta>) {
+        match &rec.payload {
+            EventPayload::Instr(instr) => {
+                let Some(MetaOp::CheckAccess { mem, .. }) = check_view(instr) else {
+                    return;
+                };
+                let range = mem.range();
+                if !self.heap.overlaps(&range) {
+                    return;
+                }
+                if !self.all_allocated(range, versioned) {
+                    self.violations.lock().expect("poisoned").push(Violation {
+                        tid,
+                        rid: rec.rid,
+                        kind: ViolationKind::UnallocatedAccess,
+                        addr: Some(mem.addr),
+                    });
+                }
+            }
+            EventPayload::Ca(ca) => {
+                // Only the issuer updates metadata (remote copies order).
+                if ca.issuer != tid {
+                    return;
+                }
+                match (ca.what, ca.phase, ca.range) {
+                    (HighLevelKind::Malloc, CaPhase::End, Some(range)) => {
+                        self.alloc.fill_range(range.start, range.len, ALLOCATED);
+                    }
+                    (HighLevelKind::Free, CaPhase::Begin, Some(range)) => {
+                        self.alloc.fill_range(range.start, range.len, 0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn ca_policy(&self) -> CaPolicy {
+        CaPolicy::addrcheck()
+    }
+
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8> {
+        self.alloc.snapshot(range.start, range.len)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.alloc.fingerprint()
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        self.violations.lock().expect("poisoned").clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +367,75 @@ mod tests {
             &mut ctx,
         );
         assert!(ctx.violations.is_empty() && ctx.meta_touches.is_empty());
+    }
+
+    #[test]
+    fn concurrent_form_matches_sequential_checks() {
+        use paralog_events::Instr;
+        let conc = AddrCheckConcurrent::new(HEAP);
+        let range = AddrRange::new(HEAP.start + 0x10, 64);
+        // Unallocated access violates; after the issuer's malloc it passes;
+        // after free it violates again — and the fingerprint tracks the
+        // sequential family's at every step.
+        let (_, seq) = setup();
+        let load = |rid: u64, addr: u64| {
+            EventRecord::instr(
+                Rid(rid),
+                Instr::Load {
+                    dst: paralog_events::Reg::new(0),
+                    src: MemRef::new(addr, 4),
+                },
+            )
+        };
+        conc.apply(ThreadId(0), &load(1, HEAP.start + 0x10), None);
+        assert_eq!(conc.violations().len(), 1);
+        assert_eq!(conc.fingerprint(), seq.fingerprint(), "both clean");
+        conc.apply(
+            ThreadId(0),
+            &EventRecord::ca(Rid(2), malloc_ca(range)),
+            None,
+        );
+        conc.apply(ThreadId(0), &load(3, HEAP.start + 0x10), None);
+        assert_eq!(conc.violations().len(), 1, "allocated access passes");
+        // Remote CA records must not update metadata.
+        conc.apply(ThreadId(1), &EventRecord::ca(Rid(1), free_ca(range)), None);
+        conc.apply(ThreadId(0), &load(4, HEAP.start + 0x10), None);
+        assert_eq!(conc.violations().len(), 1, "remote free ignored");
+        conc.apply(ThreadId(0), &EventRecord::ca(Rid(5), free_ca(range)), None);
+        conc.apply(ThreadId(0), &load(6, HEAP.start + 0x10), None);
+        assert_eq!(conc.violations().len(), 2, "use after free");
+        assert_eq!(conc.fingerprint(), seq.fingerprint(), "clean again");
+        // Off-heap accesses stay unchecked.
+        conc.apply(ThreadId(0), &load(7, 0x1000), None);
+        assert_eq!(conc.violations().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_checks_honor_versioned_snapshots() {
+        use paralog_events::Instr;
+        let conc = AddrCheckConcurrent::new(HEAP);
+        let range = AddrRange::new(HEAP.start, 8);
+        conc.apply(
+            ThreadId(0),
+            &EventRecord::ca(Rid(1), malloc_ca(range)),
+            None,
+        );
+        let load = EventRecord::instr(
+            Rid(2),
+            Instr::Load {
+                dst: paralog_events::Reg::new(0),
+                src: MemRef::new(HEAP.start, 4),
+            },
+        );
+        // Live shadow says allocated, but the §5.5 snapshot (pre-free
+        // state of a racing remote free's inverse: here pre-malloc) says
+        // not: the versioned bytes must win.
+        let versioned = (range, vec![0u8; 8]);
+        conc.apply(ThreadId(0), &load, Some(&versioned));
+        assert_eq!(conc.violations().len(), 1, "snapshot overrides shadow");
+        let versioned = (range, vec![ALLOCATED; 8]);
+        conc.apply(ThreadId(0), &load, Some(&versioned));
+        assert_eq!(conc.violations().len(), 1, "allocated snapshot passes");
     }
 
     #[test]

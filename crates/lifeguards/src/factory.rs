@@ -18,12 +18,13 @@
 //! A factory may additionally provide a [`ConcurrentLifeguard`], the
 //! `Send + Sync` replay form the real-thread backend drives — lock-free for
 //! analyses in the §5.3 synchronization-free class (the bundled TaintCheck
-//! does this via [`AtomicShadow`](paralog_meta::AtomicShadow)), or the
-//! generic mutex-serialized [`LockedConcurrent`](crate::LockedConcurrent)
-//! fallback, which every bundled analysis uses and out-of-tree factories
-//! opt into with a one-line override.
+//! and AddrCheck do this via
+//! [`AtomicShadow`](paralog_meta::AtomicShadow)), or the generic
+//! mutex-serialized [`LockedConcurrent`](crate::LockedConcurrent)
+//! fallback, which the remaining bundled analyses use and out-of-tree
+//! factories opt into with a one-line override.
 
-use crate::addrcheck::{AddrCheck, AddrShared};
+use crate::addrcheck::{AddrCheck, AddrCheckConcurrent, AddrShared};
 use crate::lifeguard::{Lifeguard, Violation};
 use crate::lockset::{LockSet, LockSetShared};
 use crate::memcheck::{MemCheck, MemShared};
@@ -97,8 +98,8 @@ pub trait LifeguardFactory: fmt::Debug {
     ///
     /// Returns `None` by default: an analysis does not replay concurrently
     /// unless its factory says so. Every bundled analysis overrides this —
-    /// TaintCheck with its hand-written lock-free §5.3 form, the rest by
-    /// wrapping their family in the mutex-serialized
+    /// TaintCheck and AddrCheck with hand-written lock-free §5.3 forms, the
+    /// rest by wrapping their family in the mutex-serialized
     /// [`LockedConcurrent`](crate::LockedConcurrent). An out-of-tree
     /// factory whose family is self-contained (no `Rc` shared with state
     /// outside the family — see `LockedConcurrent`'s contract) opts in
@@ -163,9 +164,11 @@ impl LifeguardFactory for LifeguardKind {
 
     fn concurrent(&self, heap: AddrRange, threads: usize) -> Option<Box<dyn ConcurrentLifeguard>> {
         match self {
-            // §5.3: TaintCheck is in the synchronization-free class, so its
-            // concurrent form runs lock-free over an atomic shadow.
+            // §5.3: TaintCheck and AddrCheck are in the synchronization-free
+            // class, so their concurrent forms run lock-free over atomic
+            // shadows.
             LifeguardKind::TaintCheck => Some(Box::new(TaintConcurrent::new(threads))),
+            LifeguardKind::AddrCheck => Some(Box::new(AddrCheckConcurrent::new(heap))),
             // The rest replay through the generic locked fallback.
             // SAFETY: the bundled families are self-contained — their `Rc`s
             // are created in `build` and never escape the family.
@@ -233,6 +236,8 @@ impl LifeguardFamily {
     }
 }
 
+pub use crate::lifeguard::VersionedMeta;
+
 /// The analysis-wide state the real-thread backend replays: per-record
 /// application from concurrently running worker threads.
 ///
@@ -242,10 +247,17 @@ impl LifeguardFamily {
 /// stream, after every dependence arc of the record is satisfied; it also
 /// polices the §5.4 syscall range table per worker and reports hits through
 /// [`on_syscall_race`](Self::on_syscall_race) before applying the racing
-/// access.
+/// access. For §5.5 TSO captures the backend additionally resolves each
+/// record's version annotations against the shared concurrent version
+/// table — snapshotting via [`snapshot_meta`](Self::snapshot_meta) at
+/// produce points, and handing the consumed snapshot into
+/// [`apply`](Self::apply) at consume points.
 pub trait ConcurrentLifeguard: Send + Sync + fmt::Debug {
-    /// Applies one record of thread `tid`'s stream.
-    fn apply(&self, tid: ThreadId, rec: &EventRecord);
+    /// Applies one record of thread `tid`'s stream. `versioned` carries the
+    /// §5.5 snapshot this record consumes, when it consumes one: metadata
+    /// reads of bytes the snapshot covers must read the snapshot (the
+    /// producer's pre-store state), everything else the live shadow.
+    fn apply(&self, tid: ThreadId, rec: &EventRecord, versioned: Option<&VersionedMeta>);
 
     /// ConflictAlert subscriptions — the backend consults `track_range` to
     /// maintain its per-worker §5.4 range tables. Defaults to no
@@ -259,6 +271,17 @@ pub trait ConcurrentLifeguard: Send + Sync + fmt::Debug {
     /// mirroring the deterministic delivery order. Default: no reaction.
     fn on_syscall_race(&self, tid: ThreadId, access: AddrRange, entry: &RangeEntry, rid: Rid) {
         let _ = (tid, access, entry, rid);
+    }
+
+    /// Snapshots current metadata for `range` (the §5.5 produce-version
+    /// copy), comparable with
+    /// [`Lifeguard::snapshot_meta`].
+    ///
+    /// The default returns all-clean bytes — correct for analyses that keep
+    /// no byte-addressed shadow state. An analysis with a byte shadow must
+    /// override this for TSO replay fidelity (all bundled forms do).
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8> {
+        vec![0; range.len as usize]
     }
 
     /// Order-insensitive fingerprint of the final metadata, comparable with

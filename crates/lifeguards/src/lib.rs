@@ -47,14 +47,15 @@ pub mod lockset;
 pub mod memcheck;
 pub mod taintcheck;
 
-pub use addrcheck::{AddrCheck, AddrShared, ALLOCATED};
+pub use addrcheck::{AddrCheck, AddrCheckConcurrent, AddrShared, ALLOCATED};
 pub use cost::CostModel;
 pub use factory::{
     ConcurrentLifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind, LifeguardRegistry,
+    VersionedMeta,
 };
 pub use lifeguard::{
-    AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
-    ViolationKind,
+    snapshot_byte, snapshot_coverage, AtomicityClass, EventView, Fingerprint, HandlerCtx,
+    Lifeguard, LifeguardSpec, SnapshotCoverage, Violation, ViolationKind,
 };
 pub use locked::LockedConcurrent;
 pub use lockset::{LockSet, LockSetShared, VarState};

@@ -100,13 +100,63 @@ impl fmt::Display for ViolationKind {
     }
 }
 
+/// TSO versioned metadata injected into one record's application: the
+/// range the producer's pre-store snapshot covers, and its bytes (§5.5).
+pub type VersionedMeta = (AddrRange, Vec<u8>);
+
+/// How a §5.5 snapshot covers one metadata read — *the* canonical overlap
+/// classification every versioned-aware read path shares ([`HandlerCtx`]'s
+/// methods as well as the lock-free concurrent lifeguards); reimplementing
+/// the boundary math invites divergence between backends.
+#[derive(Debug)]
+pub enum SnapshotCoverage<'a> {
+    /// Every byte of the read is inside the snapshot: read this slice (the
+    /// read's bytes, already offset into the snapshot).
+    Full(&'a [u8]),
+    /// Genuine partial overlap: resolve byte-wise via [`snapshot_byte`],
+    /// snapshot bytes winning over the live shadow.
+    Partial(&'a VersionedMeta),
+    /// No snapshot, or one disjoint from the read: take the live shadow's
+    /// (word-wise) fast path.
+    Live,
+}
+
+/// Classifies how `versioned` covers a read of `range`.
+pub fn snapshot_coverage(
+    versioned: Option<&VersionedMeta>,
+    range: AddrRange,
+) -> SnapshotCoverage<'_> {
+    let Some(v @ (vr, bytes)) = versioned else {
+        return SnapshotCoverage::Live;
+    };
+    if vr.start <= range.start && range.end() <= vr.end() {
+        let off = (range.start - vr.start) as usize;
+        return SnapshotCoverage::Full(&bytes[off..off + range.len as usize]);
+    }
+    if vr.start < range.end() && range.start < vr.end() {
+        return SnapshotCoverage::Partial(v);
+    }
+    SnapshotCoverage::Live
+}
+
+/// The snapshot's value for one application byte, `None` when the byte is
+/// outside the snapshot (read the live shadow instead).
+pub fn snapshot_byte(versioned: &VersionedMeta, addr: u64) -> Option<u8> {
+    let (vr, bytes) = versioned;
+    if vr.contains(addr) {
+        Some(bytes[(addr - vr.start) as usize])
+    } else {
+        None
+    }
+}
+
 /// Per-delivery context: the handler reports its metadata footprint (for the
 /// lifeguard-core cache model), violations, and slow-path entry; the
 /// platform injects TSO versioned metadata.
 #[derive(Debug, Default)]
 pub struct HandlerCtx {
     /// Versioned metadata for this op's memory source (TSO consume, §5.5).
-    pub versioned: Option<(AddrRange, Vec<u8>)>,
+    pub versioned: Option<VersionedMeta>,
     /// Metadata-space ranges the handler touched: `(range, is_write)`.
     pub meta_touches: Vec<(AddrRange, bool)>,
     /// Violations reported by the handler.
@@ -136,19 +186,29 @@ impl HandlerCtx {
         self.violations.push(v);
     }
 
+    /// Injects a consumed §5.5 snapshot when (and only when) `op` reads the
+    /// versioned location — *the* gate deciding whether a version applies
+    /// to a delivered op; every delivery path (simulation, ingestion,
+    /// locked concurrent replay) uses it rather than re-deriving the
+    /// condition.
+    pub fn inject_versioned(&mut self, op: &MetaOp, versioned: Option<&VersionedMeta>) {
+        if let Some((range, bytes)) = versioned {
+            if op
+                .mem_src()
+                .map(|m| range.overlaps(&m.range()))
+                .unwrap_or(false)
+            {
+                self.versioned = Some((*range, bytes.clone()));
+            }
+        }
+    }
+
     /// If versioned metadata covering `range` was injected, returns the join
     /// (bitwise OR) of its bytes; `None` means read current shadow state.
     pub fn versioned_join(&self, range: AddrRange) -> Option<u8> {
-        let (vr, bytes) = self.versioned.as_ref()?;
-        if vr.start <= range.start && range.end() <= vr.end() {
-            let off = (range.start - vr.start) as usize;
-            Some(
-                bytes[off..off + range.len as usize]
-                    .iter()
-                    .fold(0, |a, b| a | b),
-            )
-        } else {
-            None
+        match snapshot_coverage(self.versioned.as_ref(), range) {
+            SnapshotCoverage::Full(bytes) => Some(bytes.iter().fold(0, |a, b| a | b)),
+            _ => None,
         }
     }
 
@@ -159,18 +219,12 @@ impl HandlerCtx {
     /// versioned bytes winning (§5.5). This is *the* metadata-read rule;
     /// lifeguards must not reimplement it.
     pub fn join_shadow(&self, shadow: &ShadowMemory, range: AddrRange) -> u8 {
-        if let Some(v) = self.versioned_join(range) {
-            return v;
-        }
-        match &self.versioned {
-            // Genuine partial overlap: merge byte-wise, versioned bytes win.
-            Some((vr, _)) if vr.start < range.end() && range.start < vr.end() => {
-                (range.start..range.end()).fold(0, |acc, a| {
-                    acc | self.versioned_byte(a).unwrap_or_else(|| shadow.get(a))
-                })
-            }
-            // No snapshot, or one disjoint from the query: word-wise path.
-            _ => shadow.join_range(range),
+        match snapshot_coverage(self.versioned.as_ref(), range) {
+            SnapshotCoverage::Full(bytes) => bytes.iter().fold(0, |a, b| a | b),
+            SnapshotCoverage::Partial(v) => (range.start..range.end()).fold(0, |acc, a| {
+                acc | snapshot_byte(v, a).unwrap_or_else(|| shadow.get(a))
+            }),
+            SnapshotCoverage::Live => shadow.join_range(range),
         }
     }
 
@@ -179,12 +233,7 @@ impl HandlerCtx {
     /// operands by merging byte-wise: versioned bytes take the snapshot,
     /// all others the current shadow (§5.5).
     pub fn versioned_byte(&self, addr: u64) -> Option<u8> {
-        let (vr, bytes) = self.versioned.as_ref()?;
-        if vr.contains(addr) {
-            Some(bytes[(addr - vr.start) as usize])
-        } else {
-            None
-        }
+        self.versioned.as_ref().and_then(|v| snapshot_byte(v, addr))
     }
 }
 

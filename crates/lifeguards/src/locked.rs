@@ -19,7 +19,7 @@
 //!
 //! [`LifeguardFactory`]: crate::factory::LifeguardFactory
 
-use crate::factory::{ConcurrentLifeguard, LifeguardFamily};
+use crate::factory::{ConcurrentLifeguard, LifeguardFamily, VersionedMeta};
 use crate::lifeguard::{EventView, HandlerCtx, Lifeguard, Violation};
 use paralog_events::{
     check_view, dataflow_view, AddrRange, EventPayload, EventRecord, Rid, ThreadId,
@@ -110,7 +110,7 @@ impl LockedConcurrent {
 }
 
 impl ConcurrentLifeguard for LockedConcurrent {
-    fn apply(&self, tid: ThreadId, rec: &EventRecord) {
+    fn apply(&self, tid: ThreadId, rec: &EventRecord, versioned: Option<&VersionedMeta>) {
         let mut state = self.state.lock().expect("poisoned");
         let state = &mut *state;
         let lg = &mut state.lgs[tid.index()];
@@ -122,6 +122,10 @@ impl ConcurrentLifeguard for LockedConcurrent {
                     EventView::Check => check_view(instr),
                 };
                 if let Some(op) = op {
+                    // §5.5: the shared gate injects the consumed snapshot
+                    // when this op reads the versioned location;
+                    // `HandlerCtx::join_shadow` then applies it.
+                    ctx.inject_versioned(&op, versioned);
                     lg.handle(&op, rec.rid, &mut ctx);
                 }
             }
@@ -131,6 +135,11 @@ impl ConcurrentLifeguard for LockedConcurrent {
             }
         }
         state.violations.append(&mut ctx.violations);
+    }
+
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8> {
+        // Any thread's view works: the family shares its metadata.
+        self.state.lock().expect("poisoned").lgs[0].snapshot_meta(range)
     }
 
     fn on_syscall_race(&self, tid: ThreadId, access: AddrRange, entry: &RangeEntry, rid: Rid) {
@@ -186,7 +195,7 @@ mod tests {
                                 src: MemRef::new(HEAP.start + u64::from(t) * 64 + i, 1),
                             },
                         );
-                        conc.apply(ThreadId(t), &rec);
+                        conc.apply(ThreadId(t), &rec, None);
                     }
                 });
             }

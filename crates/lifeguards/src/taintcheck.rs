@@ -262,23 +262,48 @@ impl TaintConcurrent {
         }
     }
 
-    fn apply_op(&self, op: MetaOp, regs: &mut [u8; NUM_REGS], tid: ThreadId, rid: Rid) {
+    /// Joins the metadata of one memory read, honoring an injected §5.5
+    /// versioned snapshot: bytes the snapshot covers read the producer's
+    /// pre-store copy, everything else the live atomic shadow (the
+    /// concurrent mirror of [`HandlerCtx::join_shadow`], sharing its
+    /// [`snapshot_coverage`](crate::lifeguard::snapshot_coverage) rule).
+    fn join_mem(&self, mem: MemRef, versioned: Option<&crate::factory::VersionedMeta>) -> u8 {
+        use crate::lifeguard::{snapshot_byte, snapshot_coverage, SnapshotCoverage};
+        let range = mem.range();
+        match snapshot_coverage(versioned, range) {
+            SnapshotCoverage::Full(bytes) => bytes.iter().fold(0, |a, b| a | b),
+            // Genuine partial overlap: byte-wise, versioned bytes win.
+            SnapshotCoverage::Partial(v) => (range.start..range.end()).fold(0, |acc, a| {
+                acc | snapshot_byte(v, a).unwrap_or_else(|| self.shadow.join_range(a, 1))
+            }),
+            SnapshotCoverage::Live => self.shadow.join(mem),
+        }
+    }
+
+    fn apply_op(
+        &self,
+        op: MetaOp,
+        regs: &mut [u8; NUM_REGS],
+        tid: ThreadId,
+        rid: Rid,
+        versioned: Option<&crate::factory::VersionedMeta>,
+    ) {
         let shadow = &self.shadow;
         match op {
-            MetaOp::MemToReg { dst, src } => regs[dst.index()] = shadow.join(src),
+            MetaOp::MemToReg { dst, src } => regs[dst.index()] = self.join_mem(src, versioned),
             MetaOp::RegToMem { dst, src } => shadow.fill(dst, regs[src.index()]),
             MetaOp::RegToReg { dst, src } => regs[dst.index()] = regs[src.index()],
             MetaOp::ImmToReg { dst } => regs[dst.index()] = 0,
             MetaOp::ImmToMem { dst } => shadow.fill(dst, 0),
             MetaOp::MemToMem { dst, src } => {
-                let v = shadow.join(src);
+                let v = self.join_mem(src, versioned);
                 shadow.fill(dst, v);
             }
             MetaOp::AluRR { dst, a, b } => {
                 regs[dst.index()] = regs[a.index()] | b.map(|b| regs[b.index()]).unwrap_or(0);
             }
             MetaOp::AluRM { dst, a, src } => {
-                regs[dst.index()] = regs[a.index()] | shadow.join(src);
+                regs[dst.index()] = regs[a.index()] | self.join_mem(src, versioned);
             }
             MetaOp::CheckJmp { target } => {
                 if regs[target.index()] & TAINTED != 0 {
@@ -292,7 +317,7 @@ impl TaintConcurrent {
             }
             MetaOp::CheckAccess { .. } => {}
             MetaOp::RmwOp { mem, reg } => {
-                let m = shadow.join(mem);
+                let m = self.join_mem(mem, versioned);
                 shadow.fill(mem, regs[reg.index()]);
                 regs[reg.index()] = m;
             }
@@ -342,12 +367,17 @@ impl crate::factory::ConcurrentLifeguard for TaintConcurrent {
         self.shadow.fill_range(access.start, access.len, TAINTED);
     }
 
-    fn apply(&self, tid: ThreadId, rec: &paralog_events::EventRecord) {
+    fn apply(
+        &self,
+        tid: ThreadId,
+        rec: &paralog_events::EventRecord,
+        versioned: Option<&crate::factory::VersionedMeta>,
+    ) {
         let mut regs = self.regs[tid.index()].lock().expect("poisoned");
         match &rec.payload {
             paralog_events::EventPayload::Instr(instr) => {
                 if let Some(op) = paralog_events::dataflow_view(instr) {
-                    self.apply_op(op, &mut regs, tid, rec.rid);
+                    self.apply_op(op, &mut regs, tid, rec.rid, versioned);
                 }
             }
             paralog_events::EventPayload::Ca(ca) => {
@@ -357,6 +387,10 @@ impl crate::factory::ConcurrentLifeguard for TaintConcurrent {
                 }
             }
         }
+    }
+
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8> {
+        self.shadow.snapshot(range.start, range.len)
     }
 
     fn fingerprint(&self) -> u64 {

@@ -133,6 +133,53 @@ impl AtomicShadow {
         }
     }
 
+    /// Chunk-resident ranged equality: whether every byte of the range
+    /// holds exactly `v`. Untouched chunks read as clean (all-zero), so a
+    /// never-written range equals `v` iff `v == 0`.
+    pub fn eq_range(&self, addr: u64, len: u64, v: u8) -> bool {
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            let seg_end = end.min((a / CHUNK + 1) * CHUNK);
+            let lo = (a % CHUNK) as usize;
+            let hi = lo + (seg_end - a) as usize;
+            let seg_eq = self
+                .with_chunk(a / CHUNK, false, |c| {
+                    c[lo..hi]
+                        .iter()
+                        .all(|byte| byte.load(Ordering::Acquire) == v)
+                })
+                .unwrap_or(v == 0);
+            if !seg_eq {
+                return false;
+            }
+            a = seg_end;
+        }
+        true
+    }
+
+    /// Copies the shadow of `addr..addr+len` out byte-wise (the §5.5
+    /// produce-version snapshot). Untouched chunks contribute clean zeros
+    /// without allocating.
+    pub fn snapshot(&self, addr: u64, len: u64) -> Vec<u8> {
+        let mut out = vec![0u8; len as usize];
+        let mut a = addr;
+        let end = addr + len;
+        while a < end {
+            let seg_end = end.min((a / CHUNK + 1) * CHUNK);
+            let lo = (a % CHUNK) as usize;
+            let hi = lo + (seg_end - a) as usize;
+            let off = (a - addr) as usize;
+            self.with_chunk(a / CHUNK, false, |c| {
+                for (dst, byte) in out[off..off + (hi - lo)].iter_mut().zip(&c[lo..hi]) {
+                    *dst = byte.load(Ordering::Acquire);
+                }
+            });
+            a = seg_end;
+        }
+        out
+    }
+
     /// Joins (bitwise-ORs) the shadow of one memory operand.
     pub fn join(&self, mem: MemRef) -> u8 {
         self.join_range(mem.addr, u64::from(mem.size))
@@ -201,6 +248,20 @@ mod tests {
         assert_eq!(shadow.join_range(boundary - 1, 2), 1);
         shadow.fill_range(boundary - 8, 16, 0);
         assert_eq!(shadow.join_range(boundary - 8, 16), 0);
+    }
+
+    #[test]
+    fn eq_range_and_snapshot_cover_chunk_seams_and_clean_space() {
+        let shadow = AtomicShadow::new();
+        let boundary = CHUNK * 5;
+        shadow.fill_range(boundary - 4, 8, 1);
+        assert!(shadow.eq_range(boundary - 4, 8, 1));
+        assert!(!shadow.eq_range(boundary - 5, 9, 1), "leading clean byte");
+        assert!(shadow.eq_range(0x7000, 64, 0), "untouched space is clean");
+        assert!(!shadow.eq_range(0x7000, 64, 1));
+        let snap = shadow.snapshot(boundary - 6, 12);
+        assert_eq!(snap, vec![0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0]);
+        assert_eq!(shadow.snapshot(0x9000, 4), vec![0; 4], "clean snapshot");
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub mod versions;
 pub use atomic::AtomicShadow;
 pub use fingerprint::Fingerprint;
 pub use shadow::{ShadowMemory, CHUNK_APP_BYTES, META_BASE};
-pub use versions::VersionTable;
+pub use versions::{ConcurrentVersionTable, VersionTable};

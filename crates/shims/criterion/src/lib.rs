@@ -6,6 +6,16 @@
 //! backed by a small median-of-samples timer instead of criterion's full
 //! statistical machinery. Results print as `name ... median ns/iter` lines,
 //! so `cargo bench` output stays grep-able.
+//!
+//! Two environment variables serve CI's bench smoke job:
+//!
+//! * `PARALOG_BENCH_QUICK` (non-empty, not `0`) — quick profile: a much
+//!   smaller per-benchmark time budget and at most 3 samples, so a full
+//!   bench binary finishes in seconds while still producing real numbers;
+//! * `PARALOG_BENCH_JSON=<path>` — append one JSON object per finished
+//!   benchmark (`{"name":…,"median_ns":…}` plus the declared throughput)
+//!   to `<path>`, JSON-lines style so concurrent bench binaries of one
+//!   `cargo bench` invocation can share a results file.
 
 pub use std::hint::black_box;
 
@@ -14,6 +24,34 @@ use std::time::{Duration, Instant};
 
 /// Target wall-clock budget per benchmark (split across samples).
 const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(400);
+
+/// Quick-profile budget (`PARALOG_BENCH_QUICK`).
+const QUICK_SAMPLE_TIME: Duration = Duration::from_millis(40);
+
+/// Whether the quick profile is active.
+fn quick() -> bool {
+    std::env::var_os("PARALOG_BENCH_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// The per-benchmark time budget under the active profile.
+fn target_sample_time() -> Duration {
+    if quick() {
+        QUICK_SAMPLE_TIME
+    } else {
+        TARGET_SAMPLE_TIME
+    }
+}
+
+/// Caps a declared sample count under the active profile.
+fn effective_sample_size(declared: usize) -> usize {
+    if quick() {
+        declared.min(3)
+    } else {
+        declared
+    }
+}
 
 /// Declared throughput of one benchmark iteration.
 #[derive(Debug, Clone, Copy)]
@@ -85,7 +123,7 @@ impl Bencher {
         // call is discarded as warm-up (first-touch allocation, cold
         // caches), then the batch size comes from a short timed loop so a
         // single slow invocation can't collapse the batch to 1.
-        let budget = TARGET_SAMPLE_TIME / self.sample_size as u32;
+        let budget = target_sample_time() / self.sample_size as u32;
         black_box(f());
         let start = Instant::now();
         let mut warmup = 0u32;
@@ -119,6 +157,27 @@ impl Bencher {
     }
 }
 
+/// Renders one result as a JSON-lines record for `PARALOG_BENCH_JSON`.
+fn render_json(name: &str, median: Duration, throughput: Option<Throughput>) -> String {
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(",\"elements_per_iter\":{n}"),
+        Some(Throughput::Bytes(n)) => format!(",\"bytes_per_iter\":{n}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"name\":\"{escaped}\",\"median_ns\":{}{rate}}}",
+        median.as_nanos()
+    )
+}
+
 fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
     let ns = median.as_nanos();
     let rate = throughput
@@ -135,6 +194,19 @@ fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
         })
         .unwrap_or_default();
     println!("bench: {name:<60} {ns:>12} ns/iter{rate}");
+    if let Some(path) = std::env::var_os("PARALOG_BENCH_JSON") {
+        use std::io::Write;
+        let line = render_json(name, median, throughput);
+        // Appends so every bench binary of one `cargo bench` run lands in
+        // the same artifact; failures are non-fatal (the bench still ran).
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(f, "{line}");
+        }
+    }
 }
 
 /// A named group of related benchmarks.
@@ -166,7 +238,7 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher {
             samples: Vec::new(),
-            sample_size: self.sample_size,
+            sample_size: effective_sample_size(self.sample_size),
         };
         f(&mut b);
         let name = format!("{}/{}", self.name, id.into_id());
@@ -186,7 +258,7 @@ impl BenchmarkGroup<'_> {
     {
         let mut b = Bencher {
             samples: Vec::new(),
-            sample_size: self.sample_size,
+            sample_size: effective_sample_size(self.sample_size),
         };
         f(&mut b, input);
         let name = format!("{}/{}", self.name, id.into_id());
@@ -227,7 +299,7 @@ impl Criterion {
     {
         let mut b = Bencher {
             samples: Vec::new(),
-            sample_size: 10,
+            sample_size: effective_sample_size(10),
         };
         f(&mut b);
         report(&id.into_id(), b.median(), None);
@@ -259,6 +331,27 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_lines_render_and_escape() {
+        let d = Duration::from_nanos(1234);
+        assert_eq!(
+            render_json(
+                "versions_churn/flat/32",
+                d,
+                Some(Throughput::Elements(4096))
+            ),
+            "{\"name\":\"versions_churn/flat/32\",\"median_ns\":1234,\"elements_per_iter\":4096}"
+        );
+        assert_eq!(
+            render_json("odd\"name\\", d, Some(Throughput::Bytes(7))),
+            "{\"name\":\"odd\\\"name\\\\\",\"median_ns\":1234,\"bytes_per_iter\":7}"
+        );
+        assert_eq!(
+            render_json("plain", d, None),
+            "{\"name\":\"plain\",\"median_ns\":1234}"
+        );
+    }
 
     #[test]
     fn group_runs_and_reports() {

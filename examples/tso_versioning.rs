@@ -1,5 +1,6 @@
 //! The Figure 5 scenario: Total Store Ordering, Dekker-style accesses, and
-//! versioned metadata.
+//! versioned metadata — end-to-end on the session API, including §5.5
+//! replay on real OS threads.
 //!
 //! Under TSO, `Wr(A); Rd(B)` on thread 0 against `Wr(B); Rd(A)` on thread 1
 //! can execute with both reads bypassing both (buffered) writes — a cycle if
@@ -7,11 +8,19 @@
 //! SC-violating R→W arcs: the writer's lifeguard *produces* a version of the
 //! pre-write metadata and the reader's lifeguard *consumes* it (§5.5).
 //!
+//! The run happens three times: the deterministic co-simulation (with the
+//! in-line sequential reference checking accuracy), then the same workload
+//! on [`ThreadedBackend`] — real threads resolving the version annotations
+//! against the shared `ConcurrentVersionTable`, where a consumer whose
+//! version is not yet produced parks until the producer publishes it.
+//!
 //! ```text
 //! cargo run --release --example tso_versioning
 //! ```
+//!
+//! [`ThreadedBackend`]: paralog::core::ThreadedBackend
 
-use paralog::core::{MonitorConfig, MonitoringMode, Platform};
+use paralog::core::{MonitorConfig, MonitorSession, MonitoringMode, ThreadedBackend};
 use paralog::events::{AddrRange, Instr, MemRef, Op, Reg, SyscallKind};
 use paralog::lifeguards::LifeguardKind;
 use paralog::workloads::Workload;
@@ -61,15 +70,21 @@ fn main() {
         heap: AddrRange::new(0x1000_0000, 0x1000_0000),
         locks: 0,
     };
+    let config = MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
+        .with_tso()
+        .with_equivalence_check();
 
-    let outcome = Platform::run(
-        &workload,
-        &MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck)
-            .with_tso()
-            .with_equivalence_check(),
-    );
-    let m = &outcome.metrics;
-    println!("TSO run complete:");
+    // 1. Deterministic co-simulation: the cycle-accurate run whose metadata
+    //    the sequential reference checks.
+    let det = MonitorSession::builder()
+        .source(workload.clone())
+        .config(config.clone())
+        .build()
+        .expect("sourced session")
+        .run()
+        .expect("deterministic TSO run");
+    let m = &det.metrics;
+    println!("deterministic TSO run:");
     println!("  versions produced : {}", m.versions_produced);
     println!("  versions consumed : {}", m.versions_consumed);
     println!(
@@ -84,9 +99,36 @@ fn main() {
         m.versions_produced, m.versions_consumed,
         "every version finds its consumer"
     );
+
+    // 2. The same workload on real OS threads: the capture's §5.5
+    //    annotations resolve against the shared ConcurrentVersionTable
+    //    (producers snapshot pre-store metadata, consumers park for it).
+    let thr = MonitorSession::builder()
+        .source(workload)
+        .config(config)
+        .backend(ThreadedBackend)
+        .build()
+        .expect("sourced session")
+        .run()
+        .expect("threaded TSO replay");
+    let t = &thr.metrics;
+    println!("\nthreaded TSO replay (real OS threads):");
+    println!("  versions produced : {}", t.versions_produced);
+    println!("  versions consumed : {}", t.versions_consumed);
+    println!(
+        "  metadata matches the deterministic capture: {}",
+        t.matches_reference()
+    );
+    assert!(
+        t.matches_reference(),
+        "real-thread replay must reproduce the deterministic metadata"
+    );
+    assert_eq!(t.fingerprint, m.fingerprint, "backends agree end to end");
+
     if m.versions_produced > 0 {
         println!(
-            "\nSC-violating R->W arcs were reversed into produce/consume version pairs (Figure 5)."
+            "\nSC-violating R->W arcs were reversed into produce/consume version pairs \
+             (Figure 5) and replayed on real threads through the concurrent version table."
         );
     } else {
         println!(

@@ -1,0 +1,374 @@
+//! Concurrent version table + TSO streaming replay on real threads.
+//!
+//! The tentpole invariants:
+//!
+//! * `ConcurrentVersionTable` is a drop-in model match for the sequential
+//!   `VersionTable`: the same produce/consume/bypass trace yields the same
+//!   consume results and the same produced/consumed/outstanding/peak
+//!   accounting (property-tested over random interleaved traces);
+//! * under genuine producer/consumer thread races every snapshot arrives
+//!   intact and the accounting still balances;
+//! * a §5.5 versioned capture (the Figure 5 Dekker pattern) replays on
+//!   `ThreadedBackend` — raw or through the codec wire form — with
+//!   fingerprints, violations and version traffic identical to the live
+//!   deterministic run;
+//! * a TSO capture truncated before its produce point deadlocks the
+//!   threaded replay loudly (the parked consumer's no-global-progress
+//!   detector) instead of hanging or silently bypassing.
+
+use paralog::core::{
+    DeterministicBackend, MonitorConfig, MonitorSession, MonitoringMode, Platform, ReplaySource,
+    SessionError, StreamingReplaySource, ThreadedBackend,
+};
+use paralog::events::codec::encode;
+use paralog::events::{
+    AddrRange, EventRecord, Instr, MemRef, Op, Reg, Rid, SyscallKind, ThreadId, VersionId,
+};
+use paralog::lifeguards::{LifeguardKind, Violation, ViolationKind};
+use paralog::meta::{ConcurrentVersionTable, VersionTable};
+use paralog::workloads::Workload;
+use proptest::prelude::*;
+
+fn vid(t: u16, r: u64) -> VersionId {
+    VersionId {
+        consumer: ThreadId(t),
+        consumer_rid: Rid(r),
+    }
+}
+
+/// One step of a version-table trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceOp {
+    Bypass(u16, u64),
+    Produce(u16, u64, u32),
+    Consume(u16, u64),
+    /// Consume of an id that is never produced (the stall probe).
+    Miss(u16, u64),
+}
+
+/// Expands per-id specs into one interleaved, *valid* trace: bypasses
+/// precede the produce, consumes follow it, and up to `window` ids stay
+/// outstanding simultaneously so chunk churn and the peak counter get
+/// exercised.
+fn build_trace(ids: &[(u16, u64, u32)], window: usize) -> Vec<TraceOp> {
+    let mut seen = std::collections::HashSet::new();
+    let mut trace = Vec::new();
+    let mut pending: std::collections::VecDeque<(u16, u64, u32)> = Default::default();
+    for &(t, r, consumers) in ids {
+        if !seen.insert((t, r)) {
+            continue; // version ids are unique per dynamic conflict
+        }
+        let bypasses = (r % u64::from(consumers + 1)) as u32;
+        for _ in 0..bypasses {
+            trace.push(TraceOp::Bypass(t, r));
+        }
+        trace.push(TraceOp::Produce(t, r, consumers));
+        if r % 5 == 0 {
+            trace.push(TraceOp::Miss(t, r + 100_000));
+        }
+        if consumers > bypasses {
+            pending.push_back((t, r, consumers - bypasses));
+        }
+        while pending.len() > window {
+            let (t, r, consumes) = pending.pop_front().expect("nonempty");
+            for _ in 0..consumes {
+                trace.push(TraceOp::Consume(t, r));
+            }
+        }
+    }
+    while let Some((t, r, consumes)) = pending.pop_front() {
+        for _ in 0..consumes {
+            trace.push(TraceOp::Consume(t, r));
+        }
+    }
+    trace
+}
+
+fn snapshot_for(r: u64) -> Vec<u8> {
+    vec![(r % 251) as u8; 8]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Model equivalence: the concurrent table applied to any valid trace
+    /// behaves byte-for-byte like the sequential one, counters included.
+    #[test]
+    fn concurrent_table_matches_sequential_model(
+        ids in proptest::collection::vec((0u16..3, 1u64..600, 1u32..4), 1..48),
+        window in 1usize..5,
+    ) {
+        let trace = build_trace(&ids, window);
+        let mut seq = VersionTable::new();
+        let conc = ConcurrentVersionTable::new(3);
+        let range = |r: u64| AddrRange::new(0x1000 + r * 8, 8);
+        for op in &trace {
+            match *op {
+                TraceOp::Bypass(t, r) => {
+                    seq.bypass(vid(t, r));
+                    conc.bypass(vid(t, r));
+                }
+                TraceOp::Produce(t, r, consumers) => {
+                    seq.produce(vid(t, r), range(r), snapshot_for(r), consumers);
+                    conc.produce(vid(t, r), range(r), snapshot_for(r), consumers);
+                    prop_assert_eq!(
+                        seq.is_available(vid(t, r)),
+                        conc.is_available(vid(t, r)),
+                        "availability diverged after produce"
+                    );
+                }
+                TraceOp::Consume(t, r) => {
+                    let a = seq.consume(vid(t, r));
+                    let b = conc.consume(vid(t, r));
+                    prop_assert_eq!(a, b, "consume results diverged");
+                }
+                TraceOp::Miss(t, r) => {
+                    prop_assert!(seq.consume(vid(t, r)).is_none());
+                    prop_assert!(conc.consume(vid(t, r)).is_none());
+                    prop_assert!(!conc.is_available(vid(t, r)));
+                }
+            }
+        }
+        prop_assert_eq!(seq.produced(), conc.produced());
+        prop_assert_eq!(seq.consumed(), conc.consumed());
+        prop_assert_eq!(seq.outstanding(), conc.outstanding());
+        prop_assert_eq!(seq.peak_outstanding(), conc.peak_outstanding());
+    }
+
+    /// N racing producer threads against one consumer per shard: every
+    /// snapshot must arrive intact regardless of interleaving, and the
+    /// final accounting must balance — the invariant the deterministic
+    /// model cannot check.
+    #[test]
+    fn racing_producers_and_consumers_preserve_snapshots(
+        per_producer in 16u64..96,
+        consumers_per_version in 1u32..3,
+    ) {
+        let table = ConcurrentVersionTable::new(2);
+        let total = 2 * per_producer;
+        std::thread::scope(|scope| {
+            let t = &table;
+            for p in 0..2u64 {
+                scope.spawn(move || {
+                    for i in 0..per_producer {
+                        let r = 1 + p * per_producer + i;
+                        t.produce(
+                            vid((r % 2) as u16, r),
+                            AddrRange::new(0x1000 + r * 8, 8),
+                            snapshot_for(r),
+                            consumers_per_version,
+                        );
+                    }
+                });
+            }
+            for c in 0..2u16 {
+                scope.spawn(move || {
+                    for r in 1..=total {
+                        if r % 2 != u64::from(c) {
+                            continue;
+                        }
+                        for _ in 0..consumers_per_version {
+                            loop {
+                                if let Some((range, snap)) = t.consume(vid(c, r)) {
+                                    assert_eq!(range, AddrRange::new(0x1000 + r * 8, 8));
+                                    assert_eq!(snap, snapshot_for(r));
+                                    break;
+                                }
+                                t.wait_available(vid(c, r), std::time::Duration::from_millis(2));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(table.produced(), total);
+        prop_assert_eq!(table.consumed(), total * u64::from(consumers_per_version));
+        prop_assert_eq!(table.outstanding(), 0);
+        prop_assert!(table.peak_outstanding() >= 1);
+    }
+}
+
+/// Builds the Figure 5 Dekker pattern (same shape as `tso_figure5.rs`):
+/// each thread taints a buffer via a read() syscall, writes its own flag
+/// clean, and reads the other's — with `pad` spacers controlling how the
+/// stores sit in the store buffers (some pads manifest the SC violation).
+fn dekker(pad: usize) -> Workload {
+    let a = MemRef::new(0x2000_0000, 8);
+    let b = MemRef::new(0x2000_0100, 8);
+    let side = |mine: MemRef, theirs: MemRef, buf: AddrRange| {
+        let mut ops = vec![Op::Syscall {
+            kind: SyscallKind::ReadInput,
+            buf: Some(buf),
+        }];
+        for _ in 0..pad {
+            ops.push(Op::Instr(Instr::Nop));
+        }
+        ops.push(Op::Instr(Instr::MovRI { dst: Reg(0) }));
+        ops.push(Op::Instr(Instr::Store {
+            dst: mine,
+            src: Reg(0),
+        }));
+        ops.push(Op::Instr(Instr::Load {
+            dst: Reg(1),
+            src: theirs,
+        }));
+        ops.push(Op::Instr(Instr::Store {
+            dst: MemRef::new(mine.addr + 0x40, 8),
+            src: Reg(1),
+        }));
+        ops
+    };
+    Workload {
+        name: "figure5-cross-backend".into(),
+        benchmark: None,
+        threads: vec![
+            side(a, b, AddrRange::new(a.addr, 8)),
+            side(b, a, AddrRange::new(b.addr, 8)),
+        ],
+        heap: AddrRange::new(0x1000_0000, 0x1000_0000),
+        locks: 0,
+    }
+}
+
+fn violation_keys(violations: &[Violation]) -> Vec<(u16, u64, ViolationKind)> {
+    let mut keys: Vec<_> = violations
+        .iter()
+        .map(|v| (v.tid.0, v.rid.0, v.kind))
+        .collect();
+    keys.sort_by_key(|&(tid, rid, _)| (tid, rid));
+    keys
+}
+
+/// Acceptance: a §5.5 versioned stream replays on `ThreadedBackend` with
+/// fingerprints and violations identical to `DeterministicBackend` — both
+/// from the raw captured records and from the codec wire form — and the
+/// version traffic matches the live run's.
+#[test]
+fn tso_capture_replays_identically_on_both_backends() {
+    let mut any_versions = 0u64;
+    for pad in [0usize, 1, 2, 3, 5, 8] {
+        let w = dekker(pad);
+        let mut cfg =
+            MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck).with_tso();
+        cfg.collect_streams = true;
+        let live = Platform::run(&w, &cfg).metrics;
+        let streams = live.streams.clone().expect("collection enabled");
+
+        // The collected capture must carry every §5.5 annotation the live
+        // run acted on (the TSO collection fix this PR lands).
+        let produces: u64 = streams
+            .iter()
+            .flatten()
+            .map(|r| r.produce_versions.len() as u64)
+            .sum();
+        let consumes: u64 = streams
+            .iter()
+            .flatten()
+            .filter(|r| r.consume_version.is_some())
+            .count() as u64;
+        assert_eq!(produces, live.versions_produced, "pad={pad}: lost produce");
+        assert_eq!(consumes, live.versions_consumed, "pad={pad}: lost consume");
+        any_versions += produces;
+
+        // Deterministic lifeguard-only ingestion of the raw capture.
+        let det = MonitorSession::builder()
+            .source(ReplaySource::new(streams.clone(), w.heap))
+            .lifeguard(LifeguardKind::TaintCheck)
+            .backend(DeterministicBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            det.metrics.fingerprint, live.fingerprint,
+            "pad={pad}: deterministic ingestion diverged from the live run"
+        );
+
+        // Threaded replay of the raw capture.
+        let thr = MonitorSession::builder()
+            .source(ReplaySource::new(streams.clone(), w.heap))
+            .lifeguard(LifeguardKind::TaintCheck)
+            .backend(ThreadedBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            thr.metrics.fingerprint, det.metrics.fingerprint,
+            "pad={pad}: threaded replay diverged from deterministic"
+        );
+        assert_eq!(
+            violation_keys(&thr.metrics.violations),
+            violation_keys(&det.metrics.violations),
+            "pad={pad}: violations diverged"
+        );
+        assert_eq!(thr.metrics.versions_produced, live.versions_produced);
+        assert_eq!(thr.metrics.versions_consumed, live.versions_consumed);
+
+        // Threaded replay of the codec-encoded wire form, streamed in tiny
+        // chunks (the decode path must deliver annotations intact too).
+        let encoded: Vec<Vec<u8>> = streams.iter().map(|s| encode(s)).collect();
+        let src = StreamingReplaySource::from_encoded(encoded, w.heap).with_chunk_bytes(64);
+        let wire = MonitorSession::builder()
+            .source(src)
+            .lifeguard(LifeguardKind::TaintCheck)
+            .backend(ThreadedBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            wire.metrics.fingerprint, det.metrics.fingerprint,
+            "pad={pad}: codec-decoded threaded replay diverged"
+        );
+        assert_eq!(
+            violation_keys(&wire.metrics.violations),
+            violation_keys(&det.metrics.violations),
+            "pad={pad}: codec-decoded violations diverged"
+        );
+    }
+    assert!(
+        any_versions > 0,
+        "at least one pad must manifest the SC violation, or the versioned \
+         replay path went untested"
+    );
+}
+
+/// A consume annotation whose producer never reaches its produce point (a
+/// truncated TSO capture) must fail loudly: the parked consumer's
+/// no-global-progress detector reports `Deadlock` instead of hanging — and
+/// instead of silently bypassing, which would race the producer's store on
+/// real threads.
+#[test]
+fn truncated_tso_capture_deadlocks_threaded_replay() {
+    let heap = AddrRange::new(0x1000_0000, 0x1000_0000);
+    let mem = MemRef::new(0x2000_0000, 8);
+    let mut consumer = EventRecord::instr(
+        Rid(1),
+        Instr::Load {
+            dst: Reg(0),
+            src: mem,
+        },
+    );
+    consumer.consume_version = Some((vid(0, 1), mem));
+    // Thread 1 (the would-be producer) is already exhausted: nothing will
+    // ever produce v<T0,#1>.
+    let streams = vec![vec![consumer], vec![]];
+    let err = MonitorSession::builder()
+        .source(ReplaySource::new(streams, heap))
+        .lifeguard(LifeguardKind::TaintCheck)
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .err();
+    match err {
+        Some(SessionError::Deadlock(detail)) => {
+            assert!(
+                detail.contains("version"),
+                "deadlock report should name the version wait: {detail}"
+            );
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+}

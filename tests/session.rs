@@ -175,24 +175,37 @@ fn push_source_feeds_an_online_session() {
 }
 
 #[test]
-fn threaded_backend_rejects_unsupported_plans() {
-    // TSO captures carry versioned metadata the lock-free replay cannot honor.
-    let w = workload(Benchmark::Lu, 2);
-    let err = MonitorSession::builder()
-        .source(w)
-        .config(MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck).with_tso())
-        .backend(ThreadedBackend)
-        .build()
-        .unwrap()
-        .run()
-        .err();
-    assert!(matches!(err, Some(SessionError::Unsupported(_))));
+fn threaded_backend_replays_tso_workloads() {
+    // TSO captures carry §5.5 versioned metadata; the threaded backend now
+    // resolves the produce/consume annotations against its shared
+    // `ConcurrentVersionTable` instead of rejecting the plan.
+    for bench in [Benchmark::Lu, Benchmark::Ocean] {
+        let w = workload(bench, 4);
+        let out = MonitorSession::builder()
+            .source(w)
+            .config(
+                MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::TaintCheck).with_tso(),
+            )
+            .backend(ThreadedBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            out.metrics.matches_reference(),
+            "{bench}: TSO threaded replay diverged from its deterministic capture"
+        );
+        assert_eq!(
+            out.metrics.versions_produced, out.metrics.versions_consumed,
+            "{bench}: every produced version must find its consumer"
+        );
+    }
 }
 
 #[test]
 fn locked_fallback_runs_every_bundled_lifeguard_threaded() {
-    // Analyses without a hand-written lock-free form (everything but
-    // TaintCheck) replay on the real-thread backend through the generic
+    // Every bundled analysis replays on the real-thread backend — AddrCheck
+    // through its lock-free §5.3 form, MemCheck/LockSet through the generic
     // `LockedConcurrent` adapter — and must agree with the deterministic
     // backend on final metadata and violations.
     let w = workload(Benchmark::Fluidanimate, 4);

@@ -2,11 +2,14 @@
 //!
 //! Two questions, answered on real OS threads:
 //!
-//! * **`concurrent_replay`** — what does the generic [`LockedConcurrent`]
-//!   fallback's mutex cost an IF-class analysis, versus the lock-free
-//!   [`AddrCheckConcurrent`] this PR ships? Each series replays identical
-//!   check-heavy per-thread streams through both forms; the ratio is the
-//!   §5.3 serialization tax quoted in the PR description / ROADMAP.
+//! * **`concurrent_replay` / `memcheck_replay` / `lockset_replay`** — what
+//!   does the generic [`LockedConcurrent`] fallback's mutex cost each
+//!   bundled analysis, versus its hand-written lock-free §5.3 form? Each
+//!   series replays identical fast-path-shaped per-thread streams through
+//!   both forms; the ratio is the serialization tax quoted in the PR
+//!   description / ROADMAP ([`AddrCheckConcurrent`] for the IF class,
+//!   [`MemCheckConcurrent`] for dataflow propagation,
+//!   [`LockSetConcurrent`] for the fast-path/slow-path class).
 //! * **`concurrent_versions`** — what does the §5.5 produce→consume
 //!   hand-off cost through the sharded [`ConcurrentVersionTable`], both
 //!   uncontended (one thread doing the whole lifecycle, comparable with
@@ -15,14 +18,17 @@
 //!
 //! [`LockedConcurrent`]: paralog_lifeguards::LockedConcurrent
 //! [`AddrCheckConcurrent`]: paralog_lifeguards::AddrCheckConcurrent
+//! [`MemCheckConcurrent`]: paralog_lifeguards::MemCheckConcurrent
+//! [`LockSetConcurrent`]: paralog_lifeguards::LockSetConcurrent
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use paralog_events::{
-    AddrRange, CaPhase, CaRecord, EventRecord, HighLevelKind, Instr, MemRef, Reg, Rid, ThreadId,
-    VersionId,
+    AddrRange, CaPhase, CaRecord, EventRecord, HighLevelKind, Instr, LockId, MemRef, Reg, Rid,
+    ThreadId, VersionId,
 };
 use paralog_lifeguards::{
-    AddrCheckConcurrent, ConcurrentLifeguard, LifeguardFactory, LifeguardKind, LockedConcurrent,
+    AddrCheckConcurrent, ConcurrentLifeguard, LifeguardFactory, LifeguardKind, LockSetConcurrent,
+    LockedConcurrent, MemCheckConcurrent,
 };
 use paralog_meta::ConcurrentVersionTable;
 use std::time::Duration;
@@ -83,26 +89,77 @@ fn replay(conc: &dyn ConcurrentLifeguard, streams: &[Vec<EventRecord>]) {
     });
 }
 
-fn bench_concurrent_replay(c: &mut Criterion) {
+/// One thread's lock-disciplined check stream for LOCKSET: acquire an own
+/// lock, then loads and stores inside an exclusive slab — after the first
+/// touch every access is the §5.3 fast path (same-thread `Exclusive`
+/// re-access, a single load-acquire), where the locked fallback's mutex is
+/// pure overhead.
+fn lockset_stream(tid: u16) -> Vec<EventRecord> {
+    // Data space well below the sync-object region.
+    let slab = AddrRange::new(0x0100_0000 + u64::from(tid) * 0x10_000, 0x8000);
+    let mut recs = vec![EventRecord::ca(
+        Rid(1),
+        CaRecord {
+            what: HighLevelKind::Lock(LockId(u32::from(tid))),
+            phase: CaPhase::End,
+            range: None,
+            issuer: ThreadId(tid),
+            issuer_rid: Rid(1),
+            seq: u64::MAX, // own-stream record: no cross-thread ordering
+        },
+    )];
+    for i in 0..RECORDS {
+        // 32-byte (8-granule) accesses — the memcpy/struct-sweep shape —
+        // so each record is a run of Eraser state-machine checks: after the
+        // first pass all of them are the §5.3 fast path (same-thread
+        // `Exclusive` re-access), where the locked fallback still pays its
+        // mutex plus the sequential handler's per-record bookkeeping.
+        let mem = MemRef::new(slab.start + (i * 32) % (slab.len - 32), 32);
+        let instr = if i % 2 == 0 {
+            Instr::Load {
+                dst: Reg(0),
+                src: mem,
+            }
+        } else {
+            Instr::Store {
+                dst: mem,
+                src: Reg(0),
+            }
+        };
+        recs.push(EventRecord::instr(Rid(i + 2), instr));
+    }
+    recs
+}
+
+/// Benchmarks one bundled analysis' hand-written lock-free form against the
+/// generic [`LockedConcurrent`] wrapping of the same family, over identical
+/// per-thread streams on real threads.
+fn bench_lockfree_vs_locked(
+    c: &mut Criterion,
+    group_name: &str,
+    kind: LifeguardKind,
+    lockfree: &dyn Fn(usize) -> Box<dyn ConcurrentLifeguard>,
+    stream: fn(u16) -> Vec<EventRecord>,
+) {
     for threads in [2usize, 4] {
-        let streams: Vec<Vec<EventRecord>> = (0..threads as u16).map(check_stream).collect();
-        let mut group = c.benchmark_group("concurrent_replay");
+        let streams: Vec<Vec<EventRecord>> = (0..threads as u16).map(stream).collect();
+        let mut group = c.benchmark_group(group_name);
         group.sample_size(10);
         group.throughput(Throughput::Elements(threads as u64 * RECORDS));
 
-        // The lock-free §5.3 form this PR ships for the IF class.
-        let lockfree = AddrCheckConcurrent::new(HEAP);
+        // The hand-written lock-free §5.3 form.
+        let free = lockfree(threads);
         group.bench_function(BenchmarkId::new("lockfree", threads), |b| {
             b.iter(|| {
-                replay(&lockfree, &streams);
-                black_box(lockfree.fingerprint())
+                replay(&*free, &streams);
+                black_box(free.fingerprint())
             })
         });
 
-        // The generic mutex-serialized fallback AddrCheck used before.
-        // SAFETY: the bundled AddrCheck family is self-contained.
-        let locked =
-            unsafe { LockedConcurrent::new(LifeguardKind::AddrCheck.build(HEAP), threads) };
+        // The generic mutex-serialized fallback this analysis used before
+        // it graduated.
+        // SAFETY: the bundled families are self-contained.
+        let locked = unsafe { LockedConcurrent::new(kind.build(HEAP), threads) };
         group.bench_function(BenchmarkId::new("locked", threads), |b| {
             b.iter(|| {
                 replay(&locked, &streams);
@@ -111,6 +168,33 @@ fn bench_concurrent_replay(c: &mut Criterion) {
         });
         group.finish();
     }
+}
+
+fn bench_concurrent_replay(c: &mut Criterion) {
+    // The IF-class check stream through AddrCheck (the PR 4 series).
+    bench_lockfree_vs_locked(
+        c,
+        "concurrent_replay",
+        LifeguardKind::AddrCheck,
+        &|_| Box::new(AddrCheckConcurrent::new(HEAP)),
+        check_stream,
+    );
+    // Dataflow (definedness) propagation through MemCheck.
+    bench_lockfree_vs_locked(
+        c,
+        "memcheck_replay",
+        LifeguardKind::MemCheck,
+        &|threads| Box::new(MemCheckConcurrent::new(threads)),
+        check_stream,
+    );
+    // Eraser state-machine checks through LockSet.
+    bench_lockfree_vs_locked(
+        c,
+        "lockset_replay",
+        LifeguardKind::LockSet,
+        &|threads| Box::new(LockSetConcurrent::new(threads)),
+        lockset_stream,
+    );
 }
 
 const VERSIONS: u64 = 2048;

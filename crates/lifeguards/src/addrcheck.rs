@@ -162,11 +162,20 @@ impl Lifeguard for AddrCheck {
 /// *and* writes both map to metadata reads, and the only metadata writes
 /// (malloc/free ConflictAlerts) are ordered against every access by the
 /// captured CA arcs, which the backend's progress-table spin enforces.
-#[derive(Debug)]
 pub struct AddrCheckConcurrent {
     alloc: AtomicShadow,
     heap: AddrRange,
     violations: Mutex<Vec<Violation>>,
+}
+
+impl std::fmt::Debug for AddrCheckConcurrent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The atomic shadow is a multi-megabyte chunk index; a compact
+        // summary beats the derived dump.
+        f.debug_struct("AddrCheckConcurrent")
+            .field("heap", &self.heap)
+            .finish_non_exhaustive()
+    }
 }
 
 impl AddrCheckConcurrent {

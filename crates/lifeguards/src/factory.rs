@@ -16,18 +16,22 @@
 //!   the enum survives purely as shorthand for them).
 //!
 //! A factory may additionally provide a [`ConcurrentLifeguard`], the
-//! `Send + Sync` replay form the real-thread backend drives — lock-free for
-//! analyses in the §5.3 synchronization-free class (the bundled TaintCheck
-//! and AddrCheck do this via
-//! [`AtomicShadow`](paralog_meta::AtomicShadow)), or the generic
-//! mutex-serialized [`LockedConcurrent`](crate::LockedConcurrent)
-//! fallback, which the remaining bundled analyses use and out-of-tree
-//! factories opt into with a one-line override.
+//! `Send + Sync` replay form the real-thread backend drives. All four
+//! bundled analyses ship hand-written §5.3 forms: TaintCheck and AddrCheck
+//! are synchronization-free over an
+//! [`AtomicShadow`](paralog_meta::AtomicShadow); MemCheck and LockSet run a
+//! lock-free fast path with a mutex-guarded slow path for their rare
+//! structural events (wholesale malloc/free rewrites, lockset interning —
+//! see [`MemCheckConcurrent`] and [`LockSetConcurrent`]). An out-of-tree
+//! factory either writes its own lock-free form (see
+//! [`LifeguardFactory::concurrent`] for a worked example) or opts into the
+//! generic mutex-serialized [`LockedConcurrent`](crate::LockedConcurrent)
+//! fallback with a one-line override.
 
 use crate::addrcheck::{AddrCheck, AddrCheckConcurrent, AddrShared};
 use crate::lifeguard::{Lifeguard, Violation};
-use crate::lockset::{LockSet, LockSetShared};
-use crate::memcheck::{MemCheck, MemShared};
+use crate::lockset::{LockSet, LockSetConcurrent, LockSetShared};
+use crate::memcheck::{MemCheck, MemCheckConcurrent, MemShared};
 use crate::taintcheck::{TaintCheck, TaintConcurrent, TaintShared};
 use paralog_events::{AddrRange, EventRecord, Rid, ThreadId};
 use paralog_order::{CaPolicy, RangeEntry};
@@ -97,22 +101,73 @@ pub trait LifeguardFactory: fmt::Debug {
     /// footprint is known up front.
     ///
     /// Returns `None` by default: an analysis does not replay concurrently
-    /// unless its factory says so. Every bundled analysis overrides this —
-    /// TaintCheck and AddrCheck with hand-written lock-free §5.3 forms, the
-    /// rest by wrapping their family in the mutex-serialized
-    /// [`LockedConcurrent`](crate::LockedConcurrent). An out-of-tree
-    /// factory whose family is self-contained (no `Rc` shared with state
-    /// outside the family — see `LockedConcurrent`'s contract) opts in
-    /// the same way:
+    /// unless its factory says so. Every bundled analysis overrides this
+    /// with a hand-written lock-free §5.3 form. An out-of-tree factory has
+    /// two options:
     ///
-    /// ```ignore
-    /// fn concurrent(&self, heap: AddrRange, threads: usize)
-    ///     -> Option<Box<dyn ConcurrentLifeguard>> {
-    ///     // SAFETY: this factory's families are self-contained.
-    ///     Some(Box::new(unsafe {
-    ///         LockedConcurrent::new(self.build(heap), threads)
-    ///     }))
+    /// * wrap its family in the mutex-serialized
+    ///   [`LockedConcurrent`](crate::LockedConcurrent) — one line, no
+    ///   concurrency reasoning; see the
+    ///   [`locked`](crate::locked) module docs for the worked example and
+    ///   the safety contract that one line asserts;
+    /// * graduate to a custom **lock-free** [`ConcurrentLifeguard`], the
+    ///   §5.3 route the bundled analyses take. State lives in atomics (or
+    ///   the [`AtomicShadow`](paralog_meta::AtomicShadow) /
+    ///   [`AtomicWordTable`](paralog_meta::AtomicWordTable) substrates), so
+    ///   the hot path never serializes:
+    ///
+    /// ```rust
+    /// use paralog_events::{AddrRange, EventPayload, EventRecord, ThreadId};
+    /// use paralog_lifeguards::{
+    ///     ConcurrentLifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind, VersionedMeta,
+    ///     Violation,
+    /// };
+    /// use std::sync::atomic::{AtomicU64, Ordering};
+    ///
+    /// /// Counts delivered instruction records. All shared state is one
+    /// /// atomic, so the concurrent form is lock-free by construction —
+    /// /// no `unsafe`, no mutex, nothing for workers to contend on.
+    /// #[derive(Debug, Default)]
+    /// struct OpCountConcurrent(AtomicU64);
+    ///
+    /// impl ConcurrentLifeguard for OpCountConcurrent {
+    ///     fn apply(&self, _tid: ThreadId, rec: &EventRecord, _v: Option<&VersionedMeta>) {
+    ///         if matches!(rec.payload, EventPayload::Instr(_)) {
+    ///             self.0.fetch_add(1, Ordering::Relaxed);
+    ///         }
+    ///     }
+    ///     fn fingerprint(&self) -> u64 {
+    ///         self.0.load(Ordering::Relaxed)
+    ///     }
+    ///     fn violations(&self) -> Vec<Violation> {
+    ///         Vec::new()
+    ///     }
     /// }
+    ///
+    /// #[derive(Debug)]
+    /// struct OpCountFactory;
+    ///
+    /// impl LifeguardFactory for OpCountFactory {
+    ///     fn name(&self) -> &str {
+    ///         "OpCount"
+    ///     }
+    ///     fn build(&self, heap: AddrRange) -> LifeguardFamily {
+    ///         // The sequential family (see examples/custom_lifeguard.rs);
+    ///         // a bundled one keeps this example self-contained.
+    ///         LifeguardKind::MemCheck.build(heap)
+    ///     }
+    ///     fn concurrent(
+    ///         &self,
+    ///         _heap: AddrRange,
+    ///         _threads: usize,
+    ///     ) -> Option<Box<dyn ConcurrentLifeguard>> {
+    ///         Some(Box::new(OpCountConcurrent::default()))
+    ///     }
+    /// }
+    ///
+    /// let heap = AddrRange::new(0x1000_0000, 0x1000_0000);
+    /// let conc = OpCountFactory.concurrent(heap, 2).expect("lock-free form");
+    /// assert_eq!(conc.fingerprint(), 0);
     /// ```
     fn concurrent(&self, heap: AddrRange, threads: usize) -> Option<Box<dyn ConcurrentLifeguard>> {
         let _ = (heap, threads);
@@ -163,18 +218,17 @@ impl LifeguardFactory for LifeguardKind {
     }
 
     fn concurrent(&self, heap: AddrRange, threads: usize) -> Option<Box<dyn ConcurrentLifeguard>> {
+        // All four bundled analyses ship hand-written §5.3 forms: TaintCheck
+        // and AddrCheck are synchronization-free outright, MemCheck and
+        // LockSet run a lock-free fast path with a mutex-guarded slow path
+        // for their rare structural events (wholesale malloc/free rewrites,
+        // lockset interning). None pays the generic
+        // [`LockedConcurrent`](crate::LockedConcurrent) serialization tax.
         match self {
-            // §5.3: TaintCheck and AddrCheck are in the synchronization-free
-            // class, so their concurrent forms run lock-free over atomic
-            // shadows.
             LifeguardKind::TaintCheck => Some(Box::new(TaintConcurrent::new(threads))),
             LifeguardKind::AddrCheck => Some(Box::new(AddrCheckConcurrent::new(heap))),
-            // The rest replay through the generic locked fallback.
-            // SAFETY: the bundled families are self-contained — their `Rc`s
-            // are created in `build` and never escape the family.
-            _ => Some(Box::new(unsafe {
-                crate::locked::LockedConcurrent::new(self.build(heap), threads)
-            })),
+            LifeguardKind::MemCheck => Some(Box::new(MemCheckConcurrent::new(threads))),
+            LifeguardKind::LockSet => Some(Box::new(LockSetConcurrent::new(threads))),
         }
     }
 
@@ -435,9 +489,9 @@ mod tests {
 
     #[test]
     fn every_builtin_offers_a_concurrent_replay_form() {
-        // TaintCheck's is the hand-written lock-free §5.3 form; the rest
-        // inherit the generic locked fallback — all replay on the
-        // real-thread backend.
+        // Every bundled analysis ships a hand-written lock-free §5.3 form —
+        // all replay on the real-thread backend without the locked
+        // fallback.
         for kind in LifeguardKind::ALL {
             let conc = kind.concurrent(HEAP, 2).expect("replayable");
             assert!(conc.violations().is_empty());

@@ -16,6 +16,14 @@
 //! [`LifeguardSpec`] the platform wires accelerators from, and the calibrated
 //! [`CostModel`].
 //!
+//! Each bundled analysis also ships a hand-written lock-free
+//! [`ConcurrentLifeguard`] form for real-thread replay ([`TaintConcurrent`],
+//! [`AddrCheckConcurrent`], [`MemCheckConcurrent`], [`LockSetConcurrent`]) —
+//! §5.3's synchronization-free fast paths, with mutex-guarded slow paths
+//! only for rare structural events. Out-of-tree analyses start with the
+//! generic [`LockedConcurrent`] adapter and graduate the same way (see
+//! [`factory::LifeguardFactory::concurrent`]).
+//!
 //! # Example
 //!
 //! ```rust
@@ -54,10 +62,10 @@ pub use factory::{
     VersionedMeta,
 };
 pub use lifeguard::{
-    snapshot_byte, snapshot_coverage, AtomicityClass, EventView, Fingerprint, HandlerCtx,
-    Lifeguard, LifeguardSpec, SnapshotCoverage, Violation, ViolationKind,
+    join_atomic_shadow, snapshot_byte, snapshot_coverage, AtomicityClass, EventView, Fingerprint,
+    HandlerCtx, Lifeguard, LifeguardSpec, SnapshotCoverage, Violation, ViolationKind,
 };
 pub use locked::LockedConcurrent;
-pub use lockset::{LockSet, LockSetShared, VarState};
-pub use memcheck::{MemCheck, MemShared, UNDEFINED};
+pub use lockset::{LockSet, LockSetConcurrent, LockSetShared, VarState};
+pub use memcheck::{MemCheck, MemCheckConcurrent, MemShared, UNDEFINED};
 pub use taintcheck::{TaintCheck, TaintConcurrent, TaintShared, TAINTED};

@@ -8,7 +8,7 @@
 //! [`LifeguardSpec`].
 
 use paralog_events::{Addr, AddrRange, CaRecord, MetaOp, Rid, ThreadId};
-use paralog_meta::ShadowMemory;
+use paralog_meta::{AtomicShadow, ShadowMemory};
 use paralog_order::{CaPolicy, RangeEntry};
 use std::fmt;
 
@@ -137,6 +137,28 @@ pub fn snapshot_coverage(
         return SnapshotCoverage::Partial(v);
     }
     SnapshotCoverage::Live
+}
+
+/// The concurrent mirror of [`HandlerCtx::join_shadow`]: joins (bitwise-ORs)
+/// the metadata of `range` against a lock-free [`AtomicShadow`], honoring a
+/// §5.5 versioned snapshot through the same [`snapshot_coverage`] rule —
+/// full coverage reads the snapshot, an absent or disjoint snapshot takes
+/// the chunk-resident shadow fast path, and genuine partial overlap merges
+/// byte-wise with versioned bytes winning. Every byte-shadow concurrent
+/// lifeguard reads through this; reimplementing the boundary math invites
+/// divergence between the deterministic and threaded backends.
+pub fn join_atomic_shadow(
+    shadow: &AtomicShadow,
+    range: AddrRange,
+    versioned: Option<&VersionedMeta>,
+) -> u8 {
+    match snapshot_coverage(versioned, range) {
+        SnapshotCoverage::Full(bytes) => bytes.iter().fold(0, |a, b| a | b),
+        SnapshotCoverage::Partial(v) => (range.start..range.end()).fold(0, |acc, a| {
+            acc | snapshot_byte(v, a).unwrap_or_else(|| shadow.join_range(a, 1))
+        }),
+        SnapshotCoverage::Live => shadow.join_range(range.start, range.len),
+    }
 }
 
 /// The snapshot's value for one application byte, `None` when the byte is

@@ -2,22 +2,75 @@
 //! backend.
 //!
 //! §5.3 divides lifeguards into a synchronization-free class (TaintCheck,
-//! whose concurrent form is lock-free) and everything else, which the paper
-//! handles with a fast-path/slow-path split. [`LockedConcurrent`] is the
-//! conservative end of that spectrum: the ordinary sequential [`Lifeguard`]
-//! threads run behind one mutex, every record applied atomically. Arc
-//! enforcement still happens outside (the backend's progress-table spin),
-//! so the delivered order matches the deterministic ingestion order for all
-//! conflicting operations — the adapter serializes only the handler bodies.
+//! AddrCheck — concurrent forms lock-free outright) and everything else,
+//! which the paper handles with a fast-path/slow-path split (MemCheck,
+//! LockSet ship hand-written forms of that shape). [`LockedConcurrent`] is
+//! the conservative end of the spectrum: the ordinary sequential
+//! [`Lifeguard`] threads run behind one mutex, every record applied
+//! atomically. Arc enforcement still happens outside (the backend's
+//! progress-table spin), so the delivered order matches the deterministic
+//! ingestion order for all conflicting operations — the adapter serializes
+//! only the handler bodies.
 //!
-//! Correctness is unconditional (a global lock trivially satisfies every
-//! atomicity class); the price is lost lifeguard-side parallelism, which is
-//! exactly the trade the paper ascribes to un-ported analyses. It is the
-//! default concurrent form every [`LifeguardFactory`] inherits, so a brand
-//! new out-of-tree analysis runs on `ThreadedBackend` with zero extra code,
-//! and can graduate to a hand-written lock-free form later.
+//! # When is the locked form still the right choice?
+//!
+//! All four *bundled* analyses have graduated to hand-written lock-free
+//! forms (`concurrent_micro` measured the mutex costing them 1.4–3× on
+//! check-heavy replay), so nothing in-tree pays this adapter anymore. It
+//! remains the right first step for an **out-of-tree** analysis:
+//!
+//! * correctness is unconditional — a global lock trivially satisfies every
+//!   §5.3 atomicity class, so a freshly ported sequential analysis replays
+//!   on `ThreadedBackend` with one line of factory code (see below) and no
+//!   concurrency reasoning;
+//! * the cost is lost lifeguard-side parallelism only; for analyses that
+//!   are rarely on the critical path (sampling, statistics, logging) that
+//!   trade is often permanent;
+//! * it is the reference a graduated lock-free form is tested against —
+//!   the cross-backend parity suites replay both and compare fingerprints.
+//!
+//! Opting in is deliberate, not a trait default: the adapter's soundness
+//! rests on a containment argument (the type-level contract below) that
+//! only the factory author can assert, which is why
+//! [`LockedConcurrent::new`] is `unsafe` and
+//! [`LifeguardFactory::concurrent`] defaults to `None` instead of wrapping
+//! blindly.
+//!
+//! ```rust
+//! use paralog_events::AddrRange;
+//! use paralog_lifeguards::{
+//!     ConcurrentLifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind, LockedConcurrent,
+//! };
+//!
+//! /// An out-of-tree analysis: sequential logic first, parallel replay via
+//! /// the locked adapter until a lock-free form is worth writing.
+//! #[derive(Debug)]
+//! struct MyAnalysis;
+//!
+//! impl LifeguardFactory for MyAnalysis {
+//!     fn name(&self) -> &str {
+//!         "MyAnalysis"
+//!     }
+//!     fn build(&self, heap: AddrRange) -> LifeguardFamily {
+//!         // A real analysis constructs its own shared state here (see
+//!         // examples/custom_lifeguard.rs); reusing a bundled family keeps
+//!         // this example self-contained.
+//!         LifeguardKind::MemCheck.build(heap)
+//!     }
+//!     fn concurrent(&self, heap: AddrRange, threads: usize) -> Option<Box<dyn ConcurrentLifeguard>> {
+//!         // SAFETY: this factory's families are self-contained — every Rc
+//!         // they touch is created inside `build` and never escapes.
+//!         Some(Box::new(unsafe { LockedConcurrent::new(self.build(heap), threads) }))
+//!     }
+//! }
+//!
+//! let heap = AddrRange::new(0x1000_0000, 0x1000_0000);
+//! let conc = MyAnalysis.concurrent(heap, 2).expect("opted in");
+//! assert_eq!(conc.violations().len(), 0);
+//! ```
 //!
 //! [`LifeguardFactory`]: crate::factory::LifeguardFactory
+//! [`LifeguardFactory::concurrent`]: crate::factory::LifeguardFactory::concurrent
 
 use crate::factory::{ConcurrentLifeguard, LifeguardFamily, VersionedMeta};
 use crate::lifeguard::{EventView, HandlerCtx, Lifeguard, Violation};

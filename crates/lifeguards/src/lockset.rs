@@ -11,15 +11,21 @@
 //! [`CostModel::slow_path_sync`](crate::cost::CostModel::slow_path_sync) when
 //! [`HandlerCtx::slow_path`] is set.
 
+use crate::factory::{ConcurrentLifeguard, VersionedMeta};
 use crate::lifeguard::{
     AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
     ViolationKind,
 };
-use paralog_events::{AddrRange, CaPhase, CaRecord, HighLevelKind, MetaOp, Rid, ThreadId};
+use paralog_events::{
+    check_view, AddrRange, CaPhase, CaRecord, EventPayload, EventRecord, HighLevelKind, MetaOp,
+    Rid, ThreadId,
+};
+use paralog_meta::AtomicWordTable;
 use paralog_order::CaPolicy;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::{Mutex, OnceLock};
 
 /// Eraser's per-variable state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,6 +218,279 @@ impl Lifeguard for LockSet {
     }
 }
 
+/// Packed-entry state codes for the concurrent form (bits 0–1 of the
+/// [`AtomicWordTable`] word). The all-zero word is reserved for
+/// never-touched keys, so `Virgin` *is* 0 and every real state is non-zero.
+const S_VIRGIN: u64 = 0;
+const S_EXCLUSIVE: u64 = 1;
+const S_SHARED: u64 = 2;
+const S_SHARED_MOD: u64 = 3;
+/// Bit 2: the once-per-variable race report fired.
+const REPORTED_BIT: u64 = 1 << 2;
+/// Bits 16–31: owner thread (Exclusive state only).
+const OWNER_SHIFT: u64 = 16;
+/// Bits 32–63: interned candidate-lockset id.
+const SET_SHIFT: u64 = 32;
+
+fn pack(state: u64, owner: u16, set_id: u32, reported: bool) -> u64 {
+    state
+        | if reported { REPORTED_BIT } else { 0 }
+        | (u64::from(owner) << OWNER_SHIFT)
+        | (u64::from(set_id) << SET_SHIFT)
+}
+
+/// Interns candidate lock *masks* into dense u32 ids so one packed
+/// [`AtomicWordTable`] word can carry Eraser's whole per-variable state.
+///
+/// Interning is the §5.3 **slow path** — it runs only when an access
+/// actually refines a candidate set (a metadata write) — while `id → mask`
+/// resolution is a lock-free [`OnceLock`] read the fast path may take on
+/// every access. Id 0 is pre-interned to the full set (`u64::MAX`), the
+/// candidates of a virgin variable.
+#[derive(Debug)]
+struct MaskInterner {
+    /// id → mask; published before the id escapes the mutex below.
+    masks: Box<[OnceLock<u64>]>,
+    /// mask → id plus the next free id, behind the slow-path lock.
+    ids: Mutex<(HashMap<u64, u32>, u32)>,
+}
+
+/// Distinct candidate masks one run can intern. Masks are intersections of
+/// per-thread held-lock sets (≤ 64 locks), so real workloads stay far
+/// below this.
+const MAX_MASKS: usize = 1 << 16;
+
+impl MaskInterner {
+    fn new() -> Self {
+        let masks: Box<[OnceLock<u64>]> = (0..MAX_MASKS).map(|_| OnceLock::new()).collect();
+        masks[0].set(u64::MAX).expect("fresh slot");
+        let mut map = HashMap::new();
+        map.insert(u64::MAX, 0u32);
+        MaskInterner {
+            masks,
+            ids: Mutex::new((map, 1)),
+        }
+    }
+
+    /// The mask behind an id handed out by [`intern`](Self::intern)
+    /// (lock-free: ids are published before they escape).
+    fn mask(&self, id: u32) -> u64 {
+        *self.masks[id as usize].get().expect("id was interned")
+    }
+
+    /// The id for `mask`, interning it if new (slow path).
+    fn intern(&self, mask: u64) -> u32 {
+        let mut ids = self.ids.lock().expect("poisoned");
+        if let Some(&id) = ids.0.get(&mask) {
+            return id;
+        }
+        let id = ids.1;
+        assert!(
+            (id as usize) < MAX_MASKS,
+            "lockset interner exhausted ({MAX_MASKS} distinct candidate masks)"
+        );
+        ids.1 += 1;
+        // Publish the mask *before* the id escapes the lock, so concurrent
+        // `mask()` readers of a CAS-published entry always resolve it.
+        self.masks[id as usize].set(mask).expect("fresh slot");
+        ids.0.insert(mask, id);
+        id
+    }
+}
+
+/// The `Send + Sync` replay form of LOCKSET driven by the real-thread
+/// backend: the §5.3 **fast-path/slow-path split** made concrete for the
+/// paper's canonical condition-2 violator.
+///
+/// Each variable's whole Eraser state — state machine code, owning thread,
+/// `reported` flag and an *interned* candidate-lockset id — packs into one
+/// word of an [`AtomicWordTable`]. The common case (a same-thread re-access
+/// in `Exclusive` state, or a read that refines nothing) is a single
+/// load-acquire: no store, no lock, nothing for another worker to contend
+/// on. A transition that must write metadata publishes the recomputed word
+/// with a CAS-exchange, retrying from a fresh read on a lost race; the only
+/// mutex anywhere is the interner's, taken just when a *new* candidate mask
+/// appears (first-write interning and refinement) — the rare structural
+/// slow path. Per-variable transitions are confluent under the enforced
+/// arcs (intersection is commutative; writes are always arc-ordered), so
+/// the CAS linearization reproduces the deterministic backend's final
+/// metadata, and the `reported` bit makes the once-per-variable race report
+/// exact even when unordered reads race to observe the empty set.
+pub struct LockSetConcurrent {
+    /// word-granule index → packed Eraser state.
+    words: AtomicWordTable,
+    interner: MaskInterner,
+    /// Locks currently held per monitored thread. Thread-private by the
+    /// backend's contract (each stream's records are applied only by the
+    /// worker owning it), so relaxed atomics suffice — no lock on the
+    /// per-access read.
+    held: Vec<std::sync::atomic::AtomicU64>,
+    violations: Mutex<Vec<Violation>>,
+}
+
+impl std::fmt::Debug for LockSetConcurrent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The word table and interner are multi-megabyte chunk indexes; a
+        // compact summary beats the derived dump.
+        f.debug_struct("LockSetConcurrent")
+            .field("threads", &self.held.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LockSetConcurrent {
+    /// A fresh concurrent LOCKSET for `threads` replayed streams. The word
+    /// table grows lazily as accesses arrive, so streams may be ingested
+    /// incrementally — no footprint pre-scan.
+    pub fn new(threads: usize) -> Self {
+        LockSetConcurrent {
+            words: AtomicWordTable::new(),
+            interner: MaskInterner::new(),
+            held: (0..threads)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+            violations: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// One granule's state transition — the concurrent mirror of
+    /// [`LockSet::check_granule`]'s match, CAS-published.
+    fn check_granule(&self, word: u64, writes: bool, held: u64, tid: ThreadId, rid: Rid) {
+        let key = word / GRANULE;
+        loop {
+            let cur = self.words.load(key);
+            let state = cur & 0b11;
+            let owner = ((cur >> OWNER_SHIFT) & 0xFFFF) as u16;
+            let set_id = (cur >> SET_SHIFT) as u32;
+            let reported = cur & REPORTED_BIT != 0;
+            let next = match state {
+                S_VIRGIN => pack(S_EXCLUSIVE, tid.0, 0, false),
+                S_EXCLUSIVE if owner == tid.0 => cur, // pure fast path
+                S_EXCLUSIVE => {
+                    let next = if writes { S_SHARED_MOD } else { S_SHARED };
+                    pack(next, 0, self.interner.intern(held), reported)
+                }
+                S_SHARED | S_SHARED_MOD => {
+                    let next = if writes || state == S_SHARED_MOD {
+                        S_SHARED_MOD
+                    } else {
+                        S_SHARED
+                    };
+                    let candidates = self.interner.mask(set_id);
+                    let refined = candidates & held;
+                    let id = if refined == candidates {
+                        set_id // no refinement: fast path when state holds too
+                    } else {
+                        self.interner.intern(refined)
+                    };
+                    pack(next, 0, id, reported)
+                }
+                _ => unreachable!("2-bit state"),
+            };
+            // Once-per-variable race report: empty candidate set on a
+            // written-shared variable, not yet reported.
+            let report = next & 0b11 == S_SHARED_MOD
+                && next & REPORTED_BIT == 0
+                && self.interner.mask((next >> SET_SHIFT) as u32) == 0;
+            let next = if report { next | REPORTED_BIT } else { next };
+            if next == cur {
+                return; // §5.3 fast path: one load-acquire, no store
+            }
+            match self.words.compare_exchange(key, cur, next) {
+                Ok(_) => {
+                    if report {
+                        // The CAS winner owns the report: exactly one per
+                        // variable, however many readers raced it.
+                        self.violations.lock().expect("poisoned").push(Violation {
+                            tid,
+                            rid,
+                            kind: ViolationKind::DataRace,
+                            addr: Some(word),
+                        });
+                    }
+                    return;
+                }
+                // Lost to a concurrent (arc-unordered) access of the same
+                // variable: recompute from its published state.
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+impl ConcurrentLifeguard for LockSetConcurrent {
+    fn apply(&self, tid: ThreadId, rec: &EventRecord, _versioned: Option<&VersionedMeta>) {
+        match &rec.payload {
+            EventPayload::Instr(instr) => {
+                let Some(MetaOp::CheckAccess { mem, kind }) = check_view(instr) else {
+                    return;
+                };
+                if mem.addr >= SYNC_SPACE_START {
+                    // Synchronization objects are accessed racily by
+                    // construction; Eraser excludes them.
+                    return;
+                }
+                let held = self.held[tid.index()].load(std::sync::atomic::Ordering::Relaxed);
+                let first = mem.addr / GRANULE;
+                let last = (mem.addr + u64::from(mem.size) - 1) / GRANULE;
+                for word in first..=last {
+                    self.check_granule(word * GRANULE, kind.writes(), held, tid, rec.rid);
+                }
+            }
+            EventPayload::Ca(ca) => {
+                // Lock ownership is per-thread state: only the issuer's own
+                // stream copy updates it (remote copies order).
+                if ca.issuer != tid {
+                    return;
+                }
+                use std::sync::atomic::Ordering;
+                let held = &self.held[tid.index()];
+                match ca.what {
+                    HighLevelKind::Lock(lock) if ca.phase == CaPhase::End => {
+                        held.fetch_or(1u64 << (lock.0 % 64), Ordering::Relaxed);
+                    }
+                    HighLevelKind::Unlock(lock) if ca.phase == CaPhase::Begin => {
+                        held.fetch_and(!(1u64 << (lock.0 % 64)), Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn ca_policy(&self) -> CaPolicy {
+        // Mirrors the sequential spec: LOCKSET orders entirely through
+        // dependence arcs; no CA subscriptions, no §5.4 range tracking.
+        CaPolicy::new()
+    }
+
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8> {
+        // Lockset state is not byte-shadow metadata; §5.5 versioning does
+        // not apply (identical to the sequential form's all-clean answer).
+        vec![0; range.len as usize]
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        self.words.for_each_nonzero(|key, entry| {
+            let owner = ((entry >> OWNER_SHIFT) & 0xFFFF) as u16;
+            let state_code = match entry & 0b11 {
+                S_EXCLUSIVE => 1 + u64::from(owner),
+                S_SHARED => 1 << 32,
+                S_SHARED_MOD => 2 << 32,
+                _ => unreachable!("stored entries are never virgin"),
+            };
+            let candidates = self.interner.mask((entry >> SET_SHIFT) as u32);
+            fp.mix(key * GRANULE, state_code ^ candidates);
+        });
+        fp.finish()
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        self.violations.lock().expect("poisoned").clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +600,137 @@ mod tests {
         // Remote lock CAs do not change our held set.
         a.handle_ca(&lock_ca(5, CaPhase::End, true), false, Rid(3), &mut ctx);
         assert_eq!(a.held(), 0);
+    }
+
+    fn rec_access(rid: u64, addr: u64, write: bool) -> EventRecord {
+        use paralog_events::{Instr, Reg};
+        let mem = MemRef::new(addr, 4);
+        EventRecord::instr(
+            Rid(rid),
+            if write {
+                Instr::Store {
+                    dst: mem,
+                    src: Reg::new(0),
+                }
+            } else {
+                Instr::Load {
+                    dst: Reg::new(0),
+                    src: mem,
+                }
+            },
+        )
+    }
+
+    fn rec_lock(rid: u64, tid: u16, id: u32, acquire: bool) -> EventRecord {
+        EventRecord::ca(
+            Rid(rid),
+            CaRecord {
+                what: if acquire {
+                    HighLevelKind::Lock(LockId(id))
+                } else {
+                    HighLevelKind::Unlock(LockId(id))
+                },
+                phase: if acquire {
+                    CaPhase::End
+                } else {
+                    CaPhase::Begin
+                },
+                range: None,
+                issuer: ThreadId(tid),
+                issuer_rid: Rid(rid),
+                seq: u64::MAX,
+            },
+        )
+    }
+
+    #[test]
+    fn concurrent_form_matches_sequential_transitions() {
+        // Consistent locking is silent; unprotected write sharing reports
+        // exactly once; the final fingerprint tracks the sequential family
+        // through the same access sequence.
+        let conc = LockSetConcurrent::new(2);
+        let (mut a, mut b) = two_threads();
+        let mut ctx = HandlerCtx::new();
+
+        // Lock-disciplined accesses to 0x100 from both threads.
+        conc.apply(ThreadId(0), &rec_lock(1, 0, 1, true), None);
+        conc.apply(ThreadId(0), &rec_access(2, 0x100, true), None);
+        conc.apply(ThreadId(0), &rec_lock(3, 0, 1, false), None);
+        conc.apply(ThreadId(1), &rec_lock(1, 1, 1, true), None);
+        conc.apply(ThreadId(1), &rec_access(2, 0x100, true), None);
+        conc.apply(ThreadId(1), &rec_lock(3, 1, 1, false), None);
+        a.handle_ca(&lock_ca(1, CaPhase::End, true), true, Rid(1), &mut ctx);
+        a.handle(&access(0x100, true), Rid(2), &mut ctx);
+        a.handle_ca(&lock_ca(1, CaPhase::Begin, false), true, Rid(3), &mut ctx);
+        b.handle_ca(&lock_ca(1, CaPhase::End, true), true, Rid(1), &mut ctx);
+        b.handle(&access(0x100, true), Rid(2), &mut ctx);
+        b.handle_ca(&lock_ca(1, CaPhase::Begin, false), true, Rid(3), &mut ctx);
+        assert!(conc.violations().is_empty(), "lock 1 protects 0x100");
+        assert_eq!(conc.fingerprint(), a.fingerprint(), "disciplined state");
+
+        // Unprotected write sharing on 0x200: one race, reported once.
+        conc.apply(ThreadId(0), &rec_access(4, 0x200, true), None);
+        conc.apply(ThreadId(1), &rec_access(4, 0x200, true), None);
+        conc.apply(ThreadId(0), &rec_access(5, 0x200, true), None);
+        a.handle(&access(0x200, true), Rid(4), &mut ctx);
+        b.handle(&access(0x200, true), Rid(4), &mut ctx);
+        a.handle(&access(0x200, true), Rid(5), &mut ctx);
+        assert_eq!(conc.violations().len(), 1);
+        assert_eq!(conc.violations()[0].kind, ViolationKind::DataRace);
+        assert_eq!(conc.violations()[0].addr, Some(0x200));
+        assert_eq!(ctx.violations.len(), 1, "sequential agrees");
+        assert_eq!(conc.fingerprint(), a.fingerprint(), "post-race state");
+    }
+
+    #[test]
+    fn concurrent_form_ignores_sync_space_and_remote_lock_cas() {
+        let conc = LockSetConcurrent::new(2);
+        // Sync-space accesses are not subject to lockset analysis.
+        conc.apply(
+            ThreadId(0),
+            &rec_access(1, SYNC_SPACE_START + 8, true),
+            None,
+        );
+        conc.apply(
+            ThreadId(1),
+            &rec_access(1, SYNC_SPACE_START + 8, true),
+            None,
+        );
+        assert!(conc.violations().is_empty());
+        // A remote thread's lock CA must not change our held set: thread 1
+        // never really acquired lock 2, so its write shares 0x300 unlocked.
+        conc.apply(ThreadId(1), &rec_lock(2, 0, 2, true), None); // issuer 0!
+        conc.apply(ThreadId(0), &rec_lock(2, 0, 2, true), None);
+        conc.apply(ThreadId(0), &rec_access(3, 0x300, true), None);
+        conc.apply(ThreadId(1), &rec_access(3, 0x300, true), None);
+        assert_eq!(conc.violations().len(), 1, "remote CA gave no protection");
+    }
+
+    #[test]
+    fn concurrent_racing_readers_report_exactly_once() {
+        // Many real threads hammer the same unprotected variable: the CAS
+        // loop must converge and the `reported` bit must keep the report
+        // unique — the invariant the TSan job races.
+        let conc = LockSetConcurrent::new(4);
+        std::thread::scope(|scope| {
+            for t in 0..4u16 {
+                let conc = &conc;
+                scope.spawn(move || {
+                    for i in 0..64u64 {
+                        conc.apply(ThreadId(t), &rec_access(i + 1, 0x400, true), None);
+                    }
+                });
+            }
+        });
+        assert_eq!(conc.violations().len(), 1, "exactly one DataRace report");
+        // And the candidate set converged to empty SharedModified state.
+        let (mut a, mut b) = two_threads();
+        let mut ctx = HandlerCtx::new();
+        a.handle(&access(0x400, true), Rid(1), &mut ctx);
+        b.handle(&access(0x400, true), Rid(1), &mut ctx);
+        // (Sequential fingerprint differs only if candidates/state differ;
+        // both are SharedModified with empty candidates here.)
+        assert_eq!(conc.fingerprint(), a.fingerprint());
     }
 
     #[test]

@@ -10,18 +10,21 @@
 //! Reporting policy follows Memcheck: copying undefined data is fine;
 //! *using* it (indirect jump, checked syscall argument) is a violation.
 
+use crate::factory::{ConcurrentLifeguard, VersionedMeta};
 use crate::lifeguard::{
-    AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
-    ViolationKind,
+    join_atomic_shadow, AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard,
+    LifeguardSpec, Violation, ViolationKind,
 };
 use crate::taintcheck::for_each_nonzero;
 use paralog_events::{
-    AddrRange, CaPhase, CaRecord, HighLevelKind, MemRef, MetaOp, Rid, ThreadId, NUM_REGS,
+    dataflow_view, AddrRange, CaPhase, CaRecord, EventPayload, EventRecord, HighLevelKind, MemRef,
+    MetaOp, Rid, ThreadId, NUM_REGS,
 };
-use paralog_meta::ShadowMemory;
+use paralog_meta::{AtomicShadow, ShadowMemory};
 use paralog_order::{CaActions, CaPolicy};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Mutex;
 
 /// Metadata value for "undefined" (bit 0 set). The inverted encoding keeps
 /// never-touched memory — shadow value 0 — *defined*, so only heap memory
@@ -54,18 +57,27 @@ pub struct MemCheck {
     spec: LifeguardSpec,
 }
 
+/// MEMCHECK's ConflictAlert subscriptions, shared by the sequential spec and
+/// the concurrent replay form (the backends derive §5.4 gating and range
+/// tracking from it, so the two must never drift apart). §4.1: MEMCHECK
+/// requires IT flushes on high-level events; the policy requests `flush_it`
+/// (with the conservative barrier) on both malloc and free.
+fn memcheck_ca_policy() -> CaPolicy {
+    let flush = CaActions {
+        flush_it: true,
+        flush_if: false,
+        flush_mtlb: true,
+        barrier: true,
+        track_range: false,
+    };
+    CaPolicy::new()
+        .on(HighLevelKind::Malloc, CaPhase::End, flush)
+        .on(HighLevelKind::Free, CaPhase::Begin, flush)
+}
+
 impl MemCheck {
     /// Creates the lifeguard thread monitoring application thread `tid`.
     pub fn new(shared: Rc<RefCell<MemShared>>, tid: ThreadId) -> Self {
-        // §4.1: MEMCHECK requires IT flushes on high-level events; the CA
-        // policy requests flush_it on both malloc and free.
-        let flush = CaActions {
-            flush_it: true,
-            flush_if: false,
-            flush_mtlb: true,
-            barrier: true,
-            track_range: false,
-        };
         MemCheck {
             shared,
             regs: [0; NUM_REGS],
@@ -76,9 +88,7 @@ impl MemCheck {
                 uses_it: true,
                 uses_if: false,
                 uses_mtlb: true,
-                ca_policy: CaPolicy::new()
-                    .on(HighLevelKind::Malloc, CaPhase::End, flush)
-                    .on(HighLevelKind::Free, CaPhase::Begin, flush),
+                ca_policy: memcheck_ca_policy(),
                 bits_per_byte: 2,
                 atomicity: AtomicityClass::SyncFree,
             },
@@ -202,6 +212,150 @@ impl Lifeguard for MemCheck {
     }
 }
 
+/// The `Send + Sync` replay form of MEMCHECK driven by the real-thread
+/// backend: the §5.3 **fast-path/slow-path split** made concrete.
+///
+/// The common case — dataflow propagation of definedness through loads,
+/// stores and ALU ops — runs synchronization-free over a lock-free
+/// [`AtomicShadow`] (application reads map to metadata reads, writes to
+/// writes, and the enforced arcs carry the release/acquire edges), exactly
+/// like [`TaintConcurrent`](crate::TaintConcurrent) with the lattice
+/// inverted. The rare structural events — `malloc`/`free` ConflictAlerts
+/// rewriting whole allocations to [`UNDEFINED`] — take a mutex-guarded slow
+/// path so two issuers' wholesale updates never interleave mid-range; the
+/// CA barrier arcs already order every *access* against them, so the check
+/// path never needs that lock. Register definedness is thread-private, so
+/// each worker's slot is uncontended.
+pub struct MemCheckConcurrent {
+    /// 2-bit-per-byte definedness shadow (bit 0: undefined), lock-free.
+    state: AtomicShadow,
+    /// Per-worker register definedness (thread-private; uncontended locks).
+    regs: Vec<Mutex<[u8; NUM_REGS]>>,
+    /// §5.3 slow path: serializes the rare wholesale metadata rewrites
+    /// (malloc/free ConflictAlerts) against each other.
+    structural: Mutex<()>,
+    violations: Mutex<Vec<Violation>>,
+}
+
+impl std::fmt::Debug for MemCheckConcurrent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The atomic shadow is a multi-megabyte chunk index; a compact
+        // summary beats the derived dump.
+        f.debug_struct("MemCheckConcurrent")
+            .field("threads", &self.regs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemCheckConcurrent {
+    /// A fresh concurrent MEMCHECK for `threads` replayed streams. The
+    /// atomic shadow grows lazily as events arrive, so streams may be
+    /// ingested incrementally — no footprint pre-scan.
+    pub fn new(threads: usize) -> Self {
+        MemCheckConcurrent {
+            state: AtomicShadow::new(),
+            regs: (0..threads).map(|_| Mutex::new([0; NUM_REGS])).collect(),
+            structural: Mutex::new(()),
+            violations: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn join_mem(&self, mem: MemRef, versioned: Option<&VersionedMeta>) -> u8 {
+        join_atomic_shadow(&self.state, mem.range(), versioned)
+    }
+
+    fn apply_op(
+        &self,
+        op: MetaOp,
+        regs: &mut [u8; NUM_REGS],
+        tid: ThreadId,
+        rid: Rid,
+        versioned: Option<&VersionedMeta>,
+    ) {
+        let state = &self.state;
+        match op {
+            MetaOp::MemToReg { dst, src } => regs[dst.index()] = self.join_mem(src, versioned),
+            MetaOp::RegToMem { dst, src } => state.fill(dst, regs[src.index()]),
+            MetaOp::RegToReg { dst, src } => regs[dst.index()] = regs[src.index()],
+            MetaOp::ImmToReg { dst } => regs[dst.index()] = 0, // immediates are defined
+            MetaOp::ImmToMem { dst } => state.fill(dst, 0),
+            MetaOp::MemToMem { dst, src } => {
+                let v = self.join_mem(src, versioned);
+                state.fill(dst, v);
+            }
+            MetaOp::AluRR { dst, a, b } => {
+                regs[dst.index()] = regs[a.index()] | b.map(|b| regs[b.index()]).unwrap_or(0);
+            }
+            MetaOp::AluRM { dst, a, src } => {
+                regs[dst.index()] = regs[a.index()] | self.join_mem(src, versioned);
+            }
+            MetaOp::CheckJmp { target } => {
+                if regs[target.index()] & UNDEFINED != 0 {
+                    self.violations.lock().expect("poisoned").push(Violation {
+                        tid,
+                        rid,
+                        kind: ViolationKind::UndefinedUse,
+                        addr: None,
+                    });
+                }
+            }
+            MetaOp::CheckAccess { .. } => {}
+            MetaOp::RmwOp { mem, reg } => {
+                let m = self.join_mem(mem, versioned);
+                state.fill(mem, regs[reg.index()]);
+                regs[reg.index()] = m;
+            }
+        }
+    }
+}
+
+impl ConcurrentLifeguard for MemCheckConcurrent {
+    fn apply(&self, tid: ThreadId, rec: &EventRecord, versioned: Option<&VersionedMeta>) {
+        match &rec.payload {
+            EventPayload::Instr(instr) => {
+                if let Some(op) = dataflow_view(instr) {
+                    let mut regs = self.regs[tid.index()].lock().expect("poisoned");
+                    self.apply_op(op, &mut regs, tid, rec.rid, versioned);
+                }
+            }
+            EventPayload::Ca(ca) => {
+                // Only the issuer updates metadata (remote copies order).
+                if ca.issuer != tid {
+                    return;
+                }
+                match (ca.what, ca.phase, ca.range) {
+                    // Fresh heap memory is undefined until first written;
+                    // freed memory immediately reverts to undefined. The
+                    // wholesale rewrite is the §5.3 slow path: serialized so
+                    // two issuers' structural updates never interleave.
+                    (HighLevelKind::Malloc, CaPhase::End, Some(range))
+                    | (HighLevelKind::Free, CaPhase::Begin, Some(range)) => {
+                        let _slow = self.structural.lock().expect("poisoned");
+                        self.state.fill_range(range.start, range.len, UNDEFINED);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn ca_policy(&self) -> CaPolicy {
+        memcheck_ca_policy()
+    }
+
+    fn snapshot_meta(&self, range: AddrRange) -> Vec<u8> {
+        self.state.snapshot(range.start, range.len)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.state.fingerprint()
+    }
+
+    fn violations(&self) -> Vec<Violation> {
+        self.violations.lock().expect("poisoned").clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,5 +461,91 @@ mod tests {
             &mut HandlerCtx::new(),
         );
         assert_eq!(lg.reg_state(2), 0);
+    }
+
+    #[test]
+    fn concurrent_form_matches_sequential_lattice() {
+        use paralog_events::Instr;
+        let conc = MemCheckConcurrent::new(2);
+        let (shared, mut seq) = setup();
+        let range = AddrRange::new(0x1000, 16);
+        // Malloc marks undefined on both forms (issuer's copy only).
+        let ca = EventRecord::ca(Rid(1), malloc_ca(range));
+        conc.apply(ThreadId(0), &ca, None);
+        conc.apply(ThreadId(1), &ca, None); // remote copy: no update
+        seq.handle_ca(&malloc_ca(range), true, Rid(1), &mut HandlerCtx::new());
+        assert_eq!(conc.fingerprint(), seq.fingerprint(), "post-malloc state");
+        // Load undefined memory: silent on both; using it as a jump target
+        // reports on both.
+        let load = EventRecord::instr(
+            Rid(2),
+            Instr::Load {
+                dst: r(0),
+                src: m(0x1000),
+            },
+        );
+        conc.apply(ThreadId(0), &load, None);
+        assert!(conc.violations().is_empty(), "copying undefined is silent");
+        let jmp = EventRecord::instr(Rid(3), Instr::JmpReg { target: r(0) });
+        conc.apply(ThreadId(0), &jmp, None);
+        assert_eq!(conc.violations().len(), 1);
+        assert_eq!(conc.violations()[0].kind, ViolationKind::UndefinedUse);
+        // A defined store then re-synchronizes the shadows.
+        let store = EventRecord::instr(
+            Rid(4),
+            Instr::Store {
+                dst: m(0x1000),
+                src: r(1),
+            },
+        );
+        conc.apply(ThreadId(1), &store, None);
+        let mut ctx = HandlerCtx::new();
+        seq.handle(
+            &MetaOp::RegToMem {
+                dst: m(0x1000),
+                src: r(1),
+            },
+            Rid(4),
+            &mut ctx,
+        );
+        assert_eq!(conc.fingerprint(), seq.fingerprint(), "post-store state");
+        let _ = shared;
+    }
+
+    #[test]
+    fn concurrent_reads_honor_versioned_snapshots() {
+        use paralog_events::Instr;
+        let conc = MemCheckConcurrent::new(1);
+        // Live shadow: defined. §5.5 snapshot: the producer's pre-store
+        // (undefined) bytes must win, and the undefinedness must flow to
+        // the register.
+        let load = EventRecord::instr(
+            Rid(1),
+            Instr::Load {
+                dst: r(0),
+                src: m(0x100),
+            },
+        );
+        let versioned = (AddrRange::new(0x100, 4), vec![UNDEFINED; 4]);
+        conc.apply(ThreadId(0), &load, Some(&versioned));
+        let jmp = EventRecord::instr(Rid(2), Instr::JmpReg { target: r(0) });
+        conc.apply(ThreadId(0), &jmp, None);
+        assert_eq!(conc.violations().len(), 1, "versioned undefinedness flows");
+    }
+
+    #[test]
+    fn concurrent_policy_matches_sequential_spec() {
+        let (_shared, seq) = setup();
+        let conc = MemCheckConcurrent::new(1);
+        for (what, phase) in [
+            (HighLevelKind::Malloc, CaPhase::End),
+            (HighLevelKind::Free, CaPhase::Begin),
+        ] {
+            assert_eq!(
+                conc.ca_policy().actions(what, phase),
+                seq.spec().ca_policy.actions(what, phase),
+                "CA policy drift between sequential and concurrent MEMCHECK"
+            );
+        }
     }
 }

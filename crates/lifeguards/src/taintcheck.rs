@@ -243,11 +243,20 @@ impl TaintCheck {
 /// reads map to metadata reads; the enforced arcs carry the release/acquire
 /// edges). Register taint is thread-private, so each worker's slot is
 /// uncontended.
-#[derive(Debug)]
 pub struct TaintConcurrent {
     shadow: AtomicShadow,
     regs: Vec<Mutex<[u8; NUM_REGS]>>,
     violations: Mutex<Vec<Violation>>,
+}
+
+impl std::fmt::Debug for TaintConcurrent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The atomic shadow is a multi-megabyte chunk index; a compact
+        // summary beats the derived dump.
+        f.debug_struct("TaintConcurrent")
+            .field("threads", &self.regs.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl TaintConcurrent {
@@ -264,20 +273,11 @@ impl TaintConcurrent {
 
     /// Joins the metadata of one memory read, honoring an injected §5.5
     /// versioned snapshot: bytes the snapshot covers read the producer's
-    /// pre-store copy, everything else the live atomic shadow (the
-    /// concurrent mirror of [`HandlerCtx::join_shadow`], sharing its
-    /// [`snapshot_coverage`](crate::lifeguard::snapshot_coverage) rule).
+    /// pre-store copy, everything else the live atomic shadow (via the
+    /// shared [`join_atomic_shadow`](crate::lifeguard::join_atomic_shadow)
+    /// rule).
     fn join_mem(&self, mem: MemRef, versioned: Option<&crate::factory::VersionedMeta>) -> u8 {
-        use crate::lifeguard::{snapshot_byte, snapshot_coverage, SnapshotCoverage};
-        let range = mem.range();
-        match snapshot_coverage(versioned, range) {
-            SnapshotCoverage::Full(bytes) => bytes.iter().fold(0, |a, b| a | b),
-            // Genuine partial overlap: byte-wise, versioned bytes win.
-            SnapshotCoverage::Partial(v) => (range.start..range.end()).fold(0, |acc, a| {
-                acc | snapshot_byte(v, a).unwrap_or_else(|| self.shadow.join_range(a, 1))
-            }),
-            SnapshotCoverage::Live => self.shadow.join(mem),
-        }
+        crate::lifeguard::join_atomic_shadow(&self.shadow, mem.range(), versioned)
     }
 
     fn apply_op(

@@ -9,6 +9,10 @@
 //!   Metadata TLB accelerates;
 //! * [`AtomicShadow`] — the lock-free mirror of the same layout shared by
 //!   the real-thread replay executor (§5.3 synchronization-free fast path);
+//! * [`AtomicWordTable`] — the word-granular companion: one CAS-able
+//!   `AtomicU64` per key, for concurrent lifeguards whose per-location state
+//!   does not fit a shadow byte (LockSet's packed state + interned lockset
+//!   id);
 //! * [`VersionTable`] — the produce/consume table backing TSO versioned
 //!   metadata (§5.5);
 //! * [`Fingerprint`] — the order-insensitive metadata fingerprint
@@ -32,8 +36,10 @@ pub mod atomic;
 pub mod fingerprint;
 pub mod shadow;
 pub mod versions;
+pub mod words;
 
 pub use atomic::AtomicShadow;
 pub use fingerprint::Fingerprint;
 pub use shadow::{ShadowMemory, CHUNK_APP_BYTES, META_BASE};
 pub use versions::{ConcurrentVersionTable, VersionTable};
+pub use words::AtomicWordTable;

@@ -30,6 +30,13 @@
 //! assert!(outcome.metrics.execution_cycles() > 0);
 //! ```
 
+// Compile-check and run the README's example blocks as doctests (the CI
+// docs step executes them workspace-wide), so the quickstart cannot rot
+// silently when the API moves.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
 pub use paralog_accel as accel;
 pub use paralog_core as core;
 pub use paralog_events as events;

@@ -1,0 +1,656 @@
+//! Lock-free fast-path MemCheck & LockSet (§5.3): cross-backend parity and
+//! the `LockedConcurrent` retirement.
+//!
+//! The tentpole invariants:
+//!
+//! * all four bundled `LifeguardKind`s now resolve to **hand-written
+//!   lock-free concurrent forms** — nothing bundled pays the generic
+//!   `LockedConcurrent` mutex anymore — while a custom factory still opts
+//!   into the locked fallback with the documented one-liner (and stays
+//!   sequential-only without one);
+//! * `MemCheckConcurrent` and `LockSetConcurrent` replay SC and TSO
+//!   captures on `ThreadedBackend` with fingerprints and violations
+//!   identical to the deterministic backend — from the raw captured
+//!   records and from the codec wire form;
+//! * under genuine thread races (the nightly TSan job's target) the
+//!   lock-free fast paths converge to the sequential analyses' metadata
+//!   and never double-report.
+
+use paralog::core::{
+    DeterministicBackend, MonitorConfig, MonitorSession, MonitoringMode, Platform, ReplaySource,
+    StreamingReplaySource, ThreadedBackend,
+};
+use paralog::events::codec::encode;
+use paralog::events::{
+    AddrRange, ArcKind, CaPhase, CaRecord, DependenceArc, EventRecord, HighLevelKind, Instr,
+    LockId, MemRef, Op, Reg, Rid, ThreadId,
+};
+use paralog::lifeguards::{
+    ConcurrentLifeguard, HandlerCtx, LifeguardFactory, LifeguardFamily, LifeguardKind,
+    LockedConcurrent, Violation, ViolationKind,
+};
+use paralog::workloads::{Benchmark, Workload, WorkloadSpec};
+use proptest::prelude::*;
+
+const HEAP: AddrRange = AddrRange {
+    start: 0x1000_0000,
+    len: 0x1000_0000,
+};
+
+fn workload(bench: Benchmark, threads: usize) -> Workload {
+    WorkloadSpec::benchmark(bench, threads).scale(0.05).build()
+}
+
+fn violation_keys(violations: &[Violation]) -> Vec<(u16, u64, ViolationKind)> {
+    let mut keys: Vec<_> = violations
+        .iter()
+        .map(|v| (v.tid.0, v.rid.0, v.kind))
+        .collect();
+    keys.sort_by_key(|&(tid, rid, _)| (tid, rid));
+    keys
+}
+
+// ---------------------------------------------------------------------------
+// LockedConcurrent retirement
+// ---------------------------------------------------------------------------
+
+/// Regression for the retirement: every bundled analysis resolves to its
+/// hand-written lock-free concurrent form, not the generic mutex adapter.
+#[test]
+fn all_bundled_kinds_resolve_to_lock_free_concurrent_forms() {
+    let expected = [
+        (LifeguardKind::TaintCheck, "TaintConcurrent"),
+        (LifeguardKind::AddrCheck, "AddrCheckConcurrent"),
+        (LifeguardKind::MemCheck, "MemCheckConcurrent"),
+        (LifeguardKind::LockSet, "LockSetConcurrent"),
+    ];
+    for (kind, form) in expected {
+        let conc = kind.concurrent(HEAP, 2).expect("bundled kinds replay");
+        let dbg = format!("{conc:?}");
+        assert!(
+            dbg.contains(form),
+            "{kind} should resolve to {form}, got {dbg}"
+        );
+        assert!(
+            !dbg.contains("LockedConcurrent"),
+            "{kind} still pays the retired locked fallback: {dbg}"
+        );
+    }
+}
+
+/// A custom factory keeps the documented behaviour: no override means
+/// sequential-only, and the one-line `LockedConcurrent` opt-in still wires
+/// it onto `ThreadedBackend` correctly.
+#[test]
+fn custom_factories_still_fall_back_to_locked_concurrent() {
+    #[derive(Debug)]
+    struct NoOptIn;
+    impl LifeguardFactory for NoOptIn {
+        fn name(&self) -> &str {
+            "NoOptIn"
+        }
+        fn build(&self, heap: AddrRange) -> LifeguardFamily {
+            LifeguardKind::MemCheck.build(heap)
+        }
+    }
+    assert!(
+        NoOptIn.concurrent(HEAP, 2).is_none(),
+        "without an override a custom analysis stays sequential-only"
+    );
+
+    #[derive(Debug)]
+    struct OptIn;
+    impl LifeguardFactory for OptIn {
+        fn name(&self) -> &str {
+            "OptIn"
+        }
+        fn build(&self, heap: AddrRange) -> LifeguardFamily {
+            LifeguardKind::MemCheck.build(heap)
+        }
+        fn concurrent(
+            &self,
+            heap: AddrRange,
+            threads: usize,
+        ) -> Option<Box<dyn ConcurrentLifeguard>> {
+            // SAFETY: this factory's families (MemCheck's) are
+            // self-contained.
+            Some(Box::new(unsafe {
+                LockedConcurrent::new(self.build(heap), threads)
+            }))
+        }
+    }
+    let conc = OptIn.concurrent(HEAP, 2).expect("opted in");
+    assert!(format!("{conc:?}").contains("LockedConcurrent"));
+
+    // And the opted-in custom analysis actually runs on the real-thread
+    // backend, agreeing with the deterministic one.
+    let w = workload(Benchmark::Swaptions, 2);
+    let det = MonitorSession::builder()
+        .source(w.clone())
+        .lifeguard_factory(OptIn)
+        .backend(DeterministicBackend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let thr = MonitorSession::builder()
+        .source(w)
+        .lifeguard_factory(OptIn)
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(det.metrics.fingerprint, thr.metrics.fingerprint);
+    assert_eq!(
+        violation_keys(&det.metrics.violations),
+        violation_keys(&thr.metrics.violations)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SC capture parity (workload-driven, raw and codec wire form)
+// ---------------------------------------------------------------------------
+
+/// MemCheck and LockSet replay SC captures on `ThreadedBackend` with
+/// fingerprints and violations identical to the deterministic backend —
+/// from the live run, the raw collected streams, and the codec wire form.
+#[test]
+fn sc_captures_replay_identically_on_both_backends() {
+    // Fluidanimate: fine-grained locking (LockSet's home turf); Swaptions:
+    // malloc/free churn (MemCheck's structural slow path).
+    for (kind, bench) in [
+        (LifeguardKind::MemCheck, Benchmark::Swaptions),
+        (LifeguardKind::MemCheck, Benchmark::Fluidanimate),
+        (LifeguardKind::LockSet, Benchmark::Fluidanimate),
+        (LifeguardKind::LockSet, Benchmark::Radiosity),
+    ] {
+        let w = workload(bench, 4);
+        let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, kind);
+        cfg.collect_streams = true;
+        let live = Platform::run(&w, &cfg).metrics;
+        let streams = live.streams.clone().expect("collection enabled");
+
+        // Deterministic lifeguard-only ingestion of the raw capture.
+        let det = MonitorSession::builder()
+            .source(ReplaySource::new(streams.clone(), w.heap))
+            .lifeguard(kind)
+            .backend(DeterministicBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            det.metrics.fingerprint, live.fingerprint,
+            "{kind}/{bench}: ingestion diverged from the live run"
+        );
+
+        // Threaded replay of the raw capture (the new lock-free forms).
+        let thr = MonitorSession::builder()
+            .source(ReplaySource::new(streams.clone(), w.heap))
+            .lifeguard(kind)
+            .backend(ThreadedBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            thr.metrics.fingerprint, det.metrics.fingerprint,
+            "{kind}/{bench}: threaded replay diverged on final metadata"
+        );
+        assert_eq!(
+            violation_keys(&thr.metrics.violations),
+            violation_keys(&det.metrics.violations),
+            "{kind}/{bench}: threaded replay diverged on violations"
+        );
+
+        // Threaded replay of the codec wire form, streamed in small chunks.
+        let encoded: Vec<Vec<u8>> = streams.iter().map(|s| encode(s)).collect();
+        let src = StreamingReplaySource::from_encoded(encoded, w.heap).with_chunk_bytes(256);
+        let wire = MonitorSession::builder()
+            .source(src)
+            .lifeguard(kind)
+            .backend(ThreadedBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            wire.metrics.fingerprint, det.metrics.fingerprint,
+            "{kind}/{bench}: codec-decoded threaded replay diverged"
+        );
+        assert_eq!(
+            violation_keys(&wire.metrics.violations),
+            violation_keys(&det.metrics.violations),
+            "{kind}/{bench}: codec-decoded violations diverged"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TSO capture parity (§5.5 versioned metadata through the new forms)
+// ---------------------------------------------------------------------------
+
+/// The Figure 5 Dekker pattern reshaped for MEMCHECK: each side mallocs its
+/// own flag region (marking it undefined), defines its flag with a store,
+/// then reads the other's flag — under TSO the read may consume the
+/// producer's *pre-store* (still-undefined) version, which must flow into
+/// the reader's downstream store identically on both backends.
+fn dekker_memcheck(pad: usize) -> Workload {
+    let a = MemRef::new(0x2000_0000, 8);
+    let b = MemRef::new(0x2000_0100, 8);
+    let side = |mine: MemRef, theirs: MemRef| {
+        let mut ops = vec![Op::Malloc {
+            range: AddrRange::new(mine.addr, 8),
+        }];
+        for _ in 0..pad {
+            ops.push(Op::Instr(Instr::Nop));
+        }
+        ops.push(Op::Instr(Instr::MovRI { dst: Reg(0) }));
+        ops.push(Op::Instr(Instr::Store {
+            dst: mine,
+            src: Reg(0),
+        }));
+        ops.push(Op::Instr(Instr::Load {
+            dst: Reg(1),
+            src: theirs,
+        }));
+        ops.push(Op::Instr(Instr::Store {
+            dst: MemRef::new(mine.addr + 0x40, 8),
+            src: Reg(1),
+        }));
+        ops
+    };
+    Workload {
+        name: "figure5-memcheck".into(),
+        benchmark: None,
+        threads: vec![side(a, b), side(b, a)],
+        heap: AddrRange::new(0x1000_0000, 0x1000_0000),
+        locks: 0,
+    }
+}
+
+/// Acceptance: a §5.5 versioned MEMCHECK stream replays on
+/// `ThreadedBackend` with fingerprints and violations identical to
+/// `DeterministicBackend` — raw capture and codec wire form.
+#[test]
+fn memcheck_tso_capture_replays_identically_on_both_backends() {
+    let mut any_versions = 0u64;
+    for pad in [0usize, 1, 2, 3, 5, 8] {
+        let w = dekker_memcheck(pad);
+        let mut cfg =
+            MonitorConfig::new(MonitoringMode::Parallel, LifeguardKind::MemCheck).with_tso();
+        cfg.collect_streams = true;
+        let live = Platform::run(&w, &cfg).metrics;
+        let streams = live.streams.clone().expect("collection enabled");
+        any_versions += live.versions_produced;
+
+        let det = MonitorSession::builder()
+            .source(ReplaySource::new(streams.clone(), w.heap))
+            .lifeguard(LifeguardKind::MemCheck)
+            .backend(DeterministicBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            det.metrics.fingerprint, live.fingerprint,
+            "pad={pad}: deterministic ingestion diverged from the live run"
+        );
+
+        let thr = MonitorSession::builder()
+            .source(ReplaySource::new(streams.clone(), w.heap))
+            .lifeguard(LifeguardKind::MemCheck)
+            .backend(ThreadedBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            thr.metrics.fingerprint, det.metrics.fingerprint,
+            "pad={pad}: threaded TSO replay diverged on final metadata"
+        );
+        assert_eq!(
+            violation_keys(&thr.metrics.violations),
+            violation_keys(&det.metrics.violations),
+            "pad={pad}: threaded TSO replay diverged on violations"
+        );
+        assert_eq!(thr.metrics.versions_produced, live.versions_produced);
+        assert_eq!(thr.metrics.versions_consumed, live.versions_consumed);
+
+        let encoded: Vec<Vec<u8>> = streams.iter().map(|s| encode(s)).collect();
+        let src = StreamingReplaySource::from_encoded(encoded, w.heap).with_chunk_bytes(64);
+        let wire = MonitorSession::builder()
+            .source(src)
+            .lifeguard(LifeguardKind::MemCheck)
+            .backend(ThreadedBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            wire.metrics.fingerprint, det.metrics.fingerprint,
+            "pad={pad}: codec-decoded TSO replay diverged"
+        );
+    }
+    assert!(
+        any_versions > 0,
+        "no pad manifested a store-buffer version; the §5.5 MemCheck path \
+         went untested"
+    );
+}
+
+/// TSO *workloads* replay end to end through the new forms on the
+/// real-thread backend, reproducing their own deterministic capture
+/// (LockSet keeps no byte shadow — its all-clean snapshots must still flow
+/// through the produce/consume machinery without divergence).
+#[test]
+fn tso_workloads_replay_through_new_forms() {
+    for (kind, bench) in [
+        (LifeguardKind::MemCheck, Benchmark::Ocean),
+        (LifeguardKind::LockSet, Benchmark::Fluidanimate),
+    ] {
+        let w = workload(bench, 4);
+        let out = MonitorSession::builder()
+            .source(w)
+            .config(MonitorConfig::new(MonitoringMode::Parallel, kind).with_tso())
+            .backend(ThreadedBackend)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            out.metrics.matches_reference(),
+            "{kind}/{bench}: TSO threaded replay diverged from its capture"
+        );
+        assert_eq!(
+            out.metrics.versions_produced, out.metrics.versions_consumed,
+            "{kind}/{bench}: every produced version must find its consumer"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-built LockSet race capture: deterministic attribution via arcs
+// ---------------------------------------------------------------------------
+
+fn lock_ca(rid: u64, tid: u16, lock: u32, acquire: bool) -> EventRecord {
+    EventRecord::ca(
+        Rid(rid),
+        CaRecord {
+            what: if acquire {
+                HighLevelKind::Lock(LockId(lock))
+            } else {
+                HighLevelKind::Unlock(LockId(lock))
+            },
+            phase: if acquire {
+                CaPhase::End
+            } else {
+                CaPhase::Begin
+            },
+            range: None,
+            issuer: ThreadId(tid),
+            issuer_rid: Rid(rid),
+            seq: u64::MAX,
+        },
+    )
+}
+
+fn store(rid: u64, addr: u64) -> EventRecord {
+    EventRecord::instr(
+        Rid(rid),
+        Instr::Store {
+            dst: MemRef::new(addr, 4),
+            src: Reg(0),
+        },
+    )
+}
+
+/// A hand-built capture whose race report is attribution-deterministic
+/// (the racing write carries a WAW arc to the prior write, so both
+/// backends must deliver — and report — in the same order), replayed raw
+/// and through the codec wire form.
+#[test]
+fn lockset_race_capture_agrees_across_backends() {
+    let heap = AddrRange::new(0x1000_0000, 0x10000);
+    let var = 0x200u64;
+    let protected = 0x300u64;
+
+    // Thread 0: lock-disciplined write to `protected`, bare write to `var`.
+    let t0 = vec![
+        lock_ca(1, 0, 7, true),
+        store(2, protected),
+        lock_ca(3, 0, 7, false),
+        store(4, var),
+    ];
+    // Thread 1: same discipline on `protected` (ordered after T0's unlock
+    // via a sync arc), then an unprotected write to `var` ordered after
+    // T0's by its captured WAW arc — the access that empties the candidate
+    // set and must report the race, on both backends.
+    let mut t1_lock = lock_ca(1, 1, 7, true);
+    t1_lock.arcs.push(DependenceArc {
+        src: ThreadId(0),
+        src_rid: Rid(3),
+        kind: ArcKind::Sync,
+    });
+    let mut t1_prot = store(2, protected);
+    t1_prot.arcs.push(DependenceArc {
+        src: ThreadId(0),
+        src_rid: Rid(2),
+        kind: ArcKind::Waw,
+    });
+    let mut t1_race = store(4, var);
+    t1_race.arcs.push(DependenceArc {
+        src: ThreadId(0),
+        src_rid: Rid(4),
+        kind: ArcKind::Waw,
+    });
+    let t1 = vec![t1_lock, t1_prot, lock_ca(3, 1, 7, false), t1_race];
+
+    let streams = vec![t0, t1];
+    let run = |backend: bool, streams: Vec<Vec<EventRecord>>| {
+        let builder = MonitorSession::builder()
+            .source(ReplaySource::new(streams, heap))
+            .lifeguard(LifeguardKind::LockSet);
+        let builder = if backend {
+            builder.backend(ThreadedBackend)
+        } else {
+            builder.backend(DeterministicBackend)
+        };
+        builder.build().unwrap().run().unwrap()
+    };
+
+    let det = run(false, streams.clone());
+    assert_eq!(
+        violation_keys(&det.metrics.violations),
+        vec![(1, 4, ViolationKind::DataRace)],
+        "the arc-ordered racing write reports, the disciplined one does not"
+    );
+    let thr = run(true, streams.clone());
+    assert_eq!(thr.metrics.fingerprint, det.metrics.fingerprint);
+    assert_eq!(
+        violation_keys(&thr.metrics.violations),
+        violation_keys(&det.metrics.violations)
+    );
+
+    // Codec wire form through the threaded backend.
+    let encoded: Vec<Vec<u8>> = streams.iter().map(|s| encode(s)).collect();
+    let wire = MonitorSession::builder()
+        .source(StreamingReplaySource::from_encoded(encoded, heap).with_chunk_bytes(32))
+        .lifeguard(LifeguardKind::LockSet)
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(wire.metrics.fingerprint, det.metrics.fingerprint);
+    assert_eq!(
+        violation_keys(&wire.metrics.violations),
+        violation_keys(&det.metrics.violations)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Racing-threads properties (the nightly TSan job races these)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MemCheck's lock-free fast path under genuine races: threads replay
+    /// disjoint slabs (malloc → undefined, stores define, loads propagate)
+    /// plus loads of a shared read-only region, on real threads. The final
+    /// shadow must match the sequential family applied in any order, and
+    /// no worker's propagation may leak into another slab.
+    #[test]
+    fn memcheck_racing_disjoint_slabs_match_sequential(
+        threads in 2usize..5,
+        blocks in 4u64..24,
+    ) {
+        let conc = LifeguardKind::MemCheck.concurrent(HEAP, threads).expect("lock-free form");
+        let slab = |t: usize| HEAP.start + t as u64 * 0x1000;
+        let stream = |t: usize| {
+            let base = slab(t);
+            let mut recs = vec![EventRecord::ca(
+                Rid(1),
+                CaRecord {
+                    what: HighLevelKind::Malloc,
+                    phase: CaPhase::End,
+                    range: Some(AddrRange::new(base, blocks * 8)),
+                    issuer: ThreadId(t as u16),
+                    issuer_rid: Rid(1),
+                    seq: u64::MAX,
+                },
+            )];
+            let mut rid = 2u64;
+            for b in 0..blocks {
+                // Define even blocks; leave odd blocks undefined.
+                if b % 2 == 0 {
+                    recs.push(EventRecord::instr(Rid(rid), Instr::MovRI { dst: Reg(0) }));
+                    rid += 1;
+                    recs.push(EventRecord::instr(Rid(rid), Instr::Store {
+                        dst: MemRef::new(base + b * 8, 8),
+                        src: Reg(0),
+                    }));
+                    rid += 1;
+                } else {
+                    recs.push(EventRecord::instr(Rid(rid), Instr::Load {
+                        dst: Reg(1),
+                        src: MemRef::new(base + b * 8, 8),
+                    }));
+                    rid += 1;
+                }
+            }
+            recs
+        };
+        let streams: Vec<Vec<EventRecord>> = (0..threads).map(stream).collect();
+        std::thread::scope(|scope| {
+            for (t, recs) in streams.iter().enumerate() {
+                let conc = &*conc;
+                scope.spawn(move || {
+                    for rec in recs {
+                        conc.apply(ThreadId(t as u16), rec, None);
+                    }
+                });
+            }
+        });
+        // Sequential reference: the same records thread by thread.
+        let family = LifeguardKind::MemCheck.build(HEAP);
+        let mut lgs: Vec<_> = (0..threads)
+            .map(|t| family.thread(ThreadId(t as u16)))
+            .collect();
+        for (t, recs) in streams.iter().enumerate() {
+            for rec in recs {
+                let mut ctx = HandlerCtx::new();
+                match &rec.payload {
+                    paralog::events::EventPayload::Instr(instr) => {
+                        if let Some(op) = paralog::events::dataflow_view(instr) {
+                            lgs[t].handle(&op, rec.rid, &mut ctx);
+                        }
+                    }
+                    paralog::events::EventPayload::Ca(ca) => {
+                        lgs[t].handle_ca(ca, ca.issuer == ThreadId(t as u16), rec.rid, &mut ctx);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(conc.fingerprint(), lgs[0].fingerprint(),
+            "racing disjoint-slab replay must converge to the sequential shadow");
+        prop_assert!(conc.violations().is_empty());
+    }
+
+    /// LockSet's CAS fast path under genuine races: every thread holds the
+    /// same lock mask and writes every shared word, so the per-word
+    /// transitions are confluent — the final state must match the
+    /// sequential family, and an empty mask must yield *exactly one*
+    /// DataRace per word no matter how many writers race the report.
+    #[test]
+    fn lockset_racing_writers_converge_and_report_once(
+        threads in 2usize..5,
+        words in 1u64..12,
+        lock_choice in 0u32..64,
+    ) {
+        // The offline proptest shim has no `option` module; 0 encodes "no
+        // lock held" (the racing case), anything else a shared lock id.
+        let lock_mask: Option<u32> = (lock_choice != 0).then_some(lock_choice - 1);
+        let conc = LifeguardKind::LockSet.concurrent(HEAP, threads).expect("lock-free form");
+        let stream = |t: usize| {
+            let mut recs = Vec::new();
+            let mut rid = 1u64;
+            if let Some(lock) = lock_mask {
+                recs.push(lock_ca(rid, t as u16, lock, true));
+                rid += 1;
+            }
+            for w in 0..words {
+                recs.push(store(rid, 0x4000 + w * 4));
+                rid += 1;
+            }
+            // A second pass so every thread contributes its held set to the
+            // candidate intersection regardless of interleaving.
+            for w in 0..words {
+                recs.push(store(rid, 0x4000 + w * 4));
+                rid += 1;
+            }
+            recs
+        };
+        let streams: Vec<Vec<EventRecord>> = (0..threads).map(stream).collect();
+        std::thread::scope(|scope| {
+            for (t, recs) in streams.iter().enumerate() {
+                let conc = &*conc;
+                scope.spawn(move || {
+                    for rec in recs {
+                        conc.apply(ThreadId(t as u16), rec, None);
+                    }
+                });
+            }
+        });
+        let races = u64::from(lock_mask.is_none()) * words;
+        prop_assert_eq!(conc.violations().len() as u64, races,
+            "exactly one report per unprotected word, none when locked");
+        // Sequential reference: same streams, thread by thread.
+        let family = LifeguardKind::LockSet.build(HEAP);
+        let mut lgs: Vec<_> = (0..threads)
+            .map(|t| family.thread(ThreadId(t as u16)))
+            .collect();
+        let mut seq_violations = 0usize;
+        for (t, recs) in streams.iter().enumerate() {
+            for rec in recs {
+                let mut ctx = HandlerCtx::new();
+                match &rec.payload {
+                    paralog::events::EventPayload::Instr(instr) => {
+                        if let Some(op) = paralog::events::check_view(instr) {
+                            lgs[t].handle(&op, rec.rid, &mut ctx);
+                        }
+                    }
+                    paralog::events::EventPayload::Ca(ca) => {
+                        lgs[t].handle_ca(ca, ca.issuer == ThreadId(t as u16), rec.rid, &mut ctx);
+                    }
+                }
+                seq_violations += ctx.violations.len();
+            }
+        }
+        prop_assert_eq!(seq_violations as u64, races);
+        prop_assert_eq!(conc.fingerprint(), lgs[0].fingerprint(),
+            "racing same-mask writers must converge to the sequential state");
+    }
+}

@@ -203,10 +203,11 @@ fn threaded_backend_replays_tso_workloads() {
 }
 
 #[test]
-fn locked_fallback_runs_every_bundled_lifeguard_threaded() {
-    // Every bundled analysis replays on the real-thread backend — AddrCheck
-    // through its lock-free §5.3 form, MemCheck/LockSet through the generic
-    // `LockedConcurrent` adapter — and must agree with the deterministic
+fn every_bundled_lifeguard_replays_threaded_lock_free() {
+    // Every bundled analysis replays on the real-thread backend through its
+    // hand-written lock-free §5.3 form (the generic `LockedConcurrent`
+    // adapter is retired for bundled kinds; see tests/concurrent_lifeguards.rs
+    // for the retirement regression) — and must agree with the deterministic
     // backend on final metadata and violations.
     let w = workload(Benchmark::Fluidanimate, 4);
     for kind in [
@@ -333,7 +334,7 @@ fn syscall_race_violations_agree_across_backends() {
     );
     assert_eq!(det.metrics.fingerprint, thr.metrics.fingerprint);
 
-    // The locked fallback polices the same table: AddrCheck subscribes to
+    // The lock-free forms police the same table: AddrCheck subscribes to
     // no syscall ranges, so both backends must agree there too (no spurious
     // hits from a policy-less range table).
     let det = MonitorSession::builder()

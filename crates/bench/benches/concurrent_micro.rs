@@ -256,6 +256,50 @@ fn bench_concurrent_versions(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Reclamation under the cross-thread hand-off: the producer strides one
+    // version per dense chunk (maximal allocation rate) while the consumer
+    // retires them and advances its shard epoch at batch-boundary cadence.
+    // `reclaim_on` pays the drain-queue/sweep bookkeeping and reuses spare
+    // chunks; `reclaim_off` is the grow-only baseline.
+    const SWEEP_CHUNKS: u64 = 512;
+    const SWEEP_EPOCH: u64 = 64;
+    let mut group = c.benchmark_group("concurrent_reclamation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SWEEP_CHUNKS));
+    for on in [true, false] {
+        let name = if on { "reclaim_on" } else { "reclaim_off" };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let table = ConcurrentVersionTable::new(1).with_reclamation(on);
+                let cvid = |c: u64| vid(0, c * ConcurrentVersionTable::CHUNK_RIDS + 1);
+                std::thread::scope(|scope| {
+                    let t = &table;
+                    scope.spawn(move || {
+                        for c in 0..SWEEP_CHUNKS {
+                            t.produce(cvid(c), range, snapshot(), 1);
+                        }
+                    });
+                    scope.spawn(move || {
+                        for c in 0..SWEEP_CHUNKS {
+                            loop {
+                                if let Some(v) = t.consume(cvid(c)) {
+                                    black_box(v);
+                                    break;
+                                }
+                                t.wait_available(cvid(c), Duration::from_micros(50));
+                            }
+                            if c % SWEEP_EPOCH == 0 {
+                                t.advance_epoch(ThreadId(0));
+                            }
+                        }
+                    });
+                });
+                black_box(table.peak_dense_resident())
+            })
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_concurrent_replay, bench_concurrent_versions);

@@ -9,7 +9,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use paralog_events::{AddrRange, Rid, ThreadId, VersionId};
-use paralog_meta::VersionTable;
+use paralog_meta::{ConcurrentVersionTable, VersionTable};
 use std::collections::HashMap;
 
 /// The seed's version table: `HashMap` keyed by the full `VersionId`.
@@ -144,6 +144,34 @@ fn bench_versions(c: &mut Criterion) {
             black_box(hits)
         })
     });
+    group.finish();
+
+    // Epoch reclamation's cost on a chunk-striding sweep (one version per
+    // dense chunk, the worst allocation rate per op): `on` frees drained
+    // chunks at each simulated batch boundary and reuses spares, `off` is
+    // the grow-only baseline that keeps every touched chunk resident. The
+    // ratio is the price of bounded residency; the soak suite pins the
+    // bound itself.
+    const SWEEP_CHUNKS: u64 = 1024;
+    const SWEEP_EPOCH: u64 = 64;
+    let mut group = c.benchmark_group("versions_reclamation");
+    group.throughput(Throughput::Elements(SWEEP_CHUNKS));
+    for on in [true, false] {
+        group.bench_function(if on { "reclaim_on" } else { "reclaim_off" }, |b| {
+            b.iter(|| {
+                let table = ConcurrentVersionTable::new(1).with_reclamation(on);
+                for c in 0..SWEEP_CHUNKS {
+                    let id = vid(0, c * ConcurrentVersionTable::CHUNK_RIDS + 1);
+                    table.produce(id, range, snapshot(), 1);
+                    black_box(table.consume(id));
+                    if c % SWEEP_EPOCH == 0 {
+                        table.advance_epoch(ThreadId(0));
+                    }
+                }
+                black_box(table.peak_dense_resident())
+            })
+        });
+    }
     group.finish();
 
     // Bypass-heavy runs: every consumer outruns its producer (§5.5 without

@@ -6,7 +6,7 @@
 //! syscall-containment stalls. All counters are simulated cycles.
 
 use paralog_accel::{IfStats, ItStats, MtlbStats};
-use paralog_lifeguards::Violation;
+use paralog_lifeguards::{SessionEvent, Violation};
 use paralog_order::CaptureStats;
 
 /// Cycle buckets of one application thread.
@@ -97,6 +97,10 @@ pub struct RunMetrics {
     /// Fully annotated per-thread event streams, when
     /// [`MonitorConfig::collect_streams`](crate::MonitorConfig) is set.
     pub streams: Option<Vec<Vec<paralog_events::EventRecord>>>,
+    /// Non-fatal session diagnostics surfaced by the lifeguards (e.g. a
+    /// [`SessionEvent::DegradedPrecision`] notice when an interner saturates
+    /// and the analysis falls back to a sound over-approximation).
+    pub events: Vec<SessionEvent>,
 }
 
 impl RunMetrics {

@@ -530,6 +530,13 @@ impl<'a> DeliveryCtx<'a> {
 /// [`DeliveryCtx::process_record`], minus accelerators and cycle
 /// accounting. Called by the deterministic backend's streaming replay loop
 /// once a record's arcs are satisfied.
+///
+/// A structurally invalid produce annotation (duplicate version id, length
+/// mismatch, empty consumer set) is a malformed *stream*, not a platform
+/// bug: it is reported as [`MalformedStream`] rather than panicking, so a
+/// corrupted transport cannot take the monitor down.
+///
+/// [`MalformedStream`]: crate::session::SessionError::MalformedStream
 #[allow(clippy::too_many_arguments)] // the replay loop's split borrows
 pub(crate) fn deliver_ingested(
     rec: &EventRecord,
@@ -540,13 +547,19 @@ pub(crate) fn deliver_ingested(
     ca_policy: &CaPolicy,
     violations: &mut Vec<Violation>,
     delivered_ops: &mut u64,
-) {
+) -> Result<(), crate::session::SessionError> {
     let lg = &mut lgs[t];
     let rid = rec.rid;
     for (vid, mem, consumers) in &rec.produce_versions {
         let range = mem.range();
         let snapshot = lg.snapshot_meta(range);
-        versions.produce(*vid, range, snapshot, *consumers);
+        versions
+            .try_produce(*vid, range, snapshot, *consumers)
+            .map_err(|err| {
+                crate::session::SessionError::MalformedStream(format!(
+                    "thread {t} stream carries an invalid produce annotation: {err}"
+                ))
+            })?;
     }
     let versioned: Option<(AddrRange, Vec<u8>)> = rec.consume_version.and_then(|(vid, _)| {
         let got = versions.consume(vid);
@@ -592,6 +605,7 @@ pub(crate) fn deliver_ingested(
             *delivered_ops += 1;
         }
     }
+    Ok(())
 }
 
 /// Delivers one metadata op to the lifeguard: dispatch + handler cost,

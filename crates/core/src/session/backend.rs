@@ -275,7 +275,7 @@ fn replay_streams(
                         &ca_policy,
                         &mut violations,
                         &mut delivered_ops,
-                    );
+                    )?;
                     progress.advertise(ThreadId(t as u16), rec.rid);
                     records += 1;
                     any_progress = true;
@@ -437,7 +437,13 @@ impl Backend for ThreadedBackend {
                 let run = &run;
                 let ca_policy = &ca_policy;
                 scope.spawn(move || {
-                    replay_worker(ThreadId(tid as u16), stream, conc, ca_policy, run, k)
+                    let tid = ThreadId(tid as u16);
+                    replay_worker(tid, stream, conc, ca_policy, run, k);
+                    // However the worker exited (drained, failed, aborted),
+                    // it stops gating quiescence and flushes its shard's
+                    // retire queue.
+                    conc.stream_done(tid);
+                    run.versions.advance_epoch(tid);
                 });
             }
         });
@@ -461,6 +467,7 @@ impl Backend for ThreadedBackend {
                 violations,
                 fingerprint: conc.fingerprint(),
                 reference_fingerprint: expected,
+                events: conc.session_events(),
                 ..RunMetrics::default()
             },
         })
@@ -528,6 +535,12 @@ fn replay_worker(
                 }
             }
             idle_polls = 0;
+            // Batch boundary: no record application is in flight on this
+            // worker, so stale fast-path reads are dead — the quiescence
+            // point epoch-based reclamation (version-table chunks, interned
+            // lockset masks) keys off.
+            conc.epoch_boundary(tid);
+            run.versions.advance_epoch(tid);
         }
         while let Some(rec) = pending.pop_front() {
             // §5.2 enforcement: spin until every arc is satisfied.
@@ -580,7 +593,16 @@ fn replay_worker(
             for (vid, mem, consumers) in &rec.produce_versions {
                 let range = mem.range();
                 let snapshot = conc.snapshot_meta(range);
-                run.versions.produce(*vid, range, snapshot, *consumers);
+                // A structurally invalid annotation (duplicate id, zero
+                // consumers, out-of-range consumer thread) means the wire
+                // stream is corrupt: report it, don't panic a worker.
+                if let Err(err) = run.versions.try_produce(*vid, range, snapshot, *consumers) {
+                    run.fail(SessionError::MalformedStream(format!(
+                        "thread {} stream carries an invalid produce annotation: {err}",
+                        tid.0
+                    )));
+                    return;
+                }
             }
             // §5.5 consume points: unlike the deterministic paths, a missing
             // version is *not* a bypass here — reading the live shadow would

@@ -1,0 +1,268 @@
+//! Deterministic fault injection for streaming transports.
+//!
+//! Robustness claim under test: whatever a transport does to the wire
+//! bytes — fragments them, stalls, flips a bit, cuts the connection — the
+//! monitor reports a [`SessionError`](crate::session::SessionError) and
+//! returns; it never hangs a worker, never poisons a lock, never leaks a
+//! parked consumer. [`FaultyReader`] wraps any [`Read`] transport and
+//! injects a *seeded, reproducible* schedule of the four fault classes a
+//! real socket or pipe exhibits:
+//!
+//! * **short reads** — every `read` returns a random 1–7 byte fragment,
+//!   exercising the decoder's partial-record rewind path;
+//! * **transient stalls** — periodic [`ErrorKind::WouldBlock`] errors, each
+//!   firing exactly once before the same offset succeeds (a recoverable
+//!   `EAGAIN`, not an outage);
+//! * **byte corruption** — chosen absolute offsets are XOR-flipped,
+//!   exercising checksum detection;
+//! * **truncation** — the stream ends at a chosen offset as if the peer
+//!   vanished, exercising mid-record and record-boundary cut handling.
+//!
+//! The schedule depends only on the seed and the construction calls, so a
+//! failing fuzz case replays exactly from its seed.
+//!
+//! ```rust
+//! use paralog_core::session::FaultyReader;
+//! use std::io::Read;
+//!
+//! let wire = vec![0xAAu8; 64];
+//! let mut reader = FaultyReader::new(&wire[..], 7)
+//!     .short_reads()
+//!     .corrupt_byte(10)
+//!     .truncate_at(32);
+//! let mut got = Vec::new();
+//! reader.read_to_end(&mut got).unwrap();
+//! assert_eq!(got.len(), 32);
+//! assert_eq!(got[10], 0xAA ^ 0xFF);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Error, ErrorKind, Read, Result};
+
+/// Largest fragment a short-read schedule delivers per `read` call.
+const MAX_FRAGMENT: u64 = 7;
+
+/// A [`Read`] adapter injecting a deterministic, seeded fault schedule.
+///
+/// See the [module docs](self) for the fault classes. All faults compose:
+/// a short-read stall-injecting corrupting truncating reader is a
+/// legitimate (if hostile) transport.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    rng: StdRng,
+    /// Absolute offset of the next byte to deliver.
+    pos: u64,
+    short_reads: bool,
+    /// Approximate bytes between transient `WouldBlock` stalls.
+    stall_every: Option<u64>,
+    /// Offset at or past which the next stall fires (each fires once).
+    next_stall: u64,
+    /// Absolute offsets whose byte is XOR-flipped on delivery.
+    corrupt: Vec<u64>,
+    /// Deliver exactly this many bytes, then report end-of-stream.
+    truncate_at: Option<u64>,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner` with an empty fault schedule driven by `seed`.
+    pub fn new(inner: R, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Burn one draw so distinct seeds diverge immediately even for
+        // schedules that never consult the generator again.
+        let _ = rng.next_u64();
+        FaultyReader {
+            inner,
+            rng,
+            pos: 0,
+            short_reads: false,
+            stall_every: None,
+            next_stall: 0,
+            corrupt: Vec::new(),
+            truncate_at: None,
+        }
+    }
+
+    /// Fragments every `read` into a random 1–7 byte delivery.
+    #[must_use]
+    pub fn short_reads(mut self) -> Self {
+        self.short_reads = true;
+        self
+    }
+
+    /// Injects a transient [`ErrorKind::WouldBlock`] roughly every
+    /// `interval` bytes. Each stall point fires exactly once; the retry at
+    /// the same offset succeeds, modeling a recoverable `EAGAIN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn stall_every(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "stall interval must be positive");
+        self.stall_every = Some(interval);
+        self.next_stall = interval;
+        self
+    }
+
+    /// XOR-flips the byte at absolute stream `offset` on delivery.
+    #[must_use]
+    pub fn corrupt_byte(mut self, offset: u64) -> Self {
+        self.corrupt.push(offset);
+        self
+    }
+
+    /// Ends the stream after exactly `offset` bytes, as if the peer
+    /// disconnected mid-transfer.
+    #[must_use]
+    pub fn truncate_at(mut self, offset: u64) -> Self {
+        self.truncate_at = Some(offset);
+        self
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some(cut) = self.truncate_at {
+            if self.pos >= cut {
+                return Ok(0);
+            }
+        }
+        if let Some(interval) = self.stall_every {
+            if self.pos >= self.next_stall {
+                // Arm the next stall point *before* erroring so the retry
+                // at this offset proceeds: the stall is transient.
+                self.next_stall = self.pos + interval;
+                return Err(Error::new(ErrorKind::WouldBlock, "injected stall"));
+            }
+        }
+        let mut len = buf.len() as u64;
+        if self.short_reads {
+            len = len.min(self.rng.gen_range(1..=MAX_FRAGMENT));
+        }
+        if let Some(cut) = self.truncate_at {
+            len = len.min(cut - self.pos);
+        }
+        let n = self.inner.read(&mut buf[..len as usize])?;
+        for (i, byte) in buf[..n].iter_mut().enumerate() {
+            if self.corrupt.contains(&(self.pos + i as u64)) {
+                *byte ^= 0xFF;
+            }
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(mut r: impl Read) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut buf = [0u8; 16];
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => return out,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_schedule_is_transparent() {
+        let wire: Vec<u8> = (0..=255).collect();
+        assert_eq!(drain(FaultyReader::new(&wire[..], 1)), wire);
+    }
+
+    #[test]
+    fn short_reads_fragment_but_preserve_bytes() {
+        let wire: Vec<u8> = (0..=255).collect();
+        let mut r = FaultyReader::new(&wire[..], 2).short_reads();
+        let mut buf = [0u8; 64];
+        let first = r.read(&mut buf).unwrap();
+        assert!(
+            (1..=MAX_FRAGMENT as usize).contains(&first),
+            "short read delivered {first} bytes"
+        );
+        let mut out = buf[..first].to_vec();
+        out.extend(drain(r));
+        assert_eq!(out, wire);
+    }
+
+    #[test]
+    fn same_seed_same_fragmentation() {
+        let wire = vec![7u8; 256];
+        let frags = |seed| {
+            let mut r = FaultyReader::new(&wire[..], seed).short_reads();
+            let mut buf = [0u8; 64];
+            let mut sizes = Vec::new();
+            loop {
+                match r.read(&mut buf).unwrap() {
+                    0 => return sizes,
+                    n => sizes.push(n),
+                }
+            }
+        };
+        assert_eq!(frags(42), frags(42));
+        assert_ne!(frags(42), frags(43));
+    }
+
+    #[test]
+    fn stalls_are_transient_and_periodic() {
+        let wire = [0u8; 100];
+        let mut r = FaultyReader::new(&wire[..], 3).stall_every(10);
+        let mut buf = [0u8; 10];
+        let mut stalls = 0;
+        let mut got = 0;
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => stalls += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(got, 100, "every byte arrives despite stalls");
+        assert!(stalls >= 9, "expected periodic stalls, saw {stalls}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_the_chosen_offset() {
+        let wire = [0x00u8; 32];
+        let got = drain(FaultyReader::new(&wire[..], 4).corrupt_byte(17));
+        for (i, b) in got.iter().enumerate() {
+            assert_eq!(*b, if i == 17 { 0xFF } else { 0x00 }, "offset {i}");
+        }
+    }
+
+    #[test]
+    fn corruption_lands_even_under_short_reads() {
+        let wire = [0x55u8; 64];
+        let got = drain(
+            FaultyReader::new(&wire[..], 5)
+                .short_reads()
+                .corrupt_byte(0)
+                .corrupt_byte(33)
+                .corrupt_byte(63),
+        );
+        assert_eq!(got.len(), 64);
+        for &i in &[0usize, 33, 63] {
+            assert_eq!(got[i], 0x55 ^ 0xFF, "offset {i}");
+        }
+        assert_eq!(got[1], 0x55);
+    }
+
+    #[test]
+    fn truncation_cuts_the_stream_short() {
+        let wire = [9u8; 64];
+        let got = drain(FaultyReader::new(&wire[..], 6).truncate_at(20));
+        assert_eq!(got, vec![9u8; 20]);
+    }
+}

@@ -39,9 +39,11 @@
 //! ```
 
 mod backend;
+pub mod fault;
 pub mod source;
 
 pub use backend::{Backend, DeterministicBackend, ThreadedBackend};
+pub use fault::FaultyReader;
 pub use source::{
     BufferedStream, EventSource, LivePushSource, PushFeed, PushRefused, PushSource, RecordStream,
     ReplaySource, SourceInput, SourceStats, StreamStatus, StreamingReplaySource, WorkloadSource,

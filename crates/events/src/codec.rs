@@ -9,6 +9,19 @@
 //! The codec is lossless for the fields the lifeguard needs: payload, arcs and
 //! TSO annotations; `rid`s are reconstructed from stream position plus an
 //! explicit base.
+//!
+//! # Integrity
+//!
+//! Every record is followed by a one-byte *chained* checksum: a rolling
+//! 8-bit state folded over every payload byte since the start of the stream
+//! (including the rid-base varint), sampled at each record boundary. The
+//! per-byte fold is a bijection in the byte, so any single corrupted byte is
+//! *guaranteed* to be detected at the next record boundary as long as the
+//! framing (the byte-consumption pattern) is unchanged; a corruption that
+//! shifts framing is caught either structurally or by the now-misaligned
+//! checksum chain with probability `255/256` per subsequent boundary —
+//! compounding, since the chain never resynchronizes. One byte per record
+//! keeps the stream within the paper's compactness envelope.
 
 use crate::arc::{ArcKind, DependenceArc};
 use crate::isa::{Instr, MemRef, Reg, SyscallKind};
@@ -61,6 +74,17 @@ const FLAG_PRODUCE: u8 = 0x20;
 const FLAG_CONSUME: u8 = 0x40;
 const FLAG_FORWARDED: u8 = 0x80;
 
+/// Odd multiplier of the checksum fold (odd ⇒ the multiply is a bijection
+/// on `u8`, so the whole fold is a bijection in the folded byte).
+const CHECK_MUL: u8 = 0x9b;
+
+/// One step of the rolling record checksum. XOR mixes the byte in,
+/// multiply and rotate diffuse it so byte *order* matters (a pure XOR
+/// accumulator would miss transpositions).
+fn fold_check(state: u8, byte: u8) -> u8 {
+    (state ^ byte).wrapping_mul(CHECK_MUL).rotate_left(3)
+}
+
 /// Streaming encoder holding the delta-compression context.
 #[derive(Debug, Default)]
 pub struct Encoder {
@@ -68,6 +92,11 @@ pub struct Encoder {
     last_addr: u64,
     records: u64,
     started: bool,
+    /// Rolling checksum state over every payload byte emitted so far.
+    check: u8,
+    /// Prefix of `out` already folded into `check` (ends after the previous
+    /// record's checksum byte).
+    checked: usize,
 }
 
 impl Encoder {
@@ -147,6 +176,16 @@ impl Encoder {
             write_uvarint(&mut self.out, v.consumer_rid.0);
             self.encode_memref(m);
         }
+        // Fold this record's bytes (plus the rid base, on the first record)
+        // into the chain and sample it as the record's trailing checksum.
+        // The checksum byte itself stays outside the chain.
+        let mut state = self.check;
+        for &b in &self.out[self.checked..] {
+            state = fold_check(state, b);
+        }
+        self.check = state;
+        self.out.push(state);
+        self.checked = self.out.len();
     }
 
     /// Finishes the stream and returns the encoded bytes.
@@ -274,6 +313,7 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<EventRecord>, DecodeError> {
         bytes,
         pos: 0,
         last_addr: 0,
+        check: 0,
     };
     let mut out = Vec::new();
     if bytes.is_empty() {
@@ -305,6 +345,7 @@ struct Decoder<'a> {
     bytes: &'a [u8],
     pos: usize,
     last_addr: u64,
+    check: u8,
 }
 
 impl<'a> Decoder<'a> {
@@ -315,7 +356,19 @@ impl<'a> Decoder<'a> {
     fn read_byte(&mut self, _what: &'static str) -> Result<u8, Fault> {
         let b = *self.bytes.get(self.pos).ok_or(Fault::Incomplete)?;
         self.pos += 1;
+        self.check = fold_check(self.check, b);
         Ok(b)
+    }
+
+    /// Consumes a record's trailing checksum byte (kept outside the fold)
+    /// and compares it against the chain state accumulated so far.
+    fn read_check(&mut self) -> Result<(), Fault> {
+        let got = *self.bytes.get(self.pos).ok_or(Fault::Incomplete)?;
+        if got != self.check {
+            return Err(self.err("record checksum mismatch"));
+        }
+        self.pos += 1;
+        Ok(())
     }
 
     fn read_uvarint(&mut self, what: &'static str) -> Result<u64, Fault> {
@@ -394,6 +447,7 @@ impl<'a> Decoder<'a> {
             let m = self.read_memref()?;
             rec.consume_version = Some((v, m));
         }
+        self.read_check()?;
         Ok(rec)
     }
 
@@ -528,6 +582,8 @@ pub struct StreamDecoder {
     /// Record id of the next record, once the stream's base varint arrived.
     next_rid: Option<Rid>,
     last_addr: u64,
+    /// Rolling checksum chain state, carried across feeds like `last_addr`.
+    check: u8,
     records: u64,
 }
 
@@ -580,11 +636,13 @@ impl StreamDecoder {
                 bytes: &self.buf[self.pos..],
                 pos: 0,
                 last_addr: self.last_addr,
+                check: self.check,
             };
             match d.read_uvarint("rid base") {
                 Ok(base) => {
                     self.next_rid = Some(Rid(base));
                     self.pos += d.pos;
+                    self.check = d.check;
                 }
                 Err(Fault::Incomplete) => return Ok(None),
                 Err(Fault::Corrupt(e)) => return Err(self.globalize(e)),
@@ -598,11 +656,13 @@ impl StreamDecoder {
             bytes: &self.buf[self.pos..],
             pos: 0,
             last_addr: self.last_addr,
+            check: self.check,
         };
         match d.read_record(rid) {
             Ok(rec) => {
                 self.pos += d.pos;
                 self.last_addr = d.last_addr;
+                self.check = d.check;
                 self.next_rid = Some(rec.rid.next());
                 self.records += 1;
                 Ok(Some(rec))
@@ -770,6 +830,7 @@ mod tests {
                 bytes: &out,
                 pos: 0,
                 last_addr: 0,
+                check: 0,
             };
             assert_eq!(d.read_uvarint("t").unwrap(), v);
         }
@@ -841,8 +902,9 @@ mod tests {
 
     #[test]
     fn sequential_stream_is_compact() {
-        // A stride-4 load loop — the common case — should approach ~2 bytes
-        // per record with delta encoding (opcode byte + 1-byte delta).
+        // A stride-4 load loop — the common case — should approach ~4 bytes
+        // per record: opcode, packed reg/size, 1-byte delta, and the
+        // per-record integrity byte.
         let mut recs = Vec::new();
         for i in 0..1000u64 {
             recs.push(EventRecord::instr(
@@ -856,7 +918,7 @@ mod tests {
         let bytes = encode(&recs);
         let per_record = bytes.len() as f64 / recs.len() as f64;
         assert!(
-            per_record < 3.5,
+            per_record < 4.5,
             "expected compact encoding, got {per_record}"
         );
         assert_eq!(decode(&bytes).unwrap(), recs);
@@ -876,6 +938,37 @@ mod tests {
     fn corrupt_opcode_errors() {
         let bytes = vec![0x00, 0x0f]; // rid base 0, opcode 0x0f = unknown
         assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_detected() {
+        let recs = sample_records();
+        let bytes = encode(&recs);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xFF;
+            assert!(
+                decode(&bad).is_err(),
+                "flip at offset {i}/{} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_is_corruption_not_incomplete() {
+        // Flip a payload byte of the first record while keeping framing
+        // intact: the streaming decoder must report a permanent error, not
+        // "feed more bytes".
+        let recs = sample_records();
+        let mut bytes = encode(&recs);
+        // Offset 2 is inside the first record's body (0 = rid base,
+        // 1 = head byte with the consume flag, 2 = reg/size pack).
+        bytes[2] ^= 0xFF;
+        let mut sd = StreamDecoder::new();
+        sd.feed(&bytes);
+        let err = sd.next_record().expect_err("corruption is permanent");
+        assert!(err.to_string().contains("checksum"), "got: {err}");
     }
 
     #[test]

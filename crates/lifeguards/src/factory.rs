@@ -292,6 +292,34 @@ impl LifeguardFamily {
 
 pub use crate::lifeguard::VersionedMeta;
 
+/// A non-fatal, session-level diagnostic: something degraded but the run
+/// stays sound and keeps going. Surfaced through
+/// `RunMetrics::events` rather than an error, because the §5.3 contract for
+/// degradation is *over-approximation*, never a wrong report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// An analysis exhausted a bounded metadata resource and fell back to a
+    /// conservative over-approximation (e.g. the lockset interner
+    /// saturating to the full candidate set): reports stay sound, but some
+    /// violations may go unreported from that point on.
+    DegradedPrecision {
+        /// The analysis that degraded (e.g. `"LockSet"`).
+        lifeguard: &'static str,
+        /// What was exhausted and what the fallback is.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SessionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionEvent::DegradedPrecision { lifeguard, detail } => {
+                write!(f, "{lifeguard}: degraded precision: {detail}")
+            }
+        }
+    }
+}
+
 /// The analysis-wide state the real-thread backend replays: per-record
 /// application from concurrently running worker threads.
 ///
@@ -345,6 +373,31 @@ pub trait ConcurrentLifeguard: Send + Sync + fmt::Debug {
     /// Violations observed during the replay (order follows each worker's
     /// stream; interleaving across workers is scheduler-dependent).
     fn violations(&self) -> Vec<Violation>;
+
+    /// Worker `tid` crossed a stream batch boundary: no record application
+    /// is in flight on that worker, so per-record fast-path reads taken
+    /// before the call are dead. This is the quiescence signal epoch-based
+    /// metadata reclamation keys off (the lockset mask interner frees
+    /// unreferenced ids here); analyses without deferred reclamation ignore
+    /// it. Default: no-op.
+    fn epoch_boundary(&self, tid: ThreadId) {
+        let _ = tid;
+    }
+
+    /// Worker `tid`'s stream is exhausted: it will apply no further
+    /// records and must no longer gate quiescence. Called once per worker,
+    /// after its last [`epoch_boundary`](Self::epoch_boundary). Default:
+    /// no-op.
+    fn stream_done(&self, tid: ThreadId) {
+        let _ = tid;
+    }
+
+    /// Non-fatal degradation diagnostics accumulated over the run (each
+    /// kind at most once), collected into `RunMetrics::events` after
+    /// replay. Default: none.
+    fn session_events(&self) -> Vec<SessionEvent> {
+        Vec::new()
+    }
 }
 
 /// Name → factory resolution for monitoring sessions.

@@ -25,7 +25,8 @@ use paralog_order::CaPolicy;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Eraser's per-variable state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,57 +245,216 @@ fn pack(state: u64, owner: u16, set_id: u32, reported: bool) -> u64 {
 ///
 /// Interning is the §5.3 **slow path** — it runs only when an access
 /// actually refines a candidate set (a metadata write) — while `id → mask`
-/// resolution is a lock-free [`OnceLock`] read the fast path may take on
-/// every access. Id 0 is pre-interned to the full set (`u64::MAX`), the
+/// resolution is a lock-free atomic read the fast path may take on every
+/// access. Id 0 is pre-interned to the full set (`u64::MAX`), the
 /// candidates of a virgin variable.
+///
+/// # Reclamation and degradation (unbounded uptime)
+///
+/// Ids are **reference-counted and reusable**: every table entry in a
+/// shared state holds one reference on its set id, moved by the entry CAS
+/// (acquire the new id before publishing, release the old one after — see
+/// [`LockSetConcurrent::check_granule`]). An id whose count reaches zero is
+/// queued, stamped with the current epoch, and freed only once every live
+/// worker has crossed a later batch boundary
+/// ([`boundary`](Self::boundary)) — the quiescence gate that makes id reuse
+/// safe against mid-record readers holding a stale entry word: such a
+/// reader's id cannot be recycled under it, and its CAS necessarily fails
+/// anyway (the entry changed when the id was released). Acquisition
+/// happens *inside* the intern mutex, so the free-time `refs == 0` re-check
+/// cannot race a revival.
+///
+/// When the id space is genuinely full — `MAX_MASKS` masks all still
+/// referenced — [`intern_acquire`](Self::intern_acquire) **saturates** to
+/// id 0 (the full set) instead of failing: candidate sets are then
+/// over-approximated for the affected variables, which can only *suppress*
+/// race reports (a false negative), never fabricate one. The degradation
+/// is latched and surfaced once per session as a
+/// [`SessionEvent::DegradedPrecision`](crate::SessionEvent).
 #[derive(Debug)]
 struct MaskInterner {
-    /// id → mask; published before the id escapes the mutex below.
-    masks: Box<[OnceLock<u64>]>,
-    /// mask → id plus the next free id, behind the slow-path lock.
-    ids: Mutex<(HashMap<u64, u32>, u32)>,
+    /// id → mask; valid while the id is live, rewritten on reuse. Published
+    /// (store-release inside the mutex) before the id escapes.
+    masks: Box<[AtomicU64]>,
+    /// id → number of table entries currently holding the id. Id 0 is
+    /// permanent and never counted.
+    refs: Box<[AtomicU32]>,
+    /// mask → id map, allocation state, and the pending-free queue, behind
+    /// the slow-path lock.
+    state: Mutex<InternerState>,
+    /// The global quiescence clock, bumped by every worker boundary.
+    epoch: AtomicU64,
+    /// Per-worker epoch at its last batch boundary (`u64::MAX` once the
+    /// worker's stream ended: it holds no stale reads and must not gate
+    /// frees forever).
+    worker_epochs: Box<[AtomicU64]>,
+    /// Latched on first saturation; read by the session-event surface.
+    saturated: AtomicBool,
 }
 
-/// Distinct candidate masks one run can intern. Masks are intersections of
+#[derive(Debug)]
+struct InternerState {
+    map: HashMap<u64, u32>,
+    /// Next never-used id; allocation prefers the free list.
+    next: u32,
+    free: Vec<u32>,
+    /// (id, epoch it was queued in): freeable once every live worker's
+    /// epoch exceeds the stamp and the count is still zero.
+    pending: Vec<(u32, u64)>,
+    /// id → already in `pending` (bounds queue growth under churn).
+    queued: Vec<bool>,
+    /// High-water mark of live ids (soak diagnostics).
+    peak_live: usize,
+}
+
+/// Distinct candidate masks live at once. Masks are intersections of
 /// per-thread held-lock sets (≤ 64 locks), so real workloads stay far
-/// below this.
+/// below this; adversarial ones saturate gracefully instead of dying.
 const MAX_MASKS: usize = 1 << 16;
 
 impl MaskInterner {
-    fn new() -> Self {
-        let masks: Box<[OnceLock<u64>]> = (0..MAX_MASKS).map(|_| OnceLock::new()).collect();
-        masks[0].set(u64::MAX).expect("fresh slot");
+    fn new(workers: usize) -> Self {
         let mut map = HashMap::new();
         map.insert(u64::MAX, 0u32);
+        let masks: Box<[AtomicU64]> = (0..MAX_MASKS).map(|_| AtomicU64::new(0)).collect();
+        masks[0].store(u64::MAX, Ordering::Relaxed);
         MaskInterner {
             masks,
-            ids: Mutex::new((map, 1)),
+            refs: (0..MAX_MASKS).map(|_| AtomicU32::new(0)).collect(),
+            state: Mutex::new(InternerState {
+                map,
+                next: 1,
+                free: Vec::new(),
+                pending: Vec::new(),
+                queued: vec![false; MAX_MASKS],
+                peak_live: 1,
+            }),
+            epoch: AtomicU64::new(0),
+            worker_epochs: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            saturated: AtomicBool::new(false),
         }
     }
 
-    /// The mask behind an id handed out by [`intern`](Self::intern)
-    /// (lock-free: ids are published before they escape).
+    /// The mask behind a live id (lock-free: masks are published before the
+    /// id escapes the mutex, and quiescence keeps an observed id's slot
+    /// stable until the observer's next boundary).
     fn mask(&self, id: u32) -> u64 {
-        *self.masks[id as usize].get().expect("id was interned")
+        self.masks[id as usize].load(Ordering::Acquire)
     }
 
-    /// The id for `mask`, interning it if new (slow path).
-    fn intern(&self, mask: u64) -> u32 {
-        let mut ids = self.ids.lock().expect("poisoned");
-        if let Some(&id) = ids.0.get(&mask) {
+    /// The id for `mask` with one reference acquired for the caller, who
+    /// must either publish it into a table entry or
+    /// [`release`](Self::release) it. Interns
+    /// the mask if new; saturates to the full-set id 0 when the id space is
+    /// exhausted.
+    fn intern_acquire(&self, mask: u64) -> u32 {
+        let mut state = self.state.lock().expect("poisoned");
+        if let Some(&id) = state.map.get(&mask) {
+            if id != 0 {
+                self.refs[id as usize].fetch_add(1, Ordering::Relaxed);
+            }
             return id;
         }
-        let id = ids.1;
-        assert!(
-            (id as usize) < MAX_MASKS,
-            "lockset interner exhausted ({MAX_MASKS} distinct candidate masks)"
-        );
-        ids.1 += 1;
+        let Some(id) = state.free.pop().or_else(|| {
+            ((state.next as usize) < MAX_MASKS).then(|| {
+                state.next += 1;
+                state.next - 1
+            })
+        }) else {
+            // Exhausted: over-approximate with the full set. Sound (a
+            // superset can only suppress reports), latched for the
+            // session-event surface.
+            self.saturated.store(true, Ordering::Release);
+            return 0;
+        };
         // Publish the mask *before* the id escapes the lock, so concurrent
         // `mask()` readers of a CAS-published entry always resolve it.
-        self.masks[id as usize].set(mask).expect("fresh slot");
-        ids.0.insert(mask, id);
+        self.masks[id as usize].store(mask, Ordering::Release);
+        self.refs[id as usize].store(1, Ordering::Relaxed);
+        state.map.insert(mask, id);
+        state.peak_live = state.peak_live.max(state.map.len());
         id
+    }
+
+    /// Drops one reference on `id`; a count that reaches zero queues the id
+    /// for an epoch-gated free.
+    fn release(&self, id: u32) {
+        if id == 0 {
+            return;
+        }
+        if self.refs[id as usize].fetch_sub(1, Ordering::Release) != 1 {
+            return;
+        }
+        let mut state = self.state.lock().expect("poisoned");
+        // Re-check under the mutex: a concurrent intern_acquire may have
+        // revived the id between our decrement and the lock.
+        if !state.queued[id as usize] && self.refs[id as usize].load(Ordering::Relaxed) == 0 {
+            state.queued[id as usize] = true;
+            let epoch = self.epoch.load(Ordering::Relaxed);
+            state.pending.push((id, epoch));
+        }
+    }
+
+    /// Worker `w` crossed a stream batch boundary: no record application is
+    /// in flight on it, so any entry word it read earlier is stale by
+    /// contract. Advances the quiescence clock and frees every pending id
+    /// all live workers have quiesced past.
+    fn boundary(&self, w: usize) {
+        let now = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(slot) = self.worker_epochs.get(w) {
+            slot.store(now, Ordering::Release);
+        }
+        self.process_pending();
+    }
+
+    /// Worker `w`'s stream ended: it will never read another entry, so it
+    /// must not gate reclamation.
+    fn retire_worker(&self, w: usize) {
+        if let Some(slot) = self.worker_epochs.get(w) {
+            slot.store(u64::MAX, Ordering::Release);
+        }
+        self.process_pending();
+    }
+
+    fn process_pending(&self) {
+        let min_active = self
+            .worker_epochs
+            .iter()
+            .map(|e| e.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX);
+        let mut state = self.state.lock().expect("poisoned");
+        let mut keep = Vec::new();
+        for (id, stamped) in std::mem::take(&mut state.pending) {
+            if stamped >= min_active {
+                keep.push((id, stamped));
+                continue;
+            }
+            state.queued[id as usize] = false;
+            if self.refs[id as usize].load(Ordering::Acquire) == 0 {
+                let mask = self.masks[id as usize].load(Ordering::Relaxed);
+                let removed = state.map.remove(&mask);
+                debug_assert_eq!(removed, Some(id), "map/slot coherence");
+                state.free.push(id);
+            }
+            // A non-zero count means the id was revived through the map; it
+            // re-queues if it ever drops to zero again.
+        }
+        state.pending = keep;
+    }
+
+    /// Live interned masks (including the permanent full set).
+    fn live(&self) -> usize {
+        self.state.lock().expect("poisoned").map.len()
+    }
+
+    /// High-water mark of [`live`](Self::live).
+    fn peak_live(&self) -> usize {
+        self.state.lock().expect("poisoned").peak_live
+    }
+
+    fn is_saturated(&self) -> bool {
+        self.saturated.load(Ordering::Acquire)
     }
 }
 
@@ -345,7 +505,7 @@ impl LockSetConcurrent {
     pub fn new(threads: usize) -> Self {
         LockSetConcurrent {
             words: AtomicWordTable::new(),
-            interner: MaskInterner::new(),
+            interner: MaskInterner::new(threads),
             held: (0..threads)
                 .map(|_| std::sync::atomic::AtomicU64::new(0))
                 .collect(),
@@ -355,6 +515,13 @@ impl LockSetConcurrent {
 
     /// One granule's state transition — the concurrent mirror of
     /// [`LockSet::check_granule`]'s match, CAS-published.
+    ///
+    /// Set-id references move with the entry word: a transition to a new id
+    /// *acquires* it (inside the intern mutex) before the CAS, then
+    /// releases the displaced id on success or the acquired one on failure.
+    /// The entry therefore always owns exactly one reference on its id,
+    /// which is what lets the interner reclaim ids whose last entry moved
+    /// on.
     fn check_granule(&self, word: u64, writes: bool, held: u64, tid: ThreadId, rid: Rid) {
         let key = word / GRANULE;
         loop {
@@ -363,12 +530,20 @@ impl LockSetConcurrent {
             let owner = ((cur >> OWNER_SHIFT) & 0xFFFF) as u16;
             let set_id = (cur >> SET_SHIFT) as u32;
             let reported = cur & REPORTED_BIT != 0;
-            let next = match state {
-                S_VIRGIN => pack(S_EXCLUSIVE, tid.0, 0, false),
-                S_EXCLUSIVE if owner == tid.0 => cur, // pure fast path
+            // The id acquired for this attempt (None: reusing cur's id or a
+            // refcount-free id 0 state) and the mask behind `next`'s id.
+            let mut acquired = None;
+            let (next, next_mask) = match state {
+                S_VIRGIN => (pack(S_EXCLUSIVE, tid.0, 0, false), u64::MAX),
+                S_EXCLUSIVE if owner == tid.0 => (cur, u64::MAX), // pure fast path
                 S_EXCLUSIVE => {
                     let next = if writes { S_SHARED_MOD } else { S_SHARED };
-                    pack(next, 0, self.interner.intern(held), reported)
+                    let id = self.interner.intern_acquire(held);
+                    acquired = Some(id);
+                    (
+                        pack(next, 0, id, reported),
+                        self.interner.mask(id), // saturation may widen held
+                    )
                 }
                 S_SHARED | S_SHARED_MOD => {
                     let next = if writes || state == S_SHARED_MOD {
@@ -378,26 +553,39 @@ impl LockSetConcurrent {
                     };
                     let candidates = self.interner.mask(set_id);
                     let refined = candidates & held;
-                    let id = if refined == candidates {
-                        set_id // no refinement: fast path when state holds too
+                    let (id, mask) = if refined == candidates {
+                        (set_id, candidates) // no refinement: fast path when state holds too
                     } else {
-                        self.interner.intern(refined)
+                        let id = self.interner.intern_acquire(refined);
+                        acquired = Some(id);
+                        (id, self.interner.mask(id))
                     };
-                    pack(next, 0, id, reported)
+                    (pack(next, 0, id, reported), mask)
                 }
                 _ => unreachable!("2-bit state"),
             };
             // Once-per-variable race report: empty candidate set on a
             // written-shared variable, not yet reported.
-            let report = next & 0b11 == S_SHARED_MOD
-                && next & REPORTED_BIT == 0
-                && self.interner.mask((next >> SET_SHIFT) as u32) == 0;
+            let report = next & 0b11 == S_SHARED_MOD && next & REPORTED_BIT == 0 && next_mask == 0;
             let next = if report { next | REPORTED_BIT } else { next };
             if next == cur {
+                if let Some(id) = acquired {
+                    self.interner.release(id);
+                }
                 return; // §5.3 fast path: one load-acquire, no store
             }
             match self.words.compare_exchange(key, cur, next) {
                 Ok(_) => {
+                    let new_id = (next >> SET_SHIFT) as u32;
+                    if set_id != new_id {
+                        // The displaced id lost its entry's reference. (An
+                        // id acquired and published is *kept*: the entry
+                        // owns it now.)
+                        self.interner.release(set_id);
+                    } else if let Some(id) = acquired {
+                        debug_assert_eq!(id, set_id);
+                        self.interner.release(id);
+                    }
                     if report {
                         // The CAS winner owns the report: exactly one per
                         // variable, however many readers raced it.
@@ -412,9 +600,30 @@ impl LockSetConcurrent {
                 }
                 // Lost to a concurrent (arc-unordered) access of the same
                 // variable: recompute from its published state.
-                Err(_) => continue,
+                Err(_) => {
+                    if let Some(id) = acquired {
+                        self.interner.release(id);
+                    }
+                    continue;
+                }
             }
         }
+    }
+
+    /// Interned candidate masks currently live (soak/bench diagnostic).
+    pub fn interned_masks(&self) -> usize {
+        self.interner.live()
+    }
+
+    /// High-water mark of [`interned_masks`](Self::interned_masks).
+    pub fn peak_interned_masks(&self) -> usize {
+        self.interner.peak_live()
+    }
+
+    /// Whether the interner has saturated to the conservative full set at
+    /// least once this session.
+    pub fn degraded(&self) -> bool {
+        self.interner.is_saturated()
     }
 }
 
@@ -489,11 +698,35 @@ impl ConcurrentLifeguard for LockSetConcurrent {
     fn violations(&self) -> Vec<Violation> {
         self.violations.lock().expect("poisoned").clone()
     }
+
+    fn epoch_boundary(&self, tid: ThreadId) {
+        self.interner.boundary(tid.index());
+    }
+
+    fn stream_done(&self, tid: ThreadId) {
+        self.interner.retire_worker(tid.index());
+    }
+
+    fn session_events(&self) -> Vec<crate::SessionEvent> {
+        if self.interner.is_saturated() {
+            vec![crate::SessionEvent::DegradedPrecision {
+                lifeguard: "LockSet",
+                detail: format!(
+                    "mask interner exhausted ({MAX_MASKS} live candidate masks); \
+                     further refinements saturate to the full set (reports stay \
+                     sound, some races may go unreported)"
+                ),
+            }]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SessionEvent;
     use paralog_events::{AccessKind, LockId, MemRef};
 
     fn lock_ca(id: u32, phase: CaPhase, what_lock: bool) -> CaRecord {
@@ -731,6 +964,131 @@ mod tests {
         // (Sequential fingerprint differs only if candidates/state differ;
         // both are SharedModified with empty candidates here.)
         assert_eq!(conc.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn interner_reclaims_unreferenced_masks_at_boundaries() {
+        // Churn distinct first-share masks that are immediately refined
+        // away: the intermediate ids become unreferenced and must be freed
+        // by the epoch sweeps, keeping residency at the steady-state
+        // window.
+        let conc = LockSetConcurrent::new(2);
+        let base = conc.interned_masks();
+        for i in 0..200u64 {
+            let addr = 0x1000 + i * GRANULE;
+            // Thread 0 claims the var; thread 1 shares it under a unique
+            // 3-lock combo (interned), then re-reads it with no locks
+            // (refines to the already-interned empty mask, releasing the
+            // combo id).
+            conc.apply(ThreadId(0), &rec_access(1, addr, false), None);
+            for bit in [i % 19, 19 + i % 17, 36 + i % 13] {
+                conc.apply(ThreadId(1), &rec_lock(2, 1, bit as u32, true), None);
+            }
+            conc.apply(ThreadId(1), &rec_access(3, addr, false), None);
+            for bit in [i % 19, 19 + i % 17, 36 + i % 13] {
+                conc.apply(ThreadId(1), &rec_lock(4, 1, bit as u32, false), None);
+            }
+            conc.apply(ThreadId(1), &rec_access(5, addr, false), None);
+            // Both workers cross a batch boundary every few records.
+            if i % 8 == 7 {
+                conc.epoch_boundary(ThreadId(0));
+                conc.epoch_boundary(ThreadId(1));
+            }
+        }
+        conc.epoch_boundary(ThreadId(0));
+        conc.epoch_boundary(ThreadId(1));
+        conc.epoch_boundary(ThreadId(0));
+        conc.epoch_boundary(ThreadId(1));
+        assert!(
+            conc.interned_masks() <= base + 24,
+            "unreferenced combo masks must be reclaimed (live: {})",
+            conc.interned_masks()
+        );
+        assert!(conc.peak_interned_masks() < 100, "residency stays windowed");
+        assert!(!conc.degraded());
+        assert!(conc.violations().is_empty(), "reads only: no races");
+    }
+
+    #[test]
+    fn interner_exhaustion_saturates_soundly_past_two_to_the_sixteen() {
+        // An adversarial workload pins more than 2^16 *distinct* candidate
+        // masks live at once (every shared var keeps its combo referenced,
+        // and no boundary can free a referenced id). The interner must
+        // saturate to the conservative full set — completing the session
+        // with zero false reports and one DegradedPrecision event — where
+        // it previously died on an assert.
+        let conc = LockSetConcurrent::new(2);
+
+        // A genuine unprotected race first, while precision is intact.
+        conc.apply(ThreadId(0), &rec_access(1, 0xFF_0000, true), None);
+        conc.apply(ThreadId(1), &rec_access(1, 0xFF_0000, true), None);
+        assert_eq!(conc.violations().len(), 1, "pre-saturation race reports");
+
+        // Walk 17 lock bits in Gray-code order: one lock CA toggles per
+        // step, and every step's held set is a distinct non-empty mask.
+        // Each step shares a fresh variable under that set, pinning the
+        // mask's id for good. 66_000 > 2^16 steps exhaust the id space.
+        let mut held: u64 = 0;
+        let mut rid = [2u64, 2u64];
+        for i in 1u64..=66_000 {
+            let bit = i.trailing_zeros();
+            let acquire = held & (1 << bit) == 0;
+            held ^= 1 << bit;
+            for t in 0..2u16 {
+                conc.apply(
+                    ThreadId(t),
+                    &rec_lock(rid[t as usize], t, bit, acquire),
+                    None,
+                );
+                rid[t as usize] += 1;
+            }
+            let addr = 0x100_0000 + i * GRANULE;
+            for t in 0..2u16 {
+                conc.apply(ThreadId(t), &rec_access(rid[t as usize], addr, true), None);
+                rid[t as usize] += 1;
+            }
+            // Boundaries must not help: every mask is still referenced.
+            if i % 4096 == 0 {
+                conc.epoch_boundary(ThreadId(0));
+                conc.epoch_boundary(ThreadId(1));
+            }
+        }
+
+        assert!(conc.degraded(), "66k live masks must exhaust 2^16 ids");
+        let events = conc.session_events();
+        assert_eq!(events.len(), 1, "one diagnostic per session");
+        let SessionEvent::DegradedPrecision { lifeguard, detail } = &events[0];
+        assert_eq!(*lifeguard, "LockSet");
+        assert!(detail.contains("mask interner"), "got: {detail}");
+        // Soundness: every walked set was non-empty and consistently held
+        // by both threads, and saturation only widens candidate sets — so
+        // the genuine race stays the *only* report.
+        assert_eq!(
+            conc.violations().len(),
+            1,
+            "saturation must not fabricate race reports"
+        );
+    }
+
+    #[test]
+    fn retired_worker_does_not_gate_reclamation() {
+        let conc = LockSetConcurrent::new(2);
+        let before = conc.interned_masks();
+        conc.apply(ThreadId(0), &rec_access(1, 0x2000, false), None);
+        conc.apply(ThreadId(1), &rec_lock(2, 1, 7, true), None);
+        conc.apply(ThreadId(1), &rec_access(3, 0x2000, false), None);
+        conc.apply(ThreadId(1), &rec_lock(4, 1, 7, false), None);
+        conc.apply(ThreadId(1), &rec_access(5, 0x2000, false), None);
+        // Worker 0's stream ends; only worker 1 keeps crossing boundaries.
+        conc.stream_done(ThreadId(0));
+        conc.epoch_boundary(ThreadId(1));
+        conc.epoch_boundary(ThreadId(1));
+        assert_eq!(
+            conc.interned_masks(),
+            before + 1,
+            "the {{lock 7}} mask died with the refinement; only the empty \
+             mask stays referenced"
+        );
     }
 
     #[test]

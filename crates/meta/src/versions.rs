@@ -34,18 +34,27 @@
 //!   `(consumer thread, consumer rid)`), so each shard is touched by
 //!   exactly one consumer plus whichever producer threads publish versions
 //!   for it — never by unrelated traffic;
-//! * each shard's first level is a flat array of `OnceLock` chunk slots,
-//!   initialized race-free by whichever side touches a chunk first (far
-//!   outliers take a mutex-protected spill map, exactly like the shadow).
-//!   Spill chunks do their slot work under that mutex and are reclaimed
-//!   the moment their last slot drains; dense chunk shells persist
-//!   (`OnceLock` cannot vacate), so dense residency tracks the touched
-//!   rid range rather than the outstanding window — see ROADMAP for the
-//!   epoch-reclamation follow-on;
+//! * each shard's first level is a fixed ring of *cells* indexed by
+//!   `chunk_index % CONC_DENSE_CHUNKS`, each a small mutex over an
+//!   optional tagged chunk. All chunk work happens under the cell lock —
+//!   which is what makes a drained chunk safe to *reclaim*: no thread can
+//!   hold the chunk outside its lock. Two live windows that collide on a
+//!   cell (rid ranges ≥ `CONC_DENSE_CHUNKS * CHUNK_RIDS` apart) park the
+//!   newcomer in a mutex-protected spill map instead;
+//! * reclamation is **epoch-deferred** (the quiescence scheme): when a
+//!   chunk's last slot retires it is queued, stamped with the shard's
+//!   current epoch, and the shard's consumer frees it at a later
+//!   [`advance_epoch`](ConcurrentVersionTable::advance_epoch) call (the
+//!   threaded backend invokes one per stream batch). A chunk is only freed
+//!   if it drained in an *earlier* epoch and is still empty under its cell
+//!   lock, so the hot window's drain→refill churn reuses resident chunks
+//!   (plus a small per-shard spare pool) instead of thrashing the
+//!   allocator, and a rid sweep over billions of records holds O(window)
+//!   chunks instead of O(history);
 //! * each chunk slot pairs a tiny per-slot mutex (guarding the snapshot
-//!   payload hand-off) with an **atomic availability flag**, so the hot
-//!   consumer-side poll ([`ConcurrentVersionTable::is_available`]) is a
-//!   lock-free two-index load;
+//!   payload hand-off) with an **atomic availability flag**, so the
+//!   consumer-side poll ([`ConcurrentVersionTable::is_available`]) is two
+//!   array indexes under the (uncontended in steady state) cell lock;
 //! * a consumer whose version has not been produced yet does not spin: it
 //!   **parks** on the shard's condvar
 //!   ([`ConcurrentVersionTable::wait_available`]) and the producer wakes
@@ -63,7 +72,7 @@
 use paralog_events::{AddrRange, VersionId};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Slots per second-level chunk (covers 128 consecutive record ids).
@@ -128,6 +137,23 @@ impl ThreadVersions {
         self.spare.get_or_insert(chunk);
     }
 }
+
+/// A structurally invalid produce: duplicate id, zero consumers, snapshot
+/// length mismatch, or a consumer thread outside the table. Internally
+/// generated traffic asserts these away via the panicking `produce`
+/// wrappers; ingestion paths (replaying an externally captured wire
+/// stream) call `try_produce` instead and surface the error as a malformed
+/// stream, so corrupt input can never poison a lock or kill a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionError(pub String);
+
+impl std::fmt::Display for VersionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for VersionError {}
 
 /// Table of produced-but-not-yet-consumed metadata versions, shared by all
 /// lifeguard threads.
@@ -234,8 +260,27 @@ impl VersionTable {
     /// dynamic conflict), `consumers` is zero, or the snapshot length
     /// mismatches the range.
     pub fn produce(&mut self, id: VersionId, range: AddrRange, snapshot: Vec<u8>, consumers: u32) {
-        assert_eq!(snapshot.len() as u64, range.len, "snapshot length mismatch");
-        assert!(consumers > 0, "version without consumers");
+        self.try_produce(id, range, snapshot, consumers)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Non-panicking [`produce`](Self::produce): structural violations
+    /// (duplicate id, zero consumers, snapshot length mismatch) come back
+    /// as a [`VersionError`] instead, for callers replaying untrusted
+    /// streams.
+    pub fn try_produce(
+        &mut self,
+        id: VersionId,
+        range: AddrRange,
+        snapshot: Vec<u8>,
+        consumers: u32,
+    ) -> Result<(), VersionError> {
+        if snapshot.len() as u64 != range.len {
+            return Err(VersionError(format!("snapshot length mismatch for {id}")));
+        }
+        if consumers == 0 {
+            return Err(VersionError(format!("version without consumers: {id}")));
+        }
         self.produced += 1;
         let slot = self.slot_mut(id, true).expect("created");
         // Consumers that already passed read the live (still pre-store)
@@ -243,14 +288,14 @@ impl VersionTable {
         let (already, was_occupied) = match slot {
             None => (0, false),
             Some(Slot::Bypassed(n)) => (*n, true),
-            Some(Slot::Live { .. }) => panic!("duplicate version {id}"),
+            Some(Slot::Live { .. }) => return Err(VersionError(format!("duplicate version {id}"))),
         };
         let remaining = consumers.saturating_sub(already);
         if remaining == 0 {
             if was_occupied {
                 self.vacate(id);
             }
-            return;
+            return Ok(());
         }
         *slot = Some(Slot::Live {
             range,
@@ -262,6 +307,7 @@ impl VersionTable {
         }
         self.outstanding += 1;
         self.peak = self.peak.max(self.outstanding);
+        Ok(())
     }
 
     /// Notes that a consumer of `id` proceeded before production: the
@@ -345,11 +391,17 @@ impl VersionTable {
     }
 }
 
-/// Dense first-level budget of one concurrent shard: rids below
-/// `CONC_DENSE_CHUNKS * CHUNK_RIDS` (≈ 2 million records per thread) index
-/// the flat `OnceLock` array directly; anything beyond spills to the
-/// mutex-protected side map.
+/// Dense first-level cells of one concurrent shard. Chunk indexes map into
+/// the ring modulo this count (covering ≈ 2 million in-flight records per
+/// thread before two live windows can collide on a cell), so an unbounded
+/// rid sweep keeps reusing the same cells instead of growing the first
+/// level.
 const CONC_DENSE_CHUNKS: u64 = 1 << 14;
+
+/// Drained chunks parked per shard for reuse: the outstanding window
+/// crosses chunk boundaries constantly, and drain→refill churn must not
+/// turn into an allocation per window step.
+const SPARE_CHUNKS: usize = 2;
 
 /// One chunk of the concurrent table: per-slot payload mutexes plus the
 /// lock-free availability flags the consumer-side poll reads.
@@ -375,16 +427,41 @@ impl ConcChunk {
     }
 }
 
-/// One consumer thread's shard: lazily initialized chunk index plus the
-/// parked-consumer wakeup path.
+/// A dense cell's occupant: the chunk plus the full chunk index it serves
+/// (the `tag` disambiguates window wraps that alias the same cell) and a
+/// flag keeping the drained-chunk retire queue duplicate-free.
+#[derive(Debug)]
+struct DenseChunk {
+    tag: u64,
+    queued: bool,
+    chunk: Box<ConcChunk>,
+}
+
+/// One consumer thread's shard: the dense cell ring, the collision spill
+/// tier, the epoch/retire state, and the parked-consumer wakeup path.
 #[derive(Debug)]
 struct Shard {
-    /// First level: chunk index → chunk, initialized race-free on first
-    /// touch (mirrors `AtomicShadow`).
-    dense: Box<[OnceLock<Box<ConcChunk>>]>,
-    /// Outlier chunks beyond the dense span. `Arc` lets an accessor clone a
-    /// handle out of the lock and work without holding it.
+    /// First level: `chunk index % CONC_DENSE_CHUNKS` → cell. Every access
+    /// to a dense chunk happens under its cell lock, which is the whole
+    /// reclamation-safety argument: a sweep that holds the cell lock and
+    /// sees the chunk empty knows no other thread holds it at all.
+    dense: Box<[Mutex<Option<DenseChunk>>]>,
+    /// Chunks whose cell was occupied by a *different* live window when
+    /// they were created (rid ranges ≥ the dense span apart). `Arc` only
+    /// so the handle can be cloned out of the map borrow; all spill work
+    /// still happens under the cell + spill locks.
     spill: Mutex<BTreeMap<u64, Arc<ConcChunk>>>,
+    /// The shard's quiescence clock: advanced by its consumer at stream
+    /// batch boundaries.
+    epoch: AtomicU64,
+    /// Fully drained dense chunks awaiting a later epoch's sweep, each
+    /// stamped with the epoch it drained in.
+    drained: Mutex<Vec<(u64, u64)>>,
+    /// Reclaimed chunks parked for reuse. Boxed on purpose: a `ConcChunk`
+    /// is ~`CHUNK_RIDS` mutexes wide, and the pool hands the same
+    /// allocation back to the dense ring without moving it by value.
+    #[allow(clippy::vec_box)]
+    spare: Mutex<Vec<Box<ConcChunk>>>,
     /// Parking lot for the shard's consumer while its version is
     /// unproduced; producers notify after flipping the availability flag.
     park: Mutex<()>,
@@ -394,43 +471,22 @@ struct Shard {
 impl Shard {
     fn new() -> Self {
         Shard {
-            dense: (0..CONC_DENSE_CHUNKS).map(|_| OnceLock::new()).collect(),
+            dense: (0..CONC_DENSE_CHUNKS).map(|_| Mutex::new(None)).collect(),
             spill: Mutex::new(BTreeMap::new()),
+            epoch: AtomicU64::new(0),
+            drained: Mutex::new(Vec::new()),
+            spare: Mutex::new(Vec::new()),
             park: Mutex::new(()),
             wakeup: Condvar::new(),
         }
     }
 
-    /// Runs `f` over the chunk holding chunk index `ci`. With `create`
-    /// unset, untouched chunks are skipped (availability polls of never-
-    /// produced ids must not allocate); otherwise the chunk is initialized
-    /// race-free first.
-    ///
-    /// Dense chunks are accessed lock-free (and, `OnceLock` being
-    /// irrevocable, never reclaimed). Spill chunks instead do all their
-    /// work *under* the spill mutex — the tier exists for rare far-outlier
-    /// rids — which is what makes it safe to reclaim a spill chunk the
-    /// moment its last slot drains: no thread can hold the chunk outside
-    /// the lock.
-    fn with_chunk<R>(&self, ci: u64, create: bool, f: impl FnOnce(&ConcChunk) -> R) -> Option<R> {
-        if ci < CONC_DENSE_CHUNKS {
-            let slot = &self.dense[ci as usize];
-            return match (slot.get(), create) {
-                (Some(chunk), _) => Some(f(chunk)),
-                (None, true) => Some(f(slot.get_or_init(|| Box::new(ConcChunk::new())))),
-                (None, false) => None,
-            };
-        }
-        let mut spill = self.spill.lock().expect("poisoned");
-        let chunk = match spill.entry(ci) {
-            std::collections::btree_map::Entry::Vacant(_) if !create => return None,
-            entry => Arc::clone(entry.or_insert_with(|| Arc::new(ConcChunk::new()))),
-        };
-        let out = f(&chunk);
-        if chunk.occupied.load(Ordering::Relaxed) == 0 {
-            spill.remove(&ci);
-        }
-        Some(out)
+    fn fresh_chunk(&self) -> Box<ConcChunk> {
+        self.spare
+            .lock()
+            .expect("poisoned")
+            .pop()
+            .unwrap_or_else(|| Box::new(ConcChunk::new()))
     }
 }
 
@@ -441,29 +497,50 @@ impl Shard {
 #[derive(Debug)]
 pub struct ConcurrentVersionTable {
     shards: Box<[Shard]>,
+    /// Epoch-deferred dense-chunk reclamation (on by default); benches turn
+    /// it off to measure the sweep's cost against the grow-only baseline.
+    reclaim: bool,
     produced: AtomicU64,
     consumed: AtomicU64,
     outstanding: AtomicUsize,
     peak: AtomicUsize,
+    dense_resident: AtomicUsize,
+    dense_peak: AtomicUsize,
+    reclaimed: AtomicU64,
 }
 
 impl ConcurrentVersionTable {
+    /// Record ids per dense chunk — the granule at which the epoch sweep
+    /// allocates and reclaims version storage.
+    pub const CHUNK_RIDS: u64 = CHUNK_RIDS;
+
+    /// Rid span of one full dense ring: rids this far apart alias the same
+    /// cell (the window-wrap case the spill tier absorbs). Soaks that want
+    /// to prove residency stays bounded sweep many multiples of this.
+    pub const WINDOW_RIDS: u64 = CONC_DENSE_CHUNKS * CHUNK_RIDS;
+
     /// An empty table for `threads` monitored streams (version ids name
     /// their consumer thread, which must be below `threads`).
     pub fn new(threads: usize) -> Self {
         ConcurrentVersionTable {
             shards: (0..threads.max(1)).map(|_| Shard::new()).collect(),
+            reclaim: true,
             produced: AtomicU64::new(0),
             consumed: AtomicU64::new(0),
             outstanding: AtomicUsize::new(0),
             peak: AtomicUsize::new(0),
+            dense_resident: AtomicUsize::new(0),
+            dense_peak: AtomicUsize::new(0),
+            reclaimed: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, id: VersionId) -> &Shard {
-        self.shards
-            .get(id.consumer.index())
-            .expect("version id's consumer thread is within the table's thread count")
+    /// Toggles epoch-based dense-chunk reclamation (on by default). With it
+    /// off, drained dense chunks stay resident for the table's lifetime —
+    /// the pre-reclamation behavior the benches compare against.
+    pub fn with_reclamation(mut self, on: bool) -> Self {
+        self.reclaim = on;
+        self
     }
 
     fn split(id: VersionId) -> (u64, usize) {
@@ -471,6 +548,137 @@ impl ConcurrentVersionTable {
             id.consumer_rid.0 / CHUNK_RIDS,
             (id.consumer_rid.0 % CHUNK_RIDS) as usize,
         )
+    }
+
+    /// Runs `f` over the chunk holding chunk index `ci` of `shard`. With
+    /// `create` unset, untouched chunks are skipped (availability polls of
+    /// never-produced ids must not allocate).
+    ///
+    /// The cell lock (taken first, held throughout) is the linchpin: it
+    /// serializes every accessor of this cell's chunk *and* the tier
+    /// decision for aliasing chunk indexes, so the epoch sweep can free a
+    /// drained chunk under the same lock without any hazard tracking, and
+    /// a chunk index can never be live in the dense ring and the spill map
+    /// at once.
+    fn with_chunk<R>(
+        &self,
+        shard: &Shard,
+        ci: u64,
+        create: bool,
+        f: impl FnOnce(&ConcChunk) -> R,
+    ) -> Option<R> {
+        let cell = &shard.dense[(ci % CONC_DENSE_CHUNKS) as usize];
+        let mut guard = cell.lock().expect("poisoned");
+        if matches!(&*guard, Some(d) if d.tag == ci) {
+            let d = guard.as_mut().expect("just matched");
+            let out = f(&d.chunk);
+            let enqueue =
+                self.reclaim && !d.queued && d.chunk.occupied.load(Ordering::Relaxed) == 0;
+            if enqueue {
+                d.queued = true;
+            }
+            // Lock order is cell → nothing: drop the cell guard before the
+            // retire queue (the sweep takes queue → cell).
+            drop(guard);
+            if enqueue {
+                let epoch = shard.epoch.load(Ordering::Relaxed);
+                shard.drained.lock().expect("poisoned").push((ci, epoch));
+            }
+            return Some(out);
+        }
+        // Dense miss: the chunk may be parked in the spill tier (a window
+        // wrap collided on this cell when it was created), be creatable, or
+        // be absent. The cell guard stays held so the tier decision cannot
+        // race another accessor of an aliasing chunk index.
+        let vacant = guard.is_none();
+        let mut spill = shard.spill.lock().expect("poisoned");
+        if let Some(chunk) = spill.get(&ci).map(Arc::clone) {
+            let out = f(&chunk);
+            if chunk.occupied.load(Ordering::Relaxed) == 0 {
+                spill.remove(&ci);
+            }
+            return Some(out);
+        }
+        if !create {
+            return None;
+        }
+        if vacant {
+            drop(spill);
+            let now = self.dense_resident.fetch_add(1, Ordering::Relaxed) + 1;
+            self.dense_peak.fetch_max(now, Ordering::Relaxed);
+            let d = guard.insert(DenseChunk {
+                tag: ci,
+                queued: false,
+                chunk: shard.fresh_chunk(),
+            });
+            let out = f(&d.chunk);
+            let enqueue =
+                self.reclaim && !d.queued && d.chunk.occupied.load(Ordering::Relaxed) == 0;
+            if enqueue {
+                d.queued = true;
+            }
+            drop(guard);
+            if enqueue {
+                let epoch = shard.epoch.load(Ordering::Relaxed);
+                shard.drained.lock().expect("poisoned").push((ci, epoch));
+            }
+            return Some(out);
+        }
+        // Collision: an older live window owns the cell; park this chunk in
+        // the spill tier (reclaimed the moment it drains, as above).
+        let chunk = Arc::new(ConcChunk::new());
+        let out = f(&chunk);
+        if chunk.occupied.load(Ordering::Relaxed) != 0 {
+            spill.insert(ci, chunk);
+        }
+        Some(out)
+    }
+
+    /// Advances `consumer`'s shard epoch and sweeps its retire queue: a
+    /// dense chunk that fully drained in an *earlier* epoch and is still
+    /// empty under its cell lock is freed to the shard's spare pool. The
+    /// threaded backend calls this at every stream batch boundary (and once
+    /// more when the stream ends), so residency tracks the outstanding
+    /// window while the window's own churn never frees a chunk that is
+    /// about to be refilled. A no-op when reclamation is off or `consumer`
+    /// is outside the table.
+    pub fn advance_epoch(&self, consumer: paralog_events::ThreadId) {
+        if !self.reclaim {
+            return;
+        }
+        let Some(shard) = self.shards.get(consumer.index()) else {
+            return;
+        };
+        let now = shard.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let ready = {
+            let mut queue = shard.drained.lock().expect("poisoned");
+            let (ready, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut *queue)
+                .into_iter()
+                .partition(|&(_, e)| e < now);
+            *queue = keep;
+            ready
+        };
+        for (ci, _) in ready {
+            let cell = &shard.dense[(ci % CONC_DENSE_CHUNKS) as usize];
+            let mut guard = cell.lock().expect("poisoned");
+            let empty = matches!(
+                &*guard,
+                Some(d) if d.tag == ci && d.chunk.occupied.load(Ordering::Relaxed) == 0
+            );
+            if empty {
+                let d = guard.take().expect("just matched");
+                self.dense_resident.fetch_sub(1, Ordering::Relaxed);
+                self.reclaimed.fetch_add(1, Ordering::Relaxed);
+                let mut spare = shard.spare.lock().expect("poisoned");
+                if spare.len() < SPARE_CHUNKS {
+                    spare.push(d.chunk);
+                }
+            } else if let Some(d) = guard.as_mut().filter(|d| d.tag == ci) {
+                // Refilled since it drained; it re-queues on its next
+                // drain. (A vacated or superseded cell needs nothing.)
+                d.queued = false;
+            }
+        }
     }
 
     /// Publishes versioned metadata for `id` covering `range` and wakes the
@@ -483,18 +691,44 @@ impl ConcurrentVersionTable {
     /// Panics if the id is already present, `consumers` is zero, or the
     /// snapshot length mismatches the range.
     pub fn produce(&self, id: VersionId, range: AddrRange, snapshot: Vec<u8>, consumers: u32) {
-        assert_eq!(snapshot.len() as u64, range.len, "snapshot length mismatch");
-        assert!(consumers > 0, "version without consumers");
-        self.produced.fetch_add(1, Ordering::Relaxed);
-        let shard = self.shard(id);
+        self.try_produce(id, range, snapshot, consumers)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Non-panicking [`produce`](Self::produce): structural violations
+    /// (duplicate id, zero consumers, snapshot length mismatch, consumer
+    /// thread outside the table) come back as a [`VersionError`] instead,
+    /// so workers replaying untrusted streams can report a malformed
+    /// stream rather than poison the table's locks.
+    pub fn try_produce(
+        &self,
+        id: VersionId,
+        range: AddrRange,
+        snapshot: Vec<u8>,
+        consumers: u32,
+    ) -> Result<(), VersionError> {
+        if snapshot.len() as u64 != range.len {
+            return Err(VersionError(format!("snapshot length mismatch for {id}")));
+        }
+        if consumers == 0 {
+            return Err(VersionError(format!("version without consumers: {id}")));
+        }
+        let Some(shard) = self.shards.get(id.consumer.index()) else {
+            return Err(VersionError(format!(
+                "version {id} names a consumer thread outside the {}-thread table",
+                self.shards.len()
+            )));
+        };
         let (ci, si) = Self::split(id);
-        let became_live = shard
-            .with_chunk(ci, true, |chunk| {
+        let became_live = self
+            .with_chunk(shard, ci, true, |chunk| {
                 let mut slot = chunk.slots[si].lock().expect("poisoned");
                 let already = match &*slot {
                     None => 0,
                     Some(Slot::Bypassed(n)) => *n,
-                    Some(Slot::Live { .. }) => panic!("duplicate version {id}"),
+                    Some(Slot::Live { .. }) => {
+                        return Err(VersionError(format!("duplicate version {id}")));
+                    }
                 };
                 let was_occupied = slot.is_some();
                 let remaining = consumers.saturating_sub(already);
@@ -504,7 +738,7 @@ impl ConcurrentVersionTable {
                     if was_occupied {
                         chunk.occupied.fetch_sub(1, Ordering::Relaxed);
                     }
-                    false
+                    Ok(false)
                 } else {
                     *slot = Some(Slot::Live {
                         range,
@@ -514,14 +748,20 @@ impl ConcurrentVersionTable {
                     if !was_occupied {
                         chunk.occupied.fetch_add(1, Ordering::Relaxed);
                     }
+                    // Count the version outstanding *before* publishing its
+                    // availability flag (both under the cell lock): once the
+                    // flag is visible a consumer may retire the version and
+                    // decrement, so incrementing after releasing the lock
+                    // could observe the decrement first and wrap.
+                    let now = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.peak.fetch_max(now, Ordering::Relaxed);
                     chunk.avail[si].store(1, Ordering::Release);
-                    true
+                    Ok(true)
                 }
             })
-            .expect("chunk created");
+            .expect("chunk created")?;
+        self.produced.fetch_add(1, Ordering::Relaxed);
         if became_live {
-            let now = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
-            self.peak.fetch_max(now, Ordering::Relaxed);
             // Pairing the notify with a (briefly held) park lock closes the
             // check-then-wait race: a consumer that saw the flag clear is
             // either still holding the lock (will re-check) or already
@@ -529,6 +769,7 @@ impl ConcurrentVersionTable {
             drop(shard.park.lock().expect("poisoned"));
             shard.wakeup.notify_all();
         }
+        Ok(())
     }
 
     /// Notes that a consumer of `id` proceeded before production (the
@@ -536,36 +777,37 @@ impl ConcurrentVersionTable {
     /// consumers wait instead — see the module docs).
     pub fn bypass(&self, id: VersionId) {
         self.consumed.fetch_add(1, Ordering::Relaxed);
-        let shard = self.shard(id);
+        let shard = self
+            .shards
+            .get(id.consumer.index())
+            .expect("version id's consumer thread is within the table's thread count");
         let (ci, si) = Self::split(id);
-        shard
-            .with_chunk(ci, true, |chunk| {
-                let mut slot = chunk.slots[si].lock().expect("poisoned");
-                match &mut *slot {
-                    None => {
-                        *slot = Some(Slot::Bypassed(1));
-                        chunk.occupied.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Some(Slot::Bypassed(n)) => *n += 1,
-                    Some(Slot::Live { .. }) => unreachable!("bypass of an available version {id}"),
+        self.with_chunk(shard, ci, true, |chunk| {
+            let mut slot = chunk.slots[si].lock().expect("poisoned");
+            match &mut *slot {
+                None => {
+                    *slot = Some(Slot::Bypassed(1));
+                    chunk.occupied.fetch_add(1, Ordering::Relaxed);
                 }
-            })
-            .expect("chunk created");
+                Some(Slot::Bypassed(n)) => *n += 1,
+                Some(Slot::Live { .. }) => unreachable!("bypass of an available version {id}"),
+            }
+        })
+        .expect("chunk created");
     }
 
-    /// Whether `id` has been produced and not yet retired — a lock-free
-    /// two-index poll of the availability flag (the threaded consumer's
-    /// fast path; dense chunks take no lock at all).
+    /// Whether `id` has been produced and not yet retired — a two-index
+    /// poll of the availability flag under the (steady-state uncontended)
+    /// cell lock; the threaded consumer's fast path.
     pub fn is_available(&self, id: VersionId) -> bool {
         let Some(shard) = self.shards.get(id.consumer.index()) else {
             return false;
         };
         let (ci, si) = Self::split(id);
-        shard
-            .with_chunk(ci, false, |chunk| {
-                chunk.avail[si].load(Ordering::Acquire) != 0
-            })
-            .unwrap_or(false)
+        self.with_chunk(shard, ci, false, |chunk| {
+            chunk.avail[si].load(Ordering::Acquire) != 0
+        })
+        .unwrap_or(false)
     }
 
     /// Consumes one reference to `id`'s version, or `None` when the
@@ -574,7 +816,7 @@ impl ConcurrentVersionTable {
     pub fn consume(&self, id: VersionId) -> Option<(AddrRange, Vec<u8>)> {
         let shard = self.shards.get(id.consumer.index())?;
         let (ci, si) = Self::split(id);
-        let (out, retired) = shard.with_chunk(ci, false, |chunk| {
+        let (out, retired) = self.with_chunk(shard, ci, false, |chunk| {
             let mut slot = chunk.slots[si].lock().expect("poisoned");
             let Some(Slot::Live {
                 range,
@@ -647,6 +889,22 @@ impl ConcurrentVersionTable {
     /// Versions currently outstanding.
     pub fn outstanding(&self) -> usize {
         self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// Dense chunks currently resident across all shards — the quantity
+    /// epoch reclamation bounds to the outstanding window.
+    pub fn dense_resident(&self) -> usize {
+        self.dense_resident.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`dense_resident`](Self::dense_resident).
+    pub fn peak_dense_resident(&self) -> usize {
+        self.dense_peak.load(Ordering::Relaxed)
+    }
+
+    /// Dense chunks freed by epoch sweeps so far.
+    pub fn reclaimed_chunks(&self) -> u64 {
+        self.reclaimed.load(Ordering::Relaxed)
     }
 }
 
@@ -817,28 +1075,122 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_far_rids_use_the_spill_tier_and_reclaim() {
+    fn concurrent_window_wrap_collisions_use_the_spill_tier_and_reclaim() {
         let t = ConcurrentVersionTable::new(2);
-        let far = vid(1, CONC_DENSE_CHUNKS * CHUNK_RIDS + 17);
-        assert!(!t.is_available(far), "spill miss polls without allocating");
+        // A far-future rid aliases cell 17 of the ring; with the cell
+        // vacant it lives densely like any other chunk.
+        let far = vid(1, CONC_DENSE_CHUNKS * CHUNK_RIDS + 17 * CHUNK_RIDS);
+        assert!(!t.is_available(far), "a miss polls without allocating");
         t.produce(far, AddrRange::new(0, 1), vec![3], 1);
         assert!(t.is_available(far));
+        assert!(t.shards[1].spill.lock().unwrap().is_empty());
+        // A *live* near rid aliasing the same cell collides and parks in
+        // the spill tier instead of evicting the resident window.
+        let near = vid(1, 17 * CHUNK_RIDS + 5);
+        t.produce(near, AddrRange::new(8, 1), vec![9], 1);
+        assert!(t.is_available(far) && t.is_available(near));
         assert_eq!(
             t.shards[1].spill.lock().unwrap().len(),
             1,
-            "outliers must not grow the dense first level"
+            "the colliding window must not displace the resident chunk"
         );
-        assert_eq!(t.consume(far).map(|(_, s)| s), Some(vec![3]));
-        assert!(!t.is_available(far));
+        assert_eq!(t.consume(near).map(|(_, s)| s), Some(vec![9]));
         assert!(
             t.shards[1].spill.lock().unwrap().is_empty(),
-            "a drained spill chunk is reclaimed"
+            "a drained spill chunk is reclaimed immediately"
         );
-        // The chunk shell is rebuilt transparently on the next outlier.
-        let far2 = vid(1, CONC_DENSE_CHUNKS * CHUNK_RIDS + 18);
-        t.produce(far2, AddrRange::new(0, 1), vec![4], 1);
-        assert_eq!(t.consume(far2).map(|(_, s)| s), Some(vec![4]));
+        assert_eq!(t.consume(far).map(|(_, s)| s), Some(vec![3]));
+        // The spill entry is rebuilt transparently while the collision
+        // persists.
+        t.produce(far, AddrRange::new(0, 1), vec![4], 1);
+        t.produce(near, AddrRange::new(8, 1), vec![5], 1);
+        assert_eq!(t.consume(near).map(|(_, s)| s), Some(vec![5]));
+        assert_eq!(t.consume(far).map(|(_, s)| s), Some(vec![4]));
         assert!(t.shards[1].spill.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn epoch_sweep_reclaims_drained_dense_chunks() {
+        let t = ConcurrentVersionTable::new(1);
+        let consumer = ThreadId(0);
+        // Sweep a rid range 64 chunks long with a one-version window,
+        // advancing the epoch every "batch" the way the threaded backend
+        // does.
+        for batch in 0..64u64 {
+            for i in 0..CHUNK_RIDS {
+                let id = vid(0, batch * CHUNK_RIDS + i);
+                t.produce(id, AddrRange::new(0, 1), vec![1], 1);
+                assert!(t.consume(id).is_some());
+            }
+            t.advance_epoch(consumer);
+        }
+        t.advance_epoch(consumer);
+        assert!(
+            t.dense_resident() <= 2,
+            "residency must track the window, not the swept range (got {})",
+            t.dense_resident()
+        );
+        assert!(t.peak_dense_resident() <= 3);
+        assert!(t.reclaimed_chunks() >= 60, "sweeps must actually free");
+        // The freed cells are reused transparently.
+        let again = vid(0, 3 * CHUNK_RIDS + 1);
+        t.produce(again, AddrRange::new(0, 1), vec![7], 1);
+        assert_eq!(t.consume(again).map(|(_, s)| s), Some(vec![7]));
+    }
+
+    #[test]
+    fn reclamation_toggle_keeps_dense_shells() {
+        let t = ConcurrentVersionTable::new(1).with_reclamation(false);
+        for batch in 0..8u64 {
+            let id = vid(0, batch * CHUNK_RIDS);
+            t.produce(id, AddrRange::new(0, 1), vec![1], 1);
+            assert!(t.consume(id).is_some());
+            t.advance_epoch(ThreadId(0));
+        }
+        assert_eq!(t.dense_resident(), 8, "off = grow-only baseline");
+        assert_eq!(t.reclaimed_chunks(), 0);
+    }
+
+    #[test]
+    fn epoch_sweep_spares_the_still_occupied_and_refilled() {
+        let t = ConcurrentVersionTable::new(1);
+        let held = vid(0, 5);
+        t.produce(held, AddrRange::new(0, 1), vec![1], 1);
+        // Drain a neighbor chunk, then refill it before the sweep runs.
+        let churn = vid(0, CHUNK_RIDS + 3);
+        t.produce(churn, AddrRange::new(0, 1), vec![2], 1);
+        assert!(t.consume(churn).is_some());
+        t.produce(churn, AddrRange::new(0, 1), vec![3], 1);
+        t.advance_epoch(ThreadId(0));
+        t.advance_epoch(ThreadId(0));
+        assert_eq!(t.dense_resident(), 2, "occupied chunks are never freed");
+        assert!(t.is_available(held) && t.is_available(churn));
+        assert!(t.consume(held).is_some() && t.consume(churn).is_some());
+    }
+
+    #[test]
+    fn concurrent_out_of_range_consumer_is_an_error_not_a_panic() {
+        let t = ConcurrentVersionTable::new(2);
+        let err = t
+            .try_produce(vid(7, 1), AddrRange::new(0, 1), vec![0], 1)
+            .expect_err("consumer thread 7 is outside a 2-thread table");
+        assert!(err.to_string().contains("outside the 2-thread table"));
+        assert!(!t.is_available(vid(7, 1)));
+        assert!(t.consume(vid(7, 1)).is_none());
+        assert_eq!(t.produced(), 0);
+    }
+
+    #[test]
+    fn concurrent_duplicate_produce_is_an_error_via_try_produce() {
+        let t = ConcurrentVersionTable::new(1);
+        t.produce(vid(0, 1), AddrRange::new(0, 1), vec![0], 1);
+        let err = t
+            .try_produce(vid(0, 1), AddrRange::new(0, 1), vec![0], 1)
+            .expect_err("duplicate");
+        assert!(err.to_string().contains("duplicate version"));
+        // The table keeps working: the original version is intact.
+        assert!(t.is_available(vid(0, 1)));
+        assert!(t.consume(vid(0, 1)).is_some());
     }
 
     #[test]

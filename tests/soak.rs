@@ -1,0 +1,311 @@
+//! Unbounded-uptime soaks: sweep the rid and mask spaces far past their
+//! steady-state windows and prove residency stays bounded.
+//!
+//! Two reclamation layers keep a long-running monitor's memory flat:
+//!
+//! * the [`ConcurrentVersionTable`] frees drained dense chunks at epoch
+//!   boundaries, so version storage tracks the outstanding window, not the
+//!   total rids replayed;
+//! * the LOCKSET mask interner frees unreferenced candidate-set ids behind
+//!   a quiescence gate, so the 2^16 id space survives unbounded churn of
+//!   distinct lock combinations.
+//!
+//! The long sweeps run single-threaded for throughput (residency bounds
+//! do not depend on interleaving); the mask-cycling and racing-producer
+//! soaks run real threads against the reclamation paths — those are what
+//! the nightly TSan job is pointed at. The default profile is CI-sized;
+//! `PARALOG_SOAK=1` runs the full multi-billion-rid sweep.
+
+use paralog::events::{
+    AddrRange, CaPhase, CaRecord, EventRecord, HighLevelKind, Instr, LockId, MemRef, Reg, Rid,
+    ThreadId, VersionId,
+};
+use paralog::lifeguards::{ConcurrentLifeguard, LockSetConcurrent};
+use paralog::meta::ConcurrentVersionTable;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+/// Full profile: multi-billion-rid / half-million-combination sweeps for
+/// the nightly soak. Default: the same code paths at CI scale.
+fn full_profile() -> bool {
+    std::env::var("PARALOG_SOAK").as_deref() == Ok("1")
+}
+
+/// How far producers run ahead of the consumer in the racing soak, in
+/// versions (= dense chunks, at one version per chunk): the outstanding
+/// window — and with it the residency bound under test — is a known
+/// constant.
+const PRODUCER_LEAD: usize = 128;
+
+/// Consumer-side epoch cadence, mirroring the threaded backend's
+/// advance-per-batch contract.
+const CHUNKS_PER_EPOCH: u64 = 64;
+
+#[test]
+fn version_residency_is_bounded_over_a_rid_sweep() {
+    // Sweep ≥ 100 full dense windows (~210M rids; PARALOG_SOAK=1 sweeps
+    // 2000, ~4.2B rids), touching every chunk once. Grow-only storage
+    // would allocate every chunk it touches; the epoch sweep must keep
+    // the resident count near the outstanding window instead.
+    let windows: u64 = if full_profile() { 2_000 } else { 100 };
+    let chunks =
+        windows * (ConcurrentVersionTable::WINDOW_RIDS / ConcurrentVersionTable::CHUNK_RIDS);
+    let table = ConcurrentVersionTable::new(2);
+    let range = AddrRange::new(0x1000_0000, 4);
+    let vid = |c: u64| VersionId {
+        consumer: ThreadId(1),
+        consumer_rid: Rid(c * ConcurrentVersionTable::CHUNK_RIDS + 1),
+    };
+
+    for c in 0..chunks {
+        table.produce(vid(c), range, vec![0xAB; 4], 1);
+        let (_, snapshot) = table.consume(vid(c)).expect("just produced");
+        assert_eq!(snapshot, vec![0xAB; 4]);
+        if c % CHUNKS_PER_EPOCH == 0 {
+            table.advance_epoch(ThreadId(1));
+        }
+    }
+    // Stream end: flush chunks drained since the last boundary.
+    table.advance_epoch(ThreadId(1));
+    table.advance_epoch(ThreadId(1));
+
+    assert_eq!(table.produced(), chunks);
+    assert_eq!(table.consumed(), chunks);
+    assert_eq!(table.outstanding(), 0, "every version retired");
+    // The bound: one epoch of drained-but-unswept chunks plus the live
+    // chunk and spares — independent of the sweep length.
+    let peak = table.peak_dense_resident();
+    assert!(
+        peak <= 2 * CHUNKS_PER_EPOCH as usize + 8,
+        "peak residency {peak} chunks is not bounded by the outstanding window \
+         ({chunks} chunks swept)"
+    );
+    assert!(
+        table.reclaimed_chunks() >= chunks - peak as u64,
+        "sweep must reclaim nearly every chunk it touched: reclaimed {} of {chunks}",
+        table.reclaimed_chunks()
+    );
+    assert!(
+        table.dense_resident() <= 4,
+        "quiesced table still holds {} chunks",
+        table.dense_resident()
+    );
+}
+
+fn rec_access(rid: u64, addr: u64, write: bool) -> EventRecord {
+    let mem = MemRef::new(addr, 4);
+    EventRecord::instr(
+        Rid(rid),
+        if write {
+            Instr::Store {
+                dst: mem,
+                src: Reg::new(0),
+            }
+        } else {
+            Instr::Load {
+                dst: Reg::new(0),
+                src: mem,
+            }
+        },
+    )
+}
+
+fn rec_lock(rid: u64, tid: u16, id: u32, acquire: bool) -> EventRecord {
+    EventRecord::ca(
+        Rid(rid),
+        CaRecord {
+            what: if acquire {
+                HighLevelKind::Lock(LockId(id))
+            } else {
+                HighLevelKind::Unlock(LockId(id))
+            },
+            phase: if acquire {
+                CaPhase::End
+            } else {
+                CaPhase::Begin
+            },
+            range: None,
+            issuer: ThreadId(tid),
+            issuer_rid: Rid(rid),
+            seq: u64::MAX,
+        },
+    )
+}
+
+/// One worker's slice of the mask-cycling soak: monitored threads `ta` and
+/// `tb` share one fresh variable per iteration under a three-lock
+/// combination drawn from `lock_base + [0, 32)`, then refine it down to a
+/// single lock — interning one unique mask per iteration and releasing it
+/// for the epoch-gated free. `sync` bounds the skew between workers so the
+/// quiescence gate (min over worker epochs) cannot stall frees.
+fn cycle_masks(
+    conc: &LockSetConcurrent,
+    iterations: u64,
+    lock_base: u32,
+    addr_base: u64,
+    (ta, tb): (u16, u16),
+    sync: &Barrier,
+) {
+    let mut rid = [1u64; 2];
+    let mut next = |side: usize| {
+        rid[side] += 1;
+        rid[side]
+    };
+    for i in 0..iterations {
+        // lcm(11, 13, 7) = 1001 distinct combinations before the pattern
+        // repeats; freed ids must be reused or the 2^16 space dies in the
+        // first 66k iterations.
+        let combo = [
+            lock_base + (i % 11) as u32,
+            lock_base + 11 + (i % 13) as u32,
+            lock_base + 24 + (i % 7) as u32,
+        ];
+        let addr = addr_base + i * 4;
+        for &l in &combo {
+            conc.apply(ThreadId(ta), &rec_lock(next(0), ta, l, true), None);
+        }
+        conc.apply(ThreadId(ta), &rec_access(next(0), addr, true), None);
+        for &l in &combo {
+            conc.apply(ThreadId(tb), &rec_lock(next(1), tb, l, true), None);
+        }
+        // Second thread writes: the variable goes shared-modified with the
+        // full combination as its interned candidate set.
+        conc.apply(ThreadId(tb), &rec_access(next(1), addr, true), None);
+        // Drop all but one lock and touch the variable again: the candidate
+        // set refines to the surviving single lock (one of only 11 reused
+        // masks), releasing the iteration's unique combination id.
+        conc.apply(ThreadId(ta), &rec_lock(next(0), ta, combo[1], false), None);
+        conc.apply(ThreadId(ta), &rec_lock(next(0), ta, combo[2], false), None);
+        conc.apply(ThreadId(ta), &rec_access(next(0), addr, true), None);
+        conc.apply(ThreadId(ta), &rec_lock(next(0), ta, combo[0], false), None);
+        for &l in &combo {
+            conc.apply(ThreadId(tb), &rec_lock(next(1), tb, l, false), None);
+        }
+        if i % 64 == 0 {
+            conc.epoch_boundary(ThreadId(ta));
+            conc.epoch_boundary(ThreadId(tb));
+        }
+        if i % 256 == 0 {
+            // The interner frees behind min(worker epochs): cap the skew so
+            // a fast worker's pending ids cannot pile up behind a slow one.
+            sync.wait();
+        }
+    }
+    conc.stream_done(ThreadId(ta));
+    conc.stream_done(ThreadId(tb));
+}
+
+#[test]
+fn interner_residency_is_bounded_over_mask_cycling() {
+    // Two OS threads, four monitored streams, disjoint lock and address
+    // spaces: each iteration interns a fresh three-lock mask and releases
+    // it, cycling far more distinct combinations through the interner than
+    // its peak residency — without ever saturating.
+    let iterations: u64 = if full_profile() { 500_000 } else { 20_000 };
+    let conc = Arc::new(LockSetConcurrent::new(4));
+    let sync = Arc::new(Barrier::new(2));
+    let workers: Vec<_> = [
+        (0u32, 0x1000_0000u64, (0u16, 1u16)),
+        (32, 0x5000_0000, (2, 3)),
+    ]
+    .into_iter()
+    .map(|(lock_base, addr_base, tids)| {
+        let conc = Arc::clone(&conc);
+        let sync = Arc::clone(&sync);
+        thread::spawn(move || cycle_masks(&conc, iterations, lock_base, addr_base, tids, &sync))
+    })
+    .collect();
+    for w in workers {
+        w.join().expect("soak worker must not panic");
+    }
+
+    assert!(!conc.degraded(), "cycling must never exhaust the id space");
+    assert!(
+        conc.session_events().is_empty(),
+        "no degradation diagnostics on a healthy run"
+    );
+    assert!(
+        conc.violations().is_empty(),
+        "consistently locked sharing must stay silent: {:?}",
+        conc.violations()
+    );
+    // Steady state: the permanent full set, the empty set, ≤ 2 × 11 single
+    // -lock masks, a few in-flight combinations per worker, plus up to one
+    // barrier interval (256 iterations × 2 workers) of pending frees.
+    let peak = conc.peak_interned_masks();
+    assert!(
+        peak <= 2048,
+        "peak interner residency {peak} is not bounded ({} combinations cycled)",
+        2 * iterations
+    );
+    let live = conc.interned_masks();
+    assert!(live <= 64, "quiesced interner still holds {live} masks");
+}
+
+/// Reclamation races the sweep against concurrent producers on the *same*
+/// shard: many producer threads publish into one consumer's rid space while
+/// it consumes and advances epochs. This is the TSan target for the
+/// cell-lock/spill/spare hand-offs.
+#[test]
+fn epoch_sweep_races_cleanly_with_many_producers() {
+    let windows: u64 = if full_profile() { 16 } else { 2 };
+    let producers = 4u64;
+    let chunks =
+        windows * (ConcurrentVersionTable::WINDOW_RIDS / ConcurrentVersionTable::CHUNK_RIDS);
+    let table = Arc::new(ConcurrentVersionTable::new(2));
+    let range = AddrRange::new(0x2000_0000, 4);
+    let vid = |c: u64| VersionId {
+        consumer: ThreadId(1),
+        consumer_rid: Rid(c * ConcurrentVersionTable::CHUNK_RIDS + 7),
+    };
+    // Chunk c is produced by thread c % producers: adjacent chunks come
+    // from different threads, so creates, drains and sweeps interleave.
+    // Backpressure sleeps rather than spin-yields: the soak must also pass
+    // on a single hardware thread without starving the consumer.
+    let cursor = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let table = Arc::clone(&table);
+            let cursor = Arc::clone(&cursor);
+            thread::spawn(move || {
+                for c in (p..chunks).step_by(producers as usize) {
+                    while c.saturating_sub(cursor.load(Ordering::Acquire)) >= PRODUCER_LEAD as u64 {
+                        thread::sleep(Duration::from_micros(200));
+                    }
+                    table.produce(vid(c), range, vec![p as u8; 4], 1);
+                }
+            })
+        })
+        .collect();
+    for c in 0..chunks {
+        // `wait_available` is a single park that any produce on the shard
+        // wakes; loop around it (as the backend does) until our chunk lands.
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while !table.wait_available(vid(c), Duration::from_millis(50)) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "chunk {c}: no producer delivered"
+            );
+        }
+        table.consume(vid(c)).expect("available implies consumable");
+        cursor.store(c, Ordering::Release);
+        if c % CHUNKS_PER_EPOCH == 0 {
+            table.advance_epoch(ThreadId(1));
+        }
+    }
+    for h in handles {
+        h.join().expect("producer must not panic");
+    }
+    table.advance_epoch(ThreadId(1));
+    table.advance_epoch(ThreadId(1));
+
+    assert_eq!(table.outstanding(), 0);
+    let peak = table.peak_dense_resident();
+    assert!(
+        peak <= 4 * PRODUCER_LEAD,
+        "peak residency {peak} chunks under {producers} racing producers"
+    );
+    assert!(table.reclaimed_chunks() >= chunks - peak as u64);
+}

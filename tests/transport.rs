@@ -87,7 +87,8 @@ fn tso_runs_are_deterministic_too() {
 #[test]
 fn codec_compresses_real_streams_compactly() {
     // §2 relies on ~1 byte per compressed record; our codec must at least
-    // land in the low single digits on realistic streams, and round-trip.
+    // land in the low single digits on realistic streams (including the
+    // per-record integrity byte), and round-trip.
     for bench in [Benchmark::Lu, Benchmark::Barnes, Benchmark::Swaptions] {
         let w = WorkloadSpec::benchmark(bench, 1).scale(0.3).build();
         let mut rid = 0u64;
@@ -107,7 +108,7 @@ fn codec_compresses_real_streams_compactly() {
         }
         let rate = enc.bytes_per_record();
         assert!(
-            rate < 4.0,
+            rate < 5.0,
             "{bench}: expected compact encoding, got {rate:.2} B/record"
         );
         let bytes = enc.finish();

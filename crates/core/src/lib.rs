@@ -53,9 +53,10 @@ pub mod session;
 pub use config::{CaMode, MonitorConfig, MonitoringMode};
 pub use exec_threaded::{run_threaded_taintcheck, AtomicShadow, ThreadedOutcome};
 pub use metrics::{AppBuckets, LgBuckets, RunMetrics};
-pub use paralog_lifeguards::SessionEvent;
+pub use paralog_lifeguards::{SessionEvent, SessionEventObserver};
 pub use platform::{Platform, RunOutcome};
 pub use reference::Reference;
+pub use session::coop::{CoopLane, CoopSession, LaneStep};
 pub use session::{
     Backend, BufferedStream, DeterministicBackend, EventSource, FaultyReader, LivePushSource,
     MonitorSession, MonitorSessionBuilder, PushFeed, PushRefused, PushSource, RecordStream,

@@ -48,7 +48,7 @@ use std::sync::Mutex;
 
 /// Records pulled from a stream per refill — the backend-side buffering
 /// bound (each thread holds at most one batch).
-const INGEST_BATCH: usize = 256;
+pub(crate) const INGEST_BATCH: usize = 256;
 
 /// Runs one resolved monitoring session.
 pub trait Backend: fmt::Debug {
@@ -146,7 +146,7 @@ fn run_deterministic(
 /// sequence-ordered, so these gates cannot cycle.
 ///
 /// Returns whether `rec`'s gate is *unmet* (the caller must stall).
-fn ca_gate_unmet(
+pub(crate) fn ca_gate_unmet(
     rec: &EventRecord,
     tid: usize,
     ca_policy: &paralog_order::CaPolicy,
@@ -344,8 +344,21 @@ pub struct ThreadedBackend;
 /// spin and the §5.5 version wait.
 const NO_PROGRESS_GRACE: std::time::Duration = std::time::Duration::from_secs(2);
 
+/// The much shorter flat-run window used once the input is severed (every
+/// worker finished or parked in a wait — see
+/// [`ThreadedRun::input_severed`]). At that point nothing can ever wake
+/// the run from outside, so the only latencies left are internal
+/// scheduling ones (a peer noticing its gate cleared, a 200µs
+/// version-wait slice): a dropped producer resolves to
+/// [`SessionError::Deadlock`] in a quarter second instead of parking
+/// workers for the full grace window. Still a window rather than an
+/// instant check because a parked peer whose gate *just* cleared may yet
+/// resume and advertise further progress.
+const SEVERED_GRACE: std::time::Duration = std::time::Duration::from_millis(250);
+
 /// Shared worker coordination for one threaded replay.
 struct ThreadedRun {
+    threads: usize,
     progress: SharedProgressTable,
     /// §5.5 versioned metadata shared by all workers: producers publish
     /// pre-store snapshots, consumers park on them.
@@ -358,6 +371,10 @@ struct ThreadedRun {
     /// has not caught up). While nonzero, a flat `applied` counter is *not*
     /// evidence of deadlock.
     producers_blocked: AtomicUsize,
+    /// Workers parked inside an arc spin or a §5.5 version wait.
+    waiting_workers: AtomicUsize,
+    /// Workers whose replay loop has returned (drained, failed or aborted).
+    finished_workers: AtomicUsize,
     /// Set on the first failure (deadlock, malformed stream, unsupported
     /// record); every worker bails out promptly once set.
     abort: AtomicBool,
@@ -367,11 +384,14 @@ struct ThreadedRun {
 impl ThreadedRun {
     fn new(threads: usize) -> Self {
         ThreadedRun {
+            threads,
             progress: SharedProgressTable::new(threads),
             versions: paralog_meta::ConcurrentVersionTable::new(threads),
             arc_spins: AtomicU64::new(0),
             applied: AtomicU64::new(0),
             producers_blocked: AtomicUsize::new(0),
+            waiting_workers: AtomicUsize::new(0),
+            finished_workers: AtomicUsize::new(0),
             abort: AtomicBool::new(false),
             failure: Mutex::new(None),
         }
@@ -388,6 +408,25 @@ impl ThreadedRun {
 
     fn aborted(&self) -> bool {
         self.abort.load(Ordering::Acquire)
+    }
+
+    /// Whether the run's input is severed: every worker is either finished
+    /// or parked in a wait (an arc spin or a §5.5 version wait). Waits are
+    /// only ever resolved by a *peer worker* advertising progress, and with
+    /// no worker left pulling or applying, nothing ever will — only a
+    /// parked peer noticing its gate already cleared can — so the flat-run
+    /// detector drops from [`NO_PROGRESS_GRACE`] to [`SEVERED_GRACE`]: a
+    /// dropped producer resolves to `Deadlock` fast instead of parking
+    /// workers for the full grace window. Stream exhaustion is deliberately
+    /// *not* part of the condition: a worker parked mid-pending never
+    /// re-polls its stream, so a dropped producer behind a gated record
+    /// would otherwise go unnoticed. (A worker waiting on a *live* lagging
+    /// producer sits in `producers_blocked`, not here, and
+    /// [`FlatRunDetector::check`] refuses to arm at all while any worker
+    /// does.)
+    fn input_severed(&self) -> bool {
+        self.waiting_workers.load(Ordering::SeqCst) + self.finished_workers.load(Ordering::SeqCst)
+            >= self.threads
     }
 }
 
@@ -428,6 +467,9 @@ impl Backend for ThreadedBackend {
             .ok_or(SessionError::Unsupported(
                 "lifeguard has no concurrent (Send + Sync) replay form",
             ))?;
+        if let Some(observer) = plan.observer {
+            conc.set_event_observer(observer);
+        }
         let ca_policy = conc.ca_policy();
 
         let run = ThreadedRun::new(k);
@@ -439,6 +481,7 @@ impl Backend for ThreadedBackend {
                 scope.spawn(move || {
                     let tid = ThreadId(tid as u16);
                     replay_worker(tid, stream, conc, ca_policy, run, k);
+                    run.finished_workers.fetch_add(1, Ordering::SeqCst);
                     // However the worker exited (drained, failed, aborted),
                     // it stops gating quiescence and flushes its shard's
                     // retire queue.
@@ -678,7 +721,12 @@ impl FlatRunDetector {
             return false;
         }
         let t0 = *self.flat_since.get_or_insert_with(std::time::Instant::now);
-        t0.elapsed() > NO_PROGRESS_GRACE
+        let grace = if run.input_severed() {
+            SEVERED_GRACE
+        } else {
+            NO_PROGRESS_GRACE
+        };
+        t0.elapsed() > grace
     }
 }
 
@@ -694,27 +742,35 @@ enum SpinOutcome {
 }
 
 /// §5.2-style wait: spin on `satisfied`, yielding periodically and running
-/// the shared no-global-progress detector.
+/// the shared no-global-progress detector. The wait is bracketed by
+/// [`ThreadedRun::waiting_workers`] so peers can tell a parked worker from
+/// a running one (the severed-input fast path keys off it).
 fn spin_until(run: &ThreadedRun, mut satisfied: impl FnMut() -> bool) -> SpinOutcome {
-    let mut spun = false;
+    if satisfied() {
+        return SpinOutcome::Ready { spun: false };
+    }
+    run.waiting_workers.fetch_add(1, Ordering::SeqCst);
     let mut spins = 0u32;
     let mut detector = FlatRunDetector::new(run);
-    while !satisfied() {
-        if run.aborted() {
-            return SpinOutcome::Aborted;
+    let outcome = loop {
+        if satisfied() {
+            break SpinOutcome::Ready { spun: true };
         }
-        spun = true;
+        if run.aborted() {
+            break SpinOutcome::Aborted;
+        }
         spins += 1;
         if spins >= 1 << 14 {
             spins = 0;
             if detector.check(run) {
-                return SpinOutcome::Stuck;
+                break SpinOutcome::Stuck;
             }
             std::thread::yield_now();
         }
         std::hint::spin_loop();
-    }
-    SpinOutcome::Ready { spun }
+    };
+    run.waiting_workers.fetch_sub(1, Ordering::SeqCst);
+    outcome
 }
 
 /// Parks until the §5.5 version `vid` is produced, then consumes it.
@@ -725,24 +781,36 @@ fn wait_consume_version(
     vid: paralog_events::VersionId,
     run: &ThreadedRun,
 ) -> Option<paralog_lifeguards::VersionedMeta> {
+    if let Some(v) = run.versions.consume(vid) {
+        return Some(v);
+    }
+    run.waiting_workers.fetch_add(1, Ordering::SeqCst);
     let mut detector = FlatRunDetector::new(run);
-    loop {
+    let out = loop {
         if let Some(v) = run.versions.consume(vid) {
-            return Some(v);
+            break Some(v);
         }
         if run.aborted() {
-            return None;
+            break None;
         }
         // Park on the producer's wakeup path in bounded slices so the
         // liveness checks keep running while we wait.
         run.versions
             .wait_available(vid, std::time::Duration::from_micros(200));
         if detector.check(run) {
+            // One last look — the wakeup that ended `wait_available` may
+            // have been the producer publishing this very version.
+            if let Some(v) = run.versions.consume(vid) {
+                break Some(v);
+            }
             run.fail(SessionError::Deadlock(format!(
                 "thread parked on unproduced version {vid}; its producer never reaches \
-                 the produce point (truncated or malformed TSO capture)"
+                 the produce point (truncated or malformed TSO capture, or a dropped \
+                 producer)"
             )));
-            return None;
+            break None;
         }
-    }
+    };
+    run.waiting_workers.fetch_sub(1, Ordering::SeqCst);
+    out
 }

@@ -1,0 +1,577 @@
+//! Cooperative, pool-schedulable streaming replay.
+//!
+//! [`ThreadedBackend`](super::ThreadedBackend) dedicates one OS thread per
+//! stream and lets workers *block* — spinning on unmet arcs, parking on
+//! unproduced §5.5 versions, sleeping on a lagging producer. That is the
+//! right shape for one session that owns the machine, and exactly the wrong
+//! shape for a supervisor multiplexing N sessions over one shared worker
+//! pool: a worker parked inside session A's arc spin is a worker session B
+//! never gets.
+//!
+//! This module re-expresses the same replay loop as a **non-blocking state
+//! machine**. A [`CoopSession`] owns the shared run state (concurrent
+//! lifeguard, §5.2 progress table, §5.5 version table, failure latch); each
+//! per-thread [`CoopLane`] is an independently steppable task. One
+//! [`CoopLane::step`] call pulls at most one batch from the lane's stream
+//! and delivers at most `budget` records; every condition the threaded
+//! worker would *wait* on — an unmet dependence arc, an unserialized
+//! ConflictAlert copy, an unproduced version, a producer that has not
+//! caught up — instead returns [`LaneStep::Gated`] or [`LaneStep::Idle`],
+//! handing the pool worker back to the scheduler. Fairness across sessions
+//! is then the pool's round-robin, not the OS scheduler's.
+//!
+//! The ordering machinery is identical to the threaded backend's — the same
+//! `ca_gate_unmet` §5.4 serialization, the same advertise-after-apply
+//! §5.2 protocol, the same produce/consume points against the shared
+//! [`ConcurrentVersionTable`](paralog_meta::ConcurrentVersionTable) — so a
+//! capture replayed through lanes produces the same fingerprint and
+//! violations as [`ThreadedBackend`](super::ThreadedBackend) or
+//! [`ReplaySource`](super::ReplaySource) ingestion.
+//!
+//! Deadlock semantics mirror the backends': a lane gated while *some*
+//! lane can still pull or apply records is simply rescheduled (`Blocked`
+//! is not deadlock); only once **every** lane is parked at a gate or
+//! finished — so no lane will ever advertise the progress a gate waits
+//! on — does a flat-run window (no record applied session-wide) resolve
+//! to [`SessionError::Deadlock`]. A producer that vanishes mid-session
+//! therefore resolves deterministically: `Exhausted` at a record boundary
+//! with no dangling arcs drains clean; severed arcs fail within the
+//! `COOP_SEVERED_GRACE` window.
+
+use super::backend::{ca_gate_unmet, INGEST_BATCH};
+use super::source::{RecordStream, StreamStatus};
+use super::SessionError;
+use crate::metrics::RunMetrics;
+use paralog_events::{AddrRange, EventRecord, ThreadId};
+use paralog_lifeguards::{ConcurrentLifeguard, LifeguardFactory, SessionEventObserver, Violation};
+use paralog_order::{CaPolicy, RangeTable, SharedProgressTable};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Flat-run window once every lane is parked at a gate or finished: the
+/// only possible wakeup is internal (a parked lane noticing its gate
+/// already cleared on its next step), so a quarter second of zero applied
+/// records is decisive. Mirrors the threaded backend's severed-input
+/// grace. A window rather than an instant check because a parked peer
+/// whose gate *just* cleared may yet resume and advertise.
+const COOP_SEVERED_GRACE: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// What one [`CoopLane::step`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneStep {
+    /// At least one record was delivered (or a fresh batch was pulled).
+    /// Re-step soon — the lane likely has more work ready.
+    Progressed,
+    /// The stream is `Blocked`: its producer has not caught up. Re-step
+    /// later; prefer running other lanes meanwhile.
+    Idle,
+    /// The head record waits on a peer lane (unmet §5.2 arc, §5.4 CA
+    /// serialization, or an unproduced §5.5 version). Re-step after peers
+    /// have run.
+    Gated,
+    /// The lane drained its stream and delivered everything. Terminal.
+    Finished,
+    /// The session failed (this lane's stream or a peer's); the error is in
+    /// the session report. Terminal.
+    Failed,
+}
+
+/// Shared state of one cooperative replay session.
+struct CoopShared {
+    conc: Box<dyn ConcurrentLifeguard>,
+    ca_policy: CaPolicy,
+    progress: SharedProgressTable,
+    versions: paralog_meta::ConcurrentVersionTable,
+    lanes: usize,
+    /// Records applied session-wide — the liveness signal.
+    applied: AtomicU64,
+    /// Times a lane found its head record gated on a peer.
+    stalls: AtomicU64,
+    /// Times a lane polled a `Blocked` stream and got nothing — proof the
+    /// non-blocking reader path actually exercised `WouldBlock`.
+    blocked_polls: AtomicU64,
+    /// Lanes whose stream reported `Exhausted`.
+    eof_lanes: AtomicUsize,
+    /// Lanes currently parked at an unmet gate (head record waiting on a
+    /// peer). With `gated + finished == lanes`, no lane can ever advertise
+    /// the progress a gate waits on.
+    gated_lanes: AtomicUsize,
+    /// Lanes that ran [`CoopLane`] to a terminal state.
+    finished_lanes: AtomicUsize,
+    abort: AtomicBool,
+    failure: Mutex<Option<SessionError>>,
+    /// Flat-run detector state (armed only once every lane is exhausted).
+    flat: Mutex<FlatWatch>,
+    /// Final report, composed exactly once by the last lane to finish.
+    report: Mutex<Option<Result<RunMetrics, SessionError>>>,
+}
+
+struct FlatWatch {
+    last_applied: u64,
+    flat_since: Option<Instant>,
+}
+
+impl CoopShared {
+    /// Records the first failure and tells every lane to stop.
+    fn fail(&self, err: SessionError) {
+        let mut failure = self.failure.lock().expect("poisoned");
+        if failure.is_none() {
+            *failure = Some(err);
+        }
+        self.abort.store(true, Ordering::Release);
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// Called by a lane whose head is gated (the caller has already parked
+    /// itself). Returns `true` when the gate is hopeless: every lane is
+    /// parked at a gate or finished — so nothing can ever advertise the
+    /// progress a gate waits on — and the whole session has been flat for
+    /// `COOP_SEVERED_GRACE`. Stream exhaustion is deliberately *not*
+    /// part of the condition: a lane parked mid-pending never re-polls its
+    /// stream, so a dropped producer behind a gated head would otherwise
+    /// go unnoticed.
+    fn gate_is_deadlock(&self) -> bool {
+        if self.gated_lanes.load(Ordering::SeqCst) + self.finished_lanes.load(Ordering::SeqCst)
+            < self.lanes
+        {
+            return false; // some lane can still pull or apply
+        }
+        let mut watch = self.flat.lock().expect("poisoned");
+        let now = self.applied.load(Ordering::Relaxed);
+        if now != watch.last_applied {
+            watch.last_applied = now;
+            watch.flat_since = None;
+            return false;
+        }
+        let t0 = *watch.flat_since.get_or_insert_with(Instant::now);
+        t0.elapsed() > COOP_SEVERED_GRACE
+    }
+
+    /// Live metrics snapshot (also the body of the final report).
+    fn metrics(&self) -> RunMetrics {
+        let mut violations = self.conc.violations();
+        // Lane interleaving is pool-schedule-dependent; canonical order
+        // keeps reports deterministic.
+        violations.sort_by_key(|v| (v.tid.0, v.rid.0));
+        let total = self.applied.load(Ordering::Relaxed);
+        RunMetrics {
+            app_threads: self.lanes,
+            records: total,
+            delivered_ops: total,
+            dependence_stalls: self.stalls.load(Ordering::Relaxed),
+            versions_produced: self.versions.produced(),
+            versions_consumed: self.versions.consumed(),
+            violations,
+            fingerprint: self.conc.fingerprint(),
+            events: self.conc.session_events(),
+            ..RunMetrics::default()
+        }
+    }
+
+    /// The last lane to finish composes the report.
+    fn finalize(&self) {
+        let failure = self.failure.lock().expect("poisoned").clone();
+        let result = match failure {
+            Some(err) => Err(err),
+            None => Ok(self.metrics()),
+        };
+        *self.report.lock().expect("poisoned") = Some(result);
+    }
+}
+
+/// Handle to one cooperative replay session: clone freely, observe from any
+/// thread. The actual work happens in the session's [`CoopLane`]s, stepped
+/// by whoever schedules them (the `paralogd` worker pool, a test loop, ...).
+#[derive(Clone)]
+pub struct CoopSession {
+    shared: Arc<CoopShared>,
+}
+
+impl std::fmt::Debug for CoopSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoopSession")
+            .field("lanes", &self.shared.lanes)
+            .field("applied", &self.shared.applied.load(Ordering::Relaxed))
+            .field(
+                "finished_lanes",
+                &self.shared.finished_lanes.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl CoopSession {
+    /// Builds a session over `streams` (one lane per stream) running
+    /// `factory`'s concurrent form.
+    ///
+    /// `observer`, when given, is installed on the lifeguard before any
+    /// record is applied, so [`SessionEvent`](paralog_lifeguards::SessionEvent)s
+    /// fire incrementally.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::EmptySource`] for zero streams,
+    /// [`SessionError::Unsupported`] when the factory has no concurrent
+    /// (`Send + Sync`) form.
+    pub fn start(
+        factory: &dyn LifeguardFactory,
+        heap: AddrRange,
+        streams: Vec<Box<dyn RecordStream>>,
+        observer: Option<SessionEventObserver>,
+    ) -> Result<(CoopSession, Vec<CoopLane>), SessionError> {
+        if streams.is_empty() {
+            return Err(SessionError::EmptySource);
+        }
+        let k = streams.len();
+        let conc = factory
+            .concurrent(heap, k)
+            .ok_or(SessionError::Unsupported(
+                "lifeguard has no concurrent (Send + Sync) replay form",
+            ))?;
+        if let Some(observer) = observer {
+            conc.set_event_observer(observer);
+        }
+        let ca_policy = conc.ca_policy();
+        let shared = Arc::new(CoopShared {
+            conc,
+            ca_policy,
+            progress: SharedProgressTable::new(k),
+            versions: paralog_meta::ConcurrentVersionTable::new(k),
+            lanes: k,
+            applied: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            blocked_polls: AtomicU64::new(0),
+            eof_lanes: AtomicUsize::new(0),
+            gated_lanes: AtomicUsize::new(0),
+            finished_lanes: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            flat: Mutex::new(FlatWatch {
+                last_applied: 0,
+                flat_since: None,
+            }),
+            report: Mutex::new(None),
+        });
+        let lanes = streams
+            .into_iter()
+            .enumerate()
+            .map(|(t, stream)| CoopLane {
+                tid: ThreadId(t as u16),
+                shared: Arc::clone(&shared),
+                stream,
+                pending: VecDeque::new(),
+                batch: Vec::with_capacity(INGEST_BATCH),
+                range_table: RangeTable::new(k),
+                eof: false,
+                head_produced: false,
+                parked: false,
+                done: false,
+            })
+            .collect();
+        Ok((CoopSession { shared }, lanes))
+    }
+
+    /// Fails the session with `reason`; every lane resolves to
+    /// [`LaneStep::Failed`] on its next step. (Graceful detach is *not*
+    /// this — close the producer side instead and let the lanes drain.)
+    pub fn abort(&self, reason: impl Into<String>) {
+        self.fail(SessionError::Deadlock(format!(
+            "session aborted: {}",
+            reason.into()
+        )));
+    }
+
+    /// Fails the session with an explicit error — the hook for failures
+    /// detected *outside* the lanes (a transport-layer protocol violation,
+    /// an invalid frame). First failure wins; lanes fold on their next
+    /// step.
+    pub fn fail(&self, err: SessionError) {
+        self.shared.fail(err);
+    }
+
+    /// Whether every lane reached a terminal state (the report is ready).
+    pub fn is_complete(&self) -> bool {
+        self.shared.finished_lanes.load(Ordering::SeqCst) >= self.shared.lanes
+    }
+
+    /// The final result, once every lane finished: full [`RunMetrics`] on a
+    /// clean drain (partial if the producers detached early — that is the
+    /// graceful-shutdown contract), the first [`SessionError`] otherwise.
+    pub fn report(&self) -> Option<Result<RunMetrics, SessionError>> {
+        self.shared.report.lock().expect("poisoned").clone()
+    }
+
+    /// Live metrics snapshot of a (possibly still-running) session.
+    pub fn snapshot_metrics(&self) -> RunMetrics {
+        self.shared.metrics()
+    }
+
+    /// Records applied so far.
+    pub fn records(&self) -> u64 {
+        self.shared.applied.load(Ordering::Relaxed)
+    }
+
+    /// Times a lane polled a `Blocked` stream (a genuinely non-blocking
+    /// reader returned `WouldBlock`) and got no records.
+    pub fn blocked_polls(&self) -> u64 {
+        self.shared.blocked_polls.load(Ordering::Relaxed)
+    }
+
+    /// Violations observed so far, in raw accumulation order (stable
+    /// prefix: the bundled lifeguards append under a lock and never
+    /// reorder), so `violations_live()[cursor..]` is the incremental feed.
+    pub fn violations_live(&self) -> Vec<Violation> {
+        self.shared.conc.violations()
+    }
+}
+
+/// One thread's stream as a pool-schedulable task. Exclusive (`&mut`)
+/// access models the lane being checked out by exactly one pool worker at
+/// a time; all cross-lane coordination goes through the shared tables.
+pub struct CoopLane {
+    tid: ThreadId,
+    shared: Arc<CoopShared>,
+    stream: Box<dyn RecordStream>,
+    /// At most one pulled batch awaiting delivery.
+    pending: VecDeque<EventRecord>,
+    batch: Vec<EventRecord>,
+    range_table: RangeTable,
+    eof: bool,
+    /// Whether the head record's §5.5 produce annotations were already
+    /// published (a consume-gated head must not re-produce on re-step).
+    head_produced: bool,
+    /// Whether this lane is counted in the session's `gated_lanes`.
+    parked: bool,
+    done: bool,
+}
+
+impl std::fmt::Debug for CoopLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoopLane")
+            .field("tid", &self.tid)
+            .field("pending", &self.pending.len())
+            .field("eof", &self.eof)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CoopLane {
+    /// The lane's thread id.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// Runs the lane forward without blocking: pulls at most one batch and
+    /// delivers at most `budget` records. Returns what happened so the
+    /// scheduler can prioritize; once it returns [`LaneStep::Finished`] or
+    /// [`LaneStep::Failed`] the lane is inert.
+    pub fn step(&mut self, budget: usize) -> LaneStep {
+        if self.done {
+            return LaneStep::Finished;
+        }
+        if self.shared.aborted() {
+            self.finish();
+            return LaneStep::Failed;
+        }
+        if self.pending.is_empty() {
+            if let Some(step) = self.refill() {
+                return step;
+            }
+        }
+        let mut delivered = 0usize;
+        while delivered < budget.max(1) {
+            let Some(head) = self.pending.front() else {
+                break;
+            };
+            if self.shared.aborted() {
+                self.finish();
+                return LaneStep::Failed;
+            }
+            // §5.2 arcs and §5.4 CA serialization, checked without waiting.
+            let gated = head
+                .arcs
+                .iter()
+                .any(|arc| !self.shared.progress.satisfies(arc.src, arc.src_rid))
+                || ca_gate_unmet(
+                    head,
+                    self.tid.index(),
+                    &self.shared.ca_policy,
+                    |src, rid| self.shared.progress.satisfies(src, rid),
+                );
+            if gated {
+                self.shared.stalls.fetch_add(1, Ordering::Relaxed);
+                return self.gated(delivered);
+            }
+            // §5.5 produce points: exactly once per head, even across
+            // consume-gated re-steps.
+            if !self.head_produced {
+                for (vid, mem, consumers) in &head.produce_versions {
+                    let range = mem.range();
+                    let snapshot = self.shared.conc.snapshot_meta(range);
+                    if let Err(err) = self
+                        .shared
+                        .versions
+                        .try_produce(*vid, range, snapshot, *consumers)
+                    {
+                        self.shared.fail(SessionError::MalformedStream(format!(
+                            "thread {} stream carries an invalid produce annotation: {err}",
+                            self.tid.0
+                        )));
+                        self.finish();
+                        return LaneStep::Failed;
+                    }
+                }
+                self.head_produced = true;
+            }
+            // §5.5 consume points: an unproduced version gates the lane
+            // instead of parking a worker.
+            let versioned = match head.consume_version {
+                Some((vid, _)) => match self.shared.versions.consume(vid) {
+                    Some(v) => Some(v),
+                    None => {
+                        self.shared.stalls.fetch_add(1, Ordering::Relaxed);
+                        return self.gated(delivered);
+                    }
+                },
+                None => None,
+            };
+            let rec = self.pending.pop_front().expect("peeked");
+            self.head_produced = false;
+            self.unpark();
+            // §5.4: police the range table before applying.
+            if let paralog_events::EventPayload::Instr(instr) = &rec.payload {
+                if let Some((mem, _)) = instr.mem_access() {
+                    if let Some(entry) = self.range_table.check(self.tid, mem.range()) {
+                        self.shared
+                            .conc
+                            .on_syscall_race(self.tid, mem.range(), &entry, rec.rid);
+                    }
+                }
+            }
+            self.shared.conc.apply(self.tid, &rec, versioned.as_ref());
+            if let paralog_events::EventPayload::Ca(ca) = &rec.payload {
+                let actions = self.shared.ca_policy.actions(ca.what, ca.phase);
+                if actions.track_range {
+                    match (ca.phase, ca.range) {
+                        (paralog_events::CaPhase::Begin, Some(range)) => {
+                            self.range_table.insert(ca.issuer, ca.what, range)
+                        }
+                        (paralog_events::CaPhase::End, _) => self.range_table.remove(ca.issuer),
+                        _ => {}
+                    }
+                }
+            }
+            self.shared.progress.advertise(self.tid, rec.rid);
+            self.shared.applied.fetch_add(1, Ordering::Relaxed);
+            delivered += 1;
+        }
+        if self.pending.is_empty() && self.eof {
+            self.finish();
+            return LaneStep::Finished;
+        }
+        LaneStep::Progressed
+    }
+
+    /// Pulls one batch. `Some(step)` short-circuits the caller (idle,
+    /// finished or failed); `None` means records are pending.
+    fn refill(&mut self) -> Option<LaneStep> {
+        if self.eof {
+            self.finish();
+            return Some(LaneStep::Finished);
+        }
+        let status = match self.stream.next_batch(&mut self.batch, INGEST_BATCH) {
+            Ok(status) => status,
+            Err(err) => {
+                self.shared.fail(err);
+                self.finish();
+                return Some(LaneStep::Failed);
+            }
+        };
+        // Drain whatever arrived regardless of status (a stream may deliver
+        // a partial batch and *then* report Blocked).
+        let got_records = !self.batch.is_empty();
+        self.pending.extend(self.batch.drain(..));
+        match status {
+            StreamStatus::Exhausted => {
+                if !self.eof {
+                    self.eof = true;
+                    self.shared.eof_lanes.fetch_add(1, Ordering::SeqCst);
+                }
+                if !got_records {
+                    self.finish();
+                    return Some(LaneStep::Finished);
+                }
+            }
+            StreamStatus::Yielded | StreamStatus::Blocked => {
+                if !got_records {
+                    // A genuinely non-blocking reader returned `WouldBlock`
+                    // (or an empty Yielded — treated identically): hand the
+                    // worker back instead of sleeping on the producer.
+                    self.shared.blocked_polls.fetch_add(1, Ordering::Relaxed);
+                    return Some(LaneStep::Idle);
+                }
+            }
+        }
+        // Batch boundary: the reclamation quiescence point, exactly as in
+        // the threaded worker.
+        self.shared.conc.epoch_boundary(self.tid);
+        self.shared.versions.advance_epoch(self.tid);
+        None
+    }
+
+    /// Resolves a gated head: progress already made this step still counts;
+    /// a hopeless gate (every lane parked or finished, session flat past
+    /// the grace window) fails the run.
+    fn gated(&mut self, delivered: usize) -> LaneStep {
+        if delivered > 0 {
+            return LaneStep::Progressed;
+        }
+        if !self.parked {
+            self.parked = true;
+            self.shared.gated_lanes.fetch_add(1, Ordering::SeqCst);
+        }
+        if self.shared.gate_is_deadlock() {
+            let head = self.pending.front().expect("gated head");
+            self.shared.fail(SessionError::Deadlock(format!(
+                "thread {} gated at rid {} (arcs {:?}) with every peer parked or \
+                 finished; nothing can ever satisfy it (truncated capture or \
+                 dropped producer)",
+                self.tid.0, head.rid, head.arcs
+            )));
+            self.finish();
+            return LaneStep::Failed;
+        }
+        LaneStep::Gated
+    }
+
+    /// Leaves the parked-at-gate state (the gate cleared or the lane is
+    /// going terminal).
+    fn unpark(&mut self) {
+        if self.parked {
+            self.parked = false;
+            self.shared.gated_lanes.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Terminal transition, runs exactly once: stops gating reclamation
+    /// quiescence and, as the last lane out, composes the session report.
+    fn finish(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.unpark();
+        self.shared.conc.stream_done(self.tid);
+        self.shared.versions.advance_epoch(self.tid);
+        let finished = self.shared.finished_lanes.fetch_add(1, Ordering::SeqCst) + 1;
+        if finished == self.shared.lanes {
+            self.shared.finalize();
+        }
+    }
+}

@@ -39,6 +39,7 @@
 //! ```
 
 mod backend;
+pub mod coop;
 pub mod fault;
 pub mod source;
 
@@ -55,7 +56,9 @@ pub(crate) use backend::run_platform;
 use crate::config::MonitorConfig;
 use crate::platform::RunOutcome;
 use paralog_events::AddrRange;
-use paralog_lifeguards::{LifeguardFactory, LifeguardKind, LifeguardRegistry};
+use paralog_lifeguards::{
+    LifeguardFactory, LifeguardKind, LifeguardRegistry, SessionEvent, SessionEventObserver,
+};
 use std::fmt;
 use std::sync::Arc;
 
@@ -115,6 +118,12 @@ pub struct SessionPlan {
     pub heap: AddrRange,
     /// Resolved source input.
     pub input: SourceInput,
+    /// Incremental [`SessionEvent`] receiver, installed on the concurrent
+    /// lifeguard before replay starts so long-lived sessions surface
+    /// degradation (e.g. `DegradedPrecision`) *while running* rather than
+    /// only in `RunMetrics::events` at the end. Backends without a
+    /// concurrent form ignore it (their runs are batch-shaped anyway).
+    pub observer: Option<SessionEventObserver>,
 }
 
 impl fmt::Debug for SessionPlan {
@@ -134,6 +143,7 @@ pub struct MonitorSession {
     factory: Arc<dyn LifeguardFactory>,
     shorthand: Option<LifeguardKind>,
     config: MonitorConfig,
+    observer: Option<SessionEventObserver>,
 }
 
 impl fmt::Debug for MonitorSession {
@@ -167,6 +177,7 @@ impl MonitorSession {
             shorthand: self.shorthand,
             heap,
             input: self.source.open(),
+            observer: self.observer,
         };
         self.backend.run(plan)
     }
@@ -184,13 +195,24 @@ enum LifeguardChoice {
 }
 
 /// Builder for [`MonitorSession`].
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct MonitorSessionBuilder {
     source: Option<Box<dyn EventSource>>,
     backend: Option<Box<dyn Backend>>,
     registry: Option<LifeguardRegistry>,
     choice: LifeguardChoice,
     config: Option<MonitorConfig>,
+    observer: Option<SessionEventObserver>,
+}
+
+impl fmt::Debug for MonitorSessionBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorSessionBuilder")
+            .field("source", &self.source)
+            .field("choice", &self.choice)
+            .field("observer", &self.observer.as_ref().map(|_| "installed"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl MonitorSessionBuilder {
@@ -248,6 +270,26 @@ impl MonitorSessionBuilder {
         self
     }
 
+    /// Installs an incremental [`SessionEvent`] observer: `f` is invoked
+    /// from inside the run, at the moment an event (e.g.
+    /// [`SessionEvent::DegradedPrecision`]) first fires, instead of the
+    /// event surfacing only in `RunMetrics::events` after the session ends.
+    /// Long-lived sessions (the `paralogd` daemon's live feed) subscribe
+    /// here.
+    ///
+    /// `f` may be called from any replay worker thread and must be cheap
+    /// and non-blocking — hand the event to a channel or atomic flag, do
+    /// not take locks the session also takes. Events still appear in
+    /// `RunMetrics::events` regardless.
+    #[must_use]
+    pub fn on_session_event<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&SessionEvent) + Send + Sync + 'static,
+    {
+        self.observer = Some(Arc::new(f));
+        self
+    }
+
     /// Finalizes the session.
     ///
     /// # Errors
@@ -288,6 +330,7 @@ impl MonitorSessionBuilder {
             factory,
             shorthand,
             config,
+            observer: self.observer,
         })
     }
 }

@@ -1,0 +1,12 @@
+//! The `paralogd` binary: see [`paralog_daemon::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match paralog_daemon::cli::run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(message) => {
+            eprintln!("paralogd: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The shared worker pool every session's lanes are multiplexed over.
+//!
+//! `paralogd` runs N sessions × K threads of replay work on a *fixed* set
+//! of OS workers — not threads-per-session. The unit of scheduling is a
+//! [`PoolTask`] (in practice one
+//! [`CoopLane`](paralog_core::CoopLane) wrapped with its session bookkeeping):
+//! a worker checks a task out of the global FIFO, runs one bounded
+//! [`PoolTask::run`] slice, and requeues it behind every other task. That
+//! round-robin is the isolation property the daemon suite asserts: a
+//! session whose producer stalls reports [`TaskPoll::AgainIdle`] in
+//! microseconds and goes to the back of the queue, so its lanes can never
+//! monopolize a worker that session B's runnable lanes are waiting for.
+//!
+//! Workers that see only idle polls back off to short sleeps (the pool has
+//! nothing runnable — burning cores polling stalled producers would starve
+//! the *host*), waking immediately when new work is submitted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a [`PoolTask::run`] slice reports back to its worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPoll {
+    /// Made progress and has more to do: requeue (behind everyone else).
+    Again,
+    /// Runnable but found nothing to do (producer lagging, gate unmet):
+    /// requeue, and let the worker back off if the whole pool looks idle.
+    AgainIdle,
+    /// Terminal: drop the task.
+    Done,
+}
+
+/// One schedulable unit of work. `run` must be bounded (no internal
+/// blocking or spinning) — blocking is expressed by returning
+/// [`TaskPoll::AgainIdle`] and being rescheduled.
+pub trait PoolTask: Send {
+    /// Runs one bounded slice.
+    fn run(&mut self) -> TaskPoll;
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Box<dyn PoolTask>>>,
+    available: Condvar,
+    stop: AtomicBool,
+    /// Live (submitted, not yet `Done`) tasks — the idle-backoff signal.
+    live: AtomicUsize,
+}
+
+/// A fixed-size worker pool over [`PoolTask`]s.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    count: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.count)
+            .field("live_tasks", &self.shared.live.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Consecutive idle polls before a worker starts sleeping between slices.
+const IDLE_STREAK_BACKOFF: u32 = 8;
+/// Sleep once backing off — short enough that a producer catching up is
+/// picked up promptly, long enough to not burn a core.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+impl WorkerPool {
+    /// Spawns `workers` OS threads (0 = one per available core, clamped to
+    /// at least 2 so one stalled session can never own the whole pool).
+    pub fn new(workers: usize) -> Self {
+        let count = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(2, 32)
+        } else {
+            workers.clamp(1, 256)
+        };
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+        });
+        let workers = (0..count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("paralogd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: Mutex::new(workers),
+            count,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.count
+    }
+
+    /// Tasks submitted and not yet finished.
+    pub fn live_tasks(&self) -> usize {
+        self.shared.live.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a task.
+    pub fn submit(&self, task: Box<dyn PoolTask>) {
+        self.shared.live.fetch_add(1, Ordering::Relaxed);
+        self.shared.queue.lock().expect("poisoned").push_back(task);
+        self.shared.available.notify_one();
+    }
+
+    /// Stops the workers and joins them. Queued tasks keep being polled
+    /// until they report [`TaskPoll::Done`] — the supervisor fails or
+    /// drains every session *before* calling this, so termination is
+    /// bounded.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("poisoned"));
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut idle_streak = 0u32;
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("poisoned");
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break Some(task);
+                }
+                if shared.stop.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (q, _timeout) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("poisoned");
+                queue = q;
+            }
+        };
+        let Some(mut task) = task else {
+            return; // stopped with an empty queue
+        };
+        match task.run() {
+            TaskPoll::Again => {
+                idle_streak = 0;
+                shared.queue.lock().expect("poisoned").push_back(task);
+                shared.available.notify_one();
+            }
+            TaskPoll::AgainIdle => {
+                idle_streak += 1;
+                shared.queue.lock().expect("poisoned").push_back(task);
+                // Everything this worker touches is idle: sleep a slice so
+                // stalled producers don't turn the pool into a spin farm.
+                // (Runnable work still drains — other workers keep going,
+                // and Again resets the streak.)
+                if idle_streak >= IDLE_STREAK_BACKOFF && !shared.stop.load(Ordering::Acquire) {
+                    std::thread::sleep(IDLE_SLEEP);
+                }
+            }
+            TaskPoll::Done => {
+                idle_streak = 0;
+                shared.live.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    struct CountTo {
+        n: Arc<AtomicU64>,
+        target: u64,
+    }
+
+    impl PoolTask for CountTo {
+        fn run(&mut self) -> TaskPoll {
+            if self.n.fetch_add(1, Ordering::Relaxed) + 1 >= self.target {
+                TaskPoll::Done
+            } else {
+                TaskPoll::Again
+            }
+        }
+    }
+
+    #[test]
+    fn tasks_run_to_completion_and_drain() {
+        let pool = WorkerPool::new(3);
+        let counters: Vec<Arc<AtomicU64>> = (0..8).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        for n in &counters {
+            pool.submit(Box::new(CountTo {
+                n: Arc::clone(n),
+                target: 100,
+            }));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.live_tasks() > 0 {
+            assert!(std::time::Instant::now() < deadline, "pool wedged");
+            std::thread::yield_now();
+        }
+        for n in &counters {
+            assert_eq!(n.load(Ordering::Relaxed), 100);
+        }
+        pool.shutdown();
+    }
+
+    struct IdleUntil {
+        flag: Arc<AtomicBool>,
+    }
+
+    impl PoolTask for IdleUntil {
+        fn run(&mut self) -> TaskPoll {
+            if self.flag.load(Ordering::Relaxed) {
+                TaskPoll::Done
+            } else {
+                TaskPoll::AgainIdle
+            }
+        }
+    }
+
+    #[test]
+    fn idle_tasks_do_not_starve_runnable_ones() {
+        // One worker, an always-idle task ahead of real work: round-robin
+        // must still complete the runnable task.
+        let pool = WorkerPool::new(1);
+        let flag = Arc::new(AtomicBool::new(false));
+        pool.submit(Box::new(IdleUntil {
+            flag: Arc::clone(&flag),
+        }));
+        let n = Arc::new(AtomicU64::new(0));
+        pool.submit(Box::new(CountTo {
+            n: Arc::clone(&n),
+            target: 50,
+        }));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while n.load(Ordering::Relaxed) < 50 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "idle task starved the runnable one"
+            );
+            std::thread::yield_now();
+        }
+        flag.store(true, Ordering::Relaxed);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.live_tasks() > 0 {
+            assert!(std::time::Instant::now() < deadline, "pool wedged");
+            std::thread::yield_now();
+        }
+        pool.shutdown();
+    }
+}

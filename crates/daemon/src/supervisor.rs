@@ -1,0 +1,967 @@
+//! The `paralogd` supervisor: external producers in, monitored sessions
+//! out.
+//!
+//! One daemon owns two Unix-domain listeners and one shared
+//! [`WorkerPool`]:
+//!
+//! * the **data socket** accepts producer connections. Each connection
+//!   handshakes ([`proto::AttachRequest`]), then streams frames; the pump
+//!   thread (non-blocking, one for all connections) splits frame payloads
+//!   into per-thread [`ByteFeed`]s, behind which a
+//!   [`StreamingReplaySource`] decodes records incrementally. The session
+//!   itself is a [`CoopSession`] whose lanes are scheduled on the shared
+//!   pool — N sessions multiplex over one fixed set of workers;
+//! * the **control socket** serves the line protocol (`LIST`, `STATUS`,
+//!   `DETACH`, `WATCH`, `SHUTDOWN`, `PING`), one handler thread per
+//!   connection.
+//!
+//! Lifecycle per session: **attach** (handshake, lanes submitted) →
+//! **running** → **draining** (producer finished, detached, or daemon
+//! shutting down: feeds closed, lanes deliver what is buffered) →
+//! **done/failed** (report composed, heavy session state dropped; the
+//! `SessionEntry` that remains is bookkeeping only). A dropped producer
+//! therefore yields *partial but valid* `RunMetrics` when its streams end
+//! on record boundaries with no dangling arcs, and a deterministic
+//! [`SessionError`] otherwise — never a wedged session.
+
+use crate::pool::{PoolTask, TaskPoll, WorkerPool};
+use crate::proto::{self, AttachRequest, FrameEvent, FrameParser};
+use crate::transport::{ByteFeed, FeedWriter, SessionBuffer};
+use paralog_core::{
+    CoopLane, CoopSession, EventSource, LaneStep, RunMetrics, SessionError, SourceInput,
+    StreamingReplaySource,
+};
+use paralog_lifeguards::{LifeguardRegistry, SessionEventObserver};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Records a lane may deliver per pool slice — the fairness quantum.
+const LANE_BUDGET: usize = 512;
+
+/// How long graceful shutdown waits for draining sessions before aborting
+/// the stragglers.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Configuration for [`Daemon::spawn`].
+#[derive(Debug)]
+pub struct DaemonConfig {
+    /// Path of the producer-facing Unix-domain socket.
+    pub data_socket: PathBuf,
+    /// Path of the admin Unix-domain socket.
+    pub control_socket: PathBuf,
+    /// Worker threads in the shared pool (0 = one per core, min 2).
+    pub workers: usize,
+    /// Lifeguard resolution for handshakes.
+    pub registry: LifeguardRegistry,
+    /// Per-session buffered-byte cap: past it the pump stops reading that
+    /// session's connection and the kernel socket buffer back-pressures
+    /// the producer.
+    pub session_buffer_bytes: usize,
+}
+
+impl DaemonConfig {
+    /// Defaults: builtin registry, auto-sized pool, 1 MiB per-session cap.
+    pub fn new(data_socket: impl Into<PathBuf>, control_socket: impl Into<PathBuf>) -> Self {
+        DaemonConfig {
+            data_socket: data_socket.into(),
+            control_socket: control_socket.into(),
+            workers: 0,
+            registry: LifeguardRegistry::builtin(),
+            session_buffer_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Final account of one session, returned by [`Daemon::shutdown`].
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Daemon-assigned session id.
+    pub id: u64,
+    /// Producer-chosen label.
+    pub name: String,
+    /// Lifeguard that ran.
+    pub lifeguard: String,
+    /// Monitored thread count.
+    pub threads: usize,
+    /// Full metrics on a clean drain (partial if the producer detached
+    /// early), the first error otherwise.
+    pub result: Result<RunMetrics, SessionError>,
+}
+
+/// Live-feed subscribers of one session plus the published-violation
+/// cursor. Shared (separately from the entry) with the lifeguard's event
+/// observer, so no `Arc` cycle runs through the session.
+#[derive(Default)]
+struct Watchers {
+    subscribers: AtomicUsize,
+    senders: Mutex<Vec<SyncSender<String>>>,
+    /// Violations already pushed to subscribers (prefix of the lifeguard's
+    /// accumulation order).
+    cursor: Mutex<usize>,
+}
+
+impl Watchers {
+    fn publish(&self, line: String) {
+        if self.subscribers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut senders = self.senders.lock().expect("poisoned");
+        senders.retain(|tx| match tx.try_send(line.clone()) {
+            Ok(()) => true,
+            // A slow subscriber loses lines rather than stalling replay.
+            Err(TrySendError::Full(_)) => true,
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+        self.subscribers.store(senders.len(), Ordering::Relaxed);
+    }
+}
+
+/// One attached session as the daemon tracks it.
+struct SessionEntry {
+    id: u64,
+    name: String,
+    lifeguard: String,
+    threads: usize,
+    tso: bool,
+    /// The live session handle; taken (dropped) once the report is
+    /// composed so finished sessions do not pin multi-megabyte metadata.
+    session: Mutex<Option<CoopSession>>,
+    /// Producer-side feed writers, one per thread; cleared at finalize.
+    feeds: Mutex<Vec<FeedWriter>>,
+    buffered: Arc<SessionBuffer>,
+    lanes_done: AtomicUsize,
+    detaching: AtomicBool,
+    report: Mutex<Option<Result<RunMetrics, SessionError>>>,
+    watchers: Arc<Watchers>,
+}
+
+impl SessionEntry {
+    fn state(&self) -> &'static str {
+        match &*self.report.lock().expect("poisoned") {
+            Some(Ok(_)) => "done",
+            Some(Err(_)) => "failed",
+            None if self.detaching.load(Ordering::Relaxed) => "draining",
+            None => "running",
+        }
+    }
+
+    /// Closes every feed: lanes drain what is buffered, then finish.
+    fn close_feeds(&self) {
+        for feed in self.feeds.lock().expect("poisoned").iter() {
+            feed.close();
+        }
+        self.detaching.store(true, Ordering::Relaxed);
+    }
+
+    fn session_handle(&self) -> Option<CoopSession> {
+        self.session.lock().expect("poisoned").clone()
+    }
+
+    /// Pushes violations the live feed has not seen yet. `session` is the
+    /// caller's own handle (lanes hold one) so this never touches the
+    /// entry's session lock.
+    fn publish_new_violations(&self, session: &CoopSession) {
+        if self.watchers.subscribers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut cursor = self.watchers.cursor.lock().expect("poisoned");
+        let live = session.violations_live();
+        for v in &live[*cursor..] {
+            self.watchers.publish(violation_line(v));
+        }
+        *cursor = live.len();
+    }
+
+    /// Called by each lane task as it finishes; the last one composes the
+    /// report, flushes the live feed, and drops the heavy session state.
+    fn lane_done(&self, session: &CoopSession) {
+        let done = self.lanes_done.fetch_add(1, Ordering::SeqCst) + 1;
+        if done < self.threads {
+            return;
+        }
+        let result = session
+            .report()
+            .unwrap_or_else(|| Err(SessionError::Deadlock("session vanished".into())));
+        // Cursor lock serializes against WATCH subscription: a watcher
+        // either registers before this flush (and gets the tail plus the
+        // terminator) or after the report is stored (and reads it whole).
+        let mut cursor = self.watchers.cursor.lock().expect("poisoned");
+        let live = session.violations_live();
+        for v in &live[*cursor..] {
+            self.watchers.publish(violation_line(v));
+        }
+        *cursor = live.len();
+        *self.report.lock().expect("poisoned") = Some(result.clone());
+        match &result {
+            Ok(m) => self.watchers.publish(format!(
+                "end ok records={} violations={} fingerprint={:016x}",
+                m.records,
+                m.violations.len(),
+                m.fingerprint
+            )),
+            Err(e) => self.watchers.publish(format!("end err {e}")),
+        }
+        self.watchers.publish(".".into());
+        drop(cursor);
+        self.feeds.lock().expect("poisoned").clear();
+        *self.session.lock().expect("poisoned") = None;
+    }
+
+    fn report_for(&self) -> Option<Result<RunMetrics, SessionError>> {
+        self.report.lock().expect("poisoned").clone()
+    }
+}
+
+fn violation_line(v: &paralog_lifeguards::Violation) -> String {
+    match v.addr {
+        Some(addr) => format!("violation {} {} {:#x} {}", v.tid.0, v.rid.0, addr, v.kind),
+        None => format!("violation {} {} - {}", v.tid.0, v.rid.0, v.kind),
+    }
+}
+
+/// One lane of one session as a pool task.
+struct LaneTask {
+    lane: CoopLane,
+    session: CoopSession,
+    entry: Arc<SessionEntry>,
+}
+
+impl PoolTask for LaneTask {
+    fn run(&mut self) -> TaskPoll {
+        match self.lane.step(LANE_BUDGET) {
+            LaneStep::Progressed => {
+                self.entry.publish_new_violations(&self.session);
+                TaskPoll::Again
+            }
+            LaneStep::Idle | LaneStep::Gated => TaskPoll::AgainIdle,
+            LaneStep::Finished | LaneStep::Failed => {
+                self.entry.lane_done(&self.session);
+                TaskPoll::Done
+            }
+        }
+    }
+}
+
+struct DaemonInner {
+    data_socket: PathBuf,
+    control_socket: PathBuf,
+    registry: LifeguardRegistry,
+    session_buffer_bytes: usize,
+    pool: WorkerPool,
+    sessions: Mutex<BTreeMap<u64, Arc<SessionEntry>>>,
+    next_id: AtomicU64,
+    /// Refuse new attaches (set at the start of shutdown).
+    shutting_down: AtomicBool,
+    /// Tells the pump and control threads to exit.
+    stop_threads: AtomicBool,
+    /// `SHUTDOWN` over the control socket parks here for the owner of the
+    /// [`Daemon`] handle to act on.
+    shutdown_requested: (Mutex<bool>, Condvar),
+}
+
+impl DaemonInner {
+    fn request_shutdown(&self) {
+        let (flag, cv) = &self.shutdown_requested;
+        *flag.lock().expect("poisoned") = true;
+        cv.notify_all();
+    }
+
+    /// Builds a session from a parsed handshake. The `Err` string goes
+    /// back to the producer as `ERR <reason>` — the daemon itself is
+    /// unaffected.
+    fn attach(self: &Arc<Self>, req: &AttachRequest) -> Result<Arc<SessionEntry>, String> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err("daemon is shutting down".into());
+        }
+        let factory = self
+            .registry
+            .get(&req.lifeguard)
+            .ok_or_else(|| format!("unknown lifeguard {:?}", req.lifeguard))?;
+        let buffered = Arc::new(SessionBuffer::default());
+        let mut writers = Vec::with_capacity(req.threads);
+        let mut readers: Vec<Box<dyn Read + Send>> = Vec::with_capacity(req.threads);
+        for _ in 0..req.threads {
+            let (w, r) = ByteFeed::pair(Arc::clone(&buffered));
+            writers.push(w);
+            readers.push(Box::new(r));
+        }
+        let source = StreamingReplaySource::new(readers, req.heap);
+        let SourceInput::Streams(streams) = Box::new(source).open() else {
+            unreachable!("streaming sources resolve to streams");
+        };
+        let watchers = Arc::new(Watchers::default());
+        let observer_watchers = Arc::clone(&watchers);
+        let observer: SessionEventObserver =
+            Arc::new(move |ev| observer_watchers.publish(format!("event {ev}")));
+        let (session, lanes) =
+            CoopSession::start(factory.as_ref(), req.heap, streams, Some(observer))
+                .map_err(|e| e.to_string())?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(SessionEntry {
+            id,
+            name: req.name.clone(),
+            lifeguard: req.lifeguard.clone(),
+            threads: req.threads,
+            tso: req.tso,
+            session: Mutex::new(Some(session.clone())),
+            feeds: Mutex::new(writers),
+            buffered,
+            lanes_done: AtomicUsize::new(0),
+            detaching: AtomicBool::new(false),
+            report: Mutex::new(None),
+            watchers,
+        });
+        self.sessions
+            .lock()
+            .expect("poisoned")
+            .insert(id, Arc::clone(&entry));
+        for lane in lanes {
+            self.pool.submit(Box::new(LaneTask {
+                lane,
+                session: session.clone(),
+                entry: Arc::clone(&entry),
+            }));
+        }
+        Ok(entry)
+    }
+
+    fn entry(&self, id: u64) -> Option<Arc<SessionEntry>> {
+        self.sessions.lock().expect("poisoned").get(&id).cloned()
+    }
+}
+
+/// A running daemon. Dropping it performs a best-effort shutdown; call
+/// [`shutdown`](Daemon::shutdown) for the orderly variant that returns the
+/// per-session reports.
+pub struct Daemon {
+    inner: Arc<DaemonInner>,
+    pump: Option<JoinHandle<()>>,
+    control: Option<JoinHandle<()>>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("data_socket", &self.inner.data_socket)
+            .field("control_socket", &self.inner.control_socket)
+            .field("sessions", &self.session_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Binds both sockets (replacing stale files) and starts the pump,
+    /// control, and pool threads.
+    ///
+    /// # Errors
+    ///
+    /// Socket binding failures.
+    pub fn spawn(config: DaemonConfig) -> std::io::Result<Daemon> {
+        let _ = std::fs::remove_file(&config.data_socket);
+        let _ = std::fs::remove_file(&config.control_socket);
+        let data = UnixListener::bind(&config.data_socket)?;
+        data.set_nonblocking(true)?;
+        let control = UnixListener::bind(&config.control_socket)?;
+        control.set_nonblocking(true)?;
+        let inner = Arc::new(DaemonInner {
+            data_socket: config.data_socket,
+            control_socket: config.control_socket,
+            registry: config.registry,
+            session_buffer_bytes: config.session_buffer_bytes.max(64 * 1024),
+            pool: WorkerPool::new(config.workers),
+            sessions: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+            stop_threads: AtomicBool::new(false),
+            shutdown_requested: (Mutex::new(false), Condvar::new()),
+        });
+        let pump = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("paralogd-pump".into())
+                .spawn(move || pump_loop(&inner, &data))?
+        };
+        let ctl = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("paralogd-control".into())
+                .spawn(move || control_loop(&inner, &control))?
+        };
+        Ok(Daemon {
+            inner,
+            pump: Some(pump),
+            control: Some(ctl),
+            finished: false,
+        })
+    }
+
+    /// The producer-facing socket path.
+    pub fn data_socket(&self) -> &Path {
+        &self.inner.data_socket
+    }
+
+    /// The admin socket path.
+    pub fn control_socket(&self) -> &Path {
+        &self.inner.control_socket
+    }
+
+    /// Worker threads in the shared pool.
+    pub fn worker_count(&self) -> usize {
+        self.inner.pool.worker_count()
+    }
+
+    /// Sessions ever attached (including finished ones still listed).
+    pub fn session_count(&self) -> usize {
+        self.inner.sessions.lock().expect("poisoned").len()
+    }
+
+    /// Sessions still holding live replay state — the residency counter
+    /// the soak churn loop asserts against: a finished or failed session
+    /// drops its heavy state at finalize, so this returns to zero however
+    /// many attach/detach cycles ran.
+    pub fn resident_sessions(&self) -> usize {
+        self.inner
+            .sessions
+            .lock()
+            .expect("poisoned")
+            .values()
+            .filter(|e| e.session.lock().expect("poisoned").is_some())
+            .count()
+    }
+
+    /// Whether `SHUTDOWN` arrived over the control socket.
+    pub fn shutdown_requested(&self) -> bool {
+        *self.inner.shutdown_requested.0.lock().expect("poisoned")
+    }
+
+    /// Blocks until `SHUTDOWN` arrives (the `paralogd serve` main loop).
+    pub fn wait_shutdown_requested(&self) {
+        let (flag, cv) = &self.inner.shutdown_requested;
+        let mut requested = flag.lock().expect("poisoned");
+        while !*requested {
+            requested = cv.wait(requested).expect("poisoned");
+        }
+    }
+
+    /// Programmatic equivalent of the control-socket `SHUTDOWN`.
+    pub fn request_shutdown(&self) {
+        self.inner.request_shutdown();
+    }
+
+    /// Graceful shutdown: stop accepting, close every session's feeds (so
+    /// lanes drain what is buffered and report **partial metrics**), wait
+    /// out the drain, abort stragglers, then tear down the pool and both
+    /// sockets. Returns one [`SessionReport`] per session ever attached.
+    pub fn shutdown(mut self) -> Vec<SessionReport> {
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(&mut self) -> Vec<SessionReport> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.finished = true;
+        let inner = &self.inner;
+        inner.shutting_down.store(true, Ordering::Release);
+        let entries: Vec<Arc<SessionEntry>> = inner
+            .sessions
+            .lock()
+            .expect("poisoned")
+            .values()
+            .cloned()
+            .collect();
+        for entry in &entries {
+            entry.close_feeds();
+        }
+        let drained = |entries: &[Arc<SessionEntry>]| {
+            entries
+                .iter()
+                .all(|e| e.report.lock().expect("poisoned").is_some())
+        };
+        let deadline = Instant::now() + DRAIN_TIMEOUT;
+        while !drained(&entries) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for entry in &entries {
+            if entry.report.lock().expect("poisoned").is_none() {
+                if let Some(session) = entry.session_handle() {
+                    session.abort("daemon shutdown with the session still wedged");
+                }
+            }
+        }
+        let deadline = Instant::now() + DRAIN_TIMEOUT;
+        while !drained(&entries) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        inner.pool.shutdown();
+        inner.stop_threads.store(true, Ordering::Release);
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
+        }
+        if let Some(control) = self.control.take() {
+            let _ = control.join();
+        }
+        let _ = std::fs::remove_file(&inner.data_socket);
+        let _ = std::fs::remove_file(&inner.control_socket);
+        entries
+            .iter()
+            .map(|e| SessionReport {
+                id: e.id,
+                name: e.name.clone(),
+                lifeguard: e.lifeguard.clone(),
+                threads: e.threads,
+                result: e.report_for().unwrap_or_else(|| {
+                    Err(SessionError::Deadlock(
+                        "session never drained before daemon teardown".into(),
+                    ))
+                }),
+            })
+            .collect()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Data-plane pump
+// ---------------------------------------------------------------------------
+
+enum ConnState {
+    Handshaking {
+        line: Vec<u8>,
+    },
+    Streaming {
+        entry: Arc<SessionEntry>,
+        parser: FrameParser,
+    },
+}
+
+struct Conn {
+    stream: UnixStream,
+    state: ConnState,
+}
+
+/// The single non-blocking pump over every producer connection: accepts,
+/// handshakes, and shovels frame payloads into session feeds. Per-session
+/// backpressure is applied here by *not reading* a connection whose
+/// session sits on more than the configured buffered-byte cap.
+fn pump_loop(inner: &Arc<DaemonInner>, listener: &UnixListener) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    while !inner.stop_threads.load(Ordering::Acquire) {
+        let mut progressed = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    progressed = true;
+                    conns.push(Conn {
+                        stream,
+                        state: ConnState::Handshaking { line: Vec::new() },
+                    });
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        conns.retain_mut(|conn| {
+            if let ConnState::Streaming { entry, .. } = &conn.state {
+                if entry.buffered.bytes() > inner.session_buffer_bytes {
+                    return true; // back-pressure: skip this round
+                }
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    pump_eof(conn);
+                    false
+                }
+                Ok(n) => {
+                    progressed = true;
+                    pump_bytes(inner, conn, &buf[..n])
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => true,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => true,
+                Err(_) => {
+                    pump_eof(conn);
+                    false
+                }
+            }
+        });
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Orderly or not, the connection is gone: close the session's feeds so
+/// its lanes drain and report. A mid-frame cut is a transport fault the
+/// session fails on explicitly (the feed bytes alone might happen to end
+/// on a record boundary and mask the truncation).
+fn pump_eof(conn: &mut Conn) {
+    if let ConnState::Streaming { entry, parser } = &conn.state {
+        if !parser.at_boundary() {
+            if let Some(session) = entry.session_handle() {
+                session.fail(SessionError::MalformedStream(
+                    "producer connection ended mid-frame".into(),
+                ));
+            }
+        }
+        entry.close_feeds();
+    }
+}
+
+/// Feeds freshly read bytes through the connection's state machine.
+/// Returns whether the connection stays alive.
+fn pump_bytes(inner: &Arc<DaemonInner>, conn: &mut Conn, mut bytes: &[u8]) -> bool {
+    if let ConnState::Handshaking { line } = &mut conn.state {
+        let nl = bytes.iter().position(|&b| b == b'\n');
+        match nl {
+            None => {
+                line.extend_from_slice(bytes);
+                if line.len() > proto::MAX_HANDSHAKE_BYTES {
+                    let _ = conn.stream.write_all(b"ERR handshake too long\n");
+                    return false;
+                }
+                return true;
+            }
+            Some(pos) => {
+                line.extend_from_slice(&bytes[..pos]);
+                bytes = &bytes[pos + 1..];
+                let parsed = std::str::from_utf8(line)
+                    .map_err(|_| "handshake is not UTF-8".to_string())
+                    .and_then(|s| proto::parse_attach(s.trim_end_matches('\r')))
+                    .and_then(|req| inner.attach(&req).map(|entry| (req, entry)));
+                match parsed {
+                    Ok((_req, entry)) => {
+                        if conn
+                            .stream
+                            .write_all(format!("OK {}\n", entry.id).as_bytes())
+                            .is_err()
+                        {
+                            entry.close_feeds();
+                            return false;
+                        }
+                        conn.state = ConnState::Streaming {
+                            entry,
+                            parser: FrameParser::new(),
+                        };
+                    }
+                    Err(reason) => {
+                        // A malformed handshake costs exactly this
+                        // connection; the daemon keeps serving.
+                        let _ = conn.stream.write_all(format!("ERR {reason}\n").as_bytes());
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    let ConnState::Streaming { entry, parser } = &mut conn.state else {
+        return true;
+    };
+    if bytes.is_empty() {
+        return true;
+    }
+    let feeds = entry.feeds.lock().expect("poisoned").clone();
+    if feeds.is_empty() {
+        return false; // session already finalized; drop the producer
+    }
+    let threads = entry.threads;
+    let mut fault: Option<String> = None;
+    let fed = parser.feed(bytes, |event| match event {
+        FrameEvent::Data { tid, payload } => {
+            let Some(feed) = feeds.get(tid as usize) else {
+                if fault.is_none() {
+                    fault = Some(format!(
+                        "frame for thread {tid} but the session declared {threads}"
+                    ));
+                }
+                return;
+            };
+            feed.write(payload);
+        }
+        FrameEvent::EndThread { tid } => {
+            if let Some(feed) = feeds.get(tid as usize) {
+                feed.close();
+            }
+        }
+        FrameEvent::EndAll => {
+            for feed in &feeds {
+                feed.close();
+            }
+        }
+    });
+    let fault = fault.or(fed.err());
+    if let Some(detail) = fault {
+        // Mid-stream protocol corruption: fail *this* session on the
+        // control surface, drain it, drop the producer — daemon lives on.
+        if let Some(session) = entry.session_handle() {
+            session.fail(SessionError::MalformedStream(detail));
+        }
+        entry.close_feeds();
+        return false;
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+fn control_loop(inner: &Arc<DaemonInner>, listener: &UnixListener) {
+    while !inner.stop_threads.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = Arc::clone(inner);
+                let _ = std::thread::Builder::new()
+                    .name("paralogd-ctl-conn".into())
+                    .spawn(move || control_conn(&inner, stream));
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Serves one control connection: one command per line, each response
+/// terminated by a lone `.`.
+fn control_conn(inner: &Arc<DaemonInner>, stream: UnixStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        if inner.stop_threads.load(Ordering::Acquire) {
+            return;
+        }
+        line.clear();
+        match std::io::BufRead::read_line(&mut reader, &mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(ref e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        let command = line.trim();
+        if command.is_empty() {
+            continue;
+        }
+        let mut parts = command.split_ascii_whitespace();
+        let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+        let arg = parts.next();
+        let ok = match verb.as_str() {
+            "PING" => respond(&mut writer, &["OK pong".into()]),
+            "LIST" => {
+                let sessions = inner.sessions.lock().expect("poisoned");
+                let lines: Vec<String> = sessions
+                    .values()
+                    .map(|e| {
+                        let records = e
+                            .session_handle()
+                            .map(|s| s.records())
+                            .or_else(|| e.report_for().and_then(|r| r.ok().map(|m| m.records)))
+                            .unwrap_or(0);
+                        format!(
+                            "session {} name={} lifeguard={} threads={} state={} records={}",
+                            e.id,
+                            e.name,
+                            e.lifeguard,
+                            e.threads,
+                            e.state(),
+                            records
+                        )
+                    })
+                    .collect();
+                drop(sessions);
+                respond(&mut writer, &lines)
+            }
+            "STATUS" => match arg.and_then(|a| a.parse::<u64>().ok()) {
+                Some(id) => match inner.entry(id) {
+                    Some(entry) => respond(&mut writer, &status_lines(&entry)),
+                    None => respond_err(&mut writer, &format!("no session {id}")),
+                },
+                None => respond_err(&mut writer, "usage: STATUS <id>"),
+            },
+            "DETACH" => match arg.and_then(|a| a.parse::<u64>().ok()) {
+                Some(id) => match inner.entry(id) {
+                    Some(entry) => {
+                        entry.close_feeds();
+                        respond(&mut writer, &[format!("OK detaching {id}")])
+                    }
+                    None => respond_err(&mut writer, &format!("no session {id}")),
+                },
+                None => respond_err(&mut writer, "usage: DETACH <id>"),
+            },
+            "WATCH" => match arg.and_then(|a| a.parse::<u64>().ok()) {
+                Some(id) => match inner.entry(id) {
+                    Some(entry) => {
+                        watch_conn(inner, &entry, &mut writer);
+                        return; // a watch consumes the connection
+                    }
+                    None => respond_err(&mut writer, &format!("no session {id}")),
+                },
+                None => respond_err(&mut writer, "usage: WATCH <id>"),
+            },
+            "SHUTDOWN" => {
+                let ok = respond(&mut writer, &["OK shutting down".into()]);
+                inner.request_shutdown();
+                ok
+            }
+            other => respond_err(&mut writer, &format!("unknown command {other:?}")),
+        };
+        if !ok {
+            return;
+        }
+    }
+}
+
+fn respond(writer: &mut UnixStream, lines: &[String]) -> bool {
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(".\n");
+    writer.write_all(out.as_bytes()).is_ok()
+}
+
+fn respond_err(writer: &mut UnixStream, reason: &str) -> bool {
+    respond(writer, &[format!("ERR {reason}")])
+}
+
+fn status_lines(entry: &Arc<SessionEntry>) -> Vec<String> {
+    let mut lines = vec![
+        format!("session {}", entry.id),
+        format!("name {}", entry.name),
+        format!("lifeguard {}", entry.lifeguard),
+        format!("threads {}", entry.threads),
+        format!("tso {}", u8::from(entry.tso)),
+        format!("state {}", entry.state()),
+        format!("buffered_bytes {}", entry.buffered.bytes()),
+    ];
+    let report = entry.report_for();
+    match (&report, entry.session_handle()) {
+        (Some(Err(err)), _) => {
+            lines.push(format!("error {err}"));
+        }
+        (Some(Ok(metrics)), _) => push_metrics_lines(&mut lines, metrics),
+        (None, Some(session)) => {
+            lines.push(format!("blocked_polls {}", session.blocked_polls()));
+            let metrics = session.snapshot_metrics();
+            push_metrics_lines(&mut lines, &metrics);
+        }
+        (None, None) => lines.push("error session state unavailable".into()),
+    }
+    lines
+}
+
+fn push_metrics_lines(lines: &mut Vec<String>, metrics: &RunMetrics) {
+    lines.push(format!("records {}", metrics.records));
+    lines.push(format!("stalls {}", metrics.dependence_stalls));
+    lines.push(format!("fingerprint {:016x}", metrics.fingerprint));
+    for v in &metrics.violations {
+        lines.push(violation_line(v));
+    }
+    for ev in &metrics.events {
+        lines.push(format!("event {ev}"));
+    }
+}
+
+/// Streams a session's live feed over the control connection until the
+/// session ends (terminated by `.`), the subscriber disconnects, or the
+/// daemon stops.
+fn watch_conn(inner: &Arc<DaemonInner>, entry: &Arc<SessionEntry>, writer: &mut UnixStream) {
+    let rx = {
+        // Serialized against the publisher via the cursor lock: either the
+        // session is already over (report the whole thing) or we register
+        // before any further line is published.
+        let cursor = entry.watchers.cursor.lock().expect("poisoned");
+        if let Some(result) = entry.report_for() {
+            drop(cursor);
+            let mut lines = Vec::new();
+            match result {
+                Ok(m) => {
+                    for v in &m.violations {
+                        lines.push(violation_line(v));
+                    }
+                    for ev in &m.events {
+                        lines.push(format!("event {ev}"));
+                    }
+                    lines.push(format!(
+                        "end ok records={} violations={} fingerprint={:016x}",
+                        m.records,
+                        m.violations.len(),
+                        m.fingerprint
+                    ));
+                }
+                Err(e) => lines.push(format!("end err {e}")),
+            }
+            let _ = respond(writer, &lines);
+            return;
+        }
+        // Backlog: everything published so far, straight from the session.
+        if let Some(session) = entry.session_handle() {
+            let live = session.violations_live();
+            let mut lines = Vec::with_capacity(cursor.min(live.len()));
+            for v in &live[..(*cursor).min(live.len())] {
+                lines.push(violation_line(v));
+            }
+            let mut out = String::new();
+            for line in &lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+            if !out.is_empty() && writer.write_all(out.as_bytes()).is_err() {
+                return;
+            }
+        }
+        let (tx, rx) = sync_channel::<String>(1024);
+        entry.watchers.senders.lock().expect("poisoned").push(tx);
+        entry.watchers.subscribers.fetch_add(1, Ordering::Relaxed);
+        rx
+    };
+    loop {
+        if inner.stop_threads.load(Ordering::Acquire) {
+            let _ = writer.write_all(b".\n");
+            return;
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(line) => {
+                let terminal = line == ".";
+                let mut out = line;
+                out.push('\n');
+                if writer.write_all(out.as_bytes()).is_err() || terminal {
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                let _ = writer.write_all(b".\n");
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The real `paralogd` binary end to end: serve, PING over `ctl`'s
+//! protocol, attach + stream a capture, `SHUTDOWN`, and check the exit
+//! summary.
+
+#![cfg(unix)]
+
+use paralog_daemon::client::{Control, Producer};
+use paralog_daemon::proto::AttachRequest;
+use paralog_events::codec::encode;
+use paralog_events::{AddrRange, EventRecord, Instr, Rid};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("plgdbin-{}-{tag}.sock", std::process::id()))
+}
+
+#[test]
+fn paralogd_binary_serves_and_ctl_talks_to_it() {
+    let data = sock_path("d");
+    let control = sock_path("c");
+    let served = std::process::Command::new(env!("CARGO_BIN_EXE_paralogd"))
+        .args([
+            "serve",
+            "--socket",
+            data.to_str().unwrap(),
+            "--control",
+            control.to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !control.exists() || !data.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound its sockets");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut ctl = Control::connect(&control).unwrap();
+    assert_eq!(ctl.command("PING").unwrap(), vec!["OK pong".to_string()]);
+
+    let heap = AddrRange::new(0x1000_0000, 0x1000);
+    let recs: Vec<EventRecord> = (1..=64u64)
+        .map(|i| EventRecord::instr(Rid(i), Instr::Nop))
+        .collect();
+    let encoded = vec![encode(&recs)];
+    let mut producer = Producer::attach(
+        &data,
+        &AttachRequest {
+            name: "cli".into(),
+            lifeguard: "TaintCheck".into(),
+            threads: 1,
+            tso: false,
+            heap,
+        },
+    )
+    .expect("attaches to the binary");
+    producer.send_capture(&encoded, 32).expect("streams");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = ctl.status(producer.session_id()).unwrap();
+        let state = status
+            .iter()
+            .find_map(|l| l.strip_prefix("state "))
+            .expect("state line");
+        if state == "done" {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "binary session never finished: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    ctl.shutdown().unwrap();
+    let out = served.wait_with_output().expect("binary exits");
+    assert!(out.status.success(), "paralogd exit: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("records=64"),
+        "serve summary should carry the session: {stdout}"
+    );
+}

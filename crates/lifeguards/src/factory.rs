@@ -86,7 +86,14 @@ impl fmt::Display for LifeguardKind {
 /// logic, implement this trait to construct its analysis-wide shared state,
 /// and register it in a [`LifeguardRegistry`] (or hand it to a session
 /// builder directly). The platform never needs to know the concrete type.
-pub trait LifeguardFactory: fmt::Debug {
+///
+/// Factories are `Send + Sync`: a long-lived supervisor (the `paralogd`
+/// daemon) resolves them from a shared registry on whatever thread accepts
+/// an attach request. Factories are *constructors* — per-run state lives in
+/// the [`LifeguardFamily`] / [`ConcurrentLifeguard`] they build, so the
+/// bound costs implementors nothing (every bundled factory is a unit-like
+/// value).
+pub trait LifeguardFactory: fmt::Debug + Send + Sync {
     /// Registry name (what a session resolves by string).
     fn name(&self) -> &str;
 
@@ -320,6 +327,22 @@ impl fmt::Display for SessionEvent {
     }
 }
 
+/// Incremental receiver of [`SessionEvent`]s, installed on a
+/// [`ConcurrentLifeguard`] via
+/// [`set_event_observer`](ConcurrentLifeguard::set_event_observer).
+///
+/// End-of-run collection through `RunMetrics::events` is useless for a
+/// session that runs for days: an operator needs to learn *while the
+/// session is still running* that an analysis degraded. The observer is
+/// invoked at the moment an event first occurs, on whichever worker thread
+/// tripped it — implementations must be cheap and non-blocking (push into a
+/// bounded channel, bump a gauge); anything slow belongs on the receiving
+/// side.
+///
+/// `RunMetrics::events` is unaffected: events are still latched and
+/// collected at session end whether or not an observer is installed.
+pub type SessionEventObserver = Arc<dyn Fn(&SessionEvent) + Send + Sync>;
+
 /// The analysis-wide state the real-thread backend replays: per-record
 /// application from concurrently running worker threads.
 ///
@@ -397,6 +420,16 @@ pub trait ConcurrentLifeguard: Send + Sync + fmt::Debug {
     /// replay. Default: none.
     fn session_events(&self) -> Vec<SessionEvent> {
         Vec::new()
+    }
+
+    /// Installs an incremental [`SessionEventObserver`], invoked once at
+    /// the moment each session event first occurs (long-lived sessions
+    /// surface degradation while still running instead of only in the
+    /// end-of-run [`session_events`](Self::session_events) sweep). Called
+    /// at most once per run, before any record is applied. The default
+    /// drops the observer: analyses that never emit events need no hook.
+    fn set_event_observer(&self, observer: SessionEventObserver) {
+        let _ = observer;
     }
 }
 

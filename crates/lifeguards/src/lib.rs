@@ -59,7 +59,7 @@ pub use addrcheck::{AddrCheck, AddrCheckConcurrent, AddrShared, ALLOCATED};
 pub use cost::CostModel;
 pub use factory::{
     ConcurrentLifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind, LifeguardRegistry,
-    SessionEvent, VersionedMeta,
+    SessionEvent, SessionEventObserver, VersionedMeta,
 };
 pub use lifeguard::{
     join_atomic_shadow, snapshot_byte, snapshot_coverage, AtomicityClass, EventView, Fingerprint,

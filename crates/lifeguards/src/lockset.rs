@@ -486,6 +486,11 @@ pub struct LockSetConcurrent {
     /// per-access read.
     held: Vec<std::sync::atomic::AtomicU64>,
     violations: Mutex<Vec<Violation>>,
+    /// Incremental session-event receiver (live daemon feeds); invoked once
+    /// when saturation first latches.
+    observer: Mutex<Option<crate::SessionEventObserver>>,
+    /// Whether the observer already saw the saturation event.
+    observer_notified: AtomicBool,
 }
 
 impl std::fmt::Debug for LockSetConcurrent {
@@ -510,6 +515,34 @@ impl LockSetConcurrent {
                 .map(|_| std::sync::atomic::AtomicU64::new(0))
                 .collect(),
             violations: Mutex::new(Vec::new()),
+            observer: Mutex::new(None),
+            observer_notified: AtomicBool::new(false),
+        }
+    }
+
+    /// The once-per-session degradation notice (shared by the end-of-run
+    /// [`session_events`](ConcurrentLifeguard::session_events) sweep and the
+    /// incremental observer path).
+    fn degraded_event() -> crate::SessionEvent {
+        crate::SessionEvent::DegradedPrecision {
+            lifeguard: "LockSet",
+            detail: format!(
+                "mask interner exhausted ({MAX_MASKS} live candidate masks); \
+                 further refinements saturate to the full set (reports stay \
+                 sound, some races may go unreported)"
+            ),
+        }
+    }
+
+    /// Pushes the degradation notice to the installed observer the first
+    /// time saturation latches. Called right after each slow-path intern
+    /// (the only place saturation can newly occur); the check is one
+    /// acquire load on a path that already took the interner mutex.
+    fn note_saturation(&self) {
+        if self.interner.is_saturated() && !self.observer_notified.swap(true, Ordering::AcqRel) {
+            if let Some(observer) = self.observer.lock().expect("poisoned").as_ref() {
+                observer(&Self::degraded_event());
+            }
         }
     }
 
@@ -539,6 +572,7 @@ impl LockSetConcurrent {
                 S_EXCLUSIVE => {
                     let next = if writes { S_SHARED_MOD } else { S_SHARED };
                     let id = self.interner.intern_acquire(held);
+                    self.note_saturation();
                     acquired = Some(id);
                     (
                         pack(next, 0, id, reported),
@@ -557,6 +591,7 @@ impl LockSetConcurrent {
                         (set_id, candidates) // no refinement: fast path when state holds too
                     } else {
                         let id = self.interner.intern_acquire(refined);
+                        self.note_saturation();
                         acquired = Some(id);
                         (id, self.interner.mask(id))
                     };
@@ -709,17 +744,14 @@ impl ConcurrentLifeguard for LockSetConcurrent {
 
     fn session_events(&self) -> Vec<crate::SessionEvent> {
         if self.interner.is_saturated() {
-            vec![crate::SessionEvent::DegradedPrecision {
-                lifeguard: "LockSet",
-                detail: format!(
-                    "mask interner exhausted ({MAX_MASKS} live candidate masks); \
-                     further refinements saturate to the full set (reports stay \
-                     sound, some races may go unreported)"
-                ),
-            }]
+            vec![Self::degraded_event()]
         } else {
             Vec::new()
         }
+    }
+
+    fn set_event_observer(&self, observer: crate::SessionEventObserver) {
+        *self.observer.lock().expect("poisoned") = Some(observer);
     }
 }
 

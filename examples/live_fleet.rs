@@ -1,0 +1,128 @@
+//! A live monitoring fleet: two external producers stream captures to one
+//! `paralogd` supervisor over Unix-domain sockets while a watcher tails the
+//! violation feed — the paper's deployment shape, where the monitored
+//! machines ship their logs to a pool of lifeguard cores.
+//!
+//! The daemon multiplexes both sessions over ONE shared worker pool, so
+//! neither session owns threads; a stalled producer parks its lanes
+//! (`StreamStatus::Blocked`) without costing the other session a core.
+//! At the end the daemon's fingerprints are checked against in-process
+//! replays of the same captures. Run with `cargo run --release --example
+//! live_fleet` (Unix only: the transport is a Unix-domain socket).
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("live_fleet needs Unix-domain sockets; skipping on this platform");
+}
+
+#[cfg(unix)]
+fn main() {
+    use paralog::core::{MonitorConfig, MonitoringMode, Platform};
+    use paralog::daemon::client::{Control, Producer};
+    use paralog::daemon::proto::AttachRequest;
+    use paralog::daemon::supervisor::{Daemon, DaemonConfig};
+    use paralog::events::codec::encode;
+    use paralog::lifeguards::LifeguardKind;
+    use paralog::workloads::{Benchmark, WorkloadSpec};
+
+    // 1. Capture two workloads the "applications" will stream live.
+    let capture = |bench, threads, kind| {
+        let workload = WorkloadSpec::benchmark(bench, threads).scale(0.1).build();
+        let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, kind);
+        cfg.collect_streams = true;
+        let live = Platform::run(&workload, &cfg).metrics;
+        let streams = live.streams.clone().expect("collection enabled");
+        let encoded: Vec<Vec<u8>> = streams.iter().map(|s| encode(s)).collect();
+        (workload, live, encoded)
+    };
+    let (barnes, barnes_live, barnes_wire) =
+        capture(Benchmark::Barnes, 4, LifeguardKind::TaintCheck);
+    let (lu, lu_live, lu_wire) = capture(Benchmark::Lu, 2, LifeguardKind::MemCheck);
+
+    // 2. One supervisor, one shared pool.
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let mut config = DaemonConfig::new(
+        dir.join(format!("live-fleet-{pid}.sock")),
+        dir.join(format!("live-fleet-{pid}.ctl")),
+    );
+    config.workers = 4;
+    let daemon = Daemon::spawn(config).expect("daemon spawns");
+    println!(
+        "paralogd up: data={} control={} workers={}",
+        daemon.data_socket().display(),
+        daemon.control_socket().display(),
+        daemon.worker_count()
+    );
+
+    // 3. Two producers attach and stream concurrently, chunked small so
+    //    the daemon genuinely sees a trickle (and its readers WouldBlock).
+    let feed = |name: &str,
+                kind: LifeguardKind,
+                workload: &paralog::workloads::Workload,
+                wire: Vec<Vec<u8>>| {
+        let socket = daemon.data_socket().to_path_buf();
+        let threads = wire.len();
+        let request = AttachRequest {
+            name: name.into(),
+            lifeguard: kind.name().into(),
+            threads,
+            tso: false,
+            heap: workload.heap,
+        };
+        std::thread::spawn(move || {
+            let mut producer = Producer::attach(&socket, &request).expect("attach");
+            let id = producer.session_id();
+            producer.send_capture(&wire, 2048).expect("stream capture");
+            id
+        })
+    };
+    let barnes_feed = feed("barnes", LifeguardKind::TaintCheck, &barnes, barnes_wire);
+    let lu_feed = feed("lu", LifeguardKind::MemCheck, &lu, lu_wire);
+    let barnes_id = barnes_feed.join().unwrap();
+    let lu_id = lu_feed.join().unwrap();
+
+    // 4. Tail the barnes session's live feed while it drains.
+    let control = daemon.control_socket().to_path_buf();
+    let watcher = std::thread::spawn(move || {
+        let ctl = Control::connect(&control).expect("watch connect");
+        let mut lines = 0usize;
+        ctl.watch(barnes_id, |line| {
+            if lines < 3 {
+                println!("  watch[barnes] {line}");
+            }
+            lines += 1;
+        })
+        .expect("watch stream");
+        lines
+    });
+    println!("watch[barnes] saw {} feed lines", watcher.join().unwrap());
+
+    let mut ctl = Control::connect(daemon.control_socket()).expect("ctl connect");
+    for line in ctl.list().expect("LIST") {
+        println!("  list: {line}");
+    }
+
+    // 5. Shut down and check the fleet against the in-process baselines.
+    let reports = daemon.shutdown();
+    for report in &reports {
+        let metrics = report.result.as_ref().expect("session drained clean");
+        let (live, tag) = if report.id == barnes_id {
+            (&barnes_live, "barnes")
+        } else {
+            assert_eq!(report.id, lu_id);
+            (&lu_live, "lu")
+        };
+        assert_eq!(metrics.fingerprint, live.fingerprint, "{tag} fingerprint");
+        println!(
+            "{tag}: {} records, {} violations, fingerprint {:016x} == in-process",
+            metrics.records,
+            metrics.violations.len(),
+            metrics.fingerprint
+        );
+    }
+    println!(
+        "fleet of {} sessions verified against in-process replay",
+        reports.len()
+    );
+}

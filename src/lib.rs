@@ -39,6 +39,7 @@ pub struct ReadmeDoctests;
 
 pub use paralog_accel as accel;
 pub use paralog_core as core;
+pub use paralog_daemon as daemon;
 pub use paralog_events as events;
 pub use paralog_lifeguards as lifeguards;
 pub use paralog_meta as meta;

@@ -309,3 +309,142 @@ fn epoch_sweep_races_cleanly_with_many_producers() {
     );
     assert!(table.reclaimed_chunks() >= chunks - peak as u64);
 }
+
+/// Open file descriptors for this process (linux); `None` elsewhere so
+/// the churn soak still runs its residency assertions.
+#[cfg(unix)]
+fn open_fds() -> Option<usize> {
+    std::fs::read_dir("/proc/self/fd").ok().map(|d| d.count())
+}
+
+/// Attach/detach churn against one long-lived daemon: every iteration
+/// attaches two sessions over fresh Unix-socket connections, streams one
+/// to completion and detaches the other mid-stream, then waits for both
+/// to settle. Session state must fully drain (`resident_sessions` back to
+/// zero) and the process must not leak fds across the churn.
+#[cfg(unix)]
+#[test]
+fn daemon_attach_detach_churn_leaves_no_residue() {
+    use paralog::daemon::client::{Control, Producer};
+    use paralog::daemon::proto::AttachRequest;
+    use paralog::daemon::supervisor::{Daemon, DaemonConfig};
+    use paralog::events::codec::encode;
+    use paralog::lifeguards::LifeguardKind;
+    use std::time::Instant;
+
+    let heap = AddrRange::new(0x1000_0000, 0x1000);
+    let recs: Vec<EventRecord> = (1..=64u64)
+        .map(|i| EventRecord::instr(Rid(i), Instr::Nop))
+        .collect();
+    let encoded = encode(&recs);
+    // A record-aligned prefix: the chained-checksum codec makes the
+    // encoding of a record prefix a byte prefix of the full encoding.
+    let prefix = encode(&recs[..32]);
+    assert!(encoded.starts_with(&prefix));
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let mut config = DaemonConfig::new(
+        dir.join(format!("plgd-churn-{pid}-d.sock")),
+        dir.join(format!("plgd-churn-{pid}-c.sock")),
+    );
+    config.workers = 2;
+    let daemon = Daemon::spawn(config).expect("daemon spawns");
+
+    let iterations = if full_profile() { 400 } else { 25 };
+    let mut baseline_fds = None;
+    for i in 0..iterations {
+        let attach = |name: &str, kind: LifeguardKind| AttachRequest {
+            name: name.into(),
+            lifeguard: kind.name().into(),
+            threads: 1,
+            tso: false,
+            heap,
+        };
+        let mut full = Producer::attach(
+            daemon.data_socket(),
+            &attach("churn-full", LifeguardKind::TaintCheck),
+        )
+        .expect("attach streams-to-completion session");
+        let mut cut = Producer::attach(
+            daemon.data_socket(),
+            &attach("churn-cut", LifeguardKind::MemCheck),
+        )
+        .expect("attach detached-mid-stream session");
+        let (full_id, cut_id) = (full.session_id(), cut.session_id());
+
+        full.send(0, &encoded).unwrap();
+        full.finish().unwrap();
+        // The cut session gets a record-aligned prefix, then a DETACH.
+        cut.send(0, &prefix).unwrap();
+
+        let mut ctl = Control::connect(daemon.control_socket()).unwrap();
+        // Wait for the prefix to be pumped and applied before detaching —
+        // detach closes the feeds wherever the pump got to, and cutting
+        // mid-record is (correctly) a MalformedStream failure, which is
+        // the corruption suite's territory, not the churn's.
+        let applied = Instant::now() + Duration::from_secs(30);
+        loop {
+            let status = ctl.status(cut_id).unwrap();
+            let records = status
+                .iter()
+                .find_map(|l| l.strip_prefix("records "))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            if records >= 32 {
+                break;
+            }
+            assert!(
+                Instant::now() < applied,
+                "iteration {i}: prefix never applied: {status:?}"
+            );
+            thread::sleep(Duration::from_millis(2));
+        }
+        ctl.detach(cut_id).unwrap();
+        drop(cut);
+
+        let deadline = Instant::now() + Duration::from_secs(30);
+        for id in [full_id, cut_id] {
+            loop {
+                let status = ctl.status(id).unwrap();
+                let state = status
+                    .iter()
+                    .find_map(|l| l.strip_prefix("state "))
+                    .expect("state line");
+                if state == "done" || state == "failed" {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "iteration {i}: session {id} never settled: {status:?}"
+                );
+                thread::sleep(Duration::from_millis(5));
+            }
+        }
+        assert_eq!(
+            daemon.resident_sessions(),
+            0,
+            "iteration {i}: drained sessions still hold replay state"
+        );
+        // Let the first iterations warm up lazily-created fds (threads,
+        // epoll-free accept loops), then hold the line.
+        if i == 2 {
+            baseline_fds = open_fds();
+        }
+    }
+    if let Some(base) = baseline_fds {
+        let now = open_fds().expect("fd table readable once it was before");
+        assert!(now <= base + 8, "fd growth across churn: {base} -> {now}");
+    }
+    let reports = daemon.shutdown();
+    assert_eq!(reports.len(), 2 * iterations);
+    for r in &reports {
+        assert!(
+            r.result.is_ok(),
+            "session {} ({}): {:?}",
+            r.id,
+            r.name,
+            r.result
+        );
+    }
+}

@@ -329,6 +329,153 @@ fn live_push_feed_drives_the_threaded_backend() {
     assert_eq!(out.metrics.records, 101);
 }
 
+// --- producer-drop determinism ----------------------------------------------
+
+/// A producer that vanishes mid-session with *severed* dependence arcs
+/// (a consumer's producer record can never arrive) must resolve to
+/// `Deadlock` promptly — on the threaded backend via the severed-input
+/// fast path (a fraction of the normal no-progress grace), on the
+/// deterministic backend structurally. Never a parked worker waiting out
+/// the full grace window, and never a hang.
+#[test]
+fn dropped_producer_with_severed_arcs_deadlocks_fast() {
+    use paralog::daemon::transport::ByteFeed;
+
+    let heap = AddrRange::new(0x1000_0000, 0x1000);
+    let t0: Vec<EventRecord> = (1..=10)
+        .map(|i| EventRecord::instr(Rid(i), Instr::Nop))
+        .collect();
+    let mut dependent = EventRecord::instr(Rid(1), Instr::Nop);
+    dependent
+        .arcs
+        .push(DependenceArc::new(ThreadId(0), Rid(9), ArcKind::Sync));
+    // Thread 0's wire stream is cut at record 5 — the arc target (#9)
+    // will never arrive once the producer drops.
+    let t0_prefix = encode(&t0[..5]);
+    let t1_whole = encode(&[dependent]);
+
+    for threaded in [false, true] {
+        let total = std::sync::Arc::default();
+        let (w0, r0) = ByteFeed::pair(std::sync::Arc::clone(&total));
+        let (w1, r1) = ByteFeed::pair(total);
+        let producer = std::thread::spawn({
+            let t0_prefix = t0_prefix.clone();
+            let t1_whole = t1_whole.clone();
+            move || {
+                // Let the session see live `Blocked` polls first.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                w0.write(&t0_prefix);
+                w1.write(&t1_whole);
+                // Dropping both writers severs the input mid-session.
+            }
+        });
+        let src = StreamingReplaySource::new(vec![Box::new(r0), Box::new(r1)], heap);
+        let builder = MonitorSession::builder()
+            .source(src)
+            .lifeguard(LifeguardKind::TaintCheck);
+        let builder = if threaded {
+            builder.backend(ThreadedBackend)
+        } else {
+            builder.backend(DeterministicBackend)
+        };
+        let started = std::time::Instant::now();
+        let err = builder.build().unwrap().run().err();
+        let elapsed = started.elapsed();
+        producer.join().expect("producer");
+        assert!(
+            matches!(err, Some(SessionError::Deadlock(_))),
+            "threaded={threaded}: expected Deadlock, got {err:?}"
+        );
+        assert!(
+            elapsed < std::time::Duration::from_millis(1500),
+            "threaded={threaded}: severed input took {elapsed:?} to resolve \
+             (the fast path should undercut the 2 s no-progress grace)"
+        );
+    }
+}
+
+/// A producer that vanishes at a record boundary with no dangling arcs is
+/// a *clean* end of input: both backends drain and report exactly the
+/// delivered prefix.
+#[test]
+fn dropped_producer_at_record_boundary_drains_clean() {
+    use paralog::daemon::transport::ByteFeed;
+
+    let heap = AddrRange::new(0x1000_0000, 0x1000);
+    let recs: Vec<EventRecord> = (1..=40)
+        .map(|i| EventRecord::instr(Rid(i), Instr::Nop))
+        .collect();
+    let bytes = encode(&recs);
+    for threaded in [false, true] {
+        let total = std::sync::Arc::default();
+        let (w0, r0) = ByteFeed::pair(std::sync::Arc::clone(&total));
+        let (w1, r1) = ByteFeed::pair(total);
+        let producer = std::thread::spawn({
+            let bytes = bytes.clone();
+            move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                w0.write(&bytes);
+                w1.write(&bytes);
+            }
+        });
+        let src = StreamingReplaySource::new(vec![Box::new(r0), Box::new(r1)], heap);
+        let builder = MonitorSession::builder()
+            .source(src)
+            .lifeguard(LifeguardKind::TaintCheck);
+        let builder = if threaded {
+            builder.backend(ThreadedBackend)
+        } else {
+            builder.backend(DeterministicBackend)
+        };
+        let out =
+            builder.build().unwrap().run().unwrap_or_else(|e| {
+                panic!("threaded={threaded}: clean drop must drain, got {e:?}")
+            });
+        producer.join().expect("producer");
+        assert_eq!(out.metrics.records, 80, "threaded={threaded}");
+    }
+}
+
+/// The push-feed flavor of the same contract: a `PushFeed` dropped after
+/// pushing a record whose arc target was never pushed resolves to
+/// `Deadlock`, not a hang.
+#[test]
+fn dropped_push_feed_with_severed_arc_deadlocks() {
+    let heap = AddrRange::new(0x1000_0000, 0x1000);
+    let (mut feed, source) = PushSource::bounded(2, heap, 8);
+    let producer = std::thread::spawn(move || {
+        for i in 1..=5u64 {
+            feed.push(0, EventRecord::instr(Rid(i), Instr::Nop))
+                .expect("alive");
+        }
+        let mut dependent = EventRecord::instr(Rid(1), Instr::Nop);
+        dependent
+            .arcs
+            .push(DependenceArc::new(ThreadId(0), Rid(50), ArcKind::Sync));
+        feed.push(1, dependent).expect("alive");
+        // Drop the feed with thread 0 stopped at #5: arc to #50 is severed.
+    });
+    let started = std::time::Instant::now();
+    let err = MonitorSession::builder()
+        .source(source)
+        .lifeguard(LifeguardKind::TaintCheck)
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .err();
+    let elapsed = started.elapsed();
+    producer.join().expect("producer");
+    assert!(
+        matches!(err, Some(SessionError::Deadlock(_))),
+        "expected Deadlock, got {err:?}"
+    );
+    assert!(
+        elapsed < std::time::Duration::from_millis(1500),
+        "severed push feed took {elapsed:?}"
+    );
+}
+
 // --- incremental decoder property tests ------------------------------------
 
 /// A modest record generator: loads/stores walking an address neighborhood

@@ -197,6 +197,46 @@ fn bench_concurrent_replay(c: &mut Criterion) {
     );
 }
 
+/// Records per thread in the delta-vs-cas matrix series (the quick-profile
+/// shape; `bench_concurrent` regenerates the checked-in full matrix).
+const MATRIX_RECORDS: u64 = 2048;
+
+/// The delta-merge vs. CAS-per-access replay matrix as a criterion group:
+/// the exact streams behind the checked-in `BENCH_concurrent.json`
+/// ([`paralog_bench::concurrent_matrix`]), swept over 8/16 threads and the
+/// low/medium/high Zipf sharing profiles. `bench_concurrent` owns the
+/// checked-in numbers; this group exists for interactive `cargo bench`
+/// comparisons with criterion's statistics.
+fn bench_delta_vs_cas(c: &mut Criterion) {
+    use paralog_bench::concurrent_matrix::{
+        build_concurrent, replay as replay_mode, stream, KINDS, PROFILES, THREADS,
+    };
+    use paralog_lifeguards::ReplayMode;
+
+    for kind in KINDS {
+        for threads in THREADS {
+            for profile in PROFILES {
+                let streams: Vec<Vec<EventRecord>> = (0..threads as u16)
+                    .map(|t| stream(kind, t, MATRIX_RECORDS, profile))
+                    .collect();
+                let mut group = c.benchmark_group(format!("delta_vs_cas/{kind}/{}", profile.name));
+                group.sample_size(10);
+                group.throughput(Throughput::Elements(threads as u64 * MATRIX_RECORDS));
+                for mode in [ReplayMode::CasPerAccess, ReplayMode::DeltaMerge] {
+                    group.bench_function(BenchmarkId::new(mode.to_string(), threads), |b| {
+                        b.iter(|| {
+                            let lg = build_concurrent(kind, threads);
+                            replay_mode(&*lg, &streams, mode);
+                            black_box(lg.fingerprint())
+                        })
+                    });
+                }
+                group.finish();
+            }
+        }
+    }
+}
+
 const VERSIONS: u64 = 2048;
 
 fn vid(t: u16, r: u64) -> VersionId {
@@ -302,5 +342,10 @@ fn bench_concurrent_versions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_concurrent_replay, bench_concurrent_versions);
+criterion_group!(
+    benches,
+    bench_concurrent_replay,
+    bench_delta_vs_cas,
+    bench_concurrent_versions
+);
 criterion_main!(benches);

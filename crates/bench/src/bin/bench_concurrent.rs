@@ -1,0 +1,131 @@
+//! Regenerates (or checks) the checked-in `BENCH_concurrent.json`: the
+//! delta-merge vs. CAS-per-access replay matrix over 8/16 threads and the
+//! low/medium/high Zipf sharing sweep.
+//!
+//! Usage:
+//!
+//! * `cargo run --release -p paralog-bench --bin bench_concurrent`
+//!   — run the full matrix, print it, and rewrite `BENCH_concurrent.json`
+//!   at the repository root (override with `--out <path>`);
+//! * `... --bin bench_concurrent -- --check` — run a quick profile and
+//!   diff it against the checked-in baseline, emitting a GitHub Actions
+//!   `::warning::` line per series that regressed by more than
+//!   [`REGRESSION_TOLERANCE`]. Always exits 0: the smoke step is
+//!   non-blocking by design (shared CI runners jitter far too much for a
+//!   hard gate).
+//!
+//! The streams are deterministic (fixed seeds); only the wall-clock
+//! numbers vary run to run, which is why `--check` compares against a
+//! generous tolerance and only warns.
+
+use paralog_bench::concurrent_matrix::{parse_json, run_matrix, to_json, MatrixResult};
+use std::path::PathBuf;
+
+/// A series must be at least this many times slower than the baseline
+/// before `--check` warns (>30% regression).
+const REGRESSION_TOLERANCE: f64 = 1.3;
+
+/// Full-run records per thread / iterations (iterations generous because
+/// single-core CI boxes jitter; best-of damps it).
+const FULL_RECORDS: u64 = 16384;
+const FULL_ITERS: usize = 7;
+
+/// Quick-profile records per thread / iterations (the CI smoke shape).
+const QUICK_RECORDS: u64 = 2048;
+const QUICK_ITERS: usize = 3;
+
+fn default_out() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_concurrent.json")
+}
+
+fn print_matrix(result: &MatrixResult) {
+    println!(
+        "concurrent replay matrix ({} records/thread, ns/record, best of N):",
+        result.records_per_thread
+    );
+    for (key, ns) in &result.series {
+        println!("  {key:<32} {ns:8.1}");
+    }
+    // The headline comparison: per (kind, threads, profile), how delta
+    // fares against CAS.
+    for (key, delta_ns) in &result.series {
+        let Some(cell) = key.strip_suffix("/delta") else {
+            continue;
+        };
+        if let Some(cas_ns) = result.series.get(&format!("{cell}/cas")) {
+            println!("  {cell:<32} delta/cas = {:.2}", delta_ns / cas_ns);
+        }
+    }
+}
+
+fn check(out: &PathBuf) -> i32 {
+    let Ok(text) = std::fs::read_to_string(out) else {
+        println!(
+            "::warning::BENCH_concurrent.json missing at {} — run bench_concurrent to regenerate",
+            out.display()
+        );
+        return 0;
+    };
+    let Some(baseline) = parse_json(&text) else {
+        println!(
+            "::warning::BENCH_concurrent.json is unparseable — run bench_concurrent to regenerate"
+        );
+        return 0;
+    };
+    let fresh = run_matrix(QUICK_RECORDS, QUICK_ITERS);
+    print_matrix(&fresh);
+    let mut regressed = 0usize;
+    for (key, fresh_ns) in &fresh.series {
+        let Some(base_ns) = baseline.series.get(key) else {
+            println!("::warning::series {key} missing from BENCH_concurrent.json baseline");
+            continue;
+        };
+        if *fresh_ns > base_ns * REGRESSION_TOLERANCE {
+            regressed += 1;
+            println!(
+                "::warning::bench regression: {key} {fresh_ns:.1} ns/record vs baseline {base_ns:.1} (>{:.0}%)",
+                (REGRESSION_TOLERANCE - 1.0) * 100.0
+            );
+        }
+    }
+    println!(
+        "bench-smoke: {} series checked, {regressed} regressed past the {REGRESSION_TOLERANCE}x tolerance (non-blocking)",
+        fresh.series.len()
+    );
+    0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = default_out();
+    let mut i = 0;
+    let mut checking = false;
+    let mut quick = false;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => checking = true,
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).expect("--out requires a path"));
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (expected --check, --quick, --out <path>)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if checking {
+        std::process::exit(check(&out));
+    }
+    let (records, iters) = if quick {
+        (QUICK_RECORDS, QUICK_ITERS)
+    } else {
+        (FULL_RECORDS, FULL_ITERS)
+    };
+    let result = run_matrix(records, iters);
+    print_matrix(&result);
+    std::fs::write(&out, to_json(&result)).expect("write BENCH_concurrent.json");
+    println!("wrote {}", out.display());
+}

@@ -4,6 +4,8 @@
 //! the criterion `benches/` run the same sweeps at reduced scale so they
 //! finish in a benchmarking session.
 
+pub mod concurrent_matrix;
+
 /// Workload scale used by the full figure binaries (relative to the
 /// calibrated base duration).
 pub const FULL_SCALE: f64 = 1.0;

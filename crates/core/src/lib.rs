@@ -58,8 +58,8 @@ pub use platform::{Platform, RunOutcome};
 pub use reference::Reference;
 pub use session::coop::{CoopLane, CoopSession, LaneStep};
 pub use session::{
-    Backend, BufferedStream, DeterministicBackend, EventSource, FaultyReader, LivePushSource,
-    MonitorSession, MonitorSessionBuilder, PushFeed, PushRefused, PushSource, RecordStream,
-    ReplaySource, SessionError, SessionPlan, SourceInput, SourceStats, StreamStatus,
+    Backend, BackendMode, BufferedStream, DeterministicBackend, EventSource, FaultyReader,
+    LivePushSource, MonitorSession, MonitorSessionBuilder, PushFeed, PushRefused, PushSource,
+    RecordStream, ReplaySource, SessionError, SessionPlan, SourceInput, SourceStats, StreamStatus,
     StreamingReplaySource, ThreadedBackend, WorkloadSource,
 };

@@ -37,8 +37,11 @@ use crate::platform::lg::deliver_ingested;
 use crate::platform::{RunOutcome, Sim};
 use crate::reference::Reference;
 use crate::session::SourceInput;
-use paralog_events::{EventRecord, ThreadId};
-use paralog_lifeguards::{Lifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind, Violation};
+use paralog_events::{EventRecord, Rid, ThreadId};
+use paralog_lifeguards::{
+    ConcurrentLifeguard, DeltaLifeguard, Lifeguard, LifeguardFactory, LifeguardFamily,
+    LifeguardKind, ReplayMode, Violation,
+};
 use paralog_order::{Gate, OrderEnforcer, ProgressTable, RangeTable, SharedProgressTable};
 use paralog_workloads::Workload;
 use std::collections::VecDeque;
@@ -338,6 +341,126 @@ fn replay_streams(
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ThreadedBackend;
 
+/// How real-thread replay (the [`ThreadedBackend`] and the daemon's
+/// cooperative lanes) applies records to the concurrent lifeguard — the
+/// [`MonitorSessionBuilder::backend_mode`](super::MonitorSessionBuilder::backend_mode)
+/// knob, resolved per session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendMode {
+    /// Let the lifeguard factory pick
+    /// ([`LifeguardFactory::preferred_mode`], thresholds recorded from the
+    /// measured `BENCH_concurrent.json` matrix), falling back to
+    /// CAS-per-access when the analysis ships no delta form.
+    #[default]
+    Auto,
+    /// Publish every metadata write into the shared tables immediately —
+    /// §5.3's per-access atomicity discipline
+    /// ([`ConcurrentLifeguard::apply`]).
+    CasPerAccess,
+    /// Buffer metadata writes in a worker-private shadow delta and publish
+    /// them only at dependence-arc and sync boundaries
+    /// ([`DeltaLifeguard`]). Fingerprints and violation reports are
+    /// bit-identical to [`CasPerAccess`](Self::CasPerAccess); an explicit
+    /// request fails with [`SessionError::Unsupported`] when the lifeguard
+    /// has no delta form.
+    DeltaMerge,
+}
+
+impl fmt::Display for BackendMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendMode::Auto => "auto",
+            BackendMode::CasPerAccess => "cas",
+            BackendMode::DeltaMerge => "delta",
+        })
+    }
+}
+
+/// A resolved concurrent replay form: which apply path the workers drive.
+pub(crate) enum ReplayForm {
+    Cas(Box<dyn ConcurrentLifeguard>),
+    Delta(Box<dyn DeltaLifeguard>),
+}
+
+impl fmt::Debug for ReplayForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReplayForm::Cas(_) => "ReplayForm::Cas",
+            ReplayForm::Delta(_) => "ReplayForm::Delta",
+        })
+    }
+}
+
+impl ReplayForm {
+    /// The shared [`ConcurrentLifeguard`] surface (fingerprints,
+    /// violations, CA policy, boundaries) — both forms expose it.
+    pub(crate) fn conc(&self) -> &dyn ConcurrentLifeguard {
+        match self {
+            ReplayForm::Cas(l) => &**l,
+            ReplayForm::Delta(l) => &**l,
+        }
+    }
+
+    /// The delta-merge surface, when this form buffers privately.
+    pub(crate) fn delta(&self) -> Option<&dyn DeltaLifeguard> {
+        match self {
+            ReplayForm::Cas(_) => None,
+            ReplayForm::Delta(l) => Some(&**l),
+        }
+    }
+
+    /// The mode this form runs under (for status surfaces).
+    pub(crate) fn mode(&self) -> ReplayMode {
+        match self {
+            ReplayForm::Cas(_) => ReplayMode::CasPerAccess,
+            ReplayForm::Delta(_) => ReplayMode::DeltaMerge,
+        }
+    }
+}
+
+/// Resolves the session's [`BackendMode`] against what `factory` actually
+/// offers for a `threads`-way replay.
+///
+/// `Auto` consults [`LifeguardFactory::preferred_mode`] and silently falls
+/// back to CAS-per-access when no delta form exists; an *explicit*
+/// [`BackendMode::DeltaMerge`] request without one is an error.
+///
+/// # Errors
+///
+/// [`SessionError::Unsupported`] when the factory lacks the requested (or
+/// any) concurrent form.
+pub(crate) fn resolve_replay_form(
+    factory: &dyn LifeguardFactory,
+    heap: paralog_events::AddrRange,
+    threads: usize,
+    mode: BackendMode,
+) -> Result<ReplayForm, SessionError> {
+    let cas = |factory: &dyn LifeguardFactory| {
+        factory
+            .concurrent(heap, threads)
+            .map(ReplayForm::Cas)
+            .ok_or(SessionError::Unsupported(
+                "lifeguard has no concurrent (Send + Sync) replay form",
+            ))
+    };
+    match mode {
+        BackendMode::CasPerAccess => cas(factory),
+        BackendMode::DeltaMerge => factory
+            .concurrent_delta(heap, threads)
+            .map(ReplayForm::Delta)
+            .ok_or(SessionError::Unsupported(
+                "lifeguard has no delta-merge replay form",
+            )),
+        BackendMode::Auto => match factory.preferred_mode(threads) {
+            ReplayMode::DeltaMerge => match factory.concurrent_delta(heap, threads) {
+                Some(delta) => Ok(ReplayForm::Delta(delta)),
+                None => cas(factory),
+            },
+            ReplayMode::CasPerAccess => cas(factory),
+        },
+    }
+}
+
 /// How long the no-global-progress detectors tolerate a completely flat
 /// run (no record applied anywhere, no worker inside its stream pull)
 /// before declaring [`SessionError::Deadlock`]. Shared by the §5.2 arc
@@ -461,12 +584,8 @@ impl Backend for ThreadedBackend {
             return Err(SessionError::EmptySource);
         }
         let k = streams.len();
-        let conc = plan
-            .factory
-            .concurrent(plan.heap, k)
-            .ok_or(SessionError::Unsupported(
-                "lifeguard has no concurrent (Send + Sync) replay form",
-            ))?;
+        let form = resolve_replay_form(&*plan.factory, plan.heap, k, plan.mode)?;
+        let conc = form.conc();
         if let Some(observer) = plan.observer {
             conc.set_event_observer(observer);
         }
@@ -475,17 +594,17 @@ impl Backend for ThreadedBackend {
         let run = ThreadedRun::new(k);
         std::thread::scope(|scope| {
             for (tid, stream) in streams.into_iter().enumerate() {
-                let conc = &*conc;
+                let form = &form;
                 let run = &run;
                 let ca_policy = &ca_policy;
                 scope.spawn(move || {
                     let tid = ThreadId(tid as u16);
-                    replay_worker(tid, stream, conc, ca_policy, run, k);
+                    replay_worker(tid, stream, form, ca_policy, run, k);
                     run.finished_workers.fetch_add(1, Ordering::SeqCst);
                     // However the worker exited (drained, failed, aborted),
                     // it stops gating quiescence and flushes its shard's
                     // retire queue.
-                    conc.stream_done(tid);
+                    form.conc().stream_done(tid);
                     run.versions.advance_epoch(tid);
                 });
             }
@@ -517,18 +636,53 @@ impl Backend for ThreadedBackend {
     }
 }
 
+/// Publishes a delta-mode worker's buffered window: flush the private
+/// shadow delta into the shared tables, then advertise the deferred
+/// progress watermark. Advertisement is monotone, so only the *last*
+/// applied rid needs publishing — peers' `satisfies(src, rid)` checks are
+/// `progress[src] >= rid`. A CAS-per-access lane passes `delta: None` and
+/// an always-`None` watermark, making this a no-op.
+fn flush_lane(
+    delta: Option<&dyn DeltaLifeguard>,
+    run: &ThreadedRun,
+    tid: ThreadId,
+    unadvertised: &mut Option<Rid>,
+) {
+    if let Some(d) = delta {
+        d.flush_delta(tid);
+    }
+    if let Some(rid) = unadvertised.take() {
+        run.progress.advertise(tid, rid);
+    }
+}
+
 /// One worker of the threaded replay: pulls its stream in bounded batches,
 /// enforces arcs by spinning on the shared progress table (§5.2), polices
 /// the §5.4 range table, and applies each record to the concurrent
 /// lifeguard.
+///
+/// Under [`BackendMode::DeltaMerge`] the worker applies records to its
+/// private overlay and defers both the metadata publish and the progress
+/// advertisement to *flush points*: before any ordered interaction (an arc
+/// spin, a §5.4 CA gate, a §5.5 produce or consume point) and at every
+/// batch boundary — including before parking on a lagging producer, so a
+/// peer spinning on this worker's progress always sees the published
+/// watermark before this worker blocks. Liveness follows: a delta worker
+/// either keeps applying (bumping `run.applied`, which arc spinners watch)
+/// or flushes before it waits.
 fn replay_worker(
     tid: ThreadId,
     mut stream: Box<dyn RecordStream>,
-    conc: &dyn paralog_lifeguards::ConcurrentLifeguard,
+    form: &ReplayForm,
     ca_policy: &paralog_order::CaPolicy,
     run: &ThreadedRun,
     threads: usize,
 ) {
+    let conc = form.conc();
+    let delta = form.delta();
+    // Delta mode's deferred-advertisement watermark; always `None` in CAS
+    // mode (progress is advertised per record there).
+    let mut unadvertised: Option<Rid> = None;
     let mut pending: VecDeque<EventRecord> = VecDeque::new();
     let mut batch: Vec<EventRecord> = Vec::with_capacity(INGEST_BATCH);
     let mut range_table = RangeTable::new(threads);
@@ -538,6 +692,10 @@ fn replay_worker(
             return;
         }
         if pending.is_empty() {
+            // Batch boundary: publish the buffered window *before* the pull
+            // — the pull may park on a lagging producer, and peers must not
+            // wait out that park for progress already made.
+            flush_lane(delta, run, tid, &mut unadvertised);
             // The pull itself may block inside the transport (a pipe or
             // socket read *is* the producer wait), so the whole call is
             // bracketed by the producers_blocked counter — arc spinners
@@ -586,6 +744,18 @@ fn replay_worker(
             run.versions.advance_epoch(tid);
         }
         while let Some(rec) = pending.pop_front() {
+            // Delta flush point: any ordered interaction — a wait (arc
+            // spin, CA gate, §5.5 consume) or a publish peers read (§5.5
+            // produce snapshot, CA metadata update) — must observe this
+            // worker's buffered window and its advertised watermark first.
+            if delta.is_some()
+                && (!rec.arcs.is_empty()
+                    || rec.consume_version.is_some()
+                    || !rec.produce_versions.is_empty()
+                    || matches!(rec.payload, paralog_events::EventPayload::Ca(_)))
+            {
+                flush_lane(delta, run, tid, &mut unadvertised);
+            }
             // §5.2 enforcement: spin until every arc is satisfied.
             for arc in &rec.arcs {
                 match spin_until(run, || run.progress.satisfies(arc.src, arc.src_rid)) {
@@ -667,7 +837,10 @@ fn replay_worker(
                     }
                 }
             }
-            conc.apply(tid, &rec, versioned.as_ref());
+            match delta {
+                Some(d) => d.apply_delta(tid, &rec, versioned.as_ref()),
+                None => conc.apply(tid, &rec, versioned.as_ref()),
+            }
             if let paralog_events::EventPayload::Ca(ca) = &rec.payload {
                 let actions = ca_policy.actions(ca.what, ca.phase);
                 if actions.track_range {
@@ -680,7 +853,15 @@ fn replay_worker(
                     }
                 }
             }
-            run.progress.advertise(tid, rec.rid);
+            if delta.is_none() || matches!(rec.payload, paralog_events::EventPayload::Ca(_)) {
+                // CAS mode advertises per record; a delta lane still
+                // advertises CA copies immediately — remote copies gate on
+                // the issuer's advertised progress, and the CA apply
+                // self-flushed.
+                run.progress.advertise(tid, rec.rid);
+            } else {
+                unadvertised = Some(rec.rid);
+            }
             run.applied.fetch_add(1, Ordering::Relaxed);
         }
     }

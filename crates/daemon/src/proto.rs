@@ -24,6 +24,7 @@
 //! line (`LIST`, `STATUS <id>`, `DETACH <id>`, `WATCH <id>`, `SHUTDOWN`,
 //! `PING`), each response a block of lines terminated by a lone `.`.
 
+use paralog_core::BackendMode;
 use paralog_events::AddrRange;
 
 /// Handshake size cap: anything longer without a newline is garbage.
@@ -51,12 +52,18 @@ pub struct AttachRequest {
     pub tso: bool,
     /// The monitored application's heap region.
     pub heap: AddrRange,
+    /// Requested replay mode (`mode=cas|delta|auto`, optional —
+    /// [`BackendMode::Auto`] when absent): how the session's lanes apply
+    /// records. The resolved mode is surfaced in `STATUS`.
+    pub mode: BackendMode,
 }
 
 impl AttachRequest {
-    /// Renders the handshake line (without the trailing newline).
+    /// Renders the handshake line (without the trailing newline). The
+    /// `mode=` field is emitted only when non-default, so v1 consumers that
+    /// predate it keep parsing these lines.
     pub fn to_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "PARALOG ATTACH v1 name={} lifeguard={} threads={} tso={} heap={}:{}",
             self.name,
             self.lifeguard,
@@ -64,7 +71,11 @@ impl AttachRequest {
             u8::from(self.tso),
             self.heap.start,
             self.heap.len
-        )
+        );
+        if self.mode != BackendMode::Auto {
+            line.push_str(&format!(" mode={}", self.mode));
+        }
+        line
     }
 }
 
@@ -89,6 +100,7 @@ pub fn parse_attach(line: &str) -> Result<AttachRequest, String> {
         return Err("unsupported protocol version (want v1)".into());
     }
     let (mut name, mut lifeguard, mut threads, mut tso, mut heap) = (None, None, None, None, None);
+    let mut mode = None;
     for field in parts {
         let Some((key, value)) = field.split_once('=') else {
             return Err(format!("malformed field {field:?}"));
@@ -128,6 +140,14 @@ pub fn parse_attach(line: &str) -> Result<AttachRequest, String> {
                 let len: u64 = len.parse().map_err(|_| "heap len must be an integer")?;
                 heap = Some(AddrRange::new(start, len));
             }
+            "mode" => {
+                mode = Some(match value {
+                    "auto" => BackendMode::Auto,
+                    "cas" => BackendMode::CasPerAccess,
+                    "delta" => BackendMode::DeltaMerge,
+                    _ => return Err("mode must be cas, delta or auto".into()),
+                });
+            }
             other => return Err(format!("unknown field {other:?}")),
         }
     }
@@ -137,6 +157,7 @@ pub fn parse_attach(line: &str) -> Result<AttachRequest, String> {
         threads: threads.ok_or("missing threads=")?,
         tso: tso.unwrap_or(false),
         heap: heap.ok_or("missing heap=")?,
+        mode: mode.unwrap_or_default(),
     })
 }
 
@@ -281,8 +302,24 @@ mod tests {
             threads: 4,
             tso: true,
             heap: AddrRange::new(4096, 1 << 20),
+            mode: BackendMode::Auto,
         };
+        // Auto stays off the wire (v1 compatibility)...
+        assert!(!req.to_line().contains("mode="));
         assert_eq!(parse_attach(&req.to_line()).unwrap(), req);
+        // ...explicit modes round-trip.
+        for mode in [BackendMode::CasPerAccess, BackendMode::DeltaMerge] {
+            let req = AttachRequest {
+                mode,
+                ..req.clone()
+            };
+            assert!(req.to_line().contains(&format!(" mode={mode}")));
+            assert_eq!(parse_attach(&req.to_line()).unwrap(), req);
+        }
+        assert!(parse_attach(
+            "PARALOG ATTACH v1 name=a lifeguard=y threads=1 heap=0:1 mode=banana"
+        )
+        .is_err());
     }
 
     #[test]

@@ -31,7 +31,7 @@ use paralog_core::{
     CoopLane, CoopSession, EventSource, LaneStep, RunMetrics, SessionError, SourceInput,
     StreamingReplaySource,
 };
-use paralog_lifeguards::{LifeguardRegistry, SessionEventObserver};
+use paralog_lifeguards::{LifeguardRegistry, ReplayMode, SessionEventObserver};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -130,6 +130,12 @@ struct SessionEntry {
     lifeguard: String,
     threads: usize,
     tso: bool,
+    /// The replay mode the session's lanes resolved to (an `Auto` request
+    /// lands on whatever the lifeguard's factory preferred).
+    mode: ReplayMode,
+    /// When the handshake completed — the denominator of the
+    /// applied-record throughput `STATUS` reports.
+    attached_at: Instant,
     /// The live session handle; taken (dropped) once the report is
     /// composed so finished sessions do not pin multi-megabyte metadata.
     session: Mutex<Option<CoopSession>>,
@@ -300,9 +306,14 @@ impl DaemonInner {
         let observer_watchers = Arc::clone(&watchers);
         let observer: SessionEventObserver =
             Arc::new(move |ev| observer_watchers.publish(format!("event {ev}")));
-        let (session, lanes) =
-            CoopSession::start(factory.as_ref(), req.heap, streams, Some(observer))
-                .map_err(|e| e.to_string())?;
+        let (session, lanes) = CoopSession::start_with_mode(
+            factory.as_ref(),
+            req.heap,
+            streams,
+            Some(observer),
+            req.mode,
+        )
+        .map_err(|e| e.to_string())?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(SessionEntry {
             id,
@@ -310,6 +321,8 @@ impl DaemonInner {
             lifeguard: req.lifeguard.clone(),
             threads: req.threads,
             tso: req.tso,
+            mode: session.mode(),
+            attached_at: Instant::now(),
             session: Mutex::new(Some(session.clone())),
             feeds: Mutex::new(writers),
             buffered,
@@ -859,9 +872,19 @@ fn status_lines(entry: &Arc<SessionEntry>) -> Vec<String> {
         format!("lifeguard {}", entry.lifeguard),
         format!("threads {}", entry.threads),
         format!("tso {}", u8::from(entry.tso)),
+        format!("mode {}", entry.mode),
         format!("state {}", entry.state()),
         format!("buffered_bytes {}", entry.buffered.bytes()),
     ];
+    // Applied-record throughput over the session's wall-clock lifetime so
+    // far (finished sessions keep reporting their final average).
+    let applied = entry
+        .session_handle()
+        .map(|s| s.records())
+        .or_else(|| entry.report_for().and_then(|r| r.ok().map(|m| m.records)))
+        .unwrap_or(0);
+    let elapsed = entry.attached_at.elapsed().as_secs_f64().max(1e-6);
+    lines.push(format!("records_per_sec {:.0}", applied as f64 / elapsed));
     let report = entry.report_for();
     match (&report, entry.session_handle()) {
         (Some(Err(err)), _) => {

@@ -53,6 +53,7 @@ fn paralogd_binary_serves_and_ctl_talks_to_it() {
             threads: 1,
             tso: false,
             heap,
+            mode: paralog_core::BackendMode::Auto,
         },
     )
     .expect("attaches to the binary");

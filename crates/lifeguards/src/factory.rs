@@ -181,12 +181,55 @@ pub trait LifeguardFactory: fmt::Debug + Send + Sync {
         None
     }
 
+    /// The delta-merge replay form, for backends running in
+    /// [`ReplayMode::DeltaMerge`]: workers buffer metadata writes in private
+    /// [`ShadowDelta`](paralog_meta::ShadowDelta) /
+    /// [`WordDelta`](paralog_meta::WordDelta) overlays and publish only at
+    /// dependence-arc and sync boundaries. Returns `None` by default — an
+    /// analysis without a delta form replays CAS-per-access. Every bundled
+    /// analysis overrides this.
+    fn concurrent_delta(&self, heap: AddrRange, threads: usize) -> Option<Box<dyn DeltaLifeguard>> {
+        let _ = (heap, threads);
+        None
+    }
+
+    /// Which replay mode this analysis prefers at `threads` worker threads,
+    /// consulted when a session leaves the mode on automatic. The default is
+    /// CAS-per-access (always correct, no buffering overhead); bundled
+    /// analyses override with thresholds chosen from the measured
+    /// `BENCH_concurrent.json` matrix, not guesswork.
+    fn preferred_mode(&self, threads: usize) -> ReplayMode {
+        let _ = threads;
+        ReplayMode::CasPerAccess
+    }
+
     /// The bundled shorthand this factory *is*, when it is one (the platform
     /// attaches the in-line sequential reference only then). Custom factories
     /// keep the default `None` — even when they reuse a bundled name to
     /// shadow it in a registry.
     fn builtin_kind(&self) -> Option<LifeguardKind> {
         None
+    }
+}
+
+/// How a concurrent backend publishes metadata writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplayMode {
+    /// One synchronizing atomic op per monitored access (the §5.3
+    /// synchronization-free fast path). Always available.
+    CasPerAccess,
+    /// Accumulate each batch in a private overlay, publish into the shared
+    /// metadata only at dependence-arc and sync boundaries. Requires the
+    /// factory to offer a [`DeltaLifeguard`] form.
+    DeltaMerge,
+}
+
+impl fmt::Display for ReplayMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReplayMode::CasPerAccess => "cas",
+            ReplayMode::DeltaMerge => "delta",
+        })
     }
 }
 
@@ -236,6 +279,36 @@ impl LifeguardFactory for LifeguardKind {
             LifeguardKind::AddrCheck => Some(Box::new(AddrCheckConcurrent::new(heap))),
             LifeguardKind::MemCheck => Some(Box::new(MemCheckConcurrent::new(threads))),
             LifeguardKind::LockSet => Some(Box::new(LockSetConcurrent::new(threads))),
+        }
+    }
+
+    fn concurrent_delta(&self, heap: AddrRange, threads: usize) -> Option<Box<dyn DeltaLifeguard>> {
+        // The same concurrent types implement the delta form: they carry
+        // per-worker overlays alongside their shared structures, so either
+        // mode can drive the same instance (delta workers read through their
+        // overlay, CAS workers never touch it).
+        match self {
+            LifeguardKind::TaintCheck => Some(Box::new(TaintConcurrent::new(threads))),
+            LifeguardKind::AddrCheck => Some(Box::new(AddrCheckConcurrent::new(heap))),
+            LifeguardKind::MemCheck => Some(Box::new(MemCheckConcurrent::new(threads))),
+            LifeguardKind::LockSet => Some(Box::new(LockSetConcurrent::new(threads))),
+        }
+    }
+
+    fn preferred_mode(&self, threads: usize) -> ReplayMode {
+        // Thresholds read off the checked-in BENCH_concurrent.json matrix
+        // (regenerate with `cargo run --release -p paralog-bench --bin
+        // bench_concurrent`). MemCheck is the only analysis whose delta form
+        // wins there — delta/cas 0.92–0.93 across every 16-worker profile,
+        // but roughly parity (1.04–1.14) at 8 workers, so the switch-over
+        // sits at 16. TaintCheck's per-access work is too cheap to amortize
+        // the overlay (1.13–1.27 everywhere), LockSet buffers whole granule
+        // states per access and loses outright (1.45–2.10), and AddrCheck's
+        // replay writes metadata only on rare CA events — nothing to buffer.
+        // All three stay CAS-per-access at every measured point.
+        match self {
+            LifeguardKind::MemCheck if threads >= 16 => ReplayMode::DeltaMerge,
+            _ => ReplayMode::CasPerAccess,
         }
     }
 
@@ -433,6 +506,45 @@ pub trait ConcurrentLifeguard: Send + Sync + fmt::Debug {
     }
 }
 
+/// The delta-merge replay form: a [`ConcurrentLifeguard`] whose workers can
+/// additionally buffer metadata writes in private per-thread overlays and
+/// publish them on command.
+///
+/// The backend's contract, which makes delta-merge bit-identical to
+/// CAS-per-access:
+///
+/// * it calls [`apply_delta`](Self::apply_delta) instead of
+///   [`apply`](ConcurrentLifeguard::apply) for ordinary records — the
+///   implementation routes metadata *writes* into thread `tid`'s private
+///   overlay and resolves metadata *reads* overlay-first (own pending
+///   writes win, everything else reads the shared structures);
+/// * it calls [`flush_delta`](Self::flush_delta) before any point where
+///   another thread may be ordered after `tid`'s buffered writes: before
+///   blocking on an unmet dependence arc or ConflictAlert gate, before a
+///   §5.5 produce point, at batch boundaries (ahead of
+///   [`epoch_boundary`](ConcurrentLifeguard::epoch_boundary)), before a
+///   §5.4 syscall-race repair, and at stream end;
+/// * it defers the progress-table advertisement of applied records until
+///   after the flush, so a peer that observes `tid`'s progress also
+///   observes the published metadata.
+///
+/// Within one unflushed window the owner is the only writer of its buffered
+/// locations — conflicting cross-thread writes are arc-ordered, and the arc
+/// forces a flush first — so last-writer-wins buffering composes with each
+/// analysis' merge operator (taint OR-join, MemCheck's inverted-lattice
+/// join, LockSet's interned mask intersection) exactly as eager publication
+/// would.
+pub trait DeltaLifeguard: ConcurrentLifeguard {
+    /// Applies one record of thread `tid`'s stream against the private
+    /// overlay (same semantics as
+    /// [`apply`](ConcurrentLifeguard::apply), different publication point).
+    fn apply_delta(&self, tid: ThreadId, rec: &EventRecord, versioned: Option<&VersionedMeta>);
+
+    /// Publishes thread `tid`'s pending overlay into the shared metadata
+    /// and empties it. Idempotent; a no-op when nothing is pending.
+    fn flush_delta(&self, tid: ThreadId);
+}
+
 /// Name → factory resolution for monitoring sessions.
 ///
 /// `builtin()` pre-registers the four bundled analyses; `register` adds
@@ -600,6 +712,54 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn every_builtin_offers_a_delta_replay_form() {
+        for kind in LifeguardKind::ALL {
+            let delta = kind.concurrent_delta(HEAP, 2).expect("delta form");
+            assert!(delta.violations().is_empty());
+            // Flushing an empty overlay is a no-op.
+            delta.flush_delta(ThreadId(0));
+            assert_eq!(
+                delta.fingerprint(),
+                kind.concurrent(HEAP, 2).expect("cas form").fingerprint(),
+                "{kind}: fresh forms agree"
+            );
+        }
+        // Defaults come from the measured matrix: only MemCheck's delta
+        // form wins, and only from 16 workers up; everything else stays on
+        // CAS-per-access at every measured point.
+        assert_eq!(
+            LifeguardKind::MemCheck.preferred_mode(16),
+            ReplayMode::DeltaMerge
+        );
+        assert_eq!(
+            LifeguardKind::MemCheck.preferred_mode(8),
+            ReplayMode::CasPerAccess
+        );
+        for kind in [
+            LifeguardKind::AddrCheck,
+            LifeguardKind::TaintCheck,
+            LifeguardKind::LockSet,
+        ] {
+            assert_eq!(kind.preferred_mode(16), ReplayMode::CasPerAccess);
+        }
+        // A factory that opts out of everything still has sane defaults.
+        #[derive(Debug)]
+        struct Bare;
+        impl LifeguardFactory for Bare {
+            fn name(&self) -> &str {
+                "Bare"
+            }
+            fn build(&self, heap: AddrRange) -> LifeguardFamily {
+                LifeguardKind::MemCheck.build(heap)
+            }
+        }
+        assert!(Bare.concurrent_delta(HEAP, 8).is_none());
+        assert_eq!(Bare.preferred_mode(64), ReplayMode::CasPerAccess);
+        assert_eq!(ReplayMode::DeltaMerge.to_string(), "delta");
+        assert_eq!(ReplayMode::CasPerAccess.to_string(), "cas");
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub mod taintcheck;
 pub use addrcheck::{AddrCheck, AddrCheckConcurrent, AddrShared, ALLOCATED};
 pub use cost::CostModel;
 pub use factory::{
-    ConcurrentLifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind, LifeguardRegistry,
-    SessionEvent, SessionEventObserver, VersionedMeta,
+    ConcurrentLifeguard, DeltaLifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind,
+    LifeguardRegistry, ReplayMode, SessionEvent, SessionEventObserver, VersionedMeta,
 };
 pub use lifeguard::{
     join_atomic_shadow, snapshot_byte, snapshot_coverage, AtomicityClass, EventView, Fingerprint,

@@ -13,6 +13,9 @@
 //!   `AtomicU64` per key, for concurrent lifeguards whose per-location state
 //!   does not fit a shadow byte (LockSet's packed state + interned lockset
 //!   id);
+//! * [`ShadowDelta`] / [`WordDelta`] — private per-worker write overlays
+//!   for delta-merge replay: buffer locally, publish into the shared
+//!   structures only at dependence-arc and sync boundaries;
 //! * [`VersionTable`] — the produce/consume table backing TSO versioned
 //!   metadata (§5.5);
 //! * [`Fingerprint`] — the order-insensitive metadata fingerprint
@@ -33,12 +36,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod atomic;
+pub mod delta;
 pub mod fingerprint;
 pub mod shadow;
 pub mod versions;
 pub mod words;
 
 pub use atomic::AtomicShadow;
+pub use delta::{LaneCell, ShadowDelta, WordDelta};
 pub use fingerprint::Fingerprint;
 pub use shadow::{ShadowMemory, CHUNK_APP_BYTES, META_BASE};
 pub use versions::{ConcurrentVersionTable, VersionTable};

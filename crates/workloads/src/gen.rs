@@ -111,6 +111,9 @@ struct ThreadGen<'a> {
     tainted_zone: Option<AddrRange>,
     /// Sequential cursor into the private region.
     private_cursor: u64,
+    /// Cumulative Zipf weights over shared-region word ranks, present only
+    /// when the spec skews shared addressing (`zipf_theta`).
+    zipf_cdf: Option<Vec<f64>>,
     /// Recently issued addresses, re-accessed for temporal locality.
     recent: VecDeque<MemRef>,
     next_barrier: u32,
@@ -138,10 +141,20 @@ impl<'a> ThreadGen<'a> {
             .syscall_every
             .map(|n| jittered(&mut rng, n))
             .unwrap_or(usize::MAX);
+        let zipf_cdf = spec.zipf_theta.map(|theta| {
+            let mut cdf = Vec::with_capacity(spec.shared_words as usize);
+            let mut total = 0.0f64;
+            for rank in 0..spec.shared_words {
+                total += 1.0 / ((rank + 1) as f64).powf(theta);
+                cdf.push(total);
+            }
+            cdf
+        });
         ThreadGen {
             spec,
             tid,
             rng,
+            zipf_cdf,
             ops: Vec::with_capacity(spec.ops_per_thread * 2),
             heap,
             live: VecDeque::new(),
@@ -258,7 +271,16 @@ impl<'a> ThreadGen<'a> {
         if self.rng.gen_bool(self.spec.shared_fraction) {
             let words = self.spec.shared_words;
             let partition = (words / self.spec.threads as u64).max(1);
-            let idx = if self.rng.gen_bool(0.5) {
+            let idx = if let Some(cdf) = &self.zipf_cdf {
+                // Zipf-skewed rank draw: every thread hammers the same hot
+                // head of the shared region, so contention scales with
+                // theta rather than with the partitioning below. A `None`
+                // theta never reaches this arm and keeps the historical
+                // RNG draw sequence byte-identical.
+                let total = *cdf.last().expect("shared region is non-empty");
+                let u = self.rng.gen::<f64>() * total;
+                cdf.partition_point(|&c| c < u).min(words as usize - 1) as u64
+            } else if self.rng.gen_bool(0.5) {
                 // Own partition (plus neighbour boundary spill-over).
                 let base = partition * self.tid as u64;
                 (base + self.rng.gen_range(0..partition + 4)) % words
@@ -661,6 +683,78 @@ mod tests {
         // (Behavioural difference is asserted end-to-end in integration
         // tests; here we only require generation to succeed and differ.)
         assert_ne!(clean.threads, buggy.threads);
+    }
+
+    #[test]
+    fn zipf_theta_concentrates_shared_accesses() {
+        use std::collections::HashMap;
+        let shared_histogram = |w: &Workload| -> HashMap<u64, usize> {
+            let mut hist = HashMap::new();
+            for ops in &w.threads {
+                for op in ops {
+                    let mem = match op {
+                        Op::Instr(Instr::Load { src, .. }) => Some(src),
+                        Op::Instr(Instr::Store { dst, .. }) => Some(dst),
+                        _ => None,
+                    };
+                    if let Some(m) = mem {
+                        if m.addr >= crate::spec::SHARED_BASE {
+                            *hist
+                                .entry((m.addr - crate::spec::SHARED_BASE) / 8)
+                                .or_default() += 1;
+                        }
+                    }
+                }
+            }
+            hist
+        };
+        let head_share = |w: &Workload| -> f64 {
+            let hist = shared_histogram(w);
+            let total: usize = hist.values().sum();
+            let head: usize = hist
+                .iter()
+                .filter(|(idx, _)| **idx < 16)
+                .map(|(_, n)| n)
+                .sum();
+            head as f64 / total.max(1) as f64
+        };
+        let uniform = WorkloadSpec::benchmark(Benchmark::Barnes, 4)
+            .scale(0.3)
+            .build();
+        let skewed = WorkloadSpec::benchmark(Benchmark::Barnes, 4)
+            .scale(0.3)
+            .zipf(0.99)
+            .build();
+        assert!(
+            head_share(&skewed) > 5.0 * head_share(&uniform),
+            "theta=0.99 must concentrate accesses on the head: skewed {} vs uniform {}",
+            head_share(&skewed),
+            head_share(&uniform)
+        );
+        // theta monotonicity: hotter theta, hotter head.
+        let hotter = WorkloadSpec::benchmark(Benchmark::Barnes, 4)
+            .scale(0.3)
+            .zipf(1.4)
+            .build();
+        assert!(head_share(&hotter) > head_share(&skewed));
+    }
+
+    #[test]
+    fn zipf_generation_is_deterministic() {
+        let a = WorkloadSpec::benchmark(Benchmark::Barnes, 2)
+            .scale(0.1)
+            .zipf(0.99)
+            .build();
+        let b = WorkloadSpec::benchmark(Benchmark::Barnes, 2)
+            .scale(0.1)
+            .zipf(0.99)
+            .build();
+        assert_eq!(a.threads, b.threads);
+        // And the skew genuinely changes the stream relative to uniform.
+        let plain = WorkloadSpec::benchmark(Benchmark::Barnes, 2)
+            .scale(0.1)
+            .build();
+        assert_ne!(a.threads, plain.threads);
     }
 
     #[test]

@@ -201,6 +201,13 @@ pub struct WorkloadSpec {
     pub syscall_every: Option<usize>,
     /// Inject monitoring-visible bugs (use-after-free, tainted jumps).
     pub inject_bugs: bool,
+    /// Zipf skew of *shared-region* address selection. `None` keeps the
+    /// historical uniform draw (byte-identical RNG sequence to older
+    /// captures); `Some(theta)` with `theta > 0` concentrates accesses on
+    /// a hot head of the shared region — the contention knob the
+    /// delta-merge benchmarks sweep (`theta ≈ 0.6` mild, `0.99` classic
+    /// YCSB-style skew).
+    pub zipf_theta: Option<f64>,
 }
 
 impl WorkloadSpec {
@@ -223,6 +230,7 @@ impl WorkloadSpec {
             malloc_every: None,
             syscall_every: Some(6000),
             inject_bugs: false,
+            zipf_theta: None,
         };
         match bench {
             Benchmark::Lu => WorkloadSpec {
@@ -328,6 +336,22 @@ impl WorkloadSpec {
     #[must_use]
     pub fn inject_bugs(mut self, inject: bool) -> Self {
         self.inject_bugs = inject;
+        self
+    }
+
+    /// Skews shared-region address selection by a Zipf distribution with
+    /// exponent `theta` (0 = uniform; larger = hotter head).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or negative `theta`.
+    #[must_use]
+    pub fn zipf(mut self, theta: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "zipf theta must be finite and non-negative"
+        );
+        self.zipf_theta = Some(theta);
         self
     }
 

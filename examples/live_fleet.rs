@@ -69,6 +69,7 @@ fn main() {
             threads,
             tso: false,
             heap: workload.heap,
+            mode: paralog::core::BackendMode::Auto,
         };
         std::thread::spawn(move || {
             let mut producer = Producer::attach(&socket, &request).expect("attach");

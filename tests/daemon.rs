@@ -89,6 +89,7 @@ fn attach_request(
         threads,
         tso: false,
         heap,
+        mode: paralog::core::BackendMode::Auto,
     }
 }
 
@@ -202,6 +203,17 @@ fn two_concurrent_sessions_match_in_process_replay() {
     assert_eq!(violation_keys_of(&status_a), violation_keys(&viol_a));
     assert_eq!(violation_keys_of(&status_b), violation_keys(&viol_b));
 
+    // STATUS surfaces the resolved backend mode and a throughput figure.
+    let mode_a = field(&status_a, "mode").expect("mode line");
+    assert!(
+        mode_a == "cas" || mode_a == "delta",
+        "mode must resolve concretely, got {mode_a:?}"
+    );
+    let _rate: f64 = field(&status_a, "records_per_sec")
+        .expect("records_per_sec line")
+        .parse()
+        .expect("throughput is numeric");
+
     // LIST sees both, finished.
     let mut ctl = Control::connect(daemon.control_socket()).unwrap();
     let listed = ctl.list().unwrap();
@@ -209,6 +221,32 @@ fn two_concurrent_sessions_match_in_process_replay() {
     drop(ctl);
     for report in daemon.shutdown() {
         report.result.expect("both sessions finished clean");
+    }
+}
+
+#[test]
+fn explicit_delta_mode_attach_matches_in_process_replay() {
+    // A producer that *asks* for delta-merge gets it (STATUS says so) and
+    // the fingerprint still matches the in-process CAS-per-access run —
+    // cross-mode parity over the daemon wire.
+    let (w, encoded, fp, viols) = capture(Benchmark::Barnes, 4, LifeguardKind::TaintCheck);
+    let daemon = spawn_daemon("delta");
+    let mut producer = Producer::attach(
+        daemon.data_socket(),
+        &AttachRequest {
+            mode: paralog::core::BackendMode::DeltaMerge,
+            ..attach_request("barnes-delta", LifeguardKind::TaintCheck, 4, w.heap)
+        },
+    )
+    .expect("delta attach accepted");
+    producer.send_capture(&encoded, 512).expect("streams");
+    let status = await_done(&daemon, producer.session_id());
+    assert_eq!(field(&status, "state").as_deref(), Some("done"));
+    assert_eq!(field(&status, "mode").as_deref(), Some("delta"));
+    assert_eq!(field(&status, "fingerprint"), Some(format!("{fp:016x}")));
+    assert_eq!(violation_keys_of(&status), violation_keys(&viols));
+    for report in daemon.shutdown() {
+        report.result.expect("delta session finished clean");
     }
 }
 
@@ -366,6 +404,7 @@ fn malformed_handshake_is_rejected_without_killing_the_daemon() {
             threads: 1,
             tso: false,
             heap,
+            mode: paralog::core::BackendMode::Auto,
         },
     )
     .expect_err("unknown lifeguard must be rejected");

@@ -360,6 +360,7 @@ fn daemon_attach_detach_churn_leaves_no_residue() {
             threads: 1,
             tso: false,
             heap,
+            mode: paralog::core::BackendMode::Auto,
         };
         let mut full = Producer::attach(
             daemon.data_socket(),

@@ -2,14 +2,15 @@
 //!
 //! Two questions, answered on real OS threads:
 //!
-//! * **`concurrent_replay` / `memcheck_replay` / `lockset_replay`** — what
-//!   does the generic [`LockedConcurrent`] fallback's mutex cost each
-//!   bundled analysis, versus its hand-written lock-free §5.3 form? Each
-//!   series replays identical fast-path-shaped per-thread streams through
-//!   both forms; the ratio is the serialization tax quoted in the PR
-//!   description / ROADMAP ([`AddrCheckConcurrent`] for the IF class,
-//!   [`MemCheckConcurrent`] for dataflow propagation,
-//!   [`LockSetConcurrent`] for the fast-path/slow-path class).
+//! * **`concurrent_replay` / `memcheck_replay` / `lockset_replay` /
+//!   `happensbefore_replay`** — what does the generic [`LockedConcurrent`]
+//!   fallback's mutex cost each bundled analysis, versus its hand-written
+//!   lock-free §5.3 form? Each series replays identical fast-path-shaped
+//!   per-thread streams through both forms; the ratio is the serialization
+//!   tax quoted in the PR description / ROADMAP ([`AddrCheckConcurrent`]
+//!   for the IF class, [`MemCheckConcurrent`] for dataflow propagation,
+//!   [`LockSetConcurrent`] and [`HappensBeforeConcurrent`] for the
+//!   fast-path/slow-path race-detection class).
 //! * **`concurrent_versions`** — what does the §5.5 produce→consume
 //!   hand-off cost through the sharded [`ConcurrentVersionTable`], both
 //!   uncontended (one thread doing the whole lifecycle, comparable with
@@ -20,6 +21,7 @@
 //! [`AddrCheckConcurrent`]: paralog_lifeguards::AddrCheckConcurrent
 //! [`MemCheckConcurrent`]: paralog_lifeguards::MemCheckConcurrent
 //! [`LockSetConcurrent`]: paralog_lifeguards::LockSetConcurrent
+//! [`HappensBeforeConcurrent`]: paralog_lifeguards::HappensBeforeConcurrent
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use paralog_events::{
@@ -27,8 +29,8 @@ use paralog_events::{
     ThreadId, VersionId,
 };
 use paralog_lifeguards::{
-    AddrCheckConcurrent, ConcurrentLifeguard, LifeguardFactory, LifeguardKind, LockSetConcurrent,
-    LockedConcurrent, MemCheckConcurrent,
+    AddrCheckConcurrent, ConcurrentLifeguard, HappensBeforeConcurrent, LifeguardFactory,
+    LifeguardKind, LockSetConcurrent, LockedConcurrent, MemCheckConcurrent,
 };
 use paralog_meta::ConcurrentVersionTable;
 use std::time::Duration;
@@ -131,6 +133,43 @@ fn lockset_stream(tid: u16) -> Vec<EventRecord> {
     recs
 }
 
+/// One thread's sync-disciplined check stream for HAPPENSBEFORE: one `Rmw`
+/// on an own per-thread sync word establishes the thread's epoch, then loads
+/// and stores inside an exclusive slab — after the first touch of each
+/// granule every access is the §5.3 fast path (same-epoch re-access, a
+/// single load-acquire), where the locked fallback's mutex is pure overhead.
+fn happensbefore_stream(tid: u16) -> Vec<EventRecord> {
+    let own_lock = paralog_lifeguards::lockset::SYNC_SPACE_START + u64::from(tid) * 64;
+    // Data space well below the sync-object region.
+    let slab = AddrRange::new(0x0100_0000 + u64::from(tid) * 0x10_000, 0x8000);
+    let mut recs = vec![EventRecord::instr(
+        Rid(1),
+        Instr::Rmw {
+            mem: MemRef::new(own_lock, 8),
+            reg: Reg(0),
+        },
+    )];
+    for i in 0..RECORDS {
+        // 32-byte (8-granule) accesses — the memcpy/struct-sweep shape —
+        // so each record is a run of FastTrack epoch checks: after the
+        // first pass all of them are same-epoch re-accesses.
+        let mem = MemRef::new(slab.start + (i * 32) % (slab.len - 32), 32);
+        let instr = if i % 2 == 0 {
+            Instr::Load {
+                dst: Reg(0),
+                src: mem,
+            }
+        } else {
+            Instr::Store {
+                dst: mem,
+                src: Reg(0),
+            }
+        };
+        recs.push(EventRecord::instr(Rid(i + 2), instr));
+    }
+    recs
+}
+
 /// Benchmarks one bundled analysis' hand-written lock-free form against the
 /// generic [`LockedConcurrent`] wrapping of the same family, over identical
 /// per-thread streams on real threads.
@@ -194,6 +233,14 @@ fn bench_concurrent_replay(c: &mut Criterion) {
         LifeguardKind::LockSet,
         &|threads| Box::new(LockSetConcurrent::new(threads)),
         lockset_stream,
+    );
+    // FastTrack epoch checks through HappensBefore.
+    bench_lockfree_vs_locked(
+        c,
+        "happensbefore_replay",
+        LifeguardKind::HappensBefore,
+        &|threads| Box::new(HappensBeforeConcurrent::new(threads)),
+        happensbefore_stream,
     );
 }
 

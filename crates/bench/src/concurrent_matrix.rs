@@ -21,8 +21,8 @@ use paralog_events::{
     SyscallKind, ThreadId,
 };
 use paralog_lifeguards::{
-    ConcurrentLifeguard, DeltaLifeguard, LifeguardKind, LockSetConcurrent, MemCheckConcurrent,
-    ReplayMode, TaintConcurrent,
+    ConcurrentLifeguard, DeltaLifeguard, HappensBeforeConcurrent, LifeguardKind, LockSetConcurrent,
+    MemCheckConcurrent, ReplayMode, TaintConcurrent,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,10 +74,11 @@ pub const PROFILES: [Profile; 3] = [
 
 /// The lifeguards with genuine delta-merge forms (AddrCheck's is a
 /// pass-through over the same CAS code, so there is nothing to compare).
-pub const KINDS: [LifeguardKind; 3] = [
+pub const KINDS: [LifeguardKind; 4] = [
     LifeguardKind::TaintCheck,
     LifeguardKind::MemCheck,
     LifeguardKind::LockSet,
+    LifeguardKind::HappensBefore,
 ];
 
 /// A fresh concurrent form of `kind` for `threads` lanes.
@@ -90,6 +91,7 @@ pub fn build_concurrent(kind: LifeguardKind, threads: usize) -> Box<dyn DeltaLif
         LifeguardKind::TaintCheck => Box::new(TaintConcurrent::new(threads)),
         LifeguardKind::MemCheck => Box::new(MemCheckConcurrent::new(threads)),
         LifeguardKind::LockSet => Box::new(LockSetConcurrent::new(threads)),
+        LifeguardKind::HappensBefore => Box::new(HappensBeforeConcurrent::new(threads)),
         other => panic!("{other:?} has no delta-merge form to benchmark"),
     }
 }
@@ -110,7 +112,13 @@ fn zipf_cdf(theta: f64) -> Vec<f64> {
 /// LOCKSET streams open by acquiring a common lock so shared accesses are
 /// consistently protected: the interesting cost is the Eraser
 /// state-machine transitions and candidate-set refinement, not an
-/// unbounded violation flood. The byte-shadow analyses open with a
+/// unbounded violation flood. HAPPENSBEFORE streams open by acquiring a
+/// *per-thread* lock word and release it on a fixed cadence, so per-thread
+/// clocks keep advancing and epoch installs stay hot (a constant clock
+/// would collapse every access into the same-epoch no-op); shared words
+/// race once, poison, and thereafter exercise the absorbing-sentinel fast
+/// path — the REPORTED bit keeps the violation flood bounded at one per
+/// word. The byte-shadow analyses open with a
 /// metadata *source* over both regions — `read()` taint for TAINTCHECK,
 /// a malloc'd-undefined heap for MEMCHECK — so the replayed accesses move
 /// nonzero metadata. Without that, every shadow store writes clean zero,
@@ -131,6 +139,10 @@ pub fn stream(kind: LifeguardKind, tid: u16, records: u64, profile: Profile) -> 
         rid += 1;
         Rid(rid)
     };
+    // HAPPENSBEFORE advances clocks through sync-space accesses (64-byte
+    // spaced lock words); each thread uses its own so replay stays
+    // deterministic without cross-stream arcs.
+    let own_lock = paralog_lifeguards::lockset::SYNC_SPACE_START + u64::from(tid) * 64;
     match kind {
         LifeguardKind::LockSet => {
             recs.push(EventRecord::ca(
@@ -142,6 +154,15 @@ pub fn stream(kind: LifeguardKind, tid: u16, records: u64, profile: Profile) -> 
                     issuer: ThreadId(tid),
                     issuer_rid: Rid(1),
                     seq: u64::MAX, // own-stream record: no cross-thread ordering
+                },
+            ));
+        }
+        LifeguardKind::HappensBefore => {
+            recs.push(EventRecord::instr(
+                next_rid(),
+                Instr::Rmw {
+                    mem: MemRef::new(own_lock, 8),
+                    reg: Reg(0),
                 },
             ));
         }
@@ -172,6 +193,18 @@ pub fn stream(kind: LifeguardKind, tid: u16, records: u64, profile: Profile) -> 
     let mut private_cursor = 0u64;
     let mut addr = slab.start;
     for i in 0..records {
+        // Clock-advance cadence: a release (sync store) every 61 records
+        // keeps HAPPENSBEFORE's epochs moving (see the stream docs).
+        if kind == LifeguardKind::HappensBefore && i % 61 == 0 {
+            recs.push(EventRecord::instr(
+                next_rid(),
+                Instr::Store {
+                    dst: MemRef::new(own_lock, 8),
+                    src: Reg(0),
+                },
+            ));
+            continue;
+        }
         let mem = if i % 2 == 0 {
             // Draw a fresh target and read it...
             addr = if rng.gen_bool(profile.shared_fraction) {

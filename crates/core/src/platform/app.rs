@@ -8,7 +8,7 @@ use paralog_events::{
     AccessKind, AddrRange, ArcList, CaPhase, CaRecord, EventRecord, HighLevelKind, Instr, MemRef,
     Op, ProduceList, Rid, ThreadId, VersionId,
 };
-use paralog_sim::sync::{barrier_flag, barrier_slot};
+use paralog_sim::sync::{barrier_flag, barrier_slot, SYNC_BASE};
 use paralog_sim::{BarrierOutcome, LockAttempt};
 
 /// Staging headroom beyond the store buffer (records held while stores are
@@ -284,6 +284,13 @@ impl<'w> Sim<'w> {
                         src: paralog_events::Reg(15),
                     },
                 );
+                // The release store must be globally visible before the next
+                // owner's RMW can succeed (it reads the unlocked value), so a
+                // TSO buffer drains here — otherwise the capture would order
+                // the handoff backwards (acquirer's RMW before the release
+                // store via a WAW arc) and order-sensitive lifeguards would
+                // miss the synchronization edge.
+                self.drain_all_stores(tid);
                 self.locks.release(lock, tid);
                 self.app[tid].buckets.exec += lat;
                 self.sched_advance_app(tid, lat);
@@ -299,6 +306,11 @@ impl<'w> Sim<'w> {
                         src: paralog_events::Reg(15),
                     },
                 );
+                // Barrier arrival is a release fence: the slot store (and
+                // every pre-barrier store) must be visible before the
+                // releaser reads the slots, or the capture would order the
+                // releaser's read before the arrival.
+                self.drain_all_stores(tid);
                 self.app[tid].buckets.exec += lat;
                 self.sched_advance_app(tid, lat);
                 match self.barriers.arrive(barrier, tid) {
@@ -329,6 +341,11 @@ impl<'w> Sim<'w> {
                                 src: paralog_events::Reg(15),
                             },
                         );
+                        // The flag store must be visible before any waiter
+                        // can read it (waiters wake on the generation bump
+                        // below); drain so their flag loads collect a proper
+                        // release→waiter arc instead of a reversed one.
+                        self.drain_all_stores(tid);
                         self.barriers.release(barrier);
                         self.app[tid].buckets.exec += total;
                         self.sched_advance_app(tid, total);
@@ -552,11 +569,18 @@ impl<'w> Sim<'w> {
                 //    versions, absorbed (IT-held) state falls back to a WAR
                 //    arc guarded by delayed advertising.
                 if touch.block_rid > touch.block_write_rid {
-                    let sc_violating = self.app[reader]
-                        .sb
-                        .as_ref()
-                        .map(|sb| sb.has_store_older_than(touch.block_rid))
-                        .unwrap_or(false);
+                    // Sync words are never version-reversed: their metadata
+                    // is lifeguard-interpreted (vector clocks), not a byte
+                    // snapshot, so order-sensitive analyses need the WAR-arc
+                    // fallback's deterministic ordering. The sync-op drain
+                    // fences make this unreachable in practice; the guard
+                    // keeps it an invariant rather than an accident.
+                    let sc_violating = store.addr < SYNC_BASE
+                        && self.app[reader]
+                            .sb
+                            .as_ref()
+                            .map(|sb| sb.has_store_older_than(touch.block_rid))
+                            .unwrap_or(false);
                     if sc_violating {
                         let versioned =
                             self.annotate_block_readers(reader, touch.block_rid, touch.block);

@@ -13,9 +13,13 @@
 //! while a forwarded load must take the pending store's metadata — the
 //! reference stashes per-store metadata in a mirror of the store buffer.
 //!
-//! LockSet is excluded: its state machine is order-sensitive between
-//! unordered (non-conflicting) accesses, so equivalent legal schedules may
-//! legitimately differ.
+//! The race lifeguards are excluded: LockSet's state machine is
+//! order-sensitive between unordered (non-conflicting) accesses, so
+//! equivalent legal schedules may legitimately differ; HappensBefore keeps
+//! word-table metadata (epochs and vector clocks) with no byte-shadow
+//! form for this oracle to mirror — its cross-backend determinism is
+//! checked by the dedicated parity suite instead
+//! (`tests/concurrent_lifeguards.rs`).
 
 use paralog_events::{AddrRange, HighLevelKind, Instr, MemRef, Rid, SyscallKind, NUM_REGS};
 use paralog_lifeguards::{Fingerprint, LifeguardKind, TAINTED, UNDEFINED};
@@ -38,16 +42,17 @@ impl Reference {
     ///
     /// # Panics
     ///
-    /// Panics for [`LifeguardKind::LockSet`] (see module docs).
+    /// Panics for the race lifeguards ([`LifeguardKind::LockSet`],
+    /// [`LifeguardKind::HappensBefore`] — see module docs).
     pub fn new(kind: LifeguardKind, threads: usize, tso: bool) -> Self {
         assert!(
-            kind != LifeguardKind::LockSet,
-            "LockSet has no order-insensitive sequential reference"
+            kind != LifeguardKind::LockSet && kind != LifeguardKind::HappensBefore,
+            "race lifeguards have no byte-shadow sequential reference"
         );
         let bits = match kind {
             LifeguardKind::TaintCheck | LifeguardKind::MemCheck => 2,
             LifeguardKind::AddrCheck => 1,
-            LifeguardKind::LockSet => unreachable!(),
+            LifeguardKind::LockSet | LifeguardKind::HappensBefore => unreachable!(),
         };
         Reference {
             kind,
@@ -78,7 +83,7 @@ impl Reference {
                 self.dataflow_instr(tid, rid, instr)
             }
             LifeguardKind::AddrCheck => { /* checks do not mutate metadata */ }
-            LifeguardKind::LockSet => unreachable!(),
+            LifeguardKind::LockSet | LifeguardKind::HappensBefore => unreachable!(),
         }
     }
 
@@ -337,8 +342,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "LockSet")]
+    #[should_panic(expected = "race lifeguards")]
     fn lockset_reference_rejected() {
         let _ = Reference::new(LifeguardKind::LockSet, 1, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "race lifeguards")]
+    fn happensbefore_reference_rejected() {
+        let _ = Reference::new(LifeguardKind::HappensBefore, 1, false);
     }
 }

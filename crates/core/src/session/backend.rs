@@ -121,7 +121,12 @@ fn run_deterministic(
     // The in-line sequential reference exists only for the bundled analyses
     // (it is a re-implementation keyed by kind).
     let reference = match shorthand {
-        Some(kind) if config.check_equivalence && monitored && kind != LifeguardKind::LockSet => {
+        Some(kind)
+            if config.check_equivalence
+                && monitored
+                && kind != LifeguardKind::LockSet
+                && kind != LifeguardKind::HappensBefore =>
+        {
             Some(Reference::new(kind, k, config.machine_for(k).is_tso()))
         }
         _ => None,

@@ -31,7 +31,7 @@ use paralog_core::{
     CoopLane, CoopSession, EventSource, LaneStep, RunMetrics, SessionError, SourceInput,
     StreamingReplaySource,
 };
-use paralog_lifeguards::{LifeguardRegistry, ReplayMode, SessionEventObserver};
+use paralog_lifeguards::{LifeguardRegistry, MetadataShape, ReplayMode, SessionEventObserver};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -133,6 +133,12 @@ struct SessionEntry {
     /// The replay mode the session's lanes resolved to (an `Auto` request
     /// lands on whatever the lifeguard's factory preferred).
     mode: ReplayMode,
+    /// The metadata substrate the lifeguard replays on, straight from its
+    /// factory's
+    /// [`metadata_shape`](paralog_lifeguards::LifeguardFactory::metadata_shape) —
+    /// `STATUS` surfaces it so operators can see which tier a session's
+    /// footprint lives in.
+    shape: MetadataShape,
     /// When the handshake completed — the denominator of the
     /// applied-record throughput `STATUS` reports.
     attached_at: Instant,
@@ -322,6 +328,7 @@ impl DaemonInner {
             threads: req.threads,
             tso: req.tso,
             mode: session.mode(),
+            shape: factory.metadata_shape(),
             attached_at: Instant::now(),
             session: Mutex::new(Some(session.clone())),
             feeds: Mutex::new(writers),
@@ -873,6 +880,7 @@ fn status_lines(entry: &Arc<SessionEntry>) -> Vec<String> {
         format!("threads {}", entry.threads),
         format!("tso {}", u8::from(entry.tso)),
         format!("mode {}", entry.mode),
+        format!("metadata {}", entry.shape),
         format!("state {}", entry.state()),
         format!("buffered_bytes {}", entry.buffered.bytes()),
     ];

@@ -11,12 +11,12 @@
 //! * [`LifeguardFactory`] — builds a family for a run. Out-of-tree analyses
 //!   implement this (plus [`Lifeguard`]) and register; nothing in the
 //!   platform is edited;
-//! * [`LifeguardRegistry`] — name → factory resolution. The four bundled
+//! * [`LifeguardRegistry`] — name → factory resolution. The five bundled
 //!   analyses are pre-registered (each [`LifeguardKind`] *is* a factory;
 //!   the enum survives purely as shorthand for them).
 //!
 //! A factory may additionally provide a [`ConcurrentLifeguard`], the
-//! `Send + Sync` replay form the real-thread backend drives. All four
+//! `Send + Sync` replay form the real-thread backend drives. All five
 //! bundled analyses ship hand-written §5.3 forms: TaintCheck and AddrCheck
 //! are synchronization-free over an
 //! [`AtomicShadow`](paralog_meta::AtomicShadow); MemCheck and LockSet run a
@@ -29,6 +29,7 @@
 //! fallback with a one-line override.
 
 use crate::addrcheck::{AddrCheck, AddrCheckConcurrent, AddrShared};
+use crate::happensbefore::{HappensBefore, HappensBeforeConcurrent, HbShared};
 use crate::lifeguard::{Lifeguard, Violation};
 use crate::lockset::{LockSet, LockSetConcurrent, LockSetShared};
 use crate::memcheck::{MemCheck, MemCheckConcurrent, MemShared};
@@ -52,15 +53,19 @@ pub enum LifeguardKind {
     MemCheck,
     /// Eraser-style data-race detection (fast/slow path atomicity).
     LockSet,
+    /// FastTrack-style happens-before race detection (packed epochs with
+    /// read vector clocks on the interned wide-word tier).
+    HappensBefore,
 }
 
 impl LifeguardKind {
-    /// All four bundled analyses.
-    pub const ALL: [LifeguardKind; 4] = [
+    /// All five bundled analyses.
+    pub const ALL: [LifeguardKind; 5] = [
         LifeguardKind::TaintCheck,
         LifeguardKind::AddrCheck,
         LifeguardKind::MemCheck,
         LifeguardKind::LockSet,
+        LifeguardKind::HappensBefore,
     ];
 
     /// The registry name of this bundled analysis.
@@ -70,6 +75,7 @@ impl LifeguardKind {
             LifeguardKind::AddrCheck => "AddrCheck",
             LifeguardKind::MemCheck => "MemCheck",
             LifeguardKind::LockSet => "LockSet",
+            LifeguardKind::HappensBefore => "HappensBefore",
         }
     }
 }
@@ -210,6 +216,43 @@ pub trait LifeguardFactory: fmt::Debug + Send + Sync {
     fn builtin_kind(&self) -> Option<LifeguardKind> {
         None
     }
+
+    /// The shape of this analysis' shared metadata — what substrate its
+    /// concurrent forms replay on. Purely descriptive: `Auto`-mode selection
+    /// reports it alongside the chosen replay mode, and the daemon `STATUS`
+    /// line surfaces it per session so operators can see which tier a
+    /// lifeguard's footprint lives in. Defaults to the byte shadow, the
+    /// common case for out-of-tree analyses.
+    fn metadata_shape(&self) -> MetadataShape {
+        MetadataShape::ByteShadow
+    }
+}
+
+/// The metadata substrate a lifeguard's concurrent forms replay on
+/// (see [`LifeguardFactory::metadata_shape`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetadataShape {
+    /// Per-byte shadow over [`AtomicShadow`](paralog_meta::AtomicShadow)
+    /// (TaintCheck, AddrCheck, MemCheck).
+    ByteShadow,
+    /// One packed word per granule over a
+    /// [`PackedWordTable`](paralog_meta::PackedWordTable); every state fits
+    /// the word (LockSet before the wide tier existed).
+    PackedWord,
+    /// Packed words with an interned wide-value spill tier — a
+    /// [`WordTable`](paralog_meta::WordTable) (LockSet's candidate masks,
+    /// HappensBefore's read vector clocks).
+    WideWord,
+}
+
+impl fmt::Display for MetadataShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MetadataShape::ByteShadow => "byte-shadow",
+            MetadataShape::PackedWord => "packed-word",
+            MetadataShape::WideWord => "wide-word",
+        })
+    }
 }
 
 /// How a concurrent backend publishes metadata writes.
@@ -264,21 +307,29 @@ impl LifeguardFactory for LifeguardKind {
                     Box::new(LockSet::new(Rc::clone(&shared), tid))
                 })
             }
+            LifeguardKind::HappensBefore => {
+                let shared = HbShared::new();
+                LifeguardFamily::from_constructor(self.name(), move |tid| {
+                    Box::new(HappensBefore::new(Rc::clone(&shared), tid))
+                })
+            }
         }
     }
 
     fn concurrent(&self, heap: AddrRange, threads: usize) -> Option<Box<dyn ConcurrentLifeguard>> {
-        // All four bundled analyses ship hand-written §5.3 forms: TaintCheck
-        // and AddrCheck are synchronization-free outright, MemCheck and
-        // LockSet run a lock-free fast path with a mutex-guarded slow path
-        // for their rare structural events (wholesale malloc/free rewrites,
-        // lockset interning). None pays the generic
-        // [`LockedConcurrent`](crate::LockedConcurrent) serialization tax.
+        // All five bundled analyses ship hand-written §5.3 forms: TaintCheck
+        // and AddrCheck are synchronization-free outright; MemCheck,
+        // LockSet, and HappensBefore run a lock-free fast path with a
+        // mutex-guarded slow path for their rare structural events
+        // (wholesale malloc/free rewrites, wide-word interning). None pays
+        // the generic [`LockedConcurrent`](crate::LockedConcurrent)
+        // serialization tax.
         match self {
             LifeguardKind::TaintCheck => Some(Box::new(TaintConcurrent::new(threads))),
             LifeguardKind::AddrCheck => Some(Box::new(AddrCheckConcurrent::new(heap))),
             LifeguardKind::MemCheck => Some(Box::new(MemCheckConcurrent::new(threads))),
             LifeguardKind::LockSet => Some(Box::new(LockSetConcurrent::new(threads))),
+            LifeguardKind::HappensBefore => Some(Box::new(HappensBeforeConcurrent::new(threads))),
         }
     }
 
@@ -292,6 +343,7 @@ impl LifeguardFactory for LifeguardKind {
             LifeguardKind::AddrCheck => Some(Box::new(AddrCheckConcurrent::new(heap))),
             LifeguardKind::MemCheck => Some(Box::new(MemCheckConcurrent::new(threads))),
             LifeguardKind::LockSet => Some(Box::new(LockSetConcurrent::new(threads))),
+            LifeguardKind::HappensBefore => Some(Box::new(HappensBeforeConcurrent::new(threads))),
         }
     }
 
@@ -299,13 +351,14 @@ impl LifeguardFactory for LifeguardKind {
         // Thresholds read off the checked-in BENCH_concurrent.json matrix
         // (regenerate with `cargo run --release -p paralog-bench --bin
         // bench_concurrent`). MemCheck is the only analysis whose delta form
-        // wins there — delta/cas 0.92–0.93 across every 16-worker profile,
-        // but roughly parity (1.04–1.14) at 8 workers, so the switch-over
+        // wins there — delta/cas 0.86–1.02 across the 16-worker profiles,
+        // but a slight loss (0.95–1.04) at 8 workers, so the switch-over
         // sits at 16. TaintCheck's per-access work is too cheap to amortize
-        // the overlay (1.13–1.27 everywhere), LockSet buffers whole granule
-        // states per access and loses outright (1.45–2.10), and AddrCheck's
-        // replay writes metadata only on rare CA events — nothing to buffer.
-        // All three stay CAS-per-access at every measured point.
+        // the overlay (1.02–1.21 everywhere), LockSet and HappensBefore
+        // buffer whole granule words per access and lose outright (LockSet
+        // 1.50–1.82, HappensBefore 1.54–1.66), and AddrCheck's replay
+        // writes metadata only on rare CA events — nothing to buffer. All
+        // four stay CAS-per-access at every measured point.
         match self {
             LifeguardKind::MemCheck if threads >= 16 => ReplayMode::DeltaMerge,
             _ => ReplayMode::CasPerAccess,
@@ -314,6 +367,15 @@ impl LifeguardFactory for LifeguardKind {
 
     fn builtin_kind(&self) -> Option<LifeguardKind> {
         Some(*self)
+    }
+
+    fn metadata_shape(&self) -> MetadataShape {
+        match self {
+            LifeguardKind::TaintCheck | LifeguardKind::AddrCheck | LifeguardKind::MemCheck => {
+                MetadataShape::ByteShadow
+            }
+            LifeguardKind::LockSet | LifeguardKind::HappensBefore => MetadataShape::WideWord,
+        }
     }
 }
 
@@ -547,7 +609,7 @@ pub trait DeltaLifeguard: ConcurrentLifeguard {
 
 /// Name → factory resolution for monitoring sessions.
 ///
-/// `builtin()` pre-registers the four bundled analyses; `register` adds
+/// `builtin()` pre-registers the five bundled analyses; `register` adds
 /// out-of-tree factories (later registrations of the same name win, so a
 /// custom analysis may shadow a bundled one).
 #[derive(Debug, Clone)]
@@ -556,7 +618,7 @@ pub struct LifeguardRegistry {
 }
 
 impl LifeguardRegistry {
-    /// A registry with only the four bundled analyses.
+    /// A registry with only the five bundled analyses.
     pub fn builtin() -> Self {
         let mut reg = LifeguardRegistry::empty();
         for kind in LifeguardKind::ALL {
@@ -674,7 +736,7 @@ mod tests {
         let mut reg = LifeguardRegistry::builtin();
         assert!(reg.get("AddrCheck").is_some());
         assert!(reg.get("NoSuchAnalysis").is_none());
-        assert_eq!(reg.names().len(), 4);
+        assert_eq!(reg.names().len(), 5);
 
         reg.register(Custom);
         let fam = reg.get("TaintCheck").unwrap().build(HEAP);
@@ -742,6 +804,7 @@ mod tests {
             LifeguardKind::AddrCheck,
             LifeguardKind::TaintCheck,
             LifeguardKind::LockSet,
+            LifeguardKind::HappensBefore,
         ] {
             assert_eq!(kind.preferred_mode(16), ReplayMode::CasPerAccess);
         }
@@ -807,5 +870,37 @@ mod tests {
     fn display_names() {
         assert_eq!(LifeguardKind::TaintCheck.to_string(), "TaintCheck");
         assert_eq!(LifeguardKind::LockSet.to_string(), "LockSet");
+        assert_eq!(LifeguardKind::HappensBefore.to_string(), "HappensBefore");
+    }
+
+    #[test]
+    fn metadata_shapes_describe_the_substrate() {
+        assert_eq!(
+            LifeguardKind::TaintCheck.metadata_shape(),
+            MetadataShape::ByteShadow
+        );
+        assert_eq!(
+            LifeguardKind::LockSet.metadata_shape(),
+            MetadataShape::WideWord
+        );
+        assert_eq!(
+            LifeguardKind::HappensBefore.metadata_shape(),
+            MetadataShape::WideWord
+        );
+        assert_eq!(MetadataShape::ByteShadow.to_string(), "byte-shadow");
+        assert_eq!(MetadataShape::PackedWord.to_string(), "packed-word");
+        assert_eq!(MetadataShape::WideWord.to_string(), "wide-word");
+        // Out-of-tree factories default to the byte shadow.
+        #[derive(Debug)]
+        struct Shapeless;
+        impl LifeguardFactory for Shapeless {
+            fn name(&self) -> &str {
+                "Shapeless"
+            }
+            fn build(&self, heap: AddrRange) -> LifeguardFamily {
+                LifeguardKind::MemCheck.build(heap)
+            }
+        }
+        assert_eq!(Shapeless.metadata_shape(), MetadataShape::ByteShadow);
     }
 }

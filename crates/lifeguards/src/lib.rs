@@ -11,6 +11,9 @@
 //!   IT conflicts);
 //! * [`LockSet`] — Eraser-style race detection (the §5.3 example of a
 //!   lifeguard needing the fast-path/slow-path atomicity split);
+//! * [`HappensBefore`] — FastTrack-style happens-before race detection
+//!   (packed epochs with read vector clocks on the interned wide-word
+//!   tier);
 //!
 //! plus the [`Lifeguard`] trait they implement, the declarative
 //! [`LifeguardSpec`] the platform wires accelerators from, and the calibrated
@@ -18,7 +21,8 @@
 //!
 //! Each bundled analysis also ships a hand-written lock-free
 //! [`ConcurrentLifeguard`] form for real-thread replay ([`TaintConcurrent`],
-//! [`AddrCheckConcurrent`], [`MemCheckConcurrent`], [`LockSetConcurrent`]) —
+//! [`AddrCheckConcurrent`], [`MemCheckConcurrent`], [`LockSetConcurrent`],
+//! [`HappensBeforeConcurrent`]) —
 //! §5.3's synchronization-free fast paths, with mutex-guarded slow paths
 //! only for rare structural events. Out-of-tree analyses start with the
 //! generic [`LockedConcurrent`] adapter and graduate the same way (see
@@ -49,18 +53,22 @@
 pub mod addrcheck;
 pub mod cost;
 pub mod factory;
+pub mod happensbefore;
 pub mod lifeguard;
 pub mod locked;
 pub mod lockset;
 pub mod memcheck;
 pub mod taintcheck;
+pub mod wordmeta;
 
 pub use addrcheck::{AddrCheck, AddrCheckConcurrent, AddrShared, ALLOCATED};
 pub use cost::CostModel;
 pub use factory::{
     ConcurrentLifeguard, DeltaLifeguard, LifeguardFactory, LifeguardFamily, LifeguardKind,
-    LifeguardRegistry, ReplayMode, SessionEvent, SessionEventObserver, VersionedMeta,
+    LifeguardRegistry, MetadataShape, ReplayMode, SessionEvent, SessionEventObserver,
+    VersionedMeta,
 };
+pub use happensbefore::{HappensBefore, HappensBeforeConcurrent, HbShared, HbWide};
 pub use lifeguard::{
     join_atomic_shadow, snapshot_byte, snapshot_coverage, AtomicityClass, EventView, Fingerprint,
     HandlerCtx, Lifeguard, LifeguardSpec, SnapshotCoverage, Violation, ViolationKind,
@@ -69,3 +77,4 @@ pub use locked::LockedConcurrent;
 pub use lockset::{LockSet, LockSetConcurrent, LockSetShared, VarState};
 pub use memcheck::{MemCheck, MemCheckConcurrent, MemShared, UNDEFINED};
 pub use taintcheck::{TaintCheck, TaintConcurrent, TaintShared, TAINTED};
+pub use wordmeta::{apply_delta_via_overlay, flush_delta_via_overlay, WordAnalysis, WordOverlay};

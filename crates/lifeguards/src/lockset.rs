@@ -16,16 +16,17 @@ use crate::lifeguard::{
     AtomicityClass, EventView, Fingerprint, HandlerCtx, Lifeguard, LifeguardSpec, Violation,
     ViolationKind,
 };
+use crate::wordmeta::{WordAnalysis, WordOverlay};
 use paralog_events::{
-    check_view, AddrRange, CaPhase, CaRecord, EventPayload, EventRecord, HighLevelKind, MetaOp,
-    Rid, ThreadId,
+    check_view, AccessKind, AddrRange, CaPhase, CaRecord, EventPayload, EventRecord, HighLevelKind,
+    MemRef, MetaOp, Rid, ThreadId,
 };
-use paralog_meta::{AtomicWordTable, LaneCell, WordDelta};
+use paralog_meta::{WordTable, MAX_WIDE_IDS};
 use paralog_order::CaPolicy;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Eraser's per-variable state machine.
@@ -220,7 +221,7 @@ impl Lifeguard for LockSet {
 }
 
 /// Packed-entry state codes for the concurrent form (bits 0–1 of the
-/// [`AtomicWordTable`] word). The all-zero word is reserved for
+/// packed [`WordTable`] word). The all-zero word is reserved for
 /// never-touched keys, so `Virgin` *is* 0 and every real state is non-zero.
 const S_VIRGIN: u64 = 0;
 const S_EXCLUSIVE: u64 = 1;
@@ -240,231 +241,14 @@ fn pack(state: u64, owner: u16, set_id: u32, reported: bool) -> u64 {
         | (u64::from(set_id) << SET_SHIFT)
 }
 
-/// Interns candidate lock *masks* into dense u32 ids so one packed
-/// [`AtomicWordTable`] word can carry Eraser's whole per-variable state.
-///
-/// Interning is the §5.3 **slow path** — it runs only when an access
-/// actually refines a candidate set (a metadata write) — while `id → mask`
-/// resolution is a lock-free atomic read the fast path may take on every
-/// access. Id 0 is pre-interned to the full set (`u64::MAX`), the
-/// candidates of a virgin variable.
-///
-/// # Reclamation and degradation (unbounded uptime)
-///
-/// Ids are **reference-counted and reusable**: every table entry in a
-/// shared state holds one reference on its set id, moved by the entry CAS
-/// (acquire the new id before publishing, release the old one after — see
-/// [`LockSetConcurrent::check_granule`]). An id whose count reaches zero is
-/// queued, stamped with the current epoch, and freed only once every live
-/// worker has crossed a later batch boundary
-/// ([`boundary`](Self::boundary)) — the quiescence gate that makes id reuse
-/// safe against mid-record readers holding a stale entry word: such a
-/// reader's id cannot be recycled under it, and its CAS necessarily fails
-/// anyway (the entry changed when the id was released). Acquisition
-/// happens *inside* the intern mutex, so the free-time `refs == 0` re-check
-/// cannot race a revival.
-///
-/// When the id space is genuinely full — `MAX_MASKS` masks all still
-/// referenced — [`intern_acquire`](Self::intern_acquire) **saturates** to
-/// id 0 (the full set) instead of failing: candidate sets are then
-/// over-approximated for the affected variables, which can only *suppress*
-/// race reports (a false negative), never fabricate one. The degradation
-/// is latched and surfaced once per session as a
-/// [`SessionEvent::DegradedPrecision`](crate::SessionEvent).
-#[derive(Debug)]
-struct MaskInterner {
-    /// id → mask; valid while the id is live, rewritten on reuse. Published
-    /// (store-release inside the mutex) before the id escapes.
-    masks: Box<[AtomicU64]>,
-    /// id → number of table entries currently holding the id. Id 0 is
-    /// permanent and never counted.
-    refs: Box<[AtomicU32]>,
-    /// mask → id map, allocation state, and the pending-free queue, behind
-    /// the slow-path lock.
-    state: Mutex<InternerState>,
-    /// The global quiescence clock, bumped by every worker boundary.
-    epoch: AtomicU64,
-    /// Per-worker epoch at its last batch boundary (`u64::MAX` once the
-    /// worker's stream ended: it holds no stale reads and must not gate
-    /// frees forever).
-    worker_epochs: Box<[AtomicU64]>,
-    /// Latched on first saturation; read by the session-event surface.
-    saturated: AtomicBool,
-}
-
-#[derive(Debug)]
-struct InternerState {
-    map: HashMap<u64, u32>,
-    /// Next never-used id; allocation prefers the free list.
-    next: u32,
-    free: Vec<u32>,
-    /// (id, epoch it was queued in): freeable once every live worker's
-    /// epoch exceeds the stamp and the count is still zero.
-    pending: Vec<(u32, u64)>,
-    /// id → already in `pending` (bounds queue growth under churn).
-    queued: Vec<bool>,
-    /// High-water mark of live ids (soak diagnostics).
-    peak_live: usize,
-}
-
-/// Distinct candidate masks live at once. Masks are intersections of
-/// per-thread held-lock sets (≤ 64 locks), so real workloads stay far
-/// below this; adversarial ones saturate gracefully instead of dying.
-const MAX_MASKS: usize = 1 << 16;
-
-impl MaskInterner {
-    fn new(workers: usize) -> Self {
-        let mut map = HashMap::new();
-        map.insert(u64::MAX, 0u32);
-        let masks: Box<[AtomicU64]> = (0..MAX_MASKS).map(|_| AtomicU64::new(0)).collect();
-        masks[0].store(u64::MAX, Ordering::Relaxed);
-        MaskInterner {
-            masks,
-            refs: (0..MAX_MASKS).map(|_| AtomicU32::new(0)).collect(),
-            state: Mutex::new(InternerState {
-                map,
-                next: 1,
-                free: Vec::new(),
-                pending: Vec::new(),
-                queued: vec![false; MAX_MASKS],
-                peak_live: 1,
-            }),
-            epoch: AtomicU64::new(0),
-            worker_epochs: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
-            saturated: AtomicBool::new(false),
-        }
-    }
-
-    /// The mask behind a live id (lock-free: masks are published before the
-    /// id escapes the mutex, and quiescence keeps an observed id's slot
-    /// stable until the observer's next boundary).
-    fn mask(&self, id: u32) -> u64 {
-        self.masks[id as usize].load(Ordering::Acquire)
-    }
-
-    /// The id for `mask` with one reference acquired for the caller, who
-    /// must either publish it into a table entry or
-    /// [`release`](Self::release) it. Interns
-    /// the mask if new; saturates to the full-set id 0 when the id space is
-    /// exhausted.
-    fn intern_acquire(&self, mask: u64) -> u32 {
-        let mut state = self.state.lock().expect("poisoned");
-        if let Some(&id) = state.map.get(&mask) {
-            if id != 0 {
-                self.refs[id as usize].fetch_add(1, Ordering::Relaxed);
-            }
-            return id;
-        }
-        let Some(id) = state.free.pop().or_else(|| {
-            ((state.next as usize) < MAX_MASKS).then(|| {
-                state.next += 1;
-                state.next - 1
-            })
-        }) else {
-            // Exhausted: over-approximate with the full set. Sound (a
-            // superset can only suppress reports), latched for the
-            // session-event surface.
-            self.saturated.store(true, Ordering::Release);
-            return 0;
-        };
-        // Publish the mask *before* the id escapes the lock, so concurrent
-        // `mask()` readers of a CAS-published entry always resolve it.
-        self.masks[id as usize].store(mask, Ordering::Release);
-        self.refs[id as usize].store(1, Ordering::Relaxed);
-        state.map.insert(mask, id);
-        state.peak_live = state.peak_live.max(state.map.len());
-        id
-    }
-
-    /// Drops one reference on `id`; a count that reaches zero queues the id
-    /// for an epoch-gated free.
-    fn release(&self, id: u32) {
-        if id == 0 {
-            return;
-        }
-        if self.refs[id as usize].fetch_sub(1, Ordering::Release) != 1 {
-            return;
-        }
-        let mut state = self.state.lock().expect("poisoned");
-        // Re-check under the mutex: a concurrent intern_acquire may have
-        // revived the id between our decrement and the lock.
-        if !state.queued[id as usize] && self.refs[id as usize].load(Ordering::Relaxed) == 0 {
-            state.queued[id as usize] = true;
-            let epoch = self.epoch.load(Ordering::Relaxed);
-            state.pending.push((id, epoch));
-        }
-    }
-
-    /// Worker `w` crossed a stream batch boundary: no record application is
-    /// in flight on it, so any entry word it read earlier is stale by
-    /// contract. Advances the quiescence clock and frees every pending id
-    /// all live workers have quiesced past.
-    fn boundary(&self, w: usize) {
-        let now = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        if let Some(slot) = self.worker_epochs.get(w) {
-            slot.store(now, Ordering::Release);
-        }
-        self.process_pending();
-    }
-
-    /// Worker `w`'s stream ended: it will never read another entry, so it
-    /// must not gate reclamation.
-    fn retire_worker(&self, w: usize) {
-        if let Some(slot) = self.worker_epochs.get(w) {
-            slot.store(u64::MAX, Ordering::Release);
-        }
-        self.process_pending();
-    }
-
-    fn process_pending(&self) {
-        let min_active = self
-            .worker_epochs
-            .iter()
-            .map(|e| e.load(Ordering::Acquire))
-            .min()
-            .unwrap_or(u64::MAX);
-        let mut state = self.state.lock().expect("poisoned");
-        let mut keep = Vec::new();
-        for (id, stamped) in std::mem::take(&mut state.pending) {
-            if stamped >= min_active {
-                keep.push((id, stamped));
-                continue;
-            }
-            state.queued[id as usize] = false;
-            if self.refs[id as usize].load(Ordering::Acquire) == 0 {
-                let mask = self.masks[id as usize].load(Ordering::Relaxed);
-                let removed = state.map.remove(&mask);
-                debug_assert_eq!(removed, Some(id), "map/slot coherence");
-                state.free.push(id);
-            }
-            // A non-zero count means the id was revived through the map; it
-            // re-queues if it ever drops to zero again.
-        }
-        state.pending = keep;
-    }
-
-    /// Live interned masks (including the permanent full set).
-    fn live(&self) -> usize {
-        self.state.lock().expect("poisoned").map.len()
-    }
-
-    /// High-water mark of [`live`](Self::live).
-    fn peak_live(&self) -> usize {
-        self.state.lock().expect("poisoned").peak_live
-    }
-
-    fn is_saturated(&self) -> bool {
-        self.saturated.load(Ordering::Acquire)
-    }
-}
-
 /// The `Send + Sync` replay form of LOCKSET driven by the real-thread
 /// backend: the §5.3 **fast-path/slow-path split** made concrete for the
 /// paper's canonical condition-2 violator.
 ///
 /// Each variable's whole Eraser state — state machine code, owning thread,
 /// `reported` flag and an *interned* candidate-lockset id — packs into one
-/// word of an [`AtomicWordTable`]. The common case (a same-thread re-access
+/// fast-path word of a [`WordTable`], with the masks themselves interned
+/// into its wide tier. The common case (a same-thread re-access
 /// in `Exclusive` state, or a read that refines nothing) is a single
 /// load-acquire: no store, no lock, nothing for another worker to contend
 /// on. A transition that must write metadata publishes the recomputed word
@@ -477,18 +261,19 @@ impl MaskInterner {
 /// metadata, and the `reported` bit makes the once-per-variable race report
 /// exact even when unordered reads race to observe the empty set.
 pub struct LockSetConcurrent {
-    /// word-granule index → packed Eraser state.
-    words: AtomicWordTable,
-    interner: MaskInterner,
+    /// word-granule index → packed Eraser state, with candidate masks
+    /// interned into the wide tier (`u64` wide values: the mask *is* the
+    /// wide state).
+    words: WordTable<u64>,
     /// Locks currently held per monitored thread. Thread-private by the
     /// backend's contract (each stream's records are applied only by the
     /// worker owning it), so relaxed atomics suffice — no lock on the
     /// per-access read.
     held: Vec<std::sync::atomic::AtomicU64>,
     /// Per-worker delta-merge overlays (granule index → buffered Eraser
-    /// transition), published by CAS at flush points. Worker-private by the
-    /// backend's contract, hence a [`LaneCell`] — no per-access locked RMWs.
-    deltas: Vec<LaneCell<WordDelta<GranuleDelta>>>,
+    /// transition), published by CAS at flush points through the generic
+    /// [`WordAnalysis`] adapter.
+    overlay: WordOverlay<GranuleDelta>,
     violations: Mutex<Vec<Violation>>,
     /// Incremental session-event receiver (live daemon feeds); invoked once
     /// when saturation first latches.
@@ -513,14 +298,11 @@ impl LockSetConcurrent {
     /// incrementally — no footprint pre-scan.
     pub fn new(threads: usize) -> Self {
         LockSetConcurrent {
-            words: AtomicWordTable::new(),
-            interner: MaskInterner::new(threads),
+            words: WordTable::new(threads),
             held: (0..threads)
                 .map(|_| std::sync::atomic::AtomicU64::new(0))
                 .collect(),
-            deltas: (0..threads)
-                .map(|_| LaneCell::new(WordDelta::new()))
-                .collect(),
+            overlay: WordOverlay::new(threads),
             violations: Mutex::new(Vec::new()),
             observer: Mutex::new(None),
             observer_notified: AtomicBool::new(false),
@@ -534,7 +316,7 @@ impl LockSetConcurrent {
         crate::SessionEvent::DegradedPrecision {
             lifeguard: "LockSet",
             detail: format!(
-                "mask interner exhausted ({MAX_MASKS} live candidate masks); \
+                "mask interner exhausted ({MAX_WIDE_IDS} live candidate masks); \
                  further refinements saturate to the full set (reports stay \
                  sound, some races may go unreported)"
             ),
@@ -546,7 +328,8 @@ impl LockSetConcurrent {
     /// (the only place saturation can newly occur); the check is one
     /// acquire load on a path that already took the interner mutex.
     fn note_saturation(&self) {
-        if self.interner.is_saturated() && !self.observer_notified.swap(true, Ordering::AcqRel) {
+        if self.words.wide().is_saturated() && !self.observer_notified.swap(true, Ordering::AcqRel)
+        {
             if let Some(observer) = self.observer.lock().expect("poisoned").as_ref() {
                 observer(&Self::degraded_event());
             }
@@ -555,15 +338,14 @@ impl LockSetConcurrent {
 
     /// One Eraser transition from entry word `cur` — the single state
     /// machine behind both replay forms ([`check_granule`]'s CAS loop and
-    /// the delta-merge overlay of [`delta_granule`]), which is what makes
-    /// the modes agree bit-for-bit by construction.
+    /// the delta-merge overlay fold of [`WordAnalysis::fold_access`]),
+    /// which is what makes the modes agree bit-for-bit by construction.
     ///
     /// Returns the successor word (without the report bit), the set id
     /// acquired for it (the caller must publish or release it), and the
     /// mask behind the successor's candidate set.
     ///
     /// [`check_granule`]: Self::check_granule
-    /// [`delta_granule`]: Self::delta_granule
     fn step_word(
         &self,
         cur: u64,
@@ -583,12 +365,14 @@ impl LockSetConcurrent {
             S_EXCLUSIVE if owner == tid.0 => (cur, u64::MAX), // pure fast path
             S_EXCLUSIVE => {
                 let next = if writes { S_SHARED_MOD } else { S_SHARED };
-                let id = self.interner.intern_acquire(held);
+                let id = self.words.wide().intern_acquire(held);
                 self.note_saturation();
                 acquired = Some(id);
+                // SAFETY: we hold a reference on `id` (just acquired), so
+                // its slot cannot be reclaimed under us.
                 (
                     pack(next, 0, id, reported),
-                    self.interner.mask(id), // saturation may widen held
+                    unsafe { self.words.wide().value(id) }, // saturation may widen held
                 )
             }
             S_SHARED | S_SHARED_MOD => {
@@ -597,15 +381,19 @@ impl LockSetConcurrent {
                 } else {
                     S_SHARED
                 };
-                let candidates = self.interner.mask(set_id);
+                // SAFETY: `set_id` came from an entry word this worker read
+                // after its last epoch boundary; quiescence keeps the slot
+                // stable until the worker's next boundary.
+                let candidates = unsafe { self.words.wide().value(set_id) };
                 let refined = candidates & held;
                 let (id, mask) = if refined == candidates {
                     (set_id, candidates) // no refinement: fast path when state holds too
                 } else {
-                    let id = self.interner.intern_acquire(refined);
+                    let id = self.words.wide().intern_acquire(refined);
                     self.note_saturation();
                     acquired = Some(id);
-                    (id, self.interner.mask(id))
+                    // SAFETY: reference held on the just-acquired `id`.
+                    (id, unsafe { self.words.wide().value(id) })
                 };
                 (pack(next, 0, id, reported), mask)
             }
@@ -635,7 +423,7 @@ impl LockSetConcurrent {
             let next = if report { next | REPORTED_BIT } else { next };
             if next == cur {
                 if let Some(id) = acquired {
-                    self.interner.release(id);
+                    self.words.wide().release(id);
                 }
                 return; // §5.3 fast path: one load-acquire, no store
             }
@@ -646,10 +434,10 @@ impl LockSetConcurrent {
                         // The displaced id lost its entry's reference. (An
                         // id acquired and published is *kept*: the entry
                         // owns it now.)
-                        self.interner.release(set_id);
+                        self.words.wide().release(set_id);
                     } else if let Some(id) = acquired {
                         debug_assert_eq!(id, set_id);
-                        self.interner.release(id);
+                        self.words.wide().release(id);
                     }
                     if report {
                         // The CAS winner owns the report: exactly one per
@@ -667,7 +455,7 @@ impl LockSetConcurrent {
                 // variable: recompute from its published state.
                 Err(_) => {
                     if let Some(id) = acquired {
-                        self.interner.release(id);
+                        self.words.wide().release(id);
                     }
                     continue;
                 }
@@ -675,30 +463,101 @@ impl LockSetConcurrent {
         }
     }
 
-    /// Delta-merge per-access path: the same [`step_word`] transition as
-    /// [`check_granule`], applied to the worker-private overlay word
-    /// instead of CAS-published.
-    ///
-    /// [`step_word`]: Self::step_word
-    /// [`check_granule`]: Self::check_granule
-    fn delta_granule(
-        &self,
-        delta: &mut WordDelta<GranuleDelta>,
-        key: u64,
-        writes: bool,
-        held: u64,
-        tid: ThreadId,
-        rid: Rid,
-    ) {
-        let entry = delta.get_or_insert_with(key, || GranuleDelta {
+    /// Interned candidate masks currently live (soak/bench diagnostic).
+    pub fn interned_masks(&self) -> usize {
+        self.words.wide().live()
+    }
+
+    /// High-water mark of [`interned_masks`](Self::interned_masks).
+    pub fn peak_interned_masks(&self) -> usize {
+        self.words.wide().peak_live()
+    }
+
+    /// Whether the interner has saturated to the conservative full set at
+    /// least once this session.
+    pub fn degraded(&self) -> bool {
+        self.words.wide().is_saturated()
+    }
+}
+
+/// One granule's buffered Eraser transition in the delta-merge replay form.
+///
+/// The worker applies its accesses *eagerly* against the private `current`
+/// word — the same `LockSetConcurrent::step_word` machine as the shared
+/// CAS loop — and additionally folds an access summary (`any_write`,
+/// `hmask`). Candidate intersection is commutative and associative and the
+/// state lattice is monotone, so applying the summary as one access
+/// reproduces the per-access sequence from any starting word; that is what
+/// makes a lost publish CAS cheap to repair (one re-folded
+/// `LockSetConcurrent::check_granule` call instead of a window replay).
+#[derive(Debug)]
+pub struct GranuleDelta {
+    /// Shared entry word at first touch this window — the CAS expectation.
+    observed: u64,
+    /// Locally transitioned word (same packing as the shared table).
+    current: u64,
+    /// Interner reference held by this overlay entry: `Some` exactly when
+    /// `current`'s set id was acquired here (differs from `observed`'s).
+    /// Transfers to the table entry when the publish CAS wins.
+    owned_ref: Option<u32>,
+    /// Whether any buffered access wrote (summary for CAS-failure refold).
+    any_write: bool,
+    /// Intersection of held-lock masks across buffered accesses (summary).
+    hmask: u64,
+    /// Deferred once-per-variable race report: set when the local
+    /// transition tripped it, pushed only if the publish CAS wins (a lost
+    /// CAS re-folds and the fresh word's REPORTED bit arbitrates instead).
+    pending: Option<Rid>,
+    /// Rid of the window's last access — report attribution when a refold
+    /// trips a race the local window did not see.
+    last_rid: Rid,
+}
+
+impl WordAnalysis for LockSetConcurrent {
+    type Window = GranuleDelta;
+
+    fn overlay(&self) -> &WordOverlay<GranuleDelta> {
+        &self.overlay
+    }
+
+    fn window_keys(&self, mem: MemRef, _kind: AccessKind) -> Option<(u64, u64)> {
+        if mem.addr >= SYNC_SPACE_START {
+            // Synchronization objects are accessed racily by construction;
+            // Eraser excludes them.
+            return None;
+        }
+        Some((
+            mem.addr / GRANULE,
+            (mem.addr + u64::from(mem.size) - 1) / GRANULE,
+        ))
+    }
+
+    fn open_window(&self, key: u64) -> GranuleDelta {
+        GranuleDelta {
             observed: self.words.load(key),
             current: self.words.load(key),
             owned_ref: None,
             any_write: false,
             hmask: u64::MAX,
             pending: None,
-            last_rid: rid,
-        });
+            last_rid: Rid(0),
+        }
+    }
+
+    /// Delta-merge per-access path: the same `step_word` transition as
+    /// `check_granule`, applied to the worker-private overlay word
+    /// instead of CAS-published.
+    fn fold_access(
+        &self,
+        entry: &mut GranuleDelta,
+        _key: u64,
+        kind: AccessKind,
+        tid: ThreadId,
+        rec: &EventRecord,
+    ) {
+        let writes = kind.writes();
+        let held = self.held[tid.index()].load(std::sync::atomic::Ordering::Relaxed);
+        let rid = rec.rid;
         entry.any_write |= writes;
         entry.hmask &= held;
         entry.last_rid = rid;
@@ -708,7 +567,7 @@ impl LockSetConcurrent {
         let next = if report { next | REPORTED_BIT } else { next };
         if next == cur {
             if let Some(id) = acquired {
-                self.interner.release(id);
+                self.words.wide().release(id);
             }
             return;
         }
@@ -718,14 +577,14 @@ impl LockSetConcurrent {
             // Saturated re-intern of the id already in `current`: drop the
             // duplicate reference, ownership is unchanged.
             if let Some(id) = acquired {
-                self.interner.release(id);
+                self.words.wide().release(id);
             }
         } else {
             // The overlay's reference moves to the new id; the displaced
             // one (if the overlay owned it — i.e. it was not `observed`'s,
             // whose reference the shared table still holds) is released.
             if let Some(id) = entry.owned_ref.take() {
-                self.interner.release(id);
+                self.words.wide().release(id);
             }
             entry.owned_ref = acquired;
         }
@@ -737,7 +596,7 @@ impl LockSetConcurrent {
 
     /// Publishes one overlay entry into the shared table — the flush-point
     /// half of the delta-merge form.
-    fn flush_granule(&self, key: u64, entry: GranuleDelta, tid: ThreadId) {
+    fn publish_window(&self, key: u64, entry: GranuleDelta, tid: ThreadId) {
         if entry.current == entry.observed {
             // Window was all fast-path re-accesses; nothing to publish. (An
             // unchanged word implies an unchanged id: masks only shrink, so
@@ -756,9 +615,9 @@ impl LockSetConcurrent {
                     // The displaced id lost the table entry's reference;
                     // the overlay's reference on `new_id` transfers to the
                     // entry (same move as check_granule's CAS success).
-                    self.interner.release(old_id);
+                    self.words.wide().release(old_id);
                 } else if let Some(id) = entry.owned_ref {
-                    self.interner.release(id);
+                    self.words.wide().release(id);
                 }
                 if let Some(rid) = entry.pending {
                     // The publish CAS won, so this worker owns the
@@ -782,111 +641,22 @@ impl LockSetConcurrent {
                 // its REPORTED-bit arbitration decides whether the pending
                 // report still fires (the peer may own it now).
                 if let Some(id) = entry.owned_ref {
-                    self.interner.release(id);
+                    self.words.wide().release(id);
                 }
                 let rid = entry.pending.unwrap_or(entry.last_rid);
                 self.check_granule(key * GRANULE, entry.any_write, entry.hmask, tid, rid);
             }
         }
     }
-
-    /// Interned candidate masks currently live (soak/bench diagnostic).
-    pub fn interned_masks(&self) -> usize {
-        self.interner.live()
-    }
-
-    /// High-water mark of [`interned_masks`](Self::interned_masks).
-    pub fn peak_interned_masks(&self) -> usize {
-        self.interner.peak_live()
-    }
-
-    /// Whether the interner has saturated to the conservative full set at
-    /// least once this session.
-    pub fn degraded(&self) -> bool {
-        self.interner.is_saturated()
-    }
-}
-
-/// One granule's buffered Eraser transition in the delta-merge replay form.
-///
-/// The worker applies its accesses *eagerly* against the private `current`
-/// word — the same [`LockSetConcurrent::step_word`] machine as the shared
-/// CAS loop — and additionally folds an access summary (`any_write`,
-/// `hmask`). Candidate intersection is commutative and associative and the
-/// state lattice is monotone, so applying the summary as one access
-/// reproduces the per-access sequence from any starting word; that is what
-/// makes a lost publish CAS cheap to repair (one re-folded
-/// [`LockSetConcurrent::check_granule`] call instead of a window replay).
-#[derive(Debug)]
-struct GranuleDelta {
-    /// Shared entry word at first touch this window — the CAS expectation.
-    observed: u64,
-    /// Locally transitioned word (same packing as the shared table).
-    current: u64,
-    /// Interner reference held by this overlay entry: `Some` exactly when
-    /// `current`'s set id was acquired here (differs from `observed`'s).
-    /// Transfers to the table entry when the publish CAS wins.
-    owned_ref: Option<u32>,
-    /// Whether any buffered access wrote (summary for CAS-failure refold).
-    any_write: bool,
-    /// Intersection of held-lock masks across buffered accesses (summary).
-    hmask: u64,
-    /// Deferred once-per-variable race report: set when the local
-    /// transition tripped it, pushed only if the publish CAS wins (a lost
-    /// CAS re-folds and the fresh word's REPORTED bit arbitrates instead).
-    pending: Option<Rid>,
-    /// Rid of the window's last access — report attribution when a refold
-    /// trips a race the local window did not see.
-    last_rid: Rid,
 }
 
 impl crate::factory::DeltaLifeguard for LockSetConcurrent {
     fn apply_delta(&self, tid: ThreadId, rec: &EventRecord, versioned: Option<&VersionedMeta>) {
-        match &rec.payload {
-            EventPayload::Instr(instr) => {
-                let Some(MetaOp::CheckAccess { mem, kind }) = check_view(instr) else {
-                    return;
-                };
-                if mem.addr >= SYNC_SPACE_START {
-                    return;
-                }
-                let held = self.held[tid.index()].load(std::sync::atomic::Ordering::Relaxed);
-                let first = mem.addr / GRANULE;
-                let last = (mem.addr + u64::from(mem.size) - 1) / GRANULE;
-                // SAFETY: delta-merge single-owner protocol — only thread
-                // `tid`'s replay worker reaches slot `tid`, and lane
-                // hand-off is ordered by the backend.
-                unsafe {
-                    self.deltas[tid.index()].with(|delta| {
-                        for key in first..=last {
-                            self.delta_granule(delta, key, kind.writes(), held, tid, rec.rid);
-                        }
-                    });
-                }
-            }
-            EventPayload::Ca(_) => {
-                // CA records ride ordered points: publish the buffered
-                // window first, then take the shared-path CA handling (the
-                // held-mask update is thread-private either way).
-                crate::factory::DeltaLifeguard::flush_delta(self, tid);
-                ConcurrentLifeguard::apply(self, tid, rec, versioned);
-            }
-        }
+        crate::wordmeta::apply_delta_via_overlay(self, tid, rec, versioned);
     }
 
     fn flush_delta(&self, tid: ThreadId) {
-        // SAFETY: same single-owner contract as `apply_delta` — flush
-        // points are executed by the worker that owns lane `tid`.
-        unsafe {
-            self.deltas[tid.index()].with(|delta| {
-                if delta.is_empty() {
-                    return;
-                }
-                for (key, entry) in delta.drain() {
-                    self.flush_granule(key, entry, tid);
-                }
-            });
-        }
+        crate::wordmeta::flush_delta_via_overlay(self, tid);
     }
 }
 
@@ -952,7 +722,9 @@ impl ConcurrentLifeguard for LockSetConcurrent {
                 S_SHARED_MOD => 2 << 32,
                 _ => unreachable!("stored entries are never virgin"),
             };
-            let candidates = self.interner.mask((entry >> SET_SHIFT) as u32);
+            // Non-worker context (equivalence sweep): take the interner
+            // mutex instead of relying on worker quiescence.
+            let candidates = self.words.wide().value_locked((entry >> SET_SHIFT) as u32);
             fp.mix(key * GRANULE, state_code ^ candidates);
         });
         fp.finish()
@@ -963,15 +735,15 @@ impl ConcurrentLifeguard for LockSetConcurrent {
     }
 
     fn epoch_boundary(&self, tid: ThreadId) {
-        self.interner.boundary(tid.index());
+        self.words.wide().boundary(tid.index());
     }
 
     fn stream_done(&self, tid: ThreadId) {
-        self.interner.retire_worker(tid.index());
+        self.words.wide().retire_worker(tid.index());
     }
 
     fn session_events(&self) -> Vec<crate::SessionEvent> {
-        if self.interner.is_saturated() {
+        if self.words.wide().is_saturated() {
             vec![Self::degraded_event()]
         } else {
             Vec::new()

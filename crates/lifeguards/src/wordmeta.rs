@@ -1,0 +1,154 @@
+//! The word-metadata delta seam: one generic adapter that gives any
+//! word-granular lifeguard its delta-merge form.
+//!
+//! Byte-shadow analyses already share a seam — handlers are generic over
+//! `ShadowAccess`, and the delta form is
+//! the same handler over a `DeltaAccess` overlay. Word-metadata analyses
+//! (LockSet's packed Eraser words, HappensBefore's packed epochs) used to
+//! hand-roll the other half of that story: the per-lane
+//! [`WordDelta`] buffering, the single-owner `LaneCell` choreography, the
+//! flush-at-CA discipline. This module extracts it.
+//!
+//! An analysis implements [`WordAnalysis`] — how to open a per-granule
+//! buffered window, fold one access into it, and publish it — and gets
+//! [`DeltaLifeguard`](crate::DeltaLifeguard) mechanics for free through
+//! [`apply_delta_via_overlay`] / [`flush_delta_via_overlay`] (two
+//! one-line trait-impl delegations; no per-analysis buffering code).
+//!
+//! The delta-merge correctness argument is the analysis' own: within one
+//! unflushed window the owner is the only writer of its buffered granules
+//! (conflicting cross-thread accesses are arc-ordered, and the arc forces a
+//! flush first), so eager private transitions plus a CAS publish at flush
+//! points reproduce the CAS-per-access linearization. The adapter only
+//! guarantees the mechanics: windows are lane-private, opened on first
+//! touch, folded in stream order, drained in ascending key order at every
+//! flush point, and flushed before any CA record is applied.
+
+use crate::factory::{ConcurrentLifeguard, VersionedMeta};
+use paralog_events::{check_view, AccessKind, EventPayload, EventRecord, MemRef, MetaOp, ThreadId};
+use paralog_meta::{LaneCell, WordDelta};
+
+/// Per-lane private overlays for a word-metadata analysis: one
+/// [`WordDelta`] window set per replayed stream, behind the same
+/// single-owner [`LaneCell`] contract the backends enforce for
+/// [`DeltaLifeguard`](crate::DeltaLifeguard) lanes.
+#[derive(Debug)]
+pub struct WordOverlay<W> {
+    lanes: Vec<LaneCell<WordDelta<W>>>,
+}
+
+impl<W: Send> WordOverlay<W> {
+    /// Empty overlays for `threads` replayed streams.
+    pub fn new(threads: usize) -> Self {
+        WordOverlay {
+            lanes: (0..threads)
+                .map(|_| LaneCell::new(WordDelta::new()))
+                .collect(),
+        }
+    }
+
+    /// Runs `f` on lane `tid`'s window set.
+    ///
+    /// # Safety
+    ///
+    /// Delta-merge single-owner protocol: only the worker owning stream
+    /// `tid` may call this, and lane hand-off must be ordered by the
+    /// backend (the same contract as [`LaneCell::with`]).
+    unsafe fn with<R>(&self, tid: ThreadId, f: impl FnOnce(&mut WordDelta<W>) -> R) -> R {
+        self.lanes[tid.index()].with(f)
+    }
+}
+
+/// What a word-granular analysis contributes to its delta-merge form; the
+/// adapter functions below contribute everything else.
+///
+/// The flow per buffered granule: [`open_window`](Self::open_window) on
+/// first touch in a flush window (typically snapshotting the shared word as
+/// the CAS expectation), [`fold_access`](Self::fold_access) per access (the
+/// same transition function the CAS-per-access form uses, applied to the
+/// private window — sharing that function is what makes the modes agree by
+/// construction), [`publish_window`](Self::publish_window) at the flush
+/// point (the analysis owns its CAS, reference transfer, and report
+/// arbitration).
+pub trait WordAnalysis: ConcurrentLifeguard {
+    /// One granule's buffered state between flushes.
+    type Window: std::fmt::Debug + Send;
+
+    /// The analysis' overlay storage (one field, constructed with the
+    /// analysis at its thread count).
+    fn overlay(&self) -> &WordOverlay<Self::Window>;
+
+    /// The inclusive granule-key range a memory access buffers under, or
+    /// `None` when the access is outside the analysis' tracked space.
+    fn window_keys(&self, mem: MemRef, kind: AccessKind) -> Option<(u64, u64)>;
+
+    /// Opens the buffered window for `key` on first touch in a flush
+    /// window.
+    fn open_window(&self, key: u64) -> Self::Window;
+
+    /// Folds one access into `key`'s window, in stream order.
+    fn fold_access(
+        &self,
+        window: &mut Self::Window,
+        key: u64,
+        kind: AccessKind,
+        tid: ThreadId,
+        rec: &EventRecord,
+    );
+
+    /// Publishes one drained window into the shared metadata.
+    fn publish_window(&self, key: u64, window: Self::Window, tid: ThreadId);
+}
+
+/// Generic [`apply_delta`](crate::DeltaLifeguard::apply_delta) body:
+/// buffers instruction accesses into lane `tid`'s windows; CA records
+/// flush first (they ride ordered points) and then take the analysis'
+/// shared-path [`apply`](ConcurrentLifeguard::apply).
+pub fn apply_delta_via_overlay<A: WordAnalysis>(
+    analysis: &A,
+    tid: ThreadId,
+    rec: &EventRecord,
+    versioned: Option<&VersionedMeta>,
+) {
+    match &rec.payload {
+        EventPayload::Instr(instr) => {
+            let Some(MetaOp::CheckAccess { mem, kind }) = check_view(instr) else {
+                return;
+            };
+            let Some((first, last)) = analysis.window_keys(mem, kind) else {
+                return;
+            };
+            // SAFETY: the backend applies records of stream `tid` only on
+            // the worker owning lane `tid` (the DeltaLifeguard contract).
+            unsafe {
+                analysis.overlay().with(tid, |delta| {
+                    for key in first..=last {
+                        let window = delta.get_or_insert_with(key, || analysis.open_window(key));
+                        analysis.fold_access(window, key, kind, tid, rec);
+                    }
+                });
+            }
+        }
+        EventPayload::Ca(_) => {
+            flush_delta_via_overlay(analysis, tid);
+            ConcurrentLifeguard::apply(analysis, tid, rec, versioned);
+        }
+    }
+}
+
+/// Generic [`flush_delta`](crate::DeltaLifeguard::flush_delta) body:
+/// drains lane `tid`'s windows in ascending key order and publishes each.
+pub fn flush_delta_via_overlay<A: WordAnalysis>(analysis: &A, tid: ThreadId) {
+    // SAFETY: flush points are executed by the worker owning lane `tid`
+    // (the DeltaLifeguard contract).
+    unsafe {
+        analysis.overlay().with(tid, |delta| {
+            if delta.is_empty() {
+                return;
+            }
+            for (key, window) in delta.drain() {
+                analysis.publish_window(key, window, tid);
+            }
+        });
+    }
+}

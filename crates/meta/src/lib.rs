@@ -9,10 +9,10 @@
 //!   Metadata TLB accelerates;
 //! * [`AtomicShadow`] — the lock-free mirror of the same layout shared by
 //!   the real-thread replay executor (§5.3 synchronization-free fast path);
-//! * [`AtomicWordTable`] — the word-granular companion: one CAS-able
-//!   `AtomicU64` per key, for concurrent lifeguards whose per-location state
-//!   does not fit a shadow byte (LockSet's packed state + interned lockset
-//!   id);
+//! * [`WordTable`] — the word-granular companion: one CAS-able `AtomicU64`
+//!   per key (the packed fast path), plus a reference-counted
+//!   [`WideInterner`] for per-location state that outgrows a single word
+//!   (LockSet's candidate masks, HappensBefore's read vector clocks);
 //! * [`ShadowDelta`] / [`WordDelta`] — private per-worker write overlays
 //!   for delta-merge replay: buffer locally, publish into the shared
 //!   structures only at dependence-arc and sync boundaries;
@@ -39,6 +39,7 @@ pub mod atomic;
 pub mod delta;
 pub mod fingerprint;
 pub mod shadow;
+pub mod table;
 pub mod versions;
 pub mod words;
 
@@ -46,5 +47,7 @@ pub use atomic::AtomicShadow;
 pub use delta::{LaneCell, ShadowDelta, WordDelta};
 pub use fingerprint::Fingerprint;
 pub use shadow::{ShadowMemory, CHUNK_APP_BYTES, META_BASE};
+pub use table::{MetaWord, PackedWordTable, WideInterner, WordTable, MAX_WIDE_IDS};
 pub use versions::{ConcurrentVersionTable, VersionTable};
+#[allow(deprecated)]
 pub use words::AtomicWordTable;

@@ -1,220 +1,17 @@
-//! Lock-free word-granular atomic metadata: one `AtomicU64` per key.
+//! Deprecated home of the word-granular atomic table.
 //!
-//! [`AtomicShadow`](crate::AtomicShadow) gives concurrent lifeguards a
-//! byte-per-application-byte shadow, which is enough for bit-lattice
-//! analyses (taint, allocatedness, definedness). Analyses whose per-location
-//! state does not fit a byte — LOCKSET's Eraser state machine packs a state
-//! code, an owner thread and an *interned lockset id* into one word — need
-//! the same lazily-grown, hot-path-index-free layout at `u64` granularity,
-//! plus a compare-exchange so a §5.3 fast path can publish a state
-//! transition without any lock: that is [`AtomicWordTable`].
-//!
-//! The layout mirrors `AtomicShadow`: a flat first level of
-//! [`OnceLock`] chunk slots covering the dense key span (initialized
-//! race-free by whichever thread touches a chunk first) and a
-//! mutex-protected spill map for far outliers. Reads of untouched keys
-//! return 0 without allocating, so a packed encoding must reserve the
-//! all-zero word for its "never touched" state.
+//! The substrate moved into [`crate::table`], where it is one half of the
+//! generic [`WordTable`](crate::table::WordTable) API (packed fast path +
+//! interned wide tier). This module survives as a thin re-export so
+//! out-of-tree lifeguards keep compiling; new code should name
+//! [`PackedWordTable`] — or, when it also
+//! needs wide values, construct a full [`WordTable`](crate::table::WordTable).
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+pub use crate::table::PackedWordTable;
 
-/// Keys per chunk (8192 × 8 bytes = 64 KiB per chunk).
-const WORDS_PER_CHUNK: u64 = 1 << 13;
-
-/// Dense first-level span: 2^18 chunks × 2^13 keys = 2^31 keys — a 4-byte
-/// granule index over the same 8 GiB application span `AtomicShadow`'s
-/// dense tier covers. Keys beyond it take the spill lock (rare sentinel
-/// ranges only).
-const DENSE_CHUNKS: u64 = 1 << 18;
-
-/// A lock-free `key → AtomicU64` table with lazily materialized chunks.
-///
-/// Untouched keys read as 0. The hot path after first touch is a flat array
-/// index plus one atomic access — no hashing, no locks. Writers publish new
-/// values with [`compare_exchange`](Self::compare_exchange) (acquire/release
-/// ordering), so a reader that observes a packed word also observes
-/// everything the writer published before it.
-#[derive(Debug)]
-pub struct AtomicWordTable {
-    /// First level: chunk index → chunk, initialized on first touch.
-    dense: Box<[OnceLock<Box<[AtomicU64]>>]>,
-    /// Outlier chunks beyond the dense span. `Arc` lets an accessor clone a
-    /// handle out of the lock and work without holding it.
-    spill: Mutex<BTreeMap<u64, Arc<[AtomicU64]>>>,
-}
-
-impl Default for AtomicWordTable {
-    fn default() -> Self {
-        AtomicWordTable::new()
-    }
-}
-
-fn new_chunk() -> Vec<AtomicU64> {
-    (0..WORDS_PER_CHUNK).map(|_| AtomicU64::new(0)).collect()
-}
-
-impl AtomicWordTable {
-    /// An empty table; chunks materialize on first non-zero write.
-    pub fn new() -> Self {
-        AtomicWordTable {
-            dense: (0..DENSE_CHUNKS).map(|_| OnceLock::new()).collect(),
-            spill: Mutex::new(BTreeMap::new()),
-        }
-    }
-
-    /// Runs `f` over the chunk holding `key`. With `create` unset, untouched
-    /// chunks are skipped (reads of clean keys must not allocate); otherwise
-    /// the chunk is initialized race-free first.
-    fn with_chunk<R>(&self, ci: u64, create: bool, f: impl FnOnce(&[AtomicU64]) -> R) -> Option<R> {
-        if ci < DENSE_CHUNKS {
-            let slot = &self.dense[ci as usize];
-            return match (slot.get(), create) {
-                (Some(chunk), _) => Some(f(chunk)),
-                (None, true) => Some(f(slot.get_or_init(|| new_chunk().into_boxed_slice()))),
-                (None, false) => None,
-            };
-        }
-        let chunk: Arc<[AtomicU64]> = {
-            let mut spill = self.spill.lock().expect("poisoned");
-            match (spill.get(&ci), create) {
-                (Some(chunk), _) => Arc::clone(chunk),
-                (None, true) => {
-                    let chunk: Arc<[AtomicU64]> = new_chunk().into();
-                    spill.insert(ci, Arc::clone(&chunk));
-                    chunk
-                }
-                (None, false) => return None,
-            }
-        };
-        Some(f(&chunk))
-    }
-
-    /// Load-acquire of one key; untouched keys read 0 without allocating.
-    pub fn load(&self, key: u64) -> u64 {
-        self.with_chunk(key / WORDS_PER_CHUNK, false, |c| {
-            c[(key % WORDS_PER_CHUNK) as usize].load(Ordering::Acquire)
-        })
-        .unwrap_or(0)
-    }
-
-    /// CAS-exchange on one key: publishes `new` iff the key still holds
-    /// `current`. `Ok(current)` on success, `Err(actual)` on a lost race —
-    /// the caller re-reads and recomputes its transition.
-    ///
-    /// Storing a non-zero value into an untouched chunk materializes it;
-    /// the degenerate `0 → 0` exchange succeeds without allocating.
-    pub fn compare_exchange(&self, key: u64, current: u64, new: u64) -> Result<u64, u64> {
-        let create = current == 0 && new != 0;
-        match self.with_chunk(key / WORDS_PER_CHUNK, create, |c| {
-            c[(key % WORDS_PER_CHUNK) as usize].compare_exchange(
-                current,
-                new,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
-        }) {
-            Some(result) => result,
-            // Chunk untouched and nothing to write: the key reads 0.
-            None if current == 0 => Ok(0),
-            None => Err(0),
-        }
-    }
-
-    /// Calls `f(key, value)` for every key holding a non-zero word, in
-    /// ascending chunk order (dense tier first, then spill).
-    pub fn for_each_nonzero(&self, mut f: impl FnMut(u64, u64)) {
-        let mut scan = |ci: u64, chunk: &[AtomicU64]| {
-            let base = ci * WORDS_PER_CHUNK;
-            for (off, word) in chunk.iter().enumerate() {
-                let v = word.load(Ordering::Acquire);
-                if v != 0 {
-                    f(base + off as u64, v);
-                }
-            }
-        };
-        for (i, slot) in self.dense.iter().enumerate() {
-            if let Some(chunk) = slot.get() {
-                scan(i as u64, chunk);
-            }
-        }
-        for (ci, chunk) in self.spill.lock().expect("poisoned").iter() {
-            scan(*ci, chunk);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn untouched_keys_read_zero_without_allocating() {
-        let t = AtomicWordTable::new();
-        assert_eq!(t.load(0x1234), 0);
-        assert!(t.dense[(0x1234 / WORDS_PER_CHUNK) as usize].get().is_none());
-        // The degenerate 0 → 0 exchange also stays allocation-free.
-        assert_eq!(t.compare_exchange(0x1234, 0, 0), Ok(0));
-        assert!(t.dense[(0x1234 / WORDS_PER_CHUNK) as usize].get().is_none());
-    }
-
-    #[test]
-    fn cas_publishes_and_detects_races() {
-        let t = AtomicWordTable::new();
-        assert_eq!(t.compare_exchange(7, 0, 42), Ok(0));
-        assert_eq!(t.load(7), 42);
-        // Stale expectation loses and reports the actual value.
-        assert_eq!(t.compare_exchange(7, 0, 99), Err(42));
-        assert_eq!(t.compare_exchange(7, 42, 99), Ok(42));
-        assert_eq!(t.load(7), 99);
-        // A non-zero expectation against an untouched chunk loses as 0.
-        assert_eq!(t.compare_exchange(WORDS_PER_CHUNK * 50, 5, 6), Err(0));
-    }
-
-    #[test]
-    fn spill_tier_covers_far_keys() {
-        let t = AtomicWordTable::new();
-        let far = DENSE_CHUNKS * WORDS_PER_CHUNK + 17;
-        assert_eq!(t.load(far), 0);
-        assert_eq!(t.compare_exchange(far, 0, 3), Ok(0));
-        assert_eq!(t.load(far), 3);
-        let mut seen = Vec::new();
-        t.for_each_nonzero(|k, v| seen.push((k, v)));
-        assert_eq!(seen, vec![(far, 3)]);
-    }
-
-    #[test]
-    fn concurrent_cas_exactly_one_winner_per_transition() {
-        let t = AtomicWordTable::new();
-        let wins: Vec<u64> = std::thread::scope(|scope| {
-            (0..4u64)
-                .map(|me| {
-                    let t = &t;
-                    scope.spawn(move || {
-                        let mut won = 0u64;
-                        for _ in 0..256 {
-                            loop {
-                                let cur = t.load(9);
-                                match t.compare_exchange(9, cur, cur + (1 << me)) {
-                                    Ok(_) => {
-                                        won += 1;
-                                        break;
-                                    }
-                                    Err(_) => continue,
-                                }
-                            }
-                        }
-                        won
-                    })
-                })
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|h| h.join().expect("no panic"))
-                .collect()
-        });
-        // Every increment landed exactly once despite the races.
-        assert_eq!(wins, vec![256; 4]);
-        assert_eq!(t.load(9), 256 * 0b1111);
-    }
-}
+/// The pre-generalization name of [`PackedWordTable`].
+#[deprecated(
+    note = "renamed to `paralog_meta::PackedWordTable`; analyses needing the \
+            wide tier should build a `paralog_meta::WordTable<V>` instead"
+)]
+pub type AtomicWordTable = PackedWordTable;

@@ -63,6 +63,7 @@ fn all_bundled_kinds_resolve_to_lock_free_concurrent_forms() {
         (LifeguardKind::AddrCheck, "AddrCheckConcurrent"),
         (LifeguardKind::MemCheck, "MemCheckConcurrent"),
         (LifeguardKind::LockSet, "LockSetConcurrent"),
+        (LifeguardKind::HappensBefore, "HappensBeforeConcurrent"),
     ];
     for (kind, form) in expected {
         let conc = kind.concurrent(HEAP, 2).expect("bundled kinds replay");
@@ -158,12 +159,18 @@ fn custom_factories_still_fall_back_to_locked_concurrent() {
 #[test]
 fn sc_captures_replay_identically_on_both_backends() {
     // Fluidanimate: fine-grained locking (LockSet's home turf); Swaptions:
-    // malloc/free churn (MemCheck's structural slow path).
+    // malloc/free churn (MemCheck's structural slow path). HappensBefore
+    // sees no sync-space traffic in these captures, so every cross-thread
+    // conflicting pair races — the captured dependence arcs order those
+    // pairs, which is exactly what makes its reports and poisoned metadata
+    // backend-deterministic.
     for (kind, bench) in [
         (LifeguardKind::MemCheck, Benchmark::Swaptions),
         (LifeguardKind::MemCheck, Benchmark::Fluidanimate),
         (LifeguardKind::LockSet, Benchmark::Fluidanimate),
         (LifeguardKind::LockSet, Benchmark::Radiosity),
+        (LifeguardKind::HappensBefore, Benchmark::Fluidanimate),
+        (LifeguardKind::HappensBefore, Benchmark::Radiosity),
     ] {
         let w = workload(bench, 4);
         let mut cfg = MonitorConfig::new(MonitoringMode::Parallel, kind);
@@ -349,6 +356,7 @@ fn tso_workloads_replay_through_new_forms() {
     for (kind, bench) in [
         (LifeguardKind::MemCheck, Benchmark::Ocean),
         (LifeguardKind::LockSet, Benchmark::Fluidanimate),
+        (LifeguardKind::HappensBefore, Benchmark::Fluidanimate),
     ] {
         let w = workload(bench, 4);
         let out = MonitorSession::builder()
@@ -488,6 +496,161 @@ fn lockset_race_capture_agrees_across_backends() {
         violation_keys(&wire.metrics.violations),
         violation_keys(&det.metrics.violations)
     );
+}
+
+// ---------------------------------------------------------------------------
+// Hand-built HappensBefore captures: deterministic attribution via arcs
+// ---------------------------------------------------------------------------
+
+/// An atomic read-modify-write on a sync-space word — HappensBefore's
+/// acquire shape (join the word's published vector clock, then republish).
+fn sync_rmw(rid: u64, addr: u64) -> EventRecord {
+    EventRecord::instr(
+        Rid(rid),
+        Instr::Rmw {
+            mem: MemRef::new(addr, 8),
+            reg: Reg(0),
+        },
+    )
+}
+
+/// A hand-built true-race capture for HAPPENSBEFORE. The lock hand-off
+/// (sync-space Rmw/Store joined by a Sync arc) orders the protected writes,
+/// so they stay silent; the bare writes to `var` carry no happens-before
+/// edge, and the WAW arc to the prior write pins which access completes the
+/// race — both backends must report it exactly once, at thread 1's write,
+/// and converge on the poisoned (unknown-order) word state. Replayed raw
+/// and through the codec wire form.
+#[test]
+fn happensbefore_race_capture_agrees_across_backends() {
+    let heap = AddrRange::new(0x1000_0000, 0x10000);
+    let lock = paralog::lifeguards::lockset::SYNC_SPACE_START;
+    let protected = 0x300u64;
+    let var = 0x200u64;
+
+    // Thread 0: acquire, protected write, release, then a bare write.
+    let t0 = vec![
+        sync_rmw(1, lock),
+        store(2, protected),
+        store(3, lock),
+        store(4, var),
+    ];
+    // Thread 1: the acquire is arc-ordered after T0's release, so its
+    // vector-clock join covers T0's protected write. The bare write is
+    // arc-ordered after T0's by its captured WAW arc but carries no
+    // happens-before edge — the access that must report the race.
+    let mut t1_acq = sync_rmw(1, lock);
+    t1_acq.arcs.push(DependenceArc {
+        src: ThreadId(0),
+        src_rid: Rid(3),
+        kind: ArcKind::Sync,
+    });
+    let mut t1_prot = store(2, protected);
+    t1_prot.arcs.push(DependenceArc {
+        src: ThreadId(0),
+        src_rid: Rid(2),
+        kind: ArcKind::Waw,
+    });
+    let mut t1_race = store(4, var);
+    t1_race.arcs.push(DependenceArc {
+        src: ThreadId(0),
+        src_rid: Rid(4),
+        kind: ArcKind::Waw,
+    });
+    let t1 = vec![t1_acq, t1_prot, store(3, lock), t1_race];
+
+    let streams = vec![t0, t1];
+    let run = |threaded: bool, streams: Vec<Vec<EventRecord>>| {
+        let builder = MonitorSession::builder()
+            .source(ReplaySource::new(streams, heap))
+            .lifeguard(LifeguardKind::HappensBefore);
+        let builder = if threaded {
+            builder.backend(ThreadedBackend)
+        } else {
+            builder.backend(DeterministicBackend)
+        };
+        builder.build().unwrap().run().unwrap()
+    };
+
+    let det = run(false, streams.clone());
+    assert_eq!(
+        violation_keys(&det.metrics.violations),
+        vec![(1, 4, ViolationKind::DataRace)],
+        "the arc-ordered racing write reports exactly once, the \
+         lock-disciplined writes stay silent"
+    );
+    let thr = run(true, streams.clone());
+    assert_eq!(thr.metrics.fingerprint, det.metrics.fingerprint);
+    assert_eq!(
+        violation_keys(&thr.metrics.violations),
+        violation_keys(&det.metrics.violations)
+    );
+
+    // Codec wire form through the threaded backend.
+    let encoded: Vec<Vec<u8>> = streams.iter().map(|s| encode(s)).collect();
+    let wire = MonitorSession::builder()
+        .source(StreamingReplaySource::from_encoded(encoded, heap).with_chunk_bytes(32))
+        .lifeguard(LifeguardKind::HappensBefore)
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(wire.metrics.fingerprint, det.metrics.fingerprint);
+    assert_eq!(
+        violation_keys(&wire.metrics.violations),
+        violation_keys(&det.metrics.violations)
+    );
+}
+
+/// The race-free counterpart: every shared write rides the lock hand-off,
+/// so HAPPENSBEFORE must stay silent on both backends with identical
+/// final metadata.
+#[test]
+fn happensbefore_disciplined_capture_is_silent_on_both_backends() {
+    let heap = AddrRange::new(0x1000_0000, 0x10000);
+    let lock = paralog::lifeguards::lockset::SYNC_SPACE_START;
+    let var = 0x200u64;
+
+    let t0 = vec![sync_rmw(1, lock), store(2, var), store(3, lock)];
+    let mut t1_acq = sync_rmw(1, lock);
+    t1_acq.arcs.push(DependenceArc {
+        src: ThreadId(0),
+        src_rid: Rid(3),
+        kind: ArcKind::Sync,
+    });
+    let mut t1_var = store(2, var);
+    t1_var.arcs.push(DependenceArc {
+        src: ThreadId(0),
+        src_rid: Rid(2),
+        kind: ArcKind::Waw,
+    });
+    let t1 = vec![t1_acq, t1_var, store(3, lock)];
+
+    let streams = vec![t0, t1];
+    let det = MonitorSession::builder()
+        .source(ReplaySource::new(streams.clone(), heap))
+        .lifeguard(LifeguardKind::HappensBefore)
+        .backend(DeterministicBackend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(
+        det.metrics.violations.is_empty(),
+        "lock-disciplined hand-off must not race: {:?}",
+        det.metrics.violations
+    );
+    let thr = MonitorSession::builder()
+        .source(ReplaySource::new(streams, heap))
+        .lifeguard(LifeguardKind::HappensBefore)
+        .backend(ThreadedBackend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(thr.metrics.violations.is_empty());
+    assert_eq!(thr.metrics.fingerprint, det.metrics.fingerprint);
 }
 
 // ---------------------------------------------------------------------------
@@ -652,5 +815,67 @@ proptest! {
         prop_assert_eq!(seq_violations as u64, races);
         prop_assert_eq!(conc.fingerprint(), lgs[0].fingerprint(),
             "racing same-mask writers must converge to the sequential state");
+    }
+
+    /// HappensBefore's CAS fast path under genuine races: every thread
+    /// writes every shared word with no sync-space traffic, so every word
+    /// is a true race. Poison-on-race makes the outcome schedule-free: each
+    /// word must report *exactly once* no matter how many writers race the
+    /// report, and the final metadata must converge to the sequential
+    /// family's poisoned state.
+    #[test]
+    fn happensbefore_racing_writers_poison_and_report_once(
+        threads in 2usize..5,
+        words in 1u64..12,
+    ) {
+        let conc = LifeguardKind::HappensBefore
+            .concurrent(HEAP, threads)
+            .expect("lock-free form");
+        let stream = |_t: usize| {
+            let mut recs = Vec::new();
+            let mut rid = 1u64;
+            // Two passes so later writers keep hammering already-poisoned
+            // words — the exactly-once latch is what's under test.
+            for _pass in 0..2 {
+                for w in 0..words {
+                    recs.push(store(rid, 0x4000 + w * 4));
+                    rid += 1;
+                }
+            }
+            recs
+        };
+        let streams: Vec<Vec<EventRecord>> = (0..threads).map(stream).collect();
+        std::thread::scope(|scope| {
+            for (t, recs) in streams.iter().enumerate() {
+                let conc = &*conc;
+                scope.spawn(move || {
+                    for rec in recs {
+                        conc.apply(ThreadId(t as u16), rec, None);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(conc.violations().len() as u64, words,
+            "exactly one DataRace per racing word, however many writers race the report");
+        // Sequential reference: same streams, thread by thread.
+        let family = LifeguardKind::HappensBefore.build(HEAP);
+        let mut lgs: Vec<_> = (0..threads)
+            .map(|t| family.thread(ThreadId(t as u16)))
+            .collect();
+        let mut seq_violations = 0usize;
+        for (t, recs) in streams.iter().enumerate() {
+            for rec in recs {
+                let mut ctx = HandlerCtx::new();
+                if let paralog::events::EventPayload::Instr(instr) = &rec.payload {
+                    if let Some(op) = paralog::events::check_view(instr) {
+                        lgs[t].handle(&op, rec.rid, &mut ctx);
+                    }
+                }
+                seq_violations += ctx.violations.len();
+            }
+        }
+        prop_assert_eq!(seq_violations as u64, words);
+        prop_assert_eq!(conc.fingerprint(), lgs[0].fingerprint(),
+            "racing writers must converge to the sequential poisoned state");
     }
 }

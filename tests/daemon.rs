@@ -203,11 +203,16 @@ fn two_concurrent_sessions_match_in_process_replay() {
     assert_eq!(violation_keys_of(&status_a), violation_keys(&viol_a));
     assert_eq!(violation_keys_of(&status_b), violation_keys(&viol_b));
 
-    // STATUS surfaces the resolved backend mode and a throughput figure.
+    // STATUS surfaces the resolved backend mode, the metadata substrate,
+    // and a throughput figure.
     let mode_a = field(&status_a, "mode").expect("mode line");
     assert!(
         mode_a == "cas" || mode_a == "delta",
         "mode must resolve concretely, got {mode_a:?}"
+    );
+    assert!(
+        field(&status_a, "metadata").is_some(),
+        "STATUS reports the factory's metadata shape"
     );
     let _rate: f64 = field(&status_a, "records_per_sec")
         .expect("records_per_sec line")

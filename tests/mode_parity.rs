@@ -89,7 +89,7 @@ fn threaded(
 // SC captures: threaded backend, both modes, raw and wire form
 // ---------------------------------------------------------------------------
 
-/// All four bundled lifeguards replay SC captures in delta-merge mode with
+/// All five bundled lifeguards replay SC captures in delta-merge mode with
 /// fingerprints and violations identical to CAS-per-access and to the
 /// deterministic backend — from the raw capture and from the codec wire
 /// form.
@@ -100,6 +100,7 @@ fn sc_captures_replay_identically_across_modes() {
         (LifeguardKind::AddrCheck, Benchmark::Swaptions),
         (LifeguardKind::MemCheck, Benchmark::Fluidanimate),
         (LifeguardKind::LockSet, Benchmark::Fluidanimate),
+        (LifeguardKind::HappensBefore, Benchmark::Fluidanimate),
     ] {
         let w = workload(bench, 4);
         let (streams, live_fp) = capture(kind, &w, false);
@@ -258,6 +259,7 @@ fn coop_lanes_agree_across_modes() {
     for (kind, bench) in [
         (LifeguardKind::TaintCheck, Benchmark::Swaptions),
         (LifeguardKind::LockSet, Benchmark::Fluidanimate),
+        (LifeguardKind::HappensBefore, Benchmark::Fluidanimate),
     ] {
         let w = workload(bench, 4);
         let (streams, live_fp) = capture(kind, &w, false);
@@ -360,40 +362,61 @@ fn explicit_delta_without_a_delta_form_is_unsupported() {
 /// loads/stores at the generated slots. Private slabs make the final
 /// metadata schedule-independent, so racing replays must agree exactly.
 fn private_stream(kind: LifeguardKind, tid: u16, slots: &[u64]) -> Vec<EventRecord> {
-    // LockSet data addresses sit below the sync-object region.
-    let base = if kind == LifeguardKind::LockSet {
+    // Race-lifeguard data addresses sit below the sync-object region.
+    let base = if matches!(kind, LifeguardKind::LockSet | LifeguardKind::HappensBefore) {
         0x0100_0000
     } else {
         HEAP.start
     };
     let slab = AddrRange::new(base + u64::from(tid) * 0x10_000, 0x1000);
     let prelude = match kind {
-        LifeguardKind::LockSet => CaRecord {
-            what: HighLevelKind::Lock(LockId(u32::from(tid))),
-            phase: CaPhase::End,
-            range: None,
-            issuer: ThreadId(tid),
-            issuer_rid: Rid(1),
-            seq: u64::MAX, // own-stream record: no cross-thread ordering
-        },
-        LifeguardKind::TaintCheck => CaRecord {
-            what: HighLevelKind::Syscall(SyscallKind::ReadInput),
-            phase: CaPhase::End,
-            range: Some(slab),
-            issuer: ThreadId(tid),
-            issuer_rid: Rid(1),
-            seq: u64::MAX,
-        },
-        _ => CaRecord {
-            what: HighLevelKind::Malloc,
-            phase: CaPhase::End,
-            range: Some(slab),
-            issuer: ThreadId(tid),
-            issuer_rid: Rid(1),
-            seq: u64::MAX,
-        },
+        // HappensBefore has no CA prelude: an Rmw on an own per-thread
+        // sync word establishes the thread's epoch instead.
+        LifeguardKind::HappensBefore => EventRecord::instr(
+            Rid(1),
+            Instr::Rmw {
+                mem: MemRef::new(
+                    paralog::lifeguards::lockset::SYNC_SPACE_START + u64::from(tid) * 64,
+                    8,
+                ),
+                reg: Reg(0),
+            },
+        ),
+        LifeguardKind::LockSet => EventRecord::ca(
+            Rid(1),
+            CaRecord {
+                what: HighLevelKind::Lock(LockId(u32::from(tid))),
+                phase: CaPhase::End,
+                range: None,
+                issuer: ThreadId(tid),
+                issuer_rid: Rid(1),
+                seq: u64::MAX, // own-stream record: no cross-thread ordering
+            },
+        ),
+        LifeguardKind::TaintCheck => EventRecord::ca(
+            Rid(1),
+            CaRecord {
+                what: HighLevelKind::Syscall(SyscallKind::ReadInput),
+                phase: CaPhase::End,
+                range: Some(slab),
+                issuer: ThreadId(tid),
+                issuer_rid: Rid(1),
+                seq: u64::MAX,
+            },
+        ),
+        _ => EventRecord::ca(
+            Rid(1),
+            CaRecord {
+                what: HighLevelKind::Malloc,
+                phase: CaPhase::End,
+                range: Some(slab),
+                issuer: ThreadId(tid),
+                issuer_rid: Rid(1),
+                seq: u64::MAX,
+            },
+        ),
     };
-    let mut recs = vec![EventRecord::ca(Rid(1), prelude)];
+    let mut recs = vec![prelude];
     for (i, slot) in slots.iter().enumerate() {
         let mem = MemRef::new(slab.start + (slot % (slab.len / 8 - 1)) * 8, 8);
         let instr = if i % 2 == 0 {
@@ -501,5 +524,10 @@ proptest! {
     #[test]
     fn racing_addrcheck_modes_agree((slots, flush) in slots_strategy()) {
         check_racing_parity(LifeguardKind::AddrCheck, &slots, flush);
+    }
+
+    #[test]
+    fn racing_happensbefore_modes_agree((slots, flush) in slots_strategy()) {
+        check_racing_parity(LifeguardKind::HappensBefore, &slots, flush);
     }
 }

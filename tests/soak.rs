@@ -1,14 +1,19 @@
 //! Unbounded-uptime soaks: sweep the rid and mask spaces far past their
 //! steady-state windows and prove residency stays bounded.
 //!
-//! Two reclamation layers keep a long-running monitor's memory flat:
+//! Three reclamation layers keep a long-running monitor's memory flat:
 //!
 //! * the [`ConcurrentVersionTable`] frees drained dense chunks at epoch
 //!   boundaries, so version storage tracks the outstanding window, not the
 //!   total rids replayed;
 //! * the LOCKSET mask interner frees unreferenced candidate-set ids behind
 //!   a quiescence gate, so the 2^16 id space survives unbounded churn of
-//!   distinct lock combinations.
+//!   distinct lock combinations;
+//! * the HAPPENSBEFORE vector-clock interner frees read-VC ids the same
+//!   way when a write demotes a word back to a packed epoch — and when an
+//!   adversarial workload pins the whole id space live, it must degrade
+//!   *soundly* (affected words report rather than miss races) with one
+//!   `DegradedPrecision` diagnostic.
 //!
 //! The long sweeps run single-threaded for throughput (residency bounds
 //! do not depend on interleaving); the mask-cycling and racing-producer
@@ -20,7 +25,9 @@ use paralog::events::{
     AddrRange, CaPhase, CaRecord, EventRecord, HighLevelKind, Instr, LockId, MemRef, Reg, Rid,
     ThreadId, VersionId,
 };
-use paralog::lifeguards::{ConcurrentLifeguard, LockSetConcurrent};
+use paralog::lifeguards::{
+    ConcurrentLifeguard, HappensBeforeConcurrent, LockSetConcurrent, SessionEvent,
+};
 use paralog::meta::ConcurrentVersionTable;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -242,6 +249,180 @@ fn interner_residency_is_bounded_over_mask_cycling() {
     );
     let live = conc.interned_masks();
     assert!(live <= 64, "quiesced interner still holds {live} masks");
+}
+
+/// A sync-space record for HAPPENSBEFORE: an `Rmw` is the acquire shape
+/// (join the word's published vector clock, then republish), a `Store`
+/// the release shape (publish only).
+fn rec_sync(rid: u64, addr: u64, rmw: bool) -> EventRecord {
+    let mem = MemRef::new(addr, 8);
+    EventRecord::instr(
+        Rid(rid),
+        if rmw {
+            Instr::Rmw {
+                mem,
+                reg: Reg::new(0),
+            }
+        } else {
+            Instr::Store {
+                dst: mem,
+                src: Reg::new(0),
+            }
+        },
+    )
+}
+
+/// One worker's slice of the read-VC cycling soak: per iteration, threads
+/// `ta` and `tb` both read a fresh word (inflating it to an interned
+/// two-entry vector clock — distinct every iteration because `ta`'s clock
+/// advances at each sync publish), then `tb` acquires `ta`'s release and
+/// writes the word, demoting it back to a packed epoch and releasing the
+/// iteration's unique VC id for the epoch-gated free. `sync` bounds
+/// worker skew exactly as in the mask-cycling soak.
+fn cycle_read_vcs(
+    conc: &HappensBeforeConcurrent,
+    iterations: u64,
+    sync_word: u64,
+    addr_base: u64,
+    (ta, tb): (u16, u16),
+    sync: &Barrier,
+) {
+    let mut rid = [1u64; 2];
+    let mut next = |side: usize| {
+        rid[side] += 1;
+        rid[side]
+    };
+    for i in 0..iterations {
+        let addr = addr_base + i * 4;
+        // Two readers inflate the fresh word to an interned read VC.
+        conc.apply(ThreadId(ta), &rec_access(next(0), addr, false), None);
+        conc.apply(ThreadId(tb), &rec_access(next(1), addr, false), None);
+        // ta releases (publishing its clock, bumping it for the next
+        // iteration's distinct VC); tb acquires, ordering both reads
+        // before its write.
+        conc.apply(ThreadId(ta), &rec_sync(next(0), sync_word, false), None);
+        conc.apply(ThreadId(tb), &rec_sync(next(1), sync_word, true), None);
+        // The ordered write demotes the word to a packed write epoch and
+        // releases the interned id.
+        conc.apply(ThreadId(tb), &rec_access(next(1), addr, true), None);
+        if i % 64 == 0 {
+            conc.epoch_boundary(ThreadId(ta));
+            conc.epoch_boundary(ThreadId(tb));
+        }
+        if i % 256 == 0 {
+            sync.wait();
+        }
+    }
+    conc.stream_done(ThreadId(ta));
+    conc.stream_done(ThreadId(tb));
+}
+
+#[test]
+fn hb_interner_residency_is_bounded_over_read_vc_cycling() {
+    // Two OS threads, four monitored streams, disjoint address and sync
+    // spaces: each iteration interns a fresh two-reader vector clock and
+    // releases it via the ordered write — cycling far more distinct VCs
+    // through the interner than its peak residency, without saturating.
+    let iterations: u64 = if full_profile() { 500_000 } else { 20_000 };
+    let sync_space = paralog::lifeguards::lockset::SYNC_SPACE_START;
+    let conc = Arc::new(HappensBeforeConcurrent::new(4));
+    let sync = Arc::new(Barrier::new(2));
+    let workers: Vec<_> = [
+        (sync_space, 0x0100_0000u64, (0u16, 1u16)),
+        (sync_space + 128, 0x0500_0000, (2, 3)),
+    ]
+    .into_iter()
+    .map(|(sync_word, addr_base, tids)| {
+        let conc = Arc::clone(&conc);
+        let sync = Arc::clone(&sync);
+        thread::spawn(move || cycle_read_vcs(&conc, iterations, sync_word, addr_base, tids, &sync))
+    })
+    .collect();
+    for w in workers {
+        w.join().expect("soak worker must not panic");
+    }
+
+    assert!(!conc.degraded(), "cycling must never exhaust the id space");
+    assert!(
+        conc.session_events().is_empty(),
+        "no degradation diagnostics on a healthy run"
+    );
+    assert!(
+        conc.violations().is_empty(),
+        "sync-ordered sharing must stay silent: {:?}",
+        conc.violations()
+    );
+    // Steady state: a few in-flight VCs per worker plus up to one barrier
+    // interval (256 iterations × 2 workers) of pending frees.
+    let peak = conc.peak_interned_vcs();
+    assert!(
+        peak <= 4096,
+        "peak interner residency {peak} is not bounded ({} VCs cycled)",
+        2 * iterations
+    );
+    let live = conc.interned_vcs();
+    assert!(live <= 64, "quiesced interner still holds {live} VCs");
+}
+
+#[test]
+fn hb_interner_exhaustion_degrades_soundly_past_two_to_the_sixteen() {
+    // An adversarial workload pins more than 2^16 *distinct* two-reader
+    // vector clocks live at once (no word is ever written, so no id is
+    // ever released, and no boundary can free a referenced id). The
+    // interner must saturate — completing the session with exactly one
+    // DegradedPrecision diagnostic and sound (never-miss) reporting on
+    // the degraded words.
+    let conc = HappensBeforeConcurrent::new(2);
+    let sync_word = paralog::lifeguards::lockset::SYNC_SPACE_START;
+
+    // A genuine unordered race first, while precision is intact.
+    conc.apply(ThreadId(0), &rec_access(1, 0xFF_0000, true), None);
+    conc.apply(ThreadId(1), &rec_access(1, 0xFF_0000, true), None);
+    assert_eq!(conc.violations().len(), 1, "pre-saturation race reports");
+
+    // Thread 0 bumps its clock before each fresh word, so every word's
+    // two-entry read VC is a distinct interned value. 66_000 > 2^16 words
+    // exhaust the id space.
+    let mut rid = [2u64, 2u64];
+    let mut next = |side: usize| {
+        rid[side] += 1;
+        rid[side]
+    };
+    let word = |i: u64| 0x0100_0000 + i * 4;
+    for i in 1u64..=66_000 {
+        conc.apply(ThreadId(0), &rec_sync(next(0), sync_word, false), None);
+        conc.apply(ThreadId(0), &rec_access(next(0), word(i), false), None);
+        conc.apply(ThreadId(1), &rec_access(next(1), word(i), false), None);
+        // Boundaries must not help: every VC is still referenced.
+        if i % 4096 == 0 {
+            conc.epoch_boundary(ThreadId(0));
+            conc.epoch_boundary(ThreadId(1));
+        }
+    }
+
+    assert!(conc.degraded(), "66k live read VCs must exhaust 2^16 ids");
+    let events = conc.session_events();
+    assert_eq!(events.len(), 1, "one diagnostic per session");
+    let SessionEvent::DegradedPrecision { lifeguard, detail } = &events[0];
+    assert_eq!(*lifeguard, "HappensBefore");
+    assert!(detail.contains("vector-clock interner"), "got: {detail}");
+    // Read-read sharing is race-free: saturation must not have fabricated
+    // reports while the words were only being created.
+    assert_eq!(
+        conc.violations().len(),
+        1,
+        "saturation alone must not fabricate race reports"
+    );
+    // Soundness of the degradation: a word that spilled after exhaustion
+    // lost its ordering metadata, so a later access — even a trivially
+    // hb-ordered same-thread re-read — must report rather than risk
+    // missing a real race.
+    conc.apply(ThreadId(0), &rec_access(next(0), word(66_000), false), None);
+    assert_eq!(
+        conc.violations().len(),
+        2,
+        "degraded words must report later accesses (spurious but sound)"
+    );
 }
 
 /// Reclamation races the sweep against concurrent producers on the *same*

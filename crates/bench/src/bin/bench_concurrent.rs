@@ -10,7 +10,7 @@
 //! * `... --bin bench_concurrent -- --check` — run a quick profile and
 //!   diff it against the checked-in baseline, emitting a GitHub Actions
 //!   `::warning::` line per series that regressed by more than
-//!   [`REGRESSION_TOLERANCE`]. Always exits 0: the smoke step is
+//!   `snapshot::REGRESSION_TOLERANCE`. Always exits 0: the smoke step is
 //!   non-blocking by design (shared CI runners jitter far too much for a
 //!   hard gate).
 //!
@@ -18,12 +18,9 @@
 //! numbers vary run to run, which is why `--check` compares against a
 //! generous tolerance and only warns.
 
-use paralog_bench::concurrent_matrix::{parse_json, run_matrix, to_json, MatrixResult};
+use paralog_bench::concurrent_matrix::{run_matrix, to_json, MatrixResult};
+use paralog_bench::snapshot::check_against;
 use std::path::PathBuf;
-
-/// A series must be at least this many times slower than the baseline
-/// before `--check` warns (>30% regression).
-const REGRESSION_TOLERANCE: f64 = 1.3;
 
 /// Full-run records per thread / iterations (iterations generous because
 /// single-core CI boxes jitter; best-of damps it).
@@ -58,41 +55,10 @@ fn print_matrix(result: &MatrixResult) {
     }
 }
 
-fn check(out: &PathBuf) -> i32 {
-    let Ok(text) = std::fs::read_to_string(out) else {
-        println!(
-            "::warning::BENCH_concurrent.json missing at {} — run bench_concurrent to regenerate",
-            out.display()
-        );
-        return 0;
-    };
-    let Some(baseline) = parse_json(&text) else {
-        println!(
-            "::warning::BENCH_concurrent.json is unparseable — run bench_concurrent to regenerate"
-        );
-        return 0;
-    };
+fn check(out: &std::path::Path) -> i32 {
     let fresh = run_matrix(QUICK_RECORDS, QUICK_ITERS);
     print_matrix(&fresh);
-    let mut regressed = 0usize;
-    for (key, fresh_ns) in &fresh.series {
-        let Some(base_ns) = baseline.series.get(key) else {
-            println!("::warning::series {key} missing from BENCH_concurrent.json baseline");
-            continue;
-        };
-        if *fresh_ns > base_ns * REGRESSION_TOLERANCE {
-            regressed += 1;
-            println!(
-                "::warning::bench regression: {key} {fresh_ns:.1} ns/record vs baseline {base_ns:.1} (>{:.0}%)",
-                (REGRESSION_TOLERANCE - 1.0) * 100.0
-            );
-        }
-    }
-    println!(
-        "bench-smoke: {} series checked, {regressed} regressed past the {REGRESSION_TOLERANCE}x tolerance (non-blocking)",
-        fresh.series.len()
-    );
-    0
+    check_against("BENCH_concurrent.json", out, &fresh)
 }
 
 fn main() {

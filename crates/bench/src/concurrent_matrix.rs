@@ -299,6 +299,10 @@ pub fn measure_cell(
         .map(|t| stream(kind, t, records_per_thread, profile))
         .collect();
     let total_records = (threads as u64 * records_per_thread) as f64;
+    // One discarded warm-up round: the first replay after process start
+    // pays allocator and page-fault warm-up the committed baselines
+    // (measured hot) never see, which made `--check` quick profiles flaky.
+    replay(&*build_concurrent(kind, threads), &streams, mode);
     let mut best = f64::INFINITY;
     for _ in 0..iters.max(1) {
         let lg = build_concurrent(kind, threads);
@@ -326,6 +330,15 @@ pub fn measure_cell_pair(
         .map(|t| stream(kind, t, records_per_thread, profile))
         .collect();
     let total_records = (threads as u64 * records_per_thread) as f64;
+    // One discarded warm-up round per mode before the scored window: the
+    // process's first replay of each shape pays allocator and page-fault
+    // warm-up that the committed baselines (measured hot) never see, which
+    // made `--check` quick profiles regress spuriously on cold runners.
+    // The streams are deterministic (see `streams_are_deterministic`), so
+    // the warm-up replays exactly the work the scored rounds measure.
+    for mode in [ReplayMode::CasPerAccess, ReplayMode::DeltaMerge] {
+        replay(&*build_concurrent(kind, threads), &streams, mode);
+    }
     let mut best = [f64::INFINITY; 2];
     for _ in 0..iters.max(1) {
         for (slot, mode) in [ReplayMode::CasPerAccess, ReplayMode::DeltaMerge]
@@ -452,6 +465,27 @@ mod tests {
         assert!(
             parse_json("{\"schema\": 1, \"records_per_thread\": 4096, \"series\": {}}").is_none()
         );
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        // The warm-up round in `measure_cell_pair` is only a valid warm-up
+        // (and `--check` only a valid diff against the committed baseline)
+        // if stream generation is a pure function of (kind, tid, records,
+        // profile): same inputs, bit-identical records, every call.
+        for kind in KINDS {
+            for profile in PROFILES {
+                for tid in [0u16, 3] {
+                    let a = stream(kind, tid, 257, profile);
+                    let b = stream(kind, tid, 257, profile);
+                    assert_eq!(
+                        a, b,
+                        "{kind:?}/{}/t{tid} streams diverged across calls",
+                        profile.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! finish in a benchmarking session.
 
 pub mod concurrent_matrix;
+pub mod snapshot;
 
 /// Workload scale used by the full figure binaries (relative to the
 /// calibrated base duration).

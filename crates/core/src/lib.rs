@@ -52,7 +52,7 @@ pub mod session;
 
 pub use config::{CaMode, MonitorConfig, MonitoringMode};
 pub use exec_threaded::{run_threaded_taintcheck, AtomicShadow, ThreadedOutcome};
-pub use metrics::{AppBuckets, LgBuckets, RunMetrics};
+pub use metrics::{AppBuckets, LgBuckets, PhaseBreakdown, RunMetrics, TRANSPORT_BYTES_PER_CYCLE};
 pub use paralog_lifeguards::{SessionEvent, SessionEventObserver};
 pub use platform::{Platform, RunOutcome};
 pub use reference::Reference;

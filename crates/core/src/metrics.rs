@@ -6,8 +6,93 @@
 //! syscall-containment stalls. All counters are simulated cycles.
 
 use paralog_accel::{IfStats, ItStats, MtlbStats};
-use paralog_lifeguards::{SessionEvent, Violation};
+use paralog_events::{EventPayload, EventRecord};
+use paralog_lifeguards::{CostModel, SessionEvent, Violation};
 use paralog_order::CaptureStats;
+
+/// Transport throughput of the modeled log channel: one cycle moves this
+/// many wire bytes (a 128-bit log-transfer port, matching the CA handler's
+/// 16-byte range granularity).
+pub const TRANSPORT_BYTES_PER_CYCLE: u64 = 16;
+
+/// Figure-7-style *per-phase* timed breakdown of a captured-stream replay
+/// under the DES cost model.
+///
+/// Where [`LgBuckets`] decomposes a co-simulated lifeguard's time by *why*
+/// it was (or was not) making progress, this decomposes an **ingestion**
+/// run — a raw or wire capture replayed through the lifeguard cores — by
+/// *pipeline phase*:
+///
+/// * `capture` — draining records out of the log (per-record drain cost);
+/// * `transport` — moving and decoding wire bytes (zero for raw streams:
+///   an already-materialized capture has no transport to model);
+/// * `order_wait` — stall polls on unmet §5.2 arcs, §5.4 CA serialization
+///   and §5.5 unproduced versions;
+/// * `analysis` — handler work per delivered record (dispatch, handler
+///   body, metadata address walk, CA range painting);
+/// * `publish` — §5.5 version production and §5.2 progress advertisement.
+///
+/// All values are simulated cycles from the session's
+/// [`CostModel`]; phases are disjoint by construction, so
+/// [`total`](Self::total) is the run's modeled execution time (mirrored
+/// into [`RunMetrics::lg_finish`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Record-drain cycles (log consumption).
+    pub capture: u64,
+    /// Wire-byte movement/decode cycles; zero on raw replay.
+    pub transport: u64,
+    /// Stall-poll cycles on unmet ordering gates.
+    pub order_wait: u64,
+    /// Handler/analysis cycles per delivered record.
+    pub analysis: u64,
+    /// Version-produce and progress-advertise cycles.
+    pub publish: u64,
+}
+
+impl PhaseBreakdown {
+    /// Total modeled cycles: phases are disjoint, so this is their sum.
+    pub fn total(&self) -> u64 {
+        self.capture + self.order_wait + self.transport + self.analysis + self.publish
+    }
+
+    /// The (analysis, publish) cycle charge for ingesting one record into
+    /// thread `t`'s lifeguard. Depends only on the record's *payload* —
+    /// never on its transport form — which is what makes raw and wire
+    /// replays of the same capture report identical analysis time.
+    pub fn record_cycles(cost: &CostModel, rec: &EventRecord, t: usize) -> (u64, u64) {
+        let analysis = match &rec.payload {
+            EventPayload::Instr(instr) => {
+                if instr.mem_access().is_some() {
+                    cost.dispatch + cost.propagation_handler + cost.meta_addr_walk
+                } else {
+                    cost.dispatch
+                }
+            }
+            EventPayload::Ca(ca) => {
+                let mut c = cost.ca_handler;
+                if ca.issuer.index() == t {
+                    if let Some(range) = ca.range {
+                        // The issuer's copy performs the range metadata
+                        // update (taint the read() buffer, clear the
+                        // allocation, ...).
+                        c += cost.ca_per_16_bytes * range.len.div_ceil(16);
+                    }
+                }
+                c
+            }
+        };
+        // Publishing: one propagation-handler body per §5.5 version
+        // snapshot produced, plus the progress-advertisement store.
+        let publish = cost.propagation_handler * rec.produce_versions.len() as u64 + cost.dispatch;
+        (analysis, publish)
+    }
+
+    /// Cycles to move `bytes` wire bytes through the modeled transport.
+    pub fn transport_cycles(bytes: u64) -> u64 {
+        bytes.div_ceil(TRANSPORT_BYTES_PER_CYCLE)
+    }
+}
 
 /// Cycle buckets of one application thread.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -101,6 +186,11 @@ pub struct RunMetrics {
     /// [`SessionEvent::DegradedPrecision`] notice when an interner saturates
     /// and the analysis falls back to a sound over-approximation).
     pub events: Vec<SessionEvent>,
+    /// Per-phase timed breakdown when the run replayed *captured* streams
+    /// (raw or wire) under the DES cycle model. `None` for co-simulated or
+    /// wall-clock (threaded) runs, whose time is bucketed in
+    /// [`lifeguard`](Self::lifeguard) instead.
+    pub phases: Option<PhaseBreakdown>,
 }
 
 impl RunMetrics {
@@ -145,6 +235,79 @@ impl RunMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use paralog_events::{
+        AddrRange, CaPhase, CaRecord, HighLevelKind, Instr, MemRef, Reg, Rid, ThreadId,
+    };
+
+    #[test]
+    fn phase_total_sums_all_buckets() {
+        let p = PhaseBreakdown {
+            capture: 1,
+            transport: 2,
+            order_wait: 4,
+            analysis: 8,
+            publish: 16,
+        };
+        assert_eq!(p.total(), 31);
+        assert_eq!(PhaseBreakdown::default().total(), 0);
+    }
+
+    #[test]
+    fn record_cycles_follow_payload_shape() {
+        let cost = CostModel::calibrated();
+        let mem = EventRecord::instr(
+            Rid(1),
+            Instr::Load {
+                dst: Reg::new(0),
+                src: MemRef::new(0x100, 8),
+            },
+        );
+        let (mem_analysis, mem_publish) = PhaseBreakdown::record_cycles(&cost, &mem, 0);
+        assert_eq!(
+            mem_analysis,
+            cost.dispatch + cost.propagation_handler + cost.meta_addr_walk
+        );
+        assert_eq!(mem_publish, cost.dispatch, "no versions produced");
+
+        let reg = EventRecord::instr(Rid(2), Instr::MovRI { dst: Reg::new(1) });
+        let (reg_analysis, _) = PhaseBreakdown::record_cycles(&cost, &reg, 0);
+        assert_eq!(
+            reg_analysis, cost.dispatch,
+            "register-only op skips the walk"
+        );
+    }
+
+    #[test]
+    fn ca_range_charges_only_the_issuer() {
+        let cost = CostModel::calibrated();
+        let ca = EventRecord::ca(
+            Rid(3),
+            CaRecord {
+                what: HighLevelKind::Malloc,
+                phase: CaPhase::End,
+                range: Some(AddrRange::new(0x2000, 33)),
+                issuer: ThreadId(1),
+                issuer_rid: Rid(3),
+                seq: 0,
+            },
+        );
+        let (own, _) = PhaseBreakdown::record_cycles(&cost, &ca, 1);
+        let (remote, _) = PhaseBreakdown::record_cycles(&cost, &ca, 0);
+        assert_eq!(remote, cost.ca_handler, "remote copies only flush");
+        assert_eq!(
+            own,
+            cost.ca_handler + cost.ca_per_16_bytes * 3,
+            "33 bytes round up to three 16-byte chunks on the issuer's copy"
+        );
+    }
+
+    #[test]
+    fn transport_cycles_round_up() {
+        assert_eq!(PhaseBreakdown::transport_cycles(0), 0);
+        assert_eq!(PhaseBreakdown::transport_cycles(1), 1);
+        assert_eq!(PhaseBreakdown::transport_cycles(16), 1);
+        assert_eq!(PhaseBreakdown::transport_cycles(17), 2);
+    }
 
     #[test]
     fn execution_is_max_of_sides() {

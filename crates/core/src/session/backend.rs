@@ -32,14 +32,14 @@
 use super::source::{RecordStream, StreamStatus};
 use super::{SessionError, SessionPlan};
 use crate::config::{MonitorConfig, MonitoringMode};
-use crate::metrics::RunMetrics;
+use crate::metrics::{PhaseBreakdown, RunMetrics};
 use crate::platform::lg::deliver_ingested;
 use crate::platform::{RunOutcome, Sim};
 use crate::reference::Reference;
 use crate::session::SourceInput;
 use paralog_events::{EventRecord, Rid, ThreadId};
 use paralog_lifeguards::{
-    ConcurrentLifeguard, DeltaLifeguard, Lifeguard, LifeguardFactory, LifeguardFamily,
+    ConcurrentLifeguard, CostModel, DeltaLifeguard, Lifeguard, LifeguardFactory, LifeguardFamily,
     LifeguardKind, ReplayMode, Violation,
 };
 use paralog_order::{Gate, OrderEnforcer, ProgressTable, RangeTable, SharedProgressTable};
@@ -88,7 +88,7 @@ impl Backend for DeterministicBackend {
             )),
             SourceInput::Streams(streams) => {
                 let family = plan.factory.build(plan.heap);
-                let metrics = replay_streams(&family, streams)?;
+                let metrics = replay_streams(&family, streams, &plan.config.cost)?;
                 Ok(RunOutcome { metrics })
             }
         }
@@ -187,9 +187,14 @@ struct IngestLane {
 /// backend: records are pulled incrementally (bounded batches) and
 /// delivered in an order that satisfies every captured dependence arc
 /// (run-to-block round-robin over threads), through the same
-/// [`Lifeguard`] handlers the co-simulation drives. Timing buckets stay
-/// zero — there is no simulated machine to time — but analysis results
-/// (violations, fingerprints, version traffic) are full-fidelity.
+/// [`Lifeguard`] handlers the co-simulation drives. There is no simulated
+/// application to time, but lifeguard-side time *is* modeled: each record
+/// is charged under `cost` and the run reports a Figure-7-style
+/// [`PhaseBreakdown`] (capture / transport / order-wait / analysis /
+/// publish) in [`RunMetrics::phases`], with
+/// [`RunMetrics::lg_finish`](crate::RunMetrics) set to the phase total.
+/// Analysis results (violations, fingerprints, version traffic) are
+/// full-fidelity.
 ///
 /// The loop distinguishes the two ways a thread can fail to advance:
 ///
@@ -200,6 +205,7 @@ struct IngestLane {
 fn replay_streams(
     family: &LifeguardFamily,
     streams: Vec<Box<dyn RecordStream>>,
+    cost: &CostModel,
 ) -> Result<RunMetrics, SessionError> {
     let k = streams.len();
     if k == 0 {
@@ -227,6 +233,8 @@ fn replay_streams(
     let mut stalls = 0u64;
     let mut idle_rounds = 0u32;
     let mut violations: Vec<Violation> = Vec::new();
+    let mut analysis = 0u64;
+    let mut publish = 0u64;
     loop {
         let mut any_progress = false;
         let mut producer_pending = false;
@@ -274,6 +282,9 @@ fn replay_streams(
                         break;
                     }
                     let rec = lane.pending.pop_front().expect("peeked");
+                    let (a, p) = PhaseBreakdown::record_cycles(cost, &rec, t);
+                    analysis += a;
+                    publish += p;
                     deliver_ingested(
                         &rec,
                         t,
@@ -328,6 +339,14 @@ fn replay_streams(
         }
     }
 
+    let wire_bytes: u64 = lanes.iter().map(|l| l.stream.transport_bytes()).sum();
+    let phases = PhaseBreakdown {
+        capture: records * cost.record_drain,
+        transport: PhaseBreakdown::transport_cycles(wire_bytes),
+        order_wait: stalls * cost.stall_poll,
+        analysis,
+        publish,
+    };
     Ok(RunMetrics {
         app_threads: k,
         records,
@@ -337,6 +356,8 @@ fn replay_streams(
         versions_consumed: versions.consumed(),
         violations,
         fingerprint: family.fingerprint(),
+        lg_finish: phases.total(),
+        phases: Some(phases),
         ..RunMetrics::default()
     })
 }

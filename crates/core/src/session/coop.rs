@@ -41,9 +41,11 @@
 use super::backend::{ca_gate_unmet, resolve_replay_form, BackendMode, ReplayForm, INGEST_BATCH};
 use super::source::{RecordStream, StreamStatus};
 use super::SessionError;
-use crate::metrics::RunMetrics;
+use crate::metrics::{PhaseBreakdown, RunMetrics};
 use paralog_events::{AddrRange, EventRecord, Rid, ThreadId};
-use paralog_lifeguards::{LifeguardFactory, ReplayMode, SessionEventObserver, Violation};
+use paralog_lifeguards::{
+    CostModel, LifeguardFactory, ReplayMode, SessionEventObserver, Violation,
+};
 use paralog_order::{CaPolicy, RangeTable, SharedProgressTable};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -86,10 +88,21 @@ struct CoopShared {
     progress: SharedProgressTable,
     versions: paralog_meta::ConcurrentVersionTable,
     lanes: usize,
+    /// Cycle model for the per-phase timed breakdown. The daemon has no
+    /// per-session config surface, so every coop session uses the
+    /// calibrated model — the same constants every figure is generated
+    /// from.
+    cost: CostModel,
     /// Records applied session-wide — the liveness signal.
     applied: AtomicU64,
     /// Times a lane found its head record gated on a peer.
     stalls: AtomicU64,
+    /// Modeled analysis cycles (handler work per applied record).
+    analysis_cycles: AtomicU64,
+    /// Modeled publish cycles (version production + progress adverts).
+    publish_cycles: AtomicU64,
+    /// Wire bytes consumed across lanes (zero for raw streams).
+    wire_bytes: AtomicU64,
     /// Times a lane polled a `Blocked` stream and got nothing — proof the
     /// non-blocking reader path actually exercised `WouldBlock`.
     blocked_polls: AtomicU64,
@@ -163,16 +176,26 @@ impl CoopShared {
         // keeps reports deterministic.
         violations.sort_by_key(|v| (v.tid.0, v.rid.0));
         let total = self.applied.load(Ordering::Relaxed);
+        let stalls = self.stalls.load(Ordering::Relaxed);
+        let phases = PhaseBreakdown {
+            capture: total * self.cost.record_drain,
+            transport: PhaseBreakdown::transport_cycles(self.wire_bytes.load(Ordering::Relaxed)),
+            order_wait: stalls * self.cost.stall_poll,
+            analysis: self.analysis_cycles.load(Ordering::Relaxed),
+            publish: self.publish_cycles.load(Ordering::Relaxed),
+        };
         RunMetrics {
             app_threads: self.lanes,
             records: total,
             delivered_ops: total,
-            dependence_stalls: self.stalls.load(Ordering::Relaxed),
+            dependence_stalls: stalls,
             versions_produced: self.versions.produced(),
             versions_consumed: self.versions.consumed(),
             violations,
             fingerprint: self.form.conc().fingerprint(),
             events: self.form.conc().session_events(),
+            lg_finish: phases.total(),
+            phases: Some(phases),
             ..RunMetrics::default()
         }
     }
@@ -263,8 +286,12 @@ impl CoopSession {
             progress: SharedProgressTable::new(k),
             versions: paralog_meta::ConcurrentVersionTable::new(k),
             lanes: k,
+            cost: CostModel::calibrated(),
             applied: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
+            analysis_cycles: AtomicU64::new(0),
+            publish_cycles: AtomicU64::new(0),
+            wire_bytes: AtomicU64::new(0),
             blocked_polls: AtomicU64::new(0),
             eof_lanes: AtomicUsize::new(0),
             gated_lanes: AtomicUsize::new(0),
@@ -288,6 +315,7 @@ impl CoopSession {
                 batch: Vec::with_capacity(INGEST_BATCH),
                 range_table: RangeTable::new(k),
                 unadvertised: None,
+                wire_seen: 0,
                 eof: false,
                 head_produced: false,
                 parked: false,
@@ -348,6 +376,17 @@ impl CoopSession {
         self.shared.blocked_polls.load(Ordering::Relaxed)
     }
 
+    /// Peak dense chunks ever resident in the session's §5.5 version
+    /// table — what adversarial rid sweeps assert stays window-bounded.
+    pub fn version_peak_resident(&self) -> usize {
+        self.shared.versions.peak_dense_resident()
+    }
+
+    /// Dense chunks reclaimed by the version table's epoch sweep so far.
+    pub fn version_reclaimed(&self) -> u64 {
+        self.shared.versions.reclaimed_chunks()
+    }
+
     /// Violations observed so far, in raw accumulation order (stable
     /// prefix: the bundled lifeguards append under a lock and never
     /// reorder), so `violations_live()[cursor..]` is the incremental feed.
@@ -371,6 +410,8 @@ pub struct CoopLane {
     /// not yet published to the §5.2 progress table); always `None` on a
     /// CAS lane.
     unadvertised: Option<Rid>,
+    /// Wire bytes already folded into the session's transport total.
+    wire_seen: u64,
     eof: bool,
     /// Whether the head record's §5.5 produce annotations were already
     /// published (a consume-gated head must not re-produce on re-step).
@@ -488,6 +529,14 @@ impl CoopLane {
                 None => None,
             };
             let rec = self.pending.pop_front().expect("peeked");
+            let (analysis, publish) =
+                PhaseBreakdown::record_cycles(&self.shared.cost, &rec, self.tid.index());
+            self.shared
+                .analysis_cycles
+                .fetch_add(analysis, Ordering::Relaxed);
+            self.shared
+                .publish_cycles
+                .fetch_add(publish, Ordering::Relaxed);
             self.head_produced = false;
             self.unpark();
             // §5.4: police the range table before applying.
@@ -567,6 +616,14 @@ impl CoopLane {
         // a partial batch and *then* report Blocked).
         let got_records = !self.batch.is_empty();
         self.pending.extend(self.batch.drain(..));
+        // Fold freshly consumed wire bytes into the transport total.
+        let wired = self.stream.transport_bytes();
+        if wired > self.wire_seen {
+            self.shared
+                .wire_bytes
+                .fetch_add(wired - self.wire_seen, Ordering::Relaxed);
+            self.wire_seen = wired;
+        }
         match status {
             StreamStatus::Exhausted => {
                 if !self.eof {

@@ -76,6 +76,16 @@ pub trait RecordStream: Send + fmt::Debug {
         out: &mut Vec<EventRecord>,
         max: usize,
     ) -> Result<StreamStatus, SessionError>;
+
+    /// Cumulative wire bytes consumed from the underlying transport so far.
+    ///
+    /// Already-materialized (raw) streams have no transport and report `0`,
+    /// which is what makes the replay cycle model's transport phase vanish
+    /// for raw captures while wire replays of the *same* capture charge the
+    /// decode traffic (the analysis phase stays identical either way).
+    fn transport_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// The concrete input an [`EventSource`] resolves to when the session runs.
@@ -362,6 +372,7 @@ impl EventSource for StreamingReplaySource {
                         chunk: vec![0; chunk_bytes],
                         eof: false,
                         stats: Arc::clone(&stats),
+                        wire_bytes: 0,
                     }) as Box<dyn RecordStream>
                 })
                 .collect(),
@@ -377,6 +388,8 @@ struct DecodingStream {
     chunk: Vec<u8>,
     eof: bool,
     stats: Arc<SourceStats>,
+    /// Cumulative wire bytes fed to the decoder (transport accounting).
+    wire_bytes: u64,
 }
 
 impl fmt::Debug for DecodingStream {
@@ -423,6 +436,7 @@ impl RecordStream for DecodingStream {
                 Ok(0) => self.eof = true,
                 Ok(n) => {
                     self.decoder.feed(&self.chunk[..n]);
+                    self.wire_bytes += n as u64;
                     self.stats.note(self.decoder.buffered());
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -442,6 +456,10 @@ impl RecordStream for DecodingStream {
                 }
             }
         }
+    }
+
+    fn transport_bytes(&self) -> u64 {
+        self.wire_bytes
     }
 }
 

@@ -18,8 +18,13 @@
 
 #![warn(missing_debug_implementations)]
 
+pub mod adversarial;
 pub mod gen;
 pub mod spec;
 
+pub use adversarial::AdversarialCapture;
 pub use gen::Workload;
-pub use spec::{Benchmark, InstrMix, WorkloadSpec, PRIVATE_BASE, PRIVATE_STRIDE, SHARED_BASE};
+pub use spec::{
+    Benchmark, InstrMix, OpMix, WorkloadSpec, PRIVATE_BASE, PRIVATE_STRIDE, RACY_WINDOW_WORDS,
+    SHARED_BASE,
+};

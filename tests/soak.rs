@@ -21,14 +21,16 @@
 //! the nightly TSan job is pointed at. The default profile is CI-sized;
 //! `PARALOG_SOAK=1` runs the full multi-billion-rid sweep.
 
+use paralog::core::{BackendMode, BufferedStream, CoopSession, RecordStream};
 use paralog::events::{
     AddrRange, CaPhase, CaRecord, EventRecord, HighLevelKind, Instr, LockId, MemRef, Reg, Rid,
     ThreadId, VersionId,
 };
 use paralog::lifeguards::{
-    ConcurrentLifeguard, HappensBeforeConcurrent, LockSetConcurrent, SessionEvent,
+    ConcurrentLifeguard, HappensBeforeConcurrent, LifeguardKind, LockSetConcurrent, SessionEvent,
 };
 use paralog::meta::ConcurrentVersionTable;
+use paralog::workloads::adversarial::{self, AdversarialCapture};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
@@ -629,4 +631,204 @@ fn daemon_attach_detach_churn_leaves_no_residue() {
             r.result
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial presets: each generator is paired with the bound it stresses
+// ---------------------------------------------------------------------------
+
+/// Replays an adversarial capture through the cooperative lane machinery
+/// (the daemon's form) to completion, round-robin with a small budget so
+/// lanes genuinely interleave and gate on each other.
+fn coop_replay(
+    kind: LifeguardKind,
+    cap: &AdversarialCapture,
+    mode: BackendMode,
+) -> (CoopSession, paralog::core::RunMetrics) {
+    let streams: Vec<Box<dyn RecordStream>> = cap
+        .streams
+        .iter()
+        .cloned()
+        .map(|s| Box::new(BufferedStream::new(s)) as Box<dyn RecordStream>)
+        .collect();
+    let (session, mut lanes) =
+        CoopSession::start_with_mode(&kind, cap.heap, streams, None, mode).expect("session starts");
+    while !session.is_complete() {
+        for lane in &mut lanes {
+            lane.step(64);
+        }
+    }
+    let metrics = session
+        .report()
+        .expect("complete")
+        .unwrap_or_else(|e| panic!("{}: adversarial replay failed: {e}", cap.name));
+    (session, metrics)
+}
+
+/// Preset `cycle_lock_masks` vs its bound: cycling far more distinct lock
+/// combinations than the 2^16 id space keeps `peak_interned_masks` small,
+/// precision intact, and consistently locked sharing silent.
+#[test]
+fn adversarial_lock_mask_cycling_stays_bounded() {
+    let iterations: u64 = if full_profile() { 200_000 } else { 10_000 };
+    let cap = adversarial::cycle_lock_masks(iterations);
+    let conc = LockSetConcurrent::new(2);
+    // Record-by-record round-robin: the refinement writes interleave
+    // deterministically between the two monitored threads.
+    let mut cursors = [0usize; 2];
+    let mut applied_since_boundary = 0u64;
+    loop {
+        let mut progressed = false;
+        for (t, cursor) in cursors.iter_mut().enumerate() {
+            if let Some(rec) = cap.streams[t].get(*cursor) {
+                conc.apply(ThreadId(t as u16), rec, None);
+                *cursor += 1;
+                progressed = true;
+                applied_since_boundary += 1;
+                if applied_since_boundary.is_multiple_of(512) {
+                    conc.epoch_boundary(ThreadId(0));
+                    conc.epoch_boundary(ThreadId(1));
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    conc.stream_done(ThreadId(0));
+    conc.stream_done(ThreadId(1));
+
+    assert!(!conc.degraded(), "bound violated: {}", cap.bound);
+    assert!(
+        conc.violations().is_empty(),
+        "locked sharing must stay silent: {:?}",
+        conc.violations()
+    );
+    let peak = conc.peak_interned_masks();
+    assert!(
+        peak <= 2048,
+        "peak interner residency {peak} breaks the bound ({} combinations cycled): {}",
+        iterations,
+        cap.bound
+    );
+}
+
+/// Preset `exhaust_read_vcs` vs its bound: pinning more live read VCs than
+/// the id space must degrade with *exactly one* `DegradedPrecision`
+/// diagnostic — surfaced through the cooperative session's event channel,
+/// the same path `paralogd ctl STATUS` reports.
+#[test]
+fn adversarial_read_vc_exhaustion_degrades_exactly_once() {
+    // 66_000 > 2^16 is the exhaustion threshold; the preset cannot be
+    // scaled below it and still hit its bound.
+    let cap = adversarial::exhaust_read_vcs(66_000, paralog::lifeguards::lockset::SYNC_SPACE_START);
+    let (_, metrics) = coop_replay(
+        LifeguardKind::HappensBefore,
+        &cap,
+        BackendMode::CasPerAccess,
+    );
+    assert_eq!(metrics.records, cap.records());
+    let degradations = metrics
+        .events
+        .iter()
+        .filter(|e| matches!(e, SessionEvent::DegradedPrecision { .. }))
+        .count();
+    assert_eq!(
+        degradations,
+        1,
+        "bound violated ({} events total): {}",
+        metrics.events.len(),
+        cap.bound
+    );
+    assert!(
+        metrics.violations.is_empty(),
+        "read-only sharing must not fabricate race reports on saturation"
+    );
+}
+
+/// Preset `rid_sweep` vs its bound: versions whose consumer rids stride
+/// one chunk apart sweep whole reclamation windows; the epoch sweep must
+/// keep `peak_dense_resident` near the producer/consumer lead and reclaim
+/// nearly every drained chunk.
+#[test]
+fn adversarial_rid_sweep_reclaims_version_chunks() {
+    let versions: u64 = if full_profile() { 131_072 } else { 8_192 };
+    let cap = adversarial::rid_sweep(versions, ConcurrentVersionTable::CHUNK_RIDS);
+    let (session, metrics) =
+        coop_replay(LifeguardKind::TaintCheck, &cap, BackendMode::CasPerAccess);
+    assert_eq!(metrics.versions_produced, versions);
+    assert_eq!(metrics.versions_consumed, versions);
+    let peak = session.version_peak_resident();
+    assert!(
+        peak as u64 <= 2048,
+        "peak residency {peak} chunks over a {versions}-chunk sweep: {}",
+        cap.bound
+    );
+    assert!(
+        session.version_reclaimed() >= versions - peak as u64,
+        "sweep reclaimed only {} of {versions} chunks: {}",
+        session.version_reclaimed(),
+        cap.bound
+    );
+}
+
+/// Preset `arc_fanout` vs its bound: a capture where nearly every record
+/// gates on a peer must still drain on both the deterministic round-robin
+/// backend and the cooperative lanes — gating is stalling, never deadlock —
+/// and the stall traffic must show up in the order-wait phase.
+#[test]
+fn adversarial_arc_fanout_replays_without_deadlock() {
+    use paralog::core::{DeterministicBackend, MonitorSession, ReplaySource};
+    let rounds: u64 = if full_profile() { 20_000 } else { 2_000 };
+    let cap = adversarial::arc_fanout(6, rounds);
+
+    let det = MonitorSession::builder()
+        .source(ReplaySource::new(cap.streams.clone(), cap.heap))
+        .lifeguard(LifeguardKind::TaintCheck)
+        .backend(DeterministicBackend)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap_or_else(|e| panic!("bound violated ({e}): {}", cap.bound))
+        .metrics;
+    assert_eq!(det.records, cap.records());
+    assert!(
+        det.dependence_stalls > 0,
+        "the storm never gated — it is not adversarial"
+    );
+    let phases = det.phases.expect("replay reports phases");
+    assert!(
+        phases.order_wait > 0,
+        "stall traffic must surface in the order-wait phase"
+    );
+
+    let (_, coop) = coop_replay(LifeguardKind::TaintCheck, &cap, BackendMode::CasPerAccess);
+    assert_eq!(
+        coop.fingerprint, det.fingerprint,
+        "gating pressure must not change the analysis result"
+    );
+}
+
+/// Preset `delta_thrash` vs its bound: ordered events at nearly every
+/// record force a delta-merge lane to flush its private window constantly;
+/// the thrashed delta replay must stay fingerprint-identical to
+/// CAS-per-access.
+#[test]
+fn adversarial_delta_thrash_keeps_mode_parity() {
+    let rounds: u64 = if full_profile() { 50_000 } else { 5_000 };
+    let cap = adversarial::delta_thrash(4, rounds);
+    let (_, cas) = coop_replay(LifeguardKind::TaintCheck, &cap, BackendMode::CasPerAccess);
+    let (_, delta) = coop_replay(LifeguardKind::TaintCheck, &cap, BackendMode::DeltaMerge);
+    assert_eq!(cas.records, cap.records());
+    assert_eq!(delta.records, cap.records());
+    assert_eq!(
+        delta.fingerprint, cas.fingerprint,
+        "bound violated: {}",
+        cap.bound
+    );
+    assert_eq!(
+        delta.violations.len(),
+        cas.violations.len(),
+        "modes must agree on violations under flush thrash"
+    );
 }
